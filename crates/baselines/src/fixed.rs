@@ -1,0 +1,123 @@
+//! A fixed-model scheme: always the same model, eager adaptive batching.
+//!
+//! Not a baseline from the paper by itself, but the building block of
+//! the ModelSwitching offline profiling sweep (each profiled point pins
+//! one model) and a useful ablation control.
+
+use ramsis_profiles::WorkerProfile;
+use ramsis_sim::{Routing, Selection, ServingScheme};
+
+use crate::adaptive_batch_cap;
+
+/// Serves every query with one pinned model.
+pub struct FixedModel {
+    name: String,
+    model: usize,
+    batch_cap: u32,
+}
+
+impl FixedModel {
+    /// Pins `model` (catalog index) with the shared adaptive batch cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` is out of range for the profile.
+    pub fn new(profile: &WorkerProfile, model: usize) -> Self {
+        assert!(
+            model < profile.n_models(),
+            "model index {model} out of range"
+        );
+        Self {
+            name: format!("fixed:{}", profile.models[model].name),
+            model,
+            batch_cap: adaptive_batch_cap(profile, model),
+        }
+    }
+
+    /// The pinned model index.
+    pub fn model(&self) -> usize {
+        self.model
+    }
+
+    /// The adaptive batch cap in force.
+    pub fn batch_cap(&self) -> u32 {
+        self.batch_cap
+    }
+}
+
+impl ServingScheme for FixedModel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn routing(&self) -> Routing {
+        Routing::Central
+    }
+
+    fn select(&mut self, ctx: &ramsis_sim::scheme::SelectionContext) -> Selection {
+        Selection::Serve {
+            model: self.model,
+            batch: (ctx.queued as u32).min(self.batch_cap),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ramsis_profiles::{ModelCatalog, ProfilerConfig};
+    use ramsis_sim::scheme::SelectionContext;
+    use std::time::Duration;
+
+    fn profile() -> WorkerProfile {
+        WorkerProfile::build(
+            &ModelCatalog::torchvision_image(),
+            Duration::from_millis(150),
+            ProfilerConfig::default(),
+        )
+    }
+
+    #[test]
+    fn serves_pinned_model_with_capped_batch() {
+        let p = profile();
+        let m = p.fastest_model();
+        let mut s = FixedModel::new(&p, m);
+        assert!(s.name().contains("shufflenet"));
+        let ctx = SelectionContext {
+            now_s: 0.0,
+            load_qps: 100.0,
+            queued: 500,
+            earliest_slack_s: 0.1,
+            worker: 0,
+        };
+        let Selection::Serve { model, batch } = s.select(&ctx) else {
+            panic!("must serve");
+        };
+        assert_eq!(model, m);
+        assert_eq!(batch, s.batch_cap());
+        assert!(batch >= 1);
+        // Small queues are served in full.
+        let small = SelectionContext { queued: 1, ..ctx };
+        assert!(matches!(
+            s.select(&small),
+            Selection::Serve { batch: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn slow_model_batch_cap_is_one() {
+        let p = profile();
+        // The slowest Pareto model exceeds SLO/2 even at batch 1 for the
+        // 150 ms SLO, so the cap falls back to 1.
+        let slow = *p.pareto_models().last().unwrap();
+        let s = FixedModel::new(&p, slow);
+        assert_eq!(s.batch_cap(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_unknown_model() {
+        let p = profile();
+        let _ = FixedModel::new(&p, 999);
+    }
+}

@@ -1,0 +1,129 @@
+//! A greedy deadline-aware selector (MDInference \[33\] / ALERT \[48\]
+//! style, paper §8).
+//!
+//! "These systems greedily select the most accurate model given the
+//! current arrived queries and their deadlines, which is not sufficient
+//! to avoid latency SLO violations under varying query load and
+//! stochastic inter-arrival patterns." This selector is the cleanest
+//! ablation of RAMSIS's contribution: it sees the same queue state
+//! (count + earliest slack) and picks the most accurate model that fits
+//! the *current* deadline — with no model of future arrivals. Under
+//! bursts its optimistic choices back future queries up.
+
+use ramsis_profiles::WorkerProfile;
+use ramsis_sim::scheme::SelectionContext;
+use ramsis_sim::{Routing, Selection, ServingScheme};
+
+/// The greedy most-accurate-that-fits selector.
+pub struct GreedyDeadline {
+    profile: WorkerProfile,
+    routing: Routing,
+}
+
+impl GreedyDeadline {
+    /// Creates the selector with per-worker round-robin routing (so the
+    /// comparison against RAMSIS isolates the *selection* policy).
+    pub fn new(profile: &WorkerProfile) -> Self {
+        Self {
+            profile: profile.clone(),
+            routing: Routing::PerWorkerRoundRobin,
+        }
+    }
+
+    /// The most accurate Pareto model serving `n` queries within
+    /// `slack_s`; the fastest model when nothing fits (serve late,
+    /// like RAMSIS's forced action).
+    pub fn model_for(&self, n: u32, slack_s: f64) -> usize {
+        self.profile
+            .pareto_models()
+            .iter()
+            .rev() // descending accuracy
+            .copied()
+            .find(|&m| self.profile.latency(m, n).is_some_and(|l| l <= slack_s))
+            .unwrap_or_else(|| self.profile.fastest_model())
+    }
+}
+
+impl ServingScheme for GreedyDeadline {
+    fn name(&self) -> &str {
+        "GreedyDeadline"
+    }
+
+    fn routing(&self) -> Routing {
+        self.routing
+    }
+
+    fn select(&mut self, ctx: &SelectionContext) -> Selection {
+        let n = ctx.queued as u32;
+        Selection::Serve {
+            model: self.model_for(n, ctx.earliest_slack_s),
+            batch: n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ramsis_profiles::{ModelCatalog, ProfilerConfig};
+    use std::time::Duration;
+
+    fn profile() -> WorkerProfile {
+        WorkerProfile::build(
+            &ModelCatalog::torchvision_image(),
+            Duration::from_millis(150),
+            ProfilerConfig::default(),
+        )
+    }
+
+    #[test]
+    fn full_slack_picks_most_accurate_feasible() {
+        let p = profile();
+        let g = GreedyDeadline::new(&p);
+        let m = g.model_for(1, 0.15);
+        // The most accurate Pareto model with batch-1 latency <= 150 ms.
+        for &other in p.pareto_models() {
+            if p.latency(other, 1).unwrap() <= 0.15 {
+                assert!(p.accuracy(m) >= p.accuracy(other));
+            }
+        }
+        assert!(p.accuracy(m) > p.accuracy(p.fastest_model()));
+    }
+
+    #[test]
+    fn exhausted_slack_serves_late_on_fastest() {
+        let p = profile();
+        let g = GreedyDeadline::new(&p);
+        assert_eq!(g.model_for(3, 0.0), p.fastest_model());
+        assert_eq!(g.model_for(3, -1.0), p.fastest_model());
+    }
+
+    #[test]
+    fn bigger_batches_force_faster_models() {
+        let p = profile();
+        let g = GreedyDeadline::new(&p);
+        let m1 = g.model_for(1, 0.1);
+        let m8 = g.model_for(8, 0.1);
+        assert!(p.accuracy(m8) <= p.accuracy(m1));
+    }
+
+    #[test]
+    fn ignores_load_entirely() {
+        // The defining flaw (§8): the same state yields the same choice
+        // no matter the load.
+        let p = profile();
+        let mut g = GreedyDeadline::new(&p);
+        let base = SelectionContext {
+            now_s: 0.0,
+            load_qps: 10.0,
+            queued: 2,
+            earliest_slack_s: 0.12,
+            worker: 0,
+        };
+        let overloaded = SelectionContext {
+            load_qps: 100_000.0,
+            ..base
+        };
+        assert_eq!(g.select(&base), g.select(&overloaded));
+    }
+}

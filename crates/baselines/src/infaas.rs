@@ -1,0 +1,161 @@
+//! An INFaaS-style selector (paper appendix §H).
+//!
+//! INFaaS \[38\] "requires accuracy and latency SLOs from the application
+//! and its model selector and scheduler chooses the lowest cost model
+//! (i.e., typically lowest latency) that meets both". The paper adapts
+//! it to its evaluation "by sweeping a range of accuracy targets equal
+//! to the set of accuracies achievable by each inference model", and
+//! observes that "its objective to minimize latency effectively
+//! minimizes accuracy": it always selects the minimally accurate model
+//! meeting the target. This module reproduces that adapted selector so
+//! the §H comparison can be regenerated.
+
+use ramsis_profiles::WorkerProfile;
+use ramsis_sim::scheme::SelectionContext;
+use ramsis_sim::{Routing, Selection, ServingScheme};
+
+use crate::{adaptive_batch_cap, sustains_load};
+
+/// The INFaaS-style accuracy-SLO-driven selector.
+pub struct InfaasStyle {
+    profile: WorkerProfile,
+    workers: usize,
+    accuracy_slo: f64,
+    batch_caps: Vec<u32>,
+}
+
+impl InfaasStyle {
+    /// Builds the selector for an accuracy SLO (percent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero or `accuracy_slo` is not in
+    /// `(0, 100]`.
+    pub fn new(profile: &WorkerProfile, workers: usize, accuracy_slo: f64) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        assert!(
+            accuracy_slo > 0.0 && accuracy_slo <= 100.0,
+            "accuracy SLO must be in (0, 100], got {accuracy_slo}"
+        );
+        let batch_caps = (0..profile.n_models())
+            .map(|m| adaptive_batch_cap(profile, m))
+            .collect();
+        Self {
+            profile: profile.clone(),
+            workers,
+            accuracy_slo,
+            batch_caps,
+        }
+    }
+
+    /// The accuracy target in force.
+    pub fn accuracy_slo(&self) -> f64 {
+        self.accuracy_slo
+    }
+
+    /// The lowest-latency model meeting the accuracy SLO and the load;
+    /// relaxes to the lowest-latency model meeting the accuracy SLO
+    /// alone under overload, and to the fastest model if even that
+    /// fails.
+    pub fn model_for_load(&self, load_qps: f64) -> usize {
+        let meets_accuracy = |m: usize| self.profile.accuracy(m) >= self.accuracy_slo;
+        // Pareto front is sorted ascending latency: the first qualifying
+        // entry is the lowest-latency (lowest-cost) choice.
+        self.profile
+            .pareto_models()
+            .iter()
+            .copied()
+            .filter(|&m| meets_accuracy(m))
+            .find(|&m| sustains_load(&self.profile, m, self.workers, load_qps))
+            .or_else(|| {
+                self.profile
+                    .pareto_models()
+                    .iter()
+                    .copied()
+                    .find(|&m| meets_accuracy(m))
+            })
+            .unwrap_or_else(|| self.profile.fastest_model())
+    }
+}
+
+impl ServingScheme for InfaasStyle {
+    fn name(&self) -> &str {
+        "INFaaS-style"
+    }
+
+    fn routing(&self) -> Routing {
+        Routing::Central
+    }
+
+    fn select(&mut self, ctx: &SelectionContext) -> Selection {
+        let model = self.model_for_load(ctx.load_qps);
+        Selection::Serve {
+            model,
+            batch: (ctx.queued as u32).min(self.batch_caps[model]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ramsis_profiles::{ModelCatalog, ProfilerConfig};
+    use std::time::Duration;
+
+    fn profile() -> WorkerProfile {
+        WorkerProfile::build(
+            &ModelCatalog::torchvision_image(),
+            Duration::from_millis(300),
+            ProfilerConfig::default(),
+        )
+    }
+
+    #[test]
+    fn picks_minimally_accurate_model_meeting_target() {
+        let p = profile();
+        // The §H observation: INFaaS selects the *least* accurate model
+        // that satisfies the accuracy target.
+        let s = InfaasStyle::new(&p, 100, 75.0);
+        let m = s.model_for_load(10.0);
+        assert!(p.accuracy(m) >= 75.0);
+        // No Pareto model with lower latency also meets the target.
+        for &other in p.pareto_models() {
+            if p.latency(other, 1).unwrap() < p.latency(m, 1).unwrap() {
+                assert!(p.accuracy(other) < 75.0);
+            }
+        }
+    }
+
+    #[test]
+    fn higher_target_means_slower_model() {
+        let p = profile();
+        let lo = InfaasStyle::new(&p, 100, 70.0).model_for_load(10.0);
+        let hi = InfaasStyle::new(&p, 100, 85.0).model_for_load(10.0);
+        assert!(p.latency(lo, 1).unwrap() < p.latency(hi, 1).unwrap());
+        assert!(p.accuracy(hi) >= 85.0);
+    }
+
+    #[test]
+    fn overload_relaxes_throughput_not_accuracy() {
+        let p = profile();
+        let s = InfaasStyle::new(&p, 2, 85.0);
+        // 2 workers cannot sustain 5,000 QPS with an 85%-accurate model,
+        // but the accuracy SLO still binds.
+        let m = s.model_for_load(5_000.0);
+        assert!(p.accuracy(m) >= 85.0);
+    }
+
+    #[test]
+    fn impossible_accuracy_falls_back_to_fastest() {
+        let p = profile();
+        let s = InfaasStyle::new(&p, 10, 99.9);
+        assert_eq!(s.model_for_load(100.0), p.fastest_model());
+    }
+
+    #[test]
+    #[should_panic(expected = "accuracy SLO")]
+    fn rejects_bad_target() {
+        let p = profile();
+        let _ = InfaasStyle::new(&p, 1, 0.0);
+    }
+}

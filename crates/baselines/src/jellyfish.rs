@@ -1,0 +1,169 @@
+//! Jellyfish+ (paper §7, extending Jellyfish \[32\] to multiple workers).
+//!
+//! "Given some query load, Jellyfish+ selects the most accurate model
+//! such that the model's average throughput is greater than the
+//! anticipated query load, and the model's *inference latency* is less
+//! than half the latency SLO. ... Jellyfish+ estimates a model's
+//! throughput as the sum of the average profiled throughput among each
+//! worker. Workers eagerly grab and service queries from the central
+//! queue in batches up to a maximum batch size set according to
+//! adaptive batching."
+
+use ramsis_profiles::WorkerProfile;
+use ramsis_sim::scheme::SelectionContext;
+use ramsis_sim::{Routing, Selection, ServingScheme};
+
+use crate::{adaptive_batch_cap, sustains_load};
+
+/// The Jellyfish+ load-granular selector.
+pub struct JellyfishPlus {
+    /// Pareto model indices, ascending accuracy.
+    candidates: Vec<usize>,
+    batch_caps: Vec<u32>,
+    workers: usize,
+    profile: WorkerProfile,
+}
+
+impl JellyfishPlus {
+    /// Builds the selector for a worker profile and worker count.
+    pub fn new(profile: &WorkerProfile, workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        let candidates: Vec<usize> = profile.pareto_models().to_vec();
+        let batch_caps = (0..profile.n_models())
+            .map(|m| adaptive_batch_cap(profile, m))
+            .collect();
+        Self {
+            candidates,
+            batch_caps,
+            workers,
+            profile: profile.clone(),
+        }
+    }
+
+    /// The model Jellyfish+ would pick at a given anticipated load: the
+    /// most accurate Pareto model meeting the half-SLO latency rule and
+    /// the summed-throughput feasibility rule; the fastest model when
+    /// nothing is feasible (it never drops queries, §7).
+    pub fn model_for_load(&self, load_qps: f64) -> usize {
+        let half_slo = self.profile.slo() / 2.0;
+        self.candidates
+            .iter()
+            .rev() // Pareto front is sorted ascending accuracy.
+            .copied()
+            .find(|&m| {
+                let batch1_ok = self.profile.latency(m, 1).is_some_and(|l| l < half_slo);
+                batch1_ok && sustains_load(&self.profile, m, self.workers, load_qps)
+            })
+            .unwrap_or_else(|| self.profile.fastest_model())
+    }
+}
+
+impl ServingScheme for JellyfishPlus {
+    fn name(&self) -> &str {
+        "Jellyfish+"
+    }
+
+    fn routing(&self) -> Routing {
+        Routing::Central
+    }
+
+    fn select(&mut self, ctx: &SelectionContext) -> Selection {
+        let model = self.model_for_load(ctx.load_qps);
+        Selection::Serve {
+            model,
+            batch: (ctx.queued as u32).min(self.batch_caps[model]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ramsis_profiles::{ModelCatalog, ProfilerConfig};
+    use std::time::Duration;
+
+    fn profile() -> WorkerProfile {
+        WorkerProfile::build(
+            &ModelCatalog::torchvision_image(),
+            Duration::from_millis(300),
+            ProfilerConfig::default(),
+        )
+    }
+
+    #[test]
+    fn model_choice_degrades_with_load() {
+        let p = profile();
+        let jf = JellyfishPlus::new(&p, 10);
+        let m_low = jf.model_for_load(50.0);
+        let m_mid = jf.model_for_load(600.0);
+        let m_high = jf.model_for_load(5_000.0);
+        assert!(p.accuracy(m_low) >= p.accuracy(m_mid));
+        assert!(p.accuracy(m_mid) >= p.accuracy(m_high));
+        // Monstrous overload: only the fastest model remains.
+        assert_eq!(jf.model_for_load(1e9), p.fastest_model());
+    }
+
+    #[test]
+    fn choice_is_load_granular() {
+        // The defining limitation (§2.2): the load uniquely determines
+        // the model, regardless of instantaneous queue state.
+        let p = profile();
+        let mut jf = JellyfishPlus::new(&p, 10);
+        let base = SelectionContext {
+            now_s: 0.0,
+            load_qps: 400.0,
+            queued: 1,
+            earliest_slack_s: 0.3,
+            worker: 0,
+        };
+        let Selection::Serve { model: m1, .. } = jf.select(&base) else {
+            panic!("must serve");
+        };
+        // Same load, totally different queue states: same model.
+        let Selection::Serve { model: m2, .. } = jf.select(&SelectionContext {
+            queued: 30,
+            earliest_slack_s: 0.01,
+            ..base
+        }) else {
+            panic!("must serve");
+        };
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn half_slo_rule_excludes_slow_models() {
+        let p = profile();
+        let jf = JellyfishPlus::new(&p, 1_000);
+        // Even with absurd worker counts (throughput never binds), the
+        // selected model must have batch-1 latency < SLO/2.
+        let m = jf.model_for_load(1.0);
+        assert!(p.latency(m, 1).unwrap() < p.slo() / 2.0);
+    }
+
+    #[test]
+    fn more_workers_allow_more_accurate_models() {
+        let p = profile();
+        let load = 2_000.0;
+        let few = JellyfishPlus::new(&p, 10).model_for_load(load);
+        let many = JellyfishPlus::new(&p, 100).model_for_load(load);
+        assert!(p.accuracy(many) >= p.accuracy(few));
+    }
+
+    #[test]
+    fn batches_capped_by_adaptive_rule() {
+        let p = profile();
+        let mut jf = JellyfishPlus::new(&p, 10);
+        let ctx = SelectionContext {
+            now_s: 0.0,
+            load_qps: 100.0,
+            queued: 10_000,
+            earliest_slack_s: 0.3,
+            worker: 0,
+        };
+        let Selection::Serve { model, batch } = jf.select(&ctx) else {
+            panic!("must serve");
+        };
+        let cap = adaptive_batch_cap(&p, model);
+        assert_eq!(batch, cap);
+    }
+}

@@ -1,0 +1,64 @@
+//! State-of-the-art load-granular MS&S baselines (paper §7).
+//!
+//! All baselines share the eager central-queue architecture: "workers
+//! eagerly grab and service queries from the central queue in batches up
+//! to a maximum batch size set according to adaptive batching \[7\]", and
+//! all are *load-granular* — the anticipated query load uniquely
+//! determines the selected model, and selections change only when the
+//! load changes (§2.2).
+//!
+//! - [`jellyfish::JellyfishPlus`] — Jellyfish \[32\] extended with
+//!   multi-worker load balancing: the most accurate model whose summed
+//!   average throughput sustains the load and whose inference latency is
+//!   below half the SLO (headroom for worst-case queueing).
+//! - [`model_switching::ModelSwitching`] — selects the most accurate
+//!   model whose offline-profiled 99th-percentile *response* latency
+//!   under the anticipated load is below the SLO; the offline profiling
+//!   sweep itself is reproduced in
+//!   [`model_switching::profile_response_latency`].
+//! - [`infaas::InfaasStyle`] — the §H adaptation: given an accuracy SLO,
+//!   the lowest-latency (lowest-cost) model that satisfies both the
+//!   accuracy target and the load.
+//! - [`fixed::FixedModel`] — pin one model (used by the ModelSwitching
+//!   profiler and as an ablation control).
+//! - [`greedy::GreedyDeadline`] — the MDInference/ALERT-style greedy
+//!   selector of §8: most accurate model fitting the current deadline,
+//!   with no model of future arrivals. Its burst behaviour is the
+//!   cleanest ablation of RAMSIS's inter-arrival awareness.
+
+pub mod fixed;
+pub mod greedy;
+pub mod infaas;
+pub mod jellyfish;
+pub mod model_switching;
+
+pub use fixed::FixedModel;
+pub use greedy::GreedyDeadline;
+pub use infaas::InfaasStyle;
+pub use jellyfish::JellyfishPlus;
+pub use model_switching::{profile_response_latency, ModelSwitching, ResponseLatencyTable};
+
+use ramsis_profiles::WorkerProfile;
+
+/// The adaptive batch cap shared by the eager baselines: the largest
+/// batch of `model` whose profile latency stays within half the SLO
+/// (falling back to single-query batches when even batch 1 exceeds it).
+pub(crate) fn adaptive_batch_cap(profile: &WorkerProfile, model: usize) -> u32 {
+    profile
+        .max_batch_within(model, profile.slo() / 2.0)
+        .unwrap_or(1)
+}
+
+/// Shared feasibility rule: whether `model`'s summed average throughput
+/// across `workers` workers sustains `load_qps` with every batch kept
+/// within half the SLO.
+pub(crate) fn sustains_load(
+    profile: &WorkerProfile,
+    model: usize,
+    workers: usize,
+    load_qps: f64,
+) -> bool {
+    profile
+        .max_throughput_within(model, profile.slo() / 2.0)
+        .is_some_and(|per_worker| per_worker * workers as f64 >= load_qps)
+}

@@ -1,0 +1,283 @@
+//! ModelSwitching (paper §7, after Zhang et al. \[57\]).
+//!
+//! "ModelSwitching measures the *response latency* of each model under
+//! anticipated query loads offline. Given some query load, it selects
+//! the most accurate model such that the model's 99th percentile
+//! response latency is less than the latency SLO under the anticipated
+//! query load. ... The response latency of each model is collected in an
+//! offline profiling step over the relevant range of query load (i.e.,
+//! 400 to 4000 QPS in increments of 100 QPS) on all evaluated resource
+//! configurations."
+//!
+//! The profiling step is reproduced here by running the simulator with a
+//! pinned model ([`crate::fixed::FixedModel`]) per (model, load) point —
+//! the Rust analogue of the artifact's `MS_gen.py`.
+
+use serde::{Deserialize, Serialize};
+
+use ramsis_profiles::WorkerProfile;
+use ramsis_sim::scheme::SelectionContext;
+use ramsis_sim::{Routing, Selection, ServingScheme, Simulation, SimulationConfig};
+use ramsis_workload::{LoadMonitor, Trace};
+
+use crate::adaptive_batch_cap;
+use crate::fixed::FixedModel;
+
+/// The offline p99-response-latency table: one row per profiled load,
+/// one column per model (Pareto-front models only; a dominated model is
+/// never the most accurate feasible choice).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResponseLatencyTable {
+    /// Worker count the sweep was run with.
+    pub workers: usize,
+    /// Profiled loads, ascending (QPS).
+    pub loads: Vec<f64>,
+    /// Profiled model indices (into the worker profile).
+    pub models: Vec<usize>,
+    /// `p99[i][j]`: p99 response latency (seconds) of `models[j]` at
+    /// `loads[i]`.
+    pub p99: Vec<Vec<f64>>,
+}
+
+impl ResponseLatencyTable {
+    /// p99 response latency of `model` at the smallest profiled load
+    /// `≥ load_qps` (conservative); the largest profiled load if the
+    /// anticipated load exceeds the sweep.
+    pub fn lookup(&self, model: usize, load_qps: f64) -> Option<f64> {
+        let j = self.models.iter().position(|&m| m == model)?;
+        let i = self
+            .loads
+            .partition_point(|&l| l < load_qps - 1e-9)
+            .min(self.loads.len() - 1);
+        Some(self.p99[i][j])
+    }
+}
+
+/// Runs the offline ModelSwitching profiling sweep: for every
+/// (Pareto model, load) pair, simulate `duration_s` seconds of Poisson
+/// traffic with the model pinned and record the p99 response latency.
+///
+/// # Panics
+///
+/// Panics if `loads` is empty or not ascending, or `duration_s` is not
+/// positive.
+pub fn profile_response_latency(
+    profile: &WorkerProfile,
+    workers: usize,
+    loads: &[f64],
+    duration_s: f64,
+    seed: u64,
+) -> ResponseLatencyTable {
+    assert!(!loads.is_empty(), "need at least one load");
+    assert!(
+        loads.windows(2).all(|w| w[0] < w[1]),
+        "loads must be strictly ascending"
+    );
+    assert!(duration_s > 0.0, "duration must be positive");
+    let models: Vec<usize> = profile.pareto_models().to_vec();
+    let mut p99 = Vec::with_capacity(loads.len());
+    for (li, &load) in loads.iter().enumerate() {
+        let trace = Trace::constant(load, duration_s);
+        let mut row = Vec::with_capacity(models.len());
+        for (mi, &m) in models.iter().enumerate() {
+            let sim = Simulation::new(
+                profile,
+                SimulationConfig::new(workers, profile.slo())
+                    .seeded(seed ^ ((li as u64) << 32) ^ mi as u64),
+            );
+            let mut scheme = FixedModel::new(profile, m);
+            let mut monitor = LoadMonitor::new();
+            let report = sim.run(&trace, &mut scheme, &mut monitor);
+            row.push(report.p99_response_s);
+        }
+        p99.push(row);
+    }
+    ResponseLatencyTable {
+        workers,
+        loads: loads.to_vec(),
+        models,
+        p99,
+    }
+}
+
+/// The ModelSwitching load-granular selector.
+pub struct ModelSwitching {
+    table: ResponseLatencyTable,
+    batch_caps: Vec<u32>,
+    slo: f64,
+    fastest: usize,
+    accuracies: Vec<f64>,
+}
+
+impl ModelSwitching {
+    /// Builds the selector from an offline profiling table.
+    pub fn new(profile: &WorkerProfile, table: ResponseLatencyTable) -> Self {
+        let batch_caps = (0..profile.n_models())
+            .map(|m| adaptive_batch_cap(profile, m))
+            .collect();
+        let accuracies = (0..profile.n_models())
+            .map(|m| profile.accuracy(m))
+            .collect();
+        Self {
+            table,
+            batch_caps,
+            slo: profile.slo(),
+            fastest: profile.fastest_model(),
+            accuracies,
+        }
+    }
+
+    /// Convenience: run the offline sweep and build the selector.
+    pub fn profiled(
+        profile: &WorkerProfile,
+        workers: usize,
+        loads: &[f64],
+        duration_s: f64,
+        seed: u64,
+    ) -> Self {
+        let table = profile_response_latency(profile, workers, loads, duration_s, seed);
+        Self::new(profile, table)
+    }
+
+    /// The model ModelSwitching would pick at a given anticipated load:
+    /// the most accurate profiled model whose p99 response latency is
+    /// below the SLO; the fastest model when nothing qualifies.
+    pub fn model_for_load(&self, load_qps: f64) -> usize {
+        self.table
+            .models
+            .iter()
+            .copied()
+            .filter(|&m| {
+                self.table
+                    .lookup(m, load_qps)
+                    .is_some_and(|p99| p99 < self.slo)
+            })
+            .max_by(|&a, &b| {
+                self.accuracies[a]
+                    .partial_cmp(&self.accuracies[b])
+                    .expect("accuracies are finite")
+            })
+            .unwrap_or(self.fastest)
+    }
+
+    /// The offline table (for inspection and serialization).
+    pub fn table(&self) -> &ResponseLatencyTable {
+        &self.table
+    }
+}
+
+impl ServingScheme for ModelSwitching {
+    fn name(&self) -> &str {
+        "ModelSwitching"
+    }
+
+    fn routing(&self) -> Routing {
+        Routing::Central
+    }
+
+    fn select(&mut self, ctx: &SelectionContext) -> Selection {
+        let model = self.model_for_load(ctx.load_qps);
+        Selection::Serve {
+            model,
+            batch: (ctx.queued as u32).min(self.batch_caps[model]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ramsis_profiles::{ModelCatalog, ProfilerConfig};
+    use std::time::Duration;
+
+    fn profile() -> &'static WorkerProfile {
+        use std::sync::OnceLock;
+        static PROFILE: OnceLock<WorkerProfile> = OnceLock::new();
+        PROFILE.get_or_init(|| {
+            WorkerProfile::build(
+                &ModelCatalog::torchvision_image(),
+                Duration::from_millis(300),
+                ProfilerConfig::default(),
+            )
+        })
+    }
+
+    fn table() -> &'static ResponseLatencyTable {
+        use std::sync::OnceLock;
+        static TABLE: OnceLock<ResponseLatencyTable> = OnceLock::new();
+        TABLE.get_or_init(|| {
+            profile_response_latency(profile(), 10, &[100.0, 400.0, 800.0, 1_200.0], 5.0, 3)
+        })
+    }
+
+    #[test]
+    fn p99_grows_with_load() {
+        let t = table();
+        // For each model, p99 response latency is (weakly) increasing in
+        // load once queueing kicks in; compare the endpoints.
+        for j in 0..t.models.len() {
+            let lo = t.p99[0][j];
+            let hi = t.p99[t.loads.len() - 1][j];
+            assert!(
+                hi >= lo * 0.9,
+                "model {} p99 shrank implausibly: {lo} -> {hi}",
+                t.models[j]
+            );
+        }
+    }
+
+    #[test]
+    fn slow_models_saturate_at_high_load() {
+        let t = table();
+        // The most accurate Pareto model cannot sustain 1,200 QPS on 10
+        // workers: its p99 at the top load must blow past the SLO.
+        let j = t.models.len() - 1;
+        assert!(
+            t.p99[t.loads.len() - 1][j] > profile().slo(),
+            "p99 = {}",
+            t.p99[t.loads.len() - 1][j]
+        );
+    }
+
+    #[test]
+    fn lookup_rounds_load_up() {
+        let t = table();
+        let m = t.models[0];
+        // 250 QPS looks up the 400-QPS row.
+        assert_eq!(t.lookup(m, 250.0), Some(t.p99[1][0]));
+        // Exact hits stay put; beyond-range clamps to the last row.
+        assert_eq!(t.lookup(m, 100.0), Some(t.p99[0][0]));
+        assert_eq!(t.lookup(m, 99_999.0), Some(t.p99[3][0]));
+        assert_eq!(t.lookup(999, 100.0), None);
+    }
+
+    #[test]
+    fn model_choice_degrades_with_load() {
+        let ms = ModelSwitching::new(profile(), table().clone());
+        let p = profile();
+        let m_low = ms.model_for_load(100.0);
+        let m_high = ms.model_for_load(1_200.0);
+        assert!(p.accuracy(m_low) >= p.accuracy(m_high));
+        // At the lightest profiled load a clearly more accurate model
+        // than the fastest is feasible (10 QPS per worker).
+        assert!(
+            p.accuracy(m_low) > p.accuracy(p.fastest_model()) + 10.0,
+            "picked {} at light load",
+            p.models[m_low].name
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = table();
+        let json = serde_json::to_string(t).unwrap();
+        let back: ResponseLatencyTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(*t, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn rejects_unsorted_loads() {
+        let _ = profile_response_latency(profile(), 2, &[400.0, 100.0], 1.0, 0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Minimal command-line handling shared by the experiment binaries.
+//!
+//! Flags mirror the paper artifact's scripts (`--task`, `--SLO`,
+//! `--worker`, `--load`) plus `--full` to switch from the quick default
+//! grids to the paper's grids, and `--out` to redirect the results
+//! directory.
+
+use std::path::PathBuf;
+
+use ramsis_profiles::Task;
+
+/// Parsed experiment flags.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentArgs {
+    /// Use the paper's full parameter grids instead of the quick ones.
+    pub full: bool,
+    /// Restrict to one task (default: experiment-specific).
+    pub task: Option<Task>,
+    /// Override the latency SLO in milliseconds.
+    pub slo_ms: Option<u64>,
+    /// Override the worker count.
+    pub workers: Option<usize>,
+    /// Override the query load (QPS) for single-load experiments.
+    pub load: Option<f64>,
+    /// Output directory for JSON/CSV results.
+    pub out_dir: PathBuf,
+}
+
+impl Default for ExperimentArgs {
+    fn default() -> Self {
+        Self {
+            full: false,
+            task: None,
+            slo_ms: None,
+            workers: None,
+            load: None,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+impl ExperimentArgs {
+    /// Parses `std::env::args`, exiting with a usage message on error.
+    pub fn parse() -> Self {
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(a) => a,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!(
+                    "usage: [--full] [--task image|text] [--slo MS] [--workers N] \
+                     [--load QPS] [--out DIR]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an explicit argument list (testable core of [`Self::parse`]).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut out = Self::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            let mut value =
+                |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+            match arg.as_str() {
+                "--full" => out.full = true,
+                "--task" => {
+                    out.task = Some(match value("--task")?.as_str() {
+                        "image" => Task::ImageClassification,
+                        "text" => Task::TextClassification,
+                        other => return Err(format!("unknown task {other:?}")),
+                    })
+                }
+                "--slo" | "--SLO" => {
+                    out.slo_ms = Some(
+                        value("--slo")?
+                            .parse()
+                            .map_err(|e| format!("bad --slo: {e}"))?,
+                    )
+                }
+                "--workers" | "--worker" => {
+                    out.workers = Some(
+                        value("--workers")?
+                            .parse()
+                            .map_err(|e| format!("bad --workers: {e}"))?,
+                    )
+                }
+                "--load" => {
+                    out.load = Some(
+                        value("--load")?
+                            .parse()
+                            .map_err(|e| format!("bad --load: {e}"))?,
+                    )
+                }
+                "--out" => out.out_dir = PathBuf::from(value("--out")?),
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// The tasks this run covers: the `--task` restriction or both.
+    pub fn tasks(&self) -> Vec<Task> {
+        match self.task {
+            Some(t) => vec![t],
+            None => vec![Task::ImageClassification, Task::TextClassification],
+        }
+    }
+
+    /// The SLOs (seconds) to evaluate for `task`: the `--slo` override,
+    /// else all three paper SLOs in full mode, else just the tightest.
+    pub fn slos_for(&self, task: Task) -> Vec<f64> {
+        if let Some(ms) = self.slo_ms {
+            return vec![ms as f64 / 1e3];
+        }
+        let all = task.paper_slos();
+        if self.full {
+            all.to_vec()
+        } else {
+            vec![all[0]]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<ExperimentArgs, String> {
+        ExperimentArgs::parse_from(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]).unwrap();
+        assert!(!a.full);
+        assert_eq!(a.tasks().len(), 2);
+        assert_eq!(a.out_dir, PathBuf::from("results"));
+    }
+
+    #[test]
+    fn full_flags() {
+        let a = parse(&[
+            "--full",
+            "--task",
+            "image",
+            "--slo",
+            "300",
+            "--workers",
+            "60",
+            "--load",
+            "2400",
+            "--out",
+            "/tmp/r",
+        ])
+        .unwrap();
+        assert!(a.full);
+        assert_eq!(a.task, Some(Task::ImageClassification));
+        assert_eq!(a.slo_ms, Some(300));
+        assert_eq!(a.workers, Some(60));
+        assert_eq!(a.load, Some(2400.0));
+        assert_eq!(a.out_dir, PathBuf::from("/tmp/r"));
+        assert_eq!(a.slos_for(Task::ImageClassification), vec![0.3]);
+    }
+
+    #[test]
+    fn artifact_style_aliases() {
+        let a = parse(&["--SLO", "200", "--worker", "20"]).unwrap();
+        assert_eq!(a.slo_ms, Some(200));
+        assert_eq!(a.workers, Some(20));
+    }
+
+    #[test]
+    fn slo_defaults_by_mode() {
+        let quick = parse(&[]).unwrap();
+        assert_eq!(quick.slos_for(Task::ImageClassification), vec![0.15]);
+        let full = parse(&["--full"]).unwrap();
+        assert_eq!(full.slos_for(Task::TextClassification), vec![0.1, 0.2, 0.3]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse(&["--task", "audio"]).is_err());
+        assert!(parse(&["--slo"]).is_err());
+        assert!(parse(&["--wat"]).is_err());
+        assert!(parse(&["--workers", "x"]).is_err());
+    }
+}

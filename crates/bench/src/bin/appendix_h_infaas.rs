@@ -1,0 +1,146 @@
+//! Appendix §H: the INFaaS-style selector swept over accuracy targets.
+//!
+//! INFaaS minimizes cost (latency) subject to accuracy and latency
+//! SLOs; adapted to the paper's evaluation by sweeping accuracy targets
+//! equal to each model's accuracy. Expected shape: for every target,
+//! INFaaS pins the *minimally* accurate qualifying model, so it "performs
+//! no better than RAMSIS or the baselines" — its achieved accuracy
+//! roughly equals the target while RAMSIS at the same load does better
+//! without needing a target at all.
+
+use ramsis_baselines::InfaasStyle;
+use ramsis_bench::harness::{
+    build_profile, constant_load_workers, pct, ramsis_config, ramsis_policy_set, run_scheme,
+    MonitorKind,
+};
+use ramsis_bench::{render_table, write_csv, write_json, ExperimentArgs};
+use ramsis_profiles::Task;
+use ramsis_sim::{LatencyMode, RamsisScheme};
+use ramsis_workload::Trace;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    accuracy_target: f64,
+    load_qps: f64,
+    infaas_accuracy: f64,
+    infaas_violation: f64,
+    ramsis_accuracy: f64,
+    ramsis_violation: f64,
+}
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let task = args.task.unwrap_or(Task::ImageClassification);
+    let slo_s = args.slos_for(task)[0];
+    let workers = args.workers.unwrap_or_else(|| constant_load_workers(task));
+    let d = if args.full { 100 } else { 25 };
+    let loads: Vec<f64> = if let Some(l) = args.load {
+        vec![l]
+    } else {
+        vec![800.0, 2_000.0, 3_200.0]
+    };
+    let profile = build_profile(task, slo_s);
+    let config = ramsis_config(slo_s, workers, d);
+    let set = ramsis_policy_set(&args.out_dir, &profile, &loads, &config);
+
+    // Accuracy targets: the achievable model accuracies (§H's sweep).
+    let targets: Vec<f64> = profile
+        .pareto_models()
+        .iter()
+        .map(|&m| profile.accuracy(m))
+        .collect();
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut table = Vec::new();
+    for &load in &loads {
+        let trace = Trace::constant(load, 30.0);
+        let seed = 0xAF ^ load as u64;
+        let mut ramsis = RamsisScheme::new(set.clone());
+        let r_ramsis = run_scheme(
+            &profile,
+            workers,
+            &trace,
+            &mut ramsis,
+            MonitorKind::Oracle,
+            LatencyMode::DeterministicP95,
+            seed,
+        );
+        for &target in &targets {
+            let mut scheme = InfaasStyle::new(&profile, workers, target);
+            let r = run_scheme(
+                &profile,
+                workers,
+                &trace,
+                &mut scheme,
+                MonitorKind::Oracle,
+                LatencyMode::DeterministicP95,
+                seed,
+            );
+            table.push(vec![
+                format!("{load}"),
+                format!("{target:.2}"),
+                format!("{:.2}", r.accuracy_per_satisfied_query),
+                pct(r.violation_rate),
+                format!("{:.2}", r_ramsis.accuracy_per_satisfied_query),
+                pct(r_ramsis.violation_rate),
+            ]);
+            rows.push(Row {
+                accuracy_target: target,
+                load_qps: load,
+                infaas_accuracy: r.accuracy_per_satisfied_query,
+                infaas_violation: r.violation_rate,
+                ramsis_accuracy: r_ramsis.accuracy_per_satisfied_query,
+                ramsis_violation: r_ramsis.violation_rate,
+            });
+        }
+    }
+
+    println!(
+        "\n=== Appendix H — INFaaS-style accuracy-target sweep, {} task, SLO {:.0} ms, \
+         {workers} workers ===",
+        task.name(),
+        slo_s * 1e3
+    );
+    let header = [
+        "load_qps",
+        "target_%",
+        "INFaaS_acc",
+        "INFaaS_viol",
+        "RAMSIS_acc",
+        "RAMSIS_viol",
+    ];
+    println!("{}", render_table(&header, &table));
+
+    // §H's observation: INFaaS's achieved accuracy tracks the target
+    // from below-equal (it minimizes accuracy subject to the target),
+    // while RAMSIS needs no target and at least matches the best
+    // satisfiable INFaaS configuration.
+    let mut tracked = 0;
+    let mut total = 0;
+    for r in rows.iter().filter(|r| r.infaas_violation < 0.05) {
+        total += 1;
+        if r.infaas_accuracy <= r.accuracy_target + 3.0 {
+            tracked += 1;
+        }
+    }
+    println!(
+        "INFaaS achieved accuracy stays near its target in {tracked}/{total} satisfiable runs"
+    );
+    for &load in &loads {
+        let best_infaas = rows
+            .iter()
+            .filter(|r| r.load_qps == load && r.infaas_violation < 0.05)
+            .map(|r| r.infaas_accuracy)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let ramsis = rows
+            .iter()
+            .find(|r| r.load_qps == load)
+            .map(|r| r.ramsis_accuracy)
+            .unwrap_or(f64::NAN);
+        println!("load {load}: best satisfiable INFaaS {best_infaas:.2}% vs RAMSIS {ramsis:.2}%");
+    }
+
+    write_json(&args.out_dir, "appendix_h_infaas", &rows);
+    write_csv(&args.out_dir, "appendix_h_infaas", &header, &table);
+}

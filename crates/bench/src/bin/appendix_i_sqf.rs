@@ -1,0 +1,156 @@
+//! Appendix §I: RAMSIS with shortest-queue-first load balancing.
+//!
+//! Only the MDP transition probabilities depend on the balancing
+//! strategy; this binary generates policies under the §I conditional-
+//! Poisson JSQ model, deploys them with SQF routing in the simulator,
+//! and compares against the default round-robin RAMSIS at constant
+//! loads.
+//!
+//! Expected shape: both balancers achieve comparable accuracy at
+//! satisfiable loads (JSQ tends to shave tail violations; round-robin
+//! is what the paper evaluates end to end).
+
+use ramsis_bench::harness::{
+    build_profile, constant_load_workers, pct, ramsis_policy_set, run_scheme, MonitorKind,
+};
+use ramsis_bench::{render_table, write_csv, write_json, ExperimentArgs};
+use ramsis_core::{Balancing, Discretization, PolicyConfig};
+use ramsis_profiles::Task;
+use ramsis_sim::{LatencyMode, RamsisScheme};
+use ramsis_workload::Trace;
+use serde::Serialize;
+use std::time::Duration;
+
+#[derive(Serialize)]
+struct Row {
+    balancer: String,
+    load_qps: f64,
+    accuracy: f64,
+    violation_rate: f64,
+    p99_response_ms: f64,
+}
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let task = args.task.unwrap_or(Task::ImageClassification);
+    let slo_s = args.slos_for(task)[0];
+    let workers = args.workers.unwrap_or_else(|| constant_load_workers(task));
+    let d = if args.full { 100 } else { 25 };
+    let load_step = if args.full { 400 } else { 800 };
+    let loads: Vec<f64> = (1..)
+        .map(|i| (400 + (i - 1) * load_step) as f64)
+        .take_while(|&l| l <= 4_000.0)
+        .collect();
+    let profile = build_profile(task, slo_s);
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (label, balancing) in [
+        ("round-robin", Balancing::RoundRobin),
+        ("shortest-queue", Balancing::ShortestQueueFirst),
+    ] {
+        let config = PolicyConfig::builder(Duration::from_secs_f64(slo_s))
+            .workers(workers)
+            .discretization(Discretization::fixed_length(d))
+            .balancing(balancing)
+            .build();
+        let set = ramsis_policy_set(&args.out_dir, &profile, &loads, &config);
+        for &load in &loads {
+            let trace = Trace::constant(load, 30.0);
+            let mut scheme = match balancing {
+                Balancing::RoundRobin => RamsisScheme::new(set.clone()),
+                Balancing::ShortestQueueFirst => RamsisScheme::with_shortest_queue(set.clone()),
+            };
+            let r = run_scheme(
+                &profile,
+                workers,
+                &trace,
+                &mut scheme,
+                MonitorKind::Oracle,
+                LatencyMode::DeterministicP95,
+                0xA1 ^ load as u64,
+            );
+            rows.push(Row {
+                balancer: label.to_string(),
+                load_qps: load,
+                accuracy: r.accuracy_per_satisfied_query,
+                violation_rate: r.violation_rate,
+                p99_response_ms: r.p99_response_s * 1e3,
+            });
+        }
+    }
+
+    println!(
+        "\n=== Appendix I — load balancing strategies, {} task, SLO {:.0} ms, \
+         {workers} workers ===",
+        task.name(),
+        slo_s * 1e3
+    );
+    let mut table = Vec::new();
+    for &load in &loads {
+        let get = |label: &str| {
+            rows.iter()
+                .find(|r| r.balancer == label && r.load_qps == load)
+                .expect("all combinations ran")
+        };
+        let rr = get("round-robin");
+        let sq = get("shortest-queue");
+        table.push(vec![
+            format!("{load}"),
+            format!("{:.2}", rr.accuracy),
+            format!("{:.2}", sq.accuracy),
+            pct(rr.violation_rate),
+            pct(sq.violation_rate),
+            format!("{:.1}", rr.p99_response_ms),
+            format!("{:.1}", sq.p99_response_ms),
+        ]);
+    }
+    let header = [
+        "load_qps",
+        "RR_acc",
+        "SQF_acc",
+        "RR_viol",
+        "SQF_viol",
+        "RR_p99_ms",
+        "SQF_p99_ms",
+    ];
+    println!("{}", render_table(&header, &table));
+
+    let mean = |label: &str| {
+        let pts: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.balancer == label && r.violation_rate < 0.05)
+            .map(|r| r.accuracy)
+            .collect();
+        pts.iter().sum::<f64>() / pts.len().max(1) as f64
+    };
+    println!(
+        "mean satisfiable accuracy: round-robin {:.2}%, shortest-queue {:.2}%",
+        mean("round-robin"),
+        mean("shortest-queue")
+    );
+
+    write_json(&args.out_dir, "appendix_i_sqf", &rows);
+    write_csv(
+        &args.out_dir,
+        "appendix_i_sqf",
+        &[
+            "balancer",
+            "load_qps",
+            "accuracy",
+            "violation_rate",
+            "p99_response_ms",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.balancer.clone(),
+                    format!("{}", r.load_qps),
+                    format!("{:.4}", r.accuracy),
+                    format!("{:.6}", r.violation_rate),
+                    format!("{:.2}", r.p99_response_ms),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}

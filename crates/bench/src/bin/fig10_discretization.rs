@@ -1,0 +1,158 @@
+//! Fig. 10 (appendix §C): impact of the time-discretization strategy.
+//!
+//! RAMSIS with FLD `D ∈ {2, 10, 100}` versus model-based discretization
+//! (MD), image task, constant loads.
+//!
+//! Expected shape: accuracy improves with `D` with diminishing returns;
+//! `D = 100` matches MD; `D = 2` is noticeably conservative.
+
+use ramsis_bench::harness::{
+    build_profile, constant_load_workers, pct, ramsis_policy_set, run_scheme, MonitorKind,
+};
+use ramsis_bench::{ascii_plot, render_table, write_csv, write_json, ExperimentArgs};
+use ramsis_core::{Discretization, PolicyConfig};
+use ramsis_profiles::Task;
+use ramsis_sim::{LatencyMode, RamsisScheme};
+use ramsis_workload::Trace;
+use serde::Serialize;
+use std::time::Duration;
+
+#[derive(Serialize)]
+struct Row {
+    strategy: String,
+    load_qps: f64,
+    accuracy: f64,
+    violation_rate: f64,
+}
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let task = args.task.unwrap_or(Task::ImageClassification);
+    let slo_s = args.slos_for(task)[0];
+    let workers = args.workers.unwrap_or_else(|| constant_load_workers(task));
+    let load_step = if args.full { 400 } else { 800 };
+    let loads: Vec<f64> = (1..)
+        .map(|i| (400 + (i - 1) * load_step) as f64)
+        .take_while(|&l| l <= 4_000.0)
+        .collect();
+    let profile = build_profile(task, slo_s);
+
+    let strategies: Vec<(String, Discretization)> = vec![
+        ("FLD D=2".into(), Discretization::fixed_length(2)),
+        ("FLD D=10".into(), Discretization::fixed_length(10)),
+        ("FLD D=100".into(), Discretization::fixed_length(100)),
+        ("MD".into(), Discretization::ModelBased),
+    ];
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (label, disc) in &strategies {
+        let config = PolicyConfig::builder(Duration::from_secs_f64(slo_s))
+            .workers(workers)
+            .discretization(*disc)
+            .build();
+        let set = ramsis_policy_set(&args.out_dir, &profile, &loads, &config);
+        for &load in &loads {
+            let trace = Trace::constant(load, 30.0);
+            let mut scheme = RamsisScheme::new(set.clone());
+            let r = run_scheme(
+                &profile,
+                workers,
+                &trace,
+                &mut scheme,
+                MonitorKind::Oracle,
+                LatencyMode::DeterministicP95,
+                0xF10 ^ load as u64,
+            );
+            rows.push(Row {
+                strategy: label.clone(),
+                load_qps: load,
+                accuracy: r.accuracy_per_satisfied_query,
+                violation_rate: r.violation_rate,
+            });
+        }
+    }
+
+    println!(
+        "\n=== Fig. 10 — time discretization, {} task, SLO {:.0} ms, {workers} workers ===",
+        task.name(),
+        slo_s * 1e3
+    );
+    let mut table = Vec::new();
+    for &load in &loads {
+        let mut row = vec![format!("{load}")];
+        for (label, _) in &strategies {
+            let r = rows
+                .iter()
+                .find(|r| &r.strategy == label && r.load_qps == load)
+                .expect("all combinations ran");
+            row.push(format!("{:.2}", r.accuracy));
+            row.push(pct(r.violation_rate));
+        }
+        table.push(row);
+    }
+    let header = [
+        "load_qps",
+        "D=2_acc",
+        "D=2_viol",
+        "D=10_acc",
+        "D=10_viol",
+        "D=100_acc",
+        "D=100_viol",
+        "MD_acc",
+        "MD_viol",
+    ];
+    println!("{}", render_table(&header, &table));
+
+    // Headline: mean satisfiable accuracy per strategy (ordering check).
+    let mut summary = Vec::new();
+    for (label, _) in &strategies {
+        let pts: Vec<f64> = rows
+            .iter()
+            .filter(|r| &r.strategy == label && r.violation_rate < 0.05)
+            .map(|r| r.accuracy)
+            .collect();
+        let mean = pts.iter().sum::<f64>() / pts.len().max(1) as f64;
+        summary.push((label.clone(), mean));
+        println!("{label}: mean satisfiable accuracy {mean:.2}%");
+    }
+    let d100 = summary
+        .iter()
+        .find(|(l, _)| l == "FLD D=100")
+        .map(|&(_, m)| m);
+    let md = summary.iter().find(|(l, _)| l == "MD").map(|&(_, m)| m);
+    if let (Some(a), Some(b)) = (d100, md) {
+        println!("paper check: FLD D=100 within {:.2}% of MD", (a - b).abs());
+    }
+
+    let series: Vec<(String, Vec<(f64, f64)>)> = strategies
+        .iter()
+        .map(|(label, _)| {
+            (
+                label.clone(),
+                rows.iter()
+                    .filter(|r| &r.strategy == label && r.violation_rate < 0.05)
+                    .map(|r| (r.load_qps, r.accuracy))
+                    .collect(),
+            )
+        })
+        .collect();
+    println!("{}", ascii_plot(&series, 64, 12));
+
+    write_json(&args.out_dir, "fig10_discretization", &rows);
+    write_csv(
+        &args.out_dir,
+        "fig10_discretization",
+        &["strategy", "load_qps", "accuracy", "violation_rate"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.strategy.clone(),
+                    format!("{}", r.load_qps),
+                    format!("{:.4}", r.accuracy),
+                    format!("{:.6}", r.violation_rate),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}

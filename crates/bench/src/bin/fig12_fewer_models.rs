@@ -1,0 +1,201 @@
+//! Fig. 12 (appendix §E): model-set ablation — RAMSIS and Jellyfish+
+//! with the full image model set versus a 3-model subset (the
+//! minimum-latency, a medium, and a long-latency model).
+//!
+//! Expected shape: RAMSIS with only 3 models still beats Jellyfish+
+//! with all models — it "does not rely on many models to achieve high
+//! accuracy".
+
+use ramsis_baselines::JellyfishPlus;
+use ramsis_bench::harness::{
+    constant_load_workers, pct, ramsis_config, ramsis_policy_set, run_scheme, MonitorKind,
+};
+use ramsis_bench::{ascii_plot, render_table, write_csv, write_json, ExperimentArgs};
+use ramsis_profiles::{ModelCatalog, ProfilerConfig, Task, WorkerProfile};
+use ramsis_sim::{LatencyMode, RamsisScheme};
+use ramsis_workload::Trace;
+use serde::Serialize;
+use std::time::Duration;
+
+#[derive(Serialize)]
+struct Row {
+    catalog: String,
+    method: String,
+    load_qps: f64,
+    accuracy: f64,
+    violation_rate: f64,
+}
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let task = Task::ImageClassification;
+    let slo_s = args.slos_for(task)[0];
+    let workers = args.workers.unwrap_or_else(|| constant_load_workers(task));
+    let d = if args.full { 100 } else { 25 };
+    let load_step = if args.full { 400 } else { 800 };
+    let loads: Vec<f64> = (1..)
+        .map(|i| (400 + (i - 1) * load_step) as f64)
+        .take_while(|&l| l <= 4_000.0)
+        .collect();
+
+    let catalogs = [
+        ("full".to_string(), ModelCatalog::torchvision_image()),
+        ("3-model".to_string(), ModelCatalog::reduced_image_3()),
+    ];
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (label, catalog) in &catalogs {
+        let profile = WorkerProfile::build(
+            catalog,
+            Duration::from_secs_f64(slo_s),
+            ProfilerConfig::default(),
+        );
+        let config = ramsis_config(slo_s, workers, d);
+        let set = ramsis_policy_set(&args.out_dir, &profile, &loads, &config);
+        for &load in &loads {
+            let trace = Trace::constant(load, 30.0);
+            let seed = 0xF12 ^ load as u64;
+            let mut scheme = RamsisScheme::new(set.clone());
+            let r = run_scheme(
+                &profile,
+                workers,
+                &trace,
+                &mut scheme,
+                MonitorKind::Oracle,
+                LatencyMode::DeterministicP95,
+                seed,
+            );
+            rows.push(Row {
+                catalog: label.clone(),
+                method: "RAMSIS".into(),
+                load_qps: load,
+                accuracy: r.accuracy_per_satisfied_query,
+                violation_rate: r.violation_rate,
+            });
+            let mut scheme = JellyfishPlus::new(&profile, workers);
+            let r = run_scheme(
+                &profile,
+                workers,
+                &trace,
+                &mut scheme,
+                MonitorKind::Oracle,
+                LatencyMode::DeterministicP95,
+                seed,
+            );
+            rows.push(Row {
+                catalog: label.clone(),
+                method: "Jellyfish+".into(),
+                load_qps: load,
+                accuracy: r.accuracy_per_satisfied_query,
+                violation_rate: r.violation_rate,
+            });
+        }
+    }
+
+    println!(
+        "\n=== Fig. 12 — model ablation, image, SLO {:.0} ms, {workers} workers ===",
+        slo_s * 1e3
+    );
+    let mut table = Vec::new();
+    for &load in &loads {
+        let get = |cat: &str, m: &str| {
+            rows.iter()
+                .find(|r| r.catalog == cat && r.method == m && r.load_qps == load)
+                .expect("all combinations ran")
+        };
+        let rf = get("full", "RAMSIS");
+        let r3 = get("3-model", "RAMSIS");
+        let jf = get("full", "Jellyfish+");
+        let j3 = get("3-model", "Jellyfish+");
+        table.push(vec![
+            format!("{load}"),
+            format!("{:.2}", rf.accuracy),
+            format!("{:.2}", r3.accuracy),
+            format!("{:.2}", jf.accuracy),
+            format!("{:.2}", j3.accuracy),
+            pct(rf.violation_rate),
+            pct(r3.violation_rate),
+        ]);
+    }
+    let header = [
+        "load_qps",
+        "RAMSIS_full",
+        "RAMSIS_3m",
+        "JF+_full",
+        "JF+_3m",
+        "RAMSIS_full_viol",
+        "RAMSIS_3m_viol",
+    ];
+    println!("{}", render_table(&header, &table));
+
+    // Paper check (§E): with the same model set, RAMSIS always achieves
+    // higher accuracy than Jellyfish+.
+    for cat in ["full", "3-model"] {
+        let mut wins = 0;
+        let mut comparable = 0;
+        for &load in &loads {
+            let r = rows
+                .iter()
+                .find(|r| r.catalog == cat && r.method == "RAMSIS" && r.load_qps == load);
+            let j = rows
+                .iter()
+                .find(|r| r.catalog == cat && r.method == "Jellyfish+" && r.load_qps == load);
+            if let (Some(r), Some(j)) = (r, j) {
+                if r.violation_rate < 0.05 && j.violation_rate < 0.05 {
+                    comparable += 1;
+                    if r.accuracy >= j.accuracy - 1e-9 {
+                        wins += 1;
+                    }
+                }
+            }
+        }
+        println!(
+            "{cat} catalog: RAMSIS matches or beats Jellyfish+ at {wins}/{comparable} \
+             satisfiable loads (paper: always)"
+        );
+    }
+
+    let series: Vec<(String, Vec<(f64, f64)>)> = [
+        ("RAMSIS full", "full", "RAMSIS"),
+        ("J: RAMSIS 3m", "3-model", "RAMSIS"),
+        ("M: JF+ full", "full", "Jellyfish+"),
+        ("I: JF+ 3m", "3-model", "Jellyfish+"),
+    ]
+    .iter()
+    .map(|&(label, cat, m)| {
+        (
+            label.to_string(),
+            rows.iter()
+                .filter(|r| r.catalog == cat && r.method == m && r.violation_rate < 0.05)
+                .map(|r| (r.load_qps, r.accuracy))
+                .collect(),
+        )
+    })
+    .collect();
+    println!("{}", ascii_plot(&series, 64, 12));
+
+    write_json(&args.out_dir, "fig12_fewer_models", &rows);
+    write_csv(
+        &args.out_dir,
+        "fig12_fewer_models",
+        &[
+            "catalog",
+            "method",
+            "load_qps",
+            "accuracy",
+            "violation_rate",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.catalog.clone(),
+                    r.method.clone(),
+                    format!("{}", r.load_qps),
+                    format!("{:.4}", r.accuracy),
+                    format!("{:.6}", r.violation_rate),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}

@@ -1,0 +1,257 @@
+//! Fig. 5 + Table 3: RAMSIS vs Jellyfish+ vs ModelSwitching on the
+//! production (Twitter-like) trace (§7.1).
+//!
+//! The five-minute trace ranges 1,617–3,905 QPS; worker counts sweep
+//! 20–100 (quick mode: {40, 60, 80, 100}); the 500 ms moving-average
+//! load monitor anticipates load. Besides accuracy/violation curves, the
+//! headline resource-saving statistic is computed: the fewest workers
+//! RAMSIS needs to match each baseline's accuracy at each worker count.
+
+use ramsis_baselines::JellyfishPlus;
+use ramsis_bench::harness::{
+    build_profile, ms_profiling_loads, ms_scheme, pct, ramsis_config, ramsis_loads_for_range,
+    ramsis_policy_set, run_scheme, MonitorKind, RunOutcome,
+};
+use ramsis_bench::{ascii_plot, render_table, write_csv, write_json, ExperimentArgs};
+use ramsis_sim::{LatencyMode, RamsisScheme};
+use ramsis_workload::Trace;
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let worker_counts: Vec<usize> = if let Some(w) = args.workers {
+        vec![w]
+    } else if args.full {
+        (2..=10).map(|i| i * 10).collect()
+    } else {
+        vec![40, 60, 80, 100]
+    };
+    let d = if args.full { 100 } else { 25 };
+    let trace = Trace::twitter_like(42);
+    println!(
+        "production trace: {} intervals, {:.0}-{:.0} QPS, {:.0} expected queries",
+        trace.segments().len(),
+        trace.min_qps(),
+        trace.max_qps(),
+        trace.expected_queries()
+    );
+
+    let mut all_rows: Vec<RunOutcome> = Vec::new();
+    for task in args.tasks() {
+        for slo_s in args.slos_for(task) {
+            let slo_ms = (slo_s * 1e3).round() as u64;
+            println!(
+                "\n=== Fig. 5 — {} classification, SLO {slo_ms} ms ===",
+                task.name()
+            );
+            let profile = build_profile(task, slo_s);
+            let policy_loads = ramsis_loads_for_range(trace.min_qps() * 0.5, trace.max_qps(), 8);
+
+            let mut table_rows = Vec::new();
+            for &workers in &worker_counts {
+                let config = ramsis_config(slo_s, workers, d);
+                let set = ramsis_policy_set(&args.out_dir, &profile, &policy_loads, &config);
+                let ms_base = ms_scheme(
+                    &args.out_dir,
+                    &profile,
+                    workers,
+                    &ms_profiling_loads(args.full),
+                    if args.full { 10.0 } else { 5.0 },
+                );
+                let seed = 0xF05 ^ workers as u64 ^ slo_ms;
+                let mut outcomes = Vec::new();
+                {
+                    let mut scheme = RamsisScheme::new(set.clone());
+                    outcomes.push(run_scheme(
+                        &profile,
+                        workers,
+                        &trace,
+                        &mut scheme,
+                        MonitorKind::MovingAverage,
+                        LatencyMode::DeterministicP95,
+                        seed,
+                    ));
+                }
+                {
+                    let mut scheme = JellyfishPlus::new(&profile, workers);
+                    outcomes.push(run_scheme(
+                        &profile,
+                        workers,
+                        &trace,
+                        &mut scheme,
+                        MonitorKind::MovingAverage,
+                        LatencyMode::DeterministicP95,
+                        seed,
+                    ));
+                }
+                {
+                    let mut scheme =
+                        ramsis_baselines::ModelSwitching::new(&profile, ms_base.table().clone());
+                    outcomes.push(run_scheme(
+                        &profile,
+                        workers,
+                        &trace,
+                        &mut scheme,
+                        MonitorKind::MovingAverage,
+                        LatencyMode::DeterministicP95,
+                        seed,
+                    ));
+                }
+                let mut row = vec![workers.to_string()];
+                for r in &outcomes {
+                    row.push(format!("{:.2}", r.accuracy_per_satisfied_query));
+                    row.push(pct(r.violation_rate));
+                    all_rows.push(RunOutcome {
+                        task: task.name().to_string(),
+                        method: r.scheme.clone(),
+                        slo_ms,
+                        workers,
+                        load_qps: trace.expected_queries() / trace.duration(),
+                        report: r.clone(),
+                    });
+                }
+                table_rows.push(row);
+            }
+
+            let header = [
+                "workers",
+                "RAMSIS_acc",
+                "RAMSIS_viol",
+                "JF+_acc",
+                "JF+_viol",
+                "MS_acc",
+                "MS_viol",
+            ];
+            println!("{}", render_table(&header, &table_rows));
+            summarize(&all_rows, task.name(), slo_ms, &worker_counts);
+        }
+    }
+
+    write_json(&args.out_dir, "fig5_production_trace", &all_rows);
+    write_csv(
+        &args.out_dir,
+        "fig5_production_trace",
+        &[
+            "task",
+            "method",
+            "slo_ms",
+            "workers",
+            "accuracy",
+            "violation_rate",
+        ],
+        &all_rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.task.clone(),
+                    r.method.clone(),
+                    r.slo_ms.to_string(),
+                    r.workers.to_string(),
+                    format!("{:.4}", r.report.accuracy_per_satisfied_query),
+                    format!("{:.6}", r.report.violation_rate),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    write_csv(
+        &args.out_dir,
+        "table3_violation_rates",
+        &["task", "method", "slo_ms", "workers", "violation_rate"],
+        &all_rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.task.clone(),
+                    r.method.clone(),
+                    r.slo_ms.to_string(),
+                    r.workers.to_string(),
+                    pct(r.report.violation_rate),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+fn acc_of<'a>(
+    rows: &'a [RunOutcome],
+    task: &str,
+    slo_ms: u64,
+    method: &str,
+    workers: usize,
+) -> Option<&'a RunOutcome> {
+    rows.iter().find(|r| {
+        r.task == task && r.slo_ms == slo_ms && r.method == method && r.workers == workers
+    })
+}
+
+/// Prints accuracy-gain and resource-saving statistics plus the
+/// accuracy-vs-workers plot (violation rate < 5% filter, as the paper's
+/// figures apply).
+fn summarize(rows: &[RunOutcome], task: &str, slo_ms: u64, worker_counts: &[usize]) {
+    let series: Vec<(String, Vec<(f64, f64)>)> = ["RAMSIS", "Jellyfish+", "ModelSwitching"]
+        .iter()
+        .map(|&m| {
+            let pts = worker_counts
+                .iter()
+                .filter_map(|&w| {
+                    acc_of(rows, task, slo_ms, m, w)
+                        .filter(|r| r.report.violation_rate < 0.05)
+                        .map(|r| (w as f64, r.report.accuracy_per_satisfied_query))
+                })
+                .collect();
+            (m.to_string(), pts)
+        })
+        .collect();
+    println!("accuracy (%) vs workers, violation rate < 5%:");
+    println!("{}", ascii_plot(&series, 64, 12));
+
+    for baseline in ["Jellyfish+", "ModelSwitching"] {
+        let mut acc_deltas = Vec::new();
+        let mut savings = Vec::new();
+        for &w in worker_counts {
+            let (Some(r), Some(b)) = (
+                acc_of(rows, task, slo_ms, "RAMSIS", w),
+                acc_of(rows, task, slo_ms, baseline, w),
+            ) else {
+                continue;
+            };
+            if r.report.violation_rate >= 0.05 || b.report.violation_rate >= 0.05 {
+                continue;
+            }
+            acc_deltas.push(
+                r.report.accuracy_per_satisfied_query - b.report.accuracy_per_satisfied_query,
+            );
+            // Resource saving: fewest workers at which RAMSIS matches
+            // the baseline's accuracy at w workers.
+            let target = b.report.accuracy_per_satisfied_query;
+            let needed = worker_counts
+                .iter()
+                .copied()
+                .filter(|&w2| {
+                    acc_of(rows, task, slo_ms, "RAMSIS", w2).is_some_and(|r2| {
+                        r2.report.violation_rate < 0.05
+                            && r2.report.accuracy_per_satisfied_query >= target - 1e-9
+                    })
+                })
+                .min();
+            if let Some(w2) = needed {
+                if w2 <= w {
+                    savings.push((w - w2) as f64 / w as f64);
+                }
+            }
+        }
+        if acc_deltas.is_empty() {
+            continue;
+        }
+        let avg = acc_deltas.iter().sum::<f64>() / acc_deltas.len() as f64;
+        let max = acc_deltas.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        println!("RAMSIS vs {baseline}: average accuracy increase {avg:.2}%, highest {max:.2}%");
+        if !savings.is_empty() {
+            let avg_s = 100.0 * savings.iter().sum::<f64>() / savings.len() as f64;
+            let max_s = 100.0 * savings.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            println!(
+                "RAMSIS matches {baseline}'s accuracy with up to {max_s:.2}% \
+                 (on average {avg_s:.2}%) fewer workers"
+            );
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Fig. 6 + Table 4: RAMSIS vs Jellyfish+ vs ModelSwitching under
+//! constant query load (§7.2).
+//!
+//! 30-second constant-load traces from 400 to 4,000 QPS in increments
+//! of 400, with 60 workers (image) / 20 workers (text) chosen so that
+//! at 3,600–4,000 QPS only the lowest-latency model sustains the load,
+//! and a perfect load monitor ("we assume the load monitor perfectly
+//! predicts the query load").
+//!
+//! Expected shape: RAMSIS achieves equal or higher accuracy at every
+//! satisfiable load; the gains vanish at both extremes of the range.
+
+use ramsis_baselines::JellyfishPlus;
+use ramsis_bench::harness::{
+    build_profile, constant_load_workers, ms_profiling_loads, ms_scheme, pct, ramsis_config,
+    ramsis_policy_set, run_scheme, MonitorKind, RunOutcome,
+};
+use ramsis_bench::{ascii_plot, render_table, write_csv, write_json, ExperimentArgs};
+use ramsis_sim::{LatencyMode, RamsisScheme};
+use ramsis_workload::Trace;
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let loads: Vec<f64> = (1..=10).map(|i| 400.0 * i as f64).collect();
+    let duration_s = 30.0;
+    let d = if args.full { 100 } else { 25 };
+    let mut all_rows: Vec<RunOutcome> = Vec::new();
+
+    for task in args.tasks() {
+        for slo_s in args.slos_for(task) {
+            let slo_ms = (slo_s * 1e3).round() as u64;
+            let workers = args.workers.unwrap_or_else(|| constant_load_workers(task));
+            println!(
+                "\n=== Fig. 6 — {} classification, SLO {slo_ms} ms, {workers} workers ===",
+                task.name()
+            );
+            let profile = build_profile(task, slo_s);
+            let config = ramsis_config(slo_s, workers, d);
+            let set = ramsis_policy_set(&args.out_dir, &profile, &loads, &config);
+            let ms_base = ms_scheme(
+                &args.out_dir,
+                &profile,
+                workers,
+                &ms_profiling_loads(args.full),
+                if args.full { 10.0 } else { 5.0 },
+            );
+
+            let mut table_rows = Vec::new();
+            for &load in &loads {
+                let trace = Trace::constant(load, duration_s);
+                let seed = 0xF16 ^ (load as u64) ^ slo_ms;
+                let mut outcomes = Vec::new();
+                {
+                    let mut scheme = RamsisScheme::new(set.clone());
+                    outcomes.push(run_scheme(
+                        &profile,
+                        workers,
+                        &trace,
+                        &mut scheme,
+                        MonitorKind::Oracle,
+                        LatencyMode::DeterministicP95,
+                        seed,
+                    ));
+                }
+                {
+                    let mut scheme = JellyfishPlus::new(&profile, workers);
+                    outcomes.push(run_scheme(
+                        &profile,
+                        workers,
+                        &trace,
+                        &mut scheme,
+                        MonitorKind::Oracle,
+                        LatencyMode::DeterministicP95,
+                        seed,
+                    ));
+                }
+                {
+                    let mut scheme =
+                        ramsis_baselines::ModelSwitching::new(&profile, ms_base.table().clone());
+                    outcomes.push(run_scheme(
+                        &profile,
+                        workers,
+                        &trace,
+                        &mut scheme,
+                        MonitorKind::Oracle,
+                        LatencyMode::DeterministicP95,
+                        seed,
+                    ));
+                }
+                let mut row = vec![format!("{load}")];
+                for r in &outcomes {
+                    row.push(format!("{:.2}", r.accuracy_per_satisfied_query));
+                    row.push(pct(r.violation_rate));
+                    all_rows.push(RunOutcome {
+                        task: task.name().to_string(),
+                        method: r.scheme.clone(),
+                        slo_ms,
+                        workers,
+                        load_qps: load,
+                        report: r.clone(),
+                    });
+                }
+                table_rows.push(row);
+            }
+
+            let header = [
+                "load_qps",
+                "RAMSIS_acc",
+                "RAMSIS_viol",
+                "JF+_acc",
+                "JF+_viol",
+                "MS_acc",
+                "MS_viol",
+            ];
+            println!("{}", render_table(&header, &table_rows));
+            print_summary(&all_rows, task.name(), slo_ms, workers);
+            plot(&all_rows, task.name(), slo_ms, workers, &loads);
+        }
+    }
+
+    write_json(&args.out_dir, "fig6_constant_load", &all_rows);
+    let csv_rows: Vec<Vec<String>> = all_rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.task.clone(),
+                r.method.clone(),
+                r.slo_ms.to_string(),
+                r.workers.to_string(),
+                format!("{}", r.load_qps),
+                format!("{:.4}", r.report.accuracy_per_satisfied_query),
+                format!("{:.6}", r.report.violation_rate),
+            ]
+        })
+        .collect();
+    write_csv(
+        &args.out_dir,
+        "fig6_constant_load",
+        &[
+            "task",
+            "method",
+            "slo_ms",
+            "workers",
+            "load_qps",
+            "accuracy",
+            "violation_rate",
+        ],
+        &csv_rows,
+    );
+    write_csv(
+        &args.out_dir,
+        "table4_violation_rates",
+        &[
+            "task",
+            "method",
+            "slo_ms",
+            "workers",
+            "load_qps",
+            "violation_rate",
+        ],
+        &all_rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.task.clone(),
+                    r.method.clone(),
+                    r.slo_ms.to_string(),
+                    r.workers.to_string(),
+                    format!("{}", r.load_qps),
+                    pct(r.report.violation_rate),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+/// The paper's Fig. 6 filter and headline statistics: only points with
+/// violation rate < 5% count, and the accuracy delta of RAMSIS over
+/// each baseline is reported as average and maximum.
+fn print_summary(rows: &[RunOutcome], task: &str, slo_ms: u64, workers: usize) {
+    for baseline in ["Jellyfish+", "ModelSwitching"] {
+        let mut deltas = Vec::new();
+        for r in rows.iter().filter(|r| {
+            r.task == task && r.slo_ms == slo_ms && r.workers == workers && r.method == "RAMSIS"
+        }) {
+            let Some(b) = rows.iter().find(|b| {
+                b.task == task
+                    && b.slo_ms == slo_ms
+                    && b.workers == workers
+                    && b.method == baseline
+                    && b.load_qps == r.load_qps
+            }) else {
+                continue;
+            };
+            if r.report.violation_rate < 0.05 && b.report.violation_rate < 0.05 {
+                deltas.push(
+                    r.report.accuracy_per_satisfied_query - b.report.accuracy_per_satisfied_query,
+                );
+            }
+        }
+        if deltas.is_empty() {
+            continue;
+        }
+        let avg = deltas.iter().sum::<f64>() / deltas.len() as f64;
+        let max = deltas.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "RAMSIS vs {baseline}: average accuracy increase {avg:.2}%, highest {max:.2}% \
+             (over {} satisfiable loads)",
+            deltas.len()
+        );
+    }
+}
+
+fn plot(rows: &[RunOutcome], task: &str, slo_ms: u64, workers: usize, loads: &[f64]) {
+    let series: Vec<(String, Vec<(f64, f64)>)> = ["RAMSIS", "Jellyfish+", "ModelSwitching"]
+        .iter()
+        .map(|&m| {
+            let pts = loads
+                .iter()
+                .filter_map(|&l| {
+                    rows.iter()
+                        .find(|r| {
+                            r.task == task
+                                && r.slo_ms == slo_ms
+                                && r.workers == workers
+                                && r.method == m
+                                && r.load_qps == l
+                                && r.report.violation_rate < 0.05
+                        })
+                        .map(|r| (l, r.report.accuracy_per_satisfied_query))
+                })
+                .collect();
+            (m.to_string(), pts)
+        })
+        .collect();
+    println!("accuracy (%) vs load (QPS), points with violation rate < 5%:");
+    println!("{}", ascii_plot(&series, 64, 12));
+}

@@ -1,0 +1,147 @@
+//! Fig. 7: RAMSIS fidelity — accuracy and violation rate in theoretical
+//! expectation (§5.1), in the deterministic-latency simulation, and in
+//! the stochastic-latency "prototype implementation" (§7.3.1).
+//!
+//! Expected shape: expectation lower-bounds accuracy and upper-bounds
+//! the violation rate; the implementation does at least as well as the
+//! simulation because real invocations usually beat their p95 profile.
+
+use ramsis_bench::harness::{
+    build_profile, pct, ramsis_config, ramsis_policy_set, run_scheme, MonitorKind,
+};
+use ramsis_bench::{render_table, write_csv, write_json, ExperimentArgs};
+use ramsis_profiles::Task;
+use ramsis_sim::{LatencyMode, RamsisScheme};
+use ramsis_workload::Trace;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct FidelityRow {
+    workers: usize,
+    load_qps: f64,
+    expected_accuracy: f64,
+    sim_accuracy: f64,
+    impl_accuracy: f64,
+    expected_violation: f64,
+    sim_violation: f64,
+    impl_violation: f64,
+}
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let task = args.task.unwrap_or(Task::ImageClassification);
+    let slo_s = args.slos_for(task)[0];
+    let slo_ms = (slo_s * 1e3).round() as u64;
+    let worker_counts: Vec<usize> = args.workers.map(|w| vec![w]).unwrap_or(vec![40, 60, 80]);
+    let load_step = if args.full { 400 } else { 800 };
+    let d = if args.full { 100 } else { 25 };
+    let profile = build_profile(task, slo_s);
+
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for &workers in &worker_counts {
+        let loads: Vec<f64> = (1..)
+            .map(|i| (400 + (i - 1) * load_step) as f64)
+            .take_while(|&l| l <= 4_000.0)
+            .collect();
+        let config = ramsis_config(slo_s, workers, d);
+        let set = ramsis_policy_set(&args.out_dir, &profile, &loads, &config);
+        for &load in &loads {
+            let policy = set.select(load);
+            let g = *policy.guarantees();
+            let trace = Trace::constant(load, 30.0);
+            let seed = 0xF07 ^ workers as u64 ^ load as u64;
+            let mut sim_scheme = RamsisScheme::new(set.clone());
+            let r_sim = run_scheme(
+                &profile,
+                workers,
+                &trace,
+                &mut sim_scheme,
+                MonitorKind::Oracle,
+                LatencyMode::DeterministicP95,
+                seed,
+            );
+            let mut impl_scheme = RamsisScheme::new(set.clone());
+            let r_impl = run_scheme(
+                &profile,
+                workers,
+                &trace,
+                &mut impl_scheme,
+                MonitorKind::Oracle,
+                LatencyMode::Stochastic,
+                seed,
+            );
+            table.push(vec![
+                workers.to_string(),
+                format!("{load}"),
+                format!("{:.2}", g.expected_accuracy),
+                format!("{:.2}", r_sim.accuracy_per_satisfied_query),
+                format!("{:.2}", r_impl.accuracy_per_satisfied_query),
+                pct(g.expected_violation_rate),
+                pct(r_sim.violation_rate),
+                pct(r_impl.violation_rate),
+            ]);
+            rows.push(FidelityRow {
+                workers,
+                load_qps: load,
+                expected_accuracy: g.expected_accuracy,
+                sim_accuracy: r_sim.accuracy_per_satisfied_query,
+                impl_accuracy: r_impl.accuracy_per_satisfied_query,
+                expected_violation: g.expected_violation_rate,
+                sim_violation: r_sim.violation_rate,
+                impl_violation: r_impl.violation_rate,
+            });
+        }
+    }
+
+    println!(
+        "\n=== Fig. 7 — RAMSIS fidelity, {} classification, SLO {slo_ms} ms ===",
+        task.name()
+    );
+    let header = [
+        "workers",
+        "load",
+        "E[acc]",
+        "sim_acc",
+        "impl_acc",
+        "E[viol]",
+        "sim_viol",
+        "impl_viol",
+    ];
+    println!("{}", render_table(&header, &table));
+
+    // The paper's two fidelity claims, checked over the satisfiable
+    // region (at overload the expectation deliberately overestimates the
+    // violation rate, §7.3.1).
+    let satisfiable: Vec<&FidelityRow> = rows.iter().filter(|r| r.sim_violation < 0.05).collect();
+    let acc_lower_bound_holds = satisfiable
+        .iter()
+        .filter(|r| r.sim_accuracy >= r.expected_accuracy - 0.5)
+        .count();
+    let viol_upper_bound_holds = satisfiable
+        .iter()
+        .filter(|r| r.sim_violation <= r.expected_violation + 0.005)
+        .count();
+    let impl_at_least_sim = satisfiable
+        .iter()
+        .filter(|r| r.impl_accuracy >= r.sim_accuracy - 0.5)
+        .count();
+    println!(
+        "expectation lower-bounds simulated accuracy in {}/{} satisfiable points",
+        acc_lower_bound_holds,
+        satisfiable.len()
+    );
+    println!(
+        "expectation upper-bounds simulated violation rate in {}/{} satisfiable points",
+        viol_upper_bound_holds,
+        satisfiable.len()
+    );
+    println!(
+        "implementation accuracy >= simulation accuracy in {}/{} satisfiable points",
+        impl_at_least_sim,
+        satisfiable.len()
+    );
+
+    write_json(&args.out_dir, "fig7_fidelity", &rows);
+    write_csv(&args.out_dir, "fig7_fidelity", &header, &table);
+}

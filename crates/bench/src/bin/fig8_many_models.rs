@@ -1,0 +1,211 @@
+//! Fig. 8: sensitivity to the number of available models (§7.3.2).
+//!
+//! Low-model-count scenario: the 26-model image catalog (effectively its
+//! 9 Pareto models, M = 9). High-model-count: the synthetic catalog of
+//! interpolated front models (M ≈ 60). 100 workers, 30-second constant
+//! loads, RAMSIS vs ModelSwitching.
+//!
+//! Expected shape: ModelSwitching improves markedly with the dense model
+//! set; RAMSIS barely changes and stays on top — it "emulates a large
+//! model set through fine-grained MS&S decisions".
+
+use ramsis_baselines::{profile_response_latency, ModelSwitching};
+use ramsis_bench::harness::{
+    ms_profiling_loads, pct, ramsis_config, ramsis_policy_set, run_scheme, MonitorKind,
+};
+use ramsis_bench::{ascii_plot, render_table, write_csv, write_json, ExperimentArgs};
+use ramsis_profiles::{ModelCatalog, ProfilerConfig, WorkerProfile};
+use ramsis_sim::{LatencyMode, RamsisScheme};
+use ramsis_workload::Trace;
+use serde::Serialize;
+use std::time::Duration;
+
+#[derive(Serialize)]
+struct Row {
+    catalog: String,
+    method: String,
+    load_qps: f64,
+    accuracy: f64,
+    violation_rate: f64,
+}
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let slo_s = args.slo_ms.map(|ms| ms as f64 / 1e3).unwrap_or(0.15);
+    let workers = args.workers.unwrap_or(100);
+    let d = if args.full { 100 } else { 25 };
+    let load_step = if args.full { 400 } else { 800 };
+    let loads: Vec<f64> = (1..)
+        .map(|i| (400 + (i - 1) * load_step) as f64)
+        .take_while(|&l| l <= 4_000.0)
+        .collect();
+
+    let base = ModelCatalog::torchvision_image();
+    let dense = ModelCatalog::synthetic_interpolated(&base, 0.5);
+    println!(
+        "catalogs: 26-model base (9 Pareto, the paper's M=9 scenario) vs \
+         {}-model synthetic superset (the paper's M=60 scenario)",
+        dense.len()
+    );
+    let catalogs = [("M=9".to_string(), base), ("dense".to_string(), dense)];
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (label, catalog) in &catalogs {
+        let profile = WorkerProfile::build(
+            catalog,
+            Duration::from_secs_f64(slo_s),
+            ProfilerConfig::default(),
+        );
+        let config = ramsis_config(slo_s, workers, d);
+        let set = ramsis_policy_set(&args.out_dir, &profile, &loads, &config);
+        // The dense catalog's MS table is not cacheable under the shared
+        // key scheme (different model set); profile it directly.
+        let ms_table = profile_response_latency(
+            &profile,
+            workers,
+            &ms_profiling_loads(args.full),
+            if args.full { 10.0 } else { 5.0 },
+            0xF18,
+        );
+        for &load in &loads {
+            let trace = Trace::constant(load, 30.0);
+            let seed = 0xF18 ^ load as u64;
+            let mut scheme = RamsisScheme::new(set.clone());
+            let r = run_scheme(
+                &profile,
+                workers,
+                &trace,
+                &mut scheme,
+                MonitorKind::Oracle,
+                LatencyMode::DeterministicP95,
+                seed,
+            );
+            rows.push(Row {
+                catalog: label.to_string(),
+                method: "RAMSIS".into(),
+                load_qps: load,
+                accuracy: r.accuracy_per_satisfied_query,
+                violation_rate: r.violation_rate,
+            });
+            let mut scheme = ModelSwitching::new(&profile, ms_table.clone());
+            let r = run_scheme(
+                &profile,
+                workers,
+                &trace,
+                &mut scheme,
+                MonitorKind::Oracle,
+                LatencyMode::DeterministicP95,
+                seed,
+            );
+            rows.push(Row {
+                catalog: label.to_string(),
+                method: "ModelSwitching".into(),
+                load_qps: load,
+                accuracy: r.accuracy_per_satisfied_query,
+                violation_rate: r.violation_rate,
+            });
+        }
+    }
+
+    println!(
+        "\n=== Fig. 8 — model-count sensitivity, image, SLO {:.0} ms, {workers} workers ===",
+        slo_s * 1e3
+    );
+    let mut table = Vec::new();
+    for &load in &loads {
+        let get = |cat: &str, m: &str| {
+            rows.iter()
+                .find(|r| r.catalog == cat && r.method == m && r.load_qps == load)
+                .map(|r| (r.accuracy, r.violation_rate))
+                .unwrap_or((f64::NAN, f64::NAN))
+        };
+        let (a9r, v9r) = get("M=9", "RAMSIS");
+        let (a9m, v9m) = get("M=9", "ModelSwitching");
+        let (a60r, _) = get("dense", "RAMSIS");
+        let (a60m, _) = get("dense", "ModelSwitching");
+        table.push(vec![
+            format!("{load}"),
+            format!("{a9r:.2}"),
+            format!("{a60r:.2}"),
+            format!("{a9m:.2}"),
+            format!("{a60m:.2}"),
+            pct(v9r),
+            pct(v9m),
+        ]);
+    }
+    let header = [
+        "load_qps",
+        "RAMSIS_M9",
+        "RAMSIS_M59",
+        "MS_M9",
+        "MS_M59",
+        "RAMSIS_M9_viol",
+        "MS_M9_viol",
+    ];
+    println!("{}", render_table(&header, &table));
+
+    // Headline deltas over satisfiable points.
+    let avg = |cat: &str, m: &str| {
+        let v: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.catalog == cat && r.method == m && r.violation_rate < 0.05)
+            .map(|r| r.accuracy)
+            .collect();
+        v.iter().sum::<f64>() / v.len().max(1) as f64
+    };
+    println!(
+        "mean satisfiable accuracy — RAMSIS: M=9 {:.2}%, dense {:.2}% (delta {:+.2}%)",
+        avg("M=9", "RAMSIS"),
+        avg("dense", "RAMSIS"),
+        avg("dense", "RAMSIS") - avg("M=9", "RAMSIS"),
+    );
+    println!(
+        "mean satisfiable accuracy — ModelSwitching: M=9 {:.2}%, dense {:.2}% (delta {:+.2}%)",
+        avg("M=9", "ModelSwitching"),
+        avg("dense", "ModelSwitching"),
+        avg("dense", "ModelSwitching") - avg("M=9", "ModelSwitching"),
+    );
+
+    let series: Vec<(String, Vec<(f64, f64)>)> = [
+        ("RAMSIS M=9", "M=9", "RAMSIS"),
+        ("J: MS M=9", "M=9", "ModelSwitching"),
+        ("M: MS dense", "dense", "ModelSwitching"),
+    ]
+    .iter()
+    .map(|&(label, cat, m)| {
+        (
+            label.to_string(),
+            rows.iter()
+                .filter(|r| r.catalog == cat && r.method == m && r.violation_rate < 0.05)
+                .map(|r| (r.load_qps, r.accuracy))
+                .collect(),
+        )
+    })
+    .collect();
+    println!("{}", ascii_plot(&series, 64, 12));
+
+    write_json(&args.out_dir, "fig8_many_models", &rows);
+    write_csv(
+        &args.out_dir,
+        "fig8_many_models",
+        &[
+            "catalog",
+            "method",
+            "load_qps",
+            "accuracy",
+            "violation_rate",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.catalog.clone(),
+                    r.method.clone(),
+                    format!("{}", r.load_qps),
+                    format!("{:.4}", r.accuracy),
+                    format!("{:.6}", r.violation_rate),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}

@@ -1,0 +1,35 @@
+//! Table 1: key features of inference serving systems.
+//!
+//! This table is descriptive (no experiment); it is rendered here so
+//! every numbered artifact of the paper has a regenerating binary.
+
+use ramsis_bench::{render_table, write_csv, ExperimentArgs};
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let header = ["ISS", "MS", "Latency", "Accuracy", "Constraints"];
+    let rows: Vec<Vec<String>> = [
+        ["Clipper [7]", "-", "SLO", "-", "-"],
+        ["Nexus [43]", "-", "SLO", "-", "D"],
+        ["Clockwork [15]", "-", "SLO", "-", "D"],
+        ["MArk [54]", "-", "SLO", "-", "-"],
+        ["InferLine [6]", "-", "SLO", "-", "-"],
+        ["INFaaS [38]", "X", "min", "SLO", "-"],
+        ["Cocktail [16]", "X", "min", "max", "P, E"],
+        ["Jellyfish [32]", "X", "SLO", "max", "D"],
+        ["ModelSwitching [57]", "X", "SLO", "max", "-"],
+        ["RAMSIS (this paper)", "X", "SLO", "max", "D"],
+    ]
+    .iter()
+    .map(|r| r.iter().map(|s| s.to_string()).collect())
+    .collect();
+
+    println!("=== Table 1 — key features of ISSs ===");
+    println!("{}", render_table(&header, &rows));
+    println!(
+        "D: assumes deterministic, predictable inference response latency; \
+         E: model ensembling; P: preemptible workers.\n\
+         ISSs without a model selection (MS) component rely on users to select models."
+    );
+    write_csv(&args.out_dir, "table1_features", &header, &rows);
+}

@@ -1,0 +1,196 @@
+//! Timeline view of the production-trace run: per-ten-second accuracy
+//! tracking the diurnal load curve (the mechanism behind Fig. 5's
+//! aggregate numbers).
+//!
+//! Expected shape: RAMSIS's accuracy moves *inversely* with the load —
+//! high in the trace's valleys (lulls afford slow models), dipping at
+//! the peaks — while the load-granular baseline steps between a few
+//! plateau levels.
+
+use ramsis_baselines::JellyfishPlus;
+use ramsis_bench::harness::{
+    build_profile, ramsis_config, ramsis_loads_for_range, ramsis_policy_set, MonitorKind,
+};
+use ramsis_bench::{ascii_plot, render_table, write_csv, write_json, ExperimentArgs};
+use ramsis_profiles::Task;
+use ramsis_sim::{RamsisScheme, ServingScheme, Simulation, SimulationConfig};
+use ramsis_workload::{LoadEstimator, LoadMonitor, OracleMonitor, Trace};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    method: String,
+    window_start_s: f64,
+    load_qps: f64,
+    accuracy: f64,
+    violations: u64,
+    served: u64,
+}
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let task = args.task.unwrap_or(Task::ImageClassification);
+    let slo_s = args.slos_for(task)[0];
+    let workers = args.workers.unwrap_or(80);
+    let d = if args.full { 100 } else { 25 };
+    let profile = build_profile(task, slo_s);
+    let trace = Trace::twitter_like(42);
+
+    let config = ramsis_config(slo_s, workers, d);
+    let loads = ramsis_loads_for_range(trace.min_qps() * 0.5, trace.max_qps(), 8);
+    let set = ramsis_policy_set(&args.out_dir, &profile, &loads, &config);
+
+    let window_s = Trace::ARTIFACT_INTERVAL_S;
+    let run = |scheme: &mut dyn ServingScheme, monitor: MonitorKind| {
+        let sim = Simulation::new(
+            &profile,
+            SimulationConfig::new(workers, slo_s)
+                .seeded(0x71E)
+                .with_timeline(window_s),
+        );
+        let mut estimator: Box<dyn LoadEstimator> = match monitor {
+            MonitorKind::MovingAverage => Box::new(LoadMonitor::new()),
+            MonitorKind::Oracle => Box::new(OracleMonitor::new(trace.clone())),
+        };
+        sim.run(&trace, scheme, estimator.as_mut())
+    };
+
+    let mut ramsis = RamsisScheme::new(set);
+    let r = run(&mut ramsis, MonitorKind::MovingAverage);
+    let mut jellyfish = JellyfishPlus::new(&profile, workers);
+    let j = run(&mut jellyfish, MonitorKind::MovingAverage);
+
+    println!(
+        "\n=== Timeline — production trace, {} task, SLO {:.0} ms, {workers} workers ===",
+        task.name(),
+        slo_s * 1e3
+    );
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for (i, (rb, jb)) in r.timeline.iter().zip(&j.timeline).enumerate() {
+        let load = trace.qps_at(rb.start_s);
+        table.push(vec![
+            format!("{:.0}", rb.start_s),
+            format!("{load:.0}"),
+            format!("{:.2}", rb.accuracy),
+            format!("{:.2}", jb.accuracy),
+            rb.violations.to_string(),
+            jb.violations.to_string(),
+        ]);
+        for (method, b) in [("RAMSIS", rb), ("Jellyfish+", jb)] {
+            rows.push(Row {
+                method: method.into(),
+                window_start_s: b.start_s,
+                load_qps: load,
+                accuracy: b.accuracy,
+                violations: b.violations,
+                served: b.served,
+            });
+        }
+        // Keep the printed table readable in full mode.
+        if i > 40 {
+            break;
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "t_s",
+                "load_qps",
+                "RAMSIS_acc",
+                "JF+_acc",
+                "RAMSIS_viol",
+                "JF+_viol"
+            ],
+            &table
+        )
+    );
+
+    // The headline check: RAMSIS accuracy is anti-correlated with load.
+    let corr = correlation(
+        &r.timeline
+            .iter()
+            .map(|b| trace.qps_at(b.start_s))
+            .collect::<Vec<_>>(),
+        &r.timeline.iter().map(|b| b.accuracy).collect::<Vec<_>>(),
+    );
+    println!("correlation(load, RAMSIS accuracy) = {corr:.3} (expected strongly negative)");
+
+    let series = vec![
+        (
+            "RAMSIS".to_string(),
+            r.timeline
+                .iter()
+                .map(|b| (b.start_s, b.accuracy))
+                .collect::<Vec<_>>(),
+        ),
+        (
+            "Jellyfish+".to_string(),
+            j.timeline.iter().map(|b| (b.start_s, b.accuracy)).collect(),
+        ),
+        (
+            "load (scaled)".to_string(),
+            r.timeline
+                .iter()
+                .map(|b| {
+                    // Map the QPS range onto the accuracy band for overlay.
+                    let t = (trace.qps_at(b.start_s) - trace.min_qps())
+                        / (trace.max_qps() - trace.min_qps());
+                    (b.start_s, 60.0 + t * 25.0)
+                })
+                .collect(),
+        ),
+    ];
+    println!("accuracy (%) and scaled load vs time (s):");
+    println!("{}", ascii_plot(&series, 64, 14));
+
+    write_json(&args.out_dir, "timeline_production", &rows);
+    write_csv(
+        &args.out_dir,
+        "timeline_production",
+        &[
+            "method",
+            "window_start_s",
+            "load_qps",
+            "accuracy",
+            "violations",
+            "served",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.method.clone(),
+                    format!("{:.0}", r.window_start_s),
+                    format!("{:.0}", r.load_qps),
+                    format!("{:.4}", r.accuracy),
+                    r.violations.to_string(),
+                    r.served.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len().min(ys.len()) as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        0.0
+    } else {
+        cov / (vx * vy).sqrt()
+    }
+}

@@ -1,0 +1,36 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each evaluation artifact has a dedicated binary (see DESIGN.md §3 for
+//! the full index):
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `fig3_image_profiles` | Fig. 3 — image model profiles |
+//! | `fig9_text_profiles` | Fig. 9 — text model profiles |
+//! | `table1_features` | Table 1 — ISS feature comparison |
+//! | `table2_policy_gen_runtime` | Table 2 — policy-generation runtimes |
+//! | `fig5_production_trace` | Fig. 5 + Table 3 — production trace |
+//! | `fig6_constant_load` | Fig. 6 + Table 4 — constant load sweep |
+//! | `fig7_fidelity` | Fig. 7 — expectation vs simulation vs implementation |
+//! | `fig8_many_models` | Fig. 8 — model-count sensitivity |
+//! | `fig10_discretization` | Fig. 10 (§C) — FLD D sweep vs MD |
+//! | `fig11_batching` | Fig. 11 (§D) — maximal vs variable batching |
+//! | `fig12_fewer_models` | Fig. 12 (§E) — 3-model ablation |
+//! | `appendix_h_infaas` | §H — INFaaS-style comparison |
+//! | `appendix_i_sqf` | §I — shortest-queue-first balancing |
+//!
+//! Binaries default to *quick* parameter grids sized for a small
+//! machine; pass `--full` for the paper's grids. All output lands under
+//! `results/` as JSON + CSV, alongside the rendered terminal tables and
+//! ASCII plots.
+
+pub mod args;
+pub mod harness;
+pub mod output;
+pub mod report;
+
+pub use args::ExperimentArgs;
+pub use harness::{
+    build_profile, ms_scheme, ramsis_policy_set, run_scheme, MonitorKind, RunOutcome,
+};
+pub use output::{ascii_plot, render_table, write_csv, write_json};

@@ -1,0 +1,235 @@
+//! Terminal tables, ASCII plots, and result-file writers.
+//!
+//! Every experiment binary prints the paper-shaped rows to the terminal
+//! and persists them under `results/` as JSON (exact values) and CSV
+//! (spreadsheet-friendly).
+
+use std::fs;
+use std::path::Path;
+
+use serde::Serialize;
+
+/// Renders a fixed-width table: a header row and data rows.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    for (i, r) in rows.iter().enumerate() {
+        assert_eq!(r.len(), header.len(), "row {i} width mismatch");
+    }
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (cell, w) in cells.iter().zip(widths) {
+            line.push_str(&format!("{cell:>w$}  "));
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+    out.push_str(&"-".repeat(total.saturating_sub(2)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders an ASCII scatter/line plot of several series.
+///
+/// Each series is `(label, points)`; points are `(x, y)`. Series are
+/// drawn with distinct markers (the first letter of the label, or a
+/// fallback symbol). Returns an empty string when no finite point
+/// exists.
+pub fn ascii_plot(series: &[(String, Vec<(f64, f64)>)], width: usize, height: usize) -> String {
+    const MARKERS: &[char] = &['R', 'J', 'M', 'I', 'S', 'x', 'o', '+', '*', '#'];
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|(_, p)| p.iter().copied())
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    if pts.is_empty() || width < 16 || height < 4 {
+        return String::new();
+    }
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &pts {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    if (x1 - x0).abs() < 1e-12 {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < 1e-12 {
+        y1 = y0 + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, points)) in series.iter().enumerate() {
+        let marker = MARKERS[si % MARKERS.len()];
+        for &(x, y) in points {
+            if !(x.is_finite() && y.is_finite()) {
+                continue;
+            }
+            let cx = (((x - x0) / (x1 - x0)) * (width as f64 - 1.0)).round() as usize;
+            let cy = (((y - y0) / (y1 - y0)) * (height as f64 - 1.0)).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            let col = cx.min(width - 1);
+            grid[row][col] = marker;
+        }
+    }
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let y_label = if i == 0 {
+            format!("{y1:>9.2}")
+        } else if i == height - 1 {
+            format!("{y0:>9.2}")
+        } else {
+            " ".repeat(9)
+        };
+        out.push_str(&y_label);
+        out.push_str(" |");
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(9));
+    out.push_str(" +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "{:>11}{:<w$}{:>8}\n",
+        format!("{x0:.0}"),
+        "",
+        format!("{x1:.0}"),
+        w = width.saturating_sub(8)
+    ));
+    for (si, (label, _)) in series.iter().enumerate() {
+        out.push_str(&format!("  {} = {label}\n", MARKERS[si % MARKERS.len()]));
+    }
+    out
+}
+
+/// Writes a serializable value as pretty JSON under `dir/name.json`.
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created or the file written —
+/// experiment binaries have nothing useful to do on IO failure.
+pub fn write_json<T: Serialize>(dir: &Path, name: &str, value: &T) {
+    fs::create_dir_all(dir).expect("create results directory");
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize results");
+    fs::write(&path, json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+}
+
+/// Writes rows as CSV under `dir/name.csv`.
+///
+/// # Panics
+///
+/// See [`write_json`]; also panics on a row-width mismatch.
+pub fn write_csv(dir: &Path, name: &str, header: &[&str], rows: &[Vec<String>]) {
+    fs::create_dir_all(dir).expect("create results directory");
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(row.len(), header.len(), "row {i} width mismatch");
+        let escaped: Vec<String> = row
+            .iter()
+            .map(|c| {
+                if c.contains(',') || c.contains('"') {
+                    format!("\"{}\"", c.replace('"', "\"\""))
+                } else {
+                    c.clone()
+                }
+            })
+            .collect();
+        out.push_str(&escaped.join(","));
+        out.push('\n');
+    }
+    let path = dir.join(format!("{name}.csv"));
+    fs::write(&path, out).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["load", "accuracy"],
+            &[
+                vec!["400".into(), "84.23".into()],
+                vec!["4000".into(), "60.55".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("load"));
+        assert!(lines[2].ends_with("84.23"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let _ = render_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn plot_contains_markers_and_legend() {
+        let series = vec![
+            ("RAMSIS".to_string(), vec![(0.0, 1.0), (1.0, 2.0)]),
+            ("Jellyfish".to_string(), vec![(0.0, 0.5), (1.0, 1.0)]),
+        ];
+        let p = ascii_plot(&series, 40, 10);
+        assert!(p.contains('R'));
+        assert!(p.contains('J'));
+        assert!(p.contains("= RAMSIS"));
+    }
+
+    #[test]
+    fn plot_handles_degenerate_input() {
+        assert_eq!(ascii_plot(&[], 40, 10), "");
+        let flat = vec![("x".to_string(), vec![(1.0, 5.0), (1.0, 5.0)])];
+        let p = ascii_plot(&flat, 40, 10);
+        assert!(p.contains('x'));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let dir = std::env::temp_dir().join("ramsis_bench_test_csv");
+        write_csv(
+            &dir,
+            "t",
+            &["a", "b"],
+            &[vec!["x,y".into(), "plain".into()]],
+        );
+        let content = std::fs::read_to_string(dir.join("t.csv")).unwrap();
+        assert!(content.contains("\"x,y\",plain"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let dir = std::env::temp_dir().join("ramsis_bench_test_json");
+        write_json(&dir, "t", &vec![1, 2, 3]);
+        let content = std::fs::read_to_string(dir.join("t.json")).unwrap();
+        let back: Vec<i32> = serde_json::from_str(&content).unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,67 @@
+//! Shared report emitters used by more than one experiment binary.
+
+use ramsis_profiles::{pareto_front, WorkerProfile};
+
+use crate::args::ExperimentArgs;
+use crate::output::{ascii_plot, render_table, write_csv, write_json};
+
+/// Emits a Fig. 3 / Fig. 9-style profile report: per-model accuracy and
+/// p95 latency with Pareto-front membership, as a table, an ASCII
+/// scatter, and CSV/JSON files.
+pub fn emit_profile_figure(args: &ExperimentArgs, profile: &WorkerProfile, name: &str) {
+    let points: Vec<(f64, f64)> = profile
+        .models
+        .iter()
+        .map(|m| (m.batches[0].p95_s, m.accuracy))
+        .collect();
+    let front = pareto_front(&points);
+
+    let mut rows = Vec::new();
+    for (i, m) in profile.models.iter().enumerate() {
+        rows.push(vec![
+            m.name.clone(),
+            format!("{:.2}", m.accuracy),
+            format!("{:.1}", m.batches[0].p95_s * 1e3),
+            format!("{:.1}", m.batches[0].mean_s * 1e3),
+            if front.contains(&i) { "yes" } else { "" }.to_string(),
+        ]);
+    }
+    rows.sort_by(|a, b| {
+        a[2].parse::<f64>()
+            .unwrap()
+            .partial_cmp(&b[2].parse::<f64>().unwrap())
+            .unwrap()
+    });
+    let header = ["model", "accuracy_%", "p95_ms", "mean_ms", "pareto"];
+    println!(
+        "{} — {} models, {} on the Pareto front",
+        name,
+        profile.n_models(),
+        front.len()
+    );
+    println!("{}", render_table(&header, &rows));
+
+    let series = vec![
+        (
+            "dominated".to_string(),
+            points
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !front.contains(i))
+                .map(|(_, &(l, a))| (l * 1e3, a))
+                .collect::<Vec<_>>(),
+        ),
+        (
+            "pareto".to_string(),
+            front
+                .iter()
+                .map(|&i| (points[i].0 * 1e3, points[i].1))
+                .collect(),
+        ),
+    ];
+    println!("accuracy (%) vs p95 latency (ms):");
+    println!("{}", ascii_plot(&series, 64, 14));
+
+    write_csv(&args.out_dir, name, &header, &rows);
+    write_json(&args.out_dir, name, profile);
+}

@@ -1,0 +1,158 @@
+//! Flag parsing shared by the subcommands (the artifact's §A.5 flags).
+
+use std::path::PathBuf;
+
+use ramsis_profiles::Task;
+
+/// Parsed common flags.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommonArgs {
+    pub task: Task,
+    pub slo_ms: u64,
+    pub workers: usize,
+    pub load: Option<f64>,
+    pub method: Option<String>,
+    pub trace: String,
+    pub d: u32,
+    pub out: PathBuf,
+    /// Extra subcommand-specific flags, as (name, value) pairs.
+    pub extra: Vec<(String, String)>,
+}
+
+impl CommonArgs {
+    /// Parses `args`, accepting `extra_flags` as subcommand-specific
+    /// value-taking flags.
+    pub fn parse(args: &[String], extra_flags: &[&str]) -> Result<Self, String> {
+        let mut task: Option<Task> = None;
+        let mut slo_ms: Option<u64> = None;
+        let mut workers: Option<usize> = None;
+        let mut load = None;
+        let mut method = None;
+        let mut trace = "constant".to_string();
+        let mut d = 25u32;
+        let mut out = PathBuf::from(".");
+        let mut extra = Vec::new();
+
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value = || {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{arg} requires a value"))
+            };
+            match arg.as_str() {
+                "--task" => {
+                    task = Some(match value()?.as_str() {
+                        "image" => Task::ImageClassification,
+                        "text" => Task::TextClassification,
+                        other => return Err(format!("unknown task {other:?}")),
+                    })
+                }
+                "--SLO" | "--slo" => {
+                    slo_ms = Some(value()?.parse().map_err(|e| format!("bad --SLO: {e}"))?)
+                }
+                "--worker" | "--workers" => {
+                    workers = Some(value()?.parse().map_err(|e| format!("bad --worker: {e}"))?)
+                }
+                "--load" => load = Some(value()?.parse().map_err(|e| format!("bad --load: {e}"))?),
+                "--m" | "--method" => method = Some(value()?),
+                "--trace" => trace = value()?,
+                "--d" => d = value()?.parse().map_err(|e| format!("bad --d: {e}"))?,
+                "--out" => out = PathBuf::from(value()?),
+                other if extra_flags.contains(&other) => {
+                    extra.push((other.to_string(), value()?));
+                }
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+
+        let task = task.unwrap_or(Task::ImageClassification);
+        Ok(Self {
+            task,
+            slo_ms: slo_ms.unwrap_or_else(|| (task.paper_slos()[0] * 1e3).round() as u64),
+            workers: workers.unwrap_or(match task {
+                Task::ImageClassification => 60,
+                Task::TextClassification => 20,
+            }),
+            load,
+            method,
+            trace,
+            d,
+            out,
+            extra,
+        })
+    }
+
+    /// The SLO in seconds.
+    pub fn slo_s(&self) -> f64 {
+        self.slo_ms as f64 / 1e3
+    }
+
+    /// A subcommand-specific flag's value, if present.
+    pub fn extra(&self, flag: &str) -> Option<&str> {
+        self.extra
+            .iter()
+            .find(|(f, _)| f == flag)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<CommonArgs, String> {
+        CommonArgs::parse(
+            &words.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+            &["--policy"],
+        )
+    }
+
+    #[test]
+    fn artifact_defaults() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.task, Task::ImageClassification);
+        assert_eq!(a.slo_ms, 150);
+        assert_eq!(a.workers, 60);
+        assert_eq!(a.trace, "constant");
+        assert_eq!(a.d, 25);
+    }
+
+    #[test]
+    fn artifact_flags_parse() {
+        let a = parse(&[
+            "--task", "text", "--SLO", "200", "--worker", "20", "--load", "10", "--m", "RAMSIS",
+            "--trace", "real", "--d", "100", "--out", "/tmp/x",
+        ])
+        .unwrap();
+        assert_eq!(a.task, Task::TextClassification);
+        assert_eq!(a.slo_ms, 200);
+        assert_eq!(a.workers, 20);
+        assert_eq!(a.load, Some(10.0));
+        assert_eq!(a.method.as_deref(), Some("RAMSIS"));
+        assert_eq!(a.trace, "real");
+        assert_eq!(a.d, 100);
+        assert_eq!(a.slo_s(), 0.2);
+    }
+
+    #[test]
+    fn text_defaults_differ() {
+        let a = parse(&["--task", "text"]).unwrap();
+        assert_eq!(a.slo_ms, 100);
+        assert_eq!(a.workers, 20);
+    }
+
+    #[test]
+    fn extra_flags_collected() {
+        let a = parse(&["--policy", "p.json"]).unwrap();
+        assert_eq!(a.extra("--policy"), Some("p.json"));
+        assert_eq!(a.extra("--other"), None);
+    }
+
+    #[test]
+    fn rejects_unknown() {
+        assert!(parse(&["--frobnicate", "1"]).is_err());
+        assert!(parse(&["--SLO"]).is_err());
+        assert!(parse(&["--task", "audio"]).is_err());
+    }
+}

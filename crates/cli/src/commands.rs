@@ -1,0 +1,101 @@
+//! Subcommand implementations.
+
+pub mod gen;
+pub mod inspect;
+pub mod ms_gen;
+pub mod plot;
+pub mod profiles;
+pub mod sim;
+pub mod trace;
+
+use std::path::{Path, PathBuf};
+
+use ramsis_profiles::{ModelCatalog, ProfilerConfig, Task, WorkerProfile};
+
+use crate::cli_args::CommonArgs;
+
+/// Builds the worker profile for the parsed flags.
+pub(crate) fn build_profile(args: &CommonArgs) -> WorkerProfile {
+    let catalog = match args.task {
+        Task::ImageClassification => ModelCatalog::torchvision_image(),
+        Task::TextClassification => ModelCatalog::bert_text(),
+    };
+    WorkerProfile::build(
+        &catalog,
+        std::time::Duration::from_secs_f64(args.slo_s()),
+        ProfilerConfig::default(),
+    )
+}
+
+/// The artifact's policy directory: `policy_gen/METHOD_WORKERS_SLO/`.
+pub(crate) fn policy_dir(out: &Path, method: &str, workers: usize, slo_ms: u64) -> PathBuf {
+    out.join("policy_gen")
+        .join(format!("{method}_{workers}_{slo_ms}"))
+}
+
+/// The artifact's result path:
+/// `results/TASK_METHOD_TRACE_SLO_WORKERS[_LOAD].json`.
+pub(crate) fn result_path(
+    out: &Path,
+    task: Task,
+    method: &str,
+    trace: &str,
+    slo_ms: u64,
+    workers: usize,
+    load: Option<f64>,
+) -> PathBuf {
+    let stem = match load {
+        Some(l) => format!("{}_{method}_{trace}_{slo_ms}_{workers}_{l}", task.name()),
+        None => format!("{}_{method}_{trace}_{slo_ms}_{workers}", task.name()),
+    };
+    out.join("results").join(format!("{stem}.json"))
+}
+
+/// Writes `value` as pretty JSON, creating directories.
+pub(crate) fn write_json_file<T: serde::Serialize>(path: &Path, value: &T) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).map_err(|e| format!("create {}: {e}", parent.display()))?;
+    }
+    let json = serde_json::to_string_pretty(value).map_err(|e| e.to_string())?;
+    std::fs::write(path, json).map_err(|e| format!("write {}: {e}", path.display()))?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_paths() {
+        let out = Path::new("/tmp/o");
+        assert_eq!(
+            policy_dir(out, "RAMSIS", 60, 150),
+            PathBuf::from("/tmp/o/policy_gen/RAMSIS_60_150")
+        );
+        assert_eq!(
+            result_path(
+                out,
+                Task::ImageClassification,
+                "RAMSIS",
+                "real",
+                150,
+                60,
+                None
+            ),
+            PathBuf::from("/tmp/o/results/image_RAMSIS_real_150_60.json")
+        );
+        assert_eq!(
+            result_path(
+                out,
+                Task::TextClassification,
+                "JF",
+                "constant",
+                100,
+                20,
+                Some(400.0)
+            ),
+            PathBuf::from("/tmp/o/results/text_JF_constant_100_20_400.json")
+        );
+    }
+}

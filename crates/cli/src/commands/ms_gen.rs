@@ -1,0 +1,54 @@
+//! `ramsis-cli ms-gen` — the artifact's `MS_gen.py`.
+//!
+//! Runs the ModelSwitching offline p99-response-latency profiling sweep
+//! (§7: "400 to 4000 QPS in increments of 100") and stores the table at
+//! `policy_gen/MS_WORKERS_SLO/table.json`.
+
+use ramsis_baselines::profile_response_latency;
+
+use crate::cli_args::CommonArgs;
+use crate::commands::{build_profile, policy_dir, write_json_file};
+
+pub fn run(args: &[String]) -> Result<(), String> {
+    let args = CommonArgs::parse(args, &["--step", "--duration"])?;
+    let profile = build_profile(&args);
+    let step: u64 = args
+        .extra("--step")
+        .unwrap_or("100")
+        .parse()
+        .map_err(|e| format!("bad --step: {e}"))?;
+    let duration: f64 = args
+        .extra("--duration")
+        .unwrap_or("5")
+        .parse()
+        .map_err(|e| format!("bad --duration: {e}"))?;
+    let loads: Vec<f64> = match args.load {
+        Some(l) => vec![l],
+        None => (0..)
+            .map(|i| (400 + i * step) as f64)
+            .take_while(|&l| l <= 4_000.0)
+            .collect(),
+    };
+    println!(
+        "profiling {} Pareto models x {} loads ({duration}s each)...",
+        profile.pareto_models().len(),
+        loads.len()
+    );
+    let table = profile_response_latency(&profile, args.workers, &loads, duration, 0xB45E);
+    // Print the feasibility frontier per load.
+    for (i, &load) in table.loads.iter().enumerate() {
+        let feasible = table
+            .models
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|&(j, _)| table.p99[i][j] < profile.slo())
+            .map(|(_, &m)| profile.models[m].name.as_str())
+            .unwrap_or("none");
+        println!("load {load:>6.0}: most accurate feasible model = {feasible}");
+    }
+    let dir = policy_dir(&args.out, "MS", args.workers, args.slo_ms);
+    write_json_file(&dir.join("table.json"), &table)?;
+    println!("script complete!");
+    Ok(())
+}

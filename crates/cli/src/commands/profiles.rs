@@ -1,0 +1,92 @@
+//! `ramsis-cli profiles` — export/import raw latency profiles in the
+//! paper artifact's layout (§A.2.4: `profiles/MODELNAME/BATCHSIZE.json`
+//! sample lists plus an accuracy dictionary).
+//!
+//! `--export DIR` synthesizes samples from the built-in catalog and
+//! writes the layout; `--import DIR` reads a layout (e.g. measured on a
+//! real TorchServe/Triton deployment), reduces it with the p95 pipeline,
+//! and prints the Fig. 3-style profile summary.
+
+use ramsis_bench::render_table;
+use ramsis_profiles::{pareto_front, ModelCatalog, RawProfiles, Task};
+
+use crate::cli_args::CommonArgs;
+
+pub fn run(args: &[String]) -> Result<(), String> {
+    let args = CommonArgs::parse(args, &["--export", "--import", "--invocations", "--seed"])?;
+    match (args.extra("--export"), args.extra("--import")) {
+        (Some(dir), None) => export(&args, std::path::Path::new(dir)),
+        (None, Some(dir)) => import(&args, std::path::Path::new(dir)),
+        _ => Err("profiles requires exactly one of --export DIR or --import DIR".into()),
+    }
+}
+
+fn export(args: &CommonArgs, dir: &std::path::Path) -> Result<(), String> {
+    let catalog = match args.task {
+        Task::ImageClassification => ModelCatalog::torchvision_image(),
+        Task::TextClassification => ModelCatalog::bert_text(),
+    };
+    let invocations: usize = args
+        .extra("--invocations")
+        .unwrap_or("100")
+        .parse()
+        .map_err(|e| format!("bad --invocations: {e}"))?;
+    let seed: u64 = args
+        .extra("--seed")
+        .unwrap_or("0x5241")
+        .trim_start_matches("0x")
+        .parse()
+        .or_else(|_| u64::from_str_radix(args.extra("--seed").unwrap_or("5241"), 16))
+        .map_err(|e| format!("bad --seed: {e}"))?;
+    // Profile enough batches for the loosest paper SLO.
+    let raw = RawProfiles::synthesize(&catalog, 64, invocations, seed);
+    raw.write_dir(dir)?;
+    println!(
+        "exported {} models x 64 batch sizes x {invocations} invocations to {}",
+        catalog.len(),
+        dir.display()
+    );
+    Ok(())
+}
+
+fn import(args: &CommonArgs, dir: &std::path::Path) -> Result<(), String> {
+    let raw = RawProfiles::read_dir(dir)?;
+    let profile = raw.to_worker_profile(args.task, args.slo_s(), 95.0)?;
+    println!(
+        "imported {} models from {}; B_w = {} at SLO {} ms",
+        profile.n_models(),
+        dir.display(),
+        profile.max_batch(),
+        args.slo_ms
+    );
+    let points: Vec<(f64, f64)> = profile
+        .models
+        .iter()
+        .map(|m| (m.batches[0].p95_s, m.accuracy))
+        .collect();
+    let front = pareto_front(&points);
+    let mut rows = Vec::new();
+    for (i, m) in profile.models.iter().enumerate() {
+        rows.push(vec![
+            m.name.clone(),
+            format!("{:.2}", m.accuracy),
+            format!("{:.1}", m.batches[0].p95_s * 1e3),
+            format!("{:.1}", m.spec.per_item_s * 1e3),
+            if front.contains(&i) { "yes" } else { "" }.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["model", "accuracy_%", "p95_ms", "fit_per_item_ms", "pareto"],
+            &rows
+        )
+    );
+    println!(
+        "{} of {} models on the Pareto front; use `ramsis-cli gen` against \
+         these profiles via the library API (RawProfiles::to_worker_profile).",
+        front.len(),
+        profile.n_models()
+    );
+    Ok(())
+}

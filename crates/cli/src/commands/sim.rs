@@ -1,0 +1,128 @@
+//! `ramsis-cli sim` — the artifact's `run_sim.py`.
+//!
+//! Simulates one MS&S method (`--m RAMSIS|JF|MS`) on either the
+//! production trace (`--trace real`) or a constant load (`--trace
+//! constant --load QPS`), then writes the report to
+//! `results/TASK_METHOD_TRACE_SLO_WORKERS[_LOAD].json`.
+//!
+//! RAMSIS policies are loaded from `policy_gen/RAMSIS_WORKERS_SLO/`
+//! (run `ramsis-cli gen` first); the ModelSwitching table from
+//! `policy_gen/MS_WORKERS_SLO/table.json` (run `ramsis-cli ms-gen`).
+//! Jellyfish+ needs no offline artifacts.
+
+use ramsis_baselines::{JellyfishPlus, ModelSwitching, ResponseLatencyTable};
+use ramsis_core::{PolicySet, WorkerPolicy};
+use ramsis_sim::{LatencyMode, RamsisScheme, ServingScheme, Simulation, SimulationConfig};
+use ramsis_workload::{LoadEstimator, LoadMonitor, OracleMonitor, Trace};
+
+use crate::cli_args::CommonArgs;
+use crate::commands::{build_profile, policy_dir, result_path, write_json_file};
+
+pub fn run(args: &[String]) -> Result<(), String> {
+    let args = CommonArgs::parse(args, &["--seed", "--duration", "--stochastic"])?;
+    let method = args.method.as_deref().unwrap_or("RAMSIS");
+    let profile = build_profile(&args);
+    let seed: u64 = args
+        .extra("--seed")
+        .unwrap_or("42")
+        .parse()
+        .map_err(|e| format!("bad --seed: {e}"))?;
+    let duration: f64 = args
+        .extra("--duration")
+        .unwrap_or("30")
+        .parse()
+        .map_err(|e| format!("bad --duration: {e}"))?;
+
+    let trace = match args.trace.as_str() {
+        "real" => Trace::twitter_like(seed),
+        "constant" => {
+            let load = args.load.ok_or("--trace constant requires --load")?;
+            Trace::constant(load, duration)
+        }
+        path => {
+            // Any other value is read as an artifact-format trace file.
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("read trace {path}: {e}"))?;
+            Trace::parse_artifact_text(&text)?
+        }
+    };
+
+    let mut scheme: Box<dyn ServingScheme> = match method {
+        "RAMSIS" => {
+            let dir = policy_dir(&args.out, "RAMSIS", args.workers, args.slo_ms);
+            let mut policies = Vec::new();
+            let entries = std::fs::read_dir(&dir).map_err(|e| {
+                format!(
+                    "no policies at {} (run `ramsis-cli gen`): {e}",
+                    dir.display()
+                )
+            })?;
+            for entry in entries {
+                let entry = entry.map_err(|e| e.to_string())?;
+                if entry.path().extension().is_some_and(|x| x == "json") {
+                    let text = std::fs::read_to_string(entry.path()).map_err(|e| e.to_string())?;
+                    policies.push(WorkerPolicy::from_json(&text)?);
+                }
+            }
+            println!("loaded {} policies from {}", policies.len(), dir.display());
+            Box::new(RamsisScheme::new(
+                PolicySet::from_policies(policies).map_err(|e| e.to_string())?,
+            ))
+        }
+        "JF" => Box::new(JellyfishPlus::new(&profile, args.workers)),
+        "MS" => {
+            let path = policy_dir(&args.out, "MS", args.workers, args.slo_ms).join("table.json");
+            let text = std::fs::read_to_string(&path).map_err(|e| {
+                format!(
+                    "no MS table at {} (run `ramsis-cli ms-gen`): {e}",
+                    path.display()
+                )
+            })?;
+            let table: ResponseLatencyTable =
+                serde_json::from_str(&text).map_err(|e| e.to_string())?;
+            Box::new(ModelSwitching::new(&profile, table))
+        }
+        other => {
+            return Err(format!(
+                "unknown method {other:?} (expected RAMSIS, JF, or MS)"
+            ))
+        }
+    };
+
+    // Constant-load runs use the perfect monitor (§7.2); the production
+    // trace uses the 500 ms moving average (§6).
+    let mut estimator: Box<dyn LoadEstimator> = if args.trace == "constant" {
+        Box::new(OracleMonitor::new(trace.clone()))
+    } else {
+        Box::new(LoadMonitor::new())
+    };
+
+    let mut config = SimulationConfig::new(args.workers, args.slo_s()).seeded(seed);
+    if args
+        .extra("--stochastic")
+        .is_some_and(|v| v == "true" || v == "1")
+    {
+        config.latency = LatencyMode::Stochastic;
+    }
+    let sim = Simulation::new(&profile, config);
+    let report = sim.run(&trace, scheme.as_mut(), estimator.as_mut());
+
+    println!(
+        "{method}: {} queries, accuracy per satisfied query {:.2}%, violation rate {:.4}%",
+        report.served,
+        report.accuracy_per_satisfied_query,
+        report.violation_rate * 100.0
+    );
+    let path = result_path(
+        &args.out,
+        args.task,
+        method,
+        &args.trace,
+        args.slo_ms,
+        args.workers,
+        args.load,
+    );
+    write_json_file(&path, &report)?;
+    println!("script complete!");
+    Ok(())
+}

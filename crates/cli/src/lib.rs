@@ -1,0 +1,72 @@
+//! `ramsis-cli` — the paper artifact's script interface, in Rust.
+//!
+//! The artifact (§A) drives everything through four Python scripts;
+//! each has a subcommand here with the same flags (§A.5):
+//!
+//! ```text
+//! ramsis-cli gen     --task image --SLO 150 --worker 60 --load 2000
+//! ramsis-cli ms-gen  --task image --SLO 150 --worker 60
+//! ramsis-cli sim     --m RAMSIS --trace real --task image --SLO 150 --worker 60
+//! ramsis-cli plot    --task image --trace real --SLO 150
+//! ramsis-cli trace   --kind twitter --out twitter_like.txt
+//! ramsis-cli inspect --policy policy_gen/RAMSIS_60_150/2000.json
+//! ```
+//!
+//! Policies are written under `policy_gen/METHOD_WORKERS_SLO/LOAD.json`
+//! and results under `results/TASK_METHOD_TRACE_SLO_*.json`, matching
+//! the artifact's layout (§A.4.2).
+
+pub mod cli_args;
+pub mod commands;
+
+/// Dispatches a parsed argument list; returns the process exit code.
+pub fn run(args: &[String]) -> i32 {
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return 2;
+    };
+    let result = match command.as_str() {
+        "gen" => commands::gen::run(rest),
+        "ms-gen" => commands::ms_gen::run(rest),
+        "sim" => commands::sim::run(rest),
+        "plot" => commands::plot::run(rest),
+        "trace" => commands::trace::run(rest),
+        "inspect" => commands::inspect::run(rest),
+        "profiles" => commands::profiles::run(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            return 0;
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => 0,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            2
+        }
+    }
+}
+
+const USAGE: &str = "\
+ramsis-cli — RAMSIS policy generation, simulation, and plotting
+
+commands:
+  gen      generate RAMSIS model-selection policies (artifact: RAMSIS_gen.py)
+  ms-gen   run the ModelSwitching offline profiling sweep (artifact: MS_gen.py)
+  sim      simulate an MS&S method on a trace (artifact: run_sim.py)
+  plot     summarize and compare simulation results (artifact: plot.py)
+  trace    generate or inspect a query-load trace file
+  inspect  pretty-print a generated policy
+  profiles export/import raw latency profiles (artifact layout, §A.2.4)
+
+common flags (artifact §A.5):
+  --task image|text     inference task              [default: image]
+  --SLO MS              latency SLO in milliseconds [default: task-specific]
+  --worker N            number of workers           [default: 60 image / 20 text]
+  --load QPS            query load (gen/sim constant trace)
+  --m RAMSIS|JF|MS      method to simulate          [sim only]
+  --trace real|constant workload kind               [sim/plot]
+  --d N                 FLD discretization steps    [default: 25; 100 = paper]
+  --out DIR             output root                 [default: .]";

@@ -1,0 +1,7 @@
+//! Thin binary wrapper; the dispatch lives in the library so the
+//! commands are integration-testable.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(ramsis_cli::run(&args));
+}

@@ -1,0 +1,157 @@
+//! End-to-end CLI pipeline: gen → ms-gen → sim × 3 methods → plot,
+//! exercising the artifact's §A.4.2 workflow against a temp directory,
+//! plus the profiles export/import round trip.
+
+use std::path::PathBuf;
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ramsis_cli_test_{tag}"));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn run(words: &[&str]) -> i32 {
+    let args: Vec<String> = words.iter().map(|s| s.to_string()).collect();
+    ramsis_cli::run(&args)
+}
+
+#[test]
+fn artifact_workflow_end_to_end() {
+    let dir = tempdir("workflow");
+    let out = dir.to_str().unwrap();
+    // Keep everything tiny: text task, 4 workers, D=8, short profiling.
+    let common = [
+        "--task", "text", "--SLO", "100", "--worker", "4", "--out", out,
+    ];
+
+    // gen (one load).
+    let mut gen_args = vec!["gen", "--load", "150", "--d", "8"];
+    gen_args.extend_from_slice(&common);
+    assert_eq!(run(&gen_args), 0);
+    assert!(dir.join("policy_gen/RAMSIS_4_100/150.json").exists());
+
+    // ms-gen (coarse sweep, short duration).
+    let mut ms_args = vec!["ms-gen", "--step", "3600", "--duration", "2"];
+    ms_args.extend_from_slice(&common);
+    assert_eq!(run(&ms_args), 0);
+    assert!(dir.join("policy_gen/MS_4_100/table.json").exists());
+
+    // sim for each method on a short constant trace.
+    for method in ["RAMSIS", "JF", "MS"] {
+        let mut sim_args = vec![
+            "sim",
+            "--m",
+            method,
+            "--trace",
+            "constant",
+            "--load",
+            "150",
+            "--duration",
+            "3",
+        ];
+        sim_args.extend_from_slice(&common);
+        assert_eq!(run(&sim_args), 0, "sim {method} failed");
+        assert!(
+            dir.join(format!("results/text_{method}_constant_100_4_150.json"))
+                .exists(),
+            "{method} result missing"
+        );
+    }
+
+    // plot over the collected results.
+    let mut plot_args = vec!["plot", "--trace", "constant"];
+    plot_args.extend_from_slice(&common);
+    assert_eq!(run(&plot_args), 0);
+
+    // inspect the generated policy.
+    let policy = dir.join("policy_gen/RAMSIS_4_100/150.json");
+    let mut inspect_args = vec![
+        "inspect",
+        "--policy",
+        policy.to_str().unwrap(),
+        "--states",
+        "3",
+    ];
+    inspect_args.extend_from_slice(&common);
+    assert_eq!(run(&inspect_args), 0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_generate_and_inspect() {
+    let dir = tempdir("trace");
+    let out = dir.to_str().unwrap();
+    assert_eq!(run(&["trace", "--kind", "twitter", "--out", out]), 0);
+    let path = dir.join("twitter_trace.txt");
+    assert!(path.exists());
+    assert_eq!(run(&["trace", "--file", path.to_str().unwrap()]), 0);
+    // Constant trace generation requires a load.
+    assert_ne!(run(&["trace", "--kind", "constant", "--out", out]), 0);
+    assert_eq!(
+        run(&[
+            "trace",
+            "--kind",
+            "constant",
+            "--load",
+            "500",
+            "--duration",
+            "60",
+            "--out",
+            out
+        ]),
+        0
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn profiles_export_import_round_trip() {
+    let dir = tempdir("profiles");
+    let pdir = dir.join("measured");
+    assert_eq!(
+        run(&[
+            "profiles",
+            "--export",
+            pdir.to_str().unwrap(),
+            "--task",
+            "text",
+            "--invocations",
+            "20",
+        ]),
+        0
+    );
+    assert!(pdir.join("profiles/bert_tiny/1.json").exists());
+    assert_eq!(
+        run(&[
+            "profiles",
+            "--import",
+            pdir.to_str().unwrap(),
+            "--task",
+            "text",
+            "--SLO",
+            "200",
+        ]),
+        0
+    );
+    // Both flags at once is an error.
+    assert_ne!(
+        run(&["profiles", "--export", "/tmp/x", "--import", "/tmp/y"]),
+        0
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_invocations_fail_cleanly() {
+    assert_ne!(run(&[]), 0);
+    assert_ne!(run(&["frobnicate"]), 0);
+    assert_ne!(
+        run(&["sim", "--m", "WAT", "--trace", "constant", "--load", "10"]),
+        0
+    );
+    assert_ne!(run(&["sim", "--m", "RAMSIS", "--trace", "constant"]), 0); // no --load
+    assert_ne!(run(&["inspect"]), 0); // no --policy
+    assert_eq!(run(&["help"]), 0);
+}

@@ -1,0 +1,340 @@
+//! The worker MDP action space (paper §4.3).
+//!
+//! An action is either the arrival action `â` (idle until the next
+//! arrival, only available in the empty state, §4.3.4) or a model-
+//! selection decision `(m, b)` directing the `b` earliest-deadline
+//! queries to model `m`. Valid `(m, b)` pairs are constrained by:
+//!
+//! - **Latency** (§4.3.1): `l_w(m, b) ≤ T_j`; if no pair satisfies the
+//!   slack, the single *forced* action `(m_min, n)` remains (queries are
+//!   "better served late than never").
+//! - **Batch size** (§4.3.2): maximal batching fixes `b = n` (the
+//!   default); variable batching allows `1 ≤ b ≤ n`.
+//! - **Models** (§4.3.3): only accuracy-latency Pareto-front models.
+
+use serde::{Deserialize, Serialize};
+
+use ramsis_profiles::WorkerProfile;
+
+use crate::config::MissPolicy;
+use crate::discretize::TimeGrid;
+
+/// The batching strategy (§4.3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Batching {
+    /// All queued queries are always batched together (`b = n`); the
+    /// paper's default — variable-batching policies picked `b = n` in
+    /// 80% of decisions anyway.
+    Maximal,
+    /// Any batch size `1 ≤ b ≤ n`.
+    Variable,
+}
+
+/// A worker MDP action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Action {
+    /// `â`: idle until the next arrival (empty state only).
+    Arrival,
+    /// Serve the `batch` earliest-deadline queries on `model`.
+    Serve {
+        /// Catalog index of the selected model.
+        model: u32,
+        /// Number of queries batched.
+        batch: u32,
+    },
+    /// Shed the whole queue because its earliest deadline is
+    /// unsatisfiable ([`MissPolicy::Drop`], §4.3.1). Takes no service
+    /// time.
+    Shed,
+}
+
+impl Action {
+    /// Packs the action into the `u64` label carried by the generic MDP.
+    pub fn to_label(self) -> u64 {
+        match self {
+            Action::Arrival => u64::MAX,
+            Action::Shed => u64::MAX - 1,
+            Action::Serve { model, batch } => ((model as u64) << 32) | batch as u64,
+        }
+    }
+
+    /// Unpacks a label produced by [`Self::to_label`].
+    pub fn from_label(label: u64) -> Self {
+        if label == u64::MAX {
+            Action::Arrival
+        } else if label == u64::MAX - 1 {
+            Action::Shed
+        } else {
+            Action::Serve {
+                model: (label >> 32) as u32,
+                batch: (label & 0xFFFF_FFFF) as u32,
+            }
+        }
+    }
+}
+
+/// Enumerates the valid actions in a queued state `(n, T_j)`.
+///
+/// Returns the latency-feasible `(m, b)` pairs over Pareto-front models
+/// under `batching`; when none is feasible, returns the forced action
+/// alone (§4.3.1): `(m_min, n)` under [`MissPolicy::ServeLate`]
+/// ("better served late than never"), or the shed action under
+/// [`MissPolicy::Drop`]. The returned list is never empty.
+///
+/// # Panics
+///
+/// Panics if `n` is zero or exceeds the profiled batch range.
+pub fn valid_actions(
+    profile: &WorkerProfile,
+    grid: &TimeGrid,
+    n: u32,
+    slack: usize,
+    batching: Batching,
+    on_miss: MissPolicy,
+) -> Vec<Action> {
+    assert!(n >= 1, "queued state requires n >= 1");
+    let slack_value = grid.value(slack);
+    let batch_range = match batching {
+        Batching::Maximal => n..=n,
+        Batching::Variable => 1..=n,
+    };
+    let mut actions = Vec::new();
+    for b in batch_range {
+        for &m in profile.pareto_models() {
+            // Batches beyond the profiled range (n > B_w) have no
+            // latency entry and are never valid.
+            if let Some(l) = profile.latency(m, b) {
+                if l <= slack_value {
+                    actions.push(Action::Serve {
+                        model: m as u32,
+                        batch: b,
+                    });
+                }
+            }
+        }
+    }
+    if actions.is_empty() {
+        // A latency SLO violation is unavoidable (§4.3.1).
+        actions.push(match on_miss {
+            // "Better served late than never": everything on the
+            // fastest model.
+            MissPolicy::ServeLate => Action::Serve {
+                model: profile.fastest_model() as u32,
+                batch: n,
+            },
+            // Nexus/Clockwork-style shedding.
+            MissPolicy::Drop => Action::Shed,
+        });
+    }
+    actions
+}
+
+/// Whether an action satisfies the strictest deadline in its source
+/// state — the `SLOSatisfied(s, a)` predicate of §4.1.
+///
+/// The arrival action serves no queries and counts as satisfied; the
+/// shed action discards its queries and counts as violated.
+pub fn slo_satisfied(
+    profile: &WorkerProfile,
+    grid: &TimeGrid,
+    slack: usize,
+    action: Action,
+) -> bool {
+    match action {
+        Action::Arrival => true,
+        Action::Shed => false,
+        Action::Serve { model, batch } => match profile.latency(model as usize, batch) {
+            Some(l) => l <= grid.value(slack),
+            // Unprofiled batch (forced overflow service): the deadline
+            // cannot be met.
+            None => false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discretize::Discretization;
+    use ramsis_profiles::{ModelCatalog, ProfilerConfig};
+    use std::time::Duration;
+
+    fn profile() -> &'static WorkerProfile {
+        use std::sync::OnceLock;
+        static PROFILE: OnceLock<WorkerProfile> = OnceLock::new();
+        PROFILE.get_or_init(|| {
+            WorkerProfile::build(
+                &ModelCatalog::torchvision_image(),
+                Duration::from_millis(150),
+                ProfilerConfig::default(),
+            )
+        })
+    }
+
+    fn grid() -> TimeGrid {
+        TimeGrid::build(profile(), 0.15, Discretization::fixed_length(100))
+    }
+
+    #[test]
+    fn label_round_trip() {
+        for a in [
+            Action::Arrival,
+            Action::Serve { model: 0, batch: 1 },
+            Action::Serve {
+                model: 25,
+                batch: 32,
+            },
+            Action::Serve {
+                model: u32::MAX - 1,
+                batch: u32::MAX,
+            },
+        ] {
+            assert_eq!(Action::from_label(a.to_label()), a);
+        }
+    }
+
+    #[test]
+    fn full_slack_admits_many_models() {
+        let p = profile();
+        let g = grid();
+        let actions = valid_actions(p, &g, 1, g.top(), Batching::Maximal, MissPolicy::ServeLate);
+        // At slack = SLO every Pareto model with batch-1 latency <= SLO
+        // is valid.
+        let expect = p
+            .pareto_models()
+            .iter()
+            .filter(|&&m| p.latency(m, 1).unwrap() <= 0.15)
+            .count();
+        assert_eq!(actions.len(), expect);
+        assert!(actions.len() >= 5, "got {}", actions.len());
+        // All are batch = n = 1 under maximal batching.
+        for a in &actions {
+            match a {
+                Action::Serve { batch, .. } => assert_eq!(*batch, 1),
+                other => panic!("unexpected action {other:?} in queued state"),
+            }
+        }
+    }
+
+    #[test]
+    fn zero_slack_forces_fastest_model() {
+        let p = profile();
+        let g = grid();
+        let actions = valid_actions(p, &g, 4, 0, Batching::Maximal, MissPolicy::ServeLate);
+        assert_eq!(
+            actions,
+            vec![Action::Serve {
+                model: p.fastest_model() as u32,
+                batch: 4
+            }]
+        );
+        // The forced action violates the SLO by construction.
+        assert!(!slo_satisfied(p, &g, 0, actions[0]));
+    }
+
+    #[test]
+    fn zero_slack_sheds_under_drop_policy() {
+        let p = profile();
+        let g = grid();
+        let actions = valid_actions(p, &g, 4, 0, Batching::Maximal, MissPolicy::Drop);
+        assert_eq!(actions, vec![Action::Shed]);
+        assert!(!slo_satisfied(p, &g, 0, Action::Shed));
+        assert_eq!(Action::from_label(Action::Shed.to_label()), Action::Shed);
+    }
+
+    #[test]
+    fn variable_batching_superset_of_maximal() {
+        let p = profile();
+        let g = grid();
+        let maximal = valid_actions(p, &g, 5, g.top(), Batching::Maximal, MissPolicy::ServeLate);
+        let variable = valid_actions(p, &g, 5, g.top(), Batching::Variable, MissPolicy::ServeLate);
+        for a in &maximal {
+            assert!(variable.contains(a));
+        }
+        assert!(variable.len() > maximal.len());
+        // Variable batching includes partial batches.
+        assert!(variable
+            .iter()
+            .any(|a| matches!(a, Action::Serve { batch, .. } if *batch < 5)));
+    }
+
+    #[test]
+    fn tighter_slack_shrinks_action_set() {
+        let p = profile();
+        let g = grid();
+        let wide = valid_actions(p, &g, 1, g.top(), Batching::Maximal, MissPolicy::ServeLate).len();
+        let mid = valid_actions(
+            p,
+            &g,
+            1,
+            g.top() / 2,
+            Batching::Maximal,
+            MissPolicy::ServeLate,
+        )
+        .len();
+        let tight = valid_actions(p, &g, 1, 1, Batching::Maximal, MissPolicy::ServeLate).len();
+        assert!(wide >= mid && mid >= tight, "{wide} {mid} {tight}");
+    }
+
+    #[test]
+    fn slo_satisfied_matches_latency_check() {
+        let p = profile();
+        let g = grid();
+        let fast = p.fastest_model() as u32;
+        assert!(slo_satisfied(
+            p,
+            &g,
+            g.top(),
+            Action::Serve {
+                model: fast,
+                batch: 1
+            }
+        ));
+        assert!(!slo_satisfied(
+            p,
+            &g,
+            0,
+            Action::Serve {
+                model: fast,
+                batch: 1
+            }
+        ));
+        assert!(slo_satisfied(p, &g, 0, Action::Arrival));
+        // Unprofiled batch size (overflow service) is never satisfied.
+        assert!(!slo_satisfied(
+            p,
+            &g,
+            g.top(),
+            Action::Serve {
+                model: fast,
+                batch: p.max_batch() + 50
+            }
+        ));
+    }
+
+    #[test]
+    fn larger_batches_need_more_slack() {
+        let p = profile();
+        let g = grid();
+        // Find a slack that admits batch 1 but not batch B_w on the
+        // fastest model.
+        let fast = p.fastest_model();
+        let l1 = p.latency(fast, 1).unwrap();
+        let j = g.floor_index(l1 + 0.002);
+        let actions = valid_actions(
+            p,
+            &g,
+            p.max_batch(),
+            j,
+            Batching::Variable,
+            MissPolicy::ServeLate,
+        );
+        // No action with batch = B_w can be valid at this slack.
+        for a in &actions {
+            if let Action::Serve { model, batch } = a {
+                let l = p.latency(*model as usize, *batch).unwrap();
+                assert!(l <= g.value(j), "invalid action leaked: {a:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Policy-generation configuration (the offline inputs of paper §3.1.1).
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+use crate::action::Batching;
+use crate::discretize::Discretization;
+use crate::error::CoreError;
+
+/// The query load balancing strategy the per-worker MDP is conditioned
+/// on (§3.2.1 and appendix §I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Balancing {
+    /// Round-robin: each worker receives every K-th central-queue
+    /// arrival (the paper's default; §4.4 transition probabilities).
+    RoundRobin,
+    /// Shortest-queue-first / join-the-shortest-queue, modelled by the
+    /// conditional-Poisson approximation of appendix §I.
+    ShortestQueueFirst,
+}
+
+/// The reward shaping of §4.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RewardKind {
+    /// The paper's reward: `Accuracy(a) · SLOSatisfied(s, a)` per
+    /// decision epoch, regardless of batch size.
+    PerBatch,
+    /// Batch-weighted ablation: `b · Accuracy(a) · SLOSatisfied(s, a)`,
+    /// aligning the objective with the online accuracy-per-query metric.
+    PerQuery,
+}
+
+/// What happens to queries whose deadline can no longer be met
+/// (§4.3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MissPolicy {
+    /// The paper's default: "queries are better served late than never"
+    /// — the forced action serves everything on the fastest model.
+    ServeLate,
+    /// The Nexus/Clockwork-style alternative the paper sketches:
+    /// "RAMSIS can be re-formulated in a straightforward manner to drop
+    /// queries whose deadlines cannot be satisfied [15, 43] via changes
+    /// to the transition probabilities." Unservable batches are shed
+    /// instantly, freeing the worker for fresh arrivals.
+    Drop,
+}
+
+/// Which exact solver generates the policy (§4.1: value iteration by
+/// default; "other exact solution methods, like policy iteration, may be
+/// used").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolverKind {
+    /// Discounted value iteration (default).
+    ValueIteration,
+    /// Gauss–Seidel value iteration (same fixed point, ~2x fewer
+    /// sweeps).
+    GaussSeidelValueIteration,
+    /// Policy iteration with iterative evaluation.
+    PolicyIteration,
+    /// Relative value iteration (average-reward criterion).
+    RelativeValueIteration,
+}
+
+/// All offline inputs other than the profile and arrival distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyConfig {
+    /// Response-latency SLO in seconds (§3.1.1).
+    pub slo_s: f64,
+    /// Number of workers `K` behind the load balancer.
+    pub workers: usize,
+    /// Maximum worker-queue size `N_w` (§4.2.3); `None` derives
+    /// `B_w + 3` from the profile (the paper uses `N_w = 32` for
+    /// `B_w = 29`).
+    pub max_queue: Option<u32>,
+    /// Slack-time discretization strategy (§4.2.1–4.2.2).
+    pub discretization: Discretization,
+    /// Batching strategy (§4.3.2); maximal is the paper's default.
+    pub batching: Batching,
+    /// Load-balancing model for the transition probabilities.
+    pub balancing: Balancing,
+    /// Reward shaping.
+    pub reward: RewardKind,
+    /// Unsatisfiable-deadline handling (§4.3.1).
+    pub on_miss: MissPolicy,
+    /// Solver choice.
+    pub solver: SolverKind,
+    /// Discount factor for the discounted criteria.
+    pub discount: f64,
+    /// Truncation tolerance for arrival-count tables.
+    pub tail_eps: f64,
+    /// Transition probabilities below this are pruned from the MDP.
+    pub prune_eps: f64,
+}
+
+impl PolicyConfig {
+    /// Starts a builder for the given SLO.
+    pub fn builder(slo: Duration) -> PolicyConfigBuilder {
+        PolicyConfigBuilder::new(slo)
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] describing the first problem.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if !(self.slo_s.is_finite() && self.slo_s > 0.0) {
+            return Err(CoreError::InvalidConfig(format!(
+                "SLO must be positive, got {}",
+                self.slo_s
+            )));
+        }
+        if self.workers == 0 {
+            return Err(CoreError::InvalidConfig("workers must be positive".into()));
+        }
+        if let Some(n) = self.max_queue {
+            if n == 0 {
+                return Err(CoreError::InvalidConfig(
+                    "max queue must be positive".into(),
+                ));
+            }
+        }
+        if !(self.discount > 0.0 && self.discount < 1.0) {
+            return Err(CoreError::InvalidConfig(format!(
+                "discount must lie in (0, 1), got {}",
+                self.discount
+            )));
+        }
+        if !(self.tail_eps > 0.0 && self.tail_eps < 0.5) {
+            return Err(CoreError::InvalidConfig(format!(
+                "tail_eps must lie in (0, 0.5), got {}",
+                self.tail_eps
+            )));
+        }
+        if !(self.prune_eps >= 0.0 && self.prune_eps < 1e-3) {
+            return Err(CoreError::InvalidConfig(format!(
+                "prune_eps must lie in [0, 1e-3), got {}",
+                self.prune_eps
+            )));
+        }
+        self.discretization.validate()?;
+        Ok(())
+    }
+}
+
+/// Builder for [`PolicyConfig`] with the paper's defaults: one worker,
+/// FLD with `D = 100`, maximal batching, round-robin balancing,
+/// per-batch reward, value iteration at `γ = 0.99`.
+#[derive(Debug, Clone)]
+pub struct PolicyConfigBuilder {
+    config: PolicyConfig,
+}
+
+impl PolicyConfigBuilder {
+    /// Creates the builder with paper defaults for the given SLO.
+    pub fn new(slo: Duration) -> Self {
+        Self {
+            config: PolicyConfig {
+                slo_s: slo.as_secs_f64(),
+                workers: 1,
+                max_queue: None,
+                discretization: Discretization::fixed_length(100),
+                batching: Batching::Maximal,
+                balancing: Balancing::RoundRobin,
+                reward: RewardKind::PerBatch,
+                on_miss: MissPolicy::ServeLate,
+                solver: SolverKind::ValueIteration,
+                discount: 0.99,
+                tail_eps: 1e-12,
+                prune_eps: 1e-12,
+            },
+        }
+    }
+
+    /// Sets the number of workers `K`.
+    pub fn workers(mut self, k: usize) -> Self {
+        self.config.workers = k;
+        self
+    }
+
+    /// Overrides the maximum worker-queue size `N_w`.
+    pub fn max_queue(mut self, n: u32) -> Self {
+        self.config.max_queue = Some(n);
+        self
+    }
+
+    /// Sets the slack discretization strategy.
+    pub fn discretization(mut self, d: Discretization) -> Self {
+        self.config.discretization = d;
+        self
+    }
+
+    /// Sets the batching strategy.
+    pub fn batching(mut self, b: Batching) -> Self {
+        self.config.batching = b;
+        self
+    }
+
+    /// Sets the load-balancing model.
+    pub fn balancing(mut self, b: Balancing) -> Self {
+        self.config.balancing = b;
+        self
+    }
+
+    /// Sets the reward shaping.
+    pub fn reward(mut self, r: RewardKind) -> Self {
+        self.config.reward = r;
+        self
+    }
+
+    /// Sets the unsatisfiable-deadline handling.
+    pub fn on_miss(mut self, m: MissPolicy) -> Self {
+        self.config.on_miss = m;
+        self
+    }
+
+    /// Sets the solver.
+    pub fn solver(mut self, s: SolverKind) -> Self {
+        self.config.solver = s;
+        self
+    }
+
+    /// Sets the discount factor.
+    pub fn discount(mut self, gamma: f64) -> Self {
+        self.config.discount = gamma;
+        self
+    }
+
+    /// Finalizes the configuration (unvalidated; [`PolicyConfig::validate`]
+    /// runs at generation time).
+    pub fn build(self) -> PolicyConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> PolicyConfig {
+        PolicyConfig::builder(Duration::from_millis(150)).build()
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = base();
+        assert_eq!(c.batching, Batching::Maximal);
+        assert_eq!(c.balancing, Balancing::RoundRobin);
+        assert_eq!(c.reward, RewardKind::PerBatch);
+        assert_eq!(c.on_miss, MissPolicy::ServeLate);
+        assert_eq!(c.solver, SolverKind::ValueIteration);
+        assert_eq!(c.discretization, Discretization::fixed_length(100));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_setters() {
+        let c = PolicyConfig::builder(Duration::from_millis(300))
+            .workers(60)
+            .max_queue(32)
+            .batching(Batching::Variable)
+            .balancing(Balancing::ShortestQueueFirst)
+            .reward(RewardKind::PerQuery)
+            .solver(SolverKind::PolicyIteration)
+            .discount(0.95)
+            .build();
+        assert_eq!(c.workers, 60);
+        assert_eq!(c.max_queue, Some(32));
+        assert_eq!(c.batching, Batching::Variable);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut c = base();
+        c.workers = 0;
+        assert!(matches!(c.validate(), Err(CoreError::InvalidConfig(_))));
+
+        let mut c = base();
+        c.discount = 1.0;
+        assert!(c.validate().is_err());
+
+        let mut c = base();
+        c.slo_s = -1.0;
+        assert!(c.validate().is_err());
+
+        let mut c = base();
+        c.max_queue = Some(0);
+        assert!(c.validate().is_err());
+
+        let mut c = base();
+        c.tail_eps = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = base();
+        c.prune_eps = 0.5;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = base();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: PolicyConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

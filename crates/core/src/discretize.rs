@@ -1,0 +1,256 @@
+//! Slack-time discretization (paper §4.2).
+//!
+//! Worker-queue states carry the slack time `T_j` of the earliest
+//! deadline. Slack is continuous; RAMSIS discretizes it into a finite
+//! grid `T_w = (T_0, T_1, ...)` where a continuous slack `Δ` maps to the
+//! largest grid value `T_j ≤ Δ` — a *conservative* rounding (the policy
+//! never believes it has more time than it does), which underpins the
+//! §5.1 bound directions.
+//!
+//! Two strategies are provided:
+//!
+//! - [`Discretization::ModelBased`] (MD, §4.2.1): the grid is the set of
+//!   profiled inference latencies `l_w(m, b) ≤ SLO` over Pareto models —
+//!   exact for deciding action validity, `O(|M_w| · B_w)` values.
+//! - [`Discretization::FixedLength`] (FLD, §4.2.2): the uniform grid
+//!   `{0, SLO/D, 2·SLO/D, ..., SLO}`; `D` trades policy-generation time
+//!   against conservatism (appendix §C shows `D = 100` matches MD).
+
+use serde::{Deserialize, Serialize};
+
+use ramsis_profiles::WorkerProfile;
+
+use crate::error::CoreError;
+
+/// The slack-time discretization strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Discretization {
+    /// Model-based discretization (§4.2.1).
+    ModelBased,
+    /// Fixed-length discretization with `D` steps (§4.2.2).
+    FixedLength {
+        /// Number of uniform steps over `[0, SLO]`.
+        d: u32,
+    },
+}
+
+impl Discretization {
+    /// Convenience constructor for FLD.
+    pub fn fixed_length(d: u32) -> Self {
+        Discretization::FixedLength { d }
+    }
+
+    /// Validates parameters.
+    pub(crate) fn validate(&self) -> Result<(), CoreError> {
+        match self {
+            Discretization::ModelBased => Ok(()),
+            Discretization::FixedLength { d } => {
+                if *d == 0 {
+                    Err(CoreError::InvalidConfig(
+                        "FLD step count D must be positive".into(),
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+/// A materialized slack grid `T_w` for one worker profile and SLO.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeGrid {
+    /// Strictly increasing slack values; `values[0] == 0`,
+    /// `values.last() == SLO`.
+    values: Vec<f64>,
+}
+
+impl TimeGrid {
+    /// Builds the grid for `profile` under `strategy`.
+    ///
+    /// Both strategies always include 0 (exhausted slack) and the SLO
+    /// (fresh-arrival slack), so every runtime slack in `[0, SLO]` has a
+    /// grid bin and the arrival action's successor state `(1, SLO)` is
+    /// representable exactly (§4.4.1).
+    pub fn build(profile: &WorkerProfile, slo_s: f64, strategy: Discretization) -> Self {
+        let mut values = match strategy {
+            Discretization::FixedLength { d } => (0..=d)
+                .map(|i| slo_s * i as f64 / d as f64)
+                .collect::<Vec<_>>(),
+            Discretization::ModelBased => {
+                let mut v = vec![0.0, slo_s];
+                for &m in profile.pareto_models() {
+                    for b in 1..=profile.max_batch() {
+                        if let Some(l) = profile.latency(m, b) {
+                            if l <= slo_s {
+                                v.push(l);
+                            }
+                        }
+                    }
+                }
+                v
+            }
+        };
+        values.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        values.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        debug_assert!(values[0].abs() < 1e-12);
+        Self { values }
+    }
+
+    /// Number of grid values `|T_w|`.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the grid is empty (never true for a built grid).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The grid values, ascending.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// `T_j` for index `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn value(&self, j: usize) -> f64 {
+        self.values[j]
+    }
+
+    /// The exclusive upper edge of bin `j`: `T_{j+1}`, or `T_j` itself
+    /// for the top bin (whose interval is the single point `SLO`).
+    pub fn upper_edge(&self, j: usize) -> f64 {
+        if j + 1 < self.values.len() {
+            self.values[j + 1]
+        } else {
+            self.values[j]
+        }
+    }
+
+    /// Index of the largest grid value `≤ slack` (conservative floor);
+    /// negative slacks clamp to bin 0.
+    pub fn floor_index(&self, slack: f64) -> usize {
+        if slack <= 0.0 {
+            return 0;
+        }
+        match self
+            .values
+            .binary_search_by(|v| v.partial_cmp(&slack).expect("grid values are finite"))
+        {
+            Ok(j) => j,
+            Err(insert) => insert.saturating_sub(1),
+        }
+    }
+
+    /// Index of the top bin (slack = SLO).
+    pub fn top(&self) -> usize {
+        self.values.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use ramsis_profiles::{ModelCatalog, ProfilerConfig};
+    use std::time::Duration;
+
+    fn profile() -> &'static WorkerProfile {
+        use std::sync::OnceLock;
+        static PROFILE: OnceLock<WorkerProfile> = OnceLock::new();
+        PROFILE.get_or_init(|| {
+            WorkerProfile::build(
+                &ModelCatalog::torchvision_image(),
+                Duration::from_millis(150),
+                ProfilerConfig::default(),
+            )
+        })
+    }
+
+    #[test]
+    fn fld_grid_is_uniform() {
+        let p = profile();
+        let g = TimeGrid::build(p, 0.15, Discretization::fixed_length(100));
+        assert_eq!(g.len(), 101);
+        assert_eq!(g.value(0), 0.0);
+        assert!((g.value(100) - 0.15).abs() < 1e-12);
+        assert!((g.value(50) - 0.075).abs() < 1e-12);
+        // Uniform spacing.
+        for w in g.values().windows(2) {
+            assert!((w[1] - w[0] - 0.0015).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn md_grid_contains_all_pareto_latencies() {
+        let p = profile();
+        let g = TimeGrid::build(p, 0.15, Discretization::ModelBased);
+        assert_eq!(g.value(0), 0.0);
+        assert!((g.values().last().unwrap() - 0.15).abs() < 1e-12);
+        for &m in p.pareto_models() {
+            for b in 1..=p.max_batch() {
+                if let Some(l) = p.latency(m, b) {
+                    if l <= 0.15 {
+                        let j = g.floor_index(l);
+                        assert!(
+                            (g.value(j) - l).abs() < 1e-9,
+                            "latency {l} not on grid (floor {})",
+                            g.value(j)
+                        );
+                    }
+                }
+            }
+        }
+        // Size bound: O(|pareto| * B_w) + endpoints.
+        assert!(g.len() <= p.pareto_models().len() * p.max_batch() as usize + 2);
+    }
+
+    #[test]
+    fn floor_index_is_conservative() {
+        let p = profile();
+        let g = TimeGrid::build(p, 0.15, Discretization::fixed_length(10));
+        // Exact hits.
+        assert_eq!(g.floor_index(0.0), 0);
+        assert_eq!(g.floor_index(0.15), g.top());
+        assert_eq!(g.floor_index(0.015), 1);
+        // In-between values floor down.
+        assert_eq!(g.floor_index(0.0151), 1);
+        assert_eq!(g.floor_index(0.0299), 1);
+        // Negative slack clamps to the exhausted bin.
+        assert_eq!(g.floor_index(-0.5), 0);
+        // Beyond SLO clamps to the top (cannot exceed SLO in practice).
+        assert_eq!(g.floor_index(1.0), g.top());
+    }
+
+    #[test]
+    fn upper_edge_top_bin_is_degenerate() {
+        let p = profile();
+        let g = TimeGrid::build(p, 0.15, Discretization::fixed_length(10));
+        assert_eq!(g.upper_edge(g.top()), g.value(g.top()));
+        assert!((g.upper_edge(0) - g.value(1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Discretization::fixed_length(0).validate().is_err());
+        assert!(Discretization::fixed_length(1).validate().is_ok());
+        assert!(Discretization::ModelBased.validate().is_ok());
+    }
+
+    proptest! {
+        #[test]
+        fn floor_never_exceeds_slack(slack in 0.0f64..0.15) {
+            let p = profile();
+            let g = TimeGrid::build(p, 0.15, Discretization::fixed_length(37));
+            let j = g.floor_index(slack);
+            prop_assert!(g.value(j) <= slack + 1e-12);
+            if j + 1 < g.len() {
+                prop_assert!(g.value(j + 1) > slack);
+            }
+        }
+    }
+}

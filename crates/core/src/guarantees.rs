@@ -1,0 +1,466 @@
+//! Probabilistic accuracy and latency guarantees (paper §5.1).
+//!
+//! Given a policy `π_w`, the stationary distribution `P_π(s)` of the
+//! induced chain (power iteration, [`ramsis_mdp::stationary_distribution`])
+//! yields closed-form expectations over the state space:
+//!
+//! - expected latency-SLO violation rate (an *upper bound* on the
+//!   observed rate: the discretized slack underestimates the real slack,
+//!   and a missed earliest deadline conservatively counts the whole
+//!   batch as missed),
+//! - expected inference accuracy (a *lower bound* on the observed
+//!   accuracy per satisfied query, for the same reasons).
+//!
+//! The paper's formulas are per decision *epoch*. The online metrics of
+//! §7 are per *query*, so we also compute batch-size-weighted variants:
+//! an epoch serving 8 queries contributes 8 queries' worth of accuracy
+//! and violations. Both are exposed; Fig. 7 compares the per-query
+//! variants against simulation and implementation measurements.
+
+use serde::{Deserialize, Serialize};
+
+use ramsis_profiles::WorkerProfile;
+
+use crate::action::{slo_satisfied, Action};
+use crate::discretize::TimeGrid;
+use crate::state::{State, StateSpace};
+
+/// Offline expectations for a generated policy (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Guarantees {
+    /// Expected accuracy per *satisfied query* (batch-weighted), percent.
+    pub expected_accuracy: f64,
+    /// Expected fraction of *queries* whose deadline is missed.
+    pub expected_violation_rate: f64,
+    /// The paper's per-epoch accuracy expectation (conditioned on
+    /// satisfied serving epochs), percent.
+    pub epoch_accuracy: f64,
+    /// The paper's per-epoch violation expectation (conditioned on
+    /// serving epochs).
+    pub epoch_violation_rate: f64,
+    /// Stationary probability of the `(φ, ∅)` overflow state — an
+    /// indicator that the resources cannot sustain the load (§4.2.3).
+    pub full_state_probability: f64,
+    /// Stationary probability of the empty-queue state — an indicator of
+    /// arrival lulls the policy can exploit.
+    pub empty_state_probability: f64,
+}
+
+/// Computes the §5.1 expectations for a policy.
+///
+/// `actions[i]` is the policy's choice in state index `i`;
+/// `stationary[i]` is the chain's stationary probability.
+///
+/// # Panics
+///
+/// Panics if the vector lengths disagree with the state space.
+pub fn compute_guarantees(
+    profile: &WorkerProfile,
+    grid: &TimeGrid,
+    space: &StateSpace,
+    actions: &[Action],
+    stationary: &[f64],
+) -> Guarantees {
+    assert_eq!(actions.len(), space.len(), "one action per state");
+    assert_eq!(stationary.len(), space.len(), "one probability per state");
+
+    // Per-epoch accumulators.
+    let mut serving_mass = 0.0;
+    let mut satisfied_mass = 0.0;
+    let mut epoch_acc_mass = 0.0;
+    // Per-query accumulators (weighted by batch size).
+    let mut query_mass = 0.0;
+    let mut satisfied_query_mass = 0.0;
+    let mut query_acc_mass = 0.0;
+
+    for (i, st) in space.iter() {
+        let p = stationary[i];
+        let action = actions[i];
+        if let Action::Shed = action {
+            // Shedding discards the whole queue: those queries count
+            // against the violation rate but never earn accuracy.
+            let (n, _) = space
+                .effective_queue(st)
+                .expect("shed only occurs in queue states");
+            serving_mass += p;
+            query_mass += p * n as f64;
+            continue;
+        }
+        let Action::Serve { model, batch } = action else {
+            continue;
+        };
+        let (_, slack) = space
+            .effective_queue(st)
+            .expect("serve actions only occur in queue states");
+        let sat = slo_satisfied(profile, grid, slack as usize, action);
+        let acc = profile.accuracy(model as usize);
+        let b = batch as f64;
+
+        serving_mass += p;
+        query_mass += p * b;
+        if sat {
+            satisfied_mass += p;
+            epoch_acc_mass += p * acc;
+            satisfied_query_mass += p * b;
+            query_acc_mass += p * b * acc;
+        }
+    }
+
+    let safe_div = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
+    Guarantees {
+        expected_accuracy: safe_div(query_acc_mass, satisfied_query_mass),
+        expected_violation_rate: safe_div(query_mass - satisfied_query_mass, query_mass),
+        epoch_accuracy: safe_div(epoch_acc_mass, satisfied_mass),
+        epoch_violation_rate: safe_div(serving_mass - satisfied_mass, serving_mass),
+        full_state_probability: stationary[space.index(State::Full)],
+        empty_state_probability: stationary[space.index(State::Empty)],
+    }
+}
+
+/// The per-query accuracy distribution induced by a policy — the §5.1
+/// "summary statistics (e.g., expectation, median, 99th percentile)"
+/// beyond the expectation.
+///
+/// The distribution is over the accuracy a random *satisfied* query
+/// receives under the stationary distribution: each satisfied serving
+/// state contributes its batch-weighted stationary mass at the selected
+/// model's accuracy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracyDistribution {
+    /// `(accuracy, probability)` atoms, ascending accuracy, summing
+    /// to 1 (empty when the policy never satisfies a deadline).
+    atoms: Vec<(f64, f64)>,
+}
+
+impl AccuracyDistribution {
+    /// Builds the distribution for a policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector lengths disagree with the state space (see
+    /// [`compute_guarantees`]).
+    pub fn compute(
+        profile: &WorkerProfile,
+        grid: &TimeGrid,
+        space: &StateSpace,
+        actions: &[Action],
+        stationary: &[f64],
+    ) -> Self {
+        assert_eq!(actions.len(), space.len(), "one action per state");
+        assert_eq!(stationary.len(), space.len(), "one probability per state");
+        let mut mass_by_accuracy: Vec<(f64, f64)> = Vec::new();
+        for (i, _) in space.iter() {
+            let action = actions[i];
+            let Action::Serve { model, batch } = action else {
+                continue;
+            };
+            let (_, slack) = space
+                .effective_queue(space.state(i))
+                .expect("serve actions only occur in queue states");
+            if !slo_satisfied(profile, grid, slack as usize, action) {
+                continue;
+            }
+            let acc = profile.accuracy(model as usize);
+            let w = stationary[i] * batch as f64;
+            if w <= 0.0 {
+                continue;
+            }
+            match mass_by_accuracy
+                .iter_mut()
+                .find(|(a, _)| (*a - acc).abs() < 1e-12)
+            {
+                Some((_, m)) => *m += w,
+                None => mass_by_accuracy.push((acc, w)),
+            }
+        }
+        mass_by_accuracy.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("accuracies are finite"));
+        let total: f64 = mass_by_accuracy.iter().map(|&(_, m)| m).sum();
+        if total > 0.0 {
+            for (_, m) in &mut mass_by_accuracy {
+                *m /= total;
+            }
+        }
+        Self {
+            atoms: mass_by_accuracy,
+        }
+    }
+
+    /// The `(accuracy, probability)` atoms, ascending accuracy.
+    pub fn atoms(&self) -> &[(f64, f64)] {
+        &self.atoms
+    }
+
+    /// Whether the policy never satisfies a deadline.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Mean accuracy (equals [`Guarantees::expected_accuracy`]).
+    pub fn mean(&self) -> f64 {
+        self.atoms.iter().map(|&(a, p)| a * p).sum()
+    }
+
+    /// The `q`-quantile of per-query accuracy, `q ∈ [0, 1]` — e.g.
+    /// `quantile(0.5)` is the median, `quantile(0.01)` the accuracy the
+    /// unluckiest 1% of queries at least receive (the paper's "99th
+    /// percentile" read as a tail guarantee). `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0, 1], got {q}"
+        );
+        if self.atoms.is_empty() {
+            return None;
+        }
+        let mut cum = 0.0;
+        for &(a, p) in &self.atoms {
+            cum += p;
+            if cum >= q - 1e-12 {
+                return Some(a);
+            }
+        }
+        Some(self.atoms.last().expect("non-empty").0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discretize::Discretization;
+    use ramsis_profiles::{ModelCatalog, ProfilerConfig};
+    use std::time::Duration;
+
+    fn fixture() -> (&'static WorkerProfile, TimeGrid, StateSpace) {
+        use std::sync::OnceLock;
+        static PROFILE: OnceLock<WorkerProfile> = OnceLock::new();
+        let profile = PROFILE.get_or_init(|| {
+            WorkerProfile::build(
+                &ModelCatalog::torchvision_image(),
+                Duration::from_millis(150),
+                ProfilerConfig::default(),
+            )
+        });
+        let grid = TimeGrid::build(profile, 0.15, Discretization::fixed_length(10));
+        let space = StateSpace::new(4, grid.len() as u32);
+        (profile, grid, space)
+    }
+
+    /// A uniform stationary distribution and a fixed action everywhere.
+    fn uniform_setup(
+        _profile: &WorkerProfile,
+        _grid: &TimeGrid,
+        space: &StateSpace,
+        model: u32,
+    ) -> (Vec<Action>, Vec<f64>) {
+        let actions: Vec<Action> = space
+            .iter()
+            .map(|(_, st)| match st {
+                State::Empty => Action::Arrival,
+                State::Queued { n, .. } => Action::Serve { model, batch: n },
+                State::Full => Action::Serve {
+                    model,
+                    batch: space.max_queue(),
+                },
+            })
+            .collect();
+        let stationary = vec![1.0 / space.len() as f64; space.len()];
+        (actions, stationary)
+    }
+
+    #[test]
+    fn all_satisfied_when_fast_and_slack_full() {
+        let (profile, grid, space) = fixture();
+        let fast = profile.fastest_model() as u32;
+        let actions: Vec<Action> = space
+            .iter()
+            .map(|(_, st)| match st {
+                State::Empty => Action::Arrival,
+                _ => Action::Serve {
+                    model: fast,
+                    batch: 1,
+                },
+            })
+            .collect();
+        // All stationary mass on the freshest single-query state.
+        let mut stationary = vec![0.0; space.len()];
+        let fresh = space.index(State::Queued {
+            n: 1,
+            slack: grid.top() as u32,
+        });
+        stationary[fresh] = 1.0;
+        let g = compute_guarantees(profile, &grid, &space, &actions, &stationary);
+        assert_eq!(g.expected_violation_rate, 0.0);
+        assert!((g.expected_accuracy - profile.accuracy(fast as usize)).abs() < 1e-12);
+        assert_eq!(g.full_state_probability, 0.0);
+    }
+
+    #[test]
+    fn zero_slack_states_violate() {
+        let (profile, grid, space) = fixture();
+        let fast = profile.fastest_model() as u32;
+        let (actions, _) = uniform_setup(profile, &grid, &space, fast);
+        // All mass on a zero-slack state: the deadline is already
+        // unsatisfiable, so everything violates.
+        let mut stationary = vec![0.0; space.len()];
+        stationary[space.index(State::Queued { n: 2, slack: 0 })] = 1.0;
+        let g = compute_guarantees(profile, &grid, &space, &actions, &stationary);
+        assert_eq!(g.expected_violation_rate, 1.0);
+        assert_eq!(g.epoch_violation_rate, 1.0);
+        // No satisfied query mass: accuracy conditional is empty.
+        assert_eq!(g.expected_accuracy, 0.0);
+    }
+
+    #[test]
+    fn empty_state_mass_is_reported_not_counted() {
+        let (profile, grid, space) = fixture();
+        let fast = profile.fastest_model() as u32;
+        let (actions, _) = uniform_setup(profile, &grid, &space, fast);
+        let mut stationary = vec![0.0; space.len()];
+        stationary[space.index(State::Empty)] = 0.5;
+        stationary[space.index(State::Queued {
+            n: 1,
+            slack: grid.top() as u32,
+        })] = 0.5;
+        let g = compute_guarantees(profile, &grid, &space, &actions, &stationary);
+        // Serving metrics are conditioned on serving epochs: the empty
+        // state's mass does not dilute accuracy.
+        assert!((g.expected_accuracy - profile.accuracy(fast as usize)).abs() < 1e-12);
+        assert_eq!(g.expected_violation_rate, 0.0);
+        assert_eq!(g.empty_state_probability, 0.5);
+    }
+
+    #[test]
+    fn batch_weighting_differs_from_epoch_weighting() {
+        let (profile, grid, space) = fixture();
+        let pareto = profile.pareto_models();
+        let fast = pareto[0] as u32;
+        let accurate = pareto[2] as u32;
+        // Two states: a batch-1 epoch on the accurate model and a
+        // batch-4 epoch on the fast model, equal epoch probability, both
+        // satisfied (top slack).
+        let top = grid.top() as u32;
+        let mut actions: Vec<Action> = space
+            .iter()
+            .map(|(_, st)| match st {
+                State::Empty => Action::Arrival,
+                State::Queued { n, .. } => Action::Serve {
+                    model: fast,
+                    batch: n,
+                },
+                State::Full => Action::Serve {
+                    model: fast,
+                    batch: space.max_queue(),
+                },
+            })
+            .collect();
+        let s1 = space.index(State::Queued { n: 1, slack: top });
+        let s4 = space.index(State::Queued { n: 4, slack: top });
+        actions[s1] = Action::Serve {
+            model: accurate,
+            batch: 1,
+        };
+        let mut stationary = vec![0.0; space.len()];
+        stationary[s1] = 0.5;
+        stationary[s4] = 0.5;
+        let g = compute_guarantees(profile, &grid, &space, &actions, &stationary);
+        let acc_fast = profile.accuracy(fast as usize);
+        let acc_acc = profile.accuracy(accurate as usize);
+        // Epoch accuracy: plain average of the two models.
+        assert!((g.epoch_accuracy - 0.5 * (acc_fast + acc_acc)).abs() < 1e-9);
+        // Query accuracy: 1 accurate query vs 4 fast queries.
+        let expect = (acc_acc + 4.0 * acc_fast) / 5.0;
+        assert!((g.expected_accuracy - expect).abs() < 1e-9);
+        assert!(g.epoch_accuracy > g.expected_accuracy);
+    }
+
+    #[test]
+    fn accuracy_distribution_quantiles() {
+        let (profile, grid, space) = fixture();
+        let pareto = profile.pareto_models();
+        let fast = pareto[0] as u32;
+        let accurate = pareto[2] as u32;
+        let top = grid.top() as u32;
+        // Two satisfied states: 30% of query mass on the accurate model
+        // (batch 1), 70% on the fast model (batch 1).
+        let mut actions: Vec<Action> = space
+            .iter()
+            .map(|(_, st)| match st {
+                State::Empty => Action::Arrival,
+                State::Queued { n, .. } => Action::Serve {
+                    model: fast,
+                    batch: n,
+                },
+                State::Full => Action::Serve {
+                    model: fast,
+                    batch: space.max_queue(),
+                },
+            })
+            .collect();
+        let s_acc = space.index(State::Queued { n: 1, slack: top });
+        let s_fast = space.index(State::Queued {
+            n: 1,
+            slack: top - 1,
+        });
+        actions[s_acc] = Action::Serve {
+            model: accurate,
+            batch: 1,
+        };
+        let mut stationary = vec![0.0; space.len()];
+        stationary[s_acc] = 0.3;
+        stationary[s_fast] = 0.7;
+        let d = AccuracyDistribution::compute(profile, &grid, &space, &actions, &stationary);
+        assert!(!d.is_empty());
+        assert_eq!(d.atoms().len(), 2);
+        let acc_fast = profile.accuracy(fast as usize);
+        let acc_acc = profile.accuracy(accurate as usize);
+        assert!((d.mean() - (0.3 * acc_acc + 0.7 * acc_fast)).abs() < 1e-9);
+        // Quantiles: the bottom 70% of queries get the fast model's
+        // accuracy; above that, the accurate model's.
+        assert_eq!(d.quantile(0.0), Some(acc_fast));
+        assert_eq!(d.quantile(0.5), Some(acc_fast));
+        assert_eq!(d.quantile(0.7), Some(acc_fast));
+        assert_eq!(d.quantile(0.9), Some(acc_acc));
+        assert_eq!(d.quantile(1.0), Some(acc_acc));
+    }
+
+    #[test]
+    fn accuracy_distribution_empty_when_all_violate() {
+        let (profile, grid, space) = fixture();
+        let fast = profile.fastest_model() as u32;
+        let (actions, _) = uniform_setup(profile, &grid, &space, fast);
+        // All mass on a zero-slack (violating) state.
+        let mut stationary = vec![0.0; space.len()];
+        stationary[space.index(State::Queued { n: 1, slack: 0 })] = 1.0;
+        let d = AccuracyDistribution::compute(profile, &grid, &space, &actions, &stationary);
+        assert!(d.is_empty());
+        assert_eq!(d.quantile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn accuracy_distribution_rejects_bad_quantile() {
+        let (profile, grid, space) = fixture();
+        let fast = profile.fastest_model() as u32;
+        let (actions, stationary) = uniform_setup(profile, &grid, &space, fast);
+        let d = AccuracyDistribution::compute(profile, &grid, &space, &actions, &stationary);
+        let _ = d.quantile(1.5);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let g = Guarantees {
+            expected_accuracy: 80.0,
+            expected_violation_rate: 0.01,
+            epoch_accuracy: 81.0,
+            epoch_violation_rate: 0.02,
+            full_state_probability: 1e-9,
+            empty_state_probability: 0.3,
+        };
+        let json = serde_json::to_string(&g).unwrap();
+        assert_eq!(serde_json::from_str::<Guarantees>(&json).unwrap(), g);
+    }
+}

@@ -1,0 +1,313 @@
+//! Load-indexed policy sets (paper §3.1.3, §3.2.2, §6).
+//!
+//! RAMSIS pre-computes a *set* of policies, one per query load, because
+//! each MS policy is specialized to an arrival distribution. Online, the
+//! worker-level selector uses "the lowest-load MS policy that meets the
+//! anticipated query load". The paper's implementation picks the load
+//! grid adaptively: "we generate policies for differing query load such
+//! that the largest difference between the expected accuracies among all
+//! pairs of adjacent policies is below a threshold — 1% in our
+//! experiments" (§6).
+
+use serde::{Deserialize, Serialize};
+
+use ramsis_profiles::WorkerProfile;
+use ramsis_stats::PoissonProcess;
+
+use crate::config::PolicyConfig;
+use crate::error::CoreError;
+use crate::generator::generate_policy;
+use crate::policy::WorkerPolicy;
+
+/// A set of policies specialized per query load, sorted ascending.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicySet {
+    policies: Vec<WorkerPolicy>,
+}
+
+impl PolicySet {
+    /// The paper's adjacent-accuracy refinement threshold (1%).
+    pub const DEFAULT_ACCURACY_GAP: f64 = 1.0;
+
+    /// Generates one policy per load in `loads_qps` (Poisson arrivals).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first generation failure; also fails on an empty
+    /// or non-positive load list.
+    pub fn generate_poisson(
+        profile: &WorkerProfile,
+        loads_qps: &[f64],
+        config: &PolicyConfig,
+    ) -> Result<Self, CoreError> {
+        if loads_qps.is_empty() {
+            return Err(CoreError::InvalidConfig("load list is empty".into()));
+        }
+        let mut policies = Vec::with_capacity(loads_qps.len());
+        for &qps in loads_qps {
+            if !(qps > 0.0 && qps.is_finite()) {
+                return Err(CoreError::InvalidConfig(format!(
+                    "loads must be positive, got {qps}"
+                )));
+            }
+            policies.push(generate_policy(
+                profile,
+                &PoissonProcess::per_second(qps),
+                config,
+            )?);
+        }
+        policies.sort_by(|a, b| {
+            a.design_load_qps
+                .partial_cmp(&b.design_load_qps)
+                .expect("loads are finite")
+        });
+        Ok(Self { policies })
+    }
+
+    /// Generates an adaptively refined Poisson policy set over
+    /// `[min_qps, max_qps]`: starting from the endpoints, the largest-
+    /// accuracy-gap adjacent pair is bisected until every gap is below
+    /// `max_accuracy_gap` percentage points or `max_policies` have been
+    /// generated (§6's 1% rule).
+    ///
+    /// # Errors
+    ///
+    /// Propagates generation failures and rejects inverted or
+    /// non-positive ranges.
+    pub fn generate_poisson_adaptive(
+        profile: &WorkerProfile,
+        min_qps: f64,
+        max_qps: f64,
+        config: &PolicyConfig,
+        max_accuracy_gap: f64,
+        max_policies: usize,
+    ) -> Result<Self, CoreError> {
+        if !(min_qps > 0.0 && max_qps > min_qps) {
+            return Err(CoreError::InvalidConfig(format!(
+                "need 0 < min < max, got [{min_qps}, {max_qps}]"
+            )));
+        }
+        if max_policies < 2 {
+            return Err(CoreError::InvalidConfig(
+                "adaptive generation needs room for at least 2 policies".into(),
+            ));
+        }
+        let gen = |qps: f64| -> Result<WorkerPolicy, CoreError> {
+            generate_policy(profile, &PoissonProcess::per_second(qps), config)
+        };
+        let mut policies = vec![gen(min_qps)?, gen(max_qps)?];
+        loop {
+            if policies.len() >= max_policies {
+                break;
+            }
+            // Find the adjacent pair with the largest accuracy gap.
+            let mut worst: Option<(usize, f64)> = None;
+            for i in 0..policies.len() - 1 {
+                let gap = (policies[i].guarantees().expected_accuracy
+                    - policies[i + 1].guarantees().expected_accuracy)
+                    .abs();
+                let span = policies[i + 1].design_load_qps - policies[i].design_load_qps;
+                // Do not split ranges below 1 QPS — accuracy is flat
+                // there and splitting cannot help.
+                if span < 1.0 {
+                    continue;
+                }
+                if gap > max_accuracy_gap && worst.is_none_or(|(_, g)| gap > g) {
+                    worst = Some((i, gap));
+                }
+            }
+            let Some((i, _)) = worst else {
+                break;
+            };
+            let mid = 0.5 * (policies[i].design_load_qps + policies[i + 1].design_load_qps);
+            let p = gen(mid)?;
+            policies.insert(i + 1, p);
+        }
+        Ok(Self { policies })
+    }
+
+    /// Wraps pre-generated policies (sorted by design load).
+    pub fn from_policies(mut policies: Vec<WorkerPolicy>) -> Result<Self, CoreError> {
+        if policies.is_empty() {
+            return Err(CoreError::InvalidConfig("policy set is empty".into()));
+        }
+        policies.sort_by(|a, b| {
+            a.design_load_qps
+                .partial_cmp(&b.design_load_qps)
+                .expect("loads are finite")
+        });
+        Ok(Self { policies })
+    }
+
+    /// Number of policies in the set.
+    pub fn len(&self) -> usize {
+        self.policies.len()
+    }
+
+    /// Whether the set is empty (never true for a constructed set).
+    pub fn is_empty(&self) -> bool {
+        self.policies.is_empty()
+    }
+
+    /// The design loads, ascending.
+    pub fn loads(&self) -> Vec<f64> {
+        self.policies.iter().map(|p| p.design_load_qps).collect()
+    }
+
+    /// The policies, ascending by design load.
+    pub fn policies(&self) -> &[WorkerPolicy] {
+        &self.policies
+    }
+
+    /// Selects "the lowest-load MS policy that meets the anticipated
+    /// query load" (§3.2.2); anticipated loads beyond every design load
+    /// fall back to the highest-load policy (the paper would generate a
+    /// new one — callers that can afford generation latency should check
+    /// [`Self::covers`] and extend the set instead).
+    pub fn select(&self, anticipated_qps: f64) -> &WorkerPolicy {
+        self.policies
+            .iter()
+            .find(|p| p.design_load_qps >= anticipated_qps - 1e-9)
+            .unwrap_or_else(|| self.policies.last().expect("set is never empty"))
+    }
+
+    /// Whether some policy's design load covers the anticipated load.
+    pub fn covers(&self, anticipated_qps: f64) -> bool {
+        self.policies
+            .last()
+            .expect("set is never empty")
+            .design_load_qps
+            >= anticipated_qps - 1e-9
+    }
+
+    /// Extends the set with a policy for a new load (e.g. after
+    /// [`Self::covers`] returned false — §3.2.2's "a new one is
+    /// generated").
+    pub fn extend_poisson(
+        &mut self,
+        profile: &WorkerProfile,
+        qps: f64,
+        config: &PolicyConfig,
+    ) -> Result<(), CoreError> {
+        let p = generate_policy(profile, &PoissonProcess::per_second(qps), config)?;
+        let at = self
+            .policies
+            .partition_point(|x| x.design_load_qps < p.design_load_qps);
+        self.policies.insert(at, p);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discretize::Discretization;
+    use ramsis_profiles::{ModelCatalog, ProfilerConfig};
+    use std::time::Duration;
+
+    fn profile() -> &'static WorkerProfile {
+        use std::sync::OnceLock;
+        static PROFILE: OnceLock<WorkerProfile> = OnceLock::new();
+        PROFILE.get_or_init(|| {
+            WorkerProfile::build(
+                &ModelCatalog::torchvision_image(),
+                Duration::from_millis(150),
+                ProfilerConfig::default(),
+            )
+        })
+    }
+
+    fn quick_config() -> PolicyConfig {
+        PolicyConfig::builder(Duration::from_millis(150))
+            .workers(4)
+            .discretization(Discretization::fixed_length(8))
+            .build()
+    }
+
+    #[test]
+    fn generate_and_select() {
+        let set = PolicySet::generate_poisson(profile(), &[100.0, 400.0, 800.0], &quick_config())
+            .unwrap();
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.loads(), vec![100.0, 400.0, 800.0]);
+        // Lowest design load >= anticipated.
+        assert_eq!(set.select(50.0).design_load_qps, 100.0);
+        assert_eq!(set.select(100.0).design_load_qps, 100.0);
+        assert_eq!(set.select(150.0).design_load_qps, 400.0);
+        assert_eq!(set.select(401.0).design_load_qps, 800.0);
+        // Beyond coverage: highest-load fallback.
+        assert_eq!(set.select(5_000.0).design_load_qps, 800.0);
+        assert!(set.covers(800.0));
+        assert!(!set.covers(900.0));
+    }
+
+    #[test]
+    fn accuracy_decreases_with_design_load() {
+        // All three loads are satisfiable by 4 workers (capacity is
+        // ~270 QPS with the fastest model); monotonicity only holds in
+        // the satisfiable regime.
+        let set =
+            PolicySet::generate_poisson(profile(), &[50.0, 150.0, 240.0], &quick_config()).unwrap();
+        let accs: Vec<f64> = set
+            .policies()
+            .iter()
+            .map(|p| p.guarantees().expected_accuracy)
+            .collect();
+        assert!(
+            accs[0] >= accs[1] - 0.5 && accs[1] >= accs[2] - 0.5,
+            "accuracies should be non-increasing in load: {accs:?}"
+        );
+    }
+
+    #[test]
+    fn adaptive_refinement_closes_gaps() {
+        let set = PolicySet::generate_poisson_adaptive(
+            profile(),
+            50.0,
+            1_200.0,
+            &quick_config(),
+            2.0, // a loose 2% threshold keeps the test fast
+            12,
+        )
+        .unwrap();
+        assert!(set.len() >= 2);
+        if set.len() < 12 {
+            // Converged: every adjacent gap is within the threshold.
+            for w in set.policies().windows(2) {
+                let gap = (w[0].guarantees().expected_accuracy
+                    - w[1].guarantees().expected_accuracy)
+                    .abs();
+                assert!(gap <= 2.0 + 1e-9, "gap {gap}");
+            }
+        }
+        // Sorted by load.
+        for w in set.policies().windows(2) {
+            assert!(w[0].design_load_qps < w[1].design_load_qps);
+        }
+    }
+
+    #[test]
+    fn extend_inserts_sorted() {
+        let mut set =
+            PolicySet::generate_poisson(profile(), &[100.0, 800.0], &quick_config()).unwrap();
+        set.extend_poisson(profile(), 400.0, &quick_config())
+            .unwrap();
+        assert_eq!(set.loads(), vec![100.0, 400.0, 800.0]);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(PolicySet::generate_poisson(profile(), &[], &quick_config()).is_err());
+        assert!(PolicySet::generate_poisson(profile(), &[-5.0], &quick_config()).is_err());
+        assert!(PolicySet::generate_poisson_adaptive(
+            profile(),
+            100.0,
+            50.0,
+            &quick_config(),
+            1.0,
+            8
+        )
+        .is_err());
+        assert!(PolicySet::from_policies(vec![]).is_err());
+    }
+}

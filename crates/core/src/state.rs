@@ -1,0 +1,209 @@
+//! The worker MDP state space (paper §4.2).
+//!
+//! `S = {Empty} ∪ {(n, T_j) | 1 ≤ n ≤ N_w, T_j ∈ T_w} ∪ {(φ, ∅)}`.
+//!
+//! The paper's `(0, T_j)` family (empty queue, unconstrained slack) is
+//! collapsed into a single `Empty` state: all of them admit only the
+//! arrival action and transition identically (§4.3.4), so they are
+//! bisimilar. The full state `(φ, ∅)` models queue lengths beyond `N_w`
+//! (§4.2.3) and behaves like `(N_w, 0)` for transition purposes.
+
+use serde::{Deserialize, Serialize};
+
+/// A symbolic worker-queue state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum State {
+    /// Empty worker queue; the worker idles until the next arrival.
+    Empty,
+    /// `n ≥ 1` queued queries; the earliest deadline has discretized
+    /// slack `T_j = grid[slack]`.
+    Queued {
+        /// Number of queued queries (`1 ..= N_w`).
+        n: u32,
+        /// Grid index of the earliest deadline's slack.
+        slack: u32,
+    },
+    /// The `(φ, ∅)` overflow state: more than `N_w` queries accumulated.
+    Full,
+}
+
+/// Dense indexing of the state space for a given `N_w` and grid size.
+///
+/// Layout: index 0 is `Empty`; indices `1 ..= N_w · |T_w|` are the
+/// queued states in `(n, slack)` row-major order; the last index is
+/// `Full`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StateSpace {
+    max_queue: u32,
+    grid_len: u32,
+}
+
+impl StateSpace {
+    /// Creates the indexing for `N_w = max_queue` and a slack grid of
+    /// `grid_len` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(max_queue: u32, grid_len: u32) -> Self {
+        assert!(max_queue > 0, "max queue must be positive");
+        assert!(grid_len > 0, "grid must be non-empty");
+        Self {
+            max_queue,
+            grid_len,
+        }
+    }
+
+    /// `N_w`.
+    pub fn max_queue(&self) -> u32 {
+        self.max_queue
+    }
+
+    /// `|T_w|`.
+    pub fn grid_len(&self) -> u32 {
+        self.grid_len
+    }
+
+    /// Total number of states (`1 + N_w · |T_w| + 1`).
+    pub fn len(&self) -> usize {
+        2 + (self.max_queue as usize) * (self.grid_len as usize)
+    }
+
+    /// Always false (the space has at least `Empty` and `Full`).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Dense index of a symbolic state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a queued state is out of range (`n == 0`, `n > N_w`, or
+    /// `slack ≥ |T_w|`).
+    pub fn index(&self, state: State) -> usize {
+        match state {
+            State::Empty => 0,
+            State::Queued { n, slack } => {
+                assert!(
+                    n >= 1 && n <= self.max_queue,
+                    "queued n must be in 1..={}, got {n}",
+                    self.max_queue
+                );
+                assert!(
+                    slack < self.grid_len,
+                    "slack index must be < {}, got {slack}",
+                    self.grid_len
+                );
+                1 + ((n - 1) * self.grid_len + slack) as usize
+            }
+            State::Full => self.len() - 1,
+        }
+    }
+
+    /// Symbolic state of a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn state(&self, index: usize) -> State {
+        assert!(index < self.len(), "state index {index} out of range");
+        if index == 0 {
+            State::Empty
+        } else if index == self.len() - 1 {
+            State::Full
+        } else {
+            let i = (index - 1) as u32;
+            State::Queued {
+                n: i / self.grid_len + 1,
+                slack: i % self.grid_len,
+            }
+        }
+    }
+
+    /// Iterates over all dense indices with their symbolic states.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, State)> + '_ {
+        (0..self.len()).map(|i| (i, self.state(i)))
+    }
+
+    /// The `(n, slack)` pair a state behaves as for transition purposes:
+    /// `Full ≡ (N_w, 0)` (§4.2.3); `Empty` has no effective queue.
+    pub fn effective_queue(&self, state: State) -> Option<(u32, u32)> {
+        match state {
+            State::Empty => None,
+            State::Queued { n, slack } => Some((n, slack)),
+            State::Full => Some((self.max_queue, 0)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn layout_matches_paper_size() {
+        // N_w = 32, |T_w| = 101 (FLD D = 100): 2 + 32·101 states.
+        let s = StateSpace::new(32, 101);
+        assert_eq!(s.len(), 2 + 32 * 101);
+        assert_eq!(s.index(State::Empty), 0);
+        assert_eq!(s.index(State::Full), s.len() - 1);
+        assert_eq!(s.index(State::Queued { n: 1, slack: 0 }), 1);
+        assert_eq!(s.index(State::Queued { n: 1, slack: 100 }), 101);
+        assert_eq!(s.index(State::Queued { n: 2, slack: 0 }), 102);
+    }
+
+    #[test]
+    fn round_trip_all_states() {
+        let s = StateSpace::new(5, 7);
+        for (i, st) in s.iter() {
+            assert_eq!(s.index(st), i);
+        }
+        assert_eq!(s.iter().count(), s.len());
+    }
+
+    #[test]
+    fn effective_queue() {
+        let s = StateSpace::new(8, 3);
+        assert_eq!(s.effective_queue(State::Empty), None);
+        assert_eq!(
+            s.effective_queue(State::Queued { n: 3, slack: 2 }),
+            Some((3, 2))
+        );
+        assert_eq!(s.effective_queue(State::Full), Some((8, 0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "queued n must be in")]
+    fn rejects_zero_n() {
+        let s = StateSpace::new(4, 4);
+        let _ = s.index(State::Queued { n: 0, slack: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "slack index must be")]
+    fn rejects_big_slack() {
+        let s = StateSpace::new(4, 4);
+        let _ = s.index(State::Queued { n: 1, slack: 4 });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_big_index() {
+        let s = StateSpace::new(4, 4);
+        let _ = s.state(s.len());
+    }
+
+    proptest! {
+        #[test]
+        fn index_is_a_bijection(nw in 1u32..40, gl in 1u32..120) {
+            let s = StateSpace::new(nw, gl);
+            let mut seen = std::collections::HashSet::new();
+            for (i, st) in s.iter() {
+                prop_assert!(seen.insert(i));
+                prop_assert_eq!(s.index(st), i);
+            }
+            prop_assert_eq!(seen.len(), s.len());
+        }
+    }
+}

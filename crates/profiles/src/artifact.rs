@@ -1,0 +1,350 @@
+//! The paper artifact's raw-profile file layout (§A.2.4).
+//!
+//! "The latency profiles are located in
+//! `profiles/MODELNAME/BATCHSIZE.json` where each latency profile is a
+//! list of latencies for the model invoked 100 times. The accuracy
+//! profiles are ... dictionaries that map model name to its accuracy."
+//!
+//! This module reads and writes that layout so profiles *measured on a
+//! real serving stack* (TorchServe, Triton, ...) can drive policy
+//! generation instead of the built-in synthetic catalog — and,
+//! conversely, so the synthetic catalog can be exported for inspection.
+//! Raw samples are reduced to a [`WorkerProfile`] with the same "p95 of
+//! N invocations" pipeline as [`WorkerProfile::build`], and a linear
+//! latency spec is least-squares fitted per model
+//! ([`crate::catalog::ModelSpec::fit`]) so the simulator's stochastic
+//! mode still works on measured data.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use ramsis_stats::sampling::sample_truncated_normal;
+use ramsis_stats::summary::Percentiles;
+
+use crate::catalog::{ModelCatalog, ModelSpec, Task};
+use crate::profiler::{BatchProfile, ModelProfile, WorkerProfile};
+
+/// Raw latency samples and accuracies in the artifact's shape.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RawProfiles {
+    /// `model name → batch size → latency samples (seconds)`.
+    pub latencies: BTreeMap<String, BTreeMap<u32, Vec<f64>>>,
+    /// `model name → accuracy (percent)`.
+    pub accuracies: BTreeMap<String, f64>,
+}
+
+impl RawProfiles {
+    /// Synthesizes raw samples from a parametric catalog — the exact
+    /// generator behind [`WorkerProfile::build`], exposed so the
+    /// artifact layout can be produced without real hardware.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` or `invocations` is zero.
+    pub fn synthesize(
+        catalog: &ModelCatalog,
+        max_batch: u32,
+        invocations: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(max_batch > 0, "need at least batch size 1");
+        assert!(invocations > 0, "need at least one invocation");
+        let mut raw = RawProfiles::default();
+        for (mi, spec) in catalog.models.iter().enumerate() {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (mi as u64).wrapping_mul(0x9E37_79B9));
+            let mut per_batch = BTreeMap::new();
+            for b in 1..=max_batch {
+                let mean = spec.mean_latency(b);
+                let samples: Vec<f64> = (0..invocations)
+                    .map(|_| {
+                        sample_truncated_normal(
+                            &mut rng,
+                            mean,
+                            spec.latency_std_s,
+                            mean * 0.5,
+                            mean + 6.0 * spec.latency_std_s,
+                        )
+                    })
+                    .collect();
+                per_batch.insert(b, samples);
+            }
+            raw.latencies.insert(spec.name.clone(), per_batch);
+            raw.accuracies.insert(spec.name.clone(), spec.accuracy);
+        }
+        raw
+    }
+
+    /// Writes the artifact layout under `dir`:
+    /// `dir/profiles/MODEL/BATCH.json` (sample lists) and
+    /// `dir/accuracies.json` (the accuracy dictionary).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first IO or serialization error, with the path.
+    pub fn write_dir(&self, dir: &Path) -> Result<(), String> {
+        let acc_path = dir.join("accuracies.json");
+        std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        let acc_json = serde_json::to_string_pretty(&self.accuracies)
+            .map_err(|e| format!("serialize accuracies: {e}"))?;
+        std::fs::write(&acc_path, acc_json)
+            .map_err(|e| format!("write {}: {e}", acc_path.display()))?;
+        for (model, per_batch) in &self.latencies {
+            let model_dir = dir.join("profiles").join(model);
+            std::fs::create_dir_all(&model_dir)
+                .map_err(|e| format!("create {}: {e}", model_dir.display()))?;
+            for (batch, samples) in per_batch {
+                let path = model_dir.join(format!("{batch}.json"));
+                let json = serde_json::to_string(samples)
+                    .map_err(|e| format!("serialize {}: {e}", path.display()))?;
+                std::fs::write(&path, json)
+                    .map_err(|e| format!("write {}: {e}", path.display()))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads the artifact layout written by [`Self::write_dir`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or malformed file.
+    pub fn read_dir(dir: &Path) -> Result<Self, String> {
+        let acc_path = dir.join("accuracies.json");
+        let acc_text = std::fs::read_to_string(&acc_path)
+            .map_err(|e| format!("read {}: {e}", acc_path.display()))?;
+        let accuracies: BTreeMap<String, f64> =
+            serde_json::from_str(&acc_text).map_err(|e| format!("{}: {e}", acc_path.display()))?;
+
+        let profiles_dir = dir.join("profiles");
+        let mut latencies = BTreeMap::new();
+        let entries = std::fs::read_dir(&profiles_dir)
+            .map_err(|e| format!("read {}: {e}", profiles_dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| e.to_string())?;
+            if !entry.path().is_dir() {
+                continue;
+            }
+            let model = entry.file_name().to_string_lossy().into_owned();
+            let mut per_batch = BTreeMap::new();
+            for file in std::fs::read_dir(entry.path()).map_err(|e| format!("{model}: {e}"))? {
+                let file = file.map_err(|e| e.to_string())?;
+                let path = file.path();
+                if path.extension().is_none_or(|x| x != "json") {
+                    continue;
+                }
+                let batch: u32 = path
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| format!("{}: file name is not a batch size", path.display()))?;
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("read {}: {e}", path.display()))?;
+                let samples: Vec<f64> =
+                    serde_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+                per_batch.insert(batch, samples);
+            }
+            latencies.insert(model, per_batch);
+        }
+        if latencies.is_empty() {
+            return Err(format!(
+                "no model directories under {}",
+                profiles_dir.display()
+            ));
+        }
+        Ok(Self {
+            latencies,
+            accuracies,
+        })
+    }
+
+    /// Reduces the raw samples to a [`WorkerProfile`] for `slo_s`,
+    /// taking the given `percentile` (the paper uses 95) of each
+    /// (model, batch) sample list, and least-squares fitting a linear
+    /// latency spec per model for the simulator's stochastic mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when a model lacks samples, an accuracy,
+    /// or a contiguous `1..=B` batch range shared by all models.
+    pub fn to_worker_profile(
+        &self,
+        task: Task,
+        slo_s: f64,
+        percentile: f64,
+    ) -> Result<WorkerProfile, String> {
+        let mut models = Vec::new();
+        for (name, per_batch) in &self.latencies {
+            let accuracy = *self
+                .accuracies
+                .get(name)
+                .ok_or_else(|| format!("{name}: no accuracy entry"))?;
+            let mut batches = Vec::new();
+            let mut means = Vec::new();
+            let mut pooled_var = 0.0;
+            for (i, (&batch, samples)) in per_batch.iter().enumerate() {
+                if batch != i as u32 + 1 {
+                    return Err(format!(
+                        "{name}: batch sizes must be contiguous from 1, found {batch}"
+                    ));
+                }
+                if samples.is_empty() {
+                    return Err(format!("{name}/{batch}: empty sample list"));
+                }
+                let n = samples.len() as f64;
+                let mean = samples.iter().sum::<f64>() / n;
+                let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+                let p = Percentiles::from_values(samples.clone())
+                    .percentile(percentile)
+                    .expect("non-empty");
+                batches.push(BatchProfile {
+                    batch,
+                    mean_s: mean,
+                    p95_s: p,
+                    std_s: var.sqrt(),
+                });
+                means.push(mean);
+                pooled_var += var;
+            }
+            if means.len() < 2 {
+                return Err(format!("{name}: need at least two batch sizes"));
+            }
+            let std = (pooled_var / means.len() as f64).sqrt();
+            let spec = ModelSpec::fit(name, accuracy, &means, std);
+            models.push(ModelProfile {
+                name: name.clone(),
+                accuracy,
+                batches,
+                spec,
+            });
+        }
+        WorkerProfile::finalize(task, slo_s, models)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::ProfilerConfig;
+    use std::time::Duration;
+
+    fn tempdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ramsis_artifact_{tag}"));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn synthesize_write_read_round_trip() {
+        let catalog = ModelCatalog::bert_text();
+        let raw = RawProfiles::synthesize(&catalog, 6, 40, 7);
+        assert_eq!(raw.latencies.len(), 5);
+        assert_eq!(raw.accuracies.len(), 5);
+        assert_eq!(raw.latencies["bert_tiny"][&3].len(), 40);
+
+        let dir = tempdir("roundtrip");
+        raw.write_dir(&dir).unwrap();
+        // Spot-check the artifact layout.
+        assert!(dir.join("profiles/bert_tiny/1.json").exists());
+        assert!(dir.join("profiles/bert_base/6.json").exists());
+        assert!(dir.join("accuracies.json").exists());
+
+        let back = RawProfiles::read_dir(&dir).unwrap();
+        assert_eq!(raw.accuracies, back.accuracies);
+        assert_eq!(raw.latencies.keys().count(), back.latencies.keys().count());
+        for (name, per_batch) in &raw.latencies {
+            for (batch, samples) in per_batch {
+                let got = &back.latencies[name][batch];
+                assert_eq!(samples.len(), got.len());
+                for (a, b) in samples.iter().zip(got) {
+                    assert!((a - b).abs() < 1e-15, "{name}/{batch}");
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn raw_profile_matches_built_profile() {
+        // Reducing synthesized raw samples must reproduce the same
+        // profile pipeline as WorkerProfile::build (same seed, same
+        // invocation count).
+        let catalog = ModelCatalog::bert_text();
+        let config = ProfilerConfig::default();
+        let built = WorkerProfile::build(&catalog, Duration::from_millis(200), config);
+        let raw =
+            RawProfiles::synthesize(&catalog, config.max_batch, config.invocations, config.seed);
+        let reduced = raw
+            .to_worker_profile(Task::TextClassification, 0.2, config.percentile)
+            .unwrap();
+        assert_eq!(built.n_models(), reduced.n_models());
+        assert_eq!(built.max_batch(), reduced.max_batch());
+        // Model order differs (BTreeMap alphabetizes), so compare by
+        // name: same Pareto membership, same latencies.
+        let by_name = |p: &WorkerProfile, name: &str| {
+            p.models
+                .iter()
+                .position(|m| m.name == name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+        };
+        let built_front: std::collections::BTreeSet<&str> = built
+            .pareto_models()
+            .iter()
+            .map(|&i| built.models[i].name.as_str())
+            .collect();
+        let reduced_front: std::collections::BTreeSet<&str> = reduced
+            .pareto_models()
+            .iter()
+            .map(|&i| reduced.models[i].name.as_str())
+            .collect();
+        assert_eq!(built_front, reduced_front);
+        for bm in &built.models {
+            let ri = by_name(&reduced, &bm.name);
+            for b in 1..=built.max_batch() {
+                let a = built.latency(by_name(&built, &bm.name), b).unwrap();
+                let c = reduced.latency(ri, b).unwrap();
+                assert!((a - c).abs() < 1e-12, "{} batch {b}: {a} vs {c}", bm.name);
+            }
+        }
+        // The fitted spec is close to the catalog's parametric truth.
+        let truth = &catalog.models[0]; // bert_tiny
+        let fitted = &reduced.models[by_name(&reduced, "bert_tiny")].spec;
+        assert!(
+            (fitted.per_item_s - truth.per_item_s).abs() / truth.per_item_s < 0.05,
+            "per-item {} vs {}",
+            fitted.per_item_s,
+            truth.per_item_s
+        );
+    }
+
+    #[test]
+    fn missing_accuracy_is_reported() {
+        let catalog = ModelCatalog::bert_text();
+        let mut raw = RawProfiles::synthesize(&catalog, 3, 10, 1);
+        raw.accuracies.remove("bert_small");
+        let err = raw
+            .to_worker_profile(Task::TextClassification, 0.2, 95.0)
+            .unwrap_err();
+        assert!(err.contains("bert_small"), "{err}");
+    }
+
+    #[test]
+    fn non_contiguous_batches_rejected() {
+        let catalog = ModelCatalog::bert_text();
+        let mut raw = RawProfiles::synthesize(&catalog, 4, 10, 1);
+        raw.latencies.get_mut("bert_tiny").unwrap().remove(&2);
+        let err = raw
+            .to_worker_profile(Task::TextClassification, 0.2, 95.0)
+            .unwrap_err();
+        assert!(err.contains("contiguous"), "{err}");
+    }
+
+    #[test]
+    fn read_missing_dir_fails_cleanly() {
+        let err = RawProfiles::read_dir(Path::new("/nonexistent/ramsis")).unwrap_err();
+        assert!(err.contains("accuracies.json"), "{err}");
+    }
+}

@@ -1,0 +1,34 @@
+//! Model zoo and profiling substrate.
+//!
+//! RAMSIS consumes trained models exclusively through two offline inputs
+//! (paper §3.1.1): an *inference accuracy profile* `Accuracy(m)` per model
+//! and a *latency profile* `l_w(m, b)` per (worker, model, batch size)
+//! triple. The paper's artifact collected these by running 26 TorchVision
+//! ImageNet models and 5 HuggingFace BERT models 100 times each on GCP n1
+//! CPU VMs and keeping the 95th percentile.
+//!
+//! We have no GCP VMs or PyTorch runtime, so this crate substitutes a
+//! *simulated profiler* over a parametric latency model (see DESIGN.md §2):
+//! each [`catalog::ModelSpec`] carries a dispatch overhead, a per-item
+//! cost, a batching-efficiency exponent, and a latency noise standard
+//! deviation (§7.3.1 reports ~10 ms in the paper's testbed; we default to
+//! 5 ms). [`profiler::WorkerProfile::build`] then draws the same "100
+//! invocations → p95" reduction as the artifact, deterministically from a
+//! seed. Accuracy values are the published top-1 / MNLI numbers for the
+//! real models, so the accuracy-latency Pareto fronts of Figs. 3 and 9
+//! are preserved in shape: 9 of the 26 image models are on the front, and
+//! all 5 BERT variants are.
+//!
+//! The crate also provides the Pareto-front pruning of §4.3.3, the
+//! synthetic 60-model interpolated catalog of §7.3.2, and the reduced
+//! 3-model catalog of appendix §E.
+
+pub mod artifact;
+pub mod catalog;
+pub mod pareto;
+pub mod profiler;
+
+pub use artifact::RawProfiles;
+pub use catalog::{ModelCatalog, ModelSpec, Task};
+pub use pareto::pareto_front;
+pub use profiler::{BatchProfile, ModelProfile, ProfilerConfig, WorkerProfile};

@@ -1,0 +1,146 @@
+//! Accuracy-latency Pareto-front computation (paper §4.3.3).
+//!
+//! RAMSIS prunes from its MDP action space every model that is not on
+//! the Pareto front of accuracy and latency: a dominated model is never
+//! a useful selection because some other model is at least as accurate
+//! and at least as fast.
+
+/// Returns the indices of the non-dominated points, sorted by ascending
+/// latency.
+///
+/// A point `(latency, accuracy)` is *dominated* when another point has
+/// `latency ≤` and `accuracy ≥` it, with at least one strict inequality.
+/// Duplicate points keep their first occurrence only.
+///
+/// # Panics
+///
+/// Panics if any coordinate is NaN.
+///
+/// # Examples
+///
+/// ```
+/// use ramsis_profiles::pareto_front;
+/// // (latency, accuracy): the middle point is dominated by the first.
+/// let pts = [(1.0, 80.0), (2.0, 75.0), (3.0, 90.0)];
+/// assert_eq!(pareto_front(&pts), vec![0, 2]);
+/// ```
+pub fn pareto_front(points: &[(f64, f64)]) -> Vec<usize> {
+    for &(l, a) in points {
+        assert!(!l.is_nan() && !a.is_nan(), "Pareto points must not be NaN");
+    }
+    // Sort by latency ascending; break ties by accuracy descending so the
+    // best of equal-latency points is seen first.
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&i, &j| {
+        points[i]
+            .0
+            .partial_cmp(&points[j].0)
+            .expect("no NaN")
+            .then(points[j].1.partial_cmp(&points[i].1).expect("no NaN"))
+    });
+    let mut front = Vec::new();
+    let mut best_accuracy = f64::NEG_INFINITY;
+    for &i in &order {
+        if points[i].1 > best_accuracy {
+            front.push(i);
+            best_accuracy = points[i].1;
+        }
+    }
+    front
+}
+
+/// Reference `O(n²)` dominance check used by the property tests.
+///
+/// Exposed (rather than test-private) so integration tests and benches
+/// can validate against it too.
+pub fn is_dominated(points: &[(f64, f64)], i: usize) -> bool {
+    let (l, a) = points[i];
+    points
+        .iter()
+        .enumerate()
+        .any(|(j, &(lj, aj))| j != i && lj <= l && aj >= a && (lj < l || aj > a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(pareto_front(&[]).is_empty());
+        assert_eq!(pareto_front(&[(5.0, 50.0)]), vec![0]);
+    }
+
+    #[test]
+    fn monotone_chain_is_fully_on_front() {
+        let pts: Vec<_> = (0..5).map(|i| (i as f64, i as f64 * 10.0)).collect();
+        assert_eq!(pareto_front(&pts), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn anti_monotone_chain_keeps_only_first() {
+        // Increasing latency with decreasing accuracy: only the fastest
+        // (and most accurate) point survives.
+        let pts: Vec<_> = (0..5).map(|i| (i as f64, 100.0 - i as f64)).collect();
+        assert_eq!(pareto_front(&pts), vec![0]);
+    }
+
+    #[test]
+    fn duplicate_points_keep_one() {
+        let pts = [(1.0, 50.0), (1.0, 50.0), (2.0, 60.0)];
+        let front = pareto_front(&pts);
+        assert_eq!(front.len(), 2);
+        assert!(front.contains(&2));
+    }
+
+    #[test]
+    fn equal_latency_keeps_most_accurate() {
+        let pts = [(1.0, 50.0), (1.0, 70.0)];
+        assert_eq!(pareto_front(&pts), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn rejects_nan() {
+        let _ = pareto_front(&[(f64::NAN, 1.0)]);
+    }
+
+    proptest! {
+        #[test]
+        fn front_matches_naive_dominance(
+            pts in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 0..60)
+        ) {
+            let front = pareto_front(&pts);
+            // Everything on the front is non-dominated (modulo exact
+            // duplicates, which keep a single representative).
+            for &i in &front {
+                let strictly_dominated = pts.iter().enumerate().any(|(j, &(lj, aj))| {
+                    j != i && lj <= pts[i].0 && aj >= pts[i].1 && (lj < pts[i].0 || aj > pts[i].1)
+                });
+                prop_assert!(!strictly_dominated, "front point {i} is dominated");
+            }
+            // Everything off the front is dominated or a duplicate of a
+            // front point.
+            for i in 0..pts.len() {
+                if front.contains(&i) {
+                    continue;
+                }
+                let covered = is_dominated(&pts, i)
+                    || front.iter().any(|&j| pts[j] == pts[i]);
+                prop_assert!(covered, "off-front point {i} is neither dominated nor duplicate");
+            }
+        }
+
+        #[test]
+        fn front_is_sorted_and_strictly_improving(
+            pts in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..60)
+        ) {
+            let front = pareto_front(&pts);
+            for w in front.windows(2) {
+                prop_assert!(pts[w[0]].0 < pts[w[1]].0, "latency must strictly increase");
+                prop_assert!(pts[w[0]].1 < pts[w[1]].1, "accuracy must strictly increase");
+            }
+        }
+    }
+}

@@ -1,0 +1,674 @@
+//! The discrete-event simulation engine.
+//!
+//! Events are processed in `(time, sequence)` order from a binary heap,
+//! so runs are exactly reproducible. Two event kinds exist: a query
+//! arrival at the central queue, and a worker completing a batch.
+//! Workers never idle while their visible queue is non-empty (unless
+//! the scheme explicitly declines to serve).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use ramsis_profiles::WorkerProfile;
+use ramsis_workload::{sample_poisson_arrivals, LoadEstimator, Trace};
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::latency::{LatencyMode, LatencySampler};
+use crate::metrics::{MetricsCollector, SimulationReport};
+use crate::query::{nanos_from_secs, secs_from_nanos, Nanos, Query};
+use crate::scheme::{Routing, Selection, SelectionContext, ServingScheme};
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimulationConfig {
+    /// Number of workers.
+    pub workers: usize,
+    /// Response-latency SLO in seconds (stamps query deadlines).
+    pub slo_s: f64,
+    /// Service-time realization mode.
+    pub latency: LatencyMode,
+    /// Seed for arrival-time sampling.
+    pub arrival_seed: u64,
+    /// Seed for stochastic service times.
+    pub latency_seed: u64,
+    /// Collect a per-window timeline in the report (window length in
+    /// seconds); `None` disables it.
+    pub timeline_window_s: Option<f64>,
+}
+
+impl SimulationConfig {
+    /// A config with the given worker count and SLO, deterministic
+    /// latency, and fixed seeds.
+    pub fn new(workers: usize, slo_s: f64) -> Self {
+        Self {
+            workers,
+            slo_s,
+            latency: LatencyMode::DeterministicP95,
+            arrival_seed: 1,
+            latency_seed: 2,
+            timeline_window_s: None,
+        }
+    }
+
+    /// Enables per-window timeline collection.
+    pub fn with_timeline(mut self, window_s: f64) -> Self {
+        self.timeline_window_s = Some(window_s);
+        self
+    }
+
+    /// Switches to stochastic ("prototype implementation") latency.
+    pub fn stochastic(mut self) -> Self {
+        self.latency = LatencyMode::Stochastic;
+        self
+    }
+
+    /// Sets both seeds from one value (different streams derived).
+    pub fn seeded(mut self, seed: u64) -> Self {
+        self.arrival_seed = seed;
+        self.latency_seed = seed ^ 0x9E37_79B9_7F4A_7C15;
+        self
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    /// Index into the pre-sampled arrival array.
+    Arrival(u64),
+    /// Worker finished its in-flight batch.
+    WorkerDone(usize),
+}
+
+/// A simulation run binding worker profiles, a trace, and a scheme.
+pub struct Simulation<'a> {
+    /// Per-worker profiles; length 1 means a homogeneous cluster.
+    profiles: Vec<&'a WorkerProfile>,
+    config: SimulationConfig,
+}
+
+impl<'a> Simulation<'a> {
+    /// Creates a run harness over a homogeneous cluster (every worker
+    /// runs `profile`'s hardware and models).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config has no workers or a non-positive SLO.
+    pub fn new(profile: &'a WorkerProfile, config: SimulationConfig) -> Self {
+        assert!(config.workers > 0, "need at least one worker");
+        assert!(config.slo_s > 0.0, "SLO must be positive");
+        Self {
+            profiles: vec![profile],
+            config,
+        }
+    }
+
+    /// Creates a run harness over a *heterogeneous* cluster: one profile
+    /// per worker (§7: "Worker homogeneity is not a fundamental
+    /// requirement for RAMSIS since policies are generated per worker").
+    /// All profiles must share the SLO class of the config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profiles.len() != config.workers`, the config is
+    /// degenerate, or a profile's SLO disagrees with the config's.
+    pub fn heterogeneous(profiles: Vec<&'a WorkerProfile>, config: SimulationConfig) -> Self {
+        assert!(config.workers > 0, "need at least one worker");
+        assert!(config.slo_s > 0.0, "SLO must be positive");
+        assert_eq!(
+            profiles.len(),
+            config.workers,
+            "one profile per worker ({} vs {})",
+            profiles.len(),
+            config.workers
+        );
+        for (w, p) in profiles.iter().enumerate() {
+            assert!(
+                (p.slo() - config.slo_s).abs() < 1e-9,
+                "worker {w}'s profile was built for SLO {}s, config says {}s",
+                p.slo(),
+                config.slo_s
+            );
+        }
+        Self { profiles, config }
+    }
+
+    /// The profile worker `w` runs.
+    fn profile_of(&self, w: usize) -> &'a WorkerProfile {
+        if self.profiles.len() == 1 {
+            self.profiles[0]
+        } else {
+            self.profiles[w]
+        }
+    }
+
+    /// Runs `scheme` over Poisson arrivals sampled from `trace`,
+    /// reporting per-query outcomes. `estimator` is the load monitor
+    /// shared by all evaluated systems (§6).
+    pub fn run(
+        &self,
+        trace: &Trace,
+        scheme: &mut dyn ServingScheme,
+        estimator: &mut dyn LoadEstimator,
+    ) -> SimulationReport {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.arrival_seed);
+        let arrivals = sample_poisson_arrivals(trace, &mut rng);
+        self.run_arrivals(&arrivals, scheme, estimator)
+    }
+
+    /// Runs `scheme` over explicit arrival times (seconds, sorted).
+    pub fn run_arrivals(
+        &self,
+        arrivals: &[f64],
+        scheme: &mut dyn ServingScheme,
+        estimator: &mut dyn LoadEstimator,
+    ) -> SimulationReport {
+        let slo = nanos_from_secs(self.config.slo_s);
+        let n_workers = self.config.workers;
+        let routing = scheme.routing();
+
+        let mut sampler = LatencySampler::new(self.config.latency, self.config.latency_seed);
+        let mut metrics = match self.config.timeline_window_s {
+            Some(w) => MetricsCollector::new().with_timeline(w),
+            None => MetricsCollector::new(),
+        };
+
+        // Per-worker queues (per-worker routing) or one central queue.
+        let mut worker_queues: Vec<VecDeque<Query>> = vec![VecDeque::new(); n_workers];
+        let mut central_queue: VecDeque<Query> = VecDeque::new();
+        let mut busy = vec![false; n_workers];
+        // In-flight batch per worker: (model, queries, started).
+        let mut in_flight: Vec<Option<(usize, Vec<Query>, Nanos)>> = vec![None; n_workers];
+        let mut rr_next = 0usize;
+
+        let mut heap: BinaryHeap<Reverse<(Nanos, u64, EventKind)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        if !arrivals.is_empty() {
+            heap.push(Reverse((
+                nanos_from_secs(arrivals[0]),
+                seq,
+                EventKind::Arrival(0),
+            )));
+            seq += 1;
+        }
+
+        let mut horizon: Nanos = 0;
+
+        while let Some(Reverse((now, _, kind))) = heap.pop() {
+            horizon = horizon.max(now);
+            match kind {
+                EventKind::Arrival(i) => {
+                    let idx = i as usize;
+                    let t = nanos_from_secs(arrivals[idx]);
+                    let q = Query::new(i, t, slo);
+                    estimator.record_arrival(secs_from_nanos(t));
+                    // Schedule the next arrival.
+                    if idx + 1 < arrivals.len() {
+                        heap.push(Reverse((
+                            nanos_from_secs(arrivals[idx + 1]),
+                            seq,
+                            EventKind::Arrival(i + 1),
+                        )));
+                        seq += 1;
+                    }
+                    match routing {
+                        Routing::PerWorkerRoundRobin => {
+                            let w = rr_next;
+                            rr_next = (rr_next + 1) % n_workers;
+                            worker_queues[w].push_back(q);
+                            if !busy[w] {
+                                Self::dispatch(
+                                    w,
+                                    now,
+                                    self.profile_of(w),
+                                    scheme,
+                                    estimator,
+                                    &mut worker_queues[w],
+                                    &mut busy,
+                                    &mut in_flight,
+                                    &mut sampler,
+                                    &mut metrics,
+                                    &mut heap,
+                                    &mut seq,
+                                );
+                            }
+                        }
+                        Routing::PerWorkerShortestQueue => {
+                            let w = (0..n_workers)
+                                .min_by_key(|&w| (worker_queues[w].len(), w))
+                                .expect("at least one worker");
+                            worker_queues[w].push_back(q);
+                            if !busy[w] {
+                                Self::dispatch(
+                                    w,
+                                    now,
+                                    self.profile_of(w),
+                                    scheme,
+                                    estimator,
+                                    &mut worker_queues[w],
+                                    &mut busy,
+                                    &mut in_flight,
+                                    &mut sampler,
+                                    &mut metrics,
+                                    &mut heap,
+                                    &mut seq,
+                                );
+                            }
+                        }
+                        Routing::Central => {
+                            central_queue.push_back(q);
+                            if let Some(w) = busy.iter().position(|&b| !b) {
+                                Self::dispatch(
+                                    w,
+                                    now,
+                                    self.profile_of(w),
+                                    scheme,
+                                    estimator,
+                                    &mut central_queue,
+                                    &mut busy,
+                                    &mut in_flight,
+                                    &mut sampler,
+                                    &mut metrics,
+                                    &mut heap,
+                                    &mut seq,
+                                );
+                            }
+                        }
+                    }
+                }
+                EventKind::WorkerDone(w) => {
+                    let (model, queries, started) = in_flight[w]
+                        .take()
+                        .expect("completion implies in-flight work");
+                    metrics.record_batch(self.profile_of(w), model, &queries, started, now);
+                    busy[w] = false;
+                    let queue = match routing {
+                        Routing::Central => &mut central_queue,
+                        _ => &mut worker_queues[w],
+                    };
+                    Self::dispatch(
+                        w,
+                        now,
+                        self.profile_of(w),
+                        scheme,
+                        estimator,
+                        queue,
+                        &mut busy,
+                        &mut in_flight,
+                        &mut sampler,
+                        &mut metrics,
+                        &mut heap,
+                        &mut seq,
+                    );
+                }
+            }
+        }
+
+        metrics.report(
+            scheme.name().to_owned(),
+            arrivals.len() as u64,
+            horizon,
+            n_workers,
+        )
+    }
+
+    /// Asks the scheme for decisions for worker `w` until it starts
+    /// service, idles, or drains its queue (consecutive `Drop`
+    /// selections shed instantly and re-ask, §4.3.1's drop
+    /// reformulation).
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch(
+        w: usize,
+        now: Nanos,
+        profile: &WorkerProfile,
+        scheme: &mut dyn ServingScheme,
+        estimator: &mut dyn LoadEstimator,
+        queue: &mut VecDeque<Query>,
+        busy: &mut [bool],
+        in_flight: &mut [Option<(usize, Vec<Query>, Nanos)>],
+        sampler: &mut LatencySampler,
+        metrics: &mut MetricsCollector,
+        heap: &mut BinaryHeap<Reverse<(Nanos, u64, EventKind)>>,
+        seq: &mut u64,
+    ) {
+        debug_assert!(!busy[w], "dispatch on a busy worker");
+        while !queue.is_empty() {
+            let earliest = queue.front().expect("queue checked non-empty");
+            let ctx = SelectionContext {
+                now_s: secs_from_nanos(now),
+                load_qps: estimator.estimate(secs_from_nanos(now)),
+                queued: queue.len(),
+                earliest_slack_s: earliest.slack_at(now),
+                worker: w,
+            };
+            match scheme.select(&ctx) {
+                Selection::Idle => return,
+                Selection::Drop { count } => {
+                    assert!(
+                        count >= 1 && count as usize <= queue.len(),
+                        "scheme shed {count} from a queue of {}",
+                        queue.len()
+                    );
+                    let shed: Vec<Query> = queue.drain(..count as usize).collect();
+                    metrics.record_dropped(&shed);
+                    // Shedding takes no time; ask again for the rest.
+                }
+                Selection::Serve { model, batch } => {
+                    assert!(
+                        batch >= 1 && batch as usize <= queue.len(),
+                        "scheme chose batch {batch} from a queue of {}",
+                        queue.len()
+                    );
+                    assert!(
+                        model < profile.n_models(),
+                        "scheme chose unknown model {model}"
+                    );
+                    let batch_queries: Vec<Query> = queue.drain(..batch as usize).collect();
+                    let service = sampler.sample(profile, model, batch);
+                    busy[w] = true;
+                    in_flight[w] = Some((model, batch_queries, now));
+                    heap.push(Reverse((
+                        now + nanos_from_secs(service),
+                        *seq,
+                        EventKind::WorkerDone(w),
+                    )));
+                    *seq += 1;
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::RamsisScheme;
+    use ramsis_core::{Discretization, PolicyConfig, PolicySet};
+    use ramsis_profiles::{ModelCatalog, ProfilerConfig};
+    use ramsis_workload::{LoadMonitor, OracleMonitor, TraceKind};
+    use std::time::Duration;
+
+    fn profile() -> &'static WorkerProfile {
+        use std::sync::OnceLock;
+        static PROFILE: OnceLock<WorkerProfile> = OnceLock::new();
+        PROFILE.get_or_init(|| {
+            WorkerProfile::build(
+                &ModelCatalog::torchvision_image(),
+                Duration::from_millis(150),
+                ProfilerConfig::default(),
+            )
+        })
+    }
+
+    fn ramsis_scheme(workers: usize, loads: &[f64]) -> RamsisScheme {
+        let config = PolicyConfig::builder(Duration::from_millis(150))
+            .workers(workers)
+            .discretization(Discretization::fixed_length(10))
+            .build();
+        RamsisScheme::new(PolicySet::generate_poisson(profile(), loads, &config).unwrap())
+    }
+
+    /// A trivially simple central-queue scheme for engine tests: always
+    /// the fastest model, always the full visible queue.
+    struct GreedyFastest {
+        model: usize,
+    }
+
+    impl ServingScheme for GreedyFastest {
+        fn name(&self) -> &str {
+            "greedy-fastest"
+        }
+        fn routing(&self) -> Routing {
+            Routing::Central
+        }
+        fn select(&mut self, ctx: &SelectionContext) -> Selection {
+            Selection::Serve {
+                model: self.model,
+                batch: ctx.queued as u32,
+            }
+        }
+    }
+
+    #[test]
+    fn conservation_every_arrival_is_served_once() {
+        let trace = Trace::constant(300.0, 5.0);
+        let sim = Simulation::new(profile(), SimulationConfig::new(4, 0.15));
+        let mut scheme = GreedyFastest {
+            model: profile().fastest_model(),
+        };
+        let mut monitor = LoadMonitor::new();
+        let report = sim.run(&trace, &mut scheme, &mut monitor);
+        assert!(report.total_arrivals > 1_000);
+        assert_eq!(report.served, report.total_arrivals);
+        let per_model_total: u64 = report.per_model.iter().map(|&(_, c)| c).sum();
+        assert_eq!(per_model_total, report.served);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let trace = Trace::constant(200.0, 3.0);
+        let sim = Simulation::new(profile(), SimulationConfig::new(4, 0.15).seeded(9));
+        let mut m1 = LoadMonitor::new();
+        let mut m2 = LoadMonitor::new();
+        let r1 = sim.run(
+            &trace,
+            &mut GreedyFastest {
+                model: profile().fastest_model(),
+            },
+            &mut m1,
+        );
+        let r2 = sim.run(
+            &trace,
+            &mut GreedyFastest {
+                model: profile().fastest_model(),
+            },
+            &mut m2,
+        );
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn underload_has_no_violations_with_fast_model() {
+        // 40 QPS across 4 workers, fastest model: utilization ~20%.
+        let trace = Trace::constant(40.0, 10.0);
+        let sim = Simulation::new(profile(), SimulationConfig::new(4, 0.15));
+        let mut scheme = GreedyFastest {
+            model: profile().fastest_model(),
+        };
+        let mut monitor = LoadMonitor::new();
+        let report = sim.run(&trace, &mut scheme, &mut monitor);
+        assert_eq!(
+            report.violations, 0,
+            "violation_rate={}",
+            report.violation_rate
+        );
+        assert!(report.mean_response_s < 0.15);
+    }
+
+    #[test]
+    fn overload_with_slow_model_violates() {
+        // The most accurate model cannot sustain 400 QPS on 4 workers.
+        let trace = Trace::constant(400.0, 5.0);
+        let sim = Simulation::new(profile(), SimulationConfig::new(4, 0.15));
+        let slow = *profile().pareto_models().last().unwrap();
+        let mut scheme = GreedyFastest { model: slow };
+        let mut monitor = LoadMonitor::new();
+        let report = sim.run(&trace, &mut scheme, &mut monitor);
+        assert!(
+            report.violation_rate > 0.5,
+            "violation_rate={}",
+            report.violation_rate
+        );
+        // Response times blow far past the SLO under queue buildup.
+        assert!(report.p99_response_s > 0.15);
+    }
+
+    #[test]
+    fn response_time_at_least_service_time() {
+        let trace = Trace::constant(100.0, 5.0);
+        let sim = Simulation::new(profile(), SimulationConfig::new(2, 0.15));
+        let mut scheme = GreedyFastest {
+            model: profile().fastest_model(),
+        };
+        let mut monitor = LoadMonitor::new();
+        let report = sim.run(&trace, &mut scheme, &mut monitor);
+        let batch1 = profile().latency(profile().fastest_model(), 1).unwrap();
+        assert!(report.mean_response_s >= batch1 * 0.9);
+    }
+
+    #[test]
+    fn ramsis_end_to_end_low_load_beats_fastest_model_accuracy() {
+        // At light load the RAMSIS policy should select models more
+        // accurate than the fastest one, without violating.
+        let trace = Trace::constant(80.0, 10.0);
+        let sim = Simulation::new(profile(), SimulationConfig::new(4, 0.15));
+        let mut scheme = ramsis_scheme(4, &[100.0, 400.0]);
+        let mut monitor = OracleMonitor::new(trace.clone());
+        let report = sim.run(&trace, &mut scheme, &mut monitor);
+        let fast_acc = profile().accuracy(profile().fastest_model());
+        assert!(
+            report.accuracy_per_satisfied_query > fast_acc + 5.0,
+            "accuracy {}",
+            report.accuracy_per_satisfied_query
+        );
+        assert!(
+            report.violation_rate < 0.05,
+            "violation_rate={}",
+            report.violation_rate
+        );
+    }
+
+    #[test]
+    fn ramsis_guarantee_brackets_simulation() {
+        // §5.1/§7.3.1: expected accuracy lower-bounds and expected
+        // violation upper-bounds the deterministic simulation.
+        let load = 120.0;
+        let trace = Trace::constant(load, 20.0);
+        let sim = Simulation::new(profile(), SimulationConfig::new(4, 0.15));
+        let config = PolicyConfig::builder(Duration::from_millis(150))
+            .workers(4)
+            .discretization(Discretization::fixed_length(10))
+            .build();
+        let set = PolicySet::generate_poisson(profile(), &[load], &config).unwrap();
+        let g = *set.policies()[0].guarantees();
+        let mut scheme = RamsisScheme::new(set);
+        let mut monitor = OracleMonitor::new(trace.clone());
+        let report = sim.run(&trace, &mut scheme, &mut monitor);
+        assert!(
+            report.accuracy_per_satisfied_query >= g.expected_accuracy - 1.0,
+            "observed {} vs expected {}",
+            report.accuracy_per_satisfied_query,
+            g.expected_accuracy
+        );
+        assert!(
+            report.violation_rate <= g.expected_violation_rate + 0.02,
+            "observed {} vs expected {}",
+            report.violation_rate,
+            g.expected_violation_rate
+        );
+    }
+
+    #[test]
+    fn stochastic_latency_at_least_as_good_as_deterministic() {
+        // §7.3.1: the implementation (stochastic) achieves equal or
+        // better accuracy than the simulation (deterministic p95)
+        // because real invocations usually finish before their p95.
+        let trace = Trace::constant(150.0, 15.0);
+        let det = Simulation::new(profile(), SimulationConfig::new(4, 0.15));
+        let sto = Simulation::new(profile(), SimulationConfig::new(4, 0.15).stochastic());
+        let mut sd = ramsis_scheme(4, &[150.0]);
+        let mut ss = ramsis_scheme(4, &[150.0]);
+        let mut m1 = OracleMonitor::new(trace.clone());
+        let mut m2 = OracleMonitor::new(trace.clone());
+        let r_det = det.run(&trace, &mut sd, &mut m1);
+        let r_sto = sto.run(&trace, &mut ss, &mut m2);
+        assert!(
+            r_sto.accuracy_per_satisfied_query >= r_det.accuracy_per_satisfied_query - 0.3,
+            "stochastic {} vs deterministic {}",
+            r_sto.accuracy_per_satisfied_query,
+            r_det.accuracy_per_satisfied_query
+        );
+    }
+
+    #[test]
+    fn shortest_queue_routing_balances() {
+        // 120 QPS over 4 workers is ~50% of the fastest model's
+        // capacity — satisfiable under either balancer.
+        let trace = Trace::from_interval_qps(&[120.0], 10.0, TraceKind::Custom);
+        let sim = Simulation::new(profile(), SimulationConfig::new(4, 0.15));
+        let config = PolicyConfig::builder(Duration::from_millis(150))
+            .workers(4)
+            .balancing(ramsis_core::Balancing::ShortestQueueFirst)
+            .discretization(Discretization::fixed_length(10))
+            .build();
+        let set = PolicySet::generate_poisson(profile(), &[120.0], &config).unwrap();
+        let mut scheme = RamsisScheme::with_shortest_queue(set);
+        let mut monitor = OracleMonitor::new(trace.clone());
+        let report = sim.run(&trace, &mut scheme, &mut monitor);
+        assert_eq!(report.served, report.total_arrivals);
+        assert!(
+            report.violation_rate < 0.10,
+            "violation={}",
+            report.violation_rate
+        );
+    }
+
+    #[test]
+    fn stochastic_seeds_differ_deterministic_seeds_do_not() {
+        let trace = Trace::constant(150.0, 3.0);
+        let run = |config: SimulationConfig| {
+            let sim = Simulation::new(profile(), config);
+            let mut scheme = GreedyFastest {
+                model: profile().fastest_model(),
+            };
+            let mut monitor = LoadMonitor::new();
+            sim.run(&trace, &mut scheme, &mut monitor)
+        };
+        // Different latency seeds change stochastic outcomes...
+        let a = run(SimulationConfig::new(2, 0.15).stochastic().seeded(1));
+        let mut cfg_b = SimulationConfig::new(2, 0.15).stochastic().seeded(1);
+        cfg_b.latency_seed = 999;
+        let b = run(cfg_b);
+        assert_ne!(a.mean_response_s, b.mean_response_s);
+        // ...but not deterministic ones.
+        let c = run(SimulationConfig::new(2, 0.15).seeded(1));
+        let mut cfg_d = SimulationConfig::new(2, 0.15).seeded(1);
+        cfg_d.latency_seed = 999;
+        let d = run(cfg_d);
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn empty_trace_is_a_noop() {
+        let sim = Simulation::new(profile(), SimulationConfig::new(2, 0.15));
+        let mut scheme = GreedyFastest { model: 0 };
+        let mut monitor = LoadMonitor::new();
+        let report = sim.run_arrivals(&[], &mut scheme, &mut monitor);
+        assert_eq!(report.total_arrivals, 0);
+        assert_eq!(report.served, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch")]
+    fn oversized_batch_is_rejected() {
+        struct Bad;
+        impl ServingScheme for Bad {
+            fn name(&self) -> &str {
+                "bad"
+            }
+            fn routing(&self) -> Routing {
+                Routing::Central
+            }
+            fn select(&mut self, ctx: &SelectionContext) -> Selection {
+                Selection::Serve {
+                    model: 0,
+                    batch: ctx.queued as u32 + 5,
+                }
+            }
+        }
+        let sim = Simulation::new(profile(), SimulationConfig::new(1, 0.15));
+        let mut monitor = LoadMonitor::new();
+        let _ = sim.run_arrivals(&[0.0], &mut Bad, &mut monitor);
+    }
+}

@@ -1,0 +1,43 @@
+//! Discrete-event simulator for the assumed ISS architecture (paper
+//! Fig. 1 and §6).
+//!
+//! The simulator stands in for the paper's GCP + TorchServe testbed (see
+//! DESIGN.md §2). It models the architecture's five components: a
+//! central queue, trained models (via [`ramsis_profiles::WorkerProfile`]),
+//! workers, and a model selector & scheduler plugged in through the
+//! [`scheme::ServingScheme`] trait. Two dispatch structures cover every
+//! evaluated system:
+//!
+//! - **Per-worker routing** (RAMSIS, §3.2): arrivals are routed to
+//!   worker queues immediately (round-robin or shortest-queue-first);
+//!   each worker's model selector serves its own queue in deadline
+//!   order.
+//! - **Central-queue pulling** (Jellyfish+, ModelSwitching, §7):
+//!   "workers eagerly grab and service queries from the central queue in
+//!   batches up to a maximum batch size".
+//!
+//! Inference latency is either *deterministic* at the profiled 95th
+//! percentile — exactly the paper's simulation framework (§7.3.1: "the
+//! simulation assumes inference latency is deterministically the 95th
+//! percentile of the model profile") — or *stochastic*, redrawing each
+//! invocation from the latency model like the prototype implementation.
+//!
+//! Time is integer nanoseconds; every run is reproducible from its
+//! seeds. No queries are ever dropped (§7: evaluated systems "do not
+//! drop queries when facing latency SLO violations").
+
+pub mod engine;
+pub mod latency;
+pub mod metrics;
+pub mod multi_slo;
+pub mod query;
+pub mod scheme;
+
+pub use engine::{Simulation, SimulationConfig};
+pub use latency::LatencyMode;
+pub use metrics::{SimulationReport, TimelineBucket};
+pub use multi_slo::{run_multi_slo, SloClass};
+pub use query::Query;
+pub use scheme::{
+    OnDemandRamsis, PerWorkerRamsis, RamsisScheme, Routing, Selection, ServingScheme,
+};

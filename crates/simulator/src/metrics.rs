@@ -1,0 +1,383 @@
+//! Per-query metrics collection and the end-of-run report.
+//!
+//! The paper's performance metrics (§7): *Latency SLO Violation Rate*
+//! (fraction of serviced queries whose deadline is missed) and *Accuracy
+//! Per Satisfied Query* (average profiled accuracy over satisfied
+//! queries, given each query's model-selection decision).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use ramsis_profiles::WorkerProfile;
+use ramsis_stats::summary::{OnlineStats, Percentiles};
+
+use crate::query::{secs_from_nanos, Nanos, Query};
+
+/// One fixed-length window of a run's timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimelineBucket {
+    /// Window start, seconds from simulation start.
+    pub start_s: f64,
+    /// Queries completed in the window.
+    pub served: u64,
+    /// Of those, deadline misses.
+    pub violations: u64,
+    /// Mean profiled accuracy of the window's *satisfied* completions,
+    /// percent (0 when none).
+    pub accuracy: f64,
+}
+
+/// Accumulates per-query outcomes during a run.
+#[derive(Debug, Clone)]
+pub struct MetricsCollector {
+    served: u64,
+    violations: u64,
+    dropped: u64,
+    accuracy_sum_satisfied: f64,
+    response: Percentiles,
+    batch_stats: OnlineStats,
+    queue_wait: OnlineStats,
+    /// Optional timeline: window length and raw per-window sums
+    /// `(served, violations, accuracy_sum_satisfied)`.
+    timeline_window_s: Option<f64>,
+    timeline: Vec<(u64, u64, f64)>,
+    /// Total busy time across workers, nanoseconds.
+    busy_nanos: u128,
+    /// Served query count per model *name* — name-keyed so workers with
+    /// different model catalogs (heterogeneous clusters, §7) aggregate
+    /// correctly.
+    per_model: BTreeMap<String, u64>,
+}
+
+impl Default for MetricsCollector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsCollector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self {
+            served: 0,
+            violations: 0,
+            dropped: 0,
+            accuracy_sum_satisfied: 0.0,
+            response: Percentiles::new(),
+            batch_stats: OnlineStats::new(),
+            queue_wait: OnlineStats::new(),
+            timeline_window_s: None,
+            timeline: Vec::new(),
+            busy_nanos: 0,
+            per_model: BTreeMap::new(),
+        }
+    }
+
+    /// Enables timeline collection with the given window length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_s` is not strictly positive and finite.
+    pub fn with_timeline(mut self, window_s: f64) -> Self {
+        assert!(
+            window_s.is_finite() && window_s > 0.0,
+            "timeline window must be positive, got {window_s}"
+        );
+        self.timeline_window_s = Some(window_s);
+        self
+    }
+
+    fn timeline_bucket(&mut self, done: Nanos) -> Option<&mut (u64, u64, f64)> {
+        let window = self.timeline_window_s?;
+        let i = (secs_from_nanos(done) / window) as usize;
+        if self.timeline.len() <= i {
+            self.timeline.resize(i + 1, (0, 0, 0.0));
+        }
+        Some(&mut self.timeline[i])
+    }
+
+    /// Records the completion of one batch at time `done`.
+    pub fn record_batch(
+        &mut self,
+        profile: &WorkerProfile,
+        model: usize,
+        queries: &[Query],
+        started: Nanos,
+        done: Nanos,
+    ) {
+        let accuracy = profile.accuracy(model);
+        self.batch_stats.push(queries.len() as f64);
+        self.busy_nanos += done.saturating_sub(started) as u128;
+        *self
+            .per_model
+            .entry(profile.models[model].name.clone())
+            .or_insert(0) += queries.len() as u64;
+        for q in queries {
+            self.served += 1;
+            self.response
+                .push(secs_from_nanos(done.saturating_sub(q.arrival)));
+            self.queue_wait
+                .push(secs_from_nanos(started.saturating_sub(q.arrival)));
+            let violated = done > q.deadline;
+            if violated {
+                self.violations += 1;
+            } else {
+                self.accuracy_sum_satisfied += accuracy;
+            }
+            if let Some(bucket) = self.timeline_bucket(done) {
+                bucket.0 += 1;
+                if violated {
+                    bucket.1 += 1;
+                } else {
+                    bucket.2 += accuracy;
+                }
+            }
+        }
+    }
+
+    /// Records queries shed without service at time `now`.
+    pub fn record_dropped(&mut self, queries: &[Query]) {
+        self.dropped += queries.len() as u64;
+    }
+
+    /// Finalizes the report. `workers` scales the utilization.
+    pub fn report(
+        mut self,
+        scheme: String,
+        total_arrivals: u64,
+        horizon: Nanos,
+        workers: usize,
+    ) -> SimulationReport {
+        let satisfied = self.served - self.violations;
+        let timeline = match self.timeline_window_s {
+            Some(window) => self
+                .timeline
+                .iter()
+                .enumerate()
+                .map(|(i, &(served, violations, acc_sum))| {
+                    let sat = served - violations;
+                    TimelineBucket {
+                        start_s: i as f64 * window,
+                        served,
+                        violations,
+                        accuracy: if sat > 0 { acc_sum / sat as f64 } else { 0.0 },
+                    }
+                })
+                .collect(),
+            None => Vec::new(),
+        };
+        let per_model = self.per_model.into_iter().collect();
+        SimulationReport {
+            scheme,
+            total_arrivals,
+            served: self.served,
+            dropped: self.dropped,
+            violations: self.violations,
+            violation_rate: if self.served > 0 {
+                self.violations as f64 / self.served as f64
+            } else {
+                0.0
+            },
+            accuracy_per_satisfied_query: if satisfied > 0 {
+                self.accuracy_sum_satisfied / satisfied as f64
+            } else {
+                0.0
+            },
+            mean_response_s: self.response.mean().unwrap_or(0.0),
+            p50_response_s: self.response.percentile(50.0).unwrap_or(0.0),
+            p99_response_s: self.response.percentile(99.0).unwrap_or(0.0),
+            mean_queue_wait_s: self.queue_wait.mean(),
+            mean_batch: self.batch_stats.mean(),
+            max_batch: self.batch_stats.max().unwrap_or(0.0) as u32,
+            per_model,
+            timeline,
+            mean_utilization: if horizon > 0 && workers > 0 {
+                (self.busy_nanos as f64 / 1e9) / (workers as f64 * secs_from_nanos(horizon))
+            } else {
+                0.0
+            },
+            horizon_s: secs_from_nanos(horizon),
+        }
+    }
+}
+
+/// The outcome of one simulated run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationReport {
+    /// Name of the MS&S scheme that produced the run.
+    pub scheme: String,
+    /// Queries that arrived at the central queue.
+    pub total_arrivals: u64,
+    /// Queries served to completion (= arrivals unless the scheme
+    /// sheds, `MissPolicy::Drop`).
+    pub served: u64,
+    /// Queries shed without service.
+    pub dropped: u64,
+    /// Queries whose deadline was missed.
+    pub violations: u64,
+    /// `violations / served` — the paper's Latency SLO Violation Rate
+    /// over *serviced* queries. Shed queries are reported separately in
+    /// [`Self::dropped`] / [`Self::loss_rate`].
+    pub violation_rate: f64,
+    /// The paper's Accuracy Per Satisfied Query, percent.
+    pub accuracy_per_satisfied_query: f64,
+    /// Mean end-to-end response time, seconds.
+    pub mean_response_s: f64,
+    /// Median response time, seconds.
+    pub p50_response_s: f64,
+    /// 99th-percentile response time, seconds.
+    pub p99_response_s: f64,
+    /// Mean time spent queued before service, seconds.
+    pub mean_queue_wait_s: f64,
+    /// Mean served batch size.
+    pub mean_batch: f64,
+    /// Largest served batch.
+    pub max_batch: u32,
+    /// Served query count per model (models never selected omitted).
+    pub per_model: Vec<(String, u64)>,
+    /// Per-window timeline (empty unless timeline collection was
+    /// enabled via [`crate::SimulationConfig`]).
+    pub timeline: Vec<TimelineBucket>,
+    /// Mean fraction of worker-time spent serving (busy time divided by
+    /// `workers · horizon`) — for an M/D/1-style fixed-model run this is
+    /// exactly the offered utilization ρ.
+    pub mean_utilization: f64,
+    /// Simulated time horizon, seconds.
+    pub horizon_s: f64,
+}
+
+impl SimulationReport {
+    /// Fraction of all arrivals that were shed without service.
+    pub fn loss_rate(&self) -> f64 {
+        if self.total_arrivals > 0 {
+            self.dropped as f64 / self.total_arrivals as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of all arrivals that either missed their deadline or
+    /// were shed — the strictest quality-of-service measure.
+    pub fn miss_or_loss_rate(&self) -> f64 {
+        if self.total_arrivals > 0 {
+            (self.dropped + self.violations) as f64 / self.total_arrivals as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ramsis_profiles::{ModelCatalog, ProfilerConfig};
+    use std::time::Duration;
+
+    fn profile() -> WorkerProfile {
+        WorkerProfile::build(
+            &ModelCatalog::torchvision_image(),
+            Duration::from_millis(150),
+            ProfilerConfig::default(),
+        )
+    }
+
+    #[test]
+    fn batch_recording_splits_satisfied_and_violated() {
+        let p = profile();
+        let mut c = MetricsCollector::new();
+        let m = p.fastest_model();
+        let slo = 150_000_000;
+        // Two queries: one meets its deadline, one missed it.
+        let q_ok = Query::new(0, 0, slo);
+        let q_late = Query::new(1, 0, slo);
+        c.record_batch(&p, m, &[q_ok], 10_000_000, 100_000_000);
+        c.record_batch(&p, m, &[q_late], 10_000_000, 200_000_000);
+        let r = c.report("test".into(), 2, 200_000_000, 1);
+        assert_eq!(r.served, 2);
+        assert_eq!(r.violations, 1);
+        assert!((r.violation_rate - 0.5).abs() < 1e-12);
+        assert!((r.accuracy_per_satisfied_query - p.accuracy(m)).abs() < 1e-12);
+        assert_eq!(r.per_model.len(), 1);
+        assert_eq!(r.per_model[0].1, 2);
+        assert!((r.mean_batch - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_reports_zeros() {
+        let _p = profile();
+        let c = MetricsCollector::new();
+        let r = c.report("idle".into(), 0, 1_000, 1);
+        assert_eq!(r.served, 0);
+        assert_eq!(r.violation_rate, 0.0);
+        assert_eq!(r.accuracy_per_satisfied_query, 0.0);
+        assert!(r.per_model.is_empty());
+    }
+
+    #[test]
+    fn response_percentiles_ordered() {
+        let p = profile();
+        let mut c = MetricsCollector::new();
+        let m = p.fastest_model();
+        for i in 0..100u64 {
+            let q = Query::new(i, 0, 1_000_000_000);
+            c.record_batch(&p, m, &[q], 0, (i + 1) * 1_000_000);
+        }
+        let r = c.report("test".into(), 100, 100_000_000, 1);
+        assert!(r.p50_response_s <= r.p99_response_s);
+        assert!(r.mean_response_s > 0.0);
+    }
+
+    #[test]
+    fn timeline_buckets_aggregate_by_completion_window() {
+        let p = profile();
+        let mut c = MetricsCollector::new().with_timeline(1.0);
+        let m = p.fastest_model();
+        let slo = 150_000_000;
+        // Completions at 0.5 s (on time) and 2.5 s (late).
+        c.record_batch(
+            &p,
+            m,
+            &[Query::new(0, 400_000_000, slo)],
+            450_000_000,
+            500_000_000,
+        );
+        c.record_batch(&p, m, &[Query::new(1, 0, slo)], 0, 2_500_000_000);
+        let r = c.report("test".into(), 2, 2_500_000_000, 1);
+        assert_eq!(r.timeline.len(), 3);
+        assert_eq!(r.timeline[0].served, 1);
+        assert_eq!(r.timeline[0].violations, 0);
+        assert!((r.timeline[0].accuracy - p.accuracy(m)).abs() < 1e-9);
+        assert_eq!(r.timeline[1].served, 0);
+        assert_eq!(r.timeline[2].served, 1);
+        assert_eq!(r.timeline[2].violations, 1);
+        assert_eq!(r.timeline[2].accuracy, 0.0);
+        // Totals agree with the timeline sums.
+        let tl_served: u64 = r.timeline.iter().map(|b| b.served).sum();
+        assert_eq!(tl_served, r.served);
+    }
+
+    #[test]
+    fn timeline_disabled_by_default() {
+        let p = profile();
+        let mut c = MetricsCollector::new();
+        let m = p.fastest_model();
+        c.record_batch(&p, m, &[Query::new(0, 0, 1_000_000)], 0, 1_000);
+        let r = c.report("test".into(), 1, 1_000, 1);
+        assert!(r.timeline.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "timeline window must be positive")]
+    fn timeline_rejects_bad_window() {
+        let _ = MetricsCollector::new().with_timeline(0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let _p = profile();
+        let c = MetricsCollector::new();
+        let r = c.report("test".into(), 0, 0, 1);
+        let json = serde_json::to_string(&r).unwrap();
+        assert_eq!(serde_json::from_str::<SimulationReport>(&json).unwrap(), r);
+    }
+}

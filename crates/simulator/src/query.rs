@@ -1,0 +1,74 @@
+//! Inference queries and nanosecond time handling.
+
+use serde::{Deserialize, Serialize};
+
+/// Nanoseconds since simulation start.
+pub type Nanos = u64;
+
+/// Converts seconds to simulation nanoseconds (saturating at zero for
+/// negative inputs).
+pub fn nanos_from_secs(s: f64) -> Nanos {
+    if s <= 0.0 {
+        0
+    } else {
+        (s * 1e9).round() as Nanos
+    }
+}
+
+/// Converts simulation nanoseconds to seconds.
+pub fn secs_from_nanos(ns: Nanos) -> f64 {
+    ns as f64 * 1e-9
+}
+
+/// One inference query: arrival stamped at the central queue, deadline
+/// `arrival + SLO` (paper §3.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Query {
+    /// Monotone query identifier (arrival order).
+    pub id: u64,
+    /// Arrival time at the central queue.
+    pub arrival: Nanos,
+    /// Deadline: `arrival + SLO`.
+    pub deadline: Nanos,
+}
+
+impl Query {
+    /// Creates a query with a deadline `slo` nanoseconds after arrival.
+    pub fn new(id: u64, arrival: Nanos, slo: Nanos) -> Self {
+        Self {
+            id,
+            arrival,
+            deadline: arrival + slo,
+        }
+    }
+
+    /// Remaining slack at time `now`, in seconds (negative when late).
+    pub fn slack_at(&self, now: Nanos) -> f64 {
+        if self.deadline >= now {
+            secs_from_nanos(self.deadline - now)
+        } else {
+            -secs_from_nanos(now - self.deadline)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(nanos_from_secs(0.15), 150_000_000);
+        assert_eq!(nanos_from_secs(-1.0), 0);
+        assert!((secs_from_nanos(150_000_000) - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slack_signs() {
+        let q = Query::new(0, 1_000_000_000, 150_000_000);
+        assert_eq!(q.deadline, 1_150_000_000);
+        assert!((q.slack_at(1_000_000_000) - 0.15).abs() < 1e-12);
+        assert!((q.slack_at(1_100_000_000) - 0.05).abs() < 1e-12);
+        assert!((q.slack_at(1_200_000_000) + 0.05).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,344 @@
+//! The serving-scheme abstraction: how queries are routed and which
+//! model serves them.
+//!
+//! An MS&S approach plugs into the simulator through [`ServingScheme`]:
+//! it declares its *routing* structure (per-worker queues for RAMSIS,
+//! the shared central queue for the eager baselines) and makes a
+//! *selection* whenever a worker can serve. The RAMSIS online phase
+//! (paper §3.2) is implemented here; the baselines live in
+//! `ramsis-baselines`.
+
+use ramsis_core::{Decision, PolicyConfig, PolicySet};
+use ramsis_profiles::WorkerProfile;
+
+/// How arrivals reach workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Routing {
+    /// Arrivals are assigned to per-worker queues immediately,
+    /// round-robin (§3.2.1).
+    PerWorkerRoundRobin,
+    /// Arrivals are assigned to the shortest worker queue (appendix §I).
+    PerWorkerShortestQueue,
+    /// Arrivals stay in the central queue; idle workers pull batches
+    /// eagerly (the baselines of §7).
+    Central,
+}
+
+/// What a scheme sees when asked for a decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelectionContext {
+    /// Simulation time, seconds.
+    pub now_s: f64,
+    /// The anticipated query load from the configured monitor, QPS.
+    pub load_qps: f64,
+    /// Queries visible to this worker (its queue, or the central queue).
+    pub queued: usize,
+    /// Slack of the earliest deadline among them, seconds (negative if
+    /// already blown).
+    pub earliest_slack_s: f64,
+    /// Index of the worker asking.
+    pub worker: usize,
+}
+
+/// A scheme's answer when a worker can serve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Selection {
+    /// Run `batch` earliest-deadline queries (`1..=ctx.queued`) on
+    /// `model`.
+    Serve {
+        /// Catalog index of the selected model.
+        model: usize,
+        /// Number of queries to batch.
+        batch: u32,
+    },
+    /// Discard `count` earliest-deadline queries without serving them
+    /// (the [`ramsis_core::MissPolicy::Drop`] reformulation of §4.3.1).
+    /// The engine immediately asks again for the remainder.
+    Drop {
+        /// Number of queries to discard (`1..=ctx.queued`).
+        count: u32,
+    },
+    /// Leave the worker idle until the next event (an adaptive baseline
+    /// might wait for a fuller batch; RAMSIS never idles a non-empty
+    /// queue).
+    Idle,
+}
+
+/// An MS&S approach, as seen by the simulator.
+pub trait ServingScheme {
+    /// Scheme name for reports (e.g. `"RAMSIS"`, `"ModelSwitching"`).
+    fn name(&self) -> &str;
+
+    /// The routing structure the scheme assumes.
+    fn routing(&self) -> Routing;
+
+    /// Decides what a worker with a non-empty visible queue does next.
+    fn select(&mut self, ctx: &SelectionContext) -> Selection;
+}
+
+/// The RAMSIS online phase (§3.2): round-robin (or SQF) routing plus
+/// per-worker model selection from the offline-generated policy set,
+/// using "the lowest-load MS policy that meets the anticipated query
+/// load".
+pub struct RamsisScheme {
+    policies: PolicySet,
+    routing: Routing,
+}
+
+impl RamsisScheme {
+    /// Creates the scheme with round-robin routing (the paper default).
+    pub fn new(policies: PolicySet) -> Self {
+        Self {
+            policies,
+            routing: Routing::PerWorkerRoundRobin,
+        }
+    }
+
+    /// Creates the scheme with shortest-queue-first routing (§I); the
+    /// policy set should have been generated with
+    /// [`ramsis_core::Balancing::ShortestQueueFirst`].
+    pub fn with_shortest_queue(policies: PolicySet) -> Self {
+        Self {
+            policies,
+            routing: Routing::PerWorkerShortestQueue,
+        }
+    }
+
+    /// The underlying policy set.
+    pub fn policies(&self) -> &PolicySet {
+        &self.policies
+    }
+}
+
+impl ServingScheme for RamsisScheme {
+    fn name(&self) -> &str {
+        "RAMSIS"
+    }
+
+    fn routing(&self) -> Routing {
+        self.routing
+    }
+
+    fn select(&mut self, ctx: &SelectionContext) -> Selection {
+        let policy = self.policies.select(ctx.load_qps);
+        match policy.decide(ctx.queued, ctx.earliest_slack_s) {
+            Decision::Wait => Selection::Idle,
+            Decision::Drop { count } => Selection::Drop {
+                count: count.min(ctx.queued as u32).max(1),
+            },
+            Decision::Serve { model, batch } => Selection::Serve {
+                model,
+                batch: batch.min(ctx.queued as u32),
+            },
+        }
+    }
+}
+
+/// RAMSIS with on-demand policy generation (§3.2.2): "If that
+/// anticipated load is higher than any pre-computed MS policy can
+/// support, a new one is generated."
+///
+/// The pre-computed set handles covered loads; when the monitor
+/// anticipates a load beyond the set's highest design load, a policy for
+/// 120% of the anticipated load is generated synchronously and added
+/// (the headroom keeps a creeping load from triggering a generation per
+/// decision). In a real deployment generation would run on the central
+/// controller off the critical path; in simulation it takes zero
+/// simulated time, matching the paper's offline-generation accounting.
+pub struct OnDemandRamsis {
+    profile: WorkerProfile,
+    config: PolicyConfig,
+    policies: PolicySet,
+    generated: usize,
+}
+
+impl OnDemandRamsis {
+    /// Creates the scheme from an initial (possibly small) policy set.
+    pub fn new(profile: &WorkerProfile, config: PolicyConfig, initial: PolicySet) -> Self {
+        Self {
+            profile: profile.clone(),
+            config,
+            policies: initial,
+            generated: 0,
+        }
+    }
+
+    /// How many policies were generated on demand so far.
+    pub fn generated_on_demand(&self) -> usize {
+        self.generated
+    }
+
+    /// The current policy set.
+    pub fn policies(&self) -> &PolicySet {
+        &self.policies
+    }
+}
+
+impl ServingScheme for OnDemandRamsis {
+    fn name(&self) -> &str {
+        "RAMSIS-on-demand"
+    }
+
+    fn routing(&self) -> Routing {
+        Routing::PerWorkerRoundRobin
+    }
+
+    fn select(&mut self, ctx: &SelectionContext) -> Selection {
+        if !self.policies.covers(ctx.load_qps) {
+            let target = (ctx.load_qps * 1.2).max(1.0);
+            if self
+                .policies
+                .extend_poisson(&self.profile, target, &self.config)
+                .is_ok()
+            {
+                self.generated += 1;
+            }
+        }
+        let policy = self.policies.select(ctx.load_qps);
+        match policy.decide(ctx.queued, ctx.earliest_slack_s) {
+            Decision::Wait => Selection::Idle,
+            Decision::Drop { count } => Selection::Drop {
+                count: count.min(ctx.queued as u32).max(1),
+            },
+            Decision::Serve { model, batch } => Selection::Serve {
+                model,
+                batch: batch.min(ctx.queued as u32),
+            },
+        }
+    }
+}
+
+/// Per-worker RAMSIS for heterogeneous clusters (§7: "Worker
+/// homogeneity is not a fundamental requirement for RAMSIS since
+/// policies are generated per worker"): each worker carries its own
+/// policy set, generated against its own profile.
+pub struct PerWorkerRamsis {
+    sets: Vec<PolicySet>,
+    routing: Routing,
+}
+
+impl PerWorkerRamsis {
+    /// Creates the scheme with round-robin routing; `sets[w]` serves
+    /// worker `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is empty.
+    pub fn new(sets: Vec<PolicySet>) -> Self {
+        assert!(!sets.is_empty(), "need at least one worker's policy set");
+        Self {
+            sets,
+            routing: Routing::PerWorkerRoundRobin,
+        }
+    }
+
+    /// Number of workers covered.
+    pub fn workers(&self) -> usize {
+        self.sets.len()
+    }
+}
+
+impl ServingScheme for PerWorkerRamsis {
+    fn name(&self) -> &str {
+        "RAMSIS-hetero"
+    }
+
+    fn routing(&self) -> Routing {
+        self.routing
+    }
+
+    fn select(&mut self, ctx: &SelectionContext) -> Selection {
+        let set = &self.sets[ctx.worker % self.sets.len()];
+        let policy = set.select(ctx.load_qps);
+        match policy.decide(ctx.queued, ctx.earliest_slack_s) {
+            Decision::Wait => Selection::Idle,
+            Decision::Drop { count } => Selection::Drop {
+                count: count.min(ctx.queued as u32).max(1),
+            },
+            Decision::Serve { model, batch } => Selection::Serve {
+                model,
+                batch: batch.min(ctx.queued as u32),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ramsis_core::{Discretization, PolicyConfig};
+    use ramsis_profiles::{ModelCatalog, ProfilerConfig, WorkerProfile};
+    use std::time::Duration;
+
+    fn scheme() -> RamsisScheme {
+        let profile = WorkerProfile::build(
+            &ModelCatalog::torchvision_image(),
+            Duration::from_millis(150),
+            ProfilerConfig::default(),
+        );
+        let config = PolicyConfig::builder(Duration::from_millis(150))
+            .workers(4)
+            .discretization(Discretization::fixed_length(8))
+            .build();
+        let set = PolicySet::generate_poisson(&profile, &[100.0, 800.0], &config).unwrap();
+        RamsisScheme::new(set)
+    }
+
+    #[test]
+    fn ramsis_scheme_serves_queued_queries() {
+        let mut s = scheme();
+        assert_eq!(s.name(), "RAMSIS");
+        assert_eq!(s.routing(), Routing::PerWorkerRoundRobin);
+        let ctx = SelectionContext {
+            now_s: 1.0,
+            load_qps: 90.0,
+            queued: 3,
+            earliest_slack_s: 0.14,
+            worker: 0,
+        };
+        let Selection::Serve { model, batch } = s.select(&ctx) else {
+            panic!("must serve");
+        };
+        assert!((1..=3).contains(&batch));
+        assert!(model < 26);
+    }
+
+    #[test]
+    fn load_switches_policy() {
+        let mut s = scheme();
+        // Low anticipated load picks the 100-QPS policy (more accurate
+        // selections), high load the 800-QPS one.
+        let low = SelectionContext {
+            now_s: 1.0,
+            load_qps: 50.0,
+            queued: 1,
+            earliest_slack_s: 0.15,
+            worker: 0,
+        };
+        let high = SelectionContext {
+            load_qps: 700.0,
+            ..low
+        };
+        let Selection::Serve { model: m_low, .. } = s.select(&low) else {
+            panic!("must serve");
+        };
+        let Selection::Serve { model: m_high, .. } = s.select(&high) else {
+            panic!("must serve");
+        };
+        let profile = WorkerProfile::build(
+            &ModelCatalog::torchvision_image(),
+            Duration::from_millis(150),
+            ProfilerConfig::default(),
+        );
+        assert!(
+            profile.accuracy(m_low) >= profile.accuracy(m_high),
+            "low-load selection should be at least as accurate"
+        );
+    }
+
+    #[test]
+    fn sqf_variant_reports_routing() {
+        let s = RamsisScheme::with_shortest_queue(scheme().policies.clone());
+        assert_eq!(s.routing(), Routing::PerWorkerShortestQueue);
+    }
+}

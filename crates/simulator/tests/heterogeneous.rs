@@ -1,0 +1,158 @@
+//! Heterogeneous clusters (§7: "Worker homogeneity is not a fundamental
+//! requirement for RAMSIS since policies are generated per worker"):
+//! workers with different model catalogs and latencies, each with its
+//! own per-worker policy, behind one round-robin balancer.
+
+use std::time::Duration;
+
+use ramsis_core::{Discretization, PoissonArrivals, PolicyConfig, PolicySet};
+use ramsis_profiles::{ModelCatalog, ModelSpec, ProfilerConfig, Task, WorkerProfile};
+use ramsis_sim::{PerWorkerRamsis, ServingScheme, Simulation, SimulationConfig};
+use ramsis_workload::{OracleMonitor, Trace};
+
+const SLO_S: f64 = 0.15;
+
+fn full_profile() -> WorkerProfile {
+    WorkerProfile::build(
+        &ModelCatalog::torchvision_image(),
+        Duration::from_millis(150),
+        ProfilerConfig::default(),
+    )
+}
+
+fn reduced_profile() -> WorkerProfile {
+    WorkerProfile::build(
+        &ModelCatalog::reduced_image_3(),
+        Duration::from_millis(150),
+        ProfilerConfig::default(),
+    )
+}
+
+/// A catalog whose "hardware" is 1.5x slower per item — a weaker worker
+/// generation.
+fn slow_hardware_profile() -> WorkerProfile {
+    let base = ModelCatalog::torchvision_image();
+    let models: Vec<ModelSpec> = base
+        .models
+        .iter()
+        .map(|m| {
+            let mut slow = m.clone();
+            slow.per_item_s *= 1.5;
+            slow
+        })
+        .collect();
+    let catalog = ModelCatalog {
+        task: Task::ImageClassification,
+        models,
+    };
+    WorkerProfile::build(
+        &catalog,
+        Duration::from_millis(150),
+        ProfilerConfig::default(),
+    )
+}
+
+fn per_worker_sets(profiles: &[&WorkerProfile], workers: usize, load: f64) -> Vec<PolicySet> {
+    let config = PolicyConfig::builder(Duration::from_millis(150))
+        .workers(workers)
+        .discretization(Discretization::fixed_length(15))
+        .build();
+    profiles
+        .iter()
+        .map(|p| {
+            PolicySet::from_policies(vec![ramsis_core::generate_policy(
+                p,
+                &PoissonArrivals::per_second(load),
+                &config,
+            )
+            .expect("per-worker policy generates")])
+            .expect("non-empty")
+        })
+        .collect()
+}
+
+#[test]
+fn mixed_catalogs_serve_cleanly() {
+    // Half the workers have the full catalog, half only 3 models.
+    let full = full_profile();
+    let reduced = reduced_profile();
+    let workers = 6;
+    let load = 150.0;
+    let profiles: Vec<&WorkerProfile> = (0..workers)
+        .map(|w| if w % 2 == 0 { &full } else { &reduced })
+        .collect();
+    let sets = per_worker_sets(&profiles, workers, load);
+    let mut scheme = PerWorkerRamsis::new(sets);
+    assert_eq!(scheme.workers(), workers);
+    assert_eq!(scheme.name(), "RAMSIS-hetero");
+
+    let trace = Trace::constant(load, 15.0);
+    let sim = Simulation::heterogeneous(profiles, SimulationConfig::new(workers, SLO_S).seeded(61));
+    let mut monitor = OracleMonitor::new(trace.clone());
+    let report = sim.run(&trace, &mut scheme, &mut monitor);
+    assert_eq!(report.served, report.total_arrivals);
+    assert!(
+        report.violation_rate < 0.05,
+        "violations {}",
+        report.violation_rate
+    );
+    // At 25 QPS per worker, both catalogs can do better than the
+    // fastest model, so overall accuracy must beat it.
+    assert!(
+        report.accuracy_per_satisfied_query > 61.0,
+        "accuracy {}",
+        report.accuracy_per_satisfied_query
+    );
+}
+
+#[test]
+fn per_worker_policies_adapt_to_hardware_speed() {
+    // A mixed fleet of fast and 1.5x-slower workers: the slower workers'
+    // policies must pick faster (less accurate) models to hold the SLO.
+    let fast = full_profile();
+    let slow = slow_hardware_profile();
+    let workers = 4;
+    let load = 160.0;
+    let profiles: Vec<&WorkerProfile> = vec![&fast, &slow, &fast, &slow];
+    let sets = per_worker_sets(&profiles, workers, load);
+
+    // Offline, the slow workers' expected accuracy is lower: their
+    // policies are shaped by their own latency profiles.
+    let fast_acc = sets[0].policies()[0].guarantees().expected_accuracy;
+    let slow_acc = sets[1].policies()[0].guarantees().expected_accuracy;
+    assert!(
+        fast_acc > slow_acc,
+        "fast worker E[acc] {fast_acc} should exceed slow worker's {slow_acc}"
+    );
+
+    let mut scheme = PerWorkerRamsis::new(sets);
+    let trace = Trace::constant(load, 15.0);
+    let sim = Simulation::heterogeneous(profiles, SimulationConfig::new(workers, SLO_S).seeded(62));
+    let mut monitor = OracleMonitor::new(trace.clone());
+    let report = sim.run(&trace, &mut scheme, &mut monitor);
+    assert_eq!(report.served, report.total_arrivals);
+    assert!(
+        report.violation_rate < 0.05,
+        "violations {}",
+        report.violation_rate
+    );
+}
+
+#[test]
+#[should_panic(expected = "one profile per worker")]
+fn profile_count_must_match_workers() {
+    let full = full_profile();
+    let _ = Simulation::heterogeneous(vec![&full], SimulationConfig::new(3, SLO_S));
+}
+
+#[test]
+#[should_panic(expected = "profile was built for SLO")]
+fn slo_mismatch_rejected() {
+    let full = full_profile();
+    let wrong = WorkerProfile::build(
+        &ModelCatalog::torchvision_image(),
+        Duration::from_millis(300),
+        ProfilerConfig::default(),
+    );
+    let _ = Simulation::heterogeneous(vec![&full, &wrong], SimulationConfig::new(2, SLO_S));
+}

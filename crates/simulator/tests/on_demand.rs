@@ -1,0 +1,72 @@
+//! On-demand policy generation (§3.2.2): when the anticipated load
+//! exceeds every pre-computed policy's design load, a new policy is
+//! generated online.
+
+use std::time::Duration;
+
+use ramsis_core::{Discretization, PolicyConfig, PolicySet};
+use ramsis_profiles::{ModelCatalog, ProfilerConfig, WorkerProfile};
+use ramsis_sim::{OnDemandRamsis, Simulation, SimulationConfig};
+use ramsis_workload::{OracleMonitor, Trace, TraceKind};
+
+fn profile() -> WorkerProfile {
+    WorkerProfile::build(
+        &ModelCatalog::torchvision_image(),
+        Duration::from_millis(150),
+        ProfilerConfig::default(),
+    )
+}
+
+fn config(workers: usize) -> PolicyConfig {
+    PolicyConfig::builder(Duration::from_millis(150))
+        .workers(workers)
+        .discretization(Discretization::fixed_length(12))
+        .build()
+}
+
+#[test]
+fn unexpected_load_triggers_generation() {
+    let p = profile();
+    let workers = 8;
+    // Only a 100-QPS policy is pre-computed; the trace ramps to 400.
+    let initial = PolicySet::generate_poisson(&p, &[100.0], &config(workers)).unwrap();
+    let mut scheme = OnDemandRamsis::new(&p, config(workers), initial);
+    assert_eq!(scheme.generated_on_demand(), 0);
+
+    let trace = Trace::from_interval_qps(&[80.0, 250.0, 400.0], 10.0, TraceKind::Custom);
+    let sim = Simulation::new(&p, SimulationConfig::new(workers, 0.15).seeded(71));
+    let mut monitor = OracleMonitor::new(trace.clone());
+    let report = sim.run(&trace, &mut scheme, &mut monitor);
+
+    assert!(
+        scheme.generated_on_demand() >= 1,
+        "the 250/400-QPS phases must trigger generation"
+    );
+    assert!(
+        scheme.generated_on_demand() <= 4,
+        "the 20% headroom must prevent per-decision regeneration, got {}",
+        scheme.generated_on_demand()
+    );
+    // Coverage now extends past the peak load.
+    assert!(scheme.policies().covers(400.0));
+    assert_eq!(report.served, report.total_arrivals);
+    assert!(
+        report.violation_rate < 0.05,
+        "violations {}",
+        report.violation_rate
+    );
+}
+
+#[test]
+fn covered_loads_never_generate() {
+    let p = profile();
+    let workers = 8;
+    let initial =
+        PolicySet::generate_poisson(&p, &[100.0, 300.0, 500.0], &config(workers)).unwrap();
+    let mut scheme = OnDemandRamsis::new(&p, config(workers), initial);
+    let trace = Trace::constant(250.0, 10.0);
+    let sim = Simulation::new(&p, SimulationConfig::new(workers, 0.15).seeded(72));
+    let mut monitor = OracleMonitor::new(trace.clone());
+    let _ = sim.run(&trace, &mut scheme, &mut monitor);
+    assert_eq!(scheme.generated_on_demand(), 0);
+}

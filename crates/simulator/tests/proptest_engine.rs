@@ -1,0 +1,124 @@
+//! Property tests for the discrete-event engine: conservation and
+//! ordering invariants over randomized workloads, worker counts, and
+//! schemes.
+
+use proptest::prelude::*;
+use std::time::Duration;
+
+use ramsis_profiles::{ModelCatalog, ProfilerConfig, WorkerProfile};
+use ramsis_sim::scheme::{Routing, Selection, SelectionContext, ServingScheme};
+use ramsis_sim::{Simulation, SimulationConfig};
+use ramsis_workload::{LoadMonitor, Trace};
+
+fn profile() -> &'static WorkerProfile {
+    use std::sync::OnceLock;
+    static P: OnceLock<WorkerProfile> = OnceLock::new();
+    P.get_or_init(|| {
+        WorkerProfile::build(
+            &ModelCatalog::torchvision_image(),
+            Duration::from_millis(150),
+            ProfilerConfig::default(),
+        )
+    })
+}
+
+/// A randomized-but-valid scheme: model cycles through the Pareto
+/// front, batch bounded by a cap, routing chosen by the case.
+struct CyclingScheme {
+    routing: Routing,
+    batch_cap: u32,
+    tick: usize,
+}
+
+impl ServingScheme for CyclingScheme {
+    fn name(&self) -> &str {
+        "cycling"
+    }
+    fn routing(&self) -> Routing {
+        self.routing
+    }
+    fn select(&mut self, ctx: &SelectionContext) -> Selection {
+        let pareto = profile().pareto_models();
+        self.tick += 1;
+        // Only models that can serve the batch within the profile range.
+        let batch = (ctx.queued as u32).min(self.batch_cap).max(1);
+        let model = pareto[self.tick % 4]; // fastest few: always profiled
+        Selection::Serve { model, batch }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every arrival is served exactly once, response >= wait, and the
+    /// per-model counts add up — regardless of routing, worker count,
+    /// batch cap, or load.
+    #[test]
+    fn conservation_under_randomization(
+        qps in 10.0f64..600.0,
+        duration in 1.0f64..6.0,
+        workers in 1usize..12,
+        batch_cap in 1u32..8,
+        routing_pick in 0u8..3,
+        seed in 0u64..1_000,
+    ) {
+        let routing = match routing_pick {
+            0 => Routing::Central,
+            1 => Routing::PerWorkerRoundRobin,
+            _ => Routing::PerWorkerShortestQueue,
+        };
+        let trace = Trace::constant(qps, duration);
+        let sim = Simulation::new(profile(), SimulationConfig::new(workers, 0.15).seeded(seed));
+        let mut scheme = CyclingScheme { routing, batch_cap, tick: 0 };
+        let mut monitor = LoadMonitor::new();
+        let report = sim.run(&trace, &mut scheme, &mut monitor);
+
+        prop_assert_eq!(report.served, report.total_arrivals, "lost or duplicated queries");
+        let per_model_total: u64 = report.per_model.iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(per_model_total, report.served);
+        prop_assert!(report.violations <= report.served);
+        prop_assert!(report.mean_response_s >= report.mean_queue_wait_s);
+        prop_assert!(report.max_batch <= batch_cap.max(1));
+        if report.served > 0 {
+            prop_assert!(report.mean_batch >= 1.0);
+            // Response time can never beat the fastest batch-1 service.
+            let min_service = profile()
+                .pareto_models()
+                .iter()
+                .filter_map(|&m| profile().latency(m, 1))
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!(report.p50_response_s >= min_service * 0.5);
+        }
+    }
+
+    /// Timeline buckets, when enabled, partition the run: their sums
+    /// equal the totals.
+    #[test]
+    fn timeline_partitions_the_run(
+        qps in 50.0f64..400.0,
+        workers in 1usize..8,
+        window in 0.25f64..2.0,
+        seed in 0u64..1_000,
+    ) {
+        let trace = Trace::constant(qps, 5.0);
+        let sim = Simulation::new(
+            profile(),
+            SimulationConfig::new(workers, 0.15).seeded(seed).with_timeline(window),
+        );
+        let mut scheme = CyclingScheme {
+            routing: Routing::Central,
+            batch_cap: 4,
+            tick: 0,
+        };
+        let mut monitor = LoadMonitor::new();
+        let report = sim.run(&trace, &mut scheme, &mut monitor);
+        let tl_served: u64 = report.timeline.iter().map(|b| b.served).sum();
+        let tl_violations: u64 = report.timeline.iter().map(|b| b.violations).sum();
+        prop_assert_eq!(tl_served, report.served);
+        prop_assert_eq!(tl_violations, report.violations);
+        // Buckets are consecutive windows from zero.
+        for (i, b) in report.timeline.iter().enumerate() {
+            prop_assert!((b.start_s - i as f64 * window).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Cross-validation of the discrete-event engine against closed-form
+//! queueing theory: with one worker, batch-1 service, a pinned model,
+//! and deterministic service times, the system is exactly M/D/1 and the
+//! mean queueing delay must match the Pollaczek–Khinchine formula
+//!
+//! ```text
+//! W_q = ρ · s / (2 · (1 − ρ)),   ρ = λ · s
+//! ```
+//!
+//! This is the strongest external check available on the engine: it
+//! does not compare the simulator against itself or against the MDP,
+//! but against textbook mathematics.
+
+use std::time::Duration;
+
+use ramsis_profiles::{ModelCatalog, ProfilerConfig, WorkerProfile};
+use ramsis_sim::scheme::{Routing, Selection, SelectionContext, ServingScheme};
+use ramsis_sim::{Simulation, SimulationConfig};
+use ramsis_workload::{LoadMonitor, Trace};
+
+/// Pins one model and always serves exactly one query (so the system
+/// stays a textbook single-server queue, never a batch server).
+struct SingleService {
+    model: usize,
+}
+
+impl ServingScheme for SingleService {
+    fn name(&self) -> &str {
+        "single-service"
+    }
+    fn routing(&self) -> Routing {
+        Routing::Central
+    }
+    fn select(&mut self, _ctx: &SelectionContext) -> Selection {
+        Selection::Serve {
+            model: self.model,
+            batch: 1,
+        }
+    }
+}
+
+fn profile() -> WorkerProfile {
+    WorkerProfile::build(
+        &ModelCatalog::torchvision_image(),
+        // A loose SLO so nothing in the metrics path saturates.
+        Duration::from_millis(500),
+        ProfilerConfig::default(),
+    )
+}
+
+fn run_md1(profile: &WorkerProfile, model: usize, rho: f64, seed: u64) -> (f64, f64) {
+    let s = profile.latency(model, 1).expect("batch 1 profiled");
+    let lambda = rho / s;
+    // Long enough for tight confidence: ~50k arrivals at moderate rho.
+    let horizon = 50_000.0 / lambda;
+    let trace = Trace::constant(lambda, horizon);
+    let sim = Simulation::new(profile, SimulationConfig::new(1, 0.5).seeded(seed));
+    let mut scheme = SingleService { model };
+    let mut monitor = LoadMonitor::new();
+    let report = sim.run(&trace, &mut scheme, &mut monitor);
+    assert_eq!(report.served, report.total_arrivals);
+    let expected_wq = rho * s / (2.0 * (1.0 - rho));
+    (report.mean_queue_wait_s, expected_wq)
+}
+
+#[test]
+fn md1_mean_wait_matches_pollaczek_khinchine() {
+    let p = profile();
+    let model = p.fastest_model();
+    for (rho, tolerance) in [(0.3, 0.05), (0.5, 0.05), (0.7, 0.08), (0.85, 0.15)] {
+        let (observed, expected) = run_md1(&p, model, rho, 0xD1);
+        let rel = (observed - expected).abs() / expected;
+        assert!(
+            rel < tolerance,
+            "rho={rho}: observed W_q {observed:.6}s vs PK {expected:.6}s (rel {rel:.3})"
+        );
+    }
+}
+
+#[test]
+fn md1_utilization_equals_rho() {
+    // The strongest utilization check: busy-time fraction must equal
+    // the offered load rho = lambda * s exactly (up to Poisson noise).
+    let p = profile();
+    let model = p.fastest_model();
+    let s = p.latency(model, 1).expect("batch 1 profiled");
+    for rho in [0.3, 0.6, 0.9] {
+        let lambda = rho / s;
+        let trace = Trace::constant(lambda, 30_000.0 / lambda);
+        let sim = Simulation::new(&p, SimulationConfig::new(1, 0.5).seeded(0xD5));
+        let mut scheme = SingleService { model };
+        let mut monitor = LoadMonitor::new();
+        let report = sim.run(&trace, &mut scheme, &mut monitor);
+        let rel = (report.mean_utilization - rho).abs() / rho;
+        assert!(
+            rel < 0.03,
+            "rho={rho}: observed utilization {} (rel {rel:.3})",
+            report.mean_utilization
+        );
+    }
+}
+
+#[test]
+fn md1_wait_grows_superlinearly_with_utilization() {
+    let p = profile();
+    let model = p.fastest_model();
+    let (w3, _) = run_md1(&p, model, 0.3, 0xD2);
+    let (w6, _) = run_md1(&p, model, 0.6, 0xD2);
+    let (w9, _) = run_md1(&p, model, 0.9, 0xD2);
+    // Doubling utilization should far more than double the wait.
+    assert!(w6 > 2.0 * w3, "w3={w3} w6={w6}");
+    assert!(w9 > 3.0 * w6, "w6={w6} w9={w9}");
+}
+
+#[test]
+fn response_time_is_wait_plus_service() {
+    let p = profile();
+    let model = p.fastest_model();
+    let s = p.latency(model, 1).unwrap();
+    let rho = 0.5;
+    let lambda = rho / s;
+    let trace = Trace::constant(lambda, 30_000.0 / lambda);
+    let sim = Simulation::new(&p, SimulationConfig::new(1, 0.5).seeded(0xD3));
+    let mut scheme = SingleService { model };
+    let mut monitor = LoadMonitor::new();
+    let report = sim.run(&trace, &mut scheme, &mut monitor);
+    let diff = report.mean_response_s - report.mean_queue_wait_s - s;
+    assert!(
+        diff.abs() < 1e-9,
+        "response {} != wait {} + service {s}",
+        report.mean_response_s,
+        report.mean_queue_wait_s
+    );
+}
+
+#[test]
+fn multi_server_reduces_wait_at_fixed_total_load() {
+    // M/D/c with the same per-server utilization waits *less* than c
+    // independent M/D/1s — pooling efficiency. Our central-queue eager
+    // dispatch is exactly the pooled system.
+    let p = profile();
+    let model = p.fastest_model();
+    let s = p.latency(model, 1).unwrap();
+    let rho = 0.7;
+    let c = 8usize;
+    let lambda = c as f64 * rho / s;
+    let trace = Trace::constant(lambda, 80_000.0 / lambda);
+    let sim = Simulation::new(&p, SimulationConfig::new(c, 0.5).seeded(0xD4));
+    let mut scheme = SingleService { model };
+    let mut monitor = LoadMonitor::new();
+    let report = sim.run(&trace, &mut scheme, &mut monitor);
+    let md1_wait = rho * s / (2.0 * (1.0 - rho));
+    assert!(
+        report.mean_queue_wait_s < md1_wait / 2.0,
+        "pooled wait {} should be well under the M/D/1 wait {md1_wait}",
+        report.mean_queue_wait_s
+    );
+}

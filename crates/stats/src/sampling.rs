@@ -1,0 +1,229 @@
+//! Random-variate samplers used by the workload generator and simulator.
+//!
+//! The workload crate samples query inter-arrival times (exponential for
+//! Poisson traffic, gamma for the renewal-process alternative of §3.1.1),
+//! and the simulator's "prototype implementation" mode samples stochastic
+//! inference latencies from a truncated normal around each model's profile
+//! mean (§7.3.1 reports a ~10 ms standard deviation). All samplers take a
+//! generic [`rand::Rng`] so experiments are reproducible from a seed.
+
+use rand::Rng;
+
+/// Samples an exponential variate with the given rate (events per second).
+///
+/// Uses inversion on a `(0, 1]` uniform so the result is always finite
+/// and strictly positive.
+///
+/// # Panics
+///
+/// Panics if `rate` is not strictly positive and finite.
+pub fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(
+        rate.is_finite() && rate > 0.0,
+        "exponential rate must be positive and finite, got {rate}"
+    );
+    // 1 − U is in (0, 1], avoiding ln(0).
+    let u = 1.0 - rng.gen::<f64>();
+    -u.ln() / rate
+}
+
+/// Samples a gamma variate with the given `shape` and `scale`.
+///
+/// Uses the Marsaglia–Tsang squeeze method for `shape ≥ 1` and the
+/// boosting transformation `Γ(a) = Γ(a + 1) · U^{1/a}` for `shape < 1`.
+///
+/// # Panics
+///
+/// Panics if `shape` or `scale` is not strictly positive and finite.
+pub fn sample_gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64, scale: f64) -> f64 {
+    assert!(
+        shape.is_finite() && shape > 0.0,
+        "gamma shape must be positive and finite, got {shape}"
+    );
+    assert!(
+        scale.is_finite() && scale > 0.0,
+        "gamma scale must be positive and finite, got {scale}"
+    );
+    if shape < 1.0 {
+        // Boost: sample shape + 1 then multiply by U^{1/shape}.
+        let boosted = sample_gamma(rng, shape + 1.0, scale);
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        return boosted * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = sample_standard_normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v = v * v * v;
+        let u: f64 = rng.gen();
+        // Squeeze test, then the full log test.
+        if u < 1.0 - 0.0331 * x * x * x * x {
+            return d * v * scale;
+        }
+        if u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v * scale;
+        }
+    }
+}
+
+/// Samples a standard normal variate via the polar Box–Muller method.
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+        let v: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Samples a normal variate truncated to `[lo, hi]` by rejection.
+///
+/// Intended for mild truncation (the latency sampler truncates at a few
+/// standard deviations), where rejection is efficient. Falls back to
+/// clamping after 10,000 rejections so adversarial bounds cannot hang the
+/// simulator.
+///
+/// # Panics
+///
+/// Panics if `sigma` is negative/non-finite or `lo > hi`.
+pub fn sample_truncated_normal<R: Rng + ?Sized>(
+    rng: &mut R,
+    mean: f64,
+    sigma: f64,
+    lo: f64,
+    hi: f64,
+) -> f64 {
+    assert!(
+        sigma.is_finite() && sigma >= 0.0,
+        "sigma must be non-negative and finite, got {sigma}"
+    );
+    assert!(
+        lo <= hi,
+        "truncation bounds must satisfy lo <= hi, got [{lo}, {hi}]"
+    );
+    if sigma == 0.0 {
+        return mean.clamp(lo, hi);
+    }
+    for _ in 0..10_000 {
+        let x = mean + sigma * sample_standard_normal(rng);
+        if (lo..=hi).contains(&x) {
+            return x;
+        }
+    }
+    mean.clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(0x52414D_534953) // "RAMSIS"
+    }
+
+    const N: usize = 200_000;
+
+    #[test]
+    fn exponential_moments() {
+        let mut rng = rng();
+        let rate = 4.0;
+        let mut sum = 0.0;
+        let mut sq = 0.0;
+        for _ in 0..N {
+            let x = sample_exponential(&mut rng, rate);
+            assert!(x > 0.0);
+            sum += x;
+            sq += x * x;
+        }
+        let mean = sum / N as f64;
+        let var = sq / N as f64 - mean * mean;
+        assert!((mean - 0.25).abs() < 0.005, "mean={mean}");
+        assert!((var - 0.0625).abs() < 0.005, "var={var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exponential_rejects_zero_rate() {
+        let mut rng = rng();
+        let _ = sample_exponential(&mut rng, 0.0);
+    }
+
+    #[test]
+    fn gamma_moments_shape_above_one() {
+        let mut rng = rng();
+        let (shape, scale) = (3.0, 2.0);
+        let mut sum = 0.0;
+        let mut sq = 0.0;
+        for _ in 0..N {
+            let x = sample_gamma(&mut rng, shape, scale);
+            assert!(x > 0.0);
+            sum += x;
+            sq += x * x;
+        }
+        let mean = sum / N as f64;
+        let var = sq / N as f64 - mean * mean;
+        assert!((mean - 6.0).abs() < 0.05, "mean={mean}");
+        assert!((var - 12.0).abs() < 0.4, "var={var}");
+    }
+
+    #[test]
+    fn gamma_moments_shape_below_one() {
+        let mut rng = rng();
+        let (shape, scale) = (0.5, 1.0);
+        let mut sum = 0.0;
+        for _ in 0..N {
+            sum += sample_gamma(&mut rng, shape, scale);
+        }
+        let mean = sum / N as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = rng();
+        let mut sum = 0.0;
+        let mut sq = 0.0;
+        for _ in 0..N {
+            let x = sample_standard_normal(&mut rng);
+            sum += x;
+            sq += x * x;
+        }
+        let mean = sum / N as f64;
+        let var = sq / N as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.02, "var={var}");
+    }
+
+    #[test]
+    fn truncated_normal_respects_bounds() {
+        let mut rng = rng();
+        for _ in 0..50_000 {
+            let x = sample_truncated_normal(&mut rng, 0.1, 0.01, 0.05, 0.15);
+            assert!((0.05..=0.15).contains(&x));
+        }
+    }
+
+    #[test]
+    fn truncated_normal_zero_sigma_clamps() {
+        let mut rng = rng();
+        assert_eq!(sample_truncated_normal(&mut rng, 5.0, 0.0, 0.0, 1.0), 1.0);
+        assert_eq!(sample_truncated_normal(&mut rng, 0.5, 0.0, 0.0, 1.0), 0.5);
+    }
+
+    #[test]
+    fn truncated_normal_extreme_bounds_terminate() {
+        let mut rng = rng();
+        // Bounds 50 sigma away from the mean: rejection will never hit,
+        // so the clamp fallback must kick in.
+        let x = sample_truncated_normal(&mut rng, 0.0, 1.0, 50.0, 60.0);
+        assert_eq!(x, 50.0);
+    }
+}

@@ -1,0 +1,298 @@
+//! Special functions needed by the count distributions.
+//!
+//! Only a handful of functions are required — `ln Γ`, `ln k!`, the
+//! regularized incomplete gamma (Poisson CDF), and `erf` (normal CDF) —
+//! so they are implemented here rather than pulling in a special-function
+//! crate. Accuracy targets are ~1e-13 relative error for `ln_gamma` and
+//! ~1e-7 absolute for `erf`, which is far below the 1e-12 tail-mass
+//! truncation used when building count tables.
+
+/// Lanczos coefficients for `g = 7`, `n = 9` (Boost/GSL standard set).
+const LANCZOS_G: f64 = 7.0;
+const LANCZOS_COEF: [f64; 9] = [
+    0.999_999_999_999_809_9,
+    676.520_368_121_885_1,
+    -1_259.139_216_722_402_8,
+    771.323_428_777_653_1,
+    -176.615_029_162_140_6,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_12,
+    9.984_369_578_019_572e-6,
+    1.505_632_735_149_311_6e-7,
+];
+
+/// Natural logarithm of the gamma function, `ln Γ(x)`, for `x > 0`.
+///
+/// Uses the Lanczos approximation with reflection for `x < 0.5`. Returns
+/// `f64::INFINITY` at the poles (`x = 0, -1, -2, ...`) and `f64::NAN` for
+/// other non-positive or non-finite inputs.
+///
+/// # Examples
+///
+/// ```
+/// use ramsis_stats::special::ln_gamma;
+/// // Γ(5) = 24.
+/// assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-12);
+/// // Γ(0.5) = sqrt(pi).
+/// assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-12);
+/// ```
+pub fn ln_gamma(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    if x <= 0.0 {
+        // Poles at the non-positive integers; elsewhere use reflection.
+        if x == x.floor() {
+            return f64::INFINITY;
+        }
+        // Reflection formula: Γ(x) Γ(1−x) = π / sin(πx).
+        let reflected = std::f64::consts::PI / (std::f64::consts::PI * x).sin();
+        return reflected.abs().ln() - ln_gamma(1.0 - x);
+    }
+    if x < 0.5 {
+        let reflected = std::f64::consts::PI / (std::f64::consts::PI * x).sin();
+        return reflected.abs().ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = LANCZOS_COEF[0];
+    for (i, &c) in LANCZOS_COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + LANCZOS_G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Size of the exact `ln k!` lookup table.
+const LN_FACTORIAL_TABLE_LEN: usize = 256;
+
+/// Precomputed `ln k!` for `k < 256`, filled on first use.
+fn ln_factorial_table() -> &'static [f64; LN_FACTORIAL_TABLE_LEN] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[f64; LN_FACTORIAL_TABLE_LEN]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0.0; LN_FACTORIAL_TABLE_LEN];
+        let mut acc = 0.0f64;
+        for (k, slot) in t.iter_mut().enumerate() {
+            if k > 0 {
+                acc += (k as f64).ln();
+            }
+            *slot = acc;
+        }
+        t
+    })
+}
+
+/// Natural logarithm of the factorial, `ln k!`.
+///
+/// Exact (accumulated in `f64`) for `k < 256`, `ln Γ(k + 1)` beyond.
+///
+/// # Examples
+///
+/// ```
+/// use ramsis_stats::special::ln_factorial;
+/// assert_eq!(ln_factorial(0), 0.0);
+/// assert!((ln_factorial(4) - 24.0f64.ln()).abs() < 1e-12);
+/// ```
+pub fn ln_factorial(k: u64) -> f64 {
+    if (k as usize) < LN_FACTORIAL_TABLE_LEN {
+        ln_factorial_table()[k as usize]
+    } else {
+        ln_gamma(k as f64 + 1.0)
+    }
+}
+
+/// Error function `erf(x)`, accurate to ~1.5e-7 (Abramowitz & Stegun 7.1.26).
+///
+/// Used only for the truncated-normal latency sampler and normal-tail
+/// bounds, where single-precision accuracy is ample.
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Standard normal cumulative distribution function `Φ(x)`.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Regularized lower incomplete gamma function `P(a, x)` for `a > 0`, `x ≥ 0`.
+///
+/// Computed by series expansion for `x < a + 1` and continued fraction
+/// otherwise (Numerical Recipes `gammp`). The Poisson CDF is
+/// `P(X ≤ k) = Q(k + 1, μ) = 1 − P(k + 1, μ)`.
+///
+/// # Panics
+///
+/// Panics if `a ≤ 0` or `x < 0`.
+pub fn reg_lower_gamma(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "reg_lower_gamma requires a > 0, got {a}");
+    assert!(x >= 0.0, "reg_lower_gamma requires x >= 0, got {x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        // Series representation.
+        let mut ap = a;
+        let mut sum = 1.0 / a;
+        let mut del = sum;
+        for _ in 0..500 {
+            ap += 1.0;
+            del *= x / ap;
+            sum += del;
+            if del.abs() < sum.abs() * 1e-16 {
+                break;
+            }
+        }
+        sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+    } else {
+        // Continued fraction for Q(a, x), then complement.
+        let mut b = x + 1.0 - a;
+        let mut c = 1.0 / 1e-300;
+        let mut d = 1.0 / b;
+        let mut h = d;
+        for i in 1..500 {
+            let an = -(i as f64) * (i as f64 - a);
+            b += 2.0;
+            d = an * d + b;
+            if d.abs() < 1e-300 {
+                d = 1e-300;
+            }
+            c = b + an / c;
+            if c.abs() < 1e-300 {
+                c = 1e-300;
+            }
+            d = 1.0 / d;
+            let del = d * c;
+            h *= del;
+            if (del - 1.0).abs() < 1e-16 {
+                break;
+            }
+        }
+        let q = (-x + a * x.ln() - ln_gamma(a)).exp() * h;
+        1.0 - q
+    }
+}
+
+/// Stable `ln(exp(a) + exp(b))`.
+pub fn ln_add_exp(a: f64, b: f64) -> f64 {
+    if a == f64::NEG_INFINITY {
+        return b;
+    }
+    if b == f64::NEG_INFINITY {
+        return a;
+    }
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    hi + (lo - hi).exp().ln_1p()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        let mut fact = 1.0f64;
+        for k in 1u32..20 {
+            fact *= k as f64;
+            let rel = (ln_gamma(k as f64 + 1.0) - fact.ln()).abs() / fact.ln().max(1.0);
+            assert!(rel < 1e-13, "k={k} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half_integers() {
+        // Γ(1/2) = √π, Γ(3/2) = √π/2, Γ(5/2) = 3√π/4.
+        let sqrt_pi = std::f64::consts::PI.sqrt();
+        assert!((ln_gamma(0.5) - sqrt_pi.ln()).abs() < 1e-12);
+        assert!((ln_gamma(1.5) - (sqrt_pi / 2.0).ln()).abs() < 1e-12);
+        assert!((ln_gamma(2.5) - (3.0 * sqrt_pi / 4.0).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_gamma_poles_and_nan() {
+        assert_eq!(ln_gamma(0.0), f64::INFINITY);
+        assert_eq!(ln_gamma(-3.0), f64::INFINITY);
+        assert!(ln_gamma(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn ln_gamma_reflection() {
+        // Γ(−0.5) = −2√π.
+        let expected = (2.0 * std::f64::consts::PI.sqrt()).ln();
+        assert!((ln_gamma(-0.5) - expected).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ln_factorial_table_and_tail_agree() {
+        for k in [200u64, 255, 256, 300, 10_000] {
+            let via_gamma = ln_gamma(k as f64 + 1.0);
+            let via_fn = ln_factorial(k);
+            let rel = (via_fn - via_gamma).abs() / via_gamma;
+            assert!(rel < 1e-12, "k={k} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn erf_known_values() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+        assert!((erf(3.0) - 0.999_977_91).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normal_cdf_symmetry() {
+        for x in [0.1f64, 0.5, 1.0, 2.0, 3.5] {
+            let s = normal_cdf(x) + normal_cdf(-x);
+            assert!((s - 1.0).abs() < 1e-10, "x={x} sum={s}");
+        }
+    }
+
+    #[test]
+    fn reg_lower_gamma_is_poisson_cdf() {
+        // P(X <= k) for Poisson(mu) equals 1 - P(k+1, mu).
+        let mu = 4.2f64;
+        let mut cdf = 0.0;
+        let mut ln_pmf = -mu; // k = 0 term.
+        for k in 0u64..15 {
+            if k > 0 {
+                ln_pmf = k as f64 * mu.ln() - mu - ln_factorial(k);
+            }
+            cdf += ln_pmf.exp();
+            let via_gamma = 1.0 - reg_lower_gamma(k as f64 + 1.0, mu);
+            assert!((cdf - via_gamma).abs() < 1e-10, "k={k}");
+        }
+    }
+
+    #[test]
+    fn reg_lower_gamma_limits() {
+        assert_eq!(reg_lower_gamma(3.0, 0.0), 0.0);
+        assert!((reg_lower_gamma(1.0, 50.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a > 0")]
+    fn reg_lower_gamma_rejects_bad_a() {
+        let _ = reg_lower_gamma(0.0, 1.0);
+    }
+
+    #[test]
+    fn ln_add_exp_matches_direct() {
+        for (a, b) in [
+            (0.0f64, 0.0f64),
+            (-1.0, -2.0),
+            (-700.0, -701.0),
+            (3.0, -4.0),
+        ] {
+            let direct = (a.exp() + b.exp()).ln();
+            assert!((ln_add_exp(a, b) - direct).abs() < 1e-10);
+        }
+        assert_eq!(ln_add_exp(f64::NEG_INFINITY, -1.0), -1.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Query arrival-time sampling from a load trace.
+//!
+//! The trace is a load *signal*; actual arrival timestamps are sampled
+//! from a stochastic inter-arrival process at the signal's rate. The
+//! paper samples "arrival times of each query via a Poisson process"
+//! (§7); a gamma-renewal sampler is provided as the alternative process
+//! the paper gestures at (§3.1.1: "the Gamma distribution could be
+//! used").
+
+use rand::Rng;
+
+use ramsis_stats::sampling::{sample_exponential, sample_gamma};
+
+use crate::trace::Trace;
+
+/// Samples Poisson arrival times over `trace`, in seconds from the trace
+/// start, strictly increasing.
+///
+/// Within each piecewise-constant segment, gaps are exponential at the
+/// segment's rate; at segment boundaries the residual gap is re-drawn,
+/// which is exact for a Poisson process by memorylessness. Zero-rate
+/// segments produce no arrivals.
+pub fn sample_poisson_arrivals<R: Rng + ?Sized>(trace: &Trace, rng: &mut R) -> Vec<f64> {
+    let mut arrivals = Vec::with_capacity(trace.expected_queries() as usize + 16);
+    let mut segment_start = 0.0;
+    for &(len, qps) in trace.segments() {
+        let segment_end = segment_start + len;
+        if qps > 0.0 {
+            let mut t = segment_start + sample_exponential(rng, qps);
+            while t < segment_end {
+                arrivals.push(t);
+                t += sample_exponential(rng, qps);
+            }
+        }
+        segment_start = segment_end;
+    }
+    arrivals
+}
+
+/// Samples arrival times from a gamma-renewal process over `trace`.
+///
+/// Inter-arrival gaps are gamma with the given `shape` and a scale
+/// chosen per segment so the mean gap is `1 / qps` (so the long-run rate
+/// matches the trace). `shape > 1` yields smoother-than-Poisson traffic,
+/// `shape < 1` burstier; `shape = 1` recovers the Poisson sampler.
+///
+/// Unlike the Poisson case, re-drawing the residual gap at segment
+/// boundaries is an approximation (gamma renewals are not memoryless);
+/// it is the same simplification the RAMSIS problem model itself makes
+/// when treating load changes as regime switches.
+///
+/// # Panics
+///
+/// Panics if `shape` is not strictly positive and finite.
+pub fn sample_gamma_renewal_arrivals<R: Rng + ?Sized>(
+    trace: &Trace,
+    shape: f64,
+    rng: &mut R,
+) -> Vec<f64> {
+    assert!(
+        shape.is_finite() && shape > 0.0,
+        "gamma shape must be positive and finite, got {shape}"
+    );
+    let mut arrivals = Vec::with_capacity(trace.expected_queries() as usize + 16);
+    let mut segment_start = 0.0;
+    for &(len, qps) in trace.segments() {
+        let segment_end = segment_start + len;
+        if qps > 0.0 {
+            // Mean gap 1/qps = shape * scale.
+            let scale = 1.0 / (qps * shape);
+            let mut t = segment_start + sample_gamma(rng, shape, scale);
+            while t < segment_end {
+                arrivals.push(t);
+                t += sample_gamma(rng, shape, scale);
+            }
+        }
+        segment_start = segment_end;
+    }
+    arrivals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceKind;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn poisson_arrivals_are_sorted_and_in_range() {
+        let trace = Trace::constant(500.0, 10.0);
+        let a = sample_poisson_arrivals(&trace, &mut rng(1));
+        assert!(!a.is_empty());
+        for w in a.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(*a.first().unwrap() >= 0.0);
+        assert!(*a.last().unwrap() < 10.0);
+    }
+
+    #[test]
+    fn poisson_count_matches_rate() {
+        let trace = Trace::constant(1_000.0, 30.0);
+        let a = sample_poisson_arrivals(&trace, &mut rng(2));
+        let expected: f64 = 30_000.0;
+        // Within 4 sigma of the Poisson count.
+        let sigma = expected.sqrt();
+        assert!(
+            (a.len() as f64 - expected).abs() < 4.0 * sigma,
+            "count={}",
+            a.len()
+        );
+    }
+
+    #[test]
+    fn poisson_interarrival_cv_is_one() {
+        let trace = Trace::constant(2_000.0, 60.0);
+        let a = sample_poisson_arrivals(&trace, &mut rng(3));
+        let gaps: Vec<f64> = a.windows(2).map(|w| w[1] - w[0]).collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 1.0).abs() < 0.05, "cv={cv}");
+    }
+
+    #[test]
+    fn zero_rate_segments_are_silent() {
+        let trace = Trace::from_interval_qps(&[0.0, 100.0, 0.0], 10.0, TraceKind::Custom);
+        let a = sample_poisson_arrivals(&trace, &mut rng(4));
+        assert!(!a.is_empty());
+        for &t in &a {
+            assert!(
+                (10.0..20.0).contains(&t),
+                "arrival at {t} outside active segment"
+            );
+        }
+    }
+
+    #[test]
+    fn varying_trace_shifts_density() {
+        let trace = Trace::from_interval_qps(&[200.0, 2_000.0], 10.0, TraceKind::Custom);
+        let a = sample_poisson_arrivals(&trace, &mut rng(5));
+        let first = a.iter().filter(|&&t| t < 10.0).count();
+        let second = a.len() - first;
+        assert!(second > 5 * first, "first={first} second={second}");
+    }
+
+    #[test]
+    fn gamma_renewal_rate_matches() {
+        let trace = Trace::constant(1_000.0, 30.0);
+        for shape in [0.5, 1.0, 4.0] {
+            let a = sample_gamma_renewal_arrivals(&trace, shape, &mut rng(6));
+            let expected = 30_000.0;
+            assert!(
+                (a.len() as f64 - expected).abs() < 0.05 * expected,
+                "shape={shape} count={}",
+                a.len()
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_shape_controls_burstiness() {
+        let trace = Trace::constant(2_000.0, 60.0);
+        let cv = |shape: f64, seed: u64| {
+            let a = sample_gamma_renewal_arrivals(&trace, shape, &mut rng(seed));
+            let gaps: Vec<f64> = a.windows(2).map(|w| w[1] - w[0]).collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+            var.sqrt() / mean
+        };
+        // CV = 1/sqrt(shape) for gamma renewals.
+        assert!((cv(4.0, 7) - 0.5).abs() < 0.05);
+        assert!((cv(0.25, 8) - 2.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn samplers_are_deterministic_per_seed() {
+        let trace = Trace::twitter_like(1);
+        let a = sample_poisson_arrivals(&trace, &mut rng(42));
+        let b = sample_poisson_arrivals(&trace, &mut rng(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn twitter_like_arrival_volume() {
+        let trace = Trace::twitter_like(1);
+        let a = sample_poisson_arrivals(&trace, &mut rng(9));
+        let expected = trace.expected_queries();
+        assert!(
+            (a.len() as f64 - expected).abs() < 0.01 * expected,
+            "count={} expected={expected}",
+            a.len()
+        );
+    }
+}

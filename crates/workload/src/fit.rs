@@ -1,0 +1,160 @@
+//! Fitting an arrival-count model to observed arrival times.
+//!
+//! RAMSIS's problem model is parameterized by the arrival distribution
+//! `PF(k, T)` (paper §3.1.1); appendix §I notes that when no analytic
+//! form is known "PF_w can be empirically estimated using simulation".
+//! This module provides the estimation: bucket observed arrival times
+//! into fixed windows, and moment-match the count mean and variance to
+//! the two analytic processes the workspace provides — Poisson
+//! (variance = mean) and the negative-binomial Lévy process
+//! (variance = dispersion · mean, dispersion > 1).
+
+use serde::{Deserialize, Serialize};
+
+use ramsis_stats::counts::{ArrivalProcess, NegativeBinomialProcess, PoissonProcess};
+
+/// The result of fitting window counts to observed arrivals.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FittedArrivals {
+    /// Estimated arrival rate, events per second.
+    pub rate: f64,
+    /// Variance-to-mean ratio of the window counts.
+    pub dispersion: f64,
+    /// Window length used for the fit, seconds.
+    pub window_s: f64,
+    /// Number of windows the estimate is based on.
+    pub windows: usize,
+}
+
+impl FittedArrivals {
+    /// Whether the counts are consistent with a Poisson process
+    /// (dispersion within `tolerance` of 1).
+    pub fn is_poissonian(&self, tolerance: f64) -> bool {
+        (self.dispersion - 1.0).abs() <= tolerance
+    }
+
+    /// Materializes the best-matching analytic process: Poisson when
+    /// the dispersion is ≤ 1 + `tolerance` (under-dispersed counts —
+    /// smoother than Poisson — have no analytic model here, so Poisson
+    /// is the conservative stand-in), negative binomial otherwise.
+    pub fn to_process(&self, tolerance: f64) -> Box<dyn ArrivalProcess> {
+        if self.dispersion > 1.0 + tolerance {
+            Box::new(NegativeBinomialProcess::new(self.rate, self.dispersion))
+        } else {
+            Box::new(PoissonProcess::per_second(self.rate))
+        }
+    }
+}
+
+/// Fits window counts over `[0, horizon_s)` to the observed arrival
+/// times (seconds, ascending).
+///
+/// # Panics
+///
+/// Panics if `window_s` is not positive, `horizon_s < 2 · window_s`
+/// (at least two full windows are needed for a variance), or the
+/// arrivals are unsorted.
+pub fn fit_arrival_process(arrivals: &[f64], horizon_s: f64, window_s: f64) -> FittedArrivals {
+    assert!(window_s > 0.0, "window must be positive, got {window_s}");
+    assert!(
+        horizon_s >= 2.0 * window_s,
+        "need at least two windows: horizon {horizon_s}, window {window_s}"
+    );
+    assert!(
+        arrivals.windows(2).all(|w| w[0] <= w[1]),
+        "arrival times must be sorted"
+    );
+    let n_windows = (horizon_s / window_s).floor() as usize;
+    let mut counts = vec![0u64; n_windows];
+    for &t in arrivals {
+        if t < 0.0 {
+            continue;
+        }
+        let i = (t / window_s) as usize;
+        if i < n_windows {
+            counts[i] += 1;
+        }
+    }
+    let n = n_windows as f64;
+    let mean = counts.iter().sum::<u64>() as f64 / n;
+    let var = counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / n;
+    FittedArrivals {
+        rate: mean / window_s,
+        dispersion: if mean > 0.0 { var / mean } else { 1.0 },
+        window_s,
+        windows: n_windows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::{sample_gamma_renewal_arrivals, sample_poisson_arrivals};
+    use crate::trace::Trace;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn poisson_fits_as_poisson() {
+        let trace = Trace::constant(500.0, 120.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let arrivals = sample_poisson_arrivals(&trace, &mut rng);
+        let fit = fit_arrival_process(&arrivals, 120.0, 0.5);
+        assert!((fit.rate - 500.0).abs() < 15.0, "rate {}", fit.rate);
+        assert!(fit.is_poissonian(0.15), "dispersion {}", fit.dispersion);
+        assert_eq!(fit.to_process(0.15).name(), "poisson");
+    }
+
+    #[test]
+    fn bursty_renewal_fits_as_overdispersed() {
+        // Gamma renewals with shape 0.25: CV = 2 inter-arrivals, so
+        // window counts are over-dispersed.
+        let trace = Trace::constant(500.0, 120.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(33);
+        let arrivals = sample_gamma_renewal_arrivals(&trace, 0.25, &mut rng);
+        let fit = fit_arrival_process(&arrivals, 120.0, 0.5);
+        assert!(fit.dispersion > 1.5, "dispersion {}", fit.dispersion);
+        assert_eq!(fit.to_process(0.15).name(), "negative-binomial");
+        // The fitted process reproduces the observed rate.
+        assert!((fit.to_process(0.15).rate() - fit.rate).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smooth_renewal_falls_back_to_poisson() {
+        // Shape 4: smoother than Poisson — under-dispersed counts have
+        // no analytic model here, so Poisson is the stand-in.
+        let trace = Trace::constant(500.0, 120.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(35);
+        let arrivals = sample_gamma_renewal_arrivals(&trace, 4.0, &mut rng);
+        let fit = fit_arrival_process(&arrivals, 120.0, 0.5);
+        assert!(fit.dispersion < 0.6, "dispersion {}", fit.dispersion);
+        assert_eq!(fit.to_process(0.15).name(), "poisson");
+    }
+
+    #[test]
+    fn empty_stream_is_degenerate() {
+        let fit = fit_arrival_process(&[], 10.0, 1.0);
+        assert_eq!(fit.rate, 0.0);
+        assert_eq!(fit.dispersion, 1.0);
+        assert_eq!(fit.windows, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two windows")]
+    fn rejects_short_horizon() {
+        let _ = fit_arrival_process(&[0.1], 1.0, 0.8);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be sorted")]
+    fn rejects_unsorted_arrivals() {
+        let _ = fit_arrival_process(&[2.0, 1.0], 10.0, 1.0);
+    }
+}

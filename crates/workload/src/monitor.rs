@@ -1,0 +1,160 @@
+//! Query-load estimation (the load monitor of paper §3.2.2 and §6).
+//!
+//! Online, RAMSIS and the baselines pick a policy / model according to
+//! the *anticipated* query load. The paper's implementation "tracks query
+//! load via a moving average over a window of 500 milliseconds [38, 57]"
+//! and shares that monitor between RAMSIS and the baselines; the
+//! constant-load experiments of §7.2 instead assume "the load monitor
+//! perfectly predicts the query load" — provided here as
+//! [`OracleMonitor`].
+
+use ramsis_stats::summary::MovingAverage;
+
+use crate::trace::Trace;
+
+/// A query-load estimator fed with arrival events.
+pub trait LoadEstimator {
+    /// Records a query arrival at time `now` (seconds).
+    fn record_arrival(&mut self, now: f64);
+
+    /// The anticipated query load (QPS) as of time `now`.
+    fn estimate(&mut self, now: f64) -> f64;
+}
+
+/// The 500 ms moving-average monitor of §6.
+#[derive(Debug, Clone)]
+pub struct LoadMonitor {
+    window: MovingAverage,
+}
+
+impl LoadMonitor {
+    /// The paper's monitoring window.
+    pub const DEFAULT_WINDOW_S: f64 = 0.5;
+
+    /// Creates a monitor with the paper's 500 ms window.
+    pub fn new() -> Self {
+        Self::with_window(Self::DEFAULT_WINDOW_S)
+    }
+
+    /// Creates a monitor with a custom window length in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_s` is not strictly positive and finite.
+    pub fn with_window(window_s: f64) -> Self {
+        Self {
+            window: MovingAverage::new(window_s),
+        }
+    }
+}
+
+impl Default for LoadMonitor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LoadEstimator for LoadMonitor {
+    fn record_arrival(&mut self, now: f64) {
+        self.window.record(now);
+    }
+
+    fn estimate(&mut self, now: f64) -> f64 {
+        self.window.rate(now)
+    }
+}
+
+/// A perfect-knowledge monitor that reads the true load off the trace —
+/// the assumption of §7.2's constant-load experiments ("to focus our
+/// evaluation on comparing the best possible performance of all
+/// evaluated MS&S approaches").
+#[derive(Debug, Clone)]
+pub struct OracleMonitor {
+    trace: Trace,
+}
+
+impl OracleMonitor {
+    /// Creates an oracle over the given trace.
+    pub fn new(trace: Trace) -> Self {
+        Self { trace }
+    }
+}
+
+impl LoadEstimator for OracleMonitor {
+    fn record_arrival(&mut self, _now: f64) {}
+
+    fn estimate(&mut self, now: f64) -> f64 {
+        self.trace.qps_at(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::sample_poisson_arrivals;
+    use crate::trace::TraceKind;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn moving_average_tracks_poisson_stream() {
+        let trace = Trace::constant(2_000.0, 5.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let arrivals = sample_poisson_arrivals(&trace, &mut rng);
+        let mut mon = LoadMonitor::new();
+        for &t in &arrivals {
+            mon.record_arrival(t);
+        }
+        let est = mon.estimate(5.0);
+        // 2,000 QPS over a 500 ms window: Poisson(1,000) has sigma ~32;
+        // stay within 5 sigma in rate units (sigma_rate ~ 63 QPS).
+        assert!((est - 2_000.0).abs() < 320.0, "est={est}");
+    }
+
+    #[test]
+    fn moving_average_reacts_to_load_change() {
+        let trace = Trace::from_interval_qps(&[500.0, 4_000.0], 10.0, TraceKind::Custom);
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let arrivals = sample_poisson_arrivals(&trace, &mut rng);
+        let mut mon = LoadMonitor::new();
+        let mut est_low = 0.0;
+        let mut est_high = 0.0;
+        for &t in &arrivals {
+            mon.record_arrival(t);
+            if (9.4..9.5).contains(&t) {
+                est_low = mon.estimate(t);
+            }
+            if (19.4..19.5).contains(&t) {
+                est_high = mon.estimate(t);
+            }
+        }
+        assert!(est_low < 1_000.0, "est_low={est_low}");
+        assert!(est_high > 3_000.0, "est_high={est_high}");
+    }
+
+    #[test]
+    fn oracle_reads_the_trace() {
+        let trace = Trace::from_interval_qps(&[100.0, 900.0], 10.0, TraceKind::Custom);
+        let mut mon = OracleMonitor::new(trace);
+        assert_eq!(mon.estimate(5.0), 100.0);
+        assert_eq!(mon.estimate(15.0), 900.0);
+        // Arrivals are ignored.
+        mon.record_arrival(5.0);
+        assert_eq!(mon.estimate(5.0), 100.0);
+    }
+
+    #[test]
+    fn custom_window_changes_smoothing() {
+        let mut fast = LoadMonitor::with_window(0.1);
+        let mut slow = LoadMonitor::with_window(2.0);
+        // A burst of 100 arrivals at t = 0, then silence.
+        for i in 0..100 {
+            let t = i as f64 * 1e-4;
+            fast.record_arrival(t);
+            slow.record_arrival(t);
+        }
+        // At t = 0.5 the fast window has drained, the slow one has not.
+        assert_eq!(fast.estimate(0.5), 0.0);
+        assert!(slow.estimate(0.5) > 0.0);
+    }
+}

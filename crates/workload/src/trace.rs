@@ -1,0 +1,398 @@
+//! Piecewise-constant query-load traces.
+//!
+//! A [`Trace`] is a sequence of `(duration, QPS)` intervals — the load
+//! signal the paper's experiments are driven by. The artifact stores its
+//! five-minute Twitter trace as a text file with one average-QPS value
+//! per ten-second interval (`twitter_trace/twitter_04_25_norm.txt`);
+//! [`Trace::parse_artifact_text`] reads that format and
+//! [`Trace::to_artifact_text`] writes it, so a real trace file can be
+//! dropped in. Because the original archive is not redistributable here,
+//! [`Trace::twitter_like`] synthesizes a trace with the same format,
+//! length, load range (1,617–3,905 QPS), diurnal ramp, and spikes.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// How a trace was produced — recorded in experiment outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// Constant query load for a fixed duration (§7.2).
+    Constant,
+    /// The production-trace workload of §7.1 (real file or synthesized).
+    Production,
+    /// Anything user-supplied.
+    Custom,
+}
+
+/// A piecewise-constant query-load signal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    kind: TraceKind,
+    /// `(interval length seconds, average QPS)` segments.
+    segments: Vec<(f64, f64)>,
+}
+
+impl Trace {
+    /// Artifact convention: one QPS sample per ten-second interval.
+    pub const ARTIFACT_INTERVAL_S: f64 = 10.0;
+
+    /// The QPS range of the paper's five-minute Twitter trace.
+    pub const TWITTER_MIN_QPS: f64 = 1_617.0;
+    /// See [`Self::TWITTER_MIN_QPS`].
+    pub const TWITTER_MAX_QPS: f64 = 3_905.0;
+
+    /// A constant-load trace (§7.2 uses 30-second windows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qps` is negative or `duration_s` is not positive.
+    pub fn constant(qps: f64, duration_s: f64) -> Self {
+        assert!(
+            qps >= 0.0 && qps.is_finite(),
+            "QPS must be non-negative, got {qps}"
+        );
+        assert!(
+            duration_s > 0.0 && duration_s.is_finite(),
+            "duration must be positive, got {duration_s}"
+        );
+        Self {
+            kind: TraceKind::Constant,
+            segments: vec![(duration_s, qps)],
+        }
+    }
+
+    /// Builds a trace from per-interval QPS samples of equal length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty, any sample is negative, or
+    /// `interval_s` is not positive.
+    pub fn from_interval_qps(samples: &[f64], interval_s: f64, kind: TraceKind) -> Self {
+        assert!(!samples.is_empty(), "trace needs at least one interval");
+        assert!(
+            interval_s > 0.0,
+            "interval must be positive, got {interval_s}"
+        );
+        for &q in samples {
+            assert!(
+                q >= 0.0 && q.is_finite(),
+                "QPS must be non-negative, got {q}"
+            );
+        }
+        Self {
+            kind,
+            segments: samples.iter().map(|&q| (interval_s, q)).collect(),
+        }
+    }
+
+    /// Parses the artifact's text format: one average-QPS value per line,
+    /// each describing a ten-second interval. Blank lines and `#`
+    /// comments are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line, or of an empty
+    /// file.
+    pub fn parse_artifact_text(text: &str) -> Result<Self, String> {
+        let mut samples = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let q: f64 = line
+                .parse()
+                .map_err(|e| format!("line {}: {e}: {line:?}", lineno + 1))?;
+            if !(q.is_finite() && q >= 0.0) {
+                return Err(format!(
+                    "line {}: QPS must be non-negative, got {q}",
+                    lineno + 1
+                ));
+            }
+            samples.push(q);
+        }
+        if samples.is_empty() {
+            return Err("trace file contains no samples".to_owned());
+        }
+        Ok(Self::from_interval_qps(
+            &samples,
+            Self::ARTIFACT_INTERVAL_S,
+            TraceKind::Production,
+        ))
+    }
+
+    /// Writes the trace back in the artifact's text format.
+    ///
+    /// Only valid for traces whose segments all have the artifact's
+    /// ten-second length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any segment has a non-artifact interval length.
+    pub fn to_artifact_text(&self) -> String {
+        let mut out = String::new();
+        for &(len, qps) in &self.segments {
+            assert!(
+                (len - Self::ARTIFACT_INTERVAL_S).abs() < 1e-9,
+                "artifact format requires ten-second intervals, got {len}"
+            );
+            out.push_str(&format!("{qps}\n"));
+        }
+        out
+    }
+
+    /// Synthesizes a five-minute Twitter-like production trace.
+    ///
+    /// Thirty ten-second intervals whose loads follow a diurnal-style
+    /// ramp with seeded jitter and occasional spikes, affinely mapped so
+    /// the minimum and maximum exactly match the paper's 1,617 and 3,905
+    /// QPS. Substitutes for the archived `twitter_04_25_norm.txt` (see
+    /// DESIGN.md §2).
+    pub fn twitter_like(seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let n = 30;
+        let mut shape = Vec::with_capacity(n);
+        for i in 0..n {
+            let t = i as f64 / (n - 1) as f64;
+            // Diurnal-style rise and fall compressed into the window.
+            let diurnal = (std::f64::consts::PI * t).sin();
+            // Random walk jitter.
+            let jitter = rng.gen_range(-0.12..0.12);
+            // Unexpected spikes (the trace "exhibits ... unexpected
+            // spikes in query load", §7): ~10% of intervals jump.
+            let spike = if rng.gen_bool(0.1) {
+                rng.gen_range(0.2..0.45)
+            } else {
+                0.0
+            };
+            shape.push((diurnal + jitter + spike).clamp(0.0, 1.6));
+        }
+        // Affine map so min/max hit the paper's range exactly.
+        let lo = shape.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = shape.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let samples: Vec<f64> = shape
+            .iter()
+            .map(|&s| {
+                let t = (s - lo) / (hi - lo);
+                (Self::TWITTER_MIN_QPS + t * (Self::TWITTER_MAX_QPS - Self::TWITTER_MIN_QPS))
+                    .round()
+            })
+            .collect();
+        let mut trace =
+            Self::from_interval_qps(&samples, Self::ARTIFACT_INTERVAL_S, TraceKind::Production);
+        trace.kind = TraceKind::Production;
+        trace
+    }
+
+    /// How this trace was produced.
+    pub fn kind(&self) -> TraceKind {
+        self.kind
+    }
+
+    /// Total trace duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.segments.iter().map(|&(len, _)| len).sum()
+    }
+
+    /// The `(duration, QPS)` segments.
+    pub fn segments(&self) -> &[(f64, f64)] {
+        &self.segments
+    }
+
+    /// The load at time `t` (seconds); the last segment's load at or
+    /// beyond the end, the first segment's before zero.
+    pub fn qps_at(&self, t: f64) -> f64 {
+        let mut acc = 0.0;
+        for &(len, qps) in &self.segments {
+            acc += len;
+            if t < acc {
+                return qps;
+            }
+        }
+        self.segments.last().expect("trace is never empty").1
+    }
+
+    /// Minimum segment load.
+    pub fn min_qps(&self) -> f64 {
+        self.segments
+            .iter()
+            .map(|&(_, q)| q)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum segment load.
+    pub fn max_qps(&self) -> f64 {
+        self.segments
+            .iter()
+            .map(|&(_, q)| q)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Expected number of queries over the whole trace (`Σ len · qps`).
+    pub fn expected_queries(&self) -> f64 {
+        self.segments.iter().map(|&(len, q)| len * q).sum()
+    }
+
+    /// Compresses the trace in *time* by `factor`, keeping the loads:
+    /// the paper's methodology for its production workload ("We scale
+    /// the Twitter trace down to five minutes (from one day) for our
+    /// experiments, as is done in prior work \[38\]", §7). A 24-hour trace
+    /// compressed by 288 plays the same load curve in five minutes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not strictly positive and finite.
+    pub fn time_compressed(&self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "compression factor must be positive, got {factor}"
+        );
+        Self {
+            kind: self.kind,
+            segments: self
+                .segments
+                .iter()
+                .map(|&(len, q)| (len / factor, q))
+                .collect(),
+        }
+    }
+
+    /// Rescales every load by `factor` (e.g. to stress a configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or non-finite.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(
+            factor >= 0.0 && factor.is_finite(),
+            "scale factor must be non-negative, got {factor}"
+        );
+        Self {
+            kind: self.kind,
+            segments: self
+                .segments
+                .iter()
+                .map(|&(len, q)| (len, q * factor))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_trace_basics() {
+        let t = Trace::constant(400.0, 30.0);
+        assert_eq!(t.kind(), TraceKind::Constant);
+        assert_eq!(t.duration(), 30.0);
+        assert_eq!(t.qps_at(0.0), 400.0);
+        assert_eq!(t.qps_at(29.999), 400.0);
+        assert_eq!(t.qps_at(31.0), 400.0);
+        assert_eq!(t.expected_queries(), 12_000.0);
+        assert_eq!(t.min_qps(), 400.0);
+        assert_eq!(t.max_qps(), 400.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be positive")]
+    fn zero_duration_rejected() {
+        let _ = Trace::constant(400.0, 0.0);
+    }
+
+    #[test]
+    fn qps_at_respects_boundaries() {
+        let t = Trace::from_interval_qps(&[100.0, 200.0, 300.0], 10.0, TraceKind::Custom);
+        assert_eq!(t.qps_at(0.0), 100.0);
+        assert_eq!(t.qps_at(9.999), 100.0);
+        assert_eq!(t.qps_at(10.0), 200.0);
+        assert_eq!(t.qps_at(25.0), 300.0);
+        assert_eq!(t.qps_at(100.0), 300.0);
+    }
+
+    #[test]
+    fn twitter_like_matches_paper_envelope() {
+        let t = Trace::twitter_like(7);
+        assert_eq!(
+            t.segments().len(),
+            30,
+            "five minutes of ten-second intervals"
+        );
+        assert!((t.duration() - 300.0).abs() < 1e-9);
+        assert_eq!(t.min_qps(), Trace::TWITTER_MIN_QPS);
+        assert_eq!(t.max_qps(), Trace::TWITTER_MAX_QPS);
+        // Expected total queries in the paper's order of magnitude
+        // (the artifact reports 554,395 sampled arrivals).
+        let total = t.expected_queries();
+        assert!(total > 500_000.0 && total < 1_200_000.0, "total={total}");
+    }
+
+    #[test]
+    fn twitter_like_is_seeded() {
+        assert_eq!(Trace::twitter_like(1), Trace::twitter_like(1));
+        assert_ne!(Trace::twitter_like(1), Trace::twitter_like(2));
+    }
+
+    #[test]
+    fn artifact_text_round_trip() {
+        let t = Trace::twitter_like(3);
+        let text = t.to_artifact_text();
+        let back = Trace::parse_artifact_text(&text).unwrap();
+        assert_eq!(t.segments(), back.segments());
+    }
+
+    #[test]
+    fn parse_skips_comments_and_blanks() {
+        let t = Trace::parse_artifact_text("# header\n1617\n\n2000.5\n").unwrap();
+        assert_eq!(t.segments().len(), 2);
+        assert_eq!(t.qps_at(0.0), 1617.0);
+        assert_eq!(t.qps_at(10.0), 2000.5);
+    }
+
+    #[test]
+    fn parse_reports_bad_lines() {
+        let err = Trace::parse_artifact_text("100\nnot-a-number\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = Trace::parse_artifact_text("-5\n").unwrap_err();
+        assert!(err.contains("non-negative"), "{err}");
+        assert!(Trace::parse_artifact_text("# only comments\n").is_err());
+    }
+
+    #[test]
+    fn time_compression_preserves_loads() {
+        // A "day" of three 8-hour phases compressed to 72 seconds.
+        let day =
+            Trace::from_interval_qps(&[1_000.0, 3_000.0, 2_000.0], 28_800.0, TraceKind::Custom);
+        let five_min = day.time_compressed(1_200.0);
+        assert!((five_min.duration() - 72.0).abs() < 1e-9);
+        assert_eq!(five_min.min_qps(), 1_000.0);
+        assert_eq!(five_min.max_qps(), 3_000.0);
+        // The load curve shape is preserved at compressed time points.
+        assert_eq!(five_min.qps_at(10.0), day.qps_at(12_000.0));
+        assert_eq!(five_min.qps_at(30.0), day.qps_at(36_000.0));
+        // Expected queries shrink by the factor.
+        assert!((five_min.expected_queries() * 1_200.0 - day.expected_queries()).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "compression factor must be positive")]
+    fn time_compression_rejects_zero() {
+        let _ = Trace::constant(10.0, 10.0).time_compressed(0.0);
+    }
+
+    #[test]
+    fn scaled_trace() {
+        let t = Trace::constant(100.0, 10.0).scaled(2.5);
+        assert_eq!(t.qps_at(0.0), 250.0);
+        assert_eq!(t.expected_queries(), 2_500.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ten-second intervals")]
+    fn artifact_text_rejects_foreign_intervals() {
+        let t = Trace::constant(100.0, 30.0);
+        let _ = t.to_artifact_text();
+    }
+}

@@ -1,0 +1,81 @@
+//! Capacity planning from offline guarantees (paper §5.1).
+//!
+//! "Either users or the ISS resource manager can use the expectation of
+//! inference accuracy and latency violation rate provided by RAMSIS to
+//! direct resource scaling decisions, e.g., via an offline search for
+//! resource configurations that achieve sufficient accuracy and latency
+//! SLO violation rate." This example performs exactly that search: the
+//! fewest workers whose RAMSIS policy is *expected* to deliver a target
+//! accuracy at a target violation bound — no simulation required — and
+//! then validates the pick by simulating it.
+//!
+//! Run with `cargo run --release --example capacity_planning`.
+
+use ramsis::prelude::*;
+use ramsis::sim::RamsisScheme;
+use ramsis::workload::OracleMonitor;
+
+fn main() {
+    let slo = Duration::from_millis(300);
+    let load_qps = 2_000.0;
+    let accuracy_target = 78.0; // percent
+    let violation_budget = 0.01; // 1% of queries
+
+    let catalog = ModelCatalog::torchvision_image();
+    let profile = WorkerProfile::build(&catalog, slo, ProfilerConfig::default());
+    println!(
+        "planning for {load_qps} QPS at SLO {:?}: accuracy >= {accuracy_target}%, \
+         violations <= {:.1}%",
+        slo,
+        violation_budget * 100.0
+    );
+
+    // Offline search over worker counts using only the §5.1 expectations.
+    let mut chosen = None;
+    for workers in (10..=100).step_by(10) {
+        let config = PolicyConfig::builder(slo)
+            .workers(workers)
+            .discretization(Discretization::fixed_length(25))
+            .build();
+        let policy = generate_policy(&profile, &PoissonArrivals::per_second(load_qps), &config)
+            .expect("generation succeeds");
+        let g = *policy.guarantees();
+        let ok =
+            g.expected_accuracy >= accuracy_target && g.expected_violation_rate <= violation_budget;
+        println!(
+            "{workers:>3} workers: E[accuracy] {:.2}%, E[violations] {:.4}% {}",
+            g.expected_accuracy,
+            g.expected_violation_rate * 100.0,
+            if ok { "<- meets both targets" } else { "" }
+        );
+        if ok && chosen.is_none() {
+            chosen = Some((workers, policy));
+        }
+    }
+
+    let Some((workers, policy)) = chosen else {
+        println!("no configuration up to 100 workers meets the targets");
+        return;
+    };
+    println!("\nchosen configuration: {workers} workers. Validating by simulation...");
+
+    // Validation: the guarantees are a lower bound on accuracy and an
+    // upper bound on violations (§5.1), so the simulated run should meet
+    // the targets too.
+    let set = PolicySet::from_policies(vec![policy]).expect("non-empty");
+    let trace = Trace::constant(load_qps, 30.0);
+    let sim = Simulation::new(&profile, SimulationConfig::new(workers, slo.as_secs_f64()));
+    let mut scheme = RamsisScheme::new(set);
+    let mut monitor = OracleMonitor::new(trace.clone());
+    let report = sim.run(&trace, &mut scheme, &mut monitor);
+    println!(
+        "simulated: accuracy {:.2}% (target {accuracy_target}%), violations {:.4}% \
+         (budget {:.1}%)",
+        report.accuracy_per_satisfied_query,
+        report.violation_rate * 100.0,
+        violation_budget * 100.0
+    );
+    assert!(report.accuracy_per_satisfied_query >= accuracy_target - 0.5);
+    assert!(report.violation_rate <= violation_budget + 0.005);
+    println!("targets met.");
+}

@@ -1,0 +1,78 @@
+//! Driving RAMSIS with *measured* latency profiles in the paper
+//! artifact's file layout (§A.2.4: `profiles/MODEL/BATCH.json` sample
+//! lists plus an accuracy dictionary).
+//!
+//! In production you would collect these files by invoking each model
+//! 100 times per batch size on your real serving stack; here we
+//! synthesize them, write the layout to disk, and then pretend to be
+//! the consumer: read the directory back, reduce the raw samples to a
+//! worker profile, fit a latency spec per model, and generate a policy.
+//!
+//! Run with `cargo run --release --example measured_profiles`.
+
+use ramsis::prelude::*;
+use ramsis::profiles::{RawProfiles, Task};
+
+fn main() {
+    let dir = std::env::temp_dir().join("ramsis_measured_profiles_demo");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // --- "Measurement" side: produce the artifact layout. ---
+    let catalog = ModelCatalog::bert_text();
+    let raw = RawProfiles::synthesize(&catalog, 32, 100, 0xACE);
+    raw.write_dir(&dir).expect("write profile files");
+    println!(
+        "wrote {} models x 32 batch sizes x 100 invocations under {}",
+        catalog.len(),
+        dir.display()
+    );
+
+    // --- Consumer side: everything below only touches the files. ---
+    let measured = RawProfiles::read_dir(&dir).expect("read profile files");
+    let slo = Duration::from_millis(100);
+    let profile = measured
+        .to_worker_profile(Task::TextClassification, slo.as_secs_f64(), 95.0)
+        .expect("reduce raw samples");
+    println!(
+        "reduced to a worker profile: {} models, B_w = {}, {} on the Pareto front",
+        profile.n_models(),
+        profile.max_batch(),
+        profile.pareto_models().len()
+    );
+    for &m in profile.pareto_models() {
+        let mp = &profile.models[m];
+        println!(
+            "  {:<12} accuracy {:.1}%  p95(b=1) {:.1} ms  fitted per-item {:.2} ms",
+            mp.name,
+            mp.accuracy,
+            mp.batches[0].p95_s * 1e3,
+            mp.spec.per_item_s * 1e3
+        );
+    }
+
+    // Generate and deploy a policy from the measured profile.
+    let config = PolicyConfig::builder(slo)
+        .workers(10)
+        .discretization(Discretization::fixed_length(25))
+        .build();
+    let load = 500.0;
+    let set = PolicySet::generate_poisson(&profile, &[load], &config).expect("policy generates");
+    println!(
+        "policy from measured profiles: E[accuracy] {:.2}%, E[violations] {:.4}%",
+        set.policies()[0].guarantees().expected_accuracy,
+        set.policies()[0].guarantees().expected_violation_rate * 100.0
+    );
+
+    let trace = Trace::constant(load, 20.0);
+    let sim = Simulation::new(&profile, SimulationConfig::new(10, slo.as_secs_f64()));
+    let mut scheme = ramsis::sim::RamsisScheme::new(set);
+    let mut monitor = ramsis::workload::OracleMonitor::new(trace.clone());
+    let report = sim.run(&trace, &mut scheme, &mut monitor);
+    println!(
+        "simulated on the measured profile: accuracy {:.2}%, violations {:.4}%",
+        report.accuracy_per_satisfied_query,
+        report.violation_rate * 100.0
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

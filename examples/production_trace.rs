@@ -1,0 +1,77 @@
+//! Serving a production trace: the full RAMSIS online pipeline (paper
+//! §3.2 and §7.1) against the Jellyfish+ baseline.
+//!
+//! A Twitter-like five-minute trace drives Poisson arrivals; the 500 ms
+//! moving-average load monitor anticipates load; the worker-level model
+//! selectors pick the lowest-load policy covering the anticipated load.
+//!
+//! Run with `cargo run --release --example production_trace`.
+
+use ramsis::baselines::JellyfishPlus;
+use ramsis::prelude::*;
+use ramsis::sim::RamsisScheme;
+
+fn main() {
+    let task_slo = Duration::from_millis(150);
+    let workers = 80;
+    let catalog = ModelCatalog::torchvision_image();
+    let profile = WorkerProfile::build(&catalog, task_slo, ProfilerConfig::default());
+
+    // The production trace: five minutes of ten-second load intervals,
+    // 1,617-3,905 QPS, diurnal ramp with spikes (a drop-in substitute
+    // for the paper's Twitter trace file — to use a real file, read it
+    // with `Trace::parse_artifact_text`).
+    let trace = Trace::twitter_like(42);
+    println!(
+        "trace: {:.0}s, {:.0}-{:.0} QPS, ~{:.0} queries",
+        trace.duration(),
+        trace.min_qps(),
+        trace.max_qps(),
+        trace.expected_queries()
+    );
+
+    // Pre-compute a policy set spanning the trace's load range (§3.1.3):
+    // online, the monitor's anticipated load selects "the lowest-load MS
+    // policy that meets the anticipated query load" (§3.2.2).
+    let config = PolicyConfig::builder(task_slo)
+        .workers(workers)
+        .discretization(Discretization::fixed_length(25))
+        .build();
+    let loads: Vec<f64> = (0..8).map(|i| 1_000.0 + i as f64 * 3_500.0 / 7.0).collect();
+    let t0 = std::time::Instant::now();
+    let set = PolicySet::generate_poisson(&profile, &loads, &config).expect("policies generate");
+    println!(
+        "generated {} policies for loads {:?} in {:.1}s",
+        set.len(),
+        set.loads().iter().map(|l| l.round()).collect::<Vec<_>>(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    let sim = Simulation::new(
+        &profile,
+        SimulationConfig::new(workers, task_slo.as_secs_f64()),
+    );
+
+    let mut ramsis = RamsisScheme::new(set);
+    let mut monitor = LoadMonitor::new();
+    let r = sim.run(&trace, &mut ramsis, &mut monitor);
+
+    let mut jellyfish = JellyfishPlus::new(&profile, workers);
+    let mut monitor = LoadMonitor::new();
+    let j = sim.run(&trace, &mut jellyfish, &mut monitor);
+
+    for report in [&r, &j] {
+        println!(
+            "{:<12} accuracy {:.2}%  violations {:.4}%  mean response {:.1} ms  mean batch {:.2}",
+            report.scheme,
+            report.accuracy_per_satisfied_query,
+            report.violation_rate * 100.0,
+            report.mean_response_s * 1e3,
+            report.mean_batch
+        );
+    }
+    println!(
+        "RAMSIS accuracy gain over Jellyfish+: {:+.2}%",
+        r.accuracy_per_satisfied_query - j.accuracy_per_satisfied_query
+    );
+}

@@ -1,0 +1,74 @@
+//! Quickstart: profile a worker, generate a RAMSIS policy, inspect its
+//! offline guarantees, and simulate it.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use ramsis::prelude::*;
+use ramsis::workload::OracleMonitor;
+
+fn main() {
+    // 1. Offline inputs (paper §3.1.1): the image-classification model
+    //    zoo of Fig. 3 profiled at a 150 ms response-latency SLO.
+    let catalog = ModelCatalog::torchvision_image();
+    let slo = Duration::from_millis(150);
+    let profile = WorkerProfile::build(&catalog, slo, ProfilerConfig::default());
+    println!(
+        "profiled {} models; {} on the accuracy-latency Pareto front; B_w = {}",
+        profile.n_models(),
+        profile.pareto_models().len(),
+        profile.max_batch()
+    );
+
+    // 2. Offline phase (§3.1): formulate the per-worker MDP for 800 QPS
+    //    of Poisson traffic spread round-robin over 20 workers, and solve
+    //    it with value iteration.
+    let config = PolicyConfig::builder(slo)
+        .workers(20)
+        .discretization(Discretization::fixed_length(50))
+        .build();
+    let policy = generate_policy(&profile, &PoissonArrivals::per_second(800.0), &config)
+        .expect("policy generation succeeds");
+    let g = policy.guarantees();
+    println!(
+        "policy generated in {:.2}s ({} value-iteration sweeps)",
+        policy.generation_seconds, policy.solve_iterations
+    );
+    println!(
+        "offline guarantees (§5.1): expected accuracy >= {:.2}%, \
+         expected SLO violation rate <= {:.4}%",
+        g.expected_accuracy,
+        g.expected_violation_rate * 100.0
+    );
+
+    // 3. Peek at a few decisions: lulls afford slower, more accurate
+    //    models; exhausted slack forces the fastest.
+    for (n, slack_ms) in [(1usize, 150.0), (3, 80.0), (5, 20.0)] {
+        match policy.decide(n, slack_ms / 1e3) {
+            ramsis::core::Decision::Serve { model, batch } => println!(
+                "queue of {n} with {slack_ms:.0} ms slack -> {} (batch {batch})",
+                catalog.models[model].name
+            ),
+            ramsis::core::Decision::Wait => println!("queue of {n}: wait"),
+            ramsis::core::Decision::Drop { count } => println!("queue of {n}: drop {count}"),
+        }
+    }
+
+    // 4. Online phase (§3.2): deploy on 30 seconds of Poisson traffic.
+    let set = PolicySet::from_policies(vec![policy]).expect("non-empty set");
+    let trace = Trace::constant(800.0, 30.0);
+    let sim = Simulation::new(&profile, SimulationConfig::new(20, slo.as_secs_f64()));
+    let mut scheme = ramsis::sim::RamsisScheme::new(set);
+    let mut monitor = OracleMonitor::new(trace.clone());
+    let report = sim.run(&trace, &mut scheme, &mut monitor);
+    println!(
+        "simulated {} queries: accuracy per satisfied query {:.2}%, \
+         violation rate {:.4}%",
+        report.served,
+        report.accuracy_per_satisfied_query,
+        report.violation_rate * 100.0
+    );
+    println!("models used online:");
+    for (name, count) in &report.per_model {
+        println!("  {name}: {count}");
+    }
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper (see DESIGN.md §3 and
+# EXPERIMENTS.md). Quick grids by default; pass --full for the paper's
+# grids (hours). Output: terminal tables/plots, CSV+JSON under results/,
+# and per-experiment logs under results/logs/.
+set -u
+cd "$(dirname "$0")/.."
+mkdir -p results/logs
+BINS=(
+  fig2_motivation fig3_image_profiles fig9_text_profiles table1_features
+  table2_policy_gen_runtime fig5_production_trace fig6_constant_load
+  fig7_fidelity fig8_many_models fig10_discretization fig11_batching
+  fig12_fewer_models appendix_h_infaas appendix_i_sqf
+  ablation_design timeline_production
+)
+status=0
+for bin in "${BINS[@]}"; do
+  echo "=== $bin $* ==="
+  if ! cargo run --release -p ramsis-bench --bin "$bin" -- "$@" \
+      > "results/logs/$bin.txt" 2>&1; then
+    echo "FAILED: $bin (see results/logs/$bin.txt)"
+    status=1
+  else
+    tail -n 3 "results/logs/$bin.txt"
+  fi
+done
+exit $status

@@ -1,0 +1,94 @@
+//! Cross-task coverage: every (task, paper SLO) point builds a profile,
+//! generates a policy, and serves traffic.
+
+use ramsis::core::{generate_policy, Discretization, PoissonArrivals, PolicyConfig, PolicySet};
+use ramsis::prelude::*;
+use ramsis::profiles::Task;
+use ramsis::sim::RamsisScheme;
+use ramsis::workload::OracleMonitor;
+
+fn catalog_for(task: Task) -> ModelCatalog {
+    match task {
+        Task::ImageClassification => ModelCatalog::torchvision_image(),
+        Task::TextClassification => ModelCatalog::bert_text(),
+    }
+}
+
+#[test]
+fn every_paper_configuration_is_servable() {
+    for task in [Task::ImageClassification, Task::TextClassification] {
+        let catalog = catalog_for(task);
+        for slo_s in task.paper_slos() {
+            let profile = WorkerProfile::build(
+                &catalog,
+                Duration::from_secs_f64(slo_s),
+                ProfilerConfig::default(),
+            );
+            assert!(profile.max_batch() >= 1, "{task:?} {slo_s}");
+            assert!(!profile.pareto_models().is_empty());
+
+            // A light, clearly satisfiable load per worker.
+            let workers = 4;
+            let load = 50.0;
+            let config = PolicyConfig::builder(Duration::from_secs_f64(slo_s))
+                .workers(workers)
+                .discretization(Discretization::fixed_length(10))
+                .build();
+            let policy = generate_policy(&profile, &PoissonArrivals::per_second(load), &config)
+                .unwrap_or_else(|e| panic!("{task:?} {slo_s}: {e}"));
+            let g = policy.guarantees();
+            assert!(
+                g.expected_violation_rate < 0.02,
+                "{task:?} {slo_s}: violations {}",
+                g.expected_violation_rate
+            );
+            // The fastest model never has the best accuracy; at this
+            // light load the policy must do better than pinning it.
+            let fast_acc = profile.accuracy(profile.fastest_model());
+            assert!(
+                g.expected_accuracy > fast_acc,
+                "{task:?} {slo_s}: {} <= {fast_acc}",
+                g.expected_accuracy
+            );
+
+            let set = PolicySet::from_policies(vec![policy]).unwrap();
+            let trace = Trace::constant(load, 10.0);
+            let sim = Simulation::new(&profile, SimulationConfig::new(workers, slo_s).seeded(1));
+            let mut scheme = RamsisScheme::new(set);
+            let mut monitor = OracleMonitor::new(trace.clone());
+            let report = sim.run(&trace, &mut scheme, &mut monitor);
+            assert_eq!(report.served, report.total_arrivals);
+            assert!(
+                report.violation_rate < 0.05,
+                "{task:?} {slo_s}: {}",
+                report.violation_rate
+            );
+        }
+    }
+}
+
+#[test]
+fn slo_tightness_orders_accuracy() {
+    // Looser SLOs admit slower, more accurate models: expected accuracy
+    // at a fixed light load must be non-decreasing in the SLO.
+    let catalog = catalog_for(Task::ImageClassification);
+    let mut accs = Vec::new();
+    for slo_s in Task::ImageClassification.paper_slos() {
+        let profile = WorkerProfile::build(
+            &catalog,
+            Duration::from_secs_f64(slo_s),
+            ProfilerConfig::default(),
+        );
+        let config = PolicyConfig::builder(Duration::from_secs_f64(slo_s))
+            .workers(4)
+            .discretization(Discretization::fixed_length(10))
+            .build();
+        let policy =
+            generate_policy(&profile, &PoissonArrivals::per_second(30.0), &config).unwrap();
+        accs.push(policy.guarantees().expected_accuracy);
+    }
+    assert!(
+        accs[0] <= accs[1] + 0.2 && accs[1] <= accs[2] + 0.2,
+        "accuracies not ordered by SLO: {accs:?}"
+    );
+}

@@ -1,0 +1,125 @@
+//! The §4.3.1 drop reformulation: "RAMSIS can be re-formulated in a
+//! straightforward manner to drop queries whose deadlines cannot be
+//! satisfied [15, 43] via changes to the transition probabilities."
+
+use ramsis::core::{
+    generate_policy, Decision, Discretization, MissPolicy, PoissonArrivals, PolicyConfig, PolicySet,
+};
+use ramsis::prelude::*;
+use ramsis::sim::RamsisScheme;
+use ramsis::workload::OracleMonitor;
+
+fn profile() -> &'static WorkerProfile {
+    use std::sync::OnceLock;
+    static P: OnceLock<WorkerProfile> = OnceLock::new();
+    P.get_or_init(|| {
+        WorkerProfile::build(
+            &ModelCatalog::torchvision_image(),
+            Duration::from_millis(150),
+            ProfilerConfig::default(),
+        )
+    })
+}
+
+fn config(workers: usize, on_miss: MissPolicy) -> PolicyConfig {
+    PolicyConfig::builder(Duration::from_millis(150))
+        .workers(workers)
+        .discretization(Discretization::fixed_length(15))
+        .on_miss(on_miss)
+        .build()
+}
+
+#[test]
+fn drop_policy_sheds_exhausted_slack() {
+    let policy = generate_policy(
+        profile(),
+        &PoissonArrivals::per_second(100.0),
+        &config(4, MissPolicy::Drop),
+    )
+    .unwrap();
+    // Exhausted slack: the policy sheds instead of serving late.
+    assert_eq!(policy.decide(3, 0.0), Decision::Drop { count: 3 });
+    assert_eq!(policy.decide(3, -1.0), Decision::Drop { count: 3 });
+    // Fresh queries are still served normally.
+    assert!(matches!(policy.decide(1, 0.15), Decision::Serve { .. }));
+}
+
+#[test]
+fn serve_late_policy_never_drops() {
+    let policy = generate_policy(
+        profile(),
+        &PoissonArrivals::per_second(100.0),
+        &config(4, MissPolicy::ServeLate),
+    )
+    .unwrap();
+    for n in 1..=10usize {
+        for slack in [-0.1, 0.0, 0.05, 0.15] {
+            assert!(
+                !matches!(policy.decide(n, slack), Decision::Drop { .. }),
+                "n={n} slack={slack}"
+            );
+        }
+    }
+}
+
+#[test]
+fn overload_sheds_instead_of_serving_late() {
+    // 2 workers cannot sustain 500 QPS: the drop variant sheds doomed
+    // queries and keeps serving the rest on time, while serve-late
+    // serves everything late.
+    let workers = 2;
+    let load = 500.0;
+    let trace = Trace::constant(load, 10.0);
+    let run = |on_miss: MissPolicy| {
+        let set =
+            PolicySet::generate_poisson(profile(), &[load], &config(workers, on_miss)).unwrap();
+        let sim = Simulation::new(profile(), SimulationConfig::new(workers, 0.15).seeded(21));
+        let mut scheme = RamsisScheme::new(set);
+        let mut monitor = OracleMonitor::new(trace.clone());
+        sim.run(&trace, &mut scheme, &mut monitor)
+    };
+
+    let late = run(MissPolicy::ServeLate);
+    let drop = run(MissPolicy::Drop);
+
+    // Serve-late: everything served, mostly violated, nothing dropped.
+    assert_eq!(late.served, late.total_arrivals);
+    assert_eq!(late.dropped, 0);
+    assert!(
+        late.violation_rate > 0.5,
+        "late violations {}",
+        late.violation_rate
+    );
+
+    // Drop: a substantial share shed, and the *served* queries miss
+    // their deadlines far less often.
+    assert_eq!(drop.served + drop.dropped, drop.total_arrivals);
+    assert!(drop.dropped > 0, "nothing was shed");
+    assert!(
+        drop.violation_rate < late.violation_rate / 2.0,
+        "drop served-violations {} vs late {}",
+        drop.violation_rate,
+        late.violation_rate
+    );
+    // The combined miss-or-loss rate is still high — shedding cannot
+    // create capacity — but response times of served queries recover.
+    assert!(drop.miss_or_loss_rate() > 0.3);
+    assert!(drop.p99_response_s < late.p99_response_s);
+}
+
+#[test]
+fn drop_guarantees_count_shed_queries_as_violations() {
+    let policy = generate_policy(
+        profile(),
+        &PoissonArrivals::per_second(5_000.0),
+        &config(1, MissPolicy::Drop),
+    )
+    .unwrap();
+    // Hopeless overload: the expected violation (miss-or-shed) rate is
+    // near one even though the policy sheds.
+    assert!(
+        policy.guarantees().expected_violation_rate > 0.5,
+        "got {}",
+        policy.guarantees().expected_violation_rate
+    );
+}

@@ -1,0 +1,154 @@
+//! End-to-end integration: offline policy generation → online simulation
+//! → guarantee validation, spanning every crate in the workspace.
+
+use ramsis::baselines::JellyfishPlus;
+use ramsis::prelude::*;
+use ramsis::sim::RamsisScheme;
+use ramsis::workload::OracleMonitor;
+
+fn profile() -> &'static WorkerProfile {
+    use std::sync::OnceLock;
+    static P: OnceLock<WorkerProfile> = OnceLock::new();
+    P.get_or_init(|| {
+        WorkerProfile::build(
+            &ModelCatalog::torchvision_image(),
+            Duration::from_millis(150),
+            ProfilerConfig::default(),
+        )
+    })
+}
+
+fn quick_config(workers: usize) -> PolicyConfig {
+    PolicyConfig::builder(Duration::from_millis(150))
+        .workers(workers)
+        .discretization(Discretization::fixed_length(25))
+        .build()
+}
+
+#[test]
+fn guarantees_bracket_simulation_across_loads() {
+    // §5.1/§7.3.1: for every satisfiable load, expected accuracy is a
+    // lower bound and expected violation rate an upper bound on the
+    // deterministic simulation.
+    let workers = 8;
+    for load in [100.0, 250.0, 400.0] {
+        let set = PolicySet::generate_poisson(profile(), &[load], &quick_config(workers)).unwrap();
+        let g = *set.policies()[0].guarantees();
+        let trace = Trace::constant(load, 20.0);
+        let sim = Simulation::new(profile(), SimulationConfig::new(workers, 0.15).seeded(99));
+        let mut scheme = RamsisScheme::new(set);
+        let mut monitor = OracleMonitor::new(trace.clone());
+        let report = sim.run(&trace, &mut scheme, &mut monitor);
+        assert!(
+            report.accuracy_per_satisfied_query >= g.expected_accuracy - 1.0,
+            "load {load}: observed {} < expected {}",
+            report.accuracy_per_satisfied_query,
+            g.expected_accuracy
+        );
+        assert!(
+            report.violation_rate <= g.expected_violation_rate + 0.02,
+            "load {load}: observed {} > expected {}",
+            report.violation_rate,
+            g.expected_violation_rate
+        );
+    }
+}
+
+#[test]
+fn ramsis_beats_load_granular_baseline() {
+    // The headline claim (§7.2): equal or higher accuracy than a
+    // load-granular baseline at every satisfiable constant load.
+    let workers = 8;
+    let loads = [100.0, 250.0, 400.0];
+    let set = PolicySet::generate_poisson(profile(), &loads, &quick_config(workers)).unwrap();
+    for load in loads {
+        let trace = Trace::constant(load, 20.0);
+        let sim = Simulation::new(profile(), SimulationConfig::new(workers, 0.15).seeded(7));
+        let mut ramsis = RamsisScheme::new(set.clone());
+        let mut m1 = OracleMonitor::new(trace.clone());
+        let r = sim.run(&trace, &mut ramsis, &mut m1);
+        let mut jellyfish = JellyfishPlus::new(profile(), workers);
+        let mut m2 = OracleMonitor::new(trace.clone());
+        let j = sim.run(&trace, &mut jellyfish, &mut m2);
+        // At very light loads maximal batching can cost RAMSIS a
+        // fraction of a percent against the baselines' batch-1 pulls
+        // (the paper also reports parity, not wins, at the load range's
+        // extremes); everywhere else RAMSIS must win outright.
+        let slack = if load <= 150.0 { 0.6 } else { -0.5 };
+        assert!(
+            r.accuracy_per_satisfied_query >= j.accuracy_per_satisfied_query - slack,
+            "load {load}: RAMSIS {} vs Jellyfish+ {}",
+            r.accuracy_per_satisfied_query,
+            j.accuracy_per_satisfied_query
+        );
+        assert!(r.violation_rate < 0.05, "load {load}: {}", r.violation_rate);
+    }
+}
+
+#[test]
+fn online_policy_switching_follows_load() {
+    // A rising load trace: the moving-average monitor should switch to
+    // higher-load (faster-model) policies without violating.
+    let workers = 8;
+    let set =
+        PolicySet::generate_poisson(profile(), &[150.0, 300.0, 450.0], &quick_config(workers))
+            .unwrap();
+    let trace = ramsis::workload::Trace::from_interval_qps(
+        &[120.0, 280.0, 430.0],
+        10.0,
+        ramsis::workload::TraceKind::Custom,
+    );
+    let sim = Simulation::new(profile(), SimulationConfig::new(workers, 0.15).seeded(3));
+    let mut scheme = RamsisScheme::new(set);
+    let mut monitor = LoadMonitor::new();
+    let report = sim.run(&trace, &mut scheme, &mut monitor);
+    assert_eq!(report.served, report.total_arrivals);
+    assert!(
+        report.violation_rate < 0.05,
+        "violations {}",
+        report.violation_rate
+    );
+    // Multiple models must have been exercised across the load regimes.
+    assert!(
+        report.per_model.len() >= 2,
+        "models: {:?}",
+        report.per_model
+    );
+}
+
+#[test]
+fn overload_degrades_gracefully_for_every_scheme() {
+    // Far beyond capacity nothing is dropped, everything is served
+    // (late), and violation rates approach 1 without panics.
+    let workers = 2;
+    let load = 500.0;
+    let trace = Trace::constant(load, 5.0);
+    let sim = Simulation::new(profile(), SimulationConfig::new(workers, 0.15).seeded(5));
+
+    let set = PolicySet::generate_poisson(profile(), &[load], &quick_config(workers)).unwrap();
+    let mut ramsis = RamsisScheme::new(set);
+    let mut m1 = OracleMonitor::new(trace.clone());
+    let r = sim.run(&trace, &mut ramsis, &mut m1);
+    assert_eq!(r.served, r.total_arrivals);
+    assert!(r.violation_rate > 0.5);
+
+    let mut jf = JellyfishPlus::new(profile(), workers);
+    let mut m2 = OracleMonitor::new(trace.clone());
+    let j = sim.run(&trace, &mut jf, &mut m2);
+    assert_eq!(j.served, j.total_arrivals);
+    assert!(j.violation_rate > 0.5);
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let workers = 4;
+    let set = PolicySet::generate_poisson(profile(), &[200.0], &quick_config(workers)).unwrap();
+    let trace = Trace::constant(200.0, 5.0);
+    let sim = Simulation::new(profile(), SimulationConfig::new(workers, 0.15).seeded(11));
+    let run = |set: PolicySet| {
+        let mut scheme = RamsisScheme::new(set);
+        let mut monitor = OracleMonitor::new(trace.clone());
+        sim.run(&trace, &mut scheme, &mut monitor)
+    };
+    assert_eq!(run(set.clone()), run(set));
+}

@@ -1,0 +1,115 @@
+//! Serialization round trips: policies, policy sets, traces, and
+//! simulation reports survive the JSON formats the artifact uses.
+
+use ramsis::core::{generate_policy, Discretization, PoissonArrivals, PolicyConfig, PolicySet};
+use ramsis::prelude::*;
+use ramsis::sim::RamsisScheme;
+use ramsis::workload::OracleMonitor;
+
+fn profile() -> WorkerProfile {
+    WorkerProfile::build(
+        &ModelCatalog::torchvision_image(),
+        Duration::from_millis(150),
+        ProfilerConfig::default(),
+    )
+}
+
+fn quick_policy(profile: &WorkerProfile) -> ramsis::core::WorkerPolicy {
+    let config = PolicyConfig::builder(Duration::from_millis(150))
+        .workers(4)
+        .discretization(Discretization::fixed_length(10))
+        .build();
+    generate_policy(profile, &PoissonArrivals::per_second(150.0), &config).unwrap()
+}
+
+#[test]
+fn policy_round_trips_through_file() {
+    let profile = profile();
+    let policy = quick_policy(&profile);
+    let dir = std::env::temp_dir().join("ramsis_policy_roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("policy.json");
+    std::fs::write(&path, policy.to_json()).unwrap();
+    let loaded =
+        ramsis::core::WorkerPolicy::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(policy, loaded);
+    // The reloaded policy decides identically at every queue state.
+    for n in 1..=10usize {
+        for slack_ms in [0.0, 40.0, 90.0, 150.0] {
+            assert_eq!(
+                policy.decide(n, slack_ms / 1e3),
+                loaded.decide(n, slack_ms / 1e3),
+                "n={n} slack={slack_ms}"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn reloaded_policy_simulates_identically() {
+    let profile = profile();
+    let policy = quick_policy(&profile);
+    let reloaded = ramsis::core::WorkerPolicy::from_json(&policy.to_json()).unwrap();
+    let trace = Trace::constant(150.0, 5.0);
+    let sim = Simulation::new(&profile, SimulationConfig::new(4, 0.15).seeded(13));
+    let run = |p: ramsis::core::WorkerPolicy| {
+        let mut scheme = RamsisScheme::new(PolicySet::from_policies(vec![p]).unwrap());
+        let mut monitor = OracleMonitor::new(trace.clone());
+        sim.run(&trace, &mut scheme, &mut monitor)
+    };
+    assert_eq!(run(policy), run(reloaded));
+}
+
+#[test]
+fn artifact_map_covers_state_space() {
+    let profile = profile();
+    let policy = quick_policy(&profile);
+    let map = policy.artifact_map(&profile);
+    assert_eq!(map.len(), policy.space().len());
+    // Every entry decodes to a known model or the wait action.
+    for action in map.values() {
+        assert!(
+            action == "wait" || profile.models.iter().any(|m| action.contains(&m.name)),
+            "unknown action {action}"
+        );
+    }
+}
+
+#[test]
+fn trace_artifact_format_round_trip() {
+    let trace = Trace::twitter_like(9);
+    let text = trace.to_artifact_text();
+    let parsed = Trace::parse_artifact_text(&text).unwrap();
+    assert_eq!(trace.segments(), parsed.segments());
+    // The text is one QPS value per line, as the artifact describes.
+    assert_eq!(text.lines().count(), trace.segments().len());
+}
+
+#[test]
+fn report_round_trips() {
+    let profile = profile();
+    let policy = quick_policy(&profile);
+    let trace = Trace::constant(100.0, 3.0);
+    let sim = Simulation::new(&profile, SimulationConfig::new(4, 0.15));
+    let mut scheme = RamsisScheme::new(PolicySet::from_policies(vec![policy]).unwrap());
+    let mut monitor = OracleMonitor::new(trace.clone());
+    let report = sim.run(&trace, &mut scheme, &mut monitor);
+    let json = serde_json::to_string(&report).unwrap();
+    let back: ramsis::sim::SimulationReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(report, back);
+}
+
+#[test]
+fn policy_set_round_trips() {
+    let profile = profile();
+    let config = PolicyConfig::builder(Duration::from_millis(150))
+        .workers(4)
+        .discretization(Discretization::fixed_length(8))
+        .build();
+    let set = PolicySet::generate_poisson(&profile, &[100.0, 300.0], &config).unwrap();
+    let json = serde_json::to_string(&set).unwrap();
+    let back: PolicySet = serde_json::from_str(&json).unwrap();
+    assert_eq!(set, back);
+    assert_eq!(back.select(200.0).design_load_qps, 300.0);
+}
