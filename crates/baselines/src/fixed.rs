@@ -89,6 +89,7 @@ mod tests {
             queued: 500,
             earliest_slack_s: 0.1,
             worker: 0,
+            live_workers: 4,
         };
         let Selection::Serve { model, batch } = s.select(&ctx) else {
             panic!("must serve");

@@ -119,6 +119,7 @@ mod tests {
             queued: 2,
             earliest_slack_s: 0.12,
             worker: 0,
+            live_workers: 4,
         };
         let overloaded = SelectionContext {
             load_qps: 100_000.0,

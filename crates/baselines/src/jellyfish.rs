@@ -115,6 +115,7 @@ mod tests {
             queued: 1,
             earliest_slack_s: 0.3,
             worker: 0,
+            live_workers: 4,
         };
         let Selection::Serve { model: m1, .. } = jf.select(&base) else {
             panic!("must serve");
@@ -159,6 +160,7 @@ mod tests {
             queued: 10_000,
             earliest_slack_s: 0.3,
             worker: 0,
+            live_workers: 4,
         };
         let Selection::Serve { model, batch } = jf.select(&ctx) else {
             panic!("must serve");

@@ -84,7 +84,8 @@ pub fn profile_response_latency(
                 profile,
                 SimulationConfig::new(workers, profile.slo())
                     .seeded(seed ^ ((li as u64) << 32) ^ mi as u64),
-            );
+            )
+            .expect("valid simulation config");
             let mut scheme = FixedModel::new(profile, m);
             let mut monitor = LoadMonitor::new();
             let report = sim.run(&trace, &mut scheme, &mut monitor);

@@ -112,7 +112,8 @@ fn bench_simulator(c: &mut Criterion) {
         }
     }
     let trace = Trace::constant(2_000.0, 5.0);
-    let sim = Simulation::new(&profile, SimulationConfig::new(60, 0.15));
+    let sim = Simulation::new(&profile, SimulationConfig::new(60, 0.15))
+        .expect("valid simulation config");
     c.bench_function("simulate_10k_queries", |b| {
         b.iter_batched(
             || (Fastest(profile.fastest_model()), LoadMonitor::new()),

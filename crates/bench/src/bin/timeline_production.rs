@@ -47,7 +47,8 @@ fn main() {
             SimulationConfig::new(workers, slo_s)
                 .seeded(0x71E)
                 .with_timeline(window_s),
-        );
+        )
+        .expect("valid simulation config");
         let mut estimator: Box<dyn LoadEstimator> = match monitor {
             MonitorKind::MovingAverage => Box::new(LoadMonitor::new()),
             MonitorKind::Oracle => Box::new(OracleMonitor::new(trace.clone())),

@@ -182,7 +182,7 @@ pub fn run_scheme(
 ) -> SimulationReport {
     let mut config = SimulationConfig::new(workers, profile.slo()).seeded(seed);
     config.latency = latency;
-    let sim = Simulation::new(profile, config);
+    let sim = Simulation::new(profile, config).expect("valid simulation config");
     let mut estimator: Box<dyn LoadEstimator> = match monitor {
         MonitorKind::MovingAverage => Box::new(LoadMonitor::new()),
         MonitorKind::Oracle => Box::new(OracleMonitor::new(trace.clone())),

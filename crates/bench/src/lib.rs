@@ -18,6 +18,7 @@
 //! | `fig12_fewer_models` | Fig. 12 (§E) — 3-model ablation |
 //! | `appendix_h_infaas` | §H — INFaaS-style comparison |
 //! | `appendix_i_sqf` | §I — shortest-queue-first balancing |
+//! | `robustness_faults` | fault injection + graceful degradation (EXPERIMENTS.md) |
 //!
 //! Binaries default to *quick* parameter grids sized for a small
 //! machine; pass `--full` for the paper's grids. All output lands under
@@ -28,9 +29,11 @@ pub mod args;
 pub mod harness;
 pub mod output;
 pub mod report;
+pub mod robustness;
 
 pub use args::ExperimentArgs;
 pub use harness::{
     build_profile, ms_scheme, ramsis_policy_set, run_scheme, MonitorKind, RunOutcome,
 };
 pub use output::{ascii_plot, render_table, write_csv, write_json};
+pub use robustness::{run_robustness, RobustnessConfig, RobustnessOutcome};

@@ -5,6 +5,7 @@ pub mod inspect;
 pub mod ms_gen;
 pub mod plot;
 pub mod profiles;
+pub mod robustness;
 pub mod sim;
 pub mod trace;
 

@@ -1,0 +1,72 @@
+//! `ramsis-cli robustness` — fault injection + graceful degradation.
+//!
+//! Runs the canonical fault schedule (worker 0 down over [10 s, 40 s),
+//! worker 1 at 2× latency over [15 s, 35 s), a 3× arrival surge over
+//! [20 s, 30 s)) against the degradation-aware RAMSIS, stale-policy
+//! RAMSIS, and the fault-oblivious baselines, writing the outcome table
+//! to `results/TASK_robustness_SLO_WORKERS.json`. See EXPERIMENTS.md
+//! "robustness_faults" for the full experiment.
+
+use ramsis_bench::robustness::{run_robustness, RobustnessConfig};
+use ramsis_sim::CrashPolicy;
+
+use crate::cli_args::CommonArgs;
+use crate::commands::{build_profile, write_json_file};
+
+pub fn run(args: &[String]) -> Result<(), String> {
+    // This experiment defaults to the bench harness's coarser D = 10
+    // grid (not the CLI-wide 25): degradation margins are reported with
+    // the same discretization the robustness_faults binary uses.
+    let d_overridden = args.iter().any(|a| a == "--d");
+    let args = CommonArgs::parse(args, &["--seed", "--duration", "--crash-policy"])?;
+    if args.workers < 2 {
+        return Err("the canonical fault schedule needs at least 2 workers".into());
+    }
+    let crash_policy = match args.extra("--crash-policy").unwrap_or("requeue") {
+        "requeue" => CrashPolicy::RequeueToSurvivors,
+        "drop" => CrashPolicy::Drop,
+        other => return Err(format!("bad --crash-policy {other:?} (requeue|drop)")),
+    };
+    let cfg = RobustnessConfig {
+        slo_s: args.slo_s(),
+        workers: args.workers,
+        min_workers: (args.workers / 2).max(1),
+        load_qps: args.load.unwrap_or(100.0),
+        duration_s: args
+            .extra("--duration")
+            .unwrap_or("60")
+            .parse()
+            .map_err(|e| format!("bad --duration: {e}"))?,
+        d: if d_overridden { args.d } else { 10 },
+        seed: args
+            .extra("--seed")
+            .unwrap_or("64023")
+            .parse()
+            .map_err(|e| format!("bad --seed: {e}"))?,
+        crash_policy,
+    };
+
+    let profile = build_profile(&args);
+    let outcomes = run_robustness(&profile, &cfg);
+    for o in &outcomes {
+        println!(
+            "{:>18}: miss-or-loss {:>8.4}%, violations in/out of fault windows \
+             {:>8.4}% / {:>8.4}%, accuracy {:.2}%",
+            o.method,
+            o.miss_or_loss_rate * 100.0,
+            o.violation_rate_in_fault * 100.0,
+            o.violation_rate_outside_fault * 100.0,
+            o.report.accuracy_per_satisfied_query,
+        );
+    }
+
+    let path = args.out.join("results").join(format!(
+        "{}_robustness_{}_{}.json",
+        args.task.name(),
+        args.slo_ms,
+        args.workers
+    ));
+    write_json_file(&path, &outcomes)?;
+    println!("script complete!");
+    Ok(())
+}

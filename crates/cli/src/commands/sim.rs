@@ -104,7 +104,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     {
         config.latency = LatencyMode::Stochastic;
     }
-    let sim = Simulation::new(&profile, config);
+    let sim = Simulation::new(&profile, config).expect("valid simulation config");
     let report = sim.run(&trace, scheme.as_mut(), estimator.as_mut());
 
     println!(

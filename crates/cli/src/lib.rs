@@ -33,6 +33,7 @@ pub fn run(args: &[String]) -> i32 {
         "trace" => commands::trace::run(rest),
         "inspect" => commands::inspect::run(rest),
         "profiles" => commands::profiles::run(rest),
+        "robustness" => commands::robustness::run(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return 0;
@@ -60,6 +61,8 @@ commands:
   trace    generate or inspect a query-load trace file
   inspect  pretty-print a generated policy
   profiles export/import raw latency profiles (artifact layout, §A.2.4)
+  robustness run the canonical fault schedule (crash/slowdown/surge)
+           against degrading RAMSIS, stale RAMSIS, and the baselines
 
 common flags (artifact §A.5):
   --task image|text     inference task              [default: image]

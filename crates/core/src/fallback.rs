@@ -1,0 +1,104 @@
+//! Last-resort serving when no generated policy applies.
+//!
+//! Graceful degradation (DESIGN.md "Fault model & graceful degradation"):
+//! when crashes shrink the cluster below every pre-solved worker count,
+//! or the anticipated load exceeds the highest design load, RAMSIS must
+//! still answer every decision request. The [`FallbackPolicy`] is the
+//! simplest sound answer: serve the Pareto-minimum-latency model at the
+//! largest batch that still fits the SLO, shedding accuracy (never
+//! availability) under stress. It needs no MDP solve, so it is always
+//! constructible — even for a single surviving worker.
+
+use serde::{Deserialize, Serialize};
+
+use ramsis_profiles::WorkerProfile;
+
+use crate::error::CoreError;
+
+/// A degenerate "policy": always the fastest Pareto model, batched as
+/// large as the SLO allows.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FallbackPolicy {
+    model: usize,
+    max_batch: u32,
+}
+
+impl FallbackPolicy {
+    /// Builds the fallback from a profile: the Pareto-minimum-latency
+    /// model, with the largest profiled batch whose p95 latency fits
+    /// inside the SLO (at least 1 — if even batch 1 blows the SLO the
+    /// fallback still serves, it just cannot save those queries).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for a profile with no
+    /// models.
+    pub fn fastest(profile: &WorkerProfile) -> Result<Self, CoreError> {
+        if profile.n_models() == 0 {
+            return Err(CoreError::InvalidConfig(
+                "fallback needs a profile with at least one model".into(),
+            ));
+        }
+        let model = profile.fastest_model();
+        let max_batch = profile
+            .max_batch_within(model, profile.slo())
+            .unwrap_or(1)
+            .max(1);
+        Ok(Self { model, max_batch })
+    }
+
+    /// The model the fallback always serves.
+    pub fn model(&self) -> usize {
+        self.model
+    }
+
+    /// The largest batch the fallback will form.
+    pub fn max_batch(&self) -> u32 {
+        self.max_batch
+    }
+
+    /// The decision for a queue of `queued` queries: `(model, batch)`
+    /// with `batch = min(queued, max_batch)`.
+    pub fn decide(&self, queued: usize) -> (usize, u32) {
+        (self.model, (queued as u32).min(self.max_batch).max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ramsis_profiles::{ModelCatalog, ProfilerConfig};
+    use std::time::Duration;
+
+    #[test]
+    fn fallback_serves_fastest_within_slo() {
+        let profile = WorkerProfile::build(
+            &ModelCatalog::torchvision_image(),
+            Duration::from_millis(150),
+            ProfilerConfig::default(),
+        );
+        let fb = FallbackPolicy::fastest(&profile).unwrap();
+        assert_eq!(fb.model(), profile.fastest_model());
+        assert!(fb.max_batch() >= 1);
+        // The chosen batch fits the SLO.
+        let lat = profile.latency(fb.model(), fb.max_batch()).unwrap();
+        assert!(lat <= profile.slo() + 1e-9, "latency {lat}");
+        // Decisions clamp to the queue and to max_batch.
+        assert_eq!(fb.decide(1), (fb.model(), 1));
+        let (_, b) = fb.decide(10_000);
+        assert_eq!(b, fb.max_batch());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let profile = WorkerProfile::build(
+            &ModelCatalog::torchvision_image(),
+            Duration::from_millis(150),
+            ProfilerConfig::default(),
+        );
+        let fb = FallbackPolicy::fastest(&profile).unwrap();
+        let json = serde_json::to_string(&fb).unwrap();
+        let back: FallbackPolicy = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, fb);
+    }
+}

@@ -28,6 +28,7 @@ pub mod action;
 pub mod config;
 pub mod discretize;
 pub mod error;
+pub mod fallback;
 pub mod generator;
 pub mod guarantees;
 pub mod policy;
@@ -42,10 +43,11 @@ pub use config::{
 };
 pub use discretize::{Discretization, TimeGrid};
 pub use error::CoreError;
+pub use fallback::FallbackPolicy;
 pub use generator::{assemble_mdp as assemble_mdp_for_bench, generate_policy, mdp_dimensions};
 pub use guarantees::{AccuracyDistribution, Guarantees};
 pub use policy::{Decision, WorkerPolicy};
-pub use policy_set::PolicySet;
+pub use policy_set::{DegradablePolicySet, PolicySet};
 pub use state::{State, StateSpace};
 
 /// The Poisson arrival process (re-exported for API convenience; the

@@ -198,6 +198,78 @@ impl PolicySet {
     }
 }
 
+/// Policy sets pre-solved for a range of live-worker counts, for
+/// graceful degradation under worker crashes.
+///
+/// The MDP transitions (§4.4) depend on the worker count `K` behind the
+/// round-robin balancer: with `K` workers each one sees every `K`-th
+/// arrival. When a worker crashes, a policy solved for `K` workers
+/// underestimates each survivor's share of the load, so its batching is
+/// too optimistic. The degradable set pre-solves the *same* load grid
+/// once per worker count in `[min_workers, workers]`; online, the
+/// scheme switches to the set matching the current live count the
+/// moment membership changes, with no solver in the critical path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradablePolicySet {
+    /// `(worker count, set)`, ascending by worker count.
+    sets: Vec<(usize, PolicySet)>,
+}
+
+impl DegradablePolicySet {
+    /// Generates one [`PolicySet`] per worker count from
+    /// `config.workers` down to `min_workers` (inclusive), all over the
+    /// same `loads_qps` grid. `config.workers` is the nominal cluster
+    /// size; each solve clones the config with its own count.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `min_workers == 0` or `min_workers > config.workers`, and
+    /// propagates the first generation failure.
+    pub fn generate_poisson(
+        profile: &WorkerProfile,
+        loads_qps: &[f64],
+        config: &PolicyConfig,
+        min_workers: usize,
+    ) -> Result<Self, CoreError> {
+        if min_workers == 0 || min_workers > config.workers {
+            return Err(CoreError::InvalidConfig(format!(
+                "need 1 <= min_workers <= workers, got {min_workers} of {}",
+                config.workers
+            )));
+        }
+        let mut sets = Vec::with_capacity(config.workers - min_workers + 1);
+        for k in min_workers..=config.workers {
+            let mut cfg = config.clone();
+            cfg.workers = k;
+            sets.push((k, PolicySet::generate_poisson(profile, loads_qps, &cfg)?));
+        }
+        Ok(Self { sets })
+    }
+
+    /// The worker counts with a pre-solved set, ascending.
+    pub fn worker_counts(&self) -> Vec<usize> {
+        self.sets.iter().map(|&(k, _)| k).collect()
+    }
+
+    /// The set solved for the nominal (largest) cluster size.
+    pub fn full(&self) -> &PolicySet {
+        &self.sets.last().expect("never constructed empty").1
+    }
+
+    /// The set for `live` workers: the one solved for the largest
+    /// worker count `<= live` (a set solved for fewer workers than are
+    /// live is conservative — each worker assumes a larger share of the
+    /// load than it gets). `None` when `live` is below the smallest
+    /// pre-solved count — callers degrade to a fallback policy.
+    pub fn for_workers(&self, live: usize) -> Option<&PolicySet> {
+        self.sets
+            .iter()
+            .rev()
+            .find(|&&(k, _)| k <= live)
+            .map(|(_, set)| set)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -293,6 +365,33 @@ mod tests {
         set.extend_poisson(profile(), 400.0, &quick_config())
             .unwrap();
         assert_eq!(set.loads(), vec![100.0, 400.0, 800.0]);
+    }
+
+    #[test]
+    fn degradable_set_switches_on_membership() {
+        let set = DegradablePolicySet::generate_poisson(
+            profile(),
+            &[100.0, 240.0],
+            &quick_config(), // 4 workers
+            2,
+        )
+        .unwrap();
+        assert_eq!(set.worker_counts(), vec![2, 3, 4]);
+        assert_eq!(set.full().len(), 2);
+        // Exact and in-between live counts resolve to the largest
+        // pre-solved count at or below them.
+        assert!(set.for_workers(4).is_some());
+        assert!(set.for_workers(3).is_some());
+        assert!(set.for_workers(2).is_some());
+        assert!(set.for_workers(9).is_some()); // more live than nominal: full set
+        assert!(set.for_workers(1).is_none()); // below min: caller falls back
+    }
+
+    #[test]
+    fn degradable_set_rejects_bad_ranges() {
+        let cfg = quick_config();
+        assert!(DegradablePolicySet::generate_poisson(profile(), &[100.0], &cfg, 0).is_err());
+        assert!(DegradablePolicySet::generate_poisson(profile(), &[100.0], &cfg, 5).is_err());
     }
 
     #[test]

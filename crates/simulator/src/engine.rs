@@ -1,10 +1,12 @@
 //! The discrete-event simulation engine.
 //!
 //! Events are processed in `(time, sequence)` order from a binary heap,
-//! so runs are exactly reproducible. Two event kinds exist: a query
-//! arrival at the central queue, and a worker completing a batch.
+//! so runs are exactly reproducible. Three event kinds exist: a query
+//! arrival at the central queue, a worker completing a batch, and an
+//! injected fault from a [`FaultPlan`] (crash, recovery, slowdown).
 //! Workers never idle while their visible queue is non-empty (unless
-//! the scheme explicitly declines to serve).
+//! the scheme explicitly declines to serve), and routing skips dead
+//! workers.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -15,10 +17,12 @@ use ramsis_workload::{sample_poisson_arrivals, LoadEstimator, Trace};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+use crate::faults::{CrashPolicy, FaultEvent, FaultPlan};
 use crate::latency::{LatencyMode, LatencySampler};
 use crate::metrics::{MetricsCollector, SimulationReport};
 use crate::query::{nanos_from_secs, secs_from_nanos, Nanos, Query};
 use crate::scheme::{Routing, Selection, SelectionContext, ServingScheme};
+use crate::SimError;
 
 /// Simulation parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -70,14 +74,118 @@ impl SimulationConfig {
         self.latency_seed = seed ^ 0x9E37_79B9_7F4A_7C15;
         self
     }
+
+    /// Checks the config is runnable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when there are no workers,
+    /// the SLO is not strictly positive and finite, or the timeline
+    /// window is degenerate.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.workers == 0 {
+            return Err(SimError::InvalidConfig(
+                "need at least one worker".to_string(),
+            ));
+        }
+        if !self.slo_s.is_finite() || self.slo_s <= 0.0 {
+            return Err(SimError::InvalidConfig(format!(
+                "SLO must be positive, got {}",
+                self.slo_s
+            )));
+        }
+        if let Some(w) = self.timeline_window_s {
+            if !w.is_finite() || w <= 0.0 {
+                return Err(SimError::InvalidConfig(format!(
+                    "timeline window must be positive, got {w}"
+                )));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum EventKind {
     /// Index into the pre-sampled arrival array.
     Arrival(u64),
-    /// Worker finished its in-flight batch.
-    WorkerDone(usize),
+    /// Worker finished its in-flight batch; the epoch invalidates
+    /// completions of batches displaced by a crash.
+    WorkerDone(usize, u64),
+    /// Index into the expanded fault-action array.
+    Fault(u32),
+}
+
+/// A timed, engine-level fault action expanded from a [`FaultPlan`]
+/// (slowdowns split into start/end edges; surges are applied to the
+/// trace before sampling, not here).
+#[derive(Debug, Clone, Copy)]
+enum FaultAction {
+    Crash(usize),
+    Recover(usize),
+    SlowStart(usize, f64),
+    SlowEnd(usize),
+}
+
+fn expand_fault_actions(plan: &FaultPlan) -> Vec<(Nanos, FaultAction)> {
+    let mut actions: Vec<(Nanos, FaultAction)> = Vec::new();
+    for event in &plan.events {
+        match *event {
+            FaultEvent::WorkerCrash { worker, at_s } => {
+                actions.push((nanos_from_secs(at_s), FaultAction::Crash(worker)));
+            }
+            FaultEvent::WorkerRecover { worker, at_s } => {
+                actions.push((nanos_from_secs(at_s), FaultAction::Recover(worker)));
+            }
+            FaultEvent::WorkerSlowdown {
+                worker,
+                from_s,
+                to_s,
+                factor,
+            } => {
+                actions.push((
+                    nanos_from_secs(from_s),
+                    FaultAction::SlowStart(worker, factor),
+                ));
+                actions.push((nanos_from_secs(to_s), FaultAction::SlowEnd(worker)));
+            }
+            FaultEvent::ArrivalSurge { .. } => {}
+        }
+    }
+    // Stable sort: same-time actions keep their plan order, so runs are
+    // deterministic for any plan.
+    actions.sort_by_key(|&(t, _)| t);
+    actions
+}
+
+/// Per-worker runtime state shared by the event handlers.
+struct Cluster {
+    busy: Vec<bool>,
+    alive: Vec<bool>,
+    /// Service-time multiplier applied at dispatch (1.0 = nominal).
+    slow: Vec<f64>,
+    /// Bumped on crash; stale `WorkerDone` events are discarded.
+    epochs: Vec<u64>,
+    /// In-flight batch per worker: (model, queries, started).
+    in_flight: Vec<Option<(usize, Vec<Query>, Nanos)>>,
+    /// Crash time of each currently-dead worker.
+    down_since: Vec<Option<Nanos>>,
+    /// Live worker count (invariant: `alive.iter().filter(|a| **a).count()`).
+    live: usize,
+}
+
+impl Cluster {
+    fn new(workers: usize) -> Self {
+        Self {
+            busy: vec![false; workers],
+            alive: vec![true; workers],
+            slow: vec![1.0; workers],
+            epochs: vec![0; workers],
+            in_flight: vec![None; workers],
+            down_since: vec![None; workers],
+            live: workers,
+        }
+    }
 }
 
 /// A simulation run binding worker profiles, a trace, and a scheme.
@@ -91,16 +199,16 @@ impl<'a> Simulation<'a> {
     /// Creates a run harness over a homogeneous cluster (every worker
     /// runs `profile`'s hardware and models).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the config has no workers or a non-positive SLO.
-    pub fn new(profile: &'a WorkerProfile, config: SimulationConfig) -> Self {
-        assert!(config.workers > 0, "need at least one worker");
-        assert!(config.slo_s > 0.0, "SLO must be positive");
-        Self {
+    /// Returns [`SimError::InvalidConfig`] if the config fails
+    /// [`SimulationConfig::validate`].
+    pub fn new(profile: &'a WorkerProfile, config: SimulationConfig) -> Result<Self, SimError> {
+        config.validate()?;
+        Ok(Self {
             profiles: vec![profile],
             config,
-        }
+        })
     }
 
     /// Creates a run harness over a *heterogeneous* cluster: one profile
@@ -108,29 +216,33 @@ impl<'a> Simulation<'a> {
     /// requirement for RAMSIS since policies are generated per worker").
     /// All profiles must share the SLO class of the config.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `profiles.len() != config.workers`, the config is
-    /// degenerate, or a profile's SLO disagrees with the config's.
-    pub fn heterogeneous(profiles: Vec<&'a WorkerProfile>, config: SimulationConfig) -> Self {
-        assert!(config.workers > 0, "need at least one worker");
-        assert!(config.slo_s > 0.0, "SLO must be positive");
-        assert_eq!(
-            profiles.len(),
-            config.workers,
-            "one profile per worker ({} vs {})",
-            profiles.len(),
-            config.workers
-        );
-        for (w, p) in profiles.iter().enumerate() {
-            assert!(
-                (p.slo() - config.slo_s).abs() < 1e-9,
-                "worker {w}'s profile was built for SLO {}s, config says {}s",
-                p.slo(),
-                config.slo_s
-            );
+    /// Returns [`SimError::InvalidConfig`] if the config is degenerate,
+    /// `profiles.len() != config.workers`, or a profile's SLO disagrees
+    /// with the config's.
+    pub fn heterogeneous(
+        profiles: Vec<&'a WorkerProfile>,
+        config: SimulationConfig,
+    ) -> Result<Self, SimError> {
+        config.validate()?;
+        if profiles.len() != config.workers {
+            return Err(SimError::InvalidConfig(format!(
+                "one profile per worker ({} vs {})",
+                profiles.len(),
+                config.workers
+            )));
         }
-        Self { profiles, config }
+        for (w, p) in profiles.iter().enumerate() {
+            if (p.slo() - config.slo_s).abs() >= 1e-9 {
+                return Err(SimError::InvalidConfig(format!(
+                    "worker {w}'s profile was built for SLO {}s, config says {}s",
+                    p.slo(),
+                    config.slo_s
+                )));
+            }
+        }
+        Ok(Self { profiles, config })
     }
 
     /// The profile worker `w` runs.
@@ -151,9 +263,34 @@ impl<'a> Simulation<'a> {
         scheme: &mut dyn ServingScheme,
         estimator: &mut dyn LoadEstimator,
     ) -> SimulationReport {
+        self.run_faulted(trace, &FaultPlan::none(), scheme, estimator)
+            .expect("empty fault plan always validates")
+    }
+
+    /// Runs `scheme` over Poisson arrivals sampled from `trace` with
+    /// `plan`'s faults injected. Arrival surges scale the trace before
+    /// sampling; crashes, recoveries, and slowdowns play back through
+    /// the event heap. Same seeds + same plan give identical reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the plan fails
+    /// [`FaultPlan::validate`] for this cluster size.
+    pub fn run_faulted(
+        &self,
+        trace: &Trace,
+        plan: &FaultPlan,
+        scheme: &mut dyn ServingScheme,
+        estimator: &mut dyn LoadEstimator,
+    ) -> Result<SimulationReport, SimError> {
+        plan.validate(self.config.workers)?;
+        let mut surged = trace.clone();
+        for (from_s, to_s, factor) in plan.surges() {
+            surged = surged.scaled_between(from_s, to_s, factor);
+        }
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.arrival_seed);
-        let arrivals = sample_poisson_arrivals(trace, &mut rng);
-        self.run_arrivals(&arrivals, scheme, estimator)
+        let arrivals = sample_poisson_arrivals(&surged, &mut rng);
+        self.run_arrivals_faulted(&arrivals, plan, scheme, estimator)
     }
 
     /// Runs `scheme` over explicit arrival times (seconds, sorted).
@@ -163,6 +300,27 @@ impl<'a> Simulation<'a> {
         scheme: &mut dyn ServingScheme,
         estimator: &mut dyn LoadEstimator,
     ) -> SimulationReport {
+        self.run_arrivals_faulted(arrivals, &FaultPlan::none(), scheme, estimator)
+            .expect("empty fault plan always validates")
+    }
+
+    /// Runs `scheme` over explicit arrival times with `plan`'s crash /
+    /// recovery / slowdown faults injected. Arrival surges in the plan
+    /// are ignored here: explicit arrivals are replayed exactly as
+    /// given (use [`Self::run_faulted`] for surge scaling).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the plan fails
+    /// [`FaultPlan::validate`] for this cluster size.
+    pub fn run_arrivals_faulted(
+        &self,
+        arrivals: &[f64],
+        plan: &FaultPlan,
+        scheme: &mut dyn ServingScheme,
+        estimator: &mut dyn LoadEstimator,
+    ) -> Result<SimulationReport, SimError> {
+        plan.validate(self.config.workers)?;
         let slo = nanos_from_secs(self.config.slo_s);
         let n_workers = self.config.workers;
         let routing = scheme.routing();
@@ -172,17 +330,27 @@ impl<'a> Simulation<'a> {
             Some(w) => MetricsCollector::new().with_timeline(w),
             None => MetricsCollector::new(),
         };
+        if !plan.is_empty() {
+            metrics = metrics.with_fault_windows(plan.fault_windows());
+        }
 
         // Per-worker queues (per-worker routing) or one central queue.
         let mut worker_queues: Vec<VecDeque<Query>> = vec![VecDeque::new(); n_workers];
         let mut central_queue: VecDeque<Query> = VecDeque::new();
-        let mut busy = vec![false; n_workers];
-        // In-flight batch per worker: (model, queries, started).
-        let mut in_flight: Vec<Option<(usize, Vec<Query>, Nanos)>> = vec![None; n_workers];
+        let mut cluster = Cluster::new(n_workers);
+        // Queries with no live worker to go to (per-worker routing under
+        // a full outage); drained to the first worker that recovers.
+        let mut limbo: VecDeque<Query> = VecDeque::new();
         let mut rr_next = 0usize;
+
+        let actions = expand_fault_actions(plan);
 
         let mut heap: BinaryHeap<Reverse<(Nanos, u64, EventKind)>> = BinaryHeap::new();
         let mut seq = 0u64;
+        for (i, &(t, _)) in actions.iter().enumerate() {
+            heap.push(Reverse((t, seq, EventKind::Fault(i as u32))));
+            seq += 1;
+        }
         if !arrivals.is_empty() {
             heap.push(Reverse((
                 nanos_from_secs(arrivals[0]),
@@ -213,60 +381,68 @@ impl<'a> Simulation<'a> {
                     }
                     match routing {
                         Routing::PerWorkerRoundRobin => {
-                            let w = rr_next;
-                            rr_next = (rr_next + 1) % n_workers;
-                            worker_queues[w].push_back(q);
-                            if !busy[w] {
-                                Self::dispatch(
-                                    w,
-                                    now,
-                                    self.profile_of(w),
-                                    scheme,
-                                    estimator,
-                                    &mut worker_queues[w],
-                                    &mut busy,
-                                    &mut in_flight,
-                                    &mut sampler,
-                                    &mut metrics,
-                                    &mut heap,
-                                    &mut seq,
-                                );
+                            match Self::next_live_rr(&cluster.alive, &mut rr_next) {
+                                Some(w) => {
+                                    worker_queues[w].push_back(q);
+                                    if !cluster.busy[w] {
+                                        self.dispatch(
+                                            w,
+                                            now,
+                                            scheme,
+                                            estimator,
+                                            &mut worker_queues[w],
+                                            &mut cluster,
+                                            &mut sampler,
+                                            &mut metrics,
+                                            &mut heap,
+                                            &mut seq,
+                                        );
+                                    }
+                                }
+                                None => {
+                                    Self::strand(q, plan.crash_policy, &mut limbo, &mut metrics)
+                                }
                             }
                         }
                         Routing::PerWorkerShortestQueue => {
-                            let w = (0..n_workers)
-                                .min_by_key(|&w| (worker_queues[w].len(), w))
-                                .expect("at least one worker");
-                            worker_queues[w].push_back(q);
-                            if !busy[w] {
-                                Self::dispatch(
-                                    w,
-                                    now,
-                                    self.profile_of(w),
-                                    scheme,
-                                    estimator,
-                                    &mut worker_queues[w],
-                                    &mut busy,
-                                    &mut in_flight,
-                                    &mut sampler,
-                                    &mut metrics,
-                                    &mut heap,
-                                    &mut seq,
-                                );
+                            let target = (0..n_workers)
+                                .filter(|&w| cluster.alive[w])
+                                .min_by_key(|&w| (worker_queues[w].len(), w));
+                            match target {
+                                Some(w) => {
+                                    worker_queues[w].push_back(q);
+                                    if !cluster.busy[w] {
+                                        self.dispatch(
+                                            w,
+                                            now,
+                                            scheme,
+                                            estimator,
+                                            &mut worker_queues[w],
+                                            &mut cluster,
+                                            &mut sampler,
+                                            &mut metrics,
+                                            &mut heap,
+                                            &mut seq,
+                                        );
+                                    }
+                                }
+                                None => {
+                                    Self::strand(q, plan.crash_policy, &mut limbo, &mut metrics)
+                                }
                             }
                         }
                         Routing::Central => {
                             central_queue.push_back(q);
-                            if let Some(w) = busy.iter().position(|&b| !b) {
-                                Self::dispatch(
+                            if let Some(w) =
+                                (0..n_workers).find(|&w| cluster.alive[w] && !cluster.busy[w])
+                            {
+                                self.dispatch(
                                     w,
                                     now,
-                                    self.profile_of(w),
                                     scheme,
                                     estimator,
                                     &mut central_queue,
-                                    &mut busy,
-                                    &mut in_flight,
+                                    &mut cluster,
                                     &mut sampler,
                                     &mut metrics,
                                     &mut heap,
@@ -276,40 +452,209 @@ impl<'a> Simulation<'a> {
                         }
                     }
                 }
-                EventKind::WorkerDone(w) => {
-                    let (model, queries, started) = in_flight[w]
+                EventKind::WorkerDone(w, epoch) => {
+                    if epoch != cluster.epochs[w] {
+                        // The batch was displaced by a crash after this
+                        // completion was scheduled; already handled.
+                        continue;
+                    }
+                    let (model, queries, started) = cluster.in_flight[w]
                         .take()
                         .expect("completion implies in-flight work");
                     metrics.record_batch(self.profile_of(w), model, &queries, started, now);
-                    busy[w] = false;
+                    cluster.busy[w] = false;
                     let queue = match routing {
                         Routing::Central => &mut central_queue,
                         _ => &mut worker_queues[w],
                     };
-                    Self::dispatch(
+                    self.dispatch(
                         w,
                         now,
-                        self.profile_of(w),
                         scheme,
                         estimator,
                         queue,
-                        &mut busy,
-                        &mut in_flight,
+                        &mut cluster,
                         &mut sampler,
                         &mut metrics,
                         &mut heap,
                         &mut seq,
                     );
                 }
+                EventKind::Fault(idx) => {
+                    match actions[idx as usize].1 {
+                        FaultAction::Crash(w) => {
+                            if !cluster.alive[w] {
+                                continue; // double crash: no-op
+                            }
+                            cluster.alive[w] = false;
+                            cluster.epochs[w] += 1;
+                            cluster.down_since[w] = Some(now);
+                            cluster.live -= 1;
+                            let mut displaced: Vec<Query> = Vec::new();
+                            if let Some((_, queries, _)) = cluster.in_flight[w].take() {
+                                cluster.busy[w] = false;
+                                displaced.extend(queries);
+                            }
+                            displaced.extend(worker_queues[w].drain(..));
+                            scheme.on_membership_change(cluster.live);
+                            match plan.crash_policy {
+                                CrashPolicy::Drop => metrics.record_crash_dropped(&displaced),
+                                CrashPolicy::RequeueToSurvivors => {
+                                    metrics.record_crash_requeued(displaced.len() as u64);
+                                    match routing {
+                                        Routing::Central => {
+                                            // Back to the head of the
+                                            // central queue: they carry
+                                            // the earliest deadlines.
+                                            for q in displaced.into_iter().rev() {
+                                                central_queue.push_front(q);
+                                            }
+                                        }
+                                        _ if cluster.live == 0 => limbo.extend(displaced),
+                                        _ => {
+                                            for q in displaced {
+                                                let t = Self::next_live_rr(
+                                                    &cluster.alive,
+                                                    &mut rr_next,
+                                                )
+                                                .expect("live > 0 checked");
+                                                worker_queues[t].push_back(q);
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                            self.kick_idle_workers(
+                                now,
+                                routing,
+                                scheme,
+                                estimator,
+                                &mut worker_queues,
+                                &mut central_queue,
+                                &mut cluster,
+                                &mut sampler,
+                                &mut metrics,
+                                &mut heap,
+                                &mut seq,
+                            );
+                        }
+                        FaultAction::Recover(w) => {
+                            if cluster.alive[w] {
+                                continue; // recovery without crash: no-op
+                            }
+                            cluster.alive[w] = true;
+                            cluster.live += 1;
+                            if let Some(start) = cluster.down_since[w].take() {
+                                metrics
+                                    .record_downtime_s(secs_from_nanos(now.saturating_sub(start)));
+                            }
+                            scheme.on_membership_change(cluster.live);
+                            // Stranded queries join the recovered
+                            // worker's queue in arrival order.
+                            if !limbo.is_empty() && routing != Routing::Central {
+                                worker_queues[w].extend(limbo.drain(..));
+                            }
+                            self.kick_idle_workers(
+                                now,
+                                routing,
+                                scheme,
+                                estimator,
+                                &mut worker_queues,
+                                &mut central_queue,
+                                &mut cluster,
+                                &mut sampler,
+                                &mut metrics,
+                                &mut heap,
+                                &mut seq,
+                            );
+                        }
+                        FaultAction::SlowStart(w, factor) => cluster.slow[w] = factor,
+                        FaultAction::SlowEnd(w) => cluster.slow[w] = 1.0,
+                    }
+                }
             }
         }
 
-        metrics.report(
+        // Workers still dead at the end of the run accrue downtime up
+        // to the horizon.
+        for w in 0..n_workers {
+            if let Some(start) = cluster.down_since[w] {
+                metrics.record_downtime_s(secs_from_nanos(horizon.saturating_sub(start)));
+            }
+        }
+
+        Ok(metrics.report(
             scheme.name().to_owned(),
             arrivals.len() as u64,
             horizon,
             n_workers,
-        )
+        ))
+    }
+
+    /// The next live worker in round-robin order, advancing the cursor;
+    /// `None` when every worker is dead.
+    fn next_live_rr(alive: &[bool], rr_next: &mut usize) -> Option<usize> {
+        let n = alive.len();
+        for _ in 0..n {
+            let w = *rr_next;
+            *rr_next = (*rr_next + 1) % n;
+            if alive[w] {
+                return Some(w);
+            }
+        }
+        None
+    }
+
+    /// Handles an arrival with no live worker to route to: stranded in
+    /// limbo under `RequeueToSurvivors` (served after a recovery),
+    /// dropped under `Drop`.
+    fn strand(
+        q: Query,
+        policy: CrashPolicy,
+        limbo: &mut VecDeque<Query>,
+        metrics: &mut MetricsCollector,
+    ) {
+        match policy {
+            CrashPolicy::RequeueToSurvivors => limbo.push_back(q),
+            CrashPolicy::Drop => metrics.record_crash_dropped(&[q]),
+        }
+    }
+
+    /// After a membership change, gives every idle live worker with
+    /// visible work a chance to start serving.
+    #[allow(clippy::too_many_arguments)]
+    fn kick_idle_workers(
+        &self,
+        now: Nanos,
+        routing: Routing,
+        scheme: &mut dyn ServingScheme,
+        estimator: &mut dyn LoadEstimator,
+        worker_queues: &mut [VecDeque<Query>],
+        central_queue: &mut VecDeque<Query>,
+        cluster: &mut Cluster,
+        sampler: &mut LatencySampler,
+        metrics: &mut MetricsCollector,
+        heap: &mut BinaryHeap<Reverse<(Nanos, u64, EventKind)>>,
+        seq: &mut u64,
+    ) {
+        // Indexed: the queue borrow alternates between `worker_queues[w]`
+        // and the central queue depending on routing.
+        #[allow(clippy::needless_range_loop)]
+        for w in 0..cluster.alive.len() {
+            if !cluster.alive[w] || cluster.busy[w] {
+                continue;
+            }
+            let queue = match routing {
+                Routing::Central => &mut *central_queue,
+                _ => &mut worker_queues[w],
+            };
+            if queue.is_empty() {
+                continue;
+            }
+            self.dispatch(
+                w, now, scheme, estimator, queue, cluster, sampler, metrics, heap, seq,
+            );
+        }
     }
 
     /// Asks the scheme for decisions for worker `w` until it starts
@@ -318,20 +663,21 @@ impl<'a> Simulation<'a> {
     /// reformulation).
     #[allow(clippy::too_many_arguments)]
     fn dispatch(
+        &self,
         w: usize,
         now: Nanos,
-        profile: &WorkerProfile,
         scheme: &mut dyn ServingScheme,
         estimator: &mut dyn LoadEstimator,
         queue: &mut VecDeque<Query>,
-        busy: &mut [bool],
-        in_flight: &mut [Option<(usize, Vec<Query>, Nanos)>],
+        cluster: &mut Cluster,
         sampler: &mut LatencySampler,
         metrics: &mut MetricsCollector,
         heap: &mut BinaryHeap<Reverse<(Nanos, u64, EventKind)>>,
         seq: &mut u64,
     ) {
-        debug_assert!(!busy[w], "dispatch on a busy worker");
+        debug_assert!(!cluster.busy[w], "dispatch on a busy worker");
+        debug_assert!(cluster.alive[w], "dispatch on a dead worker");
+        let profile = self.profile_of(w);
         while !queue.is_empty() {
             let earliest = queue.front().expect("queue checked non-empty");
             let ctx = SelectionContext {
@@ -340,6 +686,7 @@ impl<'a> Simulation<'a> {
                 queued: queue.len(),
                 earliest_slack_s: earliest.slack_at(now),
                 worker: w,
+                live_workers: cluster.live,
             };
             match scheme.select(&ctx) {
                 Selection::Idle => return,
@@ -364,13 +711,13 @@ impl<'a> Simulation<'a> {
                         "scheme chose unknown model {model}"
                     );
                     let batch_queries: Vec<Query> = queue.drain(..batch as usize).collect();
-                    let service = sampler.sample(profile, model, batch);
-                    busy[w] = true;
-                    in_flight[w] = Some((model, batch_queries, now));
+                    let service = sampler.sample(profile, model, batch) * cluster.slow[w];
+                    cluster.busy[w] = true;
+                    cluster.in_flight[w] = Some((model, batch_queries, now));
                     heap.push(Reverse((
                         now + nanos_from_secs(service),
                         *seq,
-                        EventKind::WorkerDone(w),
+                        EventKind::WorkerDone(w, cluster.epochs[w]),
                     )));
                     *seq += 1;
                     return;
@@ -430,10 +777,30 @@ mod tests {
         }
     }
 
+    /// Like [`GreedyFastest`] but with per-worker round-robin routing.
+    struct GreedyFastestRr {
+        model: usize,
+    }
+
+    impl ServingScheme for GreedyFastestRr {
+        fn name(&self) -> &str {
+            "greedy-fastest-rr"
+        }
+        fn routing(&self) -> Routing {
+            Routing::PerWorkerRoundRobin
+        }
+        fn select(&mut self, ctx: &SelectionContext) -> Selection {
+            Selection::Serve {
+                model: self.model,
+                batch: ctx.queued as u32,
+            }
+        }
+    }
+
     #[test]
     fn conservation_every_arrival_is_served_once() {
         let trace = Trace::constant(300.0, 5.0);
-        let sim = Simulation::new(profile(), SimulationConfig::new(4, 0.15));
+        let sim = Simulation::new(profile(), SimulationConfig::new(4, 0.15)).unwrap();
         let mut scheme = GreedyFastest {
             model: profile().fastest_model(),
         };
@@ -448,7 +815,7 @@ mod tests {
     #[test]
     fn runs_are_deterministic() {
         let trace = Trace::constant(200.0, 3.0);
-        let sim = Simulation::new(profile(), SimulationConfig::new(4, 0.15).seeded(9));
+        let sim = Simulation::new(profile(), SimulationConfig::new(4, 0.15).seeded(9)).unwrap();
         let mut m1 = LoadMonitor::new();
         let mut m2 = LoadMonitor::new();
         let r1 = sim.run(
@@ -469,10 +836,202 @@ mod tests {
     }
 
     #[test]
+    fn runs_are_deterministic_under_faults() {
+        // Same seeds + same non-trivial fault plan must reproduce the
+        // report byte-for-byte, including its serialized form.
+        let trace = Trace::constant(200.0, 8.0);
+        let plan = FaultPlan::none()
+            .crash(0, 1.0)
+            .recover(0, 4.0)
+            .crash(2, 2.0)
+            .recover(2, 6.0)
+            .slowdown(1, 2.0, 5.0, 2.5)
+            .surge(3.0, 6.0, 2.0);
+        let sim = Simulation::new(profile(), SimulationConfig::new(4, 0.15).seeded(9)).unwrap();
+        let run = || {
+            let mut scheme = GreedyFastestRr {
+                model: profile().fastest_model(),
+            };
+            let mut monitor = LoadMonitor::new();
+            sim.run_faulted(&trace, &plan, &mut scheme, &mut monitor)
+                .unwrap()
+        };
+        let r1 = run();
+        let r2 = run();
+        assert_eq!(r1, r2);
+        assert_eq!(
+            serde_json::to_string(&r1).unwrap(),
+            serde_json::to_string(&r2).unwrap()
+        );
+        // The plan actually bit: downtime accrued and work moved.
+        assert!(r1.faults.downtime_s > 0.0);
+        assert!(r1.faults.served_in_fault > 0);
+    }
+
+    #[test]
+    fn empty_fault_plan_matches_fault_free_run() {
+        let trace = Trace::constant(250.0, 4.0);
+        let sim = Simulation::new(profile(), SimulationConfig::new(4, 0.15).seeded(5)).unwrap();
+        let mut m1 = LoadMonitor::new();
+        let mut m2 = LoadMonitor::new();
+        let baseline = sim.run(
+            &trace,
+            &mut GreedyFastest {
+                model: profile().fastest_model(),
+            },
+            &mut m1,
+        );
+        let with_empty_plan = sim
+            .run_faulted(
+                &trace,
+                &FaultPlan::none(),
+                &mut GreedyFastest {
+                    model: profile().fastest_model(),
+                },
+                &mut m2,
+            )
+            .unwrap();
+        assert_eq!(baseline, with_empty_plan);
+    }
+
+    #[test]
+    fn crash_requeue_preserves_conservation() {
+        // One of four workers dies mid-run and recovers; with requeue
+        // every arrival is still served exactly once.
+        let trace = Trace::constant(200.0, 6.0);
+        let plan = FaultPlan::none().crash(1, 1.5).recover(1, 4.0);
+        let sim = Simulation::new(profile(), SimulationConfig::new(4, 0.15).seeded(3)).unwrap();
+        let mut scheme = GreedyFastestRr {
+            model: profile().fastest_model(),
+        };
+        let mut monitor = LoadMonitor::new();
+        let report = sim
+            .run_faulted(&trace, &plan, &mut scheme, &mut monitor)
+            .unwrap();
+        assert_eq!(report.served, report.total_arrivals);
+        assert_eq!(report.dropped, 0);
+        assert!(report.faults.crash_requeued > 0);
+        assert!((report.faults.downtime_s - 2.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn crash_drop_policy_loses_displaced_queries() {
+        let trace = Trace::constant(200.0, 6.0);
+        let plan = FaultPlan::none()
+            .with_crash_policy(CrashPolicy::Drop)
+            .crash(1, 1.5)
+            .recover(1, 4.0);
+        let sim = Simulation::new(profile(), SimulationConfig::new(4, 0.15).seeded(3)).unwrap();
+        let mut scheme = GreedyFastestRr {
+            model: profile().fastest_model(),
+        };
+        let mut monitor = LoadMonitor::new();
+        let report = sim
+            .run_faulted(&trace, &plan, &mut scheme, &mut monitor)
+            .unwrap();
+        assert!(report.faults.crash_dropped > 0);
+        assert_eq!(report.dropped, report.faults.crash_dropped);
+        assert_eq!(report.served + report.dropped, report.total_arrivals);
+    }
+
+    #[test]
+    fn slowdown_window_degrades_latency() {
+        let trace = Trace::constant(150.0, 6.0);
+        let sim = Simulation::new(profile(), SimulationConfig::new(2, 0.15).seeded(8)).unwrap();
+        let run = |plan: &FaultPlan| {
+            let mut scheme = GreedyFastest {
+                model: profile().fastest_model(),
+            };
+            let mut monitor = LoadMonitor::new();
+            sim.run_faulted(&trace, plan, &mut scheme, &mut monitor)
+                .unwrap()
+        };
+        let nominal = run(&FaultPlan::none());
+        let slowed = run(&FaultPlan::none()
+            .slowdown(0, 1.0, 5.0, 4.0)
+            .slowdown(1, 1.0, 5.0, 4.0));
+        assert!(
+            slowed.mean_response_s > nominal.mean_response_s,
+            "slowdown must hurt: {} vs {}",
+            slowed.mean_response_s,
+            nominal.mean_response_s
+        );
+    }
+
+    #[test]
+    fn surge_increases_offered_load() {
+        let trace = Trace::constant(100.0, 10.0);
+        let sim = Simulation::new(profile(), SimulationConfig::new(4, 0.15).seeded(4)).unwrap();
+        let run = |plan: &FaultPlan| {
+            let mut scheme = GreedyFastest {
+                model: profile().fastest_model(),
+            };
+            let mut monitor = LoadMonitor::new();
+            sim.run_faulted(&trace, plan, &mut scheme, &mut monitor)
+                .unwrap()
+        };
+        let nominal = run(&FaultPlan::none());
+        let surged = run(&FaultPlan::none().surge(2.0, 8.0, 3.0));
+        // 3x load over 6 of 10 seconds: expected arrivals go from
+        // ~1,000 to ~2,200.
+        assert!(
+            surged.total_arrivals as f64 > nominal.total_arrivals as f64 * 1.8,
+            "{} vs {}",
+            surged.total_arrivals,
+            nominal.total_arrivals
+        );
+    }
+
+    #[test]
+    fn full_outage_strands_then_recovers() {
+        // Both workers die; with requeue the stranded queries are
+        // served after recovery, conserving every arrival.
+        let trace = Trace::constant(50.0, 4.0);
+        let plan = FaultPlan::none()
+            .crash(0, 1.0)
+            .crash(1, 1.0)
+            .recover(0, 2.0)
+            .recover(1, 2.5);
+        let sim = Simulation::new(profile(), SimulationConfig::new(2, 0.15).seeded(6)).unwrap();
+        let mut scheme = GreedyFastestRr {
+            model: profile().fastest_model(),
+        };
+        let mut monitor = LoadMonitor::new();
+        let report = sim
+            .run_faulted(&trace, &plan, &mut scheme, &mut monitor)
+            .unwrap();
+        assert_eq!(report.served, report.total_arrivals);
+        assert!(report.faults.downtime_s > 2.0);
+    }
+
+    #[test]
+    fn invalid_plan_is_rejected() {
+        let trace = Trace::constant(50.0, 1.0);
+        let sim = Simulation::new(profile(), SimulationConfig::new(2, 0.15)).unwrap();
+        let mut scheme = GreedyFastest { model: 0 };
+        let mut monitor = LoadMonitor::new();
+        let plan = FaultPlan::none().crash(7, 1.0);
+        assert!(sim
+            .run_faulted(&trace, &plan, &mut scheme, &mut monitor)
+            .is_err());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(SimulationConfig::new(0, 0.15).validate().is_err());
+        assert!(SimulationConfig::new(4, 0.0).validate().is_err());
+        assert!(SimulationConfig::new(4, -1.0).validate().is_err());
+        assert!(SimulationConfig::new(4, f64::NAN).validate().is_err());
+        assert!(SimulationConfig::new(4, 0.15).validate().is_ok());
+        assert!(Simulation::new(profile(), SimulationConfig::new(0, 0.15)).is_err());
+        assert!(Simulation::new(profile(), SimulationConfig::new(4, -0.5)).is_err());
+    }
+
+    #[test]
     fn underload_has_no_violations_with_fast_model() {
         // 40 QPS across 4 workers, fastest model: utilization ~20%.
         let trace = Trace::constant(40.0, 10.0);
-        let sim = Simulation::new(profile(), SimulationConfig::new(4, 0.15));
+        let sim = Simulation::new(profile(), SimulationConfig::new(4, 0.15)).unwrap();
         let mut scheme = GreedyFastest {
             model: profile().fastest_model(),
         };
@@ -490,7 +1049,7 @@ mod tests {
     fn overload_with_slow_model_violates() {
         // The most accurate model cannot sustain 400 QPS on 4 workers.
         let trace = Trace::constant(400.0, 5.0);
-        let sim = Simulation::new(profile(), SimulationConfig::new(4, 0.15));
+        let sim = Simulation::new(profile(), SimulationConfig::new(4, 0.15)).unwrap();
         let slow = *profile().pareto_models().last().unwrap();
         let mut scheme = GreedyFastest { model: slow };
         let mut monitor = LoadMonitor::new();
@@ -507,7 +1066,7 @@ mod tests {
     #[test]
     fn response_time_at_least_service_time() {
         let trace = Trace::constant(100.0, 5.0);
-        let sim = Simulation::new(profile(), SimulationConfig::new(2, 0.15));
+        let sim = Simulation::new(profile(), SimulationConfig::new(2, 0.15)).unwrap();
         let mut scheme = GreedyFastest {
             model: profile().fastest_model(),
         };
@@ -522,7 +1081,7 @@ mod tests {
         // At light load the RAMSIS policy should select models more
         // accurate than the fastest one, without violating.
         let trace = Trace::constant(80.0, 10.0);
-        let sim = Simulation::new(profile(), SimulationConfig::new(4, 0.15));
+        let sim = Simulation::new(profile(), SimulationConfig::new(4, 0.15)).unwrap();
         let mut scheme = ramsis_scheme(4, &[100.0, 400.0]);
         let mut monitor = OracleMonitor::new(trace.clone());
         let report = sim.run(&trace, &mut scheme, &mut monitor);
@@ -545,7 +1104,7 @@ mod tests {
         // violation upper-bounds the deterministic simulation.
         let load = 120.0;
         let trace = Trace::constant(load, 20.0);
-        let sim = Simulation::new(profile(), SimulationConfig::new(4, 0.15));
+        let sim = Simulation::new(profile(), SimulationConfig::new(4, 0.15)).unwrap();
         let config = PolicyConfig::builder(Duration::from_millis(150))
             .workers(4)
             .discretization(Discretization::fixed_length(10))
@@ -575,8 +1134,8 @@ mod tests {
         // better accuracy than the simulation (deterministic p95)
         // because real invocations usually finish before their p95.
         let trace = Trace::constant(150.0, 15.0);
-        let det = Simulation::new(profile(), SimulationConfig::new(4, 0.15));
-        let sto = Simulation::new(profile(), SimulationConfig::new(4, 0.15).stochastic());
+        let det = Simulation::new(profile(), SimulationConfig::new(4, 0.15)).unwrap();
+        let sto = Simulation::new(profile(), SimulationConfig::new(4, 0.15).stochastic()).unwrap();
         let mut sd = ramsis_scheme(4, &[150.0]);
         let mut ss = ramsis_scheme(4, &[150.0]);
         let mut m1 = OracleMonitor::new(trace.clone());
@@ -596,7 +1155,7 @@ mod tests {
         // 120 QPS over 4 workers is ~50% of the fastest model's
         // capacity — satisfiable under either balancer.
         let trace = Trace::from_interval_qps(&[120.0], 10.0, TraceKind::Custom);
-        let sim = Simulation::new(profile(), SimulationConfig::new(4, 0.15));
+        let sim = Simulation::new(profile(), SimulationConfig::new(4, 0.15)).unwrap();
         let config = PolicyConfig::builder(Duration::from_millis(150))
             .workers(4)
             .balancing(ramsis_core::Balancing::ShortestQueueFirst)
@@ -618,7 +1177,7 @@ mod tests {
     fn stochastic_seeds_differ_deterministic_seeds_do_not() {
         let trace = Trace::constant(150.0, 3.0);
         let run = |config: SimulationConfig| {
-            let sim = Simulation::new(profile(), config);
+            let sim = Simulation::new(profile(), config).unwrap();
             let mut scheme = GreedyFastest {
                 model: profile().fastest_model(),
             };
@@ -641,7 +1200,7 @@ mod tests {
 
     #[test]
     fn empty_trace_is_a_noop() {
-        let sim = Simulation::new(profile(), SimulationConfig::new(2, 0.15));
+        let sim = Simulation::new(profile(), SimulationConfig::new(2, 0.15)).unwrap();
         let mut scheme = GreedyFastest { model: 0 };
         let mut monitor = LoadMonitor::new();
         let report = sim.run_arrivals(&[], &mut scheme, &mut monitor);
@@ -667,7 +1226,7 @@ mod tests {
                 }
             }
         }
-        let sim = Simulation::new(profile(), SimulationConfig::new(1, 0.15));
+        let sim = Simulation::new(profile(), SimulationConfig::new(1, 0.15)).unwrap();
         let mut monitor = LoadMonitor::new();
         let _ = sim.run_arrivals(&[0.0], &mut Bad, &mut monitor);
     }

@@ -1,0 +1,331 @@
+//! Fault injection: deterministic, serializable fault plans.
+//!
+//! A [`FaultPlan`] is a list of timed [`FaultEvent`]s the engine plays
+//! back alongside arrivals in its `(time, sequence)` heap: worker
+//! crashes and recoveries, transient per-worker slowdowns, and
+//! arrival surges (offered-load scaling over an interval). Plans are
+//! plain data — same seeds plus the same plan reproduce a run
+//! bit-for-bit — and serialize through serde so experiments can record
+//! exactly what they injected.
+
+use serde::{Deserialize, Serialize};
+
+use crate::SimError;
+
+/// One injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// Worker `worker` dies at `at_s`: its queued and in-flight queries
+    /// are handled per the plan's [`CrashPolicy`], and routing skips it
+    /// until it recovers.
+    WorkerCrash { worker: usize, at_s: f64 },
+    /// Worker `worker` rejoins at `at_s` with an empty queue.
+    WorkerRecover { worker: usize, at_s: f64 },
+    /// Worker `worker` serves every batch `factor`× slower during
+    /// `[from_s, to_s)`. Batches already in flight at `from_s` finish
+    /// at their original speed; the factor applies at dispatch time.
+    WorkerSlowdown {
+        worker: usize,
+        from_s: f64,
+        to_s: f64,
+        factor: f64,
+    },
+    /// Offered load is scaled by `factor` during `[from_s, to_s)`.
+    /// Applied to the trace before arrival sampling, so it only takes
+    /// effect through [`crate::Simulation::run_faulted`] (explicit
+    /// arrival arrays are replayed as given).
+    ArrivalSurge { from_s: f64, to_s: f64, factor: f64 },
+}
+
+/// What happens to a crashed worker's queued and in-flight queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CrashPolicy {
+    /// Displaced queries are redistributed round-robin over the
+    /// surviving workers (or returned to the head of the central
+    /// queue under central routing). If no worker is live they wait
+    /// in limbo for the first recovery.
+    #[default]
+    RequeueToSurvivors,
+    /// Displaced queries are lost, counted as dropped.
+    Drop,
+}
+
+/// A deterministic schedule of faults for one simulation run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// The injected events, in any order (the engine sorts by time).
+    pub events: Vec<FaultEvent>,
+    /// Crash handling for queued and in-flight queries.
+    pub crash_policy: CrashPolicy,
+}
+
+impl FaultPlan {
+    /// An empty plan: the run behaves exactly like a fault-free one.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Sets the crash policy.
+    pub fn with_crash_policy(mut self, policy: CrashPolicy) -> Self {
+        self.crash_policy = policy;
+        self
+    }
+
+    /// Adds a crash of `worker` at `at_s`.
+    pub fn crash(mut self, worker: usize, at_s: f64) -> Self {
+        self.events.push(FaultEvent::WorkerCrash { worker, at_s });
+        self
+    }
+
+    /// Adds a recovery of `worker` at `at_s`.
+    pub fn recover(mut self, worker: usize, at_s: f64) -> Self {
+        self.events.push(FaultEvent::WorkerRecover { worker, at_s });
+        self
+    }
+
+    /// Adds a `factor`× slowdown of `worker` over `[from_s, to_s)`.
+    pub fn slowdown(mut self, worker: usize, from_s: f64, to_s: f64, factor: f64) -> Self {
+        self.events.push(FaultEvent::WorkerSlowdown {
+            worker,
+            from_s,
+            to_s,
+            factor,
+        });
+        self
+    }
+
+    /// Adds a `factor`× arrival surge over `[from_s, to_s)`.
+    pub fn surge(mut self, from_s: f64, to_s: f64, factor: f64) -> Self {
+        self.events.push(FaultEvent::ArrivalSurge {
+            from_s,
+            to_s,
+            factor,
+        });
+        self
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The canonical robustness schedule used by the `robustness_faults`
+    /// experiment: worker 0 crashes at 10 s and recovers at 40 s, worker
+    /// 1 runs 2× slower over `[15 s, 35 s)`, and offered load surges 3×
+    /// over `[20 s, 30 s)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers < 2` (the schedule needs two distinct
+    /// workers).
+    pub fn canonical(workers: usize) -> Self {
+        assert!(workers >= 2, "canonical fault plan needs >= 2 workers");
+        Self::none()
+            .crash(0, 10.0)
+            .recover(0, 40.0)
+            .slowdown(1, 15.0, 35.0, 2.0)
+            .surge(20.0, 30.0, 3.0)
+    }
+
+    /// Checks the plan against a cluster of `workers` workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for out-of-range worker
+    /// indices, non-finite or negative times, inverted intervals, or
+    /// non-positive factors.
+    pub fn validate(&self, workers: usize) -> Result<(), SimError> {
+        let err = |msg: String| Err(SimError::InvalidConfig(msg));
+        let check_time = |what: &str, t: f64| -> Result<(), SimError> {
+            if !t.is_finite() || t < 0.0 {
+                return Err(SimError::InvalidConfig(format!(
+                    "fault plan: {what} must be a non-negative finite time, got {t}"
+                )));
+            }
+            Ok(())
+        };
+        let check_worker = |w: usize| -> Result<(), SimError> {
+            if w >= workers {
+                return Err(SimError::InvalidConfig(format!(
+                    "fault plan: worker {w} out of range for a {workers}-worker cluster"
+                )));
+            }
+            Ok(())
+        };
+        for event in &self.events {
+            match *event {
+                FaultEvent::WorkerCrash { worker, at_s } => {
+                    check_worker(worker)?;
+                    check_time("crash time", at_s)?;
+                }
+                FaultEvent::WorkerRecover { worker, at_s } => {
+                    check_worker(worker)?;
+                    check_time("recovery time", at_s)?;
+                }
+                FaultEvent::WorkerSlowdown {
+                    worker,
+                    from_s,
+                    to_s,
+                    factor,
+                } => {
+                    check_worker(worker)?;
+                    check_time("slowdown start", from_s)?;
+                    check_time("slowdown end", to_s)?;
+                    if to_s <= from_s {
+                        return err(format!(
+                            "fault plan: slowdown interval [{from_s}, {to_s}) is empty"
+                        ));
+                    }
+                    if !factor.is_finite() || factor <= 0.0 {
+                        return err(format!(
+                            "fault plan: slowdown factor must be positive, got {factor}"
+                        ));
+                    }
+                }
+                FaultEvent::ArrivalSurge {
+                    from_s,
+                    to_s,
+                    factor,
+                } => {
+                    check_time("surge start", from_s)?;
+                    check_time("surge end", to_s)?;
+                    if to_s <= from_s {
+                        return err(format!(
+                            "fault plan: surge interval [{from_s}, {to_s}) is empty"
+                        ));
+                    }
+                    if !factor.is_finite() || factor <= 0.0 {
+                        return err(format!(
+                            "fault plan: surge factor must be positive, got {factor}"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The arrival-surge intervals, `(from_s, to_s, factor)`.
+    pub fn surges(&self) -> Vec<(f64, f64, f64)> {
+        self.events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::ArrivalSurge {
+                    from_s,
+                    to_s,
+                    factor,
+                } => Some((from_s, to_s, factor)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The union of all fault-affected time windows, merged and sorted:
+    /// `[crash, recovery)` per worker (to the end of time for a crash
+    /// with no recovery), plus every slowdown and surge interval. Used
+    /// by the metrics layer to split violation accounting into
+    /// inside/outside-fault-window rates.
+    pub fn fault_windows(&self) -> Vec<(f64, f64)> {
+        let mut raw: Vec<(f64, f64)> = Vec::new();
+        // Pair each crash with its earliest later recovery per worker.
+        let mut crashes: Vec<(usize, f64)> = Vec::new();
+        let mut recoveries: Vec<(usize, f64)> = Vec::new();
+        for event in &self.events {
+            match *event {
+                FaultEvent::WorkerCrash { worker, at_s } => crashes.push((worker, at_s)),
+                FaultEvent::WorkerRecover { worker, at_s } => recoveries.push((worker, at_s)),
+                FaultEvent::WorkerSlowdown { from_s, to_s, .. }
+                | FaultEvent::ArrivalSurge { from_s, to_s, .. } => raw.push((from_s, to_s)),
+            }
+        }
+        for &(w, crash_at) in &crashes {
+            let recovery = recoveries
+                .iter()
+                .filter(|&&(rw, at)| rw == w && at > crash_at)
+                .map(|&(_, at)| at)
+                .fold(f64::INFINITY, f64::min);
+            raw.push((crash_at, recovery));
+        }
+        raw.sort_by(|a, b| a.partial_cmp(b).expect("validated finite starts"));
+        let mut merged: Vec<(f64, f64)> = Vec::new();
+        for (start, end) in raw {
+            match merged.last_mut() {
+                Some(last) if start <= last.1 => last.1 = last.1.max(end),
+                _ => merged.push((start, end)),
+            }
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_canonical() {
+        let plan = FaultPlan::canonical(4);
+        assert_eq!(plan.events.len(), 4);
+        assert_eq!(plan.crash_policy, CrashPolicy::RequeueToSurvivors);
+        assert!(plan.validate(4).is_ok());
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_bad_plans() {
+        assert!(FaultPlan::none().crash(4, 1.0).validate(4).is_err());
+        assert!(FaultPlan::none().crash(0, -1.0).validate(4).is_err());
+        assert!(FaultPlan::none().crash(0, f64::NAN).validate(4).is_err());
+        assert!(FaultPlan::none()
+            .slowdown(0, 5.0, 5.0, 2.0)
+            .validate(4)
+            .is_err());
+        assert!(FaultPlan::none()
+            .slowdown(0, 5.0, 6.0, 0.0)
+            .validate(4)
+            .is_err());
+        assert!(FaultPlan::none().surge(3.0, 2.0, 2.0).validate(4).is_err());
+        assert!(FaultPlan::none()
+            .surge(1.0, 2.0, f64::INFINITY)
+            .validate(4)
+            .is_err());
+        assert!(FaultPlan::canonical(4).validate(4).is_ok());
+    }
+
+    #[test]
+    fn windows_merge_overlaps() {
+        let plan = FaultPlan::canonical(4);
+        // Crash [10, 40), slowdown [15, 35), surge [20, 30) all overlap
+        // into a single [10, 40) window.
+        assert_eq!(plan.fault_windows(), vec![(10.0, 40.0)]);
+
+        let disjoint = FaultPlan::none()
+            .slowdown(0, 1.0, 2.0, 2.0)
+            .surge(5.0, 6.0, 2.0);
+        assert_eq!(disjoint.fault_windows(), vec![(1.0, 2.0), (5.0, 6.0)]);
+    }
+
+    #[test]
+    fn unrecovered_crash_window_is_open_ended() {
+        let plan = FaultPlan::none().crash(2, 7.5);
+        let windows = plan.fault_windows();
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].0, 7.5);
+        assert!(windows[0].1.is_infinite());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let plan = FaultPlan::canonical(4).with_crash_policy(CrashPolicy::Drop);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn surges_are_extracted() {
+        let plan = FaultPlan::canonical(4);
+        assert_eq!(plan.surges(), vec![(20.0, 30.0, 3.0)]);
+    }
+}

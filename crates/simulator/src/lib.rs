@@ -27,17 +27,24 @@
 //! drop queries when facing latency SLO violations").
 
 pub mod engine;
+pub mod faults;
 pub mod latency;
 pub mod metrics;
 pub mod multi_slo;
 pub mod query;
 pub mod scheme;
 
+/// Simulator-level error type (shared with the core crate so callers
+/// handle one error family across the stack).
+pub use ramsis_core::CoreError as SimError;
+
 pub use engine::{Simulation, SimulationConfig};
+pub use faults::{CrashPolicy, FaultEvent, FaultPlan};
 pub use latency::LatencyMode;
-pub use metrics::{SimulationReport, TimelineBucket};
+pub use metrics::{FaultStats, SimulationReport, TimelineBucket};
 pub use multi_slo::{run_multi_slo, SloClass};
 pub use query::Query;
 pub use scheme::{
-    OnDemandRamsis, PerWorkerRamsis, RamsisScheme, Routing, Selection, ServingScheme,
+    DegradingRamsis, OnDemandRamsis, PerWorkerRamsis, RamsisScheme, Routing, Selection,
+    ServingScheme,
 };

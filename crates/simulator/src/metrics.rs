@@ -47,6 +47,19 @@ pub struct MetricsCollector {
     /// different model catalogs (heterogeneous clusters, §7) aggregate
     /// correctly.
     per_model: BTreeMap<String, u64>,
+    /// Merged fault windows `(from_s, to_s)` for inside/outside-window
+    /// violation accounting (empty without a fault plan).
+    fault_windows: Vec<(f64, f64)>,
+    /// Completions whose finish time fell inside a fault window.
+    served_in_fault: u64,
+    /// Of those, deadline misses.
+    violations_in_fault: u64,
+    /// Queries displaced by crashes and requeued to survivors.
+    crash_requeued: u64,
+    /// Queries displaced by crashes and dropped.
+    crash_dropped: u64,
+    /// Accumulated dead worker-seconds.
+    downtime_s: f64,
 }
 
 impl Default for MetricsCollector {
@@ -70,7 +83,46 @@ impl MetricsCollector {
             timeline: Vec::new(),
             busy_nanos: 0,
             per_model: BTreeMap::new(),
+            fault_windows: Vec::new(),
+            served_in_fault: 0,
+            violations_in_fault: 0,
+            crash_requeued: 0,
+            crash_dropped: 0,
+            downtime_s: 0.0,
         }
+    }
+
+    /// Enables inside/outside-fault-window violation accounting over
+    /// the given merged windows (seconds, half-open).
+    pub fn with_fault_windows(mut self, windows: Vec<(f64, f64)>) -> Self {
+        self.fault_windows = windows;
+        self
+    }
+
+    /// True when `t_s` falls inside a configured fault window.
+    fn in_fault_window(&self, t_s: f64) -> bool {
+        self.fault_windows
+            .iter()
+            .any(|&(from, to)| t_s >= from && t_s < to)
+    }
+
+    /// Records queries displaced by a worker crash and requeued to
+    /// surviving workers (they remain in flight toward service).
+    pub fn record_crash_requeued(&mut self, count: u64) {
+        self.crash_requeued += count;
+    }
+
+    /// Records queries displaced by a worker crash and lost
+    /// (`CrashPolicy::Drop`); they count as dropped.
+    pub fn record_crash_dropped(&mut self, queries: &[Query]) {
+        self.crash_dropped += queries.len() as u64;
+        self.dropped += queries.len() as u64;
+    }
+
+    /// Accumulates dead worker-time (one crashed worker for ten seconds
+    /// adds ten).
+    pub fn record_downtime_s(&mut self, seconds: f64) {
+        self.downtime_s += seconds;
     }
 
     /// Enables timeline collection with the given window length.
@@ -123,6 +175,12 @@ impl MetricsCollector {
                 self.violations += 1;
             } else {
                 self.accuracy_sum_satisfied += accuracy;
+            }
+            if self.in_fault_window(secs_from_nanos(done)) {
+                self.served_in_fault += 1;
+                if violated {
+                    self.violations_in_fault += 1;
+                }
             }
             if let Some(bucket) = self.timeline_bucket(done) {
                 bucket.0 += 1;
@@ -197,6 +255,59 @@ impl MetricsCollector {
                 0.0
             },
             horizon_s: secs_from_nanos(horizon),
+            faults: FaultStats {
+                downtime_s: self.downtime_s,
+                crash_requeued: self.crash_requeued,
+                crash_dropped: self.crash_dropped,
+                served_in_fault: self.served_in_fault,
+                violations_in_fault: self.violations_in_fault,
+                served_outside_fault: self.served - self.served_in_fault,
+                violations_outside_fault: self.violations - self.violations_in_fault,
+            },
+        }
+    }
+}
+
+/// Degradation accounting for a run with fault injection (all zeros for
+/// a fault-free run).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Dead worker-seconds accumulated over the run (two workers down
+    /// for 5 s each is 10).
+    pub downtime_s: f64,
+    /// Queries displaced by crashes and requeued to surviving workers.
+    pub crash_requeued: u64,
+    /// Queries displaced by crashes and lost (`CrashPolicy::Drop`);
+    /// also included in [`SimulationReport::dropped`].
+    pub crash_dropped: u64,
+    /// Completions inside a fault window.
+    pub served_in_fault: u64,
+    /// Of those, deadline misses.
+    pub violations_in_fault: u64,
+    /// Completions outside every fault window.
+    pub served_outside_fault: u64,
+    /// Of those, deadline misses.
+    pub violations_outside_fault: u64,
+}
+
+impl FaultStats {
+    /// Violation rate over completions inside fault windows (0 when
+    /// none completed there).
+    pub fn violation_rate_in_fault(&self) -> f64 {
+        if self.served_in_fault > 0 {
+            self.violations_in_fault as f64 / self.served_in_fault as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Violation rate over completions outside fault windows (0 when
+    /// none completed there).
+    pub fn violation_rate_outside_fault(&self) -> f64 {
+        if self.served_outside_fault > 0 {
+            self.violations_outside_fault as f64 / self.served_outside_fault as f64
+        } else {
+            0.0
         }
     }
 }
@@ -244,6 +355,8 @@ pub struct SimulationReport {
     pub mean_utilization: f64,
     /// Simulated time horizon, seconds.
     pub horizon_s: f64,
+    /// Fault-injection accounting (all zeros for a fault-free run).
+    pub faults: FaultStats,
 }
 
 impl SimulationReport {
@@ -370,6 +483,69 @@ mod tests {
     #[should_panic(expected = "timeline window must be positive")]
     fn timeline_rejects_bad_window() {
         let _ = MetricsCollector::new().with_timeline(0.0);
+    }
+
+    #[test]
+    fn zero_arrival_run_reports_zero_rates() {
+        // A fault plan can crash every worker at t = 0 so that nothing
+        // arrives or completes; every rate must be defined as 0, never
+        // NaN from a 0/0.
+        let c = MetricsCollector::new();
+        let r = c.report("all-crashed".into(), 0, 0, 4);
+        assert_eq!(r.loss_rate(), 0.0);
+        assert_eq!(r.miss_or_loss_rate(), 0.0);
+        assert_eq!(r.violation_rate, 0.0);
+        assert_eq!(r.faults, FaultStats::default());
+        assert_eq!(r.faults.violation_rate_in_fault(), 0.0);
+        assert_eq!(r.faults.violation_rate_outside_fault(), 0.0);
+        assert!(!r.loss_rate().is_nan() && !r.miss_or_loss_rate().is_nan());
+    }
+
+    #[test]
+    fn fault_window_accounting_splits_completions() {
+        let p = profile();
+        let mut c = MetricsCollector::new().with_fault_windows(vec![(1.0, 2.0)]);
+        let m = p.fastest_model();
+        let slo = 150_000_000;
+        // One on-time completion inside the window, one late outside.
+        c.record_batch(
+            &p,
+            m,
+            &[Query::new(0, 1_400_000_000, slo)],
+            1_450_000_000,
+            1_500_000_000,
+        );
+        c.record_batch(
+            &p,
+            m,
+            &[Query::new(1, 2_500_000_000, slo)],
+            2_500_000_000,
+            3_000_000_000,
+        );
+        c.record_crash_requeued(3);
+        c.record_downtime_s(7.25);
+        let r = c.report("test".into(), 2, 3_000_000_000, 1);
+        assert_eq!(r.faults.served_in_fault, 1);
+        assert_eq!(r.faults.violations_in_fault, 0);
+        assert_eq!(r.faults.served_outside_fault, 1);
+        assert_eq!(r.faults.violations_outside_fault, 1);
+        assert_eq!(r.faults.crash_requeued, 3);
+        assert_eq!(r.faults.crash_dropped, 0);
+        assert!((r.faults.downtime_s - 7.25).abs() < 1e-12);
+        assert_eq!(r.faults.violation_rate_in_fault(), 0.0);
+        assert_eq!(r.faults.violation_rate_outside_fault(), 1.0);
+    }
+
+    #[test]
+    fn crash_dropped_counts_into_dropped() {
+        let mut c = MetricsCollector::new();
+        let qs = [Query::new(0, 0, 1_000), Query::new(1, 0, 1_000)];
+        c.record_crash_dropped(&qs);
+        let r = c.report("test".into(), 2, 1_000, 1);
+        assert_eq!(r.dropped, 2);
+        assert_eq!(r.faults.crash_dropped, 2);
+        assert_eq!(r.loss_rate(), 1.0);
+        assert_eq!(r.miss_or_loss_rate(), 1.0);
     }
 
     #[test]

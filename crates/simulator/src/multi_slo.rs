@@ -91,7 +91,8 @@ pub fn run_multi_slo(
             let mut config =
                 SimulationConfig::new(class.workers, class.profile.slo()).seeded(seed ^ 0xC1A5);
             config.latency = latency;
-            let sim = Simulation::new(class.profile, config);
+            let sim = Simulation::new(class.profile, config)
+                .expect("class configs are asserted valid above");
             let mut report = sim.run_arrivals(&class_arrivals, scheme.as_mut(), estimator.as_mut());
             report.scheme = format!("{} @ {}", report.scheme, class.name);
             report

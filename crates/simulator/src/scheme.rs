@@ -8,7 +8,7 @@
 //! (paper §3.2) is implemented here; the baselines live in
 //! `ramsis-baselines`.
 
-use ramsis_core::{Decision, PolicyConfig, PolicySet};
+use ramsis_core::{Decision, DegradablePolicySet, FallbackPolicy, PolicyConfig, PolicySet};
 use ramsis_profiles::WorkerProfile;
 
 /// How arrivals reach workers.
@@ -38,6 +38,9 @@ pub struct SelectionContext {
     pub earliest_slack_s: f64,
     /// Index of the worker asking.
     pub worker: usize,
+    /// Number of currently live (non-crashed) workers; equals the
+    /// cluster size in fault-free runs.
+    pub live_workers: usize,
 }
 
 /// A scheme's answer when a worker can serve.
@@ -74,6 +77,14 @@ pub trait ServingScheme {
 
     /// Decides what a worker with a non-empty visible queue does next.
     fn select(&mut self, ctx: &SelectionContext) -> Selection;
+
+    /// Called by the engine when the live-worker count changes (a crash
+    /// or recovery). Default is a no-op so fault-oblivious schemes —
+    /// all the baselines — compile and run unchanged; degradation-aware
+    /// schemes re-target their policies here.
+    fn on_membership_change(&mut self, live_workers: usize) {
+        let _ = live_workers;
+    }
 }
 
 /// The RAMSIS online phase (§3.2): round-robin (or SQF) routing plus
@@ -263,6 +274,96 @@ impl ServingScheme for PerWorkerRamsis {
     }
 }
 
+/// RAMSIS with graceful degradation under worker crashes: a
+/// [`DegradablePolicySet`] pre-solved for every live-worker count down
+/// to a floor, plus a [`FallbackPolicy`] for anything below it or any
+/// load beyond the set's design range.
+///
+/// On every [`ServingScheme::on_membership_change`] the scheme
+/// re-targets the policy set matching the new live count (the engine
+/// also passes `live_workers` in each context, so a missed notification
+/// cannot leave it stale). When no pre-solved set applies — the cluster
+/// shrank below `min_workers`, or the anticipated load exceeds every
+/// design load — it serves the fallback: the fastest Pareto model at
+/// the largest SLO-fitting batch, trading accuracy for availability
+/// instead of letting queues build behind an over-optimistic policy.
+pub struct DegradingRamsis {
+    sets: DegradablePolicySet,
+    fallback: FallbackPolicy,
+    routing: Routing,
+    live: usize,
+    fallback_decisions: u64,
+}
+
+impl DegradingRamsis {
+    /// Creates the scheme with round-robin routing. `sets` should be
+    /// generated by [`DegradablePolicySet::generate_poisson`] against
+    /// the same profile as `fallback`.
+    pub fn new(sets: DegradablePolicySet, fallback: FallbackPolicy) -> Self {
+        let live = *sets.worker_counts().last().expect("set is never empty");
+        Self {
+            sets,
+            fallback,
+            routing: Routing::PerWorkerRoundRobin,
+            live,
+            fallback_decisions: 0,
+        }
+    }
+
+    /// How many decisions were answered by the fallback policy.
+    pub fn fallback_decisions(&self) -> u64 {
+        self.fallback_decisions
+    }
+
+    /// The live-worker count the scheme currently targets.
+    pub fn live_workers(&self) -> usize {
+        self.live
+    }
+}
+
+impl ServingScheme for DegradingRamsis {
+    fn name(&self) -> &str {
+        "RAMSIS-degrading"
+    }
+
+    fn routing(&self) -> Routing {
+        self.routing
+    }
+
+    fn on_membership_change(&mut self, live_workers: usize) {
+        self.live = live_workers;
+    }
+
+    fn select(&mut self, ctx: &SelectionContext) -> Selection {
+        // Belt and braces: the context always carries the live count,
+        // so even a scheme cloned mid-run cannot act on a stale one.
+        self.live = ctx.live_workers;
+        let set = self
+            .sets
+            .for_workers(self.live)
+            .filter(|set| set.covers(ctx.load_qps));
+        let Some(set) = set else {
+            self.fallback_decisions += 1;
+            let (model, batch) = self.fallback.decide(ctx.queued);
+            return Selection::Serve {
+                model,
+                batch: batch.min(ctx.queued as u32),
+            };
+        };
+        let policy = set.select(ctx.load_qps);
+        match policy.decide(ctx.queued, ctx.earliest_slack_s) {
+            Decision::Wait => Selection::Idle,
+            Decision::Drop { count } => Selection::Drop {
+                count: count.min(ctx.queued as u32).max(1),
+            },
+            Decision::Serve { model, batch } => Selection::Serve {
+                model,
+                batch: batch.min(ctx.queued as u32),
+            },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,6 +396,7 @@ mod tests {
             queued: 3,
             earliest_slack_s: 0.14,
             worker: 0,
+            live_workers: 4,
         };
         let Selection::Serve { model, batch } = s.select(&ctx) else {
             panic!("must serve");
@@ -314,6 +416,7 @@ mod tests {
             queued: 1,
             earliest_slack_s: 0.15,
             worker: 0,
+            live_workers: 4,
         };
         let high = SelectionContext {
             load_qps: 700.0,
@@ -340,5 +443,64 @@ mod tests {
     fn sqf_variant_reports_routing() {
         let s = RamsisScheme::with_shortest_queue(scheme().policies.clone());
         assert_eq!(s.routing(), Routing::PerWorkerShortestQueue);
+    }
+
+    #[test]
+    fn degrading_scheme_switches_sets_and_falls_back() {
+        let profile = WorkerProfile::build(
+            &ModelCatalog::torchvision_image(),
+            Duration::from_millis(150),
+            ProfilerConfig::default(),
+        );
+        let config = PolicyConfig::builder(Duration::from_millis(150))
+            .workers(4)
+            .discretization(Discretization::fixed_length(8))
+            .build();
+        let sets =
+            ramsis_core::DegradablePolicySet::generate_poisson(&profile, &[100.0], &config, 3)
+                .unwrap();
+        let fallback = FallbackPolicy::fastest(&profile).unwrap();
+        let mut s = DegradingRamsis::new(sets, fallback);
+        assert_eq!(s.name(), "RAMSIS-degrading");
+        assert_eq!(s.live_workers(), 4);
+
+        let ctx = SelectionContext {
+            now_s: 1.0,
+            load_qps: 80.0,
+            queued: 2,
+            earliest_slack_s: 0.14,
+            worker: 0,
+            live_workers: 4,
+        };
+        // Covered load with a pre-solved set: no fallback.
+        assert!(matches!(s.select(&ctx), Selection::Serve { .. }));
+        assert_eq!(s.fallback_decisions(), 0);
+
+        // Crash below the pre-solved floor (3): fallback serves the
+        // fastest model.
+        s.on_membership_change(2);
+        assert_eq!(s.live_workers(), 2);
+        let degraded = SelectionContext {
+            live_workers: 2,
+            ..ctx
+        };
+        let Selection::Serve { model, batch } = s.select(&degraded) else {
+            panic!("fallback must serve");
+        };
+        assert_eq!(model, profile.fastest_model());
+        assert!((1..=2).contains(&batch));
+        assert_eq!(s.fallback_decisions(), 1);
+
+        // Load beyond every design load also falls back.
+        s.on_membership_change(4);
+        let overloaded = SelectionContext {
+            load_qps: 5_000.0,
+            ..ctx
+        };
+        let Selection::Serve { model, .. } = s.select(&overloaded) else {
+            panic!("fallback must serve");
+        };
+        assert_eq!(model, profile.fastest_model());
+        assert_eq!(s.fallback_decisions(), 2);
     }
 }

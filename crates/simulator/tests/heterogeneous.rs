@@ -87,7 +87,8 @@ fn mixed_catalogs_serve_cleanly() {
     assert_eq!(scheme.name(), "RAMSIS-hetero");
 
     let trace = Trace::constant(load, 15.0);
-    let sim = Simulation::heterogeneous(profiles, SimulationConfig::new(workers, SLO_S).seeded(61));
+    let sim = Simulation::heterogeneous(profiles, SimulationConfig::new(workers, SLO_S).seeded(61))
+        .expect("valid simulation config");
     let mut monitor = OracleMonitor::new(trace.clone());
     let report = sim.run(&trace, &mut scheme, &mut monitor);
     assert_eq!(report.served, report.total_arrivals);
@@ -127,7 +128,8 @@ fn per_worker_policies_adapt_to_hardware_speed() {
 
     let mut scheme = PerWorkerRamsis::new(sets);
     let trace = Trace::constant(load, 15.0);
-    let sim = Simulation::heterogeneous(profiles, SimulationConfig::new(workers, SLO_S).seeded(62));
+    let sim = Simulation::heterogeneous(profiles, SimulationConfig::new(workers, SLO_S).seeded(62))
+        .expect("valid simulation config");
     let mut monitor = OracleMonitor::new(trace.clone());
     let report = sim.run(&trace, &mut scheme, &mut monitor);
     assert_eq!(report.served, report.total_arrivals);
@@ -139,14 +141,18 @@ fn per_worker_policies_adapt_to_hardware_speed() {
 }
 
 #[test]
-#[should_panic(expected = "one profile per worker")]
 fn profile_count_must_match_workers() {
     let full = full_profile();
-    let _ = Simulation::heterogeneous(vec![&full], SimulationConfig::new(3, SLO_S));
+    let err = Simulation::heterogeneous(vec![&full], SimulationConfig::new(3, SLO_S))
+        .err()
+        .expect("mismatched profile count must be rejected");
+    assert!(
+        err.to_string().contains("one profile per worker"),
+        "unexpected error: {err}"
+    );
 }
 
 #[test]
-#[should_panic(expected = "profile was built for SLO")]
 fn slo_mismatch_rejected() {
     let full = full_profile();
     let wrong = WorkerProfile::build(
@@ -154,5 +160,11 @@ fn slo_mismatch_rejected() {
         Duration::from_millis(300),
         ProfilerConfig::default(),
     );
-    let _ = Simulation::heterogeneous(vec![&full, &wrong], SimulationConfig::new(2, SLO_S));
+    let err = Simulation::heterogeneous(vec![&full, &wrong], SimulationConfig::new(2, SLO_S))
+        .err()
+        .expect("SLO mismatch must be rejected");
+    assert!(
+        err.to_string().contains("profile was built for SLO"),
+        "unexpected error: {err}"
+    );
 }

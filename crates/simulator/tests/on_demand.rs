@@ -34,7 +34,8 @@ fn unexpected_load_triggers_generation() {
     assert_eq!(scheme.generated_on_demand(), 0);
 
     let trace = Trace::from_interval_qps(&[80.0, 250.0, 400.0], 10.0, TraceKind::Custom);
-    let sim = Simulation::new(&p, SimulationConfig::new(workers, 0.15).seeded(71));
+    let sim = Simulation::new(&p, SimulationConfig::new(workers, 0.15).seeded(71))
+        .expect("valid simulation config");
     let mut monitor = OracleMonitor::new(trace.clone());
     let report = sim.run(&trace, &mut scheme, &mut monitor);
 
@@ -65,7 +66,8 @@ fn covered_loads_never_generate() {
         PolicySet::generate_poisson(&p, &[100.0, 300.0, 500.0], &config(workers)).unwrap();
     let mut scheme = OnDemandRamsis::new(&p, config(workers), initial);
     let trace = Trace::constant(250.0, 10.0);
-    let sim = Simulation::new(&p, SimulationConfig::new(workers, 0.15).seeded(72));
+    let sim = Simulation::new(&p, SimulationConfig::new(workers, 0.15).seeded(72))
+        .expect("valid simulation config");
     let mut monitor = OracleMonitor::new(trace.clone());
     let _ = sim.run(&trace, &mut scheme, &mut monitor);
     assert_eq!(scheme.generated_on_demand(), 0);

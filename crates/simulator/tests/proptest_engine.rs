@@ -68,7 +68,7 @@ proptest! {
             _ => Routing::PerWorkerShortestQueue,
         };
         let trace = Trace::constant(qps, duration);
-        let sim = Simulation::new(profile(), SimulationConfig::new(workers, 0.15).seeded(seed));
+        let sim = Simulation::new(profile(), SimulationConfig::new(workers, 0.15).seeded(seed)).expect("valid simulation config");
         let mut scheme = CyclingScheme { routing, batch_cap, tick: 0 };
         let mut monitor = LoadMonitor::new();
         let report = sim.run(&trace, &mut scheme, &mut monitor);
@@ -104,7 +104,8 @@ proptest! {
         let sim = Simulation::new(
             profile(),
             SimulationConfig::new(workers, 0.15).seeded(seed).with_timeline(window),
-        );
+        )
+        .expect("valid simulation config");
         let mut scheme = CyclingScheme {
             routing: Routing::Central,
             batch_cap: 4,

@@ -54,7 +54,8 @@ fn run_md1(profile: &WorkerProfile, model: usize, rho: f64, seed: u64) -> (f64, 
     // Long enough for tight confidence: ~50k arrivals at moderate rho.
     let horizon = 50_000.0 / lambda;
     let trace = Trace::constant(lambda, horizon);
-    let sim = Simulation::new(profile, SimulationConfig::new(1, 0.5).seeded(seed));
+    let sim = Simulation::new(profile, SimulationConfig::new(1, 0.5).seeded(seed))
+        .expect("valid simulation config");
     let mut scheme = SingleService { model };
     let mut monitor = LoadMonitor::new();
     let report = sim.run(&trace, &mut scheme, &mut monitor);
@@ -87,7 +88,8 @@ fn md1_utilization_equals_rho() {
     for rho in [0.3, 0.6, 0.9] {
         let lambda = rho / s;
         let trace = Trace::constant(lambda, 30_000.0 / lambda);
-        let sim = Simulation::new(&p, SimulationConfig::new(1, 0.5).seeded(0xD5));
+        let sim = Simulation::new(&p, SimulationConfig::new(1, 0.5).seeded(0xD5))
+            .expect("valid simulation config");
         let mut scheme = SingleService { model };
         let mut monitor = LoadMonitor::new();
         let report = sim.run(&trace, &mut scheme, &mut monitor);
@@ -120,7 +122,8 @@ fn response_time_is_wait_plus_service() {
     let rho = 0.5;
     let lambda = rho / s;
     let trace = Trace::constant(lambda, 30_000.0 / lambda);
-    let sim = Simulation::new(&p, SimulationConfig::new(1, 0.5).seeded(0xD3));
+    let sim = Simulation::new(&p, SimulationConfig::new(1, 0.5).seeded(0xD3))
+        .expect("valid simulation config");
     let mut scheme = SingleService { model };
     let mut monitor = LoadMonitor::new();
     let report = sim.run(&trace, &mut scheme, &mut monitor);
@@ -145,7 +148,8 @@ fn multi_server_reduces_wait_at_fixed_total_load() {
     let c = 8usize;
     let lambda = c as f64 * rho / s;
     let trace = Trace::constant(lambda, 80_000.0 / lambda);
-    let sim = Simulation::new(&p, SimulationConfig::new(c, 0.5).seeded(0xD4));
+    let sim = Simulation::new(&p, SimulationConfig::new(c, 0.5).seeded(0xD4))
+        .expect("valid simulation config");
     let mut scheme = SingleService { model };
     let mut monitor = LoadMonitor::new();
     let report = sim.run(&trace, &mut scheme, &mut monitor);

@@ -31,5 +31,5 @@ pub mod trace;
 
 pub use arrivals::{sample_gamma_renewal_arrivals, sample_poisson_arrivals};
 pub use fit::{fit_arrival_process, FittedArrivals};
-pub use monitor::{LoadEstimator, LoadMonitor, OracleMonitor};
+pub use monitor::{DivergenceMonitor, LoadEstimator, LoadMonitor, OracleMonitor};
 pub use trace::{Trace, TraceKind};

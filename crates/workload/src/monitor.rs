@@ -88,6 +88,65 @@ impl LoadEstimator for OracleMonitor {
     }
 }
 
+/// A monitor that also reports how far the *observed* load has diverged
+/// from the *planned* trace — the signal a degradation-aware serving
+/// scheme watches to tell an unexpected surge (fault injection, flash
+/// crowd) from ordinary noise.
+///
+/// Estimation behaves exactly like the wrapped [`LoadMonitor`]: the
+/// anticipated load is the measured one, so schemes driven through
+/// [`LoadEstimator`] see real conditions, not the plan. On top of that,
+/// [`Self::divergence`] exposes the observed-to-planned load ratio
+/// (1.0 = on plan, 3.0 = a 3× surge) and [`Self::is_surging`] thresholds
+/// it.
+#[derive(Debug, Clone)]
+pub struct DivergenceMonitor {
+    observed: LoadMonitor,
+    planned: Trace,
+}
+
+impl DivergenceMonitor {
+    /// Divergence is meaningless at near-zero planned load; below this
+    /// floor (QPS) the ratio is reported as 1.0.
+    pub const MIN_PLANNED_QPS: f64 = 1.0;
+
+    /// Creates the monitor with the paper's 500 ms measuring window over
+    /// the given planned trace.
+    pub fn new(planned: Trace) -> Self {
+        Self {
+            observed: LoadMonitor::new(),
+            planned,
+        }
+    }
+
+    /// The observed-to-planned load ratio at `now`: above 1.0 the
+    /// cluster sees more load than planned for. Clamped to 1.0 when the
+    /// plan expects (near-)zero load.
+    pub fn divergence(&mut self, now: f64) -> f64 {
+        let planned = self.planned.qps_at(now);
+        if planned < Self::MIN_PLANNED_QPS {
+            return 1.0;
+        }
+        self.observed.estimate(now) / planned
+    }
+
+    /// Whether observed load exceeds the plan by more than `factor`
+    /// (e.g. `1.5` flags sustained 50%-over-plan load).
+    pub fn is_surging(&mut self, now: f64, factor: f64) -> bool {
+        self.divergence(now) > factor
+    }
+}
+
+impl LoadEstimator for DivergenceMonitor {
+    fn record_arrival(&mut self, now: f64) {
+        self.observed.record_arrival(now);
+    }
+
+    fn estimate(&mut self, now: f64) -> f64 {
+        self.observed.estimate(now)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,6 +200,42 @@ mod tests {
         // Arrivals are ignored.
         mon.record_arrival(5.0);
         assert_eq!(mon.estimate(5.0), 100.0);
+    }
+
+    #[test]
+    fn divergence_flags_a_surge() {
+        // Plan for 1,000 QPS, actually receive 3,000.
+        let planned = Trace::constant(1_000.0, 10.0);
+        let actual = Trace::constant(3_000.0, 10.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let arrivals = sample_poisson_arrivals(&actual, &mut rng);
+        let mut mon = DivergenceMonitor::new(planned);
+        for &t in &arrivals {
+            mon.record_arrival(t);
+        }
+        let d = mon.divergence(10.0);
+        assert!((2.5..3.5).contains(&d), "divergence={d}");
+        assert!(mon.is_surging(10.0, 1.5));
+        assert!(!mon.is_surging(10.0, 4.0));
+        // Estimation reports the observed load, not the plan.
+        assert!((mon.estimate(10.0) - 3_000.0).abs() < 500.0);
+    }
+
+    #[test]
+    fn divergence_is_neutral_on_plan_and_at_zero_plan() {
+        let planned = Trace::constant(2_000.0, 5.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(22);
+        let arrivals = sample_poisson_arrivals(&planned, &mut rng);
+        let mut mon = DivergenceMonitor::new(planned);
+        for &t in &arrivals {
+            mon.record_arrival(t);
+        }
+        let d = mon.divergence(5.0);
+        assert!((0.8..1.2).contains(&d), "divergence={d}");
+        // A zero-load plan never divides by zero.
+        let mut idle = DivergenceMonitor::new(Trace::constant(0.0, 5.0));
+        idle.record_arrival(1.0);
+        assert_eq!(idle.divergence(1.0), 1.0);
     }
 
     #[test]

@@ -277,6 +277,51 @@ impl Trace {
                 .collect(),
         }
     }
+
+    /// Rescales the load by `factor` only inside `[from_s, to_s)`,
+    /// splitting segments at the boundaries so loads outside the window
+    /// are untouched (fault-injection arrival surges). The window is
+    /// clipped to the trace; a window entirely outside it returns the
+    /// trace unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or non-finite, or the window is
+    /// inverted or non-finite.
+    pub fn scaled_between(&self, from_s: f64, to_s: f64, factor: f64) -> Self {
+        assert!(
+            factor >= 0.0 && factor.is_finite(),
+            "scale factor must be non-negative, got {factor}"
+        );
+        assert!(
+            from_s.is_finite() && to_s.is_finite() && to_s > from_s,
+            "need a finite window with from < to, got [{from_s}, {to_s})"
+        );
+        let mut segments = Vec::with_capacity(self.segments.len() + 2);
+        let mut start = 0.0;
+        for &(len, q) in &self.segments {
+            let end = start + len;
+            // Portion of this segment inside the surge window.
+            let lo = from_s.max(start);
+            let hi = to_s.min(end);
+            if hi <= lo {
+                segments.push((len, q));
+            } else {
+                if lo > start {
+                    segments.push((lo - start, q));
+                }
+                segments.push((hi - lo, q * factor));
+                if end > hi {
+                    segments.push((end - hi, q));
+                }
+            }
+            start = end;
+        }
+        Self {
+            kind: self.kind,
+            segments,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -387,6 +432,40 @@ mod tests {
         let t = Trace::constant(100.0, 10.0).scaled(2.5);
         assert_eq!(t.qps_at(0.0), 250.0);
         assert_eq!(t.expected_queries(), 2_500.0);
+    }
+
+    #[test]
+    fn scaled_between_splits_at_boundaries() {
+        let t = Trace::from_interval_qps(&[100.0, 100.0, 100.0], 10.0, TraceKind::Custom);
+        let surged = t.scaled_between(5.0, 25.0, 3.0);
+        // Total duration and out-of-window loads are unchanged.
+        assert!((surged.duration() - 30.0).abs() < 1e-9);
+        assert_eq!(surged.qps_at(0.0), 100.0);
+        assert_eq!(surged.qps_at(4.999), 100.0);
+        assert_eq!(surged.qps_at(5.0), 300.0);
+        assert_eq!(surged.qps_at(15.0), 300.0);
+        assert_eq!(surged.qps_at(24.999), 300.0);
+        assert_eq!(surged.qps_at(25.0), 100.0);
+        // Expected queries: 10 s untouched + 20 s tripled.
+        assert!((surged.expected_queries() - (1_000.0 + 6_000.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_between_outside_trace_is_identity() {
+        let t = Trace::constant(100.0, 10.0);
+        let surged = t.scaled_between(50.0, 60.0, 3.0);
+        assert_eq!(surged.segments(), t.segments());
+        // Window clipped to the trace tail.
+        let tail = t.scaled_between(8.0, 60.0, 2.0);
+        assert_eq!(tail.qps_at(7.0), 100.0);
+        assert_eq!(tail.qps_at(9.0), 200.0);
+        assert!((tail.duration() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "from < to")]
+    fn scaled_between_rejects_inverted_window() {
+        let _ = Trace::constant(10.0, 10.0).scaled_between(5.0, 5.0, 2.0);
     }
 
     #[test]

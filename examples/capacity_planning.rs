@@ -64,7 +64,8 @@ fn main() {
     // the targets too.
     let set = PolicySet::from_policies(vec![policy]).expect("non-empty");
     let trace = Trace::constant(load_qps, 30.0);
-    let sim = Simulation::new(&profile, SimulationConfig::new(workers, slo.as_secs_f64()));
+    let sim = Simulation::new(&profile, SimulationConfig::new(workers, slo.as_secs_f64()))
+        .expect("valid simulation config");
     let mut scheme = RamsisScheme::new(set);
     let mut monitor = OracleMonitor::new(trace.clone());
     let report = sim.run(&trace, &mut scheme, &mut monitor);

@@ -46,7 +46,8 @@ fn main() {
     let mut rng = ChaCha8Rng::seed_from_u64(7);
     let bursty_arrivals = sample_gamma_renewal_arrivals(&trace, 0.25, &mut rng);
 
-    let sim = Simulation::new(&profile, SimulationConfig::new(workers, slo.as_secs_f64()));
+    let sim = Simulation::new(&profile, SimulationConfig::new(workers, slo.as_secs_f64()))
+        .expect("valid simulation config");
     for (policy_label, policy) in [("poisson-tuned", &p_policy), ("burst-tuned", &b_policy)] {
         let set = PolicySet::from_policies(vec![policy.clone()]).expect("non-empty");
         // Poisson traffic.

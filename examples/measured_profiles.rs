@@ -64,7 +64,8 @@ fn main() {
     );
 
     let trace = Trace::constant(load, 20.0);
-    let sim = Simulation::new(&profile, SimulationConfig::new(10, slo.as_secs_f64()));
+    let sim = Simulation::new(&profile, SimulationConfig::new(10, slo.as_secs_f64()))
+        .expect("valid simulation config");
     let mut scheme = ramsis::sim::RamsisScheme::new(set);
     let mut monitor = ramsis::workload::OracleMonitor::new(trace.clone());
     let report = sim.run(&trace, &mut scheme, &mut monitor);

@@ -50,7 +50,8 @@ fn main() {
     let sim = Simulation::new(
         &profile,
         SimulationConfig::new(workers, task_slo.as_secs_f64()),
-    );
+    )
+    .expect("valid simulation config");
 
     let mut ramsis = RamsisScheme::new(set);
     let mut monitor = LoadMonitor::new();

@@ -56,7 +56,8 @@ fn main() {
     // 4. Online phase (§3.2): deploy on 30 seconds of Poisson traffic.
     let set = PolicySet::from_policies(vec![policy]).expect("non-empty set");
     let trace = Trace::constant(800.0, 30.0);
-    let sim = Simulation::new(&profile, SimulationConfig::new(20, slo.as_secs_f64()));
+    let sim = Simulation::new(&profile, SimulationConfig::new(20, slo.as_secs_f64()))
+        .expect("valid simulation config");
     let mut scheme = ramsis::sim::RamsisScheme::new(set);
     let mut monitor = OracleMonitor::new(trace.clone());
     let report = sim.run(&trace, &mut scheme, &mut monitor);

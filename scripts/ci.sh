@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# The full pre-merge gate: formatting, lints as errors, the whole test
+# suite. Runs offline against the vendored registry stand-ins (see
+# README "Offline builds"); no network access required.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== cargo fmt --check ==="
+cargo fmt --all -- --check
+
+echo "=== cargo clippy (warnings are errors) ==="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "=== cargo test ==="
+cargo test --workspace -q
+
+echo "ci.sh: all green"

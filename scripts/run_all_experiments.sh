@@ -11,7 +11,7 @@ BINS=(
   table2_policy_gen_runtime fig5_production_trace fig6_constant_load
   fig7_fidelity fig8_many_models fig10_discretization fig11_batching
   fig12_fewer_models appendix_h_infaas appendix_i_sqf
-  ablation_design timeline_production
+  ablation_design timeline_production robustness_faults
 )
 status=0
 for bin in "${BINS[@]}"; do

@@ -53,7 +53,8 @@ fn every_paper_configuration_is_servable() {
 
             let set = PolicySet::from_policies(vec![policy]).unwrap();
             let trace = Trace::constant(load, 10.0);
-            let sim = Simulation::new(&profile, SimulationConfig::new(workers, slo_s).seeded(1));
+            let sim = Simulation::new(&profile, SimulationConfig::new(workers, slo_s).seeded(1))
+                .expect("valid simulation config");
             let mut scheme = RamsisScheme::new(set);
             let mut monitor = OracleMonitor::new(trace.clone());
             let report = sim.run(&trace, &mut scheme, &mut monitor);

@@ -73,7 +73,8 @@ fn overload_sheds_instead_of_serving_late() {
     let run = |on_miss: MissPolicy| {
         let set =
             PolicySet::generate_poisson(profile(), &[load], &config(workers, on_miss)).unwrap();
-        let sim = Simulation::new(profile(), SimulationConfig::new(workers, 0.15).seeded(21));
+        let sim = Simulation::new(profile(), SimulationConfig::new(workers, 0.15).seeded(21))
+            .expect("valid simulation config");
         let mut scheme = RamsisScheme::new(set);
         let mut monitor = OracleMonitor::new(trace.clone());
         sim.run(&trace, &mut scheme, &mut monitor)

@@ -35,7 +35,8 @@ fn guarantees_bracket_simulation_across_loads() {
         let set = PolicySet::generate_poisson(profile(), &[load], &quick_config(workers)).unwrap();
         let g = *set.policies()[0].guarantees();
         let trace = Trace::constant(load, 20.0);
-        let sim = Simulation::new(profile(), SimulationConfig::new(workers, 0.15).seeded(99));
+        let sim = Simulation::new(profile(), SimulationConfig::new(workers, 0.15).seeded(99))
+            .expect("valid simulation config");
         let mut scheme = RamsisScheme::new(set);
         let mut monitor = OracleMonitor::new(trace.clone());
         let report = sim.run(&trace, &mut scheme, &mut monitor);
@@ -63,7 +64,8 @@ fn ramsis_beats_load_granular_baseline() {
     let set = PolicySet::generate_poisson(profile(), &loads, &quick_config(workers)).unwrap();
     for load in loads {
         let trace = Trace::constant(load, 20.0);
-        let sim = Simulation::new(profile(), SimulationConfig::new(workers, 0.15).seeded(7));
+        let sim = Simulation::new(profile(), SimulationConfig::new(workers, 0.15).seeded(7))
+            .expect("valid simulation config");
         let mut ramsis = RamsisScheme::new(set.clone());
         let mut m1 = OracleMonitor::new(trace.clone());
         let r = sim.run(&trace, &mut ramsis, &mut m1);
@@ -98,7 +100,8 @@ fn online_policy_switching_follows_load() {
         10.0,
         ramsis::workload::TraceKind::Custom,
     );
-    let sim = Simulation::new(profile(), SimulationConfig::new(workers, 0.15).seeded(3));
+    let sim = Simulation::new(profile(), SimulationConfig::new(workers, 0.15).seeded(3))
+        .expect("valid simulation config");
     let mut scheme = RamsisScheme::new(set);
     let mut monitor = LoadMonitor::new();
     let report = sim.run(&trace, &mut scheme, &mut monitor);
@@ -123,7 +126,8 @@ fn overload_degrades_gracefully_for_every_scheme() {
     let workers = 2;
     let load = 500.0;
     let trace = Trace::constant(load, 5.0);
-    let sim = Simulation::new(profile(), SimulationConfig::new(workers, 0.15).seeded(5));
+    let sim = Simulation::new(profile(), SimulationConfig::new(workers, 0.15).seeded(5))
+        .expect("valid simulation config");
 
     let set = PolicySet::generate_poisson(profile(), &[load], &quick_config(workers)).unwrap();
     let mut ramsis = RamsisScheme::new(set);
@@ -144,7 +148,8 @@ fn deterministic_across_runs() {
     let workers = 4;
     let set = PolicySet::generate_poisson(profile(), &[200.0], &quick_config(workers)).unwrap();
     let trace = Trace::constant(200.0, 5.0);
-    let sim = Simulation::new(profile(), SimulationConfig::new(workers, 0.15).seeded(11));
+    let sim = Simulation::new(profile(), SimulationConfig::new(workers, 0.15).seeded(11))
+        .expect("valid simulation config");
     let run = |set: PolicySet| {
         let mut scheme = RamsisScheme::new(set);
         let mut monitor = OracleMonitor::new(trace.clone());

@@ -52,7 +52,8 @@ fn reloaded_policy_simulates_identically() {
     let policy = quick_policy(&profile);
     let reloaded = ramsis::core::WorkerPolicy::from_json(&policy.to_json()).unwrap();
     let trace = Trace::constant(150.0, 5.0);
-    let sim = Simulation::new(&profile, SimulationConfig::new(4, 0.15).seeded(13));
+    let sim = Simulation::new(&profile, SimulationConfig::new(4, 0.15).seeded(13))
+        .expect("valid simulation config");
     let run = |p: ramsis::core::WorkerPolicy| {
         let mut scheme = RamsisScheme::new(PolicySet::from_policies(vec![p]).unwrap());
         let mut monitor = OracleMonitor::new(trace.clone());
@@ -91,7 +92,8 @@ fn report_round_trips() {
     let profile = profile();
     let policy = quick_policy(&profile);
     let trace = Trace::constant(100.0, 3.0);
-    let sim = Simulation::new(&profile, SimulationConfig::new(4, 0.15));
+    let sim =
+        Simulation::new(&profile, SimulationConfig::new(4, 0.15)).expect("valid simulation config");
     let mut scheme = RamsisScheme::new(PolicySet::from_policies(vec![policy]).unwrap());
     let mut monitor = OracleMonitor::new(trace.clone());
     let report = sim.run(&trace, &mut scheme, &mut monitor);

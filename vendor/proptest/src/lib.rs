@@ -1,0 +1,285 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Samples each strategy with a fixed-seed ChaCha8 stream and runs the
+//! test body `cases` times. Differences from upstream, acceptable for
+//! this workspace: no shrinking on failure (the panic message carries
+//! the case number; re-running is deterministic, so a failing case
+//! always reproduces), and `prop_assert!`/`prop_assert_eq!` panic
+//! directly instead of returning a `TestCaseError`.
+
+use std::ops::Range;
+
+pub use rand_chacha::ChaCha8Rng;
+
+/// Runner configuration. Only the case count is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut ChaCha8Rng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut ChaCha8Rng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rand::Rng::gen::<u64>(rng) % span) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut ChaCha8Rng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = self.end.wrapping_sub(self.start) as u64;
+                self.start.wrapping_add((rand::Rng::gen::<u64>(rng) % span) as $t)
+            }
+        }
+    )*};
+}
+
+signed_range_strategy!(i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut ChaCha8Rng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        let u = rand::Rng::gen::<f64>(rng);
+        // Clamp so half-open stays half-open even after rounding.
+        (self.start + u * (self.end - self.start)).min(self.end - f64::EPSILON * self.end.abs())
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut ChaCha8Rng) -> f32 {
+        assert!(self.start < self.end, "empty strategy range");
+        let u = rand::Rng::gen::<f64>(rng) as f32;
+        self.start + u * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut ChaCha8Rng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+
+/// Constant strategies for whole primitive domains.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl Strategy for Any<u64> {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut ChaCha8Rng) -> u64 {
+        rand::Rng::gen::<u64>(rng)
+    }
+}
+
+impl Strategy for Any<u32> {
+    type Value = u32;
+
+    fn generate(&self, rng: &mut ChaCha8Rng) -> u32 {
+        rand::Rng::gen::<u32>(rng)
+    }
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut ChaCha8Rng) -> bool {
+        rand::Rng::gen_bool(rng, 0.5)
+    }
+}
+
+pub mod num {
+    pub mod u64 {
+        pub const ANY: crate::Any<u64> = crate::Any(std::marker::PhantomData);
+    }
+
+    pub mod u32 {
+        pub const ANY: crate::Any<u32> = crate::Any(std::marker::PhantomData);
+    }
+}
+
+pub mod bool {
+    pub const ANY: crate::Any<::core::primitive::bool> = crate::Any(std::marker::PhantomData);
+}
+
+pub mod collection {
+    use super::{ChaCha8Rng, Strategy};
+    use std::ops::Range;
+
+    /// Vec strategy: length sampled from `len`, elements from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut ChaCha8Rng) -> Self::Value {
+            let n = self.len.generate(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Seeds the per-test RNG. Fixed constant: runs are reproducible and a
+/// reported failing case number always replays.
+pub fn test_rng() -> ChaCha8Rng {
+    rand::SeedableRng::seed_from_u64(0x5052_4f50_5445_5354) // "PROPTEST"
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_rng();
+            for __case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let _ = __case;
+                $body
+            }
+        }
+    )*};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = super::test_rng();
+        for _ in 0..1_000 {
+            let x = Strategy::generate(&(3u32..9), &mut rng);
+            assert!((3..9).contains(&x));
+            let f = Strategy::generate(&(0.5f64..2.5), &mut rng);
+            assert!((0.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_len() {
+        let mut rng = super::test_rng();
+        for _ in 0..200 {
+            let v = Strategy::generate(
+                &super::collection::vec((0.0f64..1.0, 0u64..5), 2..7),
+                &mut rng,
+            );
+            assert!((2..7).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = super::test_rng();
+        let mut b = super::test_rng();
+        for _ in 0..100 {
+            assert_eq!(
+                Strategy::generate(&super::num::u64::ANY, &mut a),
+                Strategy::generate(&super::num::u64::ANY, &mut b)
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_round_trip(x in 1u64..100, flip in crate::bool::ANY, ) {
+            prop_assert!(x >= 1 && x < 100);
+            prop_assert_eq!(flip, flip);
+        }
+    }
+}

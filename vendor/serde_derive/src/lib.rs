@@ -1,0 +1,398 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! `serde` stand-in.
+//!
+//! Parses the derive input by hand (the offline environment has no
+//! `syn`/`quote`) and emits impls of the stand-in's Value-based traits.
+//! Supported shapes — the only ones this workspace uses:
+//!
+//! - structs with named fields, tuple structs, unit structs
+//! - enums whose variants are unit, tuple, or struct-like
+//!
+//! Not supported (compile error): generics, lifetimes, unions, and any
+//! `#[serde(...)]` attribute.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of a struct body or an enum variant's payload.
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// A parsed derive input.
+enum Input {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<(String, Fields)> },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    let body = match &parsed {
+        Input::Struct { name, fields } => serialize_struct(name, fields),
+        Input::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    body.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    let body = match &parsed {
+        Input::Struct { name, fields } => deserialize_struct(name, fields),
+        Input::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    body.parse().expect("generated Deserialize impl parses")
+}
+
+// ---- parsing ---------------------------------------------------------
+
+fn parse(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic type `{name}`");
+    }
+    // Locate the body group (brace for structs/enums, paren for tuple
+    // structs); a plain `;` means a unit struct.
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("unsupported struct body for `{name}`: {other:?}"),
+            };
+            Input::Struct { name, fields }
+        }
+        "enum" => {
+            let Some(TokenTree::Group(g)) = tokens.get(i) else {
+                panic!("expected enum body for `{name}`");
+            };
+            Input::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            }
+        }
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+/// Advances past `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' plus the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, got {other:?}"),
+    }
+}
+
+/// Skips tokens until a comma at angle-bracket depth zero, consuming
+/// the comma. Groups `() [] {}` are single tokens, so only `<>` needs
+/// explicit depth tracking.
+fn skip_to_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle: i32 = 0;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            return fields;
+        }
+        fields.push(expect_ident(&tokens, &mut i));
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field name, got {other:?}"),
+        }
+        skip_to_comma(&tokens, &mut i);
+    }
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut count = 0;
+    loop {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            return count;
+        }
+        count += 1;
+        skip_to_comma(&tokens, &mut i);
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Vec<(String, Fields)> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            return variants;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push((name, fields));
+        // Skips an explicit discriminant if present, up to the comma.
+        skip_to_comma(&tokens, &mut i);
+    }
+}
+
+// ---- code generation -------------------------------------------------
+
+fn serialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Named(names) => {
+            let entries: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec::Vec::from([{}]))",
+                entries.join(", ")
+            )
+        }
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "::serde::Value::Array(::std::vec::Vec::from([{}]))",
+                items.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[(String, Fields)]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|(v, fields)| match fields {
+            Fields::Unit => format!(
+                "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+            ),
+            Fields::Named(names) => {
+                let bind = names.join(", ");
+                let entries: Vec<String> = names
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), \
+                             ::serde::Serialize::to_value({f}))"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{name}::{v} {{ {bind} }} => ::serde::Value::Object(::std::vec::Vec::from([\
+                     (::std::string::String::from(\"{v}\"), \
+                     ::serde::Value::Object(::std::vec::Vec::from([{}])))])),",
+                    entries.join(", ")
+                )
+            }
+            Fields::Tuple(n) => {
+                let bind: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                let items: Vec<String> = bind
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                format!(
+                    "{name}::{v}({}) => ::serde::Value::Object(::std::vec::Vec::from([\
+                     (::std::string::String::from(\"{v}\"), \
+                     ::serde::Value::Array(::std::vec::Vec::from([{}])))])),",
+                    bind.join(", "),
+                    items.join(", ")
+                )
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n\
+         match self {{ {} }}\n\
+         }}\n\
+         }}",
+        arms.join("\n")
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => format!("::std::result::Result::Ok({name})"),
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(v.field(\"{f}\")\
+                         .ok_or_else(|| ::serde::DeError::missing_field(\"{name}\", \"{f}\"))?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "if !matches!(v, ::serde::Value::Object(_)) {{\n\
+                 return ::std::result::Result::Err(::serde::DeError::expected(\"struct {name}\", v));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join("\n")
+            )
+        }
+        Fields::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                .collect();
+            format!(
+                "let items = v.elements()\
+                 .ok_or_else(|| ::serde::DeError::expected(\"tuple struct {name}\", v))?;\n\
+                 if items.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::DeError(::std::format!(\
+                 \"{name}: expected {n} elements, got {{}}\", items.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(" ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[(String, Fields)]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|(_, f)| matches!(f, Fields::Unit))
+        .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+        .collect();
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .map(|(v, fields)| match fields {
+            Fields::Unit => format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"),
+            Fields::Named(names) => {
+                let inits: Vec<String> = names
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(inner.field(\"{f}\")\
+                             .ok_or_else(|| ::serde::DeError::missing_field(\"{name}::{v}\", \"{f}\"))?)?,"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "\"{v}\" => ::std::result::Result::Ok({name}::{v} {{ {} }}),",
+                    inits.join(" ")
+                )
+            }
+            Fields::Tuple(n) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                    .collect();
+                format!(
+                    "\"{v}\" => {{\n\
+                     let items = inner.elements()\
+                     .ok_or_else(|| ::serde::DeError::expected(\"variant {name}::{v}\", inner))?;\n\
+                     if items.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::DeError(::std::format!(\
+                     \"{name}::{v}: expected {n} elements, got {{}}\", items.len())));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name}::{v}({}))\n\
+                     }}",
+                    inits.join(" ")
+                )
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         if let ::serde::Value::Str(s) = v {{\n\
+         return match s.as_str() {{\n\
+         {}\n\
+         other => ::std::result::Result::Err(::serde::DeError::unknown_variant(\"{name}\", other)),\n\
+         }};\n\
+         }}\n\
+         let (tag, inner) = v.single_entry()\
+         .ok_or_else(|| ::serde::DeError::expected(\"enum {name}\", v))?;\n\
+         let _ = inner;\n\
+         match tag {{\n\
+         {}\n\
+         other => ::std::result::Result::Err(::serde::DeError::unknown_variant(\"{name}\", other)),\n\
+         }}\n\
+         }}\n\
+         }}",
+        unit_arms.join("\n"),
+        tagged_arms.join("\n")
+    )
+}
