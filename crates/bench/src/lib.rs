@@ -19,6 +19,7 @@
 //! | `appendix_h_infaas` | §H — INFaaS-style comparison |
 //! | `appendix_i_sqf` | §I — shortest-queue-first balancing |
 //! | `robustness_faults` | fault injection + graceful degradation (EXPERIMENTS.md) |
+//! | `drift_adaptation` | arrival drift + policy hot-swap + shedding (EXPERIMENTS.md) |
 //!
 //! Binaries default to *quick* parameter grids sized for a small
 //! machine; pass `--full` for the paper's grids. All output lands under
@@ -26,12 +27,14 @@
 //! ASCII plots.
 
 pub mod args;
+pub mod drift;
 pub mod harness;
 pub mod output;
 pub mod report;
 pub mod robustness;
 
 pub use args::ExperimentArgs;
+pub use drift::{run_drift, DriftConfig, DriftOutcome};
 pub use harness::{
     build_profile, ms_scheme, ramsis_policy_set, run_scheme, MonitorKind, RunOutcome,
 };

@@ -1,5 +1,6 @@
 //! Subcommand implementations.
 
+pub mod drift;
 pub mod gen;
 pub mod inspect;
 pub mod ms_gen;

@@ -34,6 +34,7 @@ pub fn run(args: &[String]) -> i32 {
         "inspect" => commands::inspect::run(rest),
         "profiles" => commands::profiles::run(rest),
         "robustness" => commands::robustness::run(rest),
+        "drift" => commands::drift::run(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return 0;
@@ -63,6 +64,9 @@ commands:
   profiles export/import raw latency profiles (artifact layout, §A.2.4)
   robustness run the canonical fault schedule (crash/slowdown/surge)
            against degrading RAMSIS, stale RAMSIS, and the baselines
+  drift    run the canonical drifting stream (rate ramp + dispersion
+           shift) against adaptive RAMSIS, stale RAMSIS, and the
+           fixed-fastest baseline
 
 common flags (artifact §A.5):
   --task image|text     inference task              [default: image]

@@ -33,6 +33,7 @@ pub mod generator;
 pub mod guarantees;
 pub mod policy;
 pub mod policy_set;
+pub mod regime;
 pub mod sqf;
 pub mod state;
 pub mod transitions;
@@ -48,6 +49,7 @@ pub use generator::{assemble_mdp as assemble_mdp_for_bench, generate_policy, mdp
 pub use guarantees::{AccuracyDistribution, Guarantees};
 pub use policy::{Decision, WorkerPolicy};
 pub use policy_set::{DegradablePolicySet, PolicySet};
+pub use regime::{PolicyLibrary, ShedPolicy};
 pub use state::{State, StateSpace};
 
 /// The Poisson arrival process (re-exported for API convenience; the

@@ -12,7 +12,7 @@
 use serde::{Deserialize, Serialize};
 
 use ramsis_profiles::WorkerProfile;
-use ramsis_stats::PoissonProcess;
+use ramsis_stats::{NegativeBinomialProcess, PoissonProcess};
 
 use crate::config::PolicyConfig;
 use crate::error::CoreError;
@@ -53,6 +53,52 @@ impl PolicySet {
             policies.push(generate_policy(
                 profile,
                 &PoissonProcess::per_second(qps),
+                config,
+            )?);
+        }
+        policies.sort_by(|a, b| {
+            a.design_load_qps
+                .partial_cmp(&b.design_load_qps)
+                .expect("loads are finite")
+        });
+        Ok(Self { policies })
+    }
+
+    /// Generates one policy per load in `loads_qps` against the
+    /// negative-binomial Lévy process with the given count dispersion
+    /// (variance-to-mean ratio of the window counts, `> 1`) — the
+    /// over-dispersed arrival model the drift detector fits bursty
+    /// traffic to.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty or non-positive load list and `dispersion <= 1`
+    /// (use [`Self::generate_poisson`] at dispersion 1), and propagates
+    /// the first generation failure.
+    pub fn generate_negative_binomial(
+        profile: &WorkerProfile,
+        loads_qps: &[f64],
+        dispersion: f64,
+        config: &PolicyConfig,
+    ) -> Result<Self, CoreError> {
+        if loads_qps.is_empty() {
+            return Err(CoreError::InvalidConfig("load list is empty".into()));
+        }
+        if !(dispersion > 1.0 && dispersion.is_finite()) {
+            return Err(CoreError::InvalidConfig(format!(
+                "negative-binomial dispersion must be finite and > 1, got {dispersion}"
+            )));
+        }
+        let mut policies = Vec::with_capacity(loads_qps.len());
+        for &qps in loads_qps {
+            if !(qps > 0.0 && qps.is_finite()) {
+                return Err(CoreError::InvalidConfig(format!(
+                    "loads must be positive, got {qps}"
+                )));
+            }
+            policies.push(generate_policy(
+                profile,
+                &NegativeBinomialProcess::new(qps, dispersion),
                 config,
             )?);
         }

@@ -370,6 +370,7 @@ impl<'a> Simulation<'a> {
                     let t = nanos_from_secs(arrivals[idx]);
                     let q = Query::new(i, t, slo);
                     estimator.record_arrival(secs_from_nanos(t));
+                    scheme.on_arrival(secs_from_nanos(t));
                     // Schedule the next arrival.
                     if idx + 1 < arrivals.len() {
                         heap.push(Reverse((
@@ -461,6 +462,10 @@ impl<'a> Simulation<'a> {
                     let (model, queries, started) = cluster.in_flight[w]
                         .take()
                         .expect("completion implies in-flight work");
+                    metrics.note_regime(scheme.regime());
+                    if let Some(d) = estimator.divergence(secs_from_nanos(now)) {
+                        metrics.record_divergence(d);
+                    }
                     metrics.record_batch(self.profile_of(w), model, &queries, started, now);
                     cluster.busy[w] = false;
                     let queue = match routing {
@@ -583,12 +588,18 @@ impl<'a> Simulation<'a> {
             }
         }
 
-        Ok(metrics.report(
+        let regime_breakdown = metrics.regime_breakdown();
+        let mut report = metrics.report(
             scheme.name().to_owned(),
             arrivals.len() as u64,
             horizon,
             n_workers,
-        ))
+        );
+        if let Some(mut stats) = scheme.adaptive_stats() {
+            stats.per_regime = regime_breakdown;
+            report.adaptive = Some(stats);
+        }
+        Ok(report)
     }
 
     /// The next live worker in round-robin order, advancing the cursor;

@@ -26,6 +26,7 @@
 //! seeds. No queries are ever dropped (§7: evaluated systems "do not
 //! drop queries when facing latency SLO violations").
 
+pub mod adaptive;
 pub mod engine;
 pub mod faults;
 pub mod latency;
@@ -38,10 +39,14 @@ pub mod scheme;
 /// handle one error family across the stack).
 pub use ramsis_core::CoreError as SimError;
 
+pub use adaptive::AdaptiveRamsis;
 pub use engine::{Simulation, SimulationConfig};
 pub use faults::{CrashPolicy, FaultEvent, FaultPlan};
 pub use latency::LatencyMode;
-pub use metrics::{FaultStats, SimulationReport, TimelineBucket};
+pub use metrics::{
+    AdaptiveStats, DivergenceStats, FaultStats, RegimeBreakdown, RegimeSwapEvent, SimulationReport,
+    TimelineBucket,
+};
 pub use multi_slo::{run_multi_slo, SloClass};
 pub use query::Query;
 pub use scheme::{

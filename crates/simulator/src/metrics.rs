@@ -60,6 +60,13 @@ pub struct MetricsCollector {
     crash_dropped: u64,
     /// Accumulated dead worker-seconds.
     downtime_s: f64,
+    /// Load-monitor divergence samples (only populated when the run's
+    /// estimator reports divergence, i.e. a `DivergenceMonitor`).
+    divergence: OnlineStats,
+    /// Regime the scheme currently reports, if any (adaptive schemes).
+    current_regime: Option<String>,
+    /// Per-regime `(served, violations)`, keyed by regime label.
+    regime_counts: BTreeMap<String, (u64, u64)>,
 }
 
 impl Default for MetricsCollector {
@@ -89,6 +96,9 @@ impl MetricsCollector {
             crash_requeued: 0,
             crash_dropped: 0,
             downtime_s: 0.0,
+            divergence: OnlineStats::new(),
+            current_regime: None,
+            regime_counts: BTreeMap::new(),
         }
     }
 
@@ -164,6 +174,11 @@ impl MetricsCollector {
             .per_model
             .entry(profile.models[model].name.clone())
             .or_insert(0) += queries.len() as u64;
+        if let Some(regime) = &self.current_regime {
+            let entry = self.regime_counts.entry(regime.clone()).or_insert((0, 0));
+            entry.0 += queries.len() as u64;
+            entry.1 += queries.iter().filter(|q| done > q.deadline).count() as u64;
+        }
         for q in queries {
             self.served += 1;
             self.response
@@ -196,6 +211,37 @@ impl MetricsCollector {
     /// Records queries shed without service at time `now`.
     pub fn record_dropped(&mut self, queries: &[Query]) {
         self.dropped += queries.len() as u64;
+    }
+
+    /// Records one load-monitor divergence sample (relative error of
+    /// the online estimate against the planned load).
+    pub fn record_divergence(&mut self, divergence: f64) {
+        self.divergence.push(divergence);
+    }
+
+    /// Notes the regime the scheme currently reports; subsequent
+    /// completions are attributed to it. `None` (non-adaptive schemes)
+    /// leaves attribution off.
+    pub fn note_regime(&mut self, regime: Option<&str>) {
+        match (regime, &self.current_regime) {
+            (None, None) => {}
+            (Some(r), Some(cur)) if cur == r => {}
+            (r, _) => self.current_regime = r.map(str::to_owned),
+        }
+    }
+
+    /// Per-regime served/violation counts accumulated so far (empty for
+    /// non-adaptive schemes). Capture before [`Self::report`], which
+    /// consumes the collector.
+    pub fn regime_breakdown(&self) -> Vec<RegimeBreakdown> {
+        self.regime_counts
+            .iter()
+            .map(|(regime, &(served, violations))| RegimeBreakdown {
+                regime: regime.clone(),
+                served,
+                violations,
+            })
+            .collect()
     }
 
     /// Finalizes the report. `workers` scales the utilization.
@@ -255,6 +301,16 @@ impl MetricsCollector {
                 0.0
             },
             horizon_s: secs_from_nanos(horizon),
+            divergence: if self.divergence.count() > 0 {
+                Some(DivergenceStats {
+                    mean: self.divergence.mean(),
+                    max: self.divergence.max().unwrap_or(0.0),
+                    samples: self.divergence.count(),
+                })
+            } else {
+                None
+            },
+            adaptive: None,
             faults: FaultStats {
                 downtime_s: self.downtime_s,
                 crash_requeued: self.crash_requeued,
@@ -266,6 +322,88 @@ impl MetricsCollector {
             },
         }
     }
+}
+
+/// Summary of load-monitor divergence over a run (`None` in the report
+/// unless the estimator reports divergence — a
+/// [`ramsis_workload::DivergenceMonitor`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DivergenceStats {
+    /// Mean relative error of the online estimate vs the planned load.
+    pub mean: f64,
+    /// Worst sampled relative error.
+    pub max: f64,
+    /// Number of samples (one per batch completion).
+    pub samples: u64,
+}
+
+/// One committed regime swap, as seen by the adaptive scheme.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegimeSwapEvent {
+    /// Commit time, seconds from simulation start.
+    pub at_s: f64,
+    /// Label of the regime swapped away from.
+    pub from: String,
+    /// Label of the regime swapped to.
+    pub to: String,
+    /// Fitted arrival rate at commit, QPS.
+    pub fitted_rate_qps: f64,
+    /// Fitted count dispersion at commit.
+    pub fitted_dispersion: f64,
+    /// Seconds between first sighting of the regime and the commit
+    /// (confirmation + cooldown latency of the drift detector).
+    pub detection_delay_s: f64,
+}
+
+/// Served/violation counts attributed to one regime (by the regime the
+/// scheme reported when the batch completed).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegimeBreakdown {
+    /// Regime label (e.g. `"le120qps-poisson"`).
+    pub regime: String,
+    /// Completions attributed to the regime.
+    pub served: u64,
+    /// Of those, deadline misses.
+    pub violations: u64,
+}
+
+impl RegimeBreakdown {
+    /// Violation rate within the regime (0 when nothing completed).
+    pub fn violation_rate(&self) -> f64 {
+        if self.served > 0 {
+            self.violations as f64 / self.served as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Accounting for an adaptive scheme's runtime behavior (`None` in the
+/// report for non-adaptive schemes).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct AdaptiveStats {
+    /// Committed policy hot-swaps.
+    pub swaps: u64,
+    /// Drift-detector re-fits over the run.
+    pub refits: u64,
+    /// Queries shed because their deadline was already unreachable.
+    pub shed_hopeless: u64,
+    /// Queries shed to cap the queue depth.
+    pub shed_queue_depth: u64,
+    /// Regimes solved lazily online (not pre-solved in the library).
+    pub lazy_solves: u64,
+    /// Decisions answered by the fallback policy (regime without a
+    /// solved set).
+    pub fallback_decisions: u64,
+    /// Mean detection delay over committed swaps, seconds (0 when no
+    /// swap committed).
+    pub mean_detection_delay_s: f64,
+    /// Worst detection delay, seconds.
+    pub max_detection_delay_s: f64,
+    /// Every committed swap, in order.
+    pub regime_events: Vec<RegimeSwapEvent>,
+    /// Served/violation counts per regime label.
+    pub per_regime: Vec<RegimeBreakdown>,
 }
 
 /// Degradation accounting for a run with fault injection (all zeros for
@@ -355,6 +493,11 @@ pub struct SimulationReport {
     pub mean_utilization: f64,
     /// Simulated time horizon, seconds.
     pub horizon_s: f64,
+    /// Load-monitor divergence summary (`None` unless the run's
+    /// estimator reports divergence).
+    pub divergence: Option<DivergenceStats>,
+    /// Adaptive-runtime accounting (`None` for non-adaptive schemes).
+    pub adaptive: Option<AdaptiveStats>,
     /// Fault-injection accounting (all zeros for a fault-free run).
     pub faults: FaultStats,
 }

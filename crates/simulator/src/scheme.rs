@@ -11,6 +11,8 @@
 use ramsis_core::{Decision, DegradablePolicySet, FallbackPolicy, PolicyConfig, PolicySet};
 use ramsis_profiles::WorkerProfile;
 
+use crate::metrics::AdaptiveStats;
+
 /// How arrivals reach workers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Routing {
@@ -84,6 +86,27 @@ pub trait ServingScheme {
     /// schemes re-target their policies here.
     fn on_membership_change(&mut self, live_workers: usize) {
         let _ = live_workers;
+    }
+
+    /// Called by the engine on every query arrival. Default is a no-op;
+    /// drift-aware schemes feed their detector here (separately from
+    /// the load monitor, which every scheme shares).
+    fn on_arrival(&mut self, now_s: f64) {
+        let _ = now_s;
+    }
+
+    /// The traffic-regime label the scheme currently operates under, if
+    /// it tracks one; the engine attributes completions to it in the
+    /// report's per-regime breakdown. Default: `None` (non-adaptive).
+    fn regime(&self) -> Option<&str> {
+        None
+    }
+
+    /// Adaptive-runtime accounting for the report's
+    /// [`crate::metrics::SimulationReport::adaptive`] field. Default:
+    /// `None` (non-adaptive schemes leave the field empty).
+    fn adaptive_stats(&self) -> Option<AdaptiveStats> {
+        None
     }
 }
 

@@ -1,0 +1,751 @@
+//! Online arrival-drift detection: traffic regimes and regime-change
+//! events.
+//!
+//! RAMSIS's offline policies are only correct for the arrival model they
+//! were solved against (paper §3.1.1: the MDP transitions come from
+//! `PF(k, T)`). This module watches the *observed* arrival stream and
+//! decides, online, which **regime** it is in — a (rate bin, dispersion
+//! class) pair over a [`RegimeGrid`] — by periodically re-fitting a
+//! sliding window of arrival times through the moment-matching
+//! [`crate::fit::fit_arrival_process`].
+//!
+//! Estimation noise must not cause policy flapping, so a regime change
+//! is only *committed* after three defenses in series:
+//!
+//! 1. **Hysteresis** — leaving the active rate bin requires the fitted
+//!    rate to clear the bin edge by a margin, and leaving a dispersion
+//!    class uses separate enter/exit thresholds (Schmitt trigger).
+//! 2. **Confirmation** — the same candidate regime must be observed on
+//!    several consecutive re-fits.
+//! 3. **Cooldown** — after a swap, no further swap commits for a fixed
+//!    interval.
+//!
+//! The committed [`RegimeChange`] carries the detection delay (first
+//! sighting of the candidate to commit), which the simulator surfaces in
+//! its `AdaptiveStats`.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::fit::{fit_arrival_process, FittedArrivals};
+
+/// Dispersion class of the window counts: Poissonian (variance ≈ mean)
+/// or bursty (over-dispersed, variance > mean — fit by the negative
+/// binomial).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DispersionClass {
+    /// Counts consistent with a Poisson process.
+    Poisson,
+    /// Over-dispersed counts (bursty traffic).
+    Bursty,
+}
+
+impl DispersionClass {
+    /// Short lowercase label (`"poisson"` / `"bursty"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Poisson => "poisson",
+            Self::Bursty => "bursty",
+        }
+    }
+}
+
+/// A traffic regime: which rate bin of the grid the load falls in, and
+/// the dispersion class of its counts. Policy libraries are keyed by
+/// this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RegimeKey {
+    /// Index into [`RegimeGrid::rate_edges_qps`]; `edges.len()` means
+    /// the rate exceeds every edge (outside the designed grid).
+    pub rate_bin: usize,
+    /// Dispersion class of the window counts.
+    pub dispersion: DispersionClass,
+}
+
+impl RegimeKey {
+    /// Convenience constructor.
+    pub fn new(rate_bin: usize, dispersion: DispersionClass) -> Self {
+        Self {
+            rate_bin,
+            dispersion,
+        }
+    }
+}
+
+/// The regime discretization: rate-bin upper edges plus the dispersion
+/// Schmitt-trigger thresholds and the rate hysteresis margin.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegimeGrid {
+    /// Upper edges of the rate bins, QPS, strictly ascending. A rate
+    /// `r` falls in the first bin whose edge is `>= r`; rates beyond
+    /// the last edge map to bin `edges.len()` (outside the grid).
+    pub rate_edges_qps: Vec<f64>,
+    /// Dispersion at or above which counts classify as bursty when the
+    /// previous class was Poisson.
+    pub bursty_enter: f64,
+    /// Dispersion at or below which counts classify back to Poisson
+    /// when the previous class was bursty. Must be `< bursty_enter`.
+    pub bursty_exit: f64,
+    /// Relative margin a fitted rate must clear a bin edge by before
+    /// the rate bin changes (0.1 = 10% past the edge).
+    pub rate_hysteresis: f64,
+}
+
+impl RegimeGrid {
+    /// A grid over the given bin edges with the default Schmitt
+    /// thresholds (enter 1.8, exit 1.4 — the enter side sits ~3σ above
+    /// the Poisson dispersion estimate for ≳30 windows) and 10% rate
+    /// hysteresis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edges` is empty, not strictly ascending, or contains
+    /// non-positive or non-finite values.
+    pub fn new(rate_edges_qps: Vec<f64>) -> Self {
+        let grid = Self {
+            rate_edges_qps,
+            bursty_enter: 1.8,
+            bursty_exit: 1.4,
+            rate_hysteresis: 0.1,
+        };
+        grid.validate();
+        grid
+    }
+
+    fn validate(&self) {
+        assert!(
+            !self.rate_edges_qps.is_empty(),
+            "grid needs at least one bin"
+        );
+        for w in self.rate_edges_qps.windows(2) {
+            assert!(w[0] < w[1], "bin edges must be strictly ascending");
+        }
+        for &e in &self.rate_edges_qps {
+            assert!(
+                e.is_finite() && e > 0.0,
+                "bin edges must be positive, got {e}"
+            );
+        }
+        assert!(
+            self.bursty_exit < self.bursty_enter,
+            "need exit < enter for hysteresis, got {} >= {}",
+            self.bursty_exit,
+            self.bursty_enter
+        );
+        assert!(
+            (0.0..1.0).contains(&self.rate_hysteresis),
+            "rate hysteresis must be in [0, 1), got {}",
+            self.rate_hysteresis
+        );
+    }
+
+    /// Overrides the dispersion Schmitt thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `exit < enter`.
+    pub fn with_dispersion_thresholds(mut self, enter: f64, exit: f64) -> Self {
+        self.bursty_enter = enter;
+        self.bursty_exit = exit;
+        self.validate();
+        self
+    }
+
+    /// Overrides the rate hysteresis margin.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the margin is in `[0, 1)`.
+    pub fn with_rate_hysteresis(mut self, margin: f64) -> Self {
+        self.rate_hysteresis = margin;
+        self.validate();
+        self
+    }
+
+    /// Number of in-grid rate bins (the out-of-grid bin is extra).
+    pub fn n_bins(&self) -> usize {
+        self.rate_edges_qps.len()
+    }
+
+    /// The rate bin a rate falls in with no hysteresis: the first bin
+    /// whose upper edge covers it, or `n_bins()` beyond the last edge.
+    pub fn rate_bin(&self, rate_qps: f64) -> usize {
+        self.rate_edges_qps.partition_point(|&edge| edge < rate_qps)
+    }
+
+    /// The design rate of an in-grid bin — its upper edge (a policy
+    /// solved there covers every load in the bin); `None` for the
+    /// out-of-grid bin.
+    pub fn design_rate_qps(&self, rate_bin: usize) -> Option<f64> {
+        self.rate_edges_qps.get(rate_bin).copied()
+    }
+
+    /// Whether a key addresses a bin beyond the designed grid.
+    pub fn out_of_grid(&self, key: RegimeKey) -> bool {
+        key.rate_bin >= self.n_bins()
+    }
+
+    /// Every in-grid regime key, both dispersion classes, sorted.
+    pub fn all_keys(&self) -> Vec<RegimeKey> {
+        let mut keys = Vec::with_capacity(self.n_bins() * 2);
+        for bin in 0..self.n_bins() {
+            keys.push(RegimeKey::new(bin, DispersionClass::Poisson));
+            keys.push(RegimeKey::new(bin, DispersionClass::Bursty));
+        }
+        keys
+    }
+
+    /// Human-readable label for a key, e.g. `"le180qps-poisson"` or
+    /// `"gt280qps-bursty"` for the out-of-grid bin.
+    pub fn label(&self, key: RegimeKey) -> String {
+        match self.design_rate_qps(key.rate_bin) {
+            Some(edge) => format!("le{edge:.0}qps-{}", key.dispersion.label()),
+            None => format!(
+                "gt{:.0}qps-{}",
+                self.rate_edges_qps.last().expect("grid is never empty"),
+                key.dispersion.label()
+            ),
+        }
+    }
+
+    /// Classifies a fitted (rate, dispersion) into a regime, applying
+    /// hysteresis relative to `previous` (pass `None` for the initial,
+    /// margin-free classification).
+    pub fn classify(
+        &self,
+        rate_qps: f64,
+        dispersion: f64,
+        previous: Option<RegimeKey>,
+    ) -> RegimeKey {
+        let Some(prev) = previous else {
+            return RegimeKey::new(
+                self.rate_bin(rate_qps),
+                if dispersion >= self.bursty_enter {
+                    DispersionClass::Bursty
+                } else {
+                    DispersionClass::Poisson
+                },
+            );
+        };
+        let class = match prev.dispersion {
+            DispersionClass::Poisson if dispersion >= self.bursty_enter => DispersionClass::Bursty,
+            DispersionClass::Bursty if dispersion <= self.bursty_exit => DispersionClass::Poisson,
+            unchanged => unchanged,
+        };
+        RegimeKey::new(self.bin_with_hysteresis(rate_qps, prev.rate_bin), class)
+    }
+
+    fn bin_with_hysteresis(&self, rate_qps: f64, prev: usize) -> usize {
+        let naive = self.rate_bin(rate_qps);
+        if naive == prev {
+            return prev;
+        }
+        if naive > prev {
+            // Moving up: clear the previous bin's upper edge by the
+            // margin (prev < n_bins() since naive > prev).
+            let edge = self.rate_edges_qps[prev];
+            if rate_qps > edge * (1.0 + self.rate_hysteresis) {
+                naive
+            } else {
+                prev
+            }
+        } else {
+            // Moving down: drop below the previous bin's lower edge by
+            // the margin. prev == 0 cannot move down.
+            let lower = self.rate_edges_qps[prev - 1];
+            if rate_qps < lower * (1.0 - self.rate_hysteresis) {
+                naive
+            } else {
+                prev
+            }
+        }
+    }
+}
+
+/// Tuning for the [`DriftDetector`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftDetectorConfig {
+    /// Sliding history of arrival times retained, seconds.
+    pub window_s: f64,
+    /// Minimum spacing between re-fits, seconds.
+    pub refit_interval_s: f64,
+    /// Count-bucket length the moment-matching fit uses, seconds. Must
+    /// allow at least two buckets inside `window_s`.
+    pub fit_window_s: f64,
+    /// Minimum time between committed swaps, seconds.
+    pub cooldown_s: f64,
+    /// Consecutive re-fits that must agree on a candidate regime before
+    /// a swap commits (≥ 1).
+    pub confirm_refits: u32,
+    /// Below this many arrivals in the sliding history a re-fit is
+    /// skipped (the estimate would be all noise) and any pending
+    /// candidate is cleared.
+    pub min_arrivals: usize,
+}
+
+impl Default for DriftDetectorConfig {
+    fn default() -> Self {
+        Self {
+            window_s: 8.0,
+            refit_interval_s: 1.0,
+            fit_window_s: 0.25,
+            cooldown_s: 4.0,
+            confirm_refits: 2,
+            min_arrivals: 40,
+        }
+    }
+}
+
+impl DriftDetectorConfig {
+    fn validate(&self) {
+        assert!(
+            self.window_s.is_finite() && self.window_s > 0.0,
+            "window must be positive"
+        );
+        assert!(
+            self.refit_interval_s.is_finite() && self.refit_interval_s > 0.0,
+            "refit interval must be positive"
+        );
+        assert!(
+            self.fit_window_s > 0.0 && self.window_s >= 2.0 * self.fit_window_s,
+            "the sliding window must hold at least two fit windows: {} vs {}",
+            self.window_s,
+            self.fit_window_s
+        );
+        assert!(
+            self.cooldown_s.is_finite() && self.cooldown_s >= 0.0,
+            "cooldown must be non-negative"
+        );
+        assert!(
+            self.confirm_refits >= 1,
+            "need at least one confirming re-fit"
+        );
+    }
+}
+
+/// A committed regime change.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegimeChange {
+    /// Commit time, seconds.
+    pub at_s: f64,
+    /// The regime left behind.
+    pub from: RegimeKey,
+    /// The regime now active.
+    pub to: RegimeKey,
+    /// Fitted rate at commit, QPS.
+    pub fitted_rate_qps: f64,
+    /// Fitted dispersion at commit.
+    pub fitted_dispersion: f64,
+    /// Time from the re-fit that first sighted the candidate to this
+    /// commit (confirmation + cooldown latency).
+    pub detection_delay_s: f64,
+}
+
+/// The online drift detector: a sliding window of arrival times,
+/// periodic re-fits, and debounced regime-change events.
+///
+/// Feed it [`Self::record_arrival`] for every arrival and poll
+/// [`Self::observe`] at the times the caller acts (the adaptive scheme
+/// calls it on every arrival); a returned [`RegimeChange`] means the
+/// active regime just swapped. Fully deterministic: same arrival stream
+/// and observation times reproduce the same events.
+#[derive(Debug, Clone)]
+pub struct DriftDetector {
+    grid: RegimeGrid,
+    config: DriftDetectorConfig,
+    history: VecDeque<f64>,
+    active: RegimeKey,
+    /// `(key, first sighting time, consecutive confirmations)`.
+    candidate: Option<(RegimeKey, f64, u32)>,
+    next_refit_s: f64,
+    last_swap_s: f64,
+    refits: u64,
+    last_fit: Option<FittedArrivals>,
+}
+
+impl DriftDetector {
+    /// Creates a detector starting in `initial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate config (see [`DriftDetectorConfig`]).
+    pub fn new(grid: RegimeGrid, config: DriftDetectorConfig, initial: RegimeKey) -> Self {
+        config.validate();
+        Self {
+            grid,
+            config,
+            history: VecDeque::new(),
+            active: initial,
+            candidate: None,
+            next_refit_s: config.refit_interval_s,
+            last_swap_s: f64::NEG_INFINITY,
+            refits: 0,
+            last_fit: None,
+        }
+    }
+
+    /// The currently active regime.
+    pub fn active(&self) -> RegimeKey {
+        self.active
+    }
+
+    /// The grid regimes are classified over.
+    pub fn grid(&self) -> &RegimeGrid {
+        &self.grid
+    }
+
+    /// How many re-fits have run.
+    pub fn refits(&self) -> u64 {
+        self.refits
+    }
+
+    /// The most recent fit, if any re-fit has run with enough data.
+    pub fn last_fit(&self) -> Option<FittedArrivals> {
+        self.last_fit
+    }
+
+    /// Records one arrival at time `now` (seconds, non-decreasing).
+    pub fn record_arrival(&mut self, now: f64) {
+        self.history.push_back(now);
+        self.evict(now);
+    }
+
+    fn evict(&mut self, now: f64) {
+        let horizon = now - self.config.window_s;
+        while let Some(&front) = self.history.front() {
+            if front < horizon {
+                self.history.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Re-fits the sliding window if the re-fit interval has elapsed,
+    /// and returns a committed regime change if the debounced candidate
+    /// cleared hysteresis, confirmation, and cooldown.
+    pub fn observe(&mut self, now: f64) -> Option<RegimeChange> {
+        if now < self.next_refit_s {
+            return None;
+        }
+        self.next_refit_s = now + self.config.refit_interval_s;
+        self.evict(now);
+        if self.history.len() < self.config.min_arrivals {
+            self.candidate = None;
+            return None;
+        }
+        // Fit over [now - horizon, now): shift arrivals so the fit's
+        // origin is the window start. Early in the run the history only
+        // spans [0, now), so the horizon is clipped to the elapsed time
+        // — otherwise the leading empty buckets would drag the rate
+        // down (the same cold-start bias the LoadMonitor guards
+        // against).
+        let horizon = self.config.window_s.min(now);
+        if horizon < 2.0 * self.config.fit_window_s {
+            return None;
+        }
+        let start = now - horizon;
+        let shifted: Vec<f64> = self.history.iter().map(|&t| t - start).collect();
+        let Ok(fit) = fit_arrival_process(&shifted, horizon, self.config.fit_window_s) else {
+            self.candidate = None;
+            return None;
+        };
+        self.refits += 1;
+        self.last_fit = Some(fit);
+
+        let observed = self
+            .grid
+            .classify(fit.rate, fit.dispersion, Some(self.active));
+        if observed == self.active {
+            self.candidate = None;
+            return None;
+        }
+        let (first_seen, confirmations) = match self.candidate {
+            Some((key, first, n)) if key == observed => (first, n + 1),
+            _ => (now, 1),
+        };
+        self.candidate = Some((observed, first_seen, confirmations));
+        if confirmations < self.config.confirm_refits
+            || now - self.last_swap_s < self.config.cooldown_s
+        {
+            return None;
+        }
+        let change = RegimeChange {
+            at_s: now,
+            from: self.active,
+            to: observed,
+            fitted_rate_qps: fit.rate,
+            fitted_dispersion: fit.dispersion,
+            detection_delay_s: now - first_seen,
+        };
+        self.active = observed;
+        self.candidate = None;
+        self.last_swap_s = now;
+        Some(change)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::{sample_gamma_renewal_arrivals, sample_poisson_arrivals};
+    use crate::trace::Trace;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn grid() -> RegimeGrid {
+        RegimeGrid::new(vec![120.0, 180.0, 280.0])
+    }
+
+    /// Drives the detector over an arrival stream, observing at every
+    /// arrival, and returns the committed changes.
+    fn drive(detector: &mut DriftDetector, arrivals: &[f64]) -> Vec<RegimeChange> {
+        let mut changes = Vec::new();
+        for &t in arrivals {
+            detector.record_arrival(t);
+            if let Some(c) = detector.observe(t) {
+                changes.push(c);
+            }
+        }
+        changes
+    }
+
+    #[test]
+    fn rate_bins_partition_the_axis() {
+        let g = grid();
+        assert_eq!(g.n_bins(), 3);
+        assert_eq!(g.rate_bin(50.0), 0);
+        assert_eq!(g.rate_bin(120.0), 0);
+        assert_eq!(g.rate_bin(121.0), 1);
+        assert_eq!(g.rate_bin(250.0), 2);
+        assert_eq!(g.rate_bin(300.0), 3); // out of grid
+        assert_eq!(g.design_rate_qps(1), Some(180.0));
+        assert_eq!(g.design_rate_qps(3), None);
+        assert!(g.out_of_grid(RegimeKey::new(3, DispersionClass::Poisson)));
+        assert_eq!(g.all_keys().len(), 6);
+    }
+
+    #[test]
+    fn labels_are_stable_and_distinct() {
+        let g = grid();
+        assert_eq!(
+            g.label(RegimeKey::new(0, DispersionClass::Poisson)),
+            "le120qps-poisson"
+        );
+        assert_eq!(
+            g.label(RegimeKey::new(2, DispersionClass::Bursty)),
+            "le280qps-bursty"
+        );
+        assert_eq!(
+            g.label(RegimeKey::new(3, DispersionClass::Poisson)),
+            "gt280qps-poisson"
+        );
+        let labels: Vec<String> = g.all_keys().into_iter().map(|k| g.label(k)).collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+
+    #[test]
+    fn classification_hysteresis_resists_edge_noise() {
+        let g = grid();
+        let at = |rate: f64, prev: usize| {
+            g.classify(
+                rate,
+                1.0,
+                Some(RegimeKey::new(prev, DispersionClass::Poisson)),
+            )
+            .rate_bin
+        };
+        // Just past the 120 edge but within the 10% margin: stays.
+        assert_eq!(at(125.0, 0), 0);
+        // Past the margin: moves.
+        assert_eq!(at(140.0, 0), 1);
+        // Falling back just below the edge stays until 10% clear of it.
+        assert_eq!(at(115.0, 1), 1);
+        assert_eq!(at(100.0, 1), 0);
+        // Out-of-grid bin can return once 10% below the last edge.
+        assert_eq!(at(300.0, 3), 3);
+        assert_eq!(at(240.0, 3), 2);
+    }
+
+    #[test]
+    fn dispersion_schmitt_trigger() {
+        let g = grid();
+        let class = |d: f64, prev: DispersionClass| {
+            g.classify(100.0, d, Some(RegimeKey::new(0, prev)))
+                .dispersion
+        };
+        use DispersionClass::*;
+        assert_eq!(class(1.5, Poisson), Poisson); // below enter
+        assert_eq!(class(1.9, Poisson), Bursty); // above enter
+        assert_eq!(class(1.5, Bursty), Bursty); // above exit: stays
+        assert_eq!(class(1.3, Bursty), Poisson); // below exit
+    }
+
+    #[test]
+    fn steady_traffic_commits_no_changes() {
+        let trace = Trace::constant(100.0, 60.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(41);
+        let arrivals = sample_poisson_arrivals(&trace, &mut rng);
+        let mut det = DriftDetector::new(
+            grid(),
+            DriftDetectorConfig::default(),
+            RegimeKey::new(0, DispersionClass::Poisson),
+        );
+        let changes = drive(&mut det, &arrivals);
+        assert!(changes.is_empty(), "changes: {changes:?}");
+        assert!(det.refits() > 40);
+        let fit = det.last_fit().expect("refits ran");
+        assert!((fit.rate - 100.0).abs() < 25.0, "rate {}", fit.rate);
+    }
+
+    #[test]
+    fn rate_step_is_detected_with_bounded_latency() {
+        // 100 QPS for 20 s, then a step to 250 QPS.
+        let trace =
+            Trace::from_interval_qps(&[100.0, 250.0], 20.0, crate::trace::TraceKind::Custom);
+        let mut rng = ChaCha8Rng::seed_from_u64(43);
+        let arrivals = sample_poisson_arrivals(&trace, &mut rng);
+        let mut det = DriftDetector::new(
+            grid(),
+            DriftDetectorConfig::default(),
+            RegimeKey::new(0, DispersionClass::Poisson),
+        );
+        let changes = drive(&mut det, &arrivals);
+        assert!(!changes.is_empty(), "step not detected");
+        let last = changes.last().unwrap();
+        assert_eq!(last.to.rate_bin, 2, "250 QPS lands in the le280 bin");
+        assert_eq!(last.to.dispersion, DispersionClass::Poisson);
+        assert_eq!(det.active(), last.to);
+        // Detected within the sliding window plus debounce slack of the
+        // step at t = 20.
+        assert!(
+            last.at_s > 20.0 && last.at_s < 35.0,
+            "commit at {}",
+            last.at_s
+        );
+        for c in &changes {
+            assert!(c.detection_delay_s >= 0.0);
+        }
+    }
+
+    #[test]
+    fn dispersion_shift_is_detected() {
+        // Same 200 QPS rate throughout, but counts turn bursty at 30 s.
+        let half = Trace::constant(200.0, 30.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(45);
+        let mut arrivals = sample_poisson_arrivals(&half, &mut rng);
+        let bursty: Vec<f64> = sample_gamma_renewal_arrivals(&half, 0.25, &mut rng)
+            .into_iter()
+            .map(|t| t + 30.0)
+            .collect();
+        arrivals.extend(bursty);
+        let mut det = DriftDetector::new(
+            grid(),
+            DriftDetectorConfig::default(),
+            RegimeKey::new(2, DispersionClass::Poisson),
+        );
+        let changes = drive(&mut det, &arrivals);
+        assert!(
+            changes
+                .iter()
+                .any(|c| c.to.dispersion == DispersionClass::Bursty),
+            "dispersion shift missed: {changes:?}"
+        );
+        assert_eq!(det.active().dispersion, DispersionClass::Bursty);
+    }
+
+    #[test]
+    fn cooldown_spaces_out_swaps() {
+        // A stream that alternates rate every 3 s tries to flap; the
+        // 4 s cooldown forces at least that much spacing between
+        // commits.
+        let qps: Vec<f64> = (0..20)
+            .map(|i| if i % 2 == 0 { 100.0 } else { 250.0 })
+            .collect();
+        let trace = Trace::from_interval_qps(&qps, 3.0, crate::trace::TraceKind::Custom);
+        let mut rng = ChaCha8Rng::seed_from_u64(47);
+        let arrivals = sample_poisson_arrivals(&trace, &mut rng);
+        let mut det = DriftDetector::new(
+            grid(),
+            DriftDetectorConfig::default(),
+            RegimeKey::new(0, DispersionClass::Poisson),
+        );
+        let changes = drive(&mut det, &arrivals);
+        for w in changes.windows(2) {
+            assert!(
+                w[1].at_s - w[0].at_s >= 4.0 - 1e-9,
+                "swaps {} s apart",
+                w[1].at_s - w[0].at_s
+            );
+        }
+    }
+
+    #[test]
+    fn detector_is_deterministic() {
+        let trace =
+            Trace::from_interval_qps(&[100.0, 250.0], 15.0, crate::trace::TraceKind::Custom);
+        let mut rng = ChaCha8Rng::seed_from_u64(49);
+        let arrivals = sample_poisson_arrivals(&trace, &mut rng);
+        let run = || {
+            let mut det = DriftDetector::new(
+                grid(),
+                DriftDetectorConfig::default(),
+                RegimeKey::new(0, DispersionClass::Poisson),
+            );
+            drive(&mut det, &arrivals)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn sparse_traffic_skips_refits() {
+        let mut det = DriftDetector::new(
+            grid(),
+            DriftDetectorConfig::default(),
+            RegimeKey::new(0, DispersionClass::Poisson),
+        );
+        // Ten arrivals over 10 s: below min_arrivals, so never a fit.
+        for i in 0..10 {
+            det.record_arrival(i as f64);
+            assert!(det.observe(i as f64).is_none());
+        }
+        assert_eq!(det.refits(), 0);
+        assert!(det.last_fit().is_none());
+    }
+
+    #[test]
+    fn config_and_grid_round_trip_serde() {
+        let cfg = DriftDetectorConfig::default();
+        let json = serde_json::to_string(&cfg).unwrap();
+        assert_eq!(
+            serde_json::from_str::<DriftDetectorConfig>(&json).unwrap(),
+            cfg
+        );
+        let g = grid()
+            .with_dispersion_thresholds(2.0, 1.2)
+            .with_rate_hysteresis(0.2);
+        let json = serde_json::to_string(&g).unwrap();
+        assert_eq!(serde_json::from_str::<RegimeGrid>(&json).unwrap(), g);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn grid_rejects_unsorted_edges() {
+        let _ = RegimeGrid::new(vec![200.0, 100.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two fit windows")]
+    fn detector_rejects_degenerate_config() {
+        let cfg = DriftDetectorConfig {
+            window_s: 0.3,
+            fit_window_s: 0.25,
+            ..DriftDetectorConfig::default()
+        };
+        let _ = DriftDetector::new(grid(), cfg, RegimeKey::new(0, DispersionClass::Poisson));
+    }
+}

@@ -13,6 +13,50 @@ use serde::{Deserialize, Serialize};
 
 use ramsis_stats::counts::{ArrivalProcess, NegativeBinomialProcess, PoissonProcess};
 
+/// Why a fit could not be produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FitError {
+    /// The window length was zero, negative, or non-finite.
+    BadWindow {
+        /// The offending window length, seconds.
+        window_s: f64,
+    },
+    /// Fewer than two full windows fit in the horizon, so the count
+    /// variance is undefined.
+    TooFewWindows {
+        /// The fitting horizon, seconds.
+        horizon_s: f64,
+        /// The window length, seconds.
+        window_s: f64,
+    },
+    /// The arrival times were not sorted ascending.
+    Unsorted,
+    /// No arrivals fell inside `[0, horizon_s)`: there is no rate to
+    /// estimate and the variance-to-mean ratio is 0/0.
+    NoArrivals,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadWindow { window_s } => {
+                write!(f, "fit window must be positive and finite, got {window_s}")
+            }
+            Self::TooFewWindows {
+                horizon_s,
+                window_s,
+            } => write!(
+                f,
+                "need at least two full windows: horizon {horizon_s} s, window {window_s} s"
+            ),
+            Self::Unsorted => write!(f, "arrival times must be sorted ascending"),
+            Self::NoArrivals => write!(f, "no arrivals inside the fitting horizon"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
 /// The result of fitting window counts to observed arrivals.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FittedArrivals {
@@ -49,23 +93,37 @@ impl FittedArrivals {
 /// Fits window counts over `[0, horizon_s)` to the observed arrival
 /// times (seconds, ascending).
 ///
-/// # Panics
+/// Zero-variance counts (every window saw the same number of arrivals —
+/// a perfectly paced stream) are valid and fit with dispersion `0.0`,
+/// which [`FittedArrivals::to_process`] maps to the conservative Poisson
+/// stand-in.
 ///
-/// Panics if `window_s` is not positive, `horizon_s < 2 · window_s`
-/// (at least two full windows are needed for a variance), or the
-/// arrivals are unsorted.
-pub fn fit_arrival_process(arrivals: &[f64], horizon_s: f64, window_s: f64) -> FittedArrivals {
-    assert!(window_s > 0.0, "window must be positive, got {window_s}");
-    assert!(
-        horizon_s >= 2.0 * window_s,
-        "need at least two windows: horizon {horizon_s}, window {window_s}"
-    );
-    assert!(
-        arrivals.windows(2).all(|w| w[0] <= w[1]),
-        "arrival times must be sorted"
-    );
+/// # Errors
+///
+/// Returns [`FitError`] when the window is degenerate, fewer than two
+/// full windows fit the horizon (no variance can be estimated), the
+/// arrivals are unsorted, or no arrival falls inside the horizon (the
+/// dispersion would be 0/0).
+pub fn fit_arrival_process(
+    arrivals: &[f64],
+    horizon_s: f64,
+    window_s: f64,
+) -> Result<FittedArrivals, FitError> {
+    if !(window_s.is_finite() && window_s > 0.0) {
+        return Err(FitError::BadWindow { window_s });
+    }
+    if horizon_s < 2.0 * window_s {
+        return Err(FitError::TooFewWindows {
+            horizon_s,
+            window_s,
+        });
+    }
+    if !arrivals.windows(2).all(|w| w[0] <= w[1]) {
+        return Err(FitError::Unsorted);
+    }
     let n_windows = (horizon_s / window_s).floor() as usize;
     let mut counts = vec![0u64; n_windows];
+    let mut total = 0u64;
     for &t in arrivals {
         if t < 0.0 {
             continue;
@@ -73,10 +131,14 @@ pub fn fit_arrival_process(arrivals: &[f64], horizon_s: f64, window_s: f64) -> F
         let i = (t / window_s) as usize;
         if i < n_windows {
             counts[i] += 1;
+            total += 1;
         }
     }
+    if total == 0 {
+        return Err(FitError::NoArrivals);
+    }
     let n = n_windows as f64;
-    let mean = counts.iter().sum::<u64>() as f64 / n;
+    let mean = total as f64 / n;
     let var = counts
         .iter()
         .map(|&c| {
@@ -85,12 +147,12 @@ pub fn fit_arrival_process(arrivals: &[f64], horizon_s: f64, window_s: f64) -> F
         })
         .sum::<f64>()
         / n;
-    FittedArrivals {
+    Ok(FittedArrivals {
         rate: mean / window_s,
-        dispersion: if mean > 0.0 { var / mean } else { 1.0 },
+        dispersion: var / mean,
         window_s,
         windows: n_windows,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -106,7 +168,7 @@ mod tests {
         let trace = Trace::constant(500.0, 120.0);
         let mut rng = ChaCha8Rng::seed_from_u64(31);
         let arrivals = sample_poisson_arrivals(&trace, &mut rng);
-        let fit = fit_arrival_process(&arrivals, 120.0, 0.5);
+        let fit = fit_arrival_process(&arrivals, 120.0, 0.5).unwrap();
         assert!((fit.rate - 500.0).abs() < 15.0, "rate {}", fit.rate);
         assert!(fit.is_poissonian(0.15), "dispersion {}", fit.dispersion);
         assert_eq!(fit.to_process(0.15).name(), "poisson");
@@ -119,7 +181,7 @@ mod tests {
         let trace = Trace::constant(500.0, 120.0);
         let mut rng = ChaCha8Rng::seed_from_u64(33);
         let arrivals = sample_gamma_renewal_arrivals(&trace, 0.25, &mut rng);
-        let fit = fit_arrival_process(&arrivals, 120.0, 0.5);
+        let fit = fit_arrival_process(&arrivals, 120.0, 0.5).unwrap();
         assert!(fit.dispersion > 1.5, "dispersion {}", fit.dispersion);
         assert_eq!(fit.to_process(0.15).name(), "negative-binomial");
         // The fitted process reproduces the observed rate.
@@ -133,28 +195,73 @@ mod tests {
         let trace = Trace::constant(500.0, 120.0);
         let mut rng = ChaCha8Rng::seed_from_u64(35);
         let arrivals = sample_gamma_renewal_arrivals(&trace, 4.0, &mut rng);
-        let fit = fit_arrival_process(&arrivals, 120.0, 0.5);
+        let fit = fit_arrival_process(&arrivals, 120.0, 0.5).unwrap();
         assert!(fit.dispersion < 0.6, "dispersion {}", fit.dispersion);
         assert_eq!(fit.to_process(0.15).name(), "poisson");
     }
 
     #[test]
-    fn empty_stream_is_degenerate() {
-        let fit = fit_arrival_process(&[], 10.0, 1.0);
-        assert_eq!(fit.rate, 0.0);
-        assert_eq!(fit.dispersion, 1.0);
-        assert_eq!(fit.windows, 10);
+    fn empty_stream_is_an_error() {
+        // Regression: an empty stream used to fit as (rate 0, dispersion
+        // 1) — a silently degenerate value callers would feed straight
+        // into policy generation.
+        assert_eq!(
+            fit_arrival_process(&[], 10.0, 1.0),
+            Err(FitError::NoArrivals)
+        );
+        // Arrivals entirely outside the horizon are equally empty.
+        assert_eq!(
+            fit_arrival_process(&[-3.0, 12.0], 10.0, 1.0),
+            Err(FitError::NoArrivals)
+        );
     }
 
     #[test]
-    #[should_panic(expected = "at least two windows")]
-    fn rejects_short_horizon() {
-        let _ = fit_arrival_process(&[0.1], 1.0, 0.8);
+    fn one_window_horizon_is_an_error() {
+        // One full window has no count variance to moment-match.
+        assert!(matches!(
+            fit_arrival_process(&[0.1, 0.2], 1.0, 0.8),
+            Err(FitError::TooFewWindows { .. })
+        ));
+        assert!(matches!(
+            fit_arrival_process(&[0.1], 1.0, 1.0),
+            Err(FitError::TooFewWindows { .. })
+        ));
     }
 
     #[test]
-    #[should_panic(expected = "must be sorted")]
-    fn rejects_unsorted_arrivals() {
-        let _ = fit_arrival_process(&[2.0, 1.0], 10.0, 1.0);
+    fn zero_variance_counts_fit_as_underdispersed() {
+        // A perfectly paced stream: one arrival per window, variance 0.
+        // That is a valid (maximally under-dispersed) fit, not an error,
+        // and maps to the Poisson stand-in.
+        let arrivals: Vec<f64> = (0..10).map(|i| i as f64 + 0.5).collect();
+        let fit = fit_arrival_process(&arrivals, 10.0, 1.0).unwrap();
+        assert_eq!(fit.dispersion, 0.0);
+        assert!((fit.rate - 1.0).abs() < 1e-12);
+        assert_eq!(fit.to_process(0.15).name(), "poisson");
+    }
+
+    #[test]
+    fn degenerate_inputs_are_errors() {
+        assert!(matches!(
+            fit_arrival_process(&[0.1], 10.0, 0.0),
+            Err(FitError::BadWindow { .. })
+        ));
+        assert!(matches!(
+            fit_arrival_process(&[0.1], 10.0, f64::NAN),
+            Err(FitError::BadWindow { .. })
+        ));
+        assert_eq!(
+            fit_arrival_process(&[2.0, 1.0], 10.0, 1.0),
+            Err(FitError::Unsorted)
+        );
+    }
+
+    #[test]
+    fn fit_errors_display_and_serialize() {
+        let e = fit_arrival_process(&[], 10.0, 1.0).unwrap_err();
+        assert!(e.to_string().contains("no arrivals"));
+        let json = serde_json::to_string(&e).unwrap();
+        assert_eq!(serde_json::from_str::<FitError>(&json).unwrap(), e);
     }
 }

@@ -23,13 +23,21 @@
 //! - [`monitor`]: the 500 ms moving-average load monitor of §6 and the
 //!   perfect-knowledge oracle used in the constant-load experiments
 //!   (§7.2 assumes "the load monitor perfectly predicts the query load").
+//! - [`drift`]: the online drift detector — a sliding arrival window
+//!   periodically re-fit through [`fit`], classified into (rate bin,
+//!   dispersion class) regimes with hysteresis, confirmation, and
+//!   cooldown debouncing so estimation noise cannot flap policies.
 
 pub mod arrivals;
+pub mod drift;
 pub mod fit;
 pub mod monitor;
 pub mod trace;
 
 pub use arrivals::{sample_gamma_renewal_arrivals, sample_poisson_arrivals};
-pub use fit::{fit_arrival_process, FittedArrivals};
+pub use drift::{
+    DispersionClass, DriftDetector, DriftDetectorConfig, RegimeChange, RegimeGrid, RegimeKey,
+};
+pub use fit::{fit_arrival_process, FitError, FittedArrivals};
 pub use monitor::{DivergenceMonitor, LoadEstimator, LoadMonitor, OracleMonitor};
 pub use trace::{Trace, TraceKind};

@@ -19,17 +19,38 @@ pub trait LoadEstimator {
 
     /// The anticipated query load (QPS) as of time `now`.
     fn estimate(&mut self, now: f64) -> f64;
+
+    /// The observed-to-planned load ratio at `now`, for estimators that
+    /// carry a planned trace to compare against ([`DivergenceMonitor`]).
+    /// `None` for plain estimators with no notion of a plan.
+    fn divergence(&mut self, now: f64) -> Option<f64> {
+        let _ = now;
+        None
+    }
 }
 
 /// The 500 ms moving-average monitor of §6.
+///
+/// Monitoring starts at `t = 0` (the simulation origin). Before one
+/// full window has elapsed, dividing the in-window count by the full
+/// window length would systematically *under*-estimate the load (at
+/// `t = window / 2` a steady stream fills only half the window), so the
+/// estimate divides by the elapsed time instead until
+/// [`Self::warmed_up`] turns true.
 #[derive(Debug, Clone)]
 pub struct LoadMonitor {
     window: MovingAverage,
+    window_s: f64,
 }
 
 impl LoadMonitor {
     /// The paper's monitoring window.
     pub const DEFAULT_WINDOW_S: f64 = 0.5;
+
+    /// Fraction of the window the elapsed-time divisor is floored at
+    /// during warm-up, so the first few arrivals cannot produce a
+    /// near-division-by-zero estimate.
+    pub const MIN_WARMUP_FRACTION: f64 = 0.05;
 
     /// Creates a monitor with the paper's 500 ms window.
     pub fn new() -> Self {
@@ -44,7 +65,15 @@ impl LoadMonitor {
     pub fn with_window(window_s: f64) -> Self {
         Self {
             window: MovingAverage::new(window_s),
+            window_s,
         }
+    }
+
+    /// Whether a full monitoring window has elapsed since `t = 0`, i.e.
+    /// the estimate is the steady-state moving average rather than the
+    /// elapsed-time-scaled warm-up value.
+    pub fn warmed_up(&self, now: f64) -> bool {
+        now >= self.window_s
     }
 }
 
@@ -60,7 +89,13 @@ impl LoadEstimator for LoadMonitor {
     }
 
     fn estimate(&mut self, now: f64) -> f64 {
-        self.window.rate(now)
+        let raw = self.window.rate(now);
+        if self.warmed_up(now) {
+            return raw;
+        }
+        // Warm-up: the window spans [0, now), not a full window_s.
+        let effective = now.max(self.window_s * Self::MIN_WARMUP_FRACTION);
+        raw * self.window_s / effective
     }
 }
 
@@ -144,6 +179,10 @@ impl LoadEstimator for DivergenceMonitor {
 
     fn estimate(&mut self, now: f64) -> f64 {
         self.observed.estimate(now)
+    }
+
+    fn divergence(&mut self, now: f64) -> Option<f64> {
+        Some(DivergenceMonitor::divergence(self, now))
     }
 }
 
@@ -236,6 +275,53 @@ mod tests {
         let mut idle = DivergenceMonitor::new(Trace::constant(0.0, 5.0));
         idle.record_arrival(1.0);
         assert_eq!(idle.divergence(1.0), 1.0);
+    }
+
+    #[test]
+    fn warm_up_scaling_removes_cold_start_bias() {
+        // Regression: before the first full window has elapsed, dividing
+        // the in-window count by the full window length halves a steady
+        // 2,000 QPS stream when read at t = window / 2. The warm-up path
+        // divides by elapsed time instead.
+        let trace = Trace::constant(2_000.0, 0.25);
+        let mut rng = ChaCha8Rng::seed_from_u64(14);
+        let arrivals = sample_poisson_arrivals(&trace, &mut rng);
+        let mut mon = LoadMonitor::new();
+        for &t in &arrivals {
+            mon.record_arrival(t);
+        }
+        assert!(!mon.warmed_up(0.25));
+        let est = mon.estimate(0.25);
+        // Unbiased now: ~500 arrivals over 0.25 s => ~2,000 QPS. The old
+        // behavior reported ~1,000.
+        assert!(
+            (est - 2_000.0).abs() < 320.0,
+            "cold-start estimate should be unbiased, got {est}"
+        );
+        assert!(mon.warmed_up(0.5));
+    }
+
+    #[test]
+    fn warm_up_floor_bounds_first_arrival_estimate() {
+        // A single arrival in the first instants must not explode into
+        // an absurd rate: the elapsed divisor is floored at 5% of the
+        // window.
+        let mut mon = LoadMonitor::new();
+        mon.record_arrival(0.001);
+        let est = mon.estimate(0.001);
+        let cap = 1.0 / (LoadMonitor::DEFAULT_WINDOW_S * LoadMonitor::MIN_WARMUP_FRACTION);
+        assert!(est <= cap + 1e-9, "est={est} cap={cap}");
+        assert!(est > 0.0);
+    }
+
+    #[test]
+    fn trait_divergence_is_none_for_plain_monitors() {
+        let mut plain = LoadMonitor::new();
+        assert_eq!(LoadEstimator::divergence(&mut plain, 1.0), None);
+        let mut oracle = OracleMonitor::new(Trace::constant(10.0, 5.0));
+        assert_eq!(LoadEstimator::divergence(&mut oracle, 1.0), None);
+        let mut div = DivergenceMonitor::new(Trace::constant(10.0, 5.0));
+        assert!(LoadEstimator::divergence(&mut div, 1.0).is_some());
     }
 
     #[test]

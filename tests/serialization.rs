@@ -103,6 +103,89 @@ fn report_round_trips() {
 }
 
 #[test]
+fn adaptive_report_round_trips() {
+    // A report with the adaptive runtime's accounting populated — swap
+    // events, per-regime counts, divergence — survives JSON intact.
+    use ramsis::core::PolicyLibrary;
+    use ramsis::sim::AdaptiveRamsis;
+    use ramsis::workload::{
+        DispersionClass, DivergenceMonitor, DriftDetector, DriftDetectorConfig, RegimeGrid,
+        RegimeKey,
+    };
+
+    let profile = profile();
+    let config = PolicyConfig::builder(Duration::from_millis(150))
+        .workers(4)
+        .discretization(Discretization::fixed_length(8))
+        .build();
+    let grid = RegimeGrid::new(vec![120.0, 280.0]);
+    let library = PolicyLibrary::generate_poisson_bins(&profile, grid.clone(), 4.0, &config)
+        .expect("poisson bins generate");
+    let detector = DriftDetector::new(
+        grid,
+        DriftDetectorConfig::default(),
+        RegimeKey::new(0, DispersionClass::Poisson),
+    );
+    let mut scheme = AdaptiveRamsis::new(&profile, config, library, detector)
+        .expect("initial regime is solved")
+        .with_shed_policy(ramsis::core::ShedPolicy::Hopeless);
+
+    // Step the load across a grid edge so swap events exist.
+    let trace = Trace::from_interval_qps(&[100.0, 100.0, 250.0, 250.0], 5.0, TraceKind::Custom);
+    let sim = Simulation::new(&profile, SimulationConfig::new(4, 0.15).seeded(77))
+        .expect("valid simulation config");
+    let mut monitor = DivergenceMonitor::new(trace.clone());
+    let report = sim.run(&trace, &mut scheme, &mut monitor);
+    let stats = report.adaptive.as_ref().expect("adaptive stats attached");
+    assert!(stats.swaps >= 1 && !stats.regime_events.is_empty());
+    assert!(report.divergence.is_some(), "DivergenceMonitor reports");
+
+    let json = serde_json::to_string(&report).unwrap();
+    let back: ramsis::sim::SimulationReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(report, back);
+}
+
+#[test]
+fn drift_and_regime_types_round_trip() {
+    use ramsis::core::ShedPolicy;
+    use ramsis::workload::{DriftDetectorConfig, RegimeGrid};
+
+    let grid = RegimeGrid::new(vec![120.0, 280.0]);
+    let json = serde_json::to_string(&grid).unwrap();
+    assert_eq!(serde_json::from_str::<RegimeGrid>(&json).unwrap(), grid);
+
+    let config = DriftDetectorConfig::default();
+    let json = serde_json::to_string(&config).unwrap();
+    assert_eq!(
+        serde_json::from_str::<DriftDetectorConfig>(&json).unwrap(),
+        config
+    );
+
+    for shed in [
+        ShedPolicy::Never,
+        ShedPolicy::Hopeless,
+        ShedPolicy::QueueDepth(16),
+    ] {
+        let json = serde_json::to_string(&shed).unwrap();
+        assert_eq!(serde_json::from_str::<ShedPolicy>(&json).unwrap(), shed);
+    }
+}
+
+#[test]
+fn fitted_arrivals_round_trip() {
+    use ramsis::workload::{fit_arrival_process, FitError, FittedArrivals};
+
+    let arrivals: Vec<f64> = (0..200).map(|i| i as f64 * 0.05).collect();
+    let fit = fit_arrival_process(&arrivals, 10.0, 1.0).unwrap();
+    let json = serde_json::to_string(&fit).unwrap();
+    assert_eq!(serde_json::from_str::<FittedArrivals>(&json).unwrap(), fit);
+
+    let err = fit_arrival_process(&[], 10.0, 1.0).unwrap_err();
+    let json = serde_json::to_string(&err).unwrap();
+    assert_eq!(serde_json::from_str::<FitError>(&json).unwrap(), err);
+}
+
+#[test]
 fn policy_set_round_trips() {
     let profile = profile();
     let config = PolicyConfig::builder(Duration::from_millis(150))
