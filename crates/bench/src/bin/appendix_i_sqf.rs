@@ -27,6 +27,7 @@ struct Row {
     load_qps: f64,
     accuracy: f64,
     violation_rate: f64,
+    p95_response_ms: f64,
     p99_response_ms: f64,
 }
 
@@ -74,6 +75,7 @@ fn main() {
                 load_qps: load,
                 accuracy: r.accuracy_per_satisfied_query,
                 violation_rate: r.violation_rate,
+                p95_response_ms: r.p95_response_s * 1e3,
                 p99_response_ms: r.p99_response_s * 1e3,
             });
         }
@@ -100,6 +102,8 @@ fn main() {
             format!("{:.2}", sq.accuracy),
             pct(rr.violation_rate),
             pct(sq.violation_rate),
+            format!("{:.1}", rr.p95_response_ms),
+            format!("{:.1}", sq.p95_response_ms),
             format!("{:.1}", rr.p99_response_ms),
             format!("{:.1}", sq.p99_response_ms),
         ]);
@@ -110,6 +114,8 @@ fn main() {
         "SQF_acc",
         "RR_viol",
         "SQF_viol",
+        "RR_p95_ms",
+        "SQF_p95_ms",
         "RR_p99_ms",
         "SQF_p99_ms",
     ];
@@ -138,6 +144,7 @@ fn main() {
             "load_qps",
             "accuracy",
             "violation_rate",
+            "p95_response_ms",
             "p99_response_ms",
         ],
         &rows
@@ -148,6 +155,7 @@ fn main() {
                     format!("{}", r.load_qps),
                     format!("{:.4}", r.accuracy),
                     format!("{:.6}", r.violation_rate),
+                    format!("{:.2}", r.p95_response_ms),
                     format!("{:.2}", r.p99_response_ms),
                 ]
             })

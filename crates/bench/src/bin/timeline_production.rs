@@ -73,8 +73,10 @@ fn main() {
         table.push(vec![
             format!("{:.0}", rb.start_s),
             format!("{load:.0}"),
-            format!("{:.2}", rb.accuracy),
-            format!("{:.2}", jb.accuracy),
+            rb.accuracy
+                .map_or_else(|| "-".into(), |a| format!("{a:.2}")),
+            jb.accuracy
+                .map_or_else(|| "-".into(), |a| format!("{a:.2}")),
             rb.violations.to_string(),
             jb.violations.to_string(),
         ]);
@@ -83,7 +85,7 @@ fn main() {
                 method: method.into(),
                 window_start_s: b.start_s,
                 load_qps: load,
-                accuracy: b.accuracy,
+                accuracy: b.accuracy.unwrap_or(0.0),
                 violations: b.violations,
                 served: b.served,
             });
@@ -109,13 +111,14 @@ fn main() {
     );
 
     // The headline check: RAMSIS accuracy is anti-correlated with load.
-    let corr = correlation(
-        &r.timeline
-            .iter()
-            .map(|b| trace.qps_at(b.start_s))
-            .collect::<Vec<_>>(),
-        &r.timeline.iter().map(|b| b.accuracy).collect::<Vec<_>>(),
-    );
+    // Windows with no satisfied queries carry no accuracy sample and are
+    // excluded from the correlation rather than counted as zero.
+    let (corr_loads, corr_accs): (Vec<f64>, Vec<f64>) = r
+        .timeline
+        .iter()
+        .filter_map(|b| b.accuracy.map(|a| (trace.qps_at(b.start_s), a)))
+        .unzip();
+    let corr = correlation(&corr_loads, &corr_accs);
     println!("correlation(load, RAMSIS accuracy) = {corr:.3} (expected strongly negative)");
 
     let series = vec![
@@ -123,12 +126,15 @@ fn main() {
             "RAMSIS".to_string(),
             r.timeline
                 .iter()
-                .map(|b| (b.start_s, b.accuracy))
+                .filter_map(|b| b.accuracy.map(|a| (b.start_s, a)))
                 .collect::<Vec<_>>(),
         ),
         (
             "Jellyfish+".to_string(),
-            j.timeline.iter().map(|b| (b.start_s, b.accuracy)).collect(),
+            j.timeline
+                .iter()
+                .filter_map(|b| b.accuracy.map(|a| (b.start_s, a)))
+                .collect(),
         ),
         (
             "load (scaled)".to_string(),

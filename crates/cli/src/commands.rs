@@ -8,6 +8,7 @@ pub mod plot;
 pub mod profiles;
 pub mod robustness;
 pub mod sim;
+pub mod telemetry;
 pub mod trace;
 
 use std::path::{Path, PathBuf};

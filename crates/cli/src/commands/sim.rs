@@ -13,13 +13,17 @@
 use ramsis_baselines::{JellyfishPlus, ModelSwitching, ResponseLatencyTable};
 use ramsis_core::{PolicySet, WorkerPolicy};
 use ramsis_sim::{LatencyMode, RamsisScheme, ServingScheme, Simulation, SimulationConfig};
+use ramsis_telemetry::JsonlSink;
 use ramsis_workload::{DivergenceMonitor, LoadEstimator, OracleMonitor, Trace};
 
 use crate::cli_args::CommonArgs;
 use crate::commands::{build_profile, policy_dir, result_path, write_json_file};
 
 pub fn run(args: &[String]) -> Result<(), String> {
-    let args = CommonArgs::parse(args, &["--seed", "--duration", "--stochastic"])?;
+    let args = CommonArgs::parse(
+        args,
+        &["--seed", "--duration", "--stochastic", "--telemetry"],
+    )?;
     let method = args.method.as_deref().unwrap_or("RAMSIS");
     let profile = build_profile(&args);
     let seed: u64 = args
@@ -106,13 +110,34 @@ pub fn run(args: &[String]) -> Result<(), String> {
         config.latency = LatencyMode::Stochastic;
     }
     let sim = Simulation::new(&profile, config).expect("valid simulation config");
-    let report = sim.run(&trace, scheme.as_mut(), estimator.as_mut());
+    let report = match args.extra("--telemetry") {
+        Some(path) => {
+            let mut sink =
+                JsonlSink::create(path).map_err(|e| format!("open telemetry log {path}: {e}"))?;
+            let report = sim.run_traced(&trace, scheme.as_mut(), estimator.as_mut(), &mut sink);
+            let lines = sink.lines();
+            sink.finish()
+                .map_err(|e| format!("write telemetry log {path}: {e}"))?;
+            println!(
+                "telemetry: {lines} events -> {path} (inspect with `ramsis-cli telemetry {path}`)"
+            );
+            report
+        }
+        None => sim.run(&trace, scheme.as_mut(), estimator.as_mut()),
+    };
 
     println!(
         "{method}: {} queries, accuracy per satisfied query {:.2}%, violation rate {:.4}%",
         report.served,
         report.accuracy_per_satisfied_query,
         report.violation_rate * 100.0
+    );
+    println!(
+        "response time: mean {:.1} ms, p50 {:.1} ms, p95 {:.1} ms, p99 {:.1} ms",
+        report.mean_response_s * 1e3,
+        report.p50_response_s * 1e3,
+        report.p95_response_s * 1e3,
+        report.p99_response_s * 1e3
     );
     if let Some(div) = &report.divergence {
         println!(

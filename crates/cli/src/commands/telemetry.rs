@@ -1,0 +1,176 @@
+//! `ramsis-cli telemetry` — inspect a recorded JSONL event trace.
+//!
+//! Reads a log written by `ramsis-cli sim --telemetry PATH` (or any
+//! [`ramsis_telemetry::JsonlSink`]), verifies the per-query
+//! conservation invariant, reconstructs run aggregates from lifecycle
+//! events, and prints a per-window breakdown of arrivals, dispatches,
+//! misses, sheds, and audit activity — the miss-attribution view.
+//!
+//! ```text
+//! ramsis-cli telemetry trace.jsonl [--window MS] [--json]
+//! ```
+
+use ramsis_bench::render_table;
+use ramsis_telemetry::{
+    aggregates, conservation, parse_jsonl, window_breakdown, Conservation, WindowStats,
+};
+use serde::Serialize;
+
+/// The `--json` document: everything the text report prints, as data.
+#[derive(Serialize)]
+struct TraceSummary {
+    events: u64,
+    conservation: Conservation,
+    arrivals: u64,
+    served: u64,
+    violations: u64,
+    dropped: u64,
+    crash_requeued: u64,
+    mean_response_s: f64,
+    p50_response_s: f64,
+    p95_response_s: f64,
+    p99_response_s: f64,
+    window_s: f64,
+    windows: Vec<WindowStats>,
+}
+
+pub fn run(args: &[String]) -> Result<(), String> {
+    let mut path: Option<String> = None;
+    let mut window_ms: f64 = 1_000.0;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--window" => {
+                window_ms = it
+                    .next()
+                    .ok_or("--window requires a value (milliseconds)")?
+                    .parse()
+                    .map_err(|e| format!("bad --window: {e}"))?;
+                if window_ms <= 0.0 || !window_ms.is_finite() {
+                    return Err("--window must be positive".into());
+                }
+            }
+            "--json" => json = true,
+            "--log" => path = Some(it.next().ok_or("--log requires a value")?.clone()),
+            other if !other.starts_with("--") && path.is_none() => path = Some(other.to_string()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    let path = path.ok_or("telemetry requires a trace path: ramsis-cli telemetry LOG.jsonl")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
+    let events = parse_jsonl(&text)?;
+
+    let cons = conservation(&events);
+    let agg = aggregates(&events);
+    let window_ns = (window_ms * 1e6).round() as u64;
+    let windows = window_breakdown(&events, window_ns.max(1));
+    let pctl = |p: f64| agg.response.percentile(p).map_or(0.0, |ns| ns as f64 / 1e9);
+
+    if json {
+        let summary = TraceSummary {
+            events: events.len() as u64,
+            conservation: cons,
+            arrivals: agg.arrivals,
+            served: agg.served,
+            violations: agg.violations,
+            dropped: agg.dropped,
+            crash_requeued: agg.crash_requeued,
+            mean_response_s: agg.mean_response_s(),
+            p50_response_s: pctl(50.0),
+            p95_response_s: pctl(95.0),
+            p99_response_s: pctl(99.0),
+            window_s: window_ms / 1e3,
+            windows,
+        };
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+
+    println!("trace: {path} ({} events)", events.len());
+    println!(
+        "conservation: {} arrivals = {} completed + {} shed + {} dropped + {} in flight ({})",
+        cons.arrivals,
+        cons.completions,
+        cons.sheds,
+        cons.drops,
+        cons.in_flight,
+        if cons.holds() {
+            "holds".to_string()
+        } else {
+            format!("VIOLATED, {} anomalies", cons.anomalies)
+        }
+    );
+    println!(
+        "aggregates: served {}, violations {} ({:.4}%), dropped {}, crash-requeued {}",
+        agg.served,
+        agg.violations,
+        agg.violation_rate() * 100.0,
+        agg.dropped,
+        agg.crash_requeued
+    );
+    println!(
+        "response time: mean {:.1} ms, p50 {:.1} ms, p95 {:.1} ms, p99 {:.1} ms",
+        agg.mean_response_s() * 1e3,
+        pctl(50.0) * 1e3,
+        pctl(95.0) * 1e3,
+        pctl(99.0) * 1e3
+    );
+
+    // Per-window miss-attribution table. Long traces print the first
+    // windows only; --json carries the full breakdown.
+    const MAX_ROWS: usize = 40;
+    println!("\nper-window breakdown ({window_ms:.0} ms windows):");
+    let table: Vec<Vec<String>> = windows
+        .iter()
+        .take(MAX_ROWS)
+        .map(|w| {
+            vec![
+                format!("{:.2}", w.start_ns as f64 / 1e9),
+                w.arrivals.to_string(),
+                w.dispatches.to_string(),
+                format!("{:.1}", w.mean_batch()),
+                w.completions.to_string(),
+                w.violations.to_string(),
+                w.sheds.to_string(),
+                w.drops.to_string(),
+                w.max_queue_depth.to_string(),
+                (w.swaps + w.lazy_solves + w.fallbacks).to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "t_s", "arrive", "dispatch", "batch", "done", "miss", "shed", "drop", "maxq",
+                "audit"
+            ],
+            &table
+        )
+    );
+    if windows.len() > MAX_ROWS {
+        println!(
+            "… {} more windows (use --json for the full breakdown)",
+            windows.len() - MAX_ROWS
+        );
+    }
+    let (serve, drop, idle) = windows.iter().fold((0, 0, 0), |(s, d, i), w| {
+        (
+            s + w.decisions_serve,
+            d + w.decisions_drop,
+            i + w.decisions_idle,
+        )
+    });
+    let (swaps, solves, fallbacks) = windows.iter().fold((0, 0, 0), |(a, b, c), w| {
+        (a + w.swaps, b + w.lazy_solves, c + w.fallbacks)
+    });
+    println!("decisions: {serve} serve, {drop} drop, {idle} idle");
+    if swaps + solves + fallbacks > 0 {
+        println!("adaptation: {swaps} regime swaps, {solves} lazy solves, {fallbacks} fallback decisions");
+    }
+    Ok(())
+}

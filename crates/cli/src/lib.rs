@@ -10,6 +10,7 @@
 //! ramsis-cli plot    --task image --trace real --SLO 150
 //! ramsis-cli trace   --kind twitter --out twitter_like.txt
 //! ramsis-cli inspect --policy policy_gen/RAMSIS_60_150/2000.json
+//! ramsis-cli telemetry trace.jsonl --window 1000
 //! ```
 //!
 //! Policies are written under `policy_gen/METHOD_WORKERS_SLO/LOAD.json`
@@ -35,6 +36,7 @@ pub fn run(args: &[String]) -> i32 {
         "profiles" => commands::profiles::run(rest),
         "robustness" => commands::robustness::run(rest),
         "drift" => commands::drift::run(rest),
+        "telemetry" => commands::telemetry::run(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return 0;
@@ -67,6 +69,9 @@ commands:
   drift    run the canonical drifting stream (rate ramp + dispersion
            shift) against adaptive RAMSIS, stale RAMSIS, and the
            fixed-fastest baseline
+  telemetry inspect a JSONL event trace recorded with `sim --telemetry
+           PATH`: conservation check, event-derived aggregates, and a
+           per-window miss-attribution breakdown (--window MS, --json)
 
 common flags (artifact §A.5):
   --task image|text     inference task              [default: image]

@@ -13,7 +13,63 @@
 //! - [`relative_value_iteration`]: the average-reward criterion, natural
 //!   for the non-terminating serving loop; exposed for ablations.
 
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
 use crate::model::SparseMdp;
+
+/// One sweep of an iterative solver, as recorded by the traced
+/// variants ([`value_iteration_traced`],
+/// [`value_iteration_gauss_seidel_traced`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepRecord {
+    /// 1-based sweep number.
+    pub sweep: u32,
+    /// Sup-norm of the value update after the sweep.
+    pub residual: f64,
+    /// States backed up in the sweep.
+    pub states: u64,
+    /// Wall-clock time of the sweep, seconds.
+    pub elapsed_s: f64,
+}
+
+/// Per-sweep convergence record of one solve — makes offline solve
+/// cost visible (sweeps to convergence, residual decay, time per
+/// sweep). Wall-clock timing is fine here: solves run offline, never
+/// on the simulated clock, so traces don't perturb simulation
+/// determinism.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ConvergenceTrace {
+    /// Solver name (e.g. `"value-iteration"`).
+    pub method: String,
+    /// Whether the residual crossed the stopping threshold (false when
+    /// the sweep cap was hit first).
+    pub converged: bool,
+    /// Total wall-clock solve time, seconds.
+    pub total_s: f64,
+    /// Every sweep, in order.
+    pub sweeps: Vec<SweepRecord>,
+}
+
+impl ConvergenceTrace {
+    fn new(method: &str) -> Self {
+        Self {
+            method: method.to_owned(),
+            ..Self::default()
+        }
+    }
+
+    /// Residual after the last sweep (`INFINITY` when no sweep ran).
+    pub fn final_residual(&self) -> f64 {
+        self.sweeps.last().map_or(f64::INFINITY, |s| s.residual)
+    }
+
+    /// Total states backed up across all sweeps.
+    pub fn states_touched(&self) -> u64 {
+        self.sweeps.iter().map(|s| s.states).sum()
+    }
+}
 
 /// Options shared by the solvers.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -68,6 +124,26 @@ fn span(delta_min: f64, delta_max: f64) -> f64 {
 /// Panics if `discount` is outside `(0, 1)` or `tolerance` is not
 /// positive.
 pub fn value_iteration(mdp: &SparseMdp, options: &SolveOptions) -> Solution {
+    value_iteration_impl(mdp, options, None)
+}
+
+/// [`value_iteration`] with a per-sweep [`ConvergenceTrace`]. The
+/// returned solution is bit-identical to the untraced one (tracing
+/// only observes, never steers).
+pub fn value_iteration_traced(
+    mdp: &SparseMdp,
+    options: &SolveOptions,
+) -> (Solution, ConvergenceTrace) {
+    let mut trace = ConvergenceTrace::new("value-iteration");
+    let solution = value_iteration_impl(mdp, options, Some(&mut trace));
+    (solution, trace)
+}
+
+fn value_iteration_impl(
+    mdp: &SparseMdp,
+    options: &SolveOptions,
+    mut trace: Option<&mut ConvergenceTrace>,
+) -> Solution {
     assert!(
         options.discount > 0.0 && options.discount < 1.0,
         "discount must lie in (0, 1), got {}",
@@ -84,7 +160,9 @@ pub fn value_iteration(mdp: &SparseMdp, options: &SolveOptions) -> Solution {
     let stop = options.tolerance * (1.0 - options.discount) / (2.0 * options.discount);
     let mut residual = f64::INFINITY;
     let mut iterations = 0;
+    let solve_start = trace.is_some().then(Instant::now);
     while iterations < options.max_iterations {
+        let sweep_start = trace.is_some().then(Instant::now);
         let mut max_delta = 0.0f64;
         for s in 0..n {
             let (v, _) = mdp.bellman_backup(s, &values, options.discount);
@@ -94,9 +172,27 @@ pub fn value_iteration(mdp: &SparseMdp, options: &SolveOptions) -> Solution {
         std::mem::swap(&mut values, &mut next);
         iterations += 1;
         residual = max_delta;
+        if let Some(t) = trace.as_deref_mut() {
+            t.sweeps.push(SweepRecord {
+                sweep: iterations as u32,
+                residual,
+                states: n as u64,
+                elapsed_s: sweep_start
+                    .expect("timed with trace")
+                    .elapsed()
+                    .as_secs_f64(),
+            });
+        }
         if residual < stop {
             break;
         }
+    }
+    if let Some(t) = trace {
+        t.converged = residual < stop;
+        t.total_s = solve_start
+            .expect("timed with trace")
+            .elapsed()
+            .as_secs_f64();
     }
     let policy = greedy_policy(mdp, &values, options.discount);
     Solution {
@@ -118,6 +214,26 @@ pub fn value_iteration(mdp: &SparseMdp, options: &SolveOptions) -> Solution {
 ///
 /// Panics on the same invalid options as [`value_iteration`].
 pub fn value_iteration_gauss_seidel(mdp: &SparseMdp, options: &SolveOptions) -> Solution {
+    value_iteration_gauss_seidel_impl(mdp, options, None)
+}
+
+/// [`value_iteration_gauss_seidel`] with a per-sweep
+/// [`ConvergenceTrace`]. The returned solution is bit-identical to the
+/// untraced one.
+pub fn value_iteration_gauss_seidel_traced(
+    mdp: &SparseMdp,
+    options: &SolveOptions,
+) -> (Solution, ConvergenceTrace) {
+    let mut trace = ConvergenceTrace::new("gauss-seidel");
+    let solution = value_iteration_gauss_seidel_impl(mdp, options, Some(&mut trace));
+    (solution, trace)
+}
+
+fn value_iteration_gauss_seidel_impl(
+    mdp: &SparseMdp,
+    options: &SolveOptions,
+    mut trace: Option<&mut ConvergenceTrace>,
+) -> Solution {
     assert!(
         options.discount > 0.0 && options.discount < 1.0,
         "discount must lie in (0, 1), got {}",
@@ -133,7 +249,9 @@ pub fn value_iteration_gauss_seidel(mdp: &SparseMdp, options: &SolveOptions) -> 
     let stop = options.tolerance * (1.0 - options.discount) / (2.0 * options.discount);
     let mut residual = f64::INFINITY;
     let mut iterations = 0;
+    let solve_start = trace.is_some().then(Instant::now);
     while iterations < options.max_iterations {
+        let sweep_start = trace.is_some().then(Instant::now);
         let mut max_delta = 0.0f64;
         for s in 0..n {
             let (v, _) = mdp.bellman_backup(s, &values, options.discount);
@@ -142,9 +260,27 @@ pub fn value_iteration_gauss_seidel(mdp: &SparseMdp, options: &SolveOptions) -> 
         }
         iterations += 1;
         residual = max_delta;
+        if let Some(t) = trace.as_deref_mut() {
+            t.sweeps.push(SweepRecord {
+                sweep: iterations as u32,
+                residual,
+                states: n as u64,
+                elapsed_s: sweep_start
+                    .expect("timed with trace")
+                    .elapsed()
+                    .as_secs_f64(),
+            });
+        }
         if residual < stop {
             break;
         }
+    }
+    if let Some(t) = trace {
+        t.converged = residual < stop;
+        t.total_s = solve_start
+            .expect("timed with trace")
+            .elapsed()
+            .as_secs_f64();
     }
     let policy = greedy_policy(mdp, &values, options.discount);
     Solution {
@@ -429,6 +565,74 @@ mod tests {
                 ..SolveOptions::default()
             },
         );
+    }
+
+    #[test]
+    fn traced_solution_is_identical_to_untraced() {
+        let mdp = invest_mdp();
+        let opts = SolveOptions {
+            discount: 0.95,
+            tolerance: 1e-10,
+            max_iterations: 100_000,
+        };
+        let plain = value_iteration(&mdp, &opts);
+        let (traced, trace) = value_iteration_traced(&mdp, &opts);
+        assert_eq!(plain, traced, "tracing must not perturb the solve");
+        assert_eq!(trace.method, "value-iteration");
+        assert!(trace.converged);
+        assert_eq!(trace.sweeps.len(), traced.iterations);
+        assert_eq!(trace.final_residual(), traced.residual);
+        assert_eq!(
+            trace.states_touched(),
+            (traced.iterations * mdp.n_states()) as u64
+        );
+        // Sweep numbers are 1-based and contiguous.
+        for (i, s) in trace.sweeps.iter().enumerate() {
+            assert_eq!(s.sweep as usize, i + 1);
+            assert_eq!(s.states, mdp.n_states() as u64);
+            assert!(s.elapsed_s >= 0.0);
+        }
+        // Geometric convergence: the residual must shrink overall.
+        assert!(trace.final_residual() < trace.sweeps[0].residual);
+
+        let plain_gs = value_iteration_gauss_seidel(&mdp, &opts);
+        let (traced_gs, trace_gs) = value_iteration_gauss_seidel_traced(&mdp, &opts);
+        assert_eq!(plain_gs, traced_gs);
+        assert_eq!(trace_gs.method, "gauss-seidel");
+        assert!(trace_gs.converged);
+        assert_eq!(trace_gs.sweeps.len(), traced_gs.iterations);
+    }
+
+    #[test]
+    fn trace_reports_nonconvergence_at_sweep_cap() {
+        let mdp = invest_mdp();
+        let (sol, trace) = value_iteration_traced(
+            &mdp,
+            &SolveOptions {
+                discount: 0.999_9,
+                tolerance: 1e-15,
+                max_iterations: 7,
+            },
+        );
+        assert_eq!(sol.iterations, 7);
+        assert!(!trace.converged, "cap hit before tolerance");
+        assert_eq!(trace.sweeps.len(), 7);
+    }
+
+    #[test]
+    fn empty_trace_final_residual_is_infinite() {
+        let t = ConvergenceTrace::new("value-iteration");
+        assert_eq!(t.final_residual(), f64::INFINITY);
+        assert_eq!(t.states_touched(), 0);
+    }
+
+    #[test]
+    fn convergence_trace_serde_round_trip() {
+        let mdp = invest_mdp();
+        let (_, trace) = value_iteration_traced(&mdp, &SolveOptions::default());
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: ConvergenceTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, trace);
     }
 
     #[test]

@@ -29,9 +29,11 @@
 
 use ramsis_core::{Decision, FallbackPolicy, PolicyConfig, PolicyLibrary, ShedPolicy};
 use ramsis_profiles::WorkerProfile;
+use ramsis_telemetry::{Event, ShedCause};
 use ramsis_workload::DriftDetector;
 
 use crate::metrics::{AdaptiveStats, RegimeSwapEvent};
+use crate::query::nanos_from_secs;
 use crate::scheme::{Routing, Selection, SelectionContext, ServingScheme};
 use crate::SimError;
 
@@ -55,6 +57,9 @@ pub struct AdaptiveRamsis {
     fallback_decisions: u64,
     detection_delays: Vec<f64>,
     events: Vec<RegimeSwapEvent>,
+    audit: bool,
+    audit_buf: Vec<Event>,
+    last_shed: ShedCause,
 }
 
 impl AdaptiveRamsis {
@@ -112,6 +117,9 @@ impl AdaptiveRamsis {
             fallback_decisions: 0,
             detection_delays: Vec::new(),
             events: Vec::new(),
+            audit: false,
+            audit_buf: Vec::new(),
+            last_shed: ShedCause::Policy,
         })
     }
 
@@ -176,12 +184,20 @@ impl ServingScheme for AdaptiveRamsis {
         };
         self.events.push(RegimeSwapEvent {
             at_s: change.at_s,
-            from: from_label,
+            from: from_label.clone(),
             to: to_label.clone(),
             fitted_rate_qps: change.fitted_rate_qps,
             fitted_dispersion: change.fitted_dispersion,
             detection_delay_s: change.detection_delay_s,
         });
+        if self.audit {
+            self.audit_buf.push(Event::RegimeSwap {
+                at: nanos_from_secs(change.at_s),
+                from: from_label,
+                to: to_label.clone(),
+                detection_delay_ns: nanos_from_secs(change.detection_delay_s),
+            });
+        }
         // A missing in-grid regime is worth a bounded online solve; the
         // fallback serves it in the meantime and permanently if the
         // solve fails or the budget is spent.
@@ -194,6 +210,12 @@ impl ServingScheme for AdaptiveRamsis {
                 .is_ok()
         {
             self.lazy_solves += 1;
+            if self.audit {
+                self.audit_buf.push(Event::LazySolve {
+                    at: nanos_from_secs(change.at_s),
+                    regime: to_label.clone(),
+                });
+            }
         }
         self.active_label = to_label;
     }
@@ -205,18 +227,26 @@ impl ServingScheme for AdaptiveRamsis {
             // it. Shed one; the engine re-asks for the remainder.
             if ctx.earliest_slack_s < self.hopeless_threshold_s {
                 self.shed_hopeless += 1;
+                self.last_shed = ShedCause::Hopeless;
                 return Selection::Drop { count: 1 };
             }
             if let ShedPolicy::QueueDepth(cap) = self.shed {
                 if ctx.queued > cap as usize {
                     let count = (ctx.queued - cap as usize) as u32;
                     self.shed_queue_depth += u64::from(count);
+                    self.last_shed = ShedCause::QueueDepth;
                     return Selection::Drop { count };
                 }
             }
         }
         let Some(set) = self.library.get(self.detector.active()) else {
             self.fallback_decisions += 1;
+            if self.audit {
+                self.audit_buf.push(Event::FallbackEngaged {
+                    at: nanos_from_secs(ctx.now_s),
+                    worker: ctx.worker as u32,
+                });
+            }
             let (model, batch) = self.fallback.decide(ctx.queued);
             return Selection::Serve {
                 model,
@@ -226,14 +256,29 @@ impl ServingScheme for AdaptiveRamsis {
         let policy = set.select(ctx.load_qps);
         match policy.decide(ctx.queued, ctx.earliest_slack_s) {
             Decision::Wait => Selection::Idle,
-            Decision::Drop { count } => Selection::Drop {
-                count: count.min(ctx.queued as u32).max(1),
-            },
+            Decision::Drop { count } => {
+                self.last_shed = ShedCause::Policy;
+                Selection::Drop {
+                    count: count.min(ctx.queued as u32).max(1),
+                }
+            }
             Decision::Serve { model, batch } => Selection::Serve {
                 model,
                 batch: batch.min(ctx.queued as u32),
             },
         }
+    }
+
+    fn set_audit(&mut self, enabled: bool) {
+        self.audit = enabled;
+    }
+
+    fn drain_audit(&mut self, out: &mut Vec<Event>) {
+        out.append(&mut self.audit_buf);
+    }
+
+    fn shed_cause(&self) -> ShedCause {
+        self.last_shed
     }
 
     fn regime(&self) -> Option<&str> {

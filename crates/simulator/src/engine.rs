@@ -12,6 +12,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use ramsis_profiles::WorkerProfile;
+use ramsis_telemetry::{Action, Event, NullSink, QueueId, TelemetrySink};
 use ramsis_workload::{sample_poisson_arrivals, LoadEstimator, Trace};
 
 use rand::SeedableRng;
@@ -158,6 +159,47 @@ fn expand_fault_actions(plan: &FaultPlan) -> Vec<(Nanos, FaultAction)> {
     actions
 }
 
+/// The engine's handle on a run's telemetry sink. `enabled` is read
+/// once at run start; with the default [`NullSink`] every emission site
+/// reduces to one predictable branch and no event is ever constructed.
+struct Tracer<'s> {
+    sink: &'s mut dyn TelemetrySink,
+    on: bool,
+    /// Scratch for draining scheme-buffered audit events.
+    buf: Vec<Event>,
+}
+
+impl<'s> Tracer<'s> {
+    fn new(sink: &'s mut dyn TelemetrySink) -> Self {
+        let on = sink.enabled();
+        Self {
+            sink,
+            on,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Records the event `f` builds, constructing it only when tracing.
+    #[inline]
+    fn emit(&mut self, f: impl FnOnce() -> Event) {
+        if self.on {
+            self.sink.record(&f());
+        }
+    }
+
+    /// Moves the scheme's buffered audit events into the sink, keeping
+    /// the stream in simulation-time order.
+    fn drain_scheme(&mut self, scheme: &mut dyn ServingScheme) {
+        if !self.on {
+            return;
+        }
+        scheme.drain_audit(&mut self.buf);
+        for e in self.buf.drain(..) {
+            self.sink.record(&e);
+        }
+    }
+}
+
 /// Per-worker runtime state shared by the event handlers.
 struct Cluster {
     busy: Vec<bool>,
@@ -283,6 +325,36 @@ impl<'a> Simulation<'a> {
         scheme: &mut dyn ServingScheme,
         estimator: &mut dyn LoadEstimator,
     ) -> Result<SimulationReport, SimError> {
+        self.run_faulted_traced(trace, plan, scheme, estimator, &mut NullSink)
+    }
+
+    /// [`Self::run`] with every lifecycle and audit event emitted into
+    /// `sink`. Same seeds give a byte-identical event stream.
+    pub fn run_traced(
+        &self,
+        trace: &Trace,
+        scheme: &mut dyn ServingScheme,
+        estimator: &mut dyn LoadEstimator,
+        sink: &mut dyn TelemetrySink,
+    ) -> SimulationReport {
+        self.run_faulted_traced(trace, &FaultPlan::none(), scheme, estimator, sink)
+            .expect("empty fault plan always validates")
+    }
+
+    /// [`Self::run_faulted`] with telemetry emitted into `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the plan fails
+    /// [`FaultPlan::validate`] for this cluster size.
+    pub fn run_faulted_traced(
+        &self,
+        trace: &Trace,
+        plan: &FaultPlan,
+        scheme: &mut dyn ServingScheme,
+        estimator: &mut dyn LoadEstimator,
+        sink: &mut dyn TelemetrySink,
+    ) -> Result<SimulationReport, SimError> {
         plan.validate(self.config.workers)?;
         let mut surged = trace.clone();
         for (from_s, to_s, factor) in plan.surges() {
@@ -290,7 +362,7 @@ impl<'a> Simulation<'a> {
         }
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.arrival_seed);
         let arrivals = sample_poisson_arrivals(&surged, &mut rng);
-        self.run_arrivals_faulted(&arrivals, plan, scheme, estimator)
+        self.run_arrivals_faulted_traced(&arrivals, plan, scheme, estimator, sink)
     }
 
     /// Runs `scheme` over explicit arrival times (seconds, sorted).
@@ -301,6 +373,18 @@ impl<'a> Simulation<'a> {
         estimator: &mut dyn LoadEstimator,
     ) -> SimulationReport {
         self.run_arrivals_faulted(arrivals, &FaultPlan::none(), scheme, estimator)
+            .expect("empty fault plan always validates")
+    }
+
+    /// [`Self::run_arrivals`] with telemetry emitted into `sink`.
+    pub fn run_arrivals_traced(
+        &self,
+        arrivals: &[f64],
+        scheme: &mut dyn ServingScheme,
+        estimator: &mut dyn LoadEstimator,
+        sink: &mut dyn TelemetrySink,
+    ) -> SimulationReport {
+        self.run_arrivals_faulted_traced(arrivals, &FaultPlan::none(), scheme, estimator, sink)
             .expect("empty fault plan always validates")
     }
 
@@ -320,7 +404,28 @@ impl<'a> Simulation<'a> {
         scheme: &mut dyn ServingScheme,
         estimator: &mut dyn LoadEstimator,
     ) -> Result<SimulationReport, SimError> {
+        self.run_arrivals_faulted_traced(arrivals, plan, scheme, estimator, &mut NullSink)
+    }
+
+    /// [`Self::run_arrivals_faulted`] with telemetry emitted into
+    /// `sink` — the fully general entry point every other run method
+    /// funnels into.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the plan fails
+    /// [`FaultPlan::validate`] for this cluster size.
+    pub fn run_arrivals_faulted_traced(
+        &self,
+        arrivals: &[f64],
+        plan: &FaultPlan,
+        scheme: &mut dyn ServingScheme,
+        estimator: &mut dyn LoadEstimator,
+        sink: &mut dyn TelemetrySink,
+    ) -> Result<SimulationReport, SimError> {
         plan.validate(self.config.workers)?;
+        let mut tracer = Tracer::new(sink);
+        scheme.set_audit(tracer.on);
         let slo = nanos_from_secs(self.config.slo_s);
         let n_workers = self.config.workers;
         let routing = scheme.routing();
@@ -369,8 +474,14 @@ impl<'a> Simulation<'a> {
                     let idx = i as usize;
                     let t = nanos_from_secs(arrivals[idx]);
                     let q = Query::new(i, t, slo);
+                    tracer.emit(|| Event::Arrival {
+                        at: now,
+                        query: i,
+                        deadline: q.deadline,
+                    });
                     estimator.record_arrival(secs_from_nanos(t));
                     scheme.on_arrival(secs_from_nanos(t));
+                    tracer.drain_scheme(scheme);
                     // Schedule the next arrival.
                     if idx + 1 < arrivals.len() {
                         heap.push(Reverse((
@@ -385,6 +496,12 @@ impl<'a> Simulation<'a> {
                             match Self::next_live_rr(&cluster.alive, &mut rr_next) {
                                 Some(w) => {
                                     worker_queues[w].push_back(q);
+                                    tracer.emit(|| Event::Enqueue {
+                                        at: now,
+                                        query: i,
+                                        queue: QueueId::Worker(w as u32),
+                                        depth: worker_queues[w].len() as u32,
+                                    });
                                     if !cluster.busy[w] {
                                         self.dispatch(
                                             w,
@@ -397,12 +514,18 @@ impl<'a> Simulation<'a> {
                                             &mut metrics,
                                             &mut heap,
                                             &mut seq,
+                                            &mut tracer,
                                         );
                                     }
                                 }
-                                None => {
-                                    Self::strand(q, plan.crash_policy, &mut limbo, &mut metrics)
-                                }
+                                None => Self::strand(
+                                    q,
+                                    plan.crash_policy,
+                                    &mut limbo,
+                                    &mut metrics,
+                                    &mut tracer,
+                                    now,
+                                ),
                             }
                         }
                         Routing::PerWorkerShortestQueue => {
@@ -412,6 +535,12 @@ impl<'a> Simulation<'a> {
                             match target {
                                 Some(w) => {
                                     worker_queues[w].push_back(q);
+                                    tracer.emit(|| Event::Enqueue {
+                                        at: now,
+                                        query: i,
+                                        queue: QueueId::Worker(w as u32),
+                                        depth: worker_queues[w].len() as u32,
+                                    });
                                     if !cluster.busy[w] {
                                         self.dispatch(
                                             w,
@@ -424,16 +553,28 @@ impl<'a> Simulation<'a> {
                                             &mut metrics,
                                             &mut heap,
                                             &mut seq,
+                                            &mut tracer,
                                         );
                                     }
                                 }
-                                None => {
-                                    Self::strand(q, plan.crash_policy, &mut limbo, &mut metrics)
-                                }
+                                None => Self::strand(
+                                    q,
+                                    plan.crash_policy,
+                                    &mut limbo,
+                                    &mut metrics,
+                                    &mut tracer,
+                                    now,
+                                ),
                             }
                         }
                         Routing::Central => {
                             central_queue.push_back(q);
+                            tracer.emit(|| Event::Enqueue {
+                                at: now,
+                                query: i,
+                                queue: QueueId::Central,
+                                depth: central_queue.len() as u32,
+                            });
                             if let Some(w) =
                                 (0..n_workers).find(|&w| cluster.alive[w] && !cluster.busy[w])
                             {
@@ -448,6 +589,7 @@ impl<'a> Simulation<'a> {
                                     &mut metrics,
                                     &mut heap,
                                     &mut seq,
+                                    &mut tracer,
                                 );
                             }
                         }
@@ -467,6 +609,18 @@ impl<'a> Simulation<'a> {
                         metrics.record_divergence(d);
                     }
                     metrics.record_batch(self.profile_of(w), model, &queries, started, now);
+                    if tracer.on {
+                        for q in &queries {
+                            tracer.emit(|| Event::Complete {
+                                at: now,
+                                query: q.id,
+                                worker: w as u32,
+                                model: model as u32,
+                                response_ns: now.saturating_sub(q.arrival),
+                                violated: now > q.deadline,
+                            });
+                        }
+                    }
                     cluster.busy[w] = false;
                     let queue = match routing {
                         Routing::Central => &mut central_queue,
@@ -483,6 +637,7 @@ impl<'a> Simulation<'a> {
                         &mut metrics,
                         &mut heap,
                         &mut seq,
+                        &mut tracer,
                     );
                 }
                 EventKind::Fault(idx) => {
@@ -503,8 +658,27 @@ impl<'a> Simulation<'a> {
                             displaced.extend(worker_queues[w].drain(..));
                             scheme.on_membership_change(cluster.live);
                             match plan.crash_policy {
-                                CrashPolicy::Drop => metrics.record_crash_dropped(&displaced),
+                                CrashPolicy::Drop => {
+                                    if tracer.on {
+                                        for q in &displaced {
+                                            tracer.emit(|| Event::Drop {
+                                                at: now,
+                                                query: q.id,
+                                            });
+                                        }
+                                    }
+                                    metrics.record_crash_dropped(&displaced);
+                                }
                                 CrashPolicy::RequeueToSurvivors => {
+                                    if tracer.on {
+                                        for q in &displaced {
+                                            tracer.emit(|| Event::CrashRequeue {
+                                                at: now,
+                                                query: q.id,
+                                                from: w as u32,
+                                            });
+                                        }
+                                    }
                                     metrics.record_crash_requeued(displaced.len() as u64);
                                     match routing {
                                         Routing::Central => {
@@ -541,6 +715,7 @@ impl<'a> Simulation<'a> {
                                 &mut metrics,
                                 &mut heap,
                                 &mut seq,
+                                &mut tracer,
                             );
                         }
                         FaultAction::Recover(w) => {
@@ -571,6 +746,7 @@ impl<'a> Simulation<'a> {
                                 &mut metrics,
                                 &mut heap,
                                 &mut seq,
+                                &mut tracer,
                             );
                         }
                         FaultAction::SlowStart(w, factor) => cluster.slow[w] = factor,
@@ -587,6 +763,8 @@ impl<'a> Simulation<'a> {
                 metrics.record_downtime_s(secs_from_nanos(horizon.saturating_sub(start)));
             }
         }
+
+        tracer.sink.flush();
 
         let regime_breakdown = metrics.regime_breakdown();
         let mut report = metrics.report(
@@ -624,10 +802,26 @@ impl<'a> Simulation<'a> {
         policy: CrashPolicy,
         limbo: &mut VecDeque<Query>,
         metrics: &mut MetricsCollector,
+        tracer: &mut Tracer<'_>,
+        now: Nanos,
     ) {
         match policy {
-            CrashPolicy::RequeueToSurvivors => limbo.push_back(q),
-            CrashPolicy::Drop => metrics.record_crash_dropped(&[q]),
+            CrashPolicy::RequeueToSurvivors => {
+                tracer.emit(|| Event::Enqueue {
+                    at: now,
+                    query: q.id,
+                    queue: QueueId::Limbo,
+                    depth: limbo.len() as u32 + 1,
+                });
+                limbo.push_back(q);
+            }
+            CrashPolicy::Drop => {
+                tracer.emit(|| Event::Drop {
+                    at: now,
+                    query: q.id,
+                });
+                metrics.record_crash_dropped(&[q]);
+            }
         }
     }
 
@@ -647,6 +841,7 @@ impl<'a> Simulation<'a> {
         metrics: &mut MetricsCollector,
         heap: &mut BinaryHeap<Reverse<(Nanos, u64, EventKind)>>,
         seq: &mut u64,
+        tracer: &mut Tracer<'_>,
     ) {
         // Indexed: the queue borrow alternates between `worker_queues[w]`
         // and the central queue depending on routing.
@@ -663,7 +858,7 @@ impl<'a> Simulation<'a> {
                 continue;
             }
             self.dispatch(
-                w, now, scheme, estimator, queue, cluster, sampler, metrics, heap, seq,
+                w, now, scheme, estimator, queue, cluster, sampler, metrics, heap, seq, tracer,
             );
         }
     }
@@ -685,6 +880,7 @@ impl<'a> Simulation<'a> {
         metrics: &mut MetricsCollector,
         heap: &mut BinaryHeap<Reverse<(Nanos, u64, EventKind)>>,
         seq: &mut u64,
+        tracer: &mut Tracer<'_>,
     ) {
         debug_assert!(!cluster.busy[w], "dispatch on a busy worker");
         debug_assert!(cluster.alive[w], "dispatch on a dead worker");
@@ -699,7 +895,23 @@ impl<'a> Simulation<'a> {
                 worker: w,
                 live_workers: cluster.live,
             };
-            match scheme.select(&ctx) {
+            let selection = scheme.select(&ctx);
+            tracer.drain_scheme(scheme);
+            tracer.emit(|| Event::PolicyDecision {
+                at: now,
+                worker: w as u32,
+                queued: ctx.queued as u32,
+                slack_ns: (ctx.earliest_slack_s * 1e9).round() as i64,
+                action: match selection {
+                    Selection::Serve { model, batch } => Action::Serve {
+                        model: model as u32,
+                        batch,
+                    },
+                    Selection::Drop { count } => Action::Drop { count },
+                    Selection::Idle => Action::Idle,
+                },
+            });
+            match selection {
                 Selection::Idle => return,
                 Selection::Drop { count } => {
                     assert!(
@@ -708,6 +920,16 @@ impl<'a> Simulation<'a> {
                         queue.len()
                     );
                     let shed: Vec<Query> = queue.drain(..count as usize).collect();
+                    if tracer.on {
+                        let cause = scheme.shed_cause();
+                        for q in &shed {
+                            tracer.emit(|| Event::Shed {
+                                at: now,
+                                query: q.id,
+                                cause,
+                            });
+                        }
+                    }
                     metrics.record_dropped(&shed);
                     // Shedding takes no time; ask again for the rest.
                 }
@@ -721,6 +943,13 @@ impl<'a> Simulation<'a> {
                         model < profile.n_models(),
                         "scheme chose unknown model {model}"
                     );
+                    tracer.emit(|| Event::Dispatch {
+                        at: now,
+                        worker: w as u32,
+                        model: model as u32,
+                        batch,
+                        depth: queue.len() as u32,
+                    });
                     let batch_queries: Vec<Query> = queue.drain(..batch as usize).collect();
                     let service = sampler.sample(profile, model, batch) * cluster.slow[w];
                     cluster.busy[w] = true;

@@ -10,8 +10,10 @@
 
 use ramsis_core::{Decision, DegradablePolicySet, FallbackPolicy, PolicyConfig, PolicySet};
 use ramsis_profiles::WorkerProfile;
+use ramsis_telemetry::{Event, ShedCause};
 
 use crate::metrics::AdaptiveStats;
+use crate::query::nanos_from_secs;
 
 /// How arrivals reach workers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,6 +109,28 @@ pub trait ServingScheme {
     /// `None` (non-adaptive schemes leave the field empty).
     fn adaptive_stats(&self) -> Option<AdaptiveStats> {
         None
+    }
+
+    /// Called once at the start of a traced run: schemes that emit
+    /// audit events ([`Event::RegimeSwap`], [`Event::LazySolve`],
+    /// [`Event::FallbackEngaged`]) start buffering them when `enabled`.
+    /// Default is a no-op so audit-oblivious schemes pay nothing.
+    fn set_audit(&mut self, enabled: bool) {
+        let _ = enabled;
+    }
+
+    /// Moves buffered audit events into `out` (the engine drains after
+    /// every scheme callback so events interleave with the lifecycle
+    /// stream in simulation-time order). Default: nothing to drain.
+    fn drain_audit(&mut self, out: &mut Vec<Event>) {
+        let _ = out;
+    }
+
+    /// The cause of the most recent [`Selection::Drop`] this scheme
+    /// returned. Default [`ShedCause::Policy`] — the §4.3.1 drop
+    /// reformulation; shedding schemes report finer causes.
+    fn shed_cause(&self) -> ShedCause {
+        ShedCause::Policy
     }
 }
 
@@ -316,6 +340,8 @@ pub struct DegradingRamsis {
     routing: Routing,
     live: usize,
     fallback_decisions: u64,
+    audit: bool,
+    audit_buf: Vec<Event>,
 }
 
 impl DegradingRamsis {
@@ -330,6 +356,8 @@ impl DegradingRamsis {
             routing: Routing::PerWorkerRoundRobin,
             live,
             fallback_decisions: 0,
+            audit: false,
+            audit_buf: Vec::new(),
         }
     }
 
@@ -357,6 +385,14 @@ impl ServingScheme for DegradingRamsis {
         self.live = live_workers;
     }
 
+    fn set_audit(&mut self, enabled: bool) {
+        self.audit = enabled;
+    }
+
+    fn drain_audit(&mut self, out: &mut Vec<Event>) {
+        out.append(&mut self.audit_buf);
+    }
+
     fn select(&mut self, ctx: &SelectionContext) -> Selection {
         // Belt and braces: the context always carries the live count,
         // so even a scheme cloned mid-run cannot act on a stale one.
@@ -367,6 +403,12 @@ impl ServingScheme for DegradingRamsis {
             .filter(|set| set.covers(ctx.load_qps));
         let Some(set) = set else {
             self.fallback_decisions += 1;
+            if self.audit {
+                self.audit_buf.push(Event::FallbackEngaged {
+                    at: nanos_from_secs(ctx.now_s),
+                    worker: ctx.worker as u32,
+                });
+            }
             let (model, batch) = self.fallback.decide(ctx.queued);
             return Selection::Serve {
                 model,

@@ -19,8 +19,10 @@
 pub mod counts;
 pub mod sampling;
 pub mod special;
+pub mod streaming;
 pub mod summary;
 
 pub use counts::{ArrivalProcess, CountTable, NegativeBinomialProcess, PoissonProcess};
 pub use sampling::{sample_exponential, sample_gamma, sample_truncated_normal};
+pub use streaming::{Counter, Gauge, LogHistogram, MetricsRegistry};
 pub use summary::{Histogram, MovingAverage, OnlineStats, Percentiles};

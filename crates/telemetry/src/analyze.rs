@@ -1,0 +1,519 @@
+//! Trace analysis: conservation accounting, event-derived aggregates,
+//! and per-window breakdowns.
+//!
+//! These run over a recorded [`Event`] stream (from a [`crate::VecSink`],
+//! a parsed JSONL log, or a ring tail) and reconstruct what the engine's
+//! own counters report — the integration tests pin that the two agree
+//! exactly, which is what makes the trace trustworthy for
+//! miss-attribution.
+
+use std::collections::BTreeMap;
+
+use ramsis_stats::LogHistogram;
+use serde::{Deserialize, Serialize};
+
+use crate::event::{Action, Event, Nanos};
+
+/// Per-query conservation accounting over a trace: every arrival must
+/// end in exactly one terminal state (complete, shed, dropped) or still
+/// be in flight at the horizon.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Conservation {
+    /// Distinct queries that arrived.
+    pub arrivals: u64,
+    /// Queries that completed service.
+    pub completions: u64,
+    /// Queries shed by the serving policy.
+    pub sheds: u64,
+    /// Queries lost to crashes.
+    pub drops: u64,
+    /// Arrivals with no terminal event (still queued or in service at
+    /// the end of the trace).
+    pub in_flight: u64,
+    /// Accounting anomalies: duplicate arrivals, more than one terminal
+    /// event for a query, or a terminal event with no arrival. A sound
+    /// trace has zero.
+    pub anomalies: u64,
+}
+
+impl Conservation {
+    /// True when the invariant
+    /// `arrivals == completions + sheds + drops + in_flight`
+    /// holds with no per-query anomalies.
+    pub fn holds(&self) -> bool {
+        self.anomalies == 0
+            && self.arrivals == self.completions + self.sheds + self.drops + self.in_flight
+    }
+}
+
+/// Checks conservation over a trace (audit events are ignored).
+pub fn conservation(events: &[Event]) -> Conservation {
+    // Per query: (arrived count, terminal count).
+    let mut queries: BTreeMap<u64, (u32, u32)> = BTreeMap::new();
+    let mut c = Conservation::default();
+    for e in events {
+        match *e {
+            Event::Arrival { query, .. } => queries.entry(query).or_insert((0, 0)).0 += 1,
+            Event::Complete { query, .. } => {
+                c.completions += 1;
+                queries.entry(query).or_insert((0, 0)).1 += 1;
+            }
+            Event::Shed { query, .. } => {
+                c.sheds += 1;
+                queries.entry(query).or_insert((0, 0)).1 += 1;
+            }
+            Event::Drop { query, .. } => {
+                c.drops += 1;
+                queries.entry(query).or_insert((0, 0)).1 += 1;
+            }
+            _ => {}
+        }
+    }
+    for &(arrived, terminal) in queries.values() {
+        if arrived > 0 {
+            c.arrivals += 1;
+        }
+        if arrived > 1 || terminal > 1 || (terminal > 0 && arrived == 0) {
+            c.anomalies += 1;
+        } else if arrived == 1 && terminal == 0 {
+            c.in_flight += 1;
+        }
+    }
+    c
+}
+
+/// Aggregates reconstructed purely from a trace's lifecycle events —
+/// comparable field-for-field with the engine's `SimulationReport`
+/// counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventAggregates {
+    /// Queries that arrived.
+    pub arrivals: u64,
+    /// Queries completed.
+    pub served: u64,
+    /// Of those, deadline misses.
+    pub violations: u64,
+    /// Queries shed by policy plus queries lost to crashes (the
+    /// engine's `dropped` counter folds both).
+    pub dropped: u64,
+    /// Queries displaced by crashes and requeued.
+    pub crash_requeued: u64,
+    /// Exact sum of response times, nanoseconds.
+    pub response_sum_ns: u128,
+    /// Response-time distribution (log-bucketed, nanoseconds).
+    pub response: LogHistogram,
+}
+
+impl EventAggregates {
+    /// Mean response time in seconds (0 when nothing completed).
+    pub fn mean_response_s(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.response_sum_ns as f64 / self.served as f64 / 1e9
+        }
+    }
+
+    /// Violation rate over completions (0 when nothing completed).
+    pub fn violation_rate(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.violations as f64 / self.served as f64
+        }
+    }
+}
+
+/// Reconstructs run aggregates from a trace.
+pub fn aggregates(events: &[Event]) -> EventAggregates {
+    let mut a = EventAggregates {
+        arrivals: 0,
+        served: 0,
+        violations: 0,
+        dropped: 0,
+        crash_requeued: 0,
+        response_sum_ns: 0,
+        response: LogHistogram::new(),
+    };
+    for e in events {
+        match *e {
+            Event::Arrival { .. } => a.arrivals += 1,
+            Event::Complete {
+                response_ns,
+                violated,
+                ..
+            } => {
+                a.served += 1;
+                a.violations += u64::from(violated);
+                a.response_sum_ns += response_ns as u128;
+                a.response.record(response_ns);
+            }
+            Event::Shed { .. } | Event::Drop { .. } => a.dropped += 1,
+            Event::CrashRequeue { .. } => a.crash_requeued += 1,
+            _ => {}
+        }
+    }
+    a
+}
+
+/// One fixed-length window of a trace's per-window breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct WindowStats {
+    /// Window start, nanoseconds from simulation start.
+    pub start_ns: Nanos,
+    /// Arrivals in the window.
+    pub arrivals: u64,
+    /// Batches dispatched.
+    pub dispatches: u64,
+    /// Queries completed.
+    pub completions: u64,
+    /// Of those, deadline misses.
+    pub violations: u64,
+    /// Queries shed by policy.
+    pub sheds: u64,
+    /// Queries lost to crashes.
+    pub drops: u64,
+    /// `Serve` decisions audited.
+    pub decisions_serve: u64,
+    /// `Drop` decisions audited.
+    pub decisions_drop: u64,
+    /// `Idle` decisions audited.
+    pub decisions_idle: u64,
+    /// Deepest visible queue at any dispatch decision in the window.
+    pub max_queue_depth: u32,
+    /// Sum of dispatched batch sizes (for mean-batch computation).
+    pub batch_sum: u64,
+    /// Worker-busy time overlapping the window, nanoseconds (summed
+    /// over workers; divide by `workers × window` for utilization).
+    pub busy_ns: u64,
+    /// Regime hot-swaps committed.
+    pub swaps: u64,
+    /// Online policy solves.
+    pub lazy_solves: u64,
+    /// Decisions answered by the fallback policy.
+    pub fallbacks: u64,
+}
+
+impl WindowStats {
+    /// Mean dispatched batch size (0 when nothing dispatched).
+    pub fn mean_batch(&self) -> f64 {
+        if self.dispatches == 0 {
+            0.0
+        } else {
+            self.batch_sum as f64 / self.dispatches as f64
+        }
+    }
+
+    /// Mean worker utilization over the window.
+    pub fn utilization(&self, workers: u32, window_ns: Nanos) -> f64 {
+        if workers == 0 || window_ns == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / (workers as f64 * window_ns as f64)
+        }
+    }
+}
+
+/// Buckets a trace into fixed windows of `window_ns`.
+///
+/// Busy time is reconstructed from dispatch→completion spans per
+/// worker and apportioned to every window each span overlaps; a span
+/// cut short by a crash (its batch never completes) is discarded when
+/// the worker's next dispatch appears.
+///
+/// # Panics
+///
+/// Panics if `window_ns` is zero.
+pub fn window_breakdown(events: &[Event], window_ns: Nanos) -> Vec<WindowStats> {
+    assert!(window_ns > 0, "window must be positive");
+    fn bucket(windows: &mut Vec<WindowStats>, at: Nanos, window_ns: Nanos) -> &mut WindowStats {
+        let i = (at / window_ns) as usize;
+        if windows.len() <= i {
+            for k in windows.len()..=i {
+                windows.push(WindowStats {
+                    start_ns: k as Nanos * window_ns,
+                    ..WindowStats::default()
+                });
+            }
+        }
+        &mut windows[i]
+    }
+    let mut windows: Vec<WindowStats> = Vec::new();
+    let mut horizon: Nanos = 0;
+    // Per-worker open service span: worker -> start of in-flight batch.
+    let mut open: BTreeMap<u32, Nanos> = BTreeMap::new();
+    let mut spans: Vec<(Nanos, Nanos)> = Vec::new();
+    for e in events {
+        horizon = horizon.max(e.at());
+        match *e {
+            Event::Arrival { at, .. } => bucket(&mut windows, at, window_ns).arrivals += 1,
+            Event::Dispatch {
+                at,
+                worker,
+                batch,
+                depth,
+                ..
+            } => {
+                let w = bucket(&mut windows, at, window_ns);
+                w.dispatches += 1;
+                w.batch_sum += u64::from(batch);
+                w.max_queue_depth = w.max_queue_depth.max(depth);
+                // A still-open span means the previous batch was
+                // displaced by a crash; it never completed.
+                open.insert(worker, at);
+            }
+            Event::Complete {
+                at,
+                worker,
+                violated,
+                ..
+            } => {
+                let w = bucket(&mut windows, at, window_ns);
+                w.completions += 1;
+                w.violations += u64::from(violated);
+                if let Some(start) = open.remove(&worker) {
+                    spans.push((start, at));
+                }
+            }
+            Event::Shed { at, .. } => bucket(&mut windows, at, window_ns).sheds += 1,
+            Event::Drop { at, .. } => bucket(&mut windows, at, window_ns).drops += 1,
+            Event::PolicyDecision { at, action, .. } => {
+                let w = bucket(&mut windows, at, window_ns);
+                match action {
+                    Action::Serve { .. } => w.decisions_serve += 1,
+                    Action::Drop { .. } => w.decisions_drop += 1,
+                    Action::Idle => w.decisions_idle += 1,
+                }
+            }
+            Event::RegimeSwap { at, .. } => bucket(&mut windows, at, window_ns).swaps += 1,
+            Event::LazySolve { at, .. } => bucket(&mut windows, at, window_ns).lazy_solves += 1,
+            Event::FallbackEngaged { at, .. } => bucket(&mut windows, at, window_ns).fallbacks += 1,
+            Event::Enqueue { .. } | Event::CrashRequeue { .. } => {}
+        }
+    }
+    // Apportion each completed service span across the windows it
+    // overlaps. Ensure the window list covers the horizon first.
+    if horizon > 0 {
+        let _ = bucket(&mut windows, horizon.saturating_sub(1), window_ns);
+    }
+    for (start, end) in spans {
+        let mut t = start;
+        while t < end {
+            let i = (t / window_ns) as usize;
+            let window_end = (i as Nanos + 1) * window_ns;
+            let upto = end.min(window_end);
+            if i < windows.len() {
+                windows[i].busy_ns += upto - t;
+            }
+            t = upto;
+        }
+    }
+    windows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ShedCause;
+
+    fn lifecycle(query: u64, at: Nanos, terminal: Option<Event>) -> Vec<Event> {
+        let mut v = vec![Event::Arrival {
+            at,
+            query,
+            deadline: at + 100,
+        }];
+        v.extend(terminal);
+        v
+    }
+
+    #[test]
+    fn conservation_accounts_every_query() {
+        let mut events = Vec::new();
+        events.extend(lifecycle(
+            0,
+            0,
+            Some(Event::Complete {
+                at: 50,
+                query: 0,
+                worker: 0,
+                model: 0,
+                response_ns: 50,
+                violated: false,
+            }),
+        ));
+        events.extend(lifecycle(
+            1,
+            10,
+            Some(Event::Shed {
+                at: 20,
+                query: 1,
+                cause: ShedCause::QueueDepth,
+            }),
+        ));
+        events.extend(lifecycle(2, 20, Some(Event::Drop { at: 30, query: 2 })));
+        events.extend(lifecycle(3, 30, None)); // in flight
+        let c = conservation(&events);
+        assert_eq!(
+            c,
+            Conservation {
+                arrivals: 4,
+                completions: 1,
+                sheds: 1,
+                drops: 1,
+                in_flight: 1,
+                anomalies: 0,
+            }
+        );
+        assert!(c.holds());
+    }
+
+    #[test]
+    fn conservation_flags_double_service_and_orphans() {
+        let twice = [
+            Event::Arrival {
+                at: 0,
+                query: 0,
+                deadline: 100,
+            },
+            Event::Complete {
+                at: 10,
+                query: 0,
+                worker: 0,
+                model: 0,
+                response_ns: 10,
+                violated: false,
+            },
+            Event::Complete {
+                at: 20,
+                query: 0,
+                worker: 1,
+                model: 0,
+                response_ns: 20,
+                violated: false,
+            },
+        ];
+        assert!(!conservation(&twice).holds());
+        let orphan = [Event::Drop { at: 5, query: 9 }];
+        assert!(!conservation(&orphan).holds());
+    }
+
+    #[test]
+    fn aggregates_match_hand_count() {
+        let events = [
+            Event::Arrival {
+                at: 0,
+                query: 0,
+                deadline: 100,
+            },
+            Event::Arrival {
+                at: 5,
+                query: 1,
+                deadline: 105,
+            },
+            Event::Complete {
+                at: 90,
+                query: 0,
+                worker: 0,
+                model: 2,
+                response_ns: 90,
+                violated: false,
+            },
+            Event::Complete {
+                at: 200,
+                query: 1,
+                worker: 0,
+                model: 2,
+                response_ns: 195,
+                violated: true,
+            },
+        ];
+        let a = aggregates(&events);
+        assert_eq!(a.arrivals, 2);
+        assert_eq!(a.served, 2);
+        assert_eq!(a.violations, 1);
+        assert_eq!(a.response_sum_ns, 285);
+        assert_eq!(a.response.count(), 2);
+        assert!((a.violation_rate() - 0.5).abs() < 1e-12);
+        assert!((a.mean_response_s() - 142.5e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn windows_bucket_and_apportion_busy_time() {
+        let events = [
+            Event::Arrival {
+                at: 100,
+                query: 0,
+                deadline: 1_100,
+            },
+            Event::Dispatch {
+                at: 500,
+                worker: 0,
+                model: 1,
+                batch: 2,
+                depth: 3,
+            },
+            // Span 500..2_500 crosses two window edges (window = 1_000).
+            Event::Complete {
+                at: 2_500,
+                query: 0,
+                worker: 0,
+                model: 1,
+                response_ns: 2_400,
+                violated: true,
+            },
+        ];
+        let w = window_breakdown(&events, 1_000);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0].arrivals, 1);
+        assert_eq!(w[0].dispatches, 1);
+        assert_eq!(w[0].max_queue_depth, 3);
+        assert_eq!(w[0].busy_ns, 500);
+        assert_eq!(w[1].busy_ns, 1_000);
+        assert_eq!(w[2].busy_ns, 500);
+        assert_eq!(w[2].completions, 1);
+        assert_eq!(w[2].violations, 1);
+        assert!((w[0].mean_batch() - 2.0).abs() < 1e-12);
+        assert!((w[1].utilization(1, 1_000) - 1.0).abs() < 1e-12);
+        // Total busy equals the span length.
+        let busy: u64 = w.iter().map(|x| x.busy_ns).sum();
+        assert_eq!(busy, 2_000);
+    }
+
+    #[test]
+    fn crash_displaced_span_is_discarded() {
+        let events = [
+            Event::Dispatch {
+                at: 0,
+                worker: 0,
+                model: 0,
+                batch: 1,
+                depth: 1,
+            },
+            // No completion (crash) — next dispatch replaces the span.
+            Event::Dispatch {
+                at: 5_000,
+                worker: 0,
+                model: 0,
+                batch: 1,
+                depth: 1,
+            },
+            Event::Complete {
+                at: 6_000,
+                query: 0,
+                worker: 0,
+                model: 0,
+                response_ns: 6_000,
+                violated: true,
+            },
+        ];
+        let w = window_breakdown(&events, 1_000);
+        let busy: u64 = w.iter().map(|x| x.busy_ns).sum();
+        assert_eq!(busy, 1_000, "only the completed span counts");
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let _ = window_breakdown(&[], 0);
+    }
+}

@@ -1,0 +1,315 @@
+//! The structured event model: one [`Event`] per observable step of a
+//! query's lifecycle, plus audit events for every policy-level action.
+//!
+//! Events are stamped with deterministic simulation time (integer
+//! nanoseconds — never a wall clock), so a seeded run emits a
+//! byte-identical stream on every replay. Serialization goes through
+//! the workspace's serde stand-in: an event renders as an
+//! externally-tagged JSON object, e.g.
+//! `{"Arrival":{"at":1000,"query":0,"deadline":150001000}}`.
+
+use serde::{Deserialize, Serialize};
+
+/// Simulation time in integer nanoseconds (mirrors the simulator's
+/// clock without depending on it — telemetry sits below the simulator
+/// in the crate graph).
+pub type Nanos = u64;
+
+/// Which queue a query was placed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueueId {
+    /// The shared central queue (eager-pulling baselines).
+    Central,
+    /// A per-worker queue (RAMSIS routing).
+    Worker(u32),
+    /// The stranded-query limbo: no live worker existed at routing time
+    /// (full outage under `CrashPolicy::RequeueToSurvivors`).
+    Limbo,
+}
+
+/// Why a query was shed without service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShedCause {
+    /// Its deadline was unreachable even on the fastest model at
+    /// batch 1 (`ShedPolicy::Hopeless`).
+    Hopeless,
+    /// It was trimmed to cap the queue depth
+    /// (`ShedPolicy::QueueDepth`).
+    QueueDepth,
+    /// The serving policy's own drop reformulation (§4.3.1) or any
+    /// scheme that does not report a finer cause.
+    Policy,
+}
+
+/// A scheme's answer to one decision request (mirror of the
+/// simulator's `Selection`, flattened for the audit log).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Action {
+    /// Serve `batch` queries on `model`.
+    Serve {
+        /// Catalog index of the selected model.
+        model: u32,
+        /// Batch size chosen.
+        batch: u32,
+    },
+    /// Shed `count` earliest-deadline queries.
+    Drop {
+        /// Number of queries shed.
+        count: u32,
+    },
+    /// Leave the worker idle until the next event.
+    Idle,
+}
+
+/// One observable step in the serving pipeline.
+///
+/// The first seven variants trace the query lifecycle; the rest audit
+/// policy-level decisions. Every variant's first field is its
+/// simulation timestamp (see [`Event::at`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// A query arrived at the serving system.
+    Arrival {
+        /// Arrival time.
+        at: Nanos,
+        /// Query id (the arrival index — unique per run).
+        query: u64,
+        /// Absolute deadline (`at + SLO`).
+        deadline: Nanos,
+    },
+    /// The query was placed in a queue.
+    Enqueue {
+        /// Enqueue time (equals the arrival time; requeues after a
+        /// crash are separate [`Event::CrashRequeue`] events).
+        at: Nanos,
+        /// Query id.
+        query: u64,
+        /// Destination queue.
+        queue: QueueId,
+        /// Queue depth after the push.
+        depth: u32,
+    },
+    /// A worker started serving a batch.
+    Dispatch {
+        /// Service start time.
+        at: Nanos,
+        /// Serving worker.
+        worker: u32,
+        /// Catalog index of the model run.
+        model: u32,
+        /// Batch size drained from the queue.
+        batch: u32,
+        /// Visible queue depth just before the drain.
+        depth: u32,
+    },
+    /// A query's batch finished; one event per query in the batch.
+    Complete {
+        /// Completion time.
+        at: Nanos,
+        /// Query id.
+        query: u64,
+        /// Worker that served it.
+        worker: u32,
+        /// Model that served it.
+        model: u32,
+        /// End-to-end response time (`at - arrival`).
+        response_ns: Nanos,
+        /// Whether the completion missed the query's deadline.
+        violated: bool,
+    },
+    /// A query was shed by the serving policy without service.
+    Shed {
+        /// Shed time.
+        at: Nanos,
+        /// Query id.
+        query: u64,
+        /// Why it was shed.
+        cause: ShedCause,
+    },
+    /// A query was lost to a crash (`CrashPolicy::Drop`).
+    Drop {
+        /// Drop time.
+        at: Nanos,
+        /// Query id.
+        query: u64,
+    },
+    /// A query displaced by a worker crash was requeued to survivors.
+    CrashRequeue {
+        /// Requeue time (the crash time).
+        at: Nanos,
+        /// Query id.
+        query: u64,
+        /// The crashed worker it was displaced from.
+        from: u32,
+    },
+    /// One scheme decision, with the state it saw (audit).
+    PolicyDecision {
+        /// Decision time.
+        at: Nanos,
+        /// Worker the decision was made for.
+        worker: u32,
+        /// Queries visible to the worker.
+        queued: u32,
+        /// Slack of the earliest deadline, nanoseconds (negative when
+        /// already blown).
+        slack_ns: i64,
+        /// The action taken.
+        action: Action,
+    },
+    /// An adaptive scheme committed a policy hot-swap (audit).
+    RegimeSwap {
+        /// Commit time.
+        at: Nanos,
+        /// Regime label swapped away from.
+        from: String,
+        /// Regime label swapped to.
+        to: String,
+        /// Detection latency of the drift detector.
+        detection_delay_ns: Nanos,
+    },
+    /// A missing in-grid regime was solved online (audit).
+    LazySolve {
+        /// Solve time (simulated; the solve itself is off the
+        /// simulated clock).
+        at: Nanos,
+        /// Label of the regime solved.
+        regime: String,
+    },
+    /// A decision was answered by the fallback policy (audit).
+    FallbackEngaged {
+        /// Decision time.
+        at: Nanos,
+        /// Worker the fallback served.
+        worker: u32,
+    },
+}
+
+impl Event {
+    /// The event's simulation timestamp.
+    pub fn at(&self) -> Nanos {
+        match *self {
+            Event::Arrival { at, .. }
+            | Event::Enqueue { at, .. }
+            | Event::Dispatch { at, .. }
+            | Event::Complete { at, .. }
+            | Event::Shed { at, .. }
+            | Event::Drop { at, .. }
+            | Event::CrashRequeue { at, .. }
+            | Event::PolicyDecision { at, .. }
+            | Event::RegimeSwap { at, .. }
+            | Event::LazySolve { at, .. }
+            | Event::FallbackEngaged { at, .. } => at,
+        }
+    }
+
+    /// True for lifecycle events (the ones conservation accounting
+    /// runs over), false for audit events.
+    pub fn is_lifecycle(&self) -> bool {
+        !matches!(
+            self,
+            Event::PolicyDecision { .. }
+                | Event::RegimeSwap { .. }
+                | Event::LazySolve { .. }
+                | Event::FallbackEngaged { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serde_round_trips_every_variant() {
+        let events = vec![
+            Event::Arrival {
+                at: 1,
+                query: 0,
+                deadline: 150_000_001,
+            },
+            Event::Enqueue {
+                at: 1,
+                query: 0,
+                queue: QueueId::Worker(3),
+                depth: 2,
+            },
+            Event::Enqueue {
+                at: 2,
+                query: 1,
+                queue: QueueId::Central,
+                depth: 1,
+            },
+            Event::Enqueue {
+                at: 3,
+                query: 2,
+                queue: QueueId::Limbo,
+                depth: 1,
+            },
+            Event::Dispatch {
+                at: 5,
+                worker: 3,
+                model: 7,
+                batch: 2,
+                depth: 2,
+            },
+            Event::Complete {
+                at: 9,
+                query: 0,
+                worker: 3,
+                model: 7,
+                response_ns: 8,
+                violated: false,
+            },
+            Event::Shed {
+                at: 10,
+                query: 4,
+                cause: ShedCause::Hopeless,
+            },
+            Event::Drop { at: 11, query: 5 },
+            Event::CrashRequeue {
+                at: 12,
+                query: 6,
+                from: 1,
+            },
+            Event::PolicyDecision {
+                at: 13,
+                worker: 0,
+                queued: 4,
+                slack_ns: -2_000,
+                action: Action::Drop { count: 1 },
+            },
+            Event::RegimeSwap {
+                at: 14,
+                from: "le120qps-poisson".into(),
+                to: "gt120qps-bursty".into(),
+                detection_delay_ns: 2_000_000_000,
+            },
+            Event::LazySolve {
+                at: 15,
+                regime: "gt120qps-bursty".into(),
+            },
+            Event::FallbackEngaged { at: 16, worker: 2 },
+        ];
+        for e in &events {
+            let json = serde_json::to_string(e).unwrap();
+            let back: Event = serde_json::from_str(&json).unwrap();
+            assert_eq!(&back, e, "{json}");
+            // Determinism: re-serializing gives identical bytes.
+            assert_eq!(json, serde_json::to_string(&back).unwrap());
+        }
+    }
+
+    #[test]
+    fn timestamps_and_lifecycle_split() {
+        let e = Event::Shed {
+            at: 42,
+            query: 1,
+            cause: ShedCause::Policy,
+        };
+        assert_eq!(e.at(), 42);
+        assert!(e.is_lifecycle());
+        let a = Event::FallbackEngaged { at: 7, worker: 0 };
+        assert_eq!(a.at(), 7);
+        assert!(!a.is_lifecycle());
+    }
+}

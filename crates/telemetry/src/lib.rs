@@ -1,0 +1,35 @@
+//! Telemetry substrate for the RAMSIS workspace (DESIGN.md §8).
+//!
+//! The simulator's end-of-run [`SimulationReport`] says *what* happened
+//! — violation rate, accuracy, percentiles — but not *why*: which
+//! arrival burst built the queue, which policy decision shed, which
+//! regime swap came late. This crate provides the missing substrate:
+//!
+//! - an [`Event`] model covering the full query lifecycle (arrival →
+//!   enqueue → dispatch → complete, plus shed / drop / crash-requeue)
+//!   and a decision audit log (policy decisions, regime swaps, lazy
+//!   solves, fallback engagements), all stamped with deterministic
+//!   simulation time — a seeded run replays to a byte-identical stream;
+//! - the [`TelemetrySink`] trait with a zero-cost [`NullSink`] default,
+//!   an unbounded [`VecSink`], a bounded [`RingSink`], and a
+//!   deterministic [`JsonlSink`] event log;
+//! - trace analysis: [`conservation`] accounting (every arrival ends in
+//!   exactly one terminal state), event-derived [`aggregates`] that
+//!   must match the engine's own counters, and a per-window
+//!   [`window_breakdown`] for miss attribution.
+//!
+//! The crate sits below the simulator in the dependency graph; the
+//! engine emits into `&mut dyn TelemetrySink` and checks
+//! [`TelemetrySink::enabled`] once per run so the untraced path costs
+//! one predictable branch per emission site.
+//!
+//! [`SimulationReport`]: https://docs.rs/ramsis-sim
+
+pub mod analyze;
+pub mod event;
+pub mod sink;
+
+pub use analyze::{aggregates, conservation, window_breakdown};
+pub use analyze::{Conservation, EventAggregates, WindowStats};
+pub use event::{Action, Event, Nanos, QueueId, ShedCause};
+pub use sink::{parse_jsonl, JsonlSink, NullSink, RingSink, TelemetrySink, VecSink};

@@ -1,0 +1,296 @@
+//! Event sinks: where a traced run's [`Event`] stream goes.
+//!
+//! The engine takes a `&mut dyn TelemetrySink` and checks
+//! [`TelemetrySink::enabled`] once per run; with the default
+//! [`NullSink`] every emission site is skipped entirely, so an
+//! untraced run pays nothing beyond one branch per site (the
+//! `telemetry_overhead` bench pins this contract).
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use crate::event::Event;
+
+/// A consumer of trace events.
+pub trait TelemetrySink {
+    /// Whether the sink wants events at all. The engine reads this once
+    /// per run and skips event construction when `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Consumes one event.
+    fn record(&mut self, event: &Event);
+
+    /// Flushes any buffered output (no-op for in-memory sinks).
+    fn flush(&mut self) {}
+}
+
+/// The default sink: drops everything, reports itself disabled.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TelemetrySink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _event: &Event) {}
+}
+
+/// An unbounded in-memory sink (tests and short runs).
+#[derive(Debug, Clone, Default)]
+pub struct VecSink {
+    events: Vec<Event>,
+}
+
+impl VecSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded events, in emission order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Consumes the sink, returning its events.
+    pub fn into_events(self) -> Vec<Event> {
+        self.events
+    }
+}
+
+impl TelemetrySink for VecSink {
+    fn record(&mut self, event: &Event) {
+        self.events.push(event.clone());
+    }
+}
+
+/// A bounded ring sink: keeps the most recent `capacity` events,
+/// counting everything it saw. Memory stays constant no matter how
+/// long the run is — the production default for always-on tracing.
+#[derive(Debug, Clone)]
+pub struct RingSink {
+    capacity: usize,
+    buf: VecDeque<Event>,
+    seen: u64,
+}
+
+impl RingSink {
+    /// Creates a ring holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        Self {
+            capacity,
+            buf: VecDeque::with_capacity(capacity),
+            seen: 0,
+        }
+    }
+
+    /// Total events recorded, including evicted ones.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.buf.iter()
+    }
+
+    /// Number of retained events (`<= capacity`).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the ring, returning the retained tail, oldest first.
+    pub fn into_events(self) -> Vec<Event> {
+        self.buf.into_iter().collect()
+    }
+}
+
+impl TelemetrySink for RingSink {
+    fn record(&mut self, event: &Event) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(event.clone());
+        self.seen += 1;
+    }
+}
+
+/// A sink writing one JSON object per line (JSONL) to any writer.
+///
+/// Serialization is deterministic — field order is declaration order
+/// and floats use shortest-round-trip formatting — so a seeded run
+/// produces a byte-identical log on every replay. I/O errors are
+/// latched and surfaced by [`JsonlSink::finish`] rather than panicking
+/// mid-run.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    out: W,
+    lines: u64,
+    error: Option<io::Error>,
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Opens (truncating) `path` for buffered JSONL output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying file-creation error.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        Ok(Self::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps an arbitrary writer.
+    pub fn new(out: W) -> Self {
+        Self {
+            out,
+            lines: 0,
+            error: None,
+        }
+    }
+
+    /// Lines successfully written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flushes and returns the writer, or the first latched I/O error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first write or flush error encountered.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+impl<W: Write> TelemetrySink for JsonlSink<W> {
+    fn record(&mut self, event: &Event) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = serde_json::to_string(event).expect("events always serialize");
+        if let Err(e) = writeln!(self.out, "{line}") {
+            self.error = Some(e);
+            return;
+        }
+        self.lines += 1;
+    }
+
+    fn flush(&mut self) {
+        if self.error.is_none() {
+            if let Err(e) = self.out.flush() {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+/// Parses a JSONL event log back into events (blank lines skipped).
+///
+/// # Errors
+///
+/// Returns a message naming the first offending line.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, String> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| serde_json::from_str(l).map_err(|e| format!("line {}: {e}", i + 1)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ShedCause;
+
+    fn ev(at: u64) -> Event {
+        Event::Shed {
+            at,
+            query: at,
+            cause: ShedCause::Policy,
+        }
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        let mut s = NullSink;
+        assert!(!s.enabled());
+        s.record(&ev(1)); // no-op, no panic
+    }
+
+    #[test]
+    fn vec_sink_keeps_order() {
+        let mut s = VecSink::new();
+        assert!(s.enabled());
+        for t in 0..5 {
+            s.record(&ev(t));
+        }
+        let ats: Vec<u64> = s.events().iter().map(Event::at).collect();
+        assert_eq!(ats, [0, 1, 2, 3, 4]);
+        assert_eq!(s.into_events().len(), 5);
+    }
+
+    #[test]
+    fn ring_sink_bounds_memory_and_counts_everything() {
+        let mut s = RingSink::new(3);
+        assert!(s.is_empty());
+        for t in 0..10 {
+            s.record(&ev(t));
+        }
+        assert_eq!(s.seen(), 10);
+        assert_eq!(s.len(), 3);
+        let ats: Vec<u64> = s.events().map(Event::at).collect();
+        assert_eq!(ats, [7, 8, 9]);
+        assert_eq!(s.into_events().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn ring_rejects_zero_capacity() {
+        let _ = RingSink::new(0);
+    }
+
+    #[test]
+    fn jsonl_round_trips_and_is_deterministic() {
+        let events: Vec<Event> = (0..4).map(ev).collect();
+        let write_all = || {
+            let mut sink = JsonlSink::new(Vec::new());
+            for e in &events {
+                sink.record(e);
+            }
+            assert_eq!(sink.lines(), 4);
+            String::from_utf8(sink.finish().unwrap()).unwrap()
+        };
+        let a = write_all();
+        let b = write_all();
+        assert_eq!(a, b, "identical inputs must give identical bytes");
+        assert_eq!(parse_jsonl(&a).unwrap(), events);
+    }
+
+    #[test]
+    fn parse_reports_bad_lines() {
+        let err = parse_jsonl("{\"nope\":1}\n").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+    }
+}

@@ -1,17 +1,25 @@
 #!/usr/bin/env bash
-# The full pre-merge gate: formatting, lints as errors, the whole test
-# suite. Runs offline against the vendored registry stand-ins (see
-# README "Offline builds"); no network access required.
+# The full pre-merge gate: formatting, lints as errors, rustdoc as
+# errors, the whole test suite. Runs offline against the vendored
+# registry stand-ins (see README "Offline builds"); no network access
+# required. Each stage reports its wall-clock time.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "=== cargo fmt --check ==="
-cargo fmt --all -- --check
+stage() {
+    local name="$1"
+    shift
+    echo "=== ${name} ==="
+    local start=$SECONDS
+    "$@"
+    echo "--- ${name}: $((SECONDS - start))s"
+}
 
-echo "=== cargo clippy (warnings are errors) ==="
-cargo clippy --workspace --all-targets -- -D warnings
-
-echo "=== cargo test ==="
-cargo test --workspace -q
+stage "cargo fmt --check" cargo fmt --all -- --check
+stage "cargo clippy (warnings are errors)" \
+    cargo clippy --workspace --all-targets -- -D warnings
+stage "cargo doc (warnings are errors)" \
+    env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+stage "cargo test" cargo test --workspace -q
 
 echo "ci.sh: all green"

@@ -6,6 +6,7 @@
 //! depend on a single crate:
 //!
 //! - [`stats`] — numerics: count distributions, special functions, summaries.
+//! - [`telemetry`] — lifecycle event traces, decision audit, sinks, analysis.
 //! - [`mdp`] — generic finite Markov decision processes and exact solvers.
 //! - [`profiles`] — the model zoo and latency/accuracy profiling substrate.
 //! - [`workload`] — query-load traces, arrival sampling, load monitoring.
@@ -41,6 +42,7 @@ pub use ramsis_mdp as mdp;
 pub use ramsis_profiles as profiles;
 pub use ramsis_sim as sim;
 pub use ramsis_stats as stats;
+pub use ramsis_telemetry as telemetry;
 pub use ramsis_workload as workload;
 
 /// Convenience re-exports of the items used by almost every RAMSIS program.

@@ -1,0 +1,205 @@
+//! Telemetry integration: the recorded event stream is deterministic,
+//! conserves every query, and reconstructs the engine's own counters
+//! exactly — which is what makes traces trustworthy for
+//! miss-attribution.
+
+use ramsis::baselines::JellyfishPlus;
+use ramsis::core::{MissPolicy, PolicySet};
+use ramsis::prelude::*;
+use ramsis::sim::RamsisScheme;
+use ramsis::telemetry::{
+    aggregates, conservation, parse_jsonl, window_breakdown, Event, JsonlSink, VecSink,
+};
+use ramsis::workload::OracleMonitor;
+
+fn profile() -> &'static WorkerProfile {
+    use std::sync::OnceLock;
+    static P: OnceLock<WorkerProfile> = OnceLock::new();
+    P.get_or_init(|| {
+        WorkerProfile::build(
+            &ModelCatalog::torchvision_image(),
+            Duration::from_millis(150),
+            ProfilerConfig::default(),
+        )
+    })
+}
+
+/// A JF+ run needs no offline policies; the workhorse for trace checks.
+fn traced_jf_run(seed: u64) -> (SimulationReport, Vec<Event>) {
+    let trace = Trace::constant(800.0, 10.0);
+    let sim = Simulation::new(profile(), SimulationConfig::new(8, 0.15).seeded(seed))
+        .expect("valid simulation config");
+    let mut scheme = JellyfishPlus::new(profile(), 8);
+    let mut monitor = OracleMonitor::new(trace.clone());
+    let mut sink = VecSink::new();
+    let report = sim.run_traced(&trace, &mut scheme, &mut monitor, &mut sink);
+    (report, sink.into_events())
+}
+
+/// An overloaded RAMSIS drop-policy run: exercises `Shed` events too.
+fn traced_shedding_run() -> (SimulationReport, Vec<Event>) {
+    let workers = 2;
+    let load = 500.0;
+    let config = PolicyConfig::builder(Duration::from_millis(150))
+        .workers(workers)
+        .discretization(Discretization::fixed_length(15))
+        .on_miss(MissPolicy::Drop)
+        .build();
+    let set = PolicySet::generate_poisson(profile(), &[load], &config).unwrap();
+    let trace = Trace::constant(load, 10.0);
+    let sim = Simulation::new(profile(), SimulationConfig::new(workers, 0.15).seeded(21))
+        .expect("valid simulation config");
+    let mut scheme = RamsisScheme::new(set);
+    let mut monitor = OracleMonitor::new(trace.clone());
+    let mut sink = VecSink::new();
+    let report = sim.run_traced(&trace, &mut scheme, &mut monitor, &mut sink);
+    (report, sink.into_events())
+}
+
+#[test]
+fn seeded_rerun_gives_byte_identical_jsonl() {
+    let serialize = |events: &[Event]| {
+        let mut sink = JsonlSink::new(Vec::new());
+        for e in events {
+            use ramsis::telemetry::TelemetrySink;
+            sink.record(e);
+        }
+        String::from_utf8(sink.finish().unwrap()).unwrap()
+    };
+    let (ra, ea) = traced_jf_run(7);
+    let (rb, eb) = traced_jf_run(7);
+    assert_eq!(ra, rb, "seeded reports must be identical");
+    let (ja, jb) = (serialize(&ea), serialize(&eb));
+    assert!(!ja.is_empty());
+    assert_eq!(ja, jb, "seeded event logs must be byte-identical");
+    // And the log round-trips losslessly.
+    assert_eq!(parse_jsonl(&ja).unwrap(), ea);
+    // A different seed gives a different stream.
+    let (_, ec) = traced_jf_run(8);
+    assert_ne!(serialize(&ec), ja);
+}
+
+#[test]
+fn trace_conserves_every_query() {
+    let (report, events) = traced_jf_run(42);
+    let c = conservation(&events);
+    assert!(c.holds(), "conservation violated: {c:?}");
+    assert_eq!(c.arrivals, report.total_arrivals);
+    assert_eq!(c.completions, report.served);
+    assert_eq!(c.drops + c.sheds, report.dropped);
+    assert_eq!(c.anomalies, 0);
+}
+
+#[test]
+fn event_aggregates_match_engine_counters_exactly() {
+    for (report, events) in [traced_jf_run(3), traced_shedding_run()] {
+        let a = aggregates(&events);
+        assert_eq!(a.arrivals, report.total_arrivals);
+        assert_eq!(a.served, report.served);
+        assert_eq!(a.violations, report.violations);
+        assert_eq!(a.dropped, report.dropped);
+        assert!((a.violation_rate() - report.violation_rate).abs() < 1e-12);
+        // The exact event-side mean agrees with the engine's streaming
+        // mean to floating-point accumulation error.
+        assert!(
+            (a.mean_response_s() - report.mean_response_s).abs() < 1e-6,
+            "event mean {} vs engine mean {}",
+            a.mean_response_s(),
+            report.mean_response_s
+        );
+        // Same histogram bucketing on both sides: identical percentiles.
+        let pctl = |p: f64| a.response.percentile(p).map_or(0.0, |ns| ns as f64 / 1e9);
+        assert_eq!(pctl(50.0), report.p50_response_s);
+        assert_eq!(pctl(95.0), report.p95_response_s);
+        assert_eq!(pctl(99.0), report.p99_response_s);
+    }
+}
+
+#[test]
+fn shedding_run_records_shed_events() {
+    let (report, events) = traced_shedding_run();
+    assert!(report.dropped > 0, "setup must shed");
+    let c = conservation(&events);
+    assert!(c.holds(), "conservation violated: {c:?}");
+    assert!(c.sheds > 0, "policy sheds must appear as Shed events");
+    assert_eq!(c.sheds + c.drops, report.dropped);
+    // Every shed has a matching audited Drop decision batch.
+    let decision_drops: u64 = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::PolicyDecision {
+                action: ramsis::telemetry::Action::Drop { count },
+                ..
+            } => Some(u64::from(*count)),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(decision_drops, c.sheds);
+}
+
+#[test]
+fn histogram_percentiles_agree_with_exact() {
+    // Reconstruct the exact response distribution from Complete events
+    // and pin the engine's streaming percentiles to the log-bucket
+    // guarantee (< 2^-7 relative error; extremes exact).
+    let (report, events) = traced_jf_run(11);
+    let mut exact_ns: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Complete { response_ns, .. } => Some(*response_ns),
+            _ => None,
+        })
+        .collect();
+    assert!(exact_ns.len() as u64 == report.served && report.served > 100);
+    exact_ns.sort_unstable();
+    for (p, got_s) in [
+        (50.0, report.p50_response_s),
+        (95.0, report.p95_response_s),
+        (99.0, report.p99_response_s),
+    ] {
+        let rank = ((p / 100.0 * exact_ns.len() as f64).ceil() as usize).clamp(1, exact_ns.len());
+        let exact = exact_ns[rank - 1] as f64 / 1e9;
+        let rel = (got_s - exact).abs() / exact;
+        assert!(
+            rel < 1.0 / 128.0,
+            "p{p}: streaming {got_s} vs exact {exact} (rel {rel:.5})"
+        );
+    }
+}
+
+#[test]
+fn window_breakdown_totals_match_aggregates() {
+    let (report, events) = traced_jf_run(5);
+    let windows = window_breakdown(&events, 1_000_000_000);
+    let total =
+        |f: fn(&ramsis::telemetry::WindowStats) -> u64| -> u64 { windows.iter().map(f).sum() };
+    assert_eq!(total(|w| w.arrivals), report.total_arrivals);
+    assert_eq!(total(|w| w.completions), report.served);
+    assert_eq!(total(|w| w.violations), report.violations);
+    assert_eq!(total(|w| w.sheds) + total(|w| w.drops), report.dropped);
+}
+
+#[test]
+fn empty_run_report_and_trace_are_empty() {
+    // Zero arrivals: every rate and percentile is defined as zero, and
+    // the trace holds vacuously.
+    let sim = Simulation::new(profile(), SimulationConfig::new(2, 0.15).seeded(1))
+        .expect("valid simulation config");
+    let mut scheme = JellyfishPlus::new(profile(), 2);
+    let mut monitor = LoadMonitor::new();
+    let mut sink = VecSink::new();
+    let report = sim.run_arrivals_traced(&[], &mut scheme, &mut monitor, &mut sink);
+    assert_eq!(report.served, 0);
+    assert_eq!(report.mean_response_s, 0.0);
+    assert_eq!(report.p50_response_s, 0.0);
+    assert_eq!(report.p95_response_s, 0.0);
+    assert_eq!(report.p99_response_s, 0.0);
+    assert_eq!(report.violation_rate, 0.0);
+    let events = sink.into_events();
+    let lifecycle = events
+        .iter()
+        .filter(|e| matches!(e, Event::Arrival { .. } | Event::Complete { .. }))
+        .count();
+    assert_eq!(lifecycle, 0, "no queries, no lifecycle events");
+    assert!(conservation(&events).holds());
+}
