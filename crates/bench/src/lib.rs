@@ -31,6 +31,7 @@ pub mod drift;
 pub mod harness;
 pub mod output;
 pub mod report;
+pub mod resilience;
 pub mod robustness;
 
 pub use args::ExperimentArgs;
@@ -39,4 +40,5 @@ pub use harness::{
     build_profile, ms_scheme, ramsis_policy_set, run_scheme, MonitorKind, RunOutcome,
 };
 pub use output::{ascii_plot, render_table, write_csv, write_json};
+pub use resilience::{run_resilience_surge, ResilienceSurgeConfig, ResilienceSurgeOutcome};
 pub use robustness::{run_robustness, RobustnessConfig, RobustnessOutcome};

@@ -1,5 +1,6 @@
 //! Subcommand implementations.
 
+pub mod chaos;
 pub mod drift;
 pub mod gen;
 pub mod inspect;

@@ -12,7 +12,7 @@
 
 use ramsis_bench::render_table;
 use ramsis_telemetry::{
-    aggregates, conservation, parse_jsonl, window_breakdown, Conservation, WindowStats,
+    aggregates, conservation, parse_jsonl_tolerant, window_breakdown, Conservation, WindowStats,
 };
 use serde::Serialize;
 
@@ -20,12 +20,18 @@ use serde::Serialize;
 #[derive(Serialize)]
 struct TraceSummary {
     events: u64,
+    torn_tail: bool,
     conservation: Conservation,
     arrivals: u64,
     served: u64,
     violations: u64,
     dropped: u64,
     crash_requeued: u64,
+    timeouts: u64,
+    retries: u64,
+    hedges_issued: u64,
+    hedges_cancelled: u64,
+    admissions: u64,
     mean_response_s: f64,
     p50_response_s: f64,
     p95_response_s: f64,
@@ -59,7 +65,17 @@ pub fn run(args: &[String]) -> Result<(), String> {
     }
     let path = path.ok_or("telemetry requires a trace path: ramsis-cli telemetry LOG.jsonl")?;
     let text = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
-    let events = parse_jsonl(&text)?;
+    let parsed = parse_jsonl_tolerant(&text)?;
+    if let Some(tail) = &parsed.torn_tail {
+        // A truncated final line usually means the writer was killed
+        // mid-record; the complete prefix is still analyzable.
+        eprintln!(
+            "warning: trailing partial line ignored ({} bytes): {:?}…",
+            tail.len(),
+            &tail[..tail.len().min(48)]
+        );
+    }
+    let events = parsed.events;
 
     let cons = conservation(&events);
     let agg = aggregates(&events);
@@ -70,12 +86,18 @@ pub fn run(args: &[String]) -> Result<(), String> {
     if json {
         let summary = TraceSummary {
             events: events.len() as u64,
+            torn_tail: parsed.torn_tail.is_some(),
             conservation: cons,
             arrivals: agg.arrivals,
             served: agg.served,
             violations: agg.violations,
             dropped: agg.dropped,
             crash_requeued: agg.crash_requeued,
+            timeouts: agg.timeouts,
+            retries: agg.retries,
+            hedges_issued: agg.hedges_issued,
+            hedges_cancelled: agg.hedges_cancelled,
+            admissions: agg.admissions,
             mean_response_s: agg.mean_response_s(),
             p50_response_s: pctl(50.0),
             p95_response_s: pctl(95.0),
@@ -92,11 +114,12 @@ pub fn run(args: &[String]) -> Result<(), String> {
 
     println!("trace: {path} ({} events)", events.len());
     println!(
-        "conservation: {} arrivals = {} completed + {} shed + {} dropped + {} in flight ({})",
+        "conservation: {} arrivals = {} completed + {} shed + {} dropped + {} admission-shed + {} in flight ({})",
         cons.arrivals,
         cons.completions,
         cons.sheds,
         cons.drops,
+        cons.admissions,
         cons.in_flight,
         if cons.holds() {
             "holds".to_string()
@@ -112,6 +135,12 @@ pub fn run(args: &[String]) -> Result<(), String> {
         agg.dropped,
         agg.crash_requeued
     );
+    if agg.timeouts + agg.retries + agg.hedges_issued + agg.admissions > 0 {
+        println!(
+            "resilience: {} timeouts, {} retries, {} hedges issued ({} cancelled), {} admission-shed",
+            agg.timeouts, agg.retries, agg.hedges_issued, agg.hedges_cancelled, agg.admissions
+        );
+    }
     println!(
         "response time: mean {:.1} ms, p50 {:.1} ms, p95 {:.1} ms, p99 {:.1} ms",
         agg.mean_response_s() * 1e3,

@@ -11,6 +11,7 @@
 //! ramsis-cli trace   --kind twitter --out twitter_like.txt
 //! ramsis-cli inspect --policy policy_gen/RAMSIS_60_150/2000.json
 //! ramsis-cli telemetry trace.jsonl --window 1000
+//! ramsis-cli chaos --runs 100 --seed 7
 //! ```
 //!
 //! Policies are written under `policy_gen/METHOD_WORKERS_SLO/LOAD.json`
@@ -37,6 +38,7 @@ pub fn run(args: &[String]) -> i32 {
         "robustness" => commands::robustness::run(rest),
         "drift" => commands::drift::run(rest),
         "telemetry" => commands::telemetry::run(rest),
+        "chaos" => commands::chaos::run(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return 0;
@@ -72,6 +74,10 @@ commands:
   telemetry inspect a JSONL event trace recorded with `sim --telemetry
            PATH`: conservation check, event-derived aggregates, and a
            per-window miss-attribution breakdown (--window MS, --json)
+  chaos    randomized resilience sweep: run N seeded random
+           simulations twice each and check determinism, telemetry
+           conservation, counter agreement, hedge consistency, and
+           admission bounds (--runs N, --seed S, --json)
 
 common flags (artifact §A.5):
   --task image|text     inference task              [default: image]

@@ -1,0 +1,667 @@
+//! Randomized chaos sweeps over the resilience layer (DESIGN.md §9).
+//!
+//! A chaos sweep derives a stream of per-run seeds from one master
+//! seed; each run randomizes the cluster shape, offered load, routing
+//! discipline, latency mode, fault plan (crashes, recoveries,
+//! slowdowns, surges, crash policy), and every [`ResiliencePolicy`]
+//! knob, then executes the run **twice** with full telemetry and checks
+//! a battery of invariants:
+//!
+//! - **Determinism**: both executions produce byte-identical serialized
+//!   reports and identical event streams.
+//! - **Conservation**: every arrival ends in exactly one terminal state
+//!   (completed, shed, crash-dropped, admission-refused) or is still in
+//!   flight at the horizon — no query is ever both completed and shed.
+//! - **Counter agreement**: the aggregates reconstructed from the trace
+//!   match the engine's own report counters field for field, including
+//!   the resilience counters.
+//! - **Hedge consistency**: cancels and wins never exceed issues, and
+//!   every win implies a cancel.
+//! - **Admission bounds**: with admission enabled, no enqueue ever
+//!   lands beyond the queue cap (the limbo queue is exempt — it exists
+//!   precisely because no admissible queue remains).
+//!
+//! Any violated invariant is reported as a [`ChaosFailure`] carrying
+//! the *run's own seed*, so a red sweep is reproducible with a single
+//! value regardless of how many runs preceded it.
+
+use std::time::Duration;
+
+use ramsis_profiles::{ModelCatalog, ProfilerConfig, WorkerProfile};
+use ramsis_telemetry::{aggregates, conservation, Event, QueueId, VecSink};
+use ramsis_workload::{LoadMonitor, Trace};
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{Simulation, SimulationConfig};
+use crate::faults::{CrashPolicy, FaultPlan};
+use crate::metrics::SimulationReport;
+use crate::resilience::{splitmix64, ResiliencePolicy};
+use crate::scheme::{Routing, Selection, SelectionContext, ServingScheme};
+use crate::SimError;
+
+/// A minimal, dependency-free scheme for chaos runs: always the fastest
+/// model, always the full visible queue, with a configurable routing
+/// discipline so all three dispatch structures get exercised.
+pub struct FastestFixed {
+    model: usize,
+    routing: Routing,
+}
+
+impl FastestFixed {
+    /// A scheme serving `model` under `routing`.
+    pub fn new(model: usize, routing: Routing) -> Self {
+        Self { model, routing }
+    }
+}
+
+impl ServingScheme for FastestFixed {
+    fn name(&self) -> &str {
+        "fastest-fixed"
+    }
+
+    fn routing(&self) -> Routing {
+        self.routing
+    }
+
+    fn select(&mut self, ctx: &SelectionContext) -> Selection {
+        Selection::Serve {
+            model: self.model,
+            batch: ctx.queued as u32,
+        }
+    }
+}
+
+/// Parameters of a chaos sweep. Everything inside a run is derived from
+/// [`ChaosConfig::seed`] and the run index, so a sweep is reproducible
+/// from this struct alone.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChaosConfig {
+    /// Master seed; per-run seeds are hashed out of it.
+    pub seed: u64,
+    /// Number of randomized runs.
+    pub runs: u32,
+    /// Upper bound on the randomized cluster size (inclusive).
+    pub max_workers: u32,
+    /// Upper bound on the randomized run length, seconds.
+    pub max_duration_s: f64,
+    /// Upper bound on the randomized offered load, queries per second.
+    pub max_load_qps: f64,
+    /// Response-latency SLO shared by every run (the worker profile is
+    /// built once for it).
+    pub slo_s: f64,
+    /// Test-only hook: deliberately corrupt one engine counter before
+    /// invariant checking, to prove a violated invariant surfaces the
+    /// reproducing seed. Never set outside tests.
+    #[doc(hidden)]
+    pub sabotage: bool,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0xC4A0_55EE,
+            runs: 100,
+            max_workers: 4,
+            max_duration_s: 2.0,
+            max_load_qps: 150.0,
+            slo_s: 0.15,
+            sabotage: false,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// Checks the sweep parameters are runnable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] on a zero run count or
+    /// worker bound, or non-positive / non-finite durations and loads.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let bad = |msg: String| Err(SimError::InvalidConfig(msg));
+        if self.runs == 0 {
+            return bad("chaos: need at least one run".to_string());
+        }
+        if self.max_workers == 0 {
+            return bad("chaos: need at least one worker".to_string());
+        }
+        for (what, v) in [
+            ("max duration", self.max_duration_s),
+            ("max load", self.max_load_qps),
+            ("SLO", self.slo_s),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return bad(format!(
+                    "chaos: {what} must be positive and finite, got {v}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The derived seed of run `run` — the value a [`ChaosFailure`]
+    /// reports and [`ChaosConfig::run_one`] accepts to reproduce it.
+    pub fn run_seed(&self, run: u32) -> u64 {
+        splitmix64(self.seed ^ (u64::from(run) << 17) ^ 0x0C_1A05)
+    }
+
+    /// Executes the sweep: `runs` randomized, invariant-checked runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the sweep parameters
+    /// themselves are degenerate. Per-run problems (including invariant
+    /// violations) never abort the sweep; they are collected as
+    /// [`ChaosFailure`]s in the report.
+    pub fn run_sweep(&self) -> Result<ChaosReport, SimError> {
+        self.validate()?;
+        let profile = WorkerProfile::build(
+            &ModelCatalog::torchvision_image(),
+            Duration::from_secs_f64(self.slo_s),
+            ProfilerConfig::default(),
+        );
+        let mut report = ChaosReport {
+            seed: self.seed,
+            runs_requested: self.runs,
+            runs: Vec::with_capacity(self.runs as usize),
+            failures: Vec::new(),
+        };
+        for run in 0..self.runs {
+            let seed = self.run_seed(run);
+            match self.run_one(&profile, run, seed) {
+                Ok((summary, mut failures)) => {
+                    report.runs.push(summary);
+                    report.failures.append(&mut failures);
+                }
+                Err(e) => report.failures.push(ChaosFailure {
+                    run,
+                    seed,
+                    invariant: "setup".to_string(),
+                    detail: e.to_string(),
+                }),
+            }
+        }
+        Ok(report)
+    }
+
+    /// Executes one randomized run from its derived `seed`, returning
+    /// its summary and any invariant violations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the generated scenario
+    /// is rejected by the engine — itself an invariant violation, since
+    /// the generator is supposed to stay inside the valid space.
+    #[allow(clippy::too_many_lines)]
+    pub fn run_one(
+        &self,
+        profile: &WorkerProfile,
+        run: u32,
+        seed: u64,
+    ) -> Result<(ChaosRunSummary, Vec<ChaosFailure>), SimError> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let workers = rng.gen_range(0..self.max_workers as usize) + 1;
+        let duration_s = rng.gen_range(0.5..self.max_duration_s.max(0.6));
+        let load_qps = rng.gen_range(10.0..self.max_load_qps.max(11.0));
+        let stochastic = rng.gen::<f64>() < 0.5;
+        let routing = match rng.gen_range(0..3u32) {
+            0 => Routing::Central,
+            1 => Routing::PerWorkerRoundRobin,
+            _ => Routing::PerWorkerShortestQueue,
+        };
+        let policy = random_resilience(&mut rng);
+        let plan = random_plan(&mut rng, workers, duration_s);
+        let trace = Trace::constant(load_qps, duration_s);
+
+        let mut config = SimulationConfig::new(workers, self.slo_s)
+            .seeded(seed)
+            .with_resilience(policy);
+        if stochastic {
+            config = config.stochastic();
+        }
+        let sim = Simulation::new(profile, config)?;
+        let run_once = || -> Result<(SimulationReport, Vec<Event>), SimError> {
+            let mut scheme = FastestFixed::new(profile.fastest_model(), routing);
+            let mut monitor = LoadMonitor::new();
+            let mut sink = VecSink::new();
+            let r = sim.run_faulted_traced(&trace, &plan, &mut scheme, &mut monitor, &mut sink)?;
+            Ok((r, sink.into_events()))
+        };
+        let (mut r1, e1) = run_once()?;
+        let (mut r2, e2) = run_once()?;
+        if self.sabotage {
+            // Corrupt both executions identically: determinism still
+            // holds, so the counter-agreement invariant is what fires.
+            r1.served = r1.served.wrapping_add(1);
+            r2.served = r2.served.wrapping_add(1);
+        }
+
+        let mut failures = Vec::new();
+        let mut fail = |invariant: &str, detail: String| {
+            failures.push(ChaosFailure {
+                run,
+                seed,
+                invariant: invariant.to_string(),
+                detail,
+            });
+        };
+        check_invariants(&r1, &r2, &e1, &e2, &policy, &mut fail);
+
+        let summary = ChaosRunSummary {
+            run,
+            seed,
+            workers: workers as u32,
+            duration_s,
+            load_qps,
+            routing: format!("{routing:?}"),
+            stochastic,
+            mechanisms: mechanisms_label(&policy),
+            arrivals: r2.total_arrivals,
+            served: r2.served,
+            dropped: r2.dropped,
+            timeouts: r2.resilience.timeouts,
+            retries: r2.resilience.retries,
+            hedges: r2.resilience.hedges_issued,
+            admission_shed: r2.resilience.admission_shed,
+        };
+        Ok((summary, failures))
+    }
+}
+
+/// A randomized resilience policy: each mechanism independently on or
+/// off, knobs drawn inside their valid ranges.
+fn random_resilience(rng: &mut ChaCha8Rng) -> ResiliencePolicy {
+    let mut p = ResiliencePolicy::default();
+    if rng.gen::<f64>() < 0.6 {
+        p.timeout.enabled = true;
+        p.timeout.slack_fraction = rng.gen_range(0.2..1.0);
+        p.timeout.min_timeout_s = rng.gen_range(0.002..0.02);
+        p.retry.max_retries = rng.gen_range(0..4);
+        p.retry.backoff_base_s = rng.gen_range(0.001..0.01);
+        p.retry.backoff_cap_s = p.retry.backoff_base_s * rng.gen_range(1.0..8.0);
+        p.retry.jitter_frac = rng.gen_range(0.0..1.0);
+        p.retry.jitter_seed = rng.gen();
+        p.retry.budget_rate_per_s = rng.gen_range(0.0..100.0);
+        p.retry.budget_burst = rng.gen_range(1.0..20.0);
+    }
+    if rng.gen::<f64>() < 0.5 {
+        p.hedge.enabled = true;
+        p.hedge.quantile = rng.gen_range(50.0..99.0);
+        p.hedge.min_samples = rng.gen_range(8..64);
+        p.hedge.min_delay_s = rng.gen_range(0.001..0.01);
+    }
+    if rng.gen::<f64>() < 0.5 {
+        p.admission.enabled = true;
+        p.admission.queue_cap = rng.gen_range(4..64);
+        p.admission.target_sojourn_s = rng.gen_range(0.005..0.05);
+        p.admission.interval_s = rng.gen_range(0.02..0.2);
+    }
+    p
+}
+
+/// A randomized fault plan: up to two crash(/recovery) episodes, up to
+/// two slowdown windows, and possibly a surge, all inside the run.
+fn random_plan(rng: &mut ChaCha8Rng, workers: usize, duration_s: f64) -> FaultPlan {
+    let crash_policy = if rng.gen::<f64>() < 0.5 {
+        CrashPolicy::RequeueToSurvivors
+    } else {
+        CrashPolicy::Drop
+    };
+    let mut plan = FaultPlan::none().with_crash_policy(crash_policy);
+    for _ in 0..rng.gen_range(0..3u32) {
+        let w = rng.gen_range(0..workers);
+        let at = rng.gen_range(0.0..duration_s * 0.7);
+        plan = plan.crash(w, at);
+        if rng.gen::<f64>() < 0.8 {
+            plan = plan.recover(w, at + rng.gen_range(0.05..duration_s * 0.3));
+        }
+    }
+    for _ in 0..rng.gen_range(0..3u32) {
+        let w = rng.gen_range(0..workers);
+        let from = rng.gen_range(0.0..duration_s * 0.8);
+        let to = from + rng.gen_range(0.05..duration_s * 0.5);
+        plan = plan.slowdown(w, from, to, rng.gen_range(1.5..8.0));
+    }
+    if rng.gen::<f64>() < 0.4 {
+        let from = rng.gen_range(0.0..duration_s * 0.6);
+        let to = from + rng.gen_range(0.1..duration_s * 0.4);
+        plan = plan.surge(from, to, rng.gen_range(1.5..4.0));
+    }
+    plan
+}
+
+/// Short label of the enabled mechanisms, e.g. `"TRA"` (timeout,
+/// retry, admission) or `"-"` for a noop policy.
+fn mechanisms_label(p: &ResiliencePolicy) -> String {
+    let mut s = String::new();
+    if p.timeout.enabled {
+        s.push('T');
+        if p.retry.max_retries > 0 {
+            s.push('R');
+        }
+    }
+    if p.hedge.enabled {
+        s.push('H');
+    }
+    if p.admission.enabled {
+        s.push('A');
+    }
+    if s.is_empty() {
+        s.push('-');
+    }
+    s
+}
+
+/// Runs the invariant battery over one run's two executions.
+fn check_invariants(
+    r1: &SimulationReport,
+    r2: &SimulationReport,
+    e1: &[Event],
+    e2: &[Event],
+    policy: &ResiliencePolicy,
+    fail: &mut impl FnMut(&str, String),
+) {
+    // Determinism: same seed, byte-identical serialized report and
+    // identical event stream.
+    let j1 = serde_json::to_string(r1).expect("reports serialize");
+    let j2 = serde_json::to_string(r2).expect("reports serialize");
+    if j1 != j2 {
+        fail("determinism:report", format!("{j1} != {j2}"));
+    }
+    if e1 != e2 {
+        let at = e1
+            .iter()
+            .zip(e2.iter())
+            .position(|(a, b)| a != b)
+            .unwrap_or(e1.len().min(e2.len()));
+        fail(
+            "determinism:events",
+            format!(
+                "streams diverge at index {at} ({} vs {} events)",
+                e1.len(),
+                e2.len()
+            ),
+        );
+    }
+
+    // Conservation: exactly one terminal state per arrival; anomalies
+    // cover double-terminals (completed AND shed) and orphans.
+    let c = conservation(e1);
+    if !c.holds() {
+        fail("conservation", format!("{c:?}"));
+    }
+
+    // Counter agreement: trace-derived aggregates match the engine's
+    // own counters.
+    let a = aggregates(e1);
+    let pairs = [
+        ("arrivals", a.arrivals, r1.total_arrivals),
+        ("served", a.served, r1.served),
+        ("violations", a.violations, r1.violations),
+        ("dropped", a.dropped, r1.dropped),
+        ("timeouts", a.timeouts, r1.resilience.timeouts),
+        ("retries", a.retries, r1.resilience.retries),
+        (
+            "hedges_issued",
+            a.hedges_issued,
+            r1.resilience.hedges_issued,
+        ),
+        (
+            "hedges_cancelled",
+            a.hedges_cancelled,
+            r1.resilience.hedges_cancelled,
+        ),
+        ("admissions", a.admissions, r1.resilience.admission_shed),
+    ];
+    for (name, from_events, from_report) in pairs {
+        if from_events != from_report {
+            fail(
+                "counter-agreement",
+                format!("{name}: events say {from_events}, report says {from_report}"),
+            );
+        }
+    }
+
+    // Hedge-cancel consistency: first-wins accounting.
+    let res = &r1.resilience;
+    if res.hedges_cancelled > res.hedges_issued {
+        fail(
+            "hedge-consistency",
+            format!(
+                "{} cancelled > {} issued",
+                res.hedges_cancelled, res.hedges_issued
+            ),
+        );
+    }
+    if res.hedge_wins > res.hedges_cancelled {
+        fail(
+            "hedge-consistency",
+            format!(
+                "{} wins > {} cancelled (a win implies the primary was cancelled)",
+                res.hedge_wins, res.hedges_cancelled
+            ),
+        );
+    }
+
+    // Admission bounds: no enqueue past the cap (limbo exempt).
+    if policy.admission.enabled {
+        let cap = policy.admission.queue_cap as u32;
+        for e in e1 {
+            if let Event::Enqueue { queue, depth, .. } = e {
+                if *queue != QueueId::Limbo && *depth > cap {
+                    fail(
+                        "admission-bounds",
+                        format!("enqueue at depth {depth} past cap {cap} on {queue:?}"),
+                    );
+                    break;
+                }
+            }
+        }
+    }
+
+    // Terminal counts never exceed arrivals.
+    if r1.served + r1.dropped > r1.total_arrivals {
+        fail(
+            "accounting",
+            format!(
+                "served {} + dropped {} > arrivals {}",
+                r1.served, r1.dropped, r1.total_arrivals
+            ),
+        );
+    }
+}
+
+/// One randomized run's shape and headline counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosRunSummary {
+    /// Run index within the sweep.
+    pub run: u32,
+    /// The run's derived seed (reproduces it alone).
+    pub seed: u64,
+    /// Randomized cluster size.
+    pub workers: u32,
+    /// Randomized run length, seconds.
+    pub duration_s: f64,
+    /// Randomized offered load, queries per second.
+    pub load_qps: f64,
+    /// Routing discipline exercised.
+    pub routing: String,
+    /// Whether stochastic latency was used.
+    pub stochastic: bool,
+    /// Enabled mechanisms, as a `TRHA` subset (`-` = none).
+    pub mechanisms: String,
+    /// Sampled arrivals.
+    pub arrivals: u64,
+    /// Queries served.
+    pub served: u64,
+    /// Queries dropped (all causes).
+    pub dropped: u64,
+    /// Dispatch timeouts fired.
+    pub timeouts: u64,
+    /// Retries scheduled.
+    pub retries: u64,
+    /// Hedge duplicates issued.
+    pub hedges: u64,
+    /// Queries refused by admission control.
+    pub admission_shed: u64,
+}
+
+/// One violated invariant, with everything needed to reproduce it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChaosFailure {
+    /// Run index within the sweep.
+    pub run: u32,
+    /// The run's derived seed — rerun with this to reproduce.
+    pub seed: u64,
+    /// Which invariant broke.
+    pub invariant: String,
+    /// What was observed.
+    pub detail: String,
+}
+
+/// The outcome of a chaos sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosReport {
+    /// Master seed of the sweep.
+    pub seed: u64,
+    /// Runs requested.
+    pub runs_requested: u32,
+    /// Per-run summaries (setup failures produce no summary).
+    pub runs: Vec<ChaosRunSummary>,
+    /// Every violated invariant across the sweep.
+    pub failures: Vec<ChaosFailure>,
+}
+
+impl ChaosReport {
+    /// True when every run passed every invariant.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// One-line human summary, naming the first reproducing seed on
+    /// failure.
+    pub fn summary(&self) -> String {
+        let exercised: u64 = self.runs.iter().map(|r| r.arrivals).sum();
+        match self.failures.first() {
+            None => format!(
+                "chaos sweep PASSED: {} runs, {} queries, 0 invariant violations (seed {:#x})",
+                self.runs.len(),
+                exercised,
+                self.seed
+            ),
+            Some(f) => format!(
+                "chaos sweep FAILED: {} violation(s); first: run {} [{}] {} — reproduce with seed {:#x}",
+                self.failures.len(),
+                f.run,
+                f.invariant,
+                f.detail,
+                f.seed
+            ),
+        }
+    }
+
+    /// Panics with the reproducing seed when any invariant failed
+    /// (test/CI convenience).
+    ///
+    /// # Panics
+    ///
+    /// Panics with [`Self::summary`] when the sweep failed.
+    pub fn expect_pass(&self) {
+        assert!(self.passed(), "{}", self.summary());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(seed: u64, runs: u32) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            runs,
+            max_workers: 3,
+            max_duration_s: 1.0,
+            max_load_qps: 80.0,
+            ..ChaosConfig::default()
+        }
+    }
+
+    #[test]
+    fn small_sweep_passes_all_invariants() {
+        let report = tiny(7, 6).run_sweep().unwrap();
+        assert_eq!(report.runs.len(), 6);
+        report.expect_pass();
+        // The sweep actually exercised the space: some run enabled a
+        // mechanism and queries flowed.
+        assert!(report.runs.iter().any(|r| r.mechanisms != "-"));
+        assert!(report.runs.iter().map(|r| r.arrivals).sum::<u64>() > 100);
+    }
+
+    #[test]
+    fn full_default_sweep_passes_all_invariants() {
+        // The acceptance bar: 100 randomized plans at the default
+        // knobs, every invariant holding.
+        let config = ChaosConfig::default();
+        assert_eq!(config.runs, 100);
+        let report = config.run_sweep().unwrap();
+        assert_eq!(report.runs.len(), 100);
+        report.expect_pass();
+        // The randomization covered the space: every mechanism letter
+        // appears somewhere, and at least one run combined several.
+        for letter in ["T", "R", "H", "A"] {
+            assert!(
+                report.runs.iter().any(|r| r.mechanisms.contains(letter)),
+                "no run enabled mechanism {letter}"
+            );
+        }
+        assert!(report.runs.iter().any(|r| r.mechanisms.len() >= 3));
+    }
+
+    #[test]
+    fn sweeps_are_reproducible() {
+        let a = tiny(11, 4).run_sweep().unwrap();
+        let b = tiny(11, 4).run_sweep().unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a.runs, tiny(12, 4).run_sweep().unwrap().runs);
+    }
+
+    #[test]
+    fn sabotage_reports_the_reproducing_seed() {
+        let mut config = tiny(3, 2);
+        config.sabotage = true;
+        let report = config.run_sweep().unwrap();
+        assert!(!report.passed());
+        let f = &report.failures[0];
+        assert_eq!(f.seed, config.run_seed(f.run));
+        assert!(report.summary().contains(&format!("{:#x}", f.seed)));
+        assert_eq!(f.invariant, "counter-agreement");
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected() {
+        for bad in [
+            ChaosConfig {
+                runs: 0,
+                ..ChaosConfig::default()
+            },
+            ChaosConfig {
+                max_workers: 0,
+                ..ChaosConfig::default()
+            },
+            ChaosConfig {
+                max_duration_s: f64::NAN,
+                ..ChaosConfig::default()
+            },
+            ChaosConfig {
+                max_load_qps: -5.0,
+                ..ChaosConfig::default()
+            },
+        ] {
+            assert!(bad.validate().is_err());
+            assert!(bad.run_sweep().is_err());
+        }
+    }
+}

@@ -1,18 +1,27 @@
 //! The discrete-event simulation engine.
 //!
 //! Events are processed in `(time, sequence)` order from a binary heap,
-//! so runs are exactly reproducible. Three event kinds exist: a query
-//! arrival at the central queue, a worker completing a batch, and an
-//! injected fault from a [`FaultPlan`] (crash, recovery, slowdown).
-//! Workers never idle while their visible queue is non-empty (unless
-//! the scheme explicitly declines to serve), and routing skips dead
-//! workers.
+//! so runs are exactly reproducible. The event kinds are: a query
+//! arrival at the central queue, a worker completing a batch, an
+//! injected fault from a [`FaultPlan`] (crash, recovery, slowdown), and
+//! — when the [`ResiliencePolicy`] enables them — a dispatch timeout, a
+//! hedge trigger, and a retry re-entry. Workers never idle while their
+//! visible queue is non-empty (unless the scheme explicitly declines to
+//! serve), and routing skips dead workers.
+//!
+//! Every dispatch ends in exactly one of: completion (`WorkerDone`),
+//! timeout, or crash displacement. The worker's epoch is bumped at each
+//! such end, so any still-queued end event for the old dispatch (a
+//! timeout racing a completion, a hedge racing a cancel) is recognized
+//! as stale and discarded — the scheduled-event set never needs
+//! surgical removal from the heap.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use ramsis_profiles::WorkerProfile;
-use ramsis_telemetry::{Action, Event, NullSink, QueueId, TelemetrySink};
+use ramsis_stats::LogHistogram;
+use ramsis_telemetry::{Action, Event, NullSink, QueueId, ShedCause, TelemetrySink};
 use ramsis_workload::{sample_poisson_arrivals, LoadEstimator, Trace};
 
 use rand::SeedableRng;
@@ -22,6 +31,9 @@ use crate::faults::{CrashPolicy, FaultEvent, FaultPlan};
 use crate::latency::{LatencyMode, LatencySampler};
 use crate::metrics::{MetricsCollector, SimulationReport};
 use crate::query::{nanos_from_secs, secs_from_nanos, Nanos, Query};
+use crate::resilience::{
+    backoff_delay_s, AdmissionPolicy, CoDelAdmission, ResiliencePolicy, RetryBudget,
+};
 use crate::scheme::{Routing, Selection, SelectionContext, ServingScheme};
 use crate::SimError;
 
@@ -41,6 +53,10 @@ pub struct SimulationConfig {
     /// Collect a per-window timeline in the report (window length in
     /// seconds); `None` disables it.
     pub timeline_window_s: Option<f64>,
+    /// Request-level resilience knobs (timeouts, retry, hedging,
+    /// admission control). The default disables every mechanism and
+    /// reproduces pre-resilience behavior bit-for-bit.
+    pub resilience: ResiliencePolicy,
 }
 
 impl SimulationConfig {
@@ -54,12 +70,19 @@ impl SimulationConfig {
             arrival_seed: 1,
             latency_seed: 2,
             timeline_window_s: None,
+            resilience: ResiliencePolicy::default(),
         }
     }
 
     /// Enables per-window timeline collection.
     pub fn with_timeline(mut self, window_s: f64) -> Self {
         self.timeline_window_s = Some(window_s);
+        self
+    }
+
+    /// Installs a request-level resilience policy.
+    pub fn with_resilience(mut self, resilience: ResiliencePolicy) -> Self {
+        self.resilience = resilience;
         self
     }
 
@@ -102,6 +125,7 @@ impl SimulationConfig {
                 )));
             }
         }
+        self.resilience.validate()?;
         Ok(())
     }
 }
@@ -111,11 +135,29 @@ enum EventKind {
     /// Index into the pre-sampled arrival array.
     Arrival(u64),
     /// Worker finished its in-flight batch; the epoch invalidates
-    /// completions of batches displaced by a crash.
+    /// completions of dispatches already ended by a crash, timeout, or
+    /// hedge cancellation.
     WorkerDone(usize, u64),
     /// Index into the expanded fault-action array.
     Fault(u32),
+    /// The worker's in-flight dispatch exceeded its granted timeout
+    /// (same epoch discipline as `WorkerDone`). Only scheduled when
+    /// [`TimeoutPolicy::enabled`]; a dispatch gets *either* a
+    /// `WorkerDone` or a `Timeout`, never both.
+    ///
+    /// [`TimeoutPolicy::enabled`]: crate::resilience::TimeoutPolicy
+    Timeout(usize, u64),
+    /// The worker's in-flight dispatch has been running past the hedge
+    /// quantile; duplicate it to an idle worker if one exists.
+    HedgeDue(usize, u64),
+    /// A backed-off query re-enters routing; index into the engine's
+    /// retry buffer.
+    Retry(u32),
 }
+
+/// The event heap: `(time, sequence, kind)` min-ordered. Sequence
+/// numbers are unique, so the `EventKind` ordering never decides.
+type EventHeap = BinaryHeap<Reverse<(Nanos, u64, EventKind)>>;
 
 /// A timed, engine-level fault action expanded from a [`FaultPlan`]
 /// (slowdowns split into start/end edges; surges are applied to the
@@ -200,16 +242,35 @@ impl<'s> Tracer<'s> {
     }
 }
 
+/// One in-flight dispatch: the batch a worker is currently serving.
+#[derive(Debug, Clone)]
+struct InFlight {
+    /// Catalog index of the model being run.
+    model: usize,
+    /// The batch, in queue order.
+    queries: Vec<Query>,
+    /// Dispatch time of *this* side (a hedge's own issue time, not the
+    /// primary's).
+    started: Nanos,
+    /// The other side of a hedged pair, while both are running.
+    twin: Option<usize>,
+    /// True for the duplicate side of a hedged pair (first-wins
+    /// accounting credits a hedge win only when this side finishes
+    /// first).
+    is_hedge: bool,
+}
+
 /// Per-worker runtime state shared by the event handlers.
 struct Cluster {
     busy: Vec<bool>,
     alive: Vec<bool>,
     /// Service-time multiplier applied at dispatch (1.0 = nominal).
     slow: Vec<f64>,
-    /// Bumped on crash; stale `WorkerDone` events are discarded.
+    /// Bumped whenever a dispatch ends (completion, timeout, crash,
+    /// hedge cancel); end events carrying an older epoch are stale.
     epochs: Vec<u64>,
-    /// In-flight batch per worker: (model, queries, started).
-    in_flight: Vec<Option<(usize, Vec<Query>, Nanos)>>,
+    /// In-flight dispatch per worker.
+    in_flight: Vec<Option<InFlight>>,
     /// Crash time of each currently-dead worker.
     down_since: Vec<Option<Nanos>>,
     /// Live worker count (invariant: `alive.iter().filter(|a| **a).count()`).
@@ -227,6 +288,79 @@ impl Cluster {
             down_since: vec![None; workers],
             live: workers,
         }
+    }
+}
+
+/// The resilience layer's per-run state. Constructed from the config's
+/// [`ResiliencePolicy`]; with the default (all-off) policy none of it
+/// is ever consulted on the hot path beyond one branch per site.
+struct ResilienceRuntime {
+    policy: ResiliencePolicy,
+    /// Token bucket shared by all retries in the run.
+    budget: RetryBudget,
+    /// CoDel admission state per queue: index `w` for worker `w`'s
+    /// queue, index `n_workers` for the central queue.
+    admission: Vec<CoDelAdmission>,
+    /// Observed service times (hedged dispatches included) feeding the
+    /// hedge-quantile estimate.
+    service_hist: LogHistogram,
+    /// Queries waiting out their backoff; `EventKind::Retry` carries an
+    /// index into this append-only buffer.
+    retry_buf: Vec<Query>,
+}
+
+impl ResilienceRuntime {
+    fn new(policy: ResiliencePolicy, n_workers: usize) -> Self {
+        Self {
+            policy,
+            budget: RetryBudget::new(policy.retry.budget_rate_per_s, policy.retry.budget_burst),
+            admission: vec![CoDelAdmission::default(); n_workers + 1],
+            service_hist: LogHistogram::new(),
+            retry_buf: Vec::new(),
+        }
+    }
+
+    /// How long after dispatch a hedge fires, once enough service times
+    /// have been observed; `None` while the estimate is still noise.
+    fn hedge_delay_ns(&self) -> Option<Nanos> {
+        let h = &self.policy.hedge;
+        if self.service_hist.count() < h.min_samples {
+            return None;
+        }
+        let p = self.service_hist.percentile(h.quantile)?;
+        Some(p.max(nanos_from_secs(h.min_delay_s)))
+    }
+}
+
+/// Consults admission control before an enqueue. `true` admits; on
+/// refusal the query is shed on the spot (event + counters) and the
+/// caller must not enqueue it. With admission disabled this is one
+/// branch and no state is touched.
+#[allow(clippy::too_many_arguments)]
+fn try_admit(
+    q: &Query,
+    now: Nanos,
+    queue_id: QueueId,
+    queue: &VecDeque<Query>,
+    adm: &mut CoDelAdmission,
+    policy: &AdmissionPolicy,
+    metrics: &mut MetricsCollector,
+    tracer: &mut Tracer<'_>,
+) -> bool {
+    let depth = queue.len();
+    let front = queue.front().map(|h| h.enqueued_at);
+    if adm.offer(policy, now, depth, front).is_some() {
+        tracer.emit(|| Event::Admission {
+            at: now,
+            query: q.id,
+            queue: queue_id,
+            depth: depth as u32,
+            sojourn_ns: CoDelAdmission::sojourn_ns(now, front),
+        });
+        metrics.record_admission_shed(std::slice::from_ref(q));
+        false
+    } else {
+        true
     }
 }
 
@@ -447,10 +581,11 @@ impl<'a> Simulation<'a> {
         // a full outage); drained to the first worker that recovers.
         let mut limbo: VecDeque<Query> = VecDeque::new();
         let mut rr_next = 0usize;
+        let mut resil = ResilienceRuntime::new(self.config.resilience, n_workers);
 
         let actions = expand_fault_actions(plan);
 
-        let mut heap: BinaryHeap<Reverse<(Nanos, u64, EventKind)>> = BinaryHeap::new();
+        let mut heap: EventHeap = BinaryHeap::new();
         let mut seq = 0u64;
         for (i, &(t, _)) in actions.iter().enumerate() {
             heap.push(Reverse((t, seq, EventKind::Fault(i as u32))));
@@ -491,131 +626,73 @@ impl<'a> Simulation<'a> {
                         )));
                         seq += 1;
                     }
-                    match routing {
-                        Routing::PerWorkerRoundRobin => {
-                            match Self::next_live_rr(&cluster.alive, &mut rr_next) {
-                                Some(w) => {
-                                    worker_queues[w].push_back(q);
-                                    tracer.emit(|| Event::Enqueue {
-                                        at: now,
-                                        query: i,
-                                        queue: QueueId::Worker(w as u32),
-                                        depth: worker_queues[w].len() as u32,
-                                    });
-                                    if !cluster.busy[w] {
-                                        self.dispatch(
-                                            w,
-                                            now,
-                                            scheme,
-                                            estimator,
-                                            &mut worker_queues[w],
-                                            &mut cluster,
-                                            &mut sampler,
-                                            &mut metrics,
-                                            &mut heap,
-                                            &mut seq,
-                                            &mut tracer,
-                                        );
-                                    }
-                                }
-                                None => Self::strand(
-                                    q,
-                                    plan.crash_policy,
-                                    &mut limbo,
-                                    &mut metrics,
-                                    &mut tracer,
-                                    now,
-                                ),
-                            }
-                        }
-                        Routing::PerWorkerShortestQueue => {
-                            let target = (0..n_workers)
-                                .filter(|&w| cluster.alive[w])
-                                .min_by_key(|&w| (worker_queues[w].len(), w));
-                            match target {
-                                Some(w) => {
-                                    worker_queues[w].push_back(q);
-                                    tracer.emit(|| Event::Enqueue {
-                                        at: now,
-                                        query: i,
-                                        queue: QueueId::Worker(w as u32),
-                                        depth: worker_queues[w].len() as u32,
-                                    });
-                                    if !cluster.busy[w] {
-                                        self.dispatch(
-                                            w,
-                                            now,
-                                            scheme,
-                                            estimator,
-                                            &mut worker_queues[w],
-                                            &mut cluster,
-                                            &mut sampler,
-                                            &mut metrics,
-                                            &mut heap,
-                                            &mut seq,
-                                            &mut tracer,
-                                        );
-                                    }
-                                }
-                                None => Self::strand(
-                                    q,
-                                    plan.crash_policy,
-                                    &mut limbo,
-                                    &mut metrics,
-                                    &mut tracer,
-                                    now,
-                                ),
-                            }
-                        }
-                        Routing::Central => {
-                            central_queue.push_back(q);
-                            tracer.emit(|| Event::Enqueue {
-                                at: now,
-                                query: i,
-                                queue: QueueId::Central,
-                                depth: central_queue.len() as u32,
-                            });
-                            if let Some(w) =
-                                (0..n_workers).find(|&w| cluster.alive[w] && !cluster.busy[w])
-                            {
-                                self.dispatch(
-                                    w,
-                                    now,
-                                    scheme,
-                                    estimator,
-                                    &mut central_queue,
-                                    &mut cluster,
-                                    &mut sampler,
-                                    &mut metrics,
-                                    &mut heap,
-                                    &mut seq,
-                                    &mut tracer,
-                                );
-                            }
-                        }
-                    }
+                    self.route_query(
+                        q,
+                        now,
+                        routing,
+                        plan.crash_policy,
+                        scheme,
+                        estimator,
+                        &mut worker_queues,
+                        &mut central_queue,
+                        &mut limbo,
+                        &mut rr_next,
+                        &mut cluster,
+                        &mut resil,
+                        &mut sampler,
+                        &mut metrics,
+                        &mut heap,
+                        &mut seq,
+                        &mut tracer,
+                    );
                 }
                 EventKind::WorkerDone(w, epoch) => {
                     if epoch != cluster.epochs[w] {
-                        // The batch was displaced by a crash after this
-                        // completion was scheduled; already handled.
+                        // The dispatch already ended (crash, timeout, or
+                        // hedge cancel) after this completion was
+                        // scheduled; already handled.
                         continue;
                     }
-                    let (model, queries, started) = cluster.in_flight[w]
+                    let fl = cluster.in_flight[w]
                         .take()
                         .expect("completion implies in-flight work");
+                    cluster.epochs[w] += 1;
+                    // First-wins: cancel the losing side of a hedged
+                    // pair before accounting the completion.
+                    let cancelled_twin = fl.twin.inspect(|&v| {
+                        let loser = cluster.in_flight[v]
+                            .take()
+                            .expect("hedge twin implies in-flight work");
+                        cluster.epochs[v] += 1;
+                        cluster.busy[v] = false;
+                        metrics.record_hedge_cancelled(loser.started, now);
+                        if fl.is_hedge {
+                            metrics.record_hedge_win();
+                        }
+                        tracer.emit(|| Event::HedgeCancelled {
+                            at: now,
+                            worker: v as u32,
+                            winner: w as u32,
+                        });
+                    });
                     metrics.note_regime(scheme.regime());
                     if let Some(d) = estimator.divergence(secs_from_nanos(now)) {
                         metrics.record_divergence(d);
                     }
-                    metrics.record_batch(self.profile_of(w), model, &queries, started, now);
+                    metrics.record_batch(
+                        self.profile_of(w),
+                        fl.model,
+                        &fl.queries,
+                        fl.started,
+                        now,
+                    );
                     if tracer.on {
-                        for q in &queries {
+                        for q in &fl.queries {
                             tracer.emit(|| Event::Complete {
                                 at: now,
                                 query: q.id,
                                 worker: w as u32,
-                                model: model as u32,
+                                model: fl.model as u32,
                                 response_ns: now.saturating_sub(q.arrival),
                                 violated: now > q.deadline,
                             });
@@ -633,6 +710,192 @@ impl<'a> Simulation<'a> {
                         estimator,
                         queue,
                         &mut cluster,
+                        &mut resil,
+                        &mut sampler,
+                        &mut metrics,
+                        &mut heap,
+                        &mut seq,
+                        &mut tracer,
+                    );
+                    // The freed loser picks up queued work too.
+                    if let Some(v) = cancelled_twin {
+                        if cluster.alive[v] && !cluster.busy[v] {
+                            let queue = match routing {
+                                Routing::Central => &mut central_queue,
+                                _ => &mut worker_queues[v],
+                            };
+                            if !queue.is_empty() {
+                                self.dispatch(
+                                    v,
+                                    now,
+                                    scheme,
+                                    estimator,
+                                    queue,
+                                    &mut cluster,
+                                    &mut resil,
+                                    &mut sampler,
+                                    &mut metrics,
+                                    &mut heap,
+                                    &mut seq,
+                                    &mut tracer,
+                                );
+                            }
+                        }
+                    }
+                }
+                EventKind::Timeout(w, epoch) => {
+                    if epoch != cluster.epochs[w] {
+                        continue; // dispatch already ended
+                    }
+                    let fl = cluster.in_flight[w]
+                        .take()
+                        .expect("timeout implies in-flight work");
+                    cluster.epochs[w] += 1;
+                    cluster.busy[w] = false;
+                    if let Some(v) = fl.twin {
+                        // One side of a hedged pair timing out is just a
+                        // cancellation; the twin keeps the queries.
+                        if let Some(tw) = cluster.in_flight[v].as_mut() {
+                            tw.twin = None;
+                        }
+                        metrics.record_hedge_cancelled(fl.started, now);
+                        tracer.emit(|| Event::HedgeCancelled {
+                            at: now,
+                            worker: w as u32,
+                            winner: v as u32,
+                        });
+                    } else {
+                        metrics.record_timeout(&fl.queries, fl.started, now);
+                        let now_s = secs_from_nanos(now);
+                        let rpol = resil.policy.retry;
+                        for mut q in fl.queries {
+                            q.attempt += 1;
+                            let attempt = q.attempt;
+                            tracer.emit(|| Event::Timeout {
+                                at: now,
+                                query: q.id,
+                                worker: w as u32,
+                                attempt,
+                            });
+                            if attempt > rpol.max_retries {
+                                tracer.emit(|| Event::Shed {
+                                    at: now,
+                                    query: q.id,
+                                    cause: ShedCause::RetryExhausted,
+                                });
+                                metrics.record_retry_dropped(&[q], 0);
+                            } else if resil.budget.try_take(now_s) {
+                                metrics.record_retry();
+                                let delay_ns =
+                                    nanos_from_secs(backoff_delay_s(&rpol, attempt, q.id));
+                                tracer.emit(|| Event::Retry {
+                                    at: now,
+                                    query: q.id,
+                                    attempt,
+                                    delay_ns,
+                                });
+                                let idx = resil.retry_buf.len() as u32;
+                                resil.retry_buf.push(q);
+                                heap.push(Reverse((now + delay_ns, seq, EventKind::Retry(idx))));
+                                seq += 1;
+                            } else {
+                                tracer.emit(|| Event::Shed {
+                                    at: now,
+                                    query: q.id,
+                                    cause: ShedCause::RetryExhausted,
+                                });
+                                metrics.record_retry_dropped(&[q], 1);
+                            }
+                        }
+                    }
+                    // The freed worker picks up queued work.
+                    let queue = match routing {
+                        Routing::Central => &mut central_queue,
+                        _ => &mut worker_queues[w],
+                    };
+                    self.dispatch(
+                        w,
+                        now,
+                        scheme,
+                        estimator,
+                        queue,
+                        &mut cluster,
+                        &mut resil,
+                        &mut sampler,
+                        &mut metrics,
+                        &mut heap,
+                        &mut seq,
+                        &mut tracer,
+                    );
+                }
+                EventKind::HedgeDue(w, epoch) => {
+                    if epoch != cluster.epochs[w] {
+                        continue; // dispatch already ended
+                    }
+                    let (model, queries) = match cluster.in_flight[w].as_ref() {
+                        Some(fl) if fl.twin.is_none() && !fl.is_hedge => {
+                            (fl.model, fl.queries.clone())
+                        }
+                        _ => continue,
+                    };
+                    // An idle live worker that can run this model; the
+                    // hedge is silently skipped when none exists (better
+                    // to keep waiting than to queue a duplicate).
+                    let target = (0..n_workers).find(|&v| {
+                        v != w
+                            && cluster.alive[v]
+                            && !cluster.busy[v]
+                            && model < self.profile_of(v).n_models()
+                    });
+                    let Some(v) = target else { continue };
+                    let batch = queries.len() as u32;
+                    let service =
+                        sampler.sample(self.profile_of(v), model, batch) * cluster.slow[v];
+                    let service_ns = nanos_from_secs(service);
+                    resil.service_hist.record(service_ns);
+                    cluster.busy[v] = true;
+                    cluster.in_flight[v] = Some(InFlight {
+                        model,
+                        queries,
+                        started: now,
+                        twin: Some(w),
+                        is_hedge: true,
+                    });
+                    if let Some(fl) = cluster.in_flight[w].as_mut() {
+                        fl.twin = Some(v);
+                    }
+                    // The hedge side gets a plain completion: no nested
+                    // timeout or hedge-of-a-hedge.
+                    heap.push(Reverse((
+                        now + service_ns,
+                        seq,
+                        EventKind::WorkerDone(v, cluster.epochs[v]),
+                    )));
+                    seq += 1;
+                    metrics.record_hedge_issued();
+                    tracer.emit(|| Event::HedgeIssued {
+                        at: now,
+                        primary: w as u32,
+                        hedge: v as u32,
+                        model: model as u32,
+                        batch,
+                    });
+                }
+                EventKind::Retry(idx) => {
+                    let q = resil.retry_buf[idx as usize];
+                    self.route_query(
+                        q,
+                        now,
+                        routing,
+                        plan.crash_policy,
+                        scheme,
+                        estimator,
+                        &mut worker_queues,
+                        &mut central_queue,
+                        &mut limbo,
+                        &mut rr_next,
+                        &mut cluster,
+                        &mut resil,
                         &mut sampler,
                         &mut metrics,
                         &mut heap,
@@ -651,9 +914,24 @@ impl<'a> Simulation<'a> {
                             cluster.down_since[w] = Some(now);
                             cluster.live -= 1;
                             let mut displaced: Vec<Query> = Vec::new();
-                            if let Some((_, queries, _)) = cluster.in_flight[w].take() {
+                            if let Some(fl) = cluster.in_flight[w].take() {
                                 cluster.busy[w] = false;
-                                displaced.extend(queries);
+                                if let Some(v) = fl.twin {
+                                    // The crashed side of a hedged pair
+                                    // is a cancellation, not a loss: the
+                                    // twin keeps the queries.
+                                    if let Some(tw) = cluster.in_flight[v].as_mut() {
+                                        tw.twin = None;
+                                    }
+                                    metrics.record_hedge_cancelled(fl.started, now);
+                                    tracer.emit(|| Event::HedgeCancelled {
+                                        at: now,
+                                        worker: w as u32,
+                                        winner: v as u32,
+                                    });
+                                } else {
+                                    displaced.extend(fl.queries);
+                                }
                             }
                             displaced.extend(worker_queues[w].drain(..));
                             scheme.on_membership_change(cluster.live);
@@ -685,13 +963,15 @@ impl<'a> Simulation<'a> {
                                             // Back to the head of the
                                             // central queue: they carry
                                             // the earliest deadlines.
-                                            for q in displaced.into_iter().rev() {
+                                            for mut q in displaced.into_iter().rev() {
+                                                q.enqueued_at = now;
                                                 central_queue.push_front(q);
                                             }
                                         }
                                         _ if cluster.live == 0 => limbo.extend(displaced),
                                         _ => {
-                                            for q in displaced {
+                                            for mut q in displaced {
+                                                q.enqueued_at = now;
                                                 let t = Self::next_live_rr(
                                                     &cluster.alive,
                                                     &mut rr_next,
@@ -711,6 +991,7 @@ impl<'a> Simulation<'a> {
                                 &mut worker_queues,
                                 &mut central_queue,
                                 &mut cluster,
+                                &mut resil,
                                 &mut sampler,
                                 &mut metrics,
                                 &mut heap,
@@ -732,7 +1013,10 @@ impl<'a> Simulation<'a> {
                             // Stranded queries join the recovered
                             // worker's queue in arrival order.
                             if !limbo.is_empty() && routing != Routing::Central {
-                                worker_queues[w].extend(limbo.drain(..));
+                                for mut q in limbo.drain(..) {
+                                    q.enqueued_at = now;
+                                    worker_queues[w].push_back(q);
+                                }
                             }
                             self.kick_idle_workers(
                                 now,
@@ -742,6 +1026,7 @@ impl<'a> Simulation<'a> {
                                 &mut worker_queues,
                                 &mut central_queue,
                                 &mut cluster,
+                                &mut resil,
                                 &mut sampler,
                                 &mut metrics,
                                 &mut heap,
@@ -794,6 +1079,161 @@ impl<'a> Simulation<'a> {
         None
     }
 
+    /// Routes one query — a fresh arrival or a backed-off retry — to a
+    /// queue per the scheme's routing discipline, consulting admission
+    /// control before the enqueue and starting service if the chosen
+    /// worker is idle. With no live worker the query is stranded (see
+    /// [`Self::strand`]).
+    #[allow(clippy::too_many_arguments)]
+    fn route_query(
+        &self,
+        mut q: Query,
+        now: Nanos,
+        routing: Routing,
+        crash_policy: CrashPolicy,
+        scheme: &mut dyn ServingScheme,
+        estimator: &mut dyn LoadEstimator,
+        worker_queues: &mut [VecDeque<Query>],
+        central_queue: &mut VecDeque<Query>,
+        limbo: &mut VecDeque<Query>,
+        rr_next: &mut usize,
+        cluster: &mut Cluster,
+        resil: &mut ResilienceRuntime,
+        sampler: &mut LatencySampler,
+        metrics: &mut MetricsCollector,
+        heap: &mut EventHeap,
+        seq: &mut u64,
+        tracer: &mut Tracer<'_>,
+    ) {
+        q.enqueued_at = now;
+        let n_workers = cluster.alive.len();
+        let apol = resil.policy.admission;
+        match routing {
+            Routing::PerWorkerRoundRobin => match Self::next_live_rr(&cluster.alive, rr_next) {
+                Some(w) => {
+                    if !try_admit(
+                        &q,
+                        now,
+                        QueueId::Worker(w as u32),
+                        &worker_queues[w],
+                        &mut resil.admission[w],
+                        &apol,
+                        metrics,
+                        tracer,
+                    ) {
+                        return;
+                    }
+                    worker_queues[w].push_back(q);
+                    tracer.emit(|| Event::Enqueue {
+                        at: now,
+                        query: q.id,
+                        queue: QueueId::Worker(w as u32),
+                        depth: worker_queues[w].len() as u32,
+                    });
+                    if !cluster.busy[w] {
+                        self.dispatch(
+                            w,
+                            now,
+                            scheme,
+                            estimator,
+                            &mut worker_queues[w],
+                            cluster,
+                            resil,
+                            sampler,
+                            metrics,
+                            heap,
+                            seq,
+                            tracer,
+                        );
+                    }
+                }
+                None => Self::strand(q, crash_policy, limbo, metrics, tracer, now),
+            },
+            Routing::PerWorkerShortestQueue => {
+                let target = (0..n_workers)
+                    .filter(|&w| cluster.alive[w])
+                    .min_by_key(|&w| (worker_queues[w].len(), w));
+                match target {
+                    Some(w) => {
+                        if !try_admit(
+                            &q,
+                            now,
+                            QueueId::Worker(w as u32),
+                            &worker_queues[w],
+                            &mut resil.admission[w],
+                            &apol,
+                            metrics,
+                            tracer,
+                        ) {
+                            return;
+                        }
+                        worker_queues[w].push_back(q);
+                        tracer.emit(|| Event::Enqueue {
+                            at: now,
+                            query: q.id,
+                            queue: QueueId::Worker(w as u32),
+                            depth: worker_queues[w].len() as u32,
+                        });
+                        if !cluster.busy[w] {
+                            self.dispatch(
+                                w,
+                                now,
+                                scheme,
+                                estimator,
+                                &mut worker_queues[w],
+                                cluster,
+                                resil,
+                                sampler,
+                                metrics,
+                                heap,
+                                seq,
+                                tracer,
+                            );
+                        }
+                    }
+                    None => Self::strand(q, crash_policy, limbo, metrics, tracer, now),
+                }
+            }
+            Routing::Central => {
+                if !try_admit(
+                    &q,
+                    now,
+                    QueueId::Central,
+                    central_queue,
+                    &mut resil.admission[n_workers],
+                    &apol,
+                    metrics,
+                    tracer,
+                ) {
+                    return;
+                }
+                central_queue.push_back(q);
+                tracer.emit(|| Event::Enqueue {
+                    at: now,
+                    query: q.id,
+                    queue: QueueId::Central,
+                    depth: central_queue.len() as u32,
+                });
+                if let Some(w) = (0..n_workers).find(|&w| cluster.alive[w] && !cluster.busy[w]) {
+                    self.dispatch(
+                        w,
+                        now,
+                        scheme,
+                        estimator,
+                        central_queue,
+                        cluster,
+                        resil,
+                        sampler,
+                        metrics,
+                        heap,
+                        seq,
+                        tracer,
+                    );
+                }
+            }
+        }
+    }
+
     /// Handles an arrival with no live worker to route to: stranded in
     /// limbo under `RequeueToSurvivors` (served after a recovery),
     /// dropped under `Drop`.
@@ -837,9 +1277,10 @@ impl<'a> Simulation<'a> {
         worker_queues: &mut [VecDeque<Query>],
         central_queue: &mut VecDeque<Query>,
         cluster: &mut Cluster,
+        resil: &mut ResilienceRuntime,
         sampler: &mut LatencySampler,
         metrics: &mut MetricsCollector,
-        heap: &mut BinaryHeap<Reverse<(Nanos, u64, EventKind)>>,
+        heap: &mut EventHeap,
         seq: &mut u64,
         tracer: &mut Tracer<'_>,
     ) {
@@ -858,7 +1299,8 @@ impl<'a> Simulation<'a> {
                 continue;
             }
             self.dispatch(
-                w, now, scheme, estimator, queue, cluster, sampler, metrics, heap, seq, tracer,
+                w, now, scheme, estimator, queue, cluster, resil, sampler, metrics, heap, seq,
+                tracer,
             );
         }
     }
@@ -876,9 +1318,10 @@ impl<'a> Simulation<'a> {
         estimator: &mut dyn LoadEstimator,
         queue: &mut VecDeque<Query>,
         cluster: &mut Cluster,
+        resil: &mut ResilienceRuntime,
         sampler: &mut LatencySampler,
         metrics: &mut MetricsCollector,
-        heap: &mut BinaryHeap<Reverse<(Nanos, u64, EventKind)>>,
+        heap: &mut EventHeap,
         seq: &mut u64,
         tracer: &mut Tracer<'_>,
     ) {
@@ -952,14 +1395,62 @@ impl<'a> Simulation<'a> {
                     });
                     let batch_queries: Vec<Query> = queue.drain(..batch as usize).collect();
                     let service = sampler.sample(profile, model, batch) * cluster.slow[w];
+                    let service_ns = nanos_from_secs(service);
                     cluster.busy[w] = true;
-                    cluster.in_flight[w] = Some((model, batch_queries, now));
-                    heap.push(Reverse((
-                        now + nanos_from_secs(service),
-                        *seq,
-                        EventKind::WorkerDone(w, cluster.epochs[w]),
-                    )));
-                    *seq += 1;
+                    let epoch = cluster.epochs[w];
+                    // A dispatch gets exactly one end event: its
+                    // completion, or — when timeouts are on and the
+                    // granted budget runs out first — a timeout.
+                    let tpol = resil.policy.timeout;
+                    let mut timeout_cut = Nanos::MAX;
+                    if tpol.enabled {
+                        let slack = batch_queries[0].deadline.saturating_sub(now);
+                        let t_ns = nanos_from_secs(tpol.min_timeout_s)
+                            .max((slack as f64 * tpol.slack_fraction) as Nanos);
+                        if t_ns < service_ns {
+                            timeout_cut = t_ns;
+                            heap.push(Reverse((now + t_ns, *seq, EventKind::Timeout(w, epoch))));
+                        } else {
+                            heap.push(Reverse((
+                                now + service_ns,
+                                *seq,
+                                EventKind::WorkerDone(w, epoch),
+                            )));
+                        }
+                        *seq += 1;
+                    } else {
+                        heap.push(Reverse((
+                            now + service_ns,
+                            *seq,
+                            EventKind::WorkerDone(w, epoch),
+                        )));
+                        *seq += 1;
+                    }
+                    let hpol = resil.policy.hedge;
+                    if hpol.enabled {
+                        resil.service_hist.record(service_ns);
+                        if cluster.alive.len() > 1 {
+                            if let Some(delay) = resil.hedge_delay_ns() {
+                                // Hedging past the dispatch's own end
+                                // would be a no-op; don't schedule it.
+                                if delay < service_ns.min(timeout_cut) {
+                                    heap.push(Reverse((
+                                        now + delay,
+                                        *seq,
+                                        EventKind::HedgeDue(w, epoch),
+                                    )));
+                                    *seq += 1;
+                                }
+                            }
+                        }
+                    }
+                    cluster.in_flight[w] = Some(InFlight {
+                        model,
+                        queries: batch_queries,
+                        started: now,
+                        twin: None,
+                        is_hedge: false,
+                    });
                     return;
                 }
             }
@@ -1446,6 +1937,146 @@ mod tests {
         let report = sim.run_arrivals(&[], &mut scheme, &mut monitor);
         assert_eq!(report.total_arrivals, 0);
         assert_eq!(report.served, 0);
+    }
+
+    #[test]
+    fn default_resilience_emits_no_resilience_events() {
+        let trace = Trace::constant(150.0, 3.0);
+        let sim = Simulation::new(profile(), SimulationConfig::new(2, 0.15).seeded(7)).unwrap();
+        let mut scheme = GreedyFastest {
+            model: profile().fastest_model(),
+        };
+        let mut monitor = LoadMonitor::new();
+        let mut sink = ramsis_telemetry::VecSink::new();
+        let report = sim.run_traced(&trace, &mut scheme, &mut monitor, &mut sink);
+        assert_eq!(
+            report.resilience,
+            crate::metrics::ResilienceStats::default()
+        );
+        assert!(sink.events().iter().all(|e| !matches!(
+            e,
+            Event::Timeout { .. }
+                | Event::Retry { .. }
+                | Event::HedgeIssued { .. }
+                | Event::HedgeCancelled { .. }
+                | Event::Admission { .. }
+        )));
+    }
+
+    #[test]
+    fn timeouts_and_retries_rescue_straggling_dispatches() {
+        // Worker 0 runs 20x slow for the whole run; timeouts cut its
+        // straggling dispatches short and retries re-route the queries.
+        let trace = Trace::constant(60.0, 4.0);
+        let mut resilience = ResiliencePolicy::default();
+        resilience.timeout.enabled = true;
+        resilience.retry.max_retries = 3;
+        resilience.retry.budget_rate_per_s = 1000.0;
+        resilience.retry.budget_burst = 1000.0;
+        let config = SimulationConfig::new(2, 0.15)
+            .seeded(11)
+            .with_resilience(resilience);
+        let sim = Simulation::new(profile(), config).unwrap();
+        let plan = FaultPlan::none().slowdown(0, 0.0, 4.0, 20.0);
+        let mut scheme = GreedyFastestRr {
+            model: profile().fastest_model(),
+        };
+        let mut monitor = LoadMonitor::new();
+        let report = sim
+            .run_faulted(&trace, &plan, &mut scheme, &mut monitor)
+            .unwrap();
+        assert!(report.resilience.timeouts > 0);
+        assert!(report.resilience.retries > 0);
+        assert_eq!(report.served + report.dropped, report.total_arrivals);
+    }
+
+    #[test]
+    fn admission_bounds_queue_and_sheds_on_enqueue() {
+        let trace = Trace::constant(400.0, 3.0);
+        let mut resilience = ResiliencePolicy::default();
+        resilience.admission.enabled = true;
+        resilience.admission.queue_cap = 8;
+        let config = SimulationConfig::new(1, 0.15)
+            .seeded(3)
+            .with_resilience(resilience);
+        let sim = Simulation::new(profile(), config).unwrap();
+        let slow = *profile().pareto_models().last().unwrap();
+        let mut scheme = GreedyFastest { model: slow };
+        let mut monitor = LoadMonitor::new();
+        let report = sim.run(&trace, &mut scheme, &mut monitor);
+        assert!(report.resilience.admission_shed > 0);
+        assert_eq!(report.dropped, report.resilience.admission_shed);
+        assert_eq!(report.served + report.dropped, report.total_arrivals);
+    }
+
+    #[test]
+    fn hedging_duplicates_stragglers_and_counts_once() {
+        let trace = Trace::constant(50.0, 10.0);
+        let mut resilience = ResiliencePolicy::default();
+        resilience.hedge.enabled = true;
+        resilience.hedge.min_samples = 16;
+        resilience.hedge.quantile = 90.0;
+        let config = SimulationConfig::new(4, 0.15)
+            .stochastic()
+            .seeded(21)
+            .with_resilience(resilience);
+        let sim = Simulation::new(profile(), config).unwrap();
+        let mut scheme = GreedyFastestRr {
+            model: profile().fastest_model(),
+        };
+        let mut monitor = LoadMonitor::new();
+        let report = sim.run(&trace, &mut scheme, &mut monitor);
+        let res = report.resilience;
+        assert!(res.hedges_issued > 0, "no hedges fired: {res:?}");
+        assert!(res.hedges_cancelled <= res.hedges_issued);
+        assert!(res.hedge_wins <= res.hedges_cancelled);
+        // First-wins accounting: every query still served exactly once.
+        assert_eq!(report.served, report.total_arrivals);
+    }
+
+    #[test]
+    fn resilient_runs_are_deterministic() {
+        // Everything on at once, stochastic latency, faults: same seeds
+        // must still reproduce the report byte-for-byte.
+        let trace = Trace::constant(150.0, 5.0);
+        let plan = FaultPlan::none()
+            .crash(1, 1.0)
+            .recover(1, 2.5)
+            .slowdown(0, 0.5, 4.0, 6.0)
+            .surge(2.0, 4.0, 2.0);
+        let config = SimulationConfig::new(3, 0.15)
+            .stochastic()
+            .seeded(17)
+            .with_resilience(ResiliencePolicy::all_on());
+        let sim = Simulation::new(profile(), config).unwrap();
+        let run = || {
+            let mut scheme = GreedyFastestRr {
+                model: profile().fastest_model(),
+            };
+            let mut monitor = LoadMonitor::new();
+            sim.run_faulted(&trace, &plan, &mut scheme, &mut monitor)
+                .unwrap()
+        };
+        let r1 = run();
+        let r2 = run();
+        assert_eq!(r1, r2);
+        assert_eq!(
+            serde_json::to_string(&r1).unwrap(),
+            serde_json::to_string(&r2).unwrap()
+        );
+    }
+
+    #[test]
+    fn resilience_validation_is_wired_into_config() {
+        let mut resilience = ResiliencePolicy::all_on();
+        resilience.timeout.min_timeout_s = f64::NAN;
+        let config = SimulationConfig::new(2, 0.15).with_resilience(resilience);
+        assert!(config.validate().is_err());
+        assert!(Simulation::new(profile(), config).is_err());
+        assert!(SimulationConfig::new(2, 0.15)
+            .with_resilience(ResiliencePolicy::all_on())
+            .validate()
+            .is_ok());
     }
 
     #[test]

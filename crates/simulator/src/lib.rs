@@ -27,12 +27,14 @@
 //! drop queries when facing latency SLO violations").
 
 pub mod adaptive;
+pub mod chaos;
 pub mod engine;
 pub mod faults;
 pub mod latency;
 pub mod metrics;
 pub mod multi_slo;
 pub mod query;
+pub mod resilience;
 pub mod scheme;
 
 /// Simulator-level error type (shared with the core crate so callers
@@ -40,15 +42,19 @@ pub mod scheme;
 pub use ramsis_core::CoreError as SimError;
 
 pub use adaptive::AdaptiveRamsis;
+pub use chaos::{ChaosConfig, ChaosFailure, ChaosReport, ChaosRunSummary, FastestFixed};
 pub use engine::{Simulation, SimulationConfig};
 pub use faults::{CrashPolicy, FaultEvent, FaultPlan};
 pub use latency::LatencyMode;
 pub use metrics::{
-    AdaptiveStats, DivergenceStats, FaultStats, RegimeBreakdown, RegimeSwapEvent, SimulationReport,
-    TimelineBucket,
+    AdaptiveStats, DivergenceStats, FaultStats, RegimeBreakdown, RegimeSwapEvent, ResilienceStats,
+    SimulationReport, TimelineBucket,
 };
 pub use multi_slo::{run_multi_slo, SloClass};
 pub use query::Query;
+pub use resilience::{
+    AdmissionPolicy, HedgePolicy, ResiliencePolicy, RetryBudget, RetryPolicy, TimeoutPolicy,
+};
 pub use scheme::{
     DegradingRamsis, OnDemandRamsis, PerWorkerRamsis, RamsisScheme, Routing, Selection,
     ServingScheme,

@@ -76,6 +76,9 @@ pub struct MetricsCollector {
     current_regime: Option<String>,
     /// Per-regime `(served, violations)`, keyed by regime label.
     regime_counts: BTreeMap<String, (u64, u64)>,
+    /// Request-level resilience accounting (all zeros when the
+    /// resilience layer is disabled).
+    resilience: ResilienceStats,
 }
 
 impl Default for MetricsCollector {
@@ -109,7 +112,55 @@ impl MetricsCollector {
             divergence: OnlineStats::new(),
             current_regime: None,
             regime_counts: BTreeMap::new(),
+            resilience: ResilienceStats::default(),
         }
+    }
+
+    /// Records dispatch timeouts: `queries` of worker `w`'s abandoned
+    /// batch. The wasted service time still counts toward utilization
+    /// (`started..now` held the worker).
+    pub fn record_timeout(&mut self, queries: &[Query], started: Nanos, now: Nanos) {
+        self.resilience.timeouts += queries.len() as u64;
+        self.busy_nanos += now.saturating_sub(started) as u128;
+    }
+
+    /// Records one scheduled retry.
+    pub fn record_retry(&mut self) {
+        self.resilience.retries += 1;
+    }
+
+    /// Records queries shed because their retries were exhausted (or
+    /// denied by the retry budget); they count as dropped.
+    /// `budget_denied` is how many of them were refused by the token
+    /// bucket rather than the attempt cap.
+    pub fn record_retry_dropped(&mut self, queries: &[Query], budget_denied: u64) {
+        self.resilience.retry_dropped += queries.len() as u64;
+        self.resilience.retry_budget_denied += budget_denied;
+        self.dropped += queries.len() as u64;
+    }
+
+    /// Records one issued hedge duplicate.
+    pub fn record_hedge_issued(&mut self) {
+        self.resilience.hedges_issued += 1;
+    }
+
+    /// Records the cancelled side of a hedged pair; its partial service
+    /// time (`started..now`) counts toward utilization.
+    pub fn record_hedge_cancelled(&mut self, started: Nanos, now: Nanos) {
+        self.resilience.hedges_cancelled += 1;
+        self.busy_nanos += now.saturating_sub(started) as u128;
+    }
+
+    /// Records a hedged pair won by the duplicate, not the primary.
+    pub fn record_hedge_win(&mut self) {
+        self.resilience.hedge_wins += 1;
+    }
+
+    /// Records queries refused at enqueue by admission control; they
+    /// count as dropped.
+    pub fn record_admission_shed(&mut self, queries: &[Query]) {
+        self.resilience.admission_shed += queries.len() as u64;
+        self.dropped += queries.len() as u64;
     }
 
     /// Enables inside/outside-fault-window violation accounting over
@@ -337,8 +388,36 @@ impl MetricsCollector {
                 served_outside_fault: self.served - self.served_in_fault,
                 violations_outside_fault: self.violations - self.violations_in_fault,
             },
+            resilience: self.resilience,
         }
     }
+}
+
+/// Request-level resilience accounting (all zeros for a run with the
+/// default, fully disabled [`crate::ResiliencePolicy`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ResilienceStats {
+    /// Dispatch timeouts fired, counted per query per timed-out
+    /// attempt.
+    pub timeouts: u64,
+    /// Retries scheduled after timeouts.
+    pub retries: u64,
+    /// Queries shed after exhausting their retry allowance; also
+    /// included in [`SimulationReport::dropped`].
+    pub retry_dropped: u64,
+    /// Of [`Self::retry_dropped`], queries refused by the retry-budget
+    /// token bucket rather than the attempt cap.
+    pub retry_budget_denied: u64,
+    /// Hedge duplicates issued.
+    pub hedges_issued: u64,
+    /// Hedged dispatches cancelled (the losing side of each pair).
+    pub hedges_cancelled: u64,
+    /// Hedged pairs won by the duplicate rather than the primary — the
+    /// hedges that actually paid off.
+    pub hedge_wins: u64,
+    /// Queries refused at enqueue by admission control; also included
+    /// in [`SimulationReport::dropped`].
+    pub admission_shed: u64,
 }
 
 /// Summary of load-monitor divergence over a run (`None` in the report
@@ -520,6 +599,9 @@ pub struct SimulationReport {
     pub adaptive: Option<AdaptiveStats>,
     /// Fault-injection accounting (all zeros for a fault-free run).
     pub faults: FaultStats,
+    /// Request-level resilience accounting (all zeros with the default
+    /// disabled [`crate::ResiliencePolicy`]).
+    pub resilience: ResilienceStats,
 }
 
 impl SimulationReport {
@@ -719,5 +801,44 @@ mod tests {
         let r = c.report("test".into(), 0, 0, 1);
         let json = serde_json::to_string(&r).unwrap();
         assert_eq!(serde_json::from_str::<SimulationReport>(&json).unwrap(), r);
+    }
+
+    #[test]
+    fn resilience_recording_folds_into_dropped_and_utilization() {
+        let mut c = MetricsCollector::new();
+        let q = Query::new(0, 0, 1_000_000);
+        // A timed-out batch holds its worker for the elapsed span.
+        c.record_timeout(&[q, Query::new(1, 0, 1_000_000)], 0, 500);
+        c.record_retry();
+        c.record_retry_dropped(&[q], 1);
+        c.record_hedge_issued();
+        c.record_hedge_cancelled(100, 400);
+        c.record_hedge_win();
+        c.record_admission_shed(&[Query::new(2, 0, 1_000_000)]);
+        let r = c.report("test".into(), 3, 1_000, 1);
+        assert_eq!(
+            r.resilience,
+            ResilienceStats {
+                timeouts: 2,
+                retries: 1,
+                retry_dropped: 1,
+                retry_budget_denied: 1,
+                hedges_issued: 1,
+                hedges_cancelled: 1,
+                hedge_wins: 1,
+                admission_shed: 1,
+            }
+        );
+        // retry_dropped + admission_shed both land in `dropped`.
+        assert_eq!(r.dropped, 2);
+        // Wasted spans (500 + 300 ns) count toward utilization.
+        assert!((r.mean_utilization - 800.0 / 1_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_resilience_stats_are_zero() {
+        let c = MetricsCollector::new();
+        let r = c.report("test".into(), 0, 0, 1);
+        assert_eq!(r.resilience, ResilienceStats::default());
     }
 }

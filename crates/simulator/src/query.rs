@@ -30,6 +30,15 @@ pub struct Query {
     pub arrival: Nanos,
     /// Deadline: `arrival + SLO`.
     pub deadline: Nanos,
+    /// Dispatch attempts that have timed out so far (0 until the
+    /// resilience layer's first timeout; response time is always
+    /// measured from [`Self::arrival`], never reset by retries).
+    pub attempt: u32,
+    /// When the query last joined a queue — the arrival for fresh
+    /// queries, refreshed on retry re-enqueue, crash requeue, and limbo
+    /// drain. Admission control reads the queue head's value as its
+    /// sojourn clock.
+    pub enqueued_at: Nanos,
 }
 
 impl Query {
@@ -39,6 +48,8 @@ impl Query {
             id,
             arrival,
             deadline: arrival + slo,
+            attempt: 0,
+            enqueued_at: arrival,
         }
     }
 

@@ -27,6 +27,8 @@ pub struct Conservation {
     pub sheds: u64,
     /// Queries lost to crashes.
     pub drops: u64,
+    /// Queries refused at enqueue by admission control.
+    pub admissions: u64,
     /// Arrivals with no terminal event (still queued or in service at
     /// the end of the trace).
     pub in_flight: u64,
@@ -38,11 +40,12 @@ pub struct Conservation {
 
 impl Conservation {
     /// True when the invariant
-    /// `arrivals == completions + sheds + drops + in_flight`
+    /// `arrivals == completions + sheds + drops + admissions + in_flight`
     /// holds with no per-query anomalies.
     pub fn holds(&self) -> bool {
         self.anomalies == 0
-            && self.arrivals == self.completions + self.sheds + self.drops + self.in_flight
+            && self.arrivals
+                == self.completions + self.sheds + self.drops + self.admissions + self.in_flight
     }
 }
 
@@ -66,6 +69,13 @@ pub fn conservation(events: &[Event]) -> Conservation {
                 c.drops += 1;
                 queries.entry(query).or_insert((0, 0)).1 += 1;
             }
+            Event::Admission { query, .. } => {
+                c.admissions += 1;
+                queries.entry(query).or_insert((0, 0)).1 += 1;
+            }
+            // Timeout and Retry are non-terminal lifecycle steps: the
+            // query stays accounted for by its eventual Complete, Shed,
+            // or in-flight status.
             _ => {}
         }
     }
@@ -93,11 +103,22 @@ pub struct EventAggregates {
     pub served: u64,
     /// Of those, deadline misses.
     pub violations: u64,
-    /// Queries shed by policy plus queries lost to crashes (the
-    /// engine's `dropped` counter folds both).
+    /// Queries shed by policy, lost to crashes, or refused by admission
+    /// control (the engine's `dropped` counter folds all three).
     pub dropped: u64,
     /// Queries displaced by crashes and requeued.
     pub crash_requeued: u64,
+    /// Dispatch timeouts (one per query per timed-out attempt).
+    pub timeouts: u64,
+    /// Retries scheduled after a timeout.
+    pub retries: u64,
+    /// Hedge duplicates issued.
+    pub hedges_issued: u64,
+    /// Hedged dispatches cancelled (loser of the pair).
+    pub hedges_cancelled: u64,
+    /// Queries refused at enqueue by admission control (also counted in
+    /// [`Self::dropped`]).
+    pub admissions: u64,
     /// Exact sum of response times, nanoseconds.
     pub response_sum_ns: u128,
     /// Response-time distribution (log-bucketed, nanoseconds).
@@ -132,6 +153,11 @@ pub fn aggregates(events: &[Event]) -> EventAggregates {
         violations: 0,
         dropped: 0,
         crash_requeued: 0,
+        timeouts: 0,
+        retries: 0,
+        hedges_issued: 0,
+        hedges_cancelled: 0,
+        admissions: 0,
         response_sum_ns: 0,
         response: LogHistogram::new(),
     };
@@ -149,7 +175,15 @@ pub fn aggregates(events: &[Event]) -> EventAggregates {
                 a.response.record(response_ns);
             }
             Event::Shed { .. } | Event::Drop { .. } => a.dropped += 1,
+            Event::Admission { .. } => {
+                a.admissions += 1;
+                a.dropped += 1;
+            }
             Event::CrashRequeue { .. } => a.crash_requeued += 1,
+            Event::Timeout { .. } => a.timeouts += 1,
+            Event::Retry { .. } => a.retries += 1,
+            Event::HedgeIssued { .. } => a.hedges_issued += 1,
+            Event::HedgeCancelled { .. } => a.hedges_cancelled += 1,
             _ => {}
         }
     }
@@ -192,6 +226,14 @@ pub struct WindowStats {
     pub lazy_solves: u64,
     /// Decisions answered by the fallback policy.
     pub fallbacks: u64,
+    /// Dispatch timeouts fired.
+    pub timeouts: u64,
+    /// Retries scheduled.
+    pub retries: u64,
+    /// Hedge duplicates issued.
+    pub hedges: u64,
+    /// Queries refused at enqueue by admission control.
+    pub admission_sheds: u64,
 }
 
 impl WindowStats {
@@ -288,6 +330,25 @@ pub fn window_breakdown(events: &[Event], window_ns: Nanos) -> Vec<WindowStats> 
             Event::RegimeSwap { at, .. } => bucket(&mut windows, at, window_ns).swaps += 1,
             Event::LazySolve { at, .. } => bucket(&mut windows, at, window_ns).lazy_solves += 1,
             Event::FallbackEngaged { at, .. } => bucket(&mut windows, at, window_ns).fallbacks += 1,
+            Event::Timeout { at, worker, .. } => {
+                bucket(&mut windows, at, window_ns).timeouts += 1;
+                // The worker was busy until the timeout abandoned the
+                // dispatch; close the span here so the wasted work
+                // still shows up as utilization. A batch emits one
+                // Timeout per query — only the first closes the span.
+                if let Some(start) = open.remove(&worker) {
+                    spans.push((start, at));
+                }
+            }
+            Event::Retry { at, .. } => bucket(&mut windows, at, window_ns).retries += 1,
+            Event::HedgeIssued { at, .. } => bucket(&mut windows, at, window_ns).hedges += 1,
+            Event::HedgeCancelled { at, worker, .. } => {
+                let _ = bucket(&mut windows, at, window_ns);
+                if let Some(start) = open.remove(&worker) {
+                    spans.push((start, at));
+                }
+            }
+            Event::Admission { at, .. } => bucket(&mut windows, at, window_ns).admission_sheds += 1,
             Event::Enqueue { .. } | Event::CrashRequeue { .. } => {}
         }
     }
@@ -314,7 +375,7 @@ pub fn window_breakdown(events: &[Event], window_ns: Nanos) -> Vec<WindowStats> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::event::ShedCause;
+    use crate::event::{QueueId, ShedCause};
 
     fn lifecycle(query: u64, at: Nanos, terminal: Option<Event>) -> Vec<Event> {
         let mut v = vec![Event::Arrival {
@@ -352,19 +413,100 @@ mod tests {
         ));
         events.extend(lifecycle(2, 20, Some(Event::Drop { at: 30, query: 2 })));
         events.extend(lifecycle(3, 30, None)); // in flight
+        events.extend(lifecycle(
+            4,
+            40,
+            Some(Event::Admission {
+                at: 40,
+                query: 4,
+                queue: QueueId::Worker(0),
+                depth: 64,
+                sojourn_ns: 25_000_000,
+            }),
+        ));
         let c = conservation(&events);
         assert_eq!(
             c,
             Conservation {
-                arrivals: 4,
+                arrivals: 5,
                 completions: 1,
                 sheds: 1,
                 drops: 1,
+                admissions: 1,
                 in_flight: 1,
                 anomalies: 0,
             }
         );
         assert!(c.holds());
+    }
+
+    #[test]
+    fn timeout_and_retry_are_non_terminal() {
+        // A query that times out, retries, and completes is conserved as
+        // one arrival + one completion — the intermediate resilience
+        // events neither terminate it nor count as anomalies.
+        let events = [
+            Event::Arrival {
+                at: 0,
+                query: 0,
+                deadline: 100,
+            },
+            Event::Timeout {
+                at: 40,
+                query: 0,
+                worker: 0,
+                attempt: 1,
+            },
+            Event::Retry {
+                at: 40,
+                query: 0,
+                attempt: 1,
+                delay_ns: 10,
+            },
+            Event::Complete {
+                at: 90,
+                query: 0,
+                worker: 1,
+                model: 0,
+                response_ns: 90,
+                violated: false,
+            },
+        ];
+        let c = conservation(&events);
+        assert!(c.holds(), "{c:?}");
+        assert_eq!(c.arrivals, 1);
+        assert_eq!(c.completions, 1);
+        assert_eq!(c.in_flight, 0);
+        let a = aggregates(&events);
+        assert_eq!(a.timeouts, 1);
+        assert_eq!(a.retries, 1);
+        assert_eq!(a.dropped, 0);
+    }
+
+    #[test]
+    fn admission_refusal_twice_for_same_query_is_anomalous() {
+        let events = [
+            Event::Arrival {
+                at: 0,
+                query: 0,
+                deadline: 100,
+            },
+            Event::Admission {
+                at: 0,
+                query: 0,
+                queue: QueueId::Central,
+                depth: 9,
+                sojourn_ns: 0,
+            },
+            Event::Admission {
+                at: 1,
+                query: 0,
+                queue: QueueId::Central,
+                depth: 9,
+                sojourn_ns: 0,
+            },
+        ];
+        assert!(!conservation(&events).holds());
     }
 
     #[test]

@@ -39,6 +39,9 @@ pub enum ShedCause {
     /// The serving policy's own drop reformulation (§4.3.1) or any
     /// scheme that does not report a finer cause.
     Policy,
+    /// Its dispatch timed out and the resilience layer's retry budget
+    /// or attempt cap refused another try.
+    RetryExhausted,
 }
 
 /// A scheme's answer to one decision request (mirror of the
@@ -182,6 +185,70 @@ pub enum Event {
         /// Worker the fallback served.
         worker: u32,
     },
+    /// A query's dispatch exceeded its SLO-derived timeout and was
+    /// abandoned; one event per query in the batch. Non-terminal: the
+    /// query either retries ([`Event::Retry`]), is shed
+    /// ([`Event::Shed`] with [`ShedCause::RetryExhausted`]), or — when
+    /// the timed-out dispatch had a hedge twin — stays in flight there.
+    Timeout {
+        /// Timeout firing time.
+        at: Nanos,
+        /// Query id.
+        query: u64,
+        /// Worker whose dispatch was abandoned.
+        worker: u32,
+        /// Dispatch attempts that have now timed out for this query.
+        attempt: u32,
+    },
+    /// A timed-out query was scheduled for re-dispatch after backoff.
+    Retry {
+        /// Scheduling time (the timeout firing time).
+        at: Nanos,
+        /// Query id.
+        query: u64,
+        /// Which retry this is (1 = first re-dispatch).
+        attempt: u32,
+        /// Backoff delay before the query re-enters routing.
+        delay_ns: Nanos,
+    },
+    /// A slow in-flight batch was duplicated to a second worker
+    /// (audit).
+    HedgeIssued {
+        /// Hedge issue time.
+        at: Nanos,
+        /// Worker running the original dispatch.
+        primary: u32,
+        /// Worker the duplicate was issued to.
+        hedge: u32,
+        /// Catalog index of the model run (same on both sides).
+        model: u32,
+        /// Batch size duplicated.
+        batch: u32,
+    },
+    /// The losing side of a hedged pair was cancelled (audit).
+    HedgeCancelled {
+        /// Cancel time.
+        at: Nanos,
+        /// Worker whose dispatch was cancelled.
+        worker: u32,
+        /// Worker whose dispatch survives (or won outright).
+        winner: u32,
+    },
+    /// A query was refused at enqueue by admission control (terminal —
+    /// the query is shed before any work is done on it).
+    Admission {
+        /// Rejection time.
+        at: Nanos,
+        /// Query id.
+        query: u64,
+        /// Queue that refused it.
+        queue: QueueId,
+        /// Queue depth at the refusal.
+        depth: u32,
+        /// Sojourn of the queue head at the refusal (how long the
+        /// oldest queued query had been waiting).
+        sojourn_ns: Nanos,
+    },
 }
 
 impl Event {
@@ -198,7 +265,12 @@ impl Event {
             | Event::PolicyDecision { at, .. }
             | Event::RegimeSwap { at, .. }
             | Event::LazySolve { at, .. }
-            | Event::FallbackEngaged { at, .. } => at,
+            | Event::FallbackEngaged { at, .. }
+            | Event::Timeout { at, .. }
+            | Event::Retry { at, .. }
+            | Event::HedgeIssued { at, .. }
+            | Event::HedgeCancelled { at, .. }
+            | Event::Admission { at, .. } => at,
         }
     }
 
@@ -211,6 +283,8 @@ impl Event {
                 | Event::RegimeSwap { .. }
                 | Event::LazySolve { .. }
                 | Event::FallbackEngaged { .. }
+                | Event::HedgeIssued { .. }
+                | Event::HedgeCancelled { .. }
         )
     }
 }
@@ -289,6 +363,42 @@ mod tests {
                 regime: "gt120qps-bursty".into(),
             },
             Event::FallbackEngaged { at: 16, worker: 2 },
+            Event::Timeout {
+                at: 17,
+                query: 7,
+                worker: 1,
+                attempt: 1,
+            },
+            Event::Retry {
+                at: 17,
+                query: 7,
+                attempt: 1,
+                delay_ns: 5_000_000,
+            },
+            Event::HedgeIssued {
+                at: 18,
+                primary: 0,
+                hedge: 2,
+                model: 3,
+                batch: 4,
+            },
+            Event::HedgeCancelled {
+                at: 19,
+                worker: 2,
+                winner: 0,
+            },
+            Event::Admission {
+                at: 20,
+                query: 8,
+                queue: QueueId::Worker(1),
+                depth: 64,
+                sojourn_ns: 30_000_000,
+            },
+            Event::Shed {
+                at: 21,
+                query: 9,
+                cause: ShedCause::RetryExhausted,
+            },
         ];
         for e in &events {
             let json = serde_json::to_string(e).unwrap();
@@ -311,5 +421,31 @@ mod tests {
         let a = Event::FallbackEngaged { at: 7, worker: 0 };
         assert_eq!(a.at(), 7);
         assert!(!a.is_lifecycle());
+        // Resilience events: timeouts/retries/admissions are lifecycle
+        // (they move a query through its state machine), hedge audit
+        // events are not.
+        let t = Event::Timeout {
+            at: 8,
+            query: 0,
+            worker: 0,
+            attempt: 1,
+        };
+        assert!(t.is_lifecycle());
+        let adm = Event::Admission {
+            at: 9,
+            query: 0,
+            queue: QueueId::Central,
+            depth: 1,
+            sojourn_ns: 0,
+        };
+        assert!(adm.is_lifecycle());
+        let h = Event::HedgeIssued {
+            at: 10,
+            primary: 0,
+            hedge: 1,
+            model: 0,
+            batch: 1,
+        };
+        assert!(!h.is_lifecycle());
     }
 }

@@ -32,4 +32,7 @@ pub mod sink;
 pub use analyze::{aggregates, conservation, window_breakdown};
 pub use analyze::{Conservation, EventAggregates, WindowStats};
 pub use event::{Action, Event, Nanos, QueueId, ShedCause};
-pub use sink::{parse_jsonl, JsonlSink, NullSink, RingSink, TelemetrySink, VecSink};
+pub use sink::{
+    parse_jsonl, parse_jsonl_tolerant, JsonlSink, NullSink, ParsedLog, RingSink, TelemetrySink,
+    VecSink,
+};

@@ -210,13 +210,55 @@ impl<W: Write> TelemetrySink for JsonlSink<W> {
 ///
 /// # Errors
 ///
-/// Returns a message naming the first offending line.
+/// Returns a message naming the first offending line. A log truncated
+/// mid-write (crashed run) fails on its torn last record — use
+/// [`parse_jsonl_tolerant`] to salvage everything before it.
 pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, String> {
     text.lines()
         .enumerate()
         .filter(|(_, l)| !l.trim().is_empty())
         .map(|(i, l)| serde_json::from_str(l).map_err(|e| format!("line {}: {e}", i + 1)))
         .collect()
+}
+
+/// A JSONL log parsed tolerantly: all whole records, plus the torn
+/// trailing fragment (if any) reported rather than swallowed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedLog {
+    /// Every successfully parsed event, in log order.
+    pub events: Vec<Event>,
+    /// The unparseable final line of a truncated log, verbatim
+    /// (`None` for a clean log).
+    pub torn_tail: Option<String>,
+}
+
+/// Parses a JSONL event log, tolerating a truncated final record — the
+/// signature of a run that crashed or was killed mid-write. Every whole
+/// record is returned and the torn fragment is reported in
+/// [`ParsedLog::torn_tail`] so callers can surface it.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line when a *non-final* line
+/// fails to parse: corruption in the middle of a log is real damage,
+/// not a torn write, and is never silently skipped.
+pub fn parse_jsonl_tolerant(text: &str) -> Result<ParsedLog, String> {
+    let lines: Vec<(usize, &str)> = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .collect();
+    let mut events = Vec::with_capacity(lines.len());
+    let mut torn_tail = None;
+    let last = lines.len().saturating_sub(1);
+    for (k, (i, l)) in lines.iter().enumerate() {
+        match serde_json::from_str(l) {
+            Ok(e) => events.push(e),
+            Err(_) if k == last => torn_tail = Some((*l).to_string()),
+            Err(e) => return Err(format!("line {}: {e}", i + 1)),
+        }
+    }
+    Ok(ParsedLog { events, torn_tail })
 }
 
 #[cfg(test)]
@@ -292,5 +334,51 @@ mod tests {
     fn parse_reports_bad_lines() {
         let err = parse_jsonl("{\"nope\":1}\n").unwrap_err();
         assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn tolerant_parse_salvages_torn_last_record() {
+        // A crashed run truncates the log mid-record; the strict parser
+        // rejects the whole file, the tolerant one returns every whole
+        // record and reports the fragment.
+        let events: Vec<Event> = (0..3).map(ev).collect();
+        let mut sink = JsonlSink::new(Vec::new());
+        for e in &events {
+            sink.record(e);
+        }
+        let full = String::from_utf8(sink.finish().unwrap()).unwrap();
+        let torn = &full[..full.len() - 9]; // cut into the last record
+        assert!(parse_jsonl(torn).is_err());
+        let parsed = parse_jsonl_tolerant(torn).unwrap();
+        assert_eq!(parsed.events, events[..2]);
+        let tail = parsed.torn_tail.expect("fragment reported");
+        assert!(full.lines().nth(2).unwrap().starts_with(&tail));
+    }
+
+    #[test]
+    fn tolerant_parse_of_clean_log_has_no_tail() {
+        let events: Vec<Event> = (0..3).map(ev).collect();
+        let mut sink = JsonlSink::new(Vec::new());
+        for e in &events {
+            sink.record(e);
+        }
+        let full = String::from_utf8(sink.finish().unwrap()).unwrap();
+        let parsed = parse_jsonl_tolerant(&full).unwrap();
+        assert_eq!(parsed.events, events);
+        assert_eq!(parsed.torn_tail, None);
+        // Trailing blank lines do not count as a torn tail.
+        let padded = format!("{full}\n\n");
+        assert_eq!(parse_jsonl_tolerant(&padded).unwrap().torn_tail, None);
+        // The empty log parses to nothing.
+        let empty = parse_jsonl_tolerant("").unwrap();
+        assert!(empty.events.is_empty() && empty.torn_tail.is_none());
+    }
+
+    #[test]
+    fn tolerant_parse_still_rejects_mid_file_corruption() {
+        let good = serde_json::to_string(&ev(1)).unwrap();
+        let text = format!("{good}\nnot json at all\n{good}\n");
+        let err = parse_jsonl_tolerant(&text).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
     }
 }

@@ -21,5 +21,9 @@ stage "cargo clippy (warnings are errors)" \
 stage "cargo doc (warnings are errors)" \
     env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 stage "cargo test" cargo test --workspace -q
+# Randomized resilience smoke: 25 seeded chaos runs, invariants checked
+# (determinism, conservation, counter agreement, hedge + admission
+# bounds). The full 100-run sweep lives in the simulator's test suite.
+stage "chaos sweep (smoke)" cargo run -q -p ramsis-cli -- chaos --runs 25
 
 echo "ci.sh: all green"

@@ -3,10 +3,12 @@
 //! exactly — which is what makes traces trustworthy for
 //! miss-attribution.
 
+use std::collections::HashMap;
+
 use ramsis::baselines::JellyfishPlus;
 use ramsis::core::{MissPolicy, PolicySet};
 use ramsis::prelude::*;
-use ramsis::sim::RamsisScheme;
+use ramsis::sim::{FastestFixed, FaultPlan, RamsisScheme, ResiliencePolicy, Routing};
 use ramsis::telemetry::{
     aggregates, conservation, parse_jsonl, window_breakdown, Event, JsonlSink, VecSink,
 };
@@ -177,6 +179,111 @@ fn window_breakdown_totals_match_aggregates() {
     assert_eq!(total(|w| w.completions), report.served);
     assert_eq!(total(|w| w.violations), report.violations);
     assert_eq!(total(|w| w.sheds) + total(|w| w.drops), report.dropped);
+}
+
+/// A resilience-heavy run: a hard straggler under round-robin with
+/// timeouts, retries, hedging, and admission all enabled — every new
+/// event kind appears in the stream.
+fn traced_resilient_run(seed: u64) -> (SimulationReport, Vec<Event>) {
+    let trace = Trace::constant(70.0, 20.0);
+    let plan = FaultPlan::none().slowdown(0, 1.0, 18.0, 12.0);
+    let sim = Simulation::new(
+        profile(),
+        SimulationConfig::new(3, 0.15)
+            .seeded(seed)
+            .stochastic()
+            .with_resilience(ResiliencePolicy::all_on()),
+    )
+    .expect("valid simulation config");
+    let mut scheme = FastestFixed::new(profile().fastest_model(), Routing::PerWorkerRoundRobin);
+    let mut monitor = LoadMonitor::new();
+    let mut sink = VecSink::new();
+    let report = sim
+        .run_faulted_traced(&trace, &plan, &mut scheme, &mut monitor, &mut sink)
+        .expect("plan validates");
+    (report, sink.into_events())
+}
+
+#[test]
+fn conservation_extends_to_resilience_events() {
+    let (report, events) = traced_resilient_run(13);
+    let rs = &report.resilience;
+    assert!(
+        rs.timeouts > 0 && rs.retries > 0,
+        "setup must exercise timeout + retry: {rs:?}"
+    );
+    let c = conservation(&events);
+    assert!(c.holds(), "conservation violated: {c:?}");
+    // Event-derived resilience counters agree with the engine's.
+    let a = aggregates(&events);
+    assert_eq!(a.timeouts, rs.timeouts);
+    assert_eq!(a.retries, rs.retries);
+    assert_eq!(a.hedges_issued, rs.hedges_issued);
+    assert_eq!(a.hedges_cancelled, rs.hedges_cancelled);
+    assert_eq!(a.admissions, rs.admission_shed);
+    assert_eq!(a.arrivals, report.total_arrivals);
+    assert_eq!(a.served, report.served);
+    assert_eq!(a.dropped, report.dropped);
+}
+
+#[test]
+fn every_query_terminates_exactly_once_despite_hedges_and_retries() {
+    // Hedged duplicates and retried attempts must collapse to exactly
+    // one terminal event (Complete / Shed / Admission) per query id.
+    let (report, events) = traced_resilient_run(29);
+    let mut terminals: HashMap<u64, u32> = HashMap::new();
+    for e in &events {
+        let id = match e {
+            Event::Complete { query, .. }
+            | Event::Shed { query, .. }
+            | Event::Admission { query, .. } => *query,
+            _ => continue,
+        };
+        *terminals.entry(id).or_insert(0) += 1;
+    }
+    assert_eq!(terminals.len() as u64, report.total_arrivals);
+    for (id, n) in &terminals {
+        assert_eq!(*n, 1, "query {id} terminated {n} times");
+    }
+}
+
+#[test]
+fn retry_attempts_are_attributed_to_one_query_id() {
+    // A retried query keeps its id across attempts: its Timeout events
+    // number 1, 2, … and each Retry matches the Timeout that caused it.
+    let (report, events) = traced_resilient_run(41);
+    assert!(report.resilience.retries > 0, "setup must retry");
+    let mut timeout_attempts: HashMap<u64, Vec<u32>> = HashMap::new();
+    let mut retry_attempts: HashMap<u64, Vec<u32>> = HashMap::new();
+    for e in &events {
+        match e {
+            Event::Timeout { query, attempt, .. } => {
+                timeout_attempts.entry(*query).or_default().push(*attempt);
+            }
+            Event::Retry { query, attempt, .. } => {
+                retry_attempts.entry(*query).or_default().push(*attempt);
+            }
+            _ => {}
+        }
+    }
+    assert!(!retry_attempts.is_empty());
+    for (id, attempts) in &timeout_attempts {
+        let expect: Vec<u32> = (1..=attempts.len() as u32).collect();
+        assert_eq!(
+            attempts, &expect,
+            "query {id} timeout attempts must count 1..n"
+        );
+    }
+    for (id, attempts) in &retry_attempts {
+        // Every retry follows a timeout of the same query and attempt.
+        let t = &timeout_attempts[id];
+        for a in attempts {
+            assert!(
+                t.contains(a),
+                "query {id} retry attempt {a} without a matching timeout"
+            );
+        }
+    }
 }
 
 #[test]
