@@ -1,0 +1,155 @@
+//! Performance baseline: the repo's `BENCH_*.json` perf-regression
+//! artifact (DESIGN.md §10, EXPERIMENTS.md "perf_baseline").
+//!
+//! Runs the pinned scenario matrix (constant load, surge + faults,
+//! adaptive drift) with the engine's self-profiler attached, times both
+//! exact MDP solvers on a pinned policy MDP, and writes everything to
+//! `results/BENCH_perf.json`. The run itself asserts the
+//! profiling-off contract: the constant-load scenario must produce an
+//! identical report with the profiler disabled.
+//!
+//! ```text
+//! perf_baseline [--smoke] [--out DIR]      # run + write BENCH_perf.json
+//! perf_baseline --validate PATH            # schema-check an existing file
+//! ```
+//!
+//! `--smoke` shrinks trace lengths for CI; the scenario structure and
+//! schema are unchanged. `--validate` exits non-zero when the file does
+//! not parse as the current schema or fails its structural invariants.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use ramsis_bench::{render_table, write_json, BenchPerf, PerfBaselineConfig};
+
+fn validate_file(path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: read {path}: {e}");
+            return 1;
+        }
+    };
+    let bench: BenchPerf = match serde_json::from_str(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {path} does not parse as BENCH_perf schema: {e}");
+            return 1;
+        }
+    };
+    if let Err(e) = bench.validate() {
+        eprintln!("error: {path} violates the BENCH_perf schema: {e}");
+        return 1;
+    }
+    println!(
+        "{path}: valid (schema v{}, {} scenarios, {} solver profiles{})",
+        bench.schema_version,
+        bench.scenarios.len(),
+        bench.solvers.len(),
+        if bench.smoke { ", smoke" } else { "" }
+    );
+    0
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_dir = PathBuf::from("results");
+    let mut validate: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_dir = PathBuf::from(args.next().expect("--out requires a directory")),
+            "--validate" => {
+                validate = Some(args.next().expect("--validate requires a file path"));
+            }
+            other => {
+                eprintln!("error: unknown flag {other:?}");
+                eprintln!("usage: perf_baseline [--smoke] [--out DIR] | --validate PATH");
+                exit(2);
+            }
+        }
+    }
+    if let Some(path) = validate {
+        exit(validate_file(&path));
+    }
+
+    let cfg = if smoke {
+        PerfBaselineConfig::default().smoke()
+    } else {
+        PerfBaselineConfig::default()
+    };
+    println!(
+        "=== perf_baseline — {} workers, SLO {:.0} ms, {:.0} QPS, seed {:#x}{} ===",
+        cfg.workers,
+        cfg.slo_s * 1e3,
+        cfg.load_qps,
+        cfg.seed,
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let bench = ramsis_bench::run_perf_baseline(&cfg, smoke);
+    bench.validate().expect("fresh document validates");
+
+    let rows: Vec<Vec<String>> = bench
+        .scenarios
+        .iter()
+        .map(|s| {
+            vec![
+                s.scenario.clone(),
+                s.arrivals.to_string(),
+                format!("{:.1}", s.wall_ns as f64 / 1e6),
+                s.events_processed.to_string(),
+                format!("{:.2}", s.events_per_sec / 1e6),
+                s.peak_heap_depth.to_string(),
+                s.peak_queue_depth.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "scenario",
+                "arrivals",
+                "wall ms",
+                "events",
+                "M events/s",
+                "peak heap",
+                "peak queue",
+            ],
+            &rows,
+        )
+    );
+    let solver_rows: Vec<Vec<String>> = bench
+        .solvers
+        .iter()
+        .map(|sp| {
+            vec![
+                sp.method.clone(),
+                sp.sweeps.to_string(),
+                sp.states_touched.to_string(),
+                format!("{:.1}", sp.total_s * 1e3),
+                format!("{:.3}", sp.mean_sweep_s * 1e3),
+                format!("{:.2e}", sp.final_residual),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "solver",
+                "sweeps",
+                "states",
+                "total ms",
+                "mean sweep ms",
+                "residual",
+            ],
+            &solver_rows,
+        )
+    );
+
+    write_json(&out_dir, "BENCH_perf", &bench);
+    println!("OK: profiling-off bit-identity held; schema valid");
+}

@@ -30,6 +30,7 @@ pub mod args;
 pub mod drift;
 pub mod harness;
 pub mod output;
+pub mod perf;
 pub mod report;
 pub mod resilience;
 pub mod robustness;
@@ -40,5 +41,9 @@ pub use harness::{
     build_profile, ms_scheme, ramsis_policy_set, run_scheme, MonitorKind, RunOutcome,
 };
 pub use output::{ascii_plot, render_table, write_csv, write_json};
+pub use perf::{
+    run_perf_baseline, run_scenario, BenchPerf, PerfBaselineConfig, ScenarioPerf,
+    BENCH_PERF_SCHEMA_VERSION, SCENARIOS,
+};
 pub use resilience::{run_resilience_surge, ResilienceSurgeConfig, ResilienceSurgeOutcome};
 pub use robustness::{run_robustness, RobustnessConfig, RobustnessOutcome};

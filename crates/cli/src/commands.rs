@@ -5,10 +5,12 @@ pub mod drift;
 pub mod gen;
 pub mod inspect;
 pub mod ms_gen;
+pub mod perf;
 pub mod plot;
 pub mod profiles;
 pub mod robustness;
 pub mod sim;
+pub mod spans;
 pub mod telemetry;
 pub mod trace;
 

@@ -1,0 +1,161 @@
+//! `ramsis-cli spans` — reconstruct per-query spans from a JSONL event
+//! trace and print the critical-path breakdown.
+//!
+//! ```text
+//! ramsis-cli spans trace.jsonl [--top N] [--json]
+//! ```
+//!
+//! Folds the lifecycle stream (enqueue → admission → dispatch →
+//! [retry|hedge]* → completion/shed) into one span per query, then
+//! attributes every completed query's response time to wait / service /
+//! wasted (timed-out) / retry-backoff / hedge-overlap segments. The
+//! segment sums equal the engine's measured response times exactly;
+//! any discrepancy is reported as a conservation violation.
+
+use ramsis_bench::render_table;
+use ramsis_telemetry::{critical_path, parse_jsonl_tolerant, reconstruct_spans, SegmentStats};
+
+fn ms(ns: u64) -> String {
+    format!("{:.1}", ns as f64 / 1e6)
+}
+
+fn segment_row(name: &str, s: &SegmentStats) -> Vec<String> {
+    vec![
+        name.to_string(),
+        format!("{:.3}", s.total_s),
+        format!("{:.1}%", s.share * 100.0),
+        ms(s.p50_ns),
+        ms(s.p95_ns),
+        ms(s.p99_ns),
+        ms(s.max_ns),
+    ]
+}
+
+pub fn run(args: &[String]) -> Result<(), String> {
+    let mut path: Option<String> = None;
+    let mut top: usize = 10;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--top" => {
+                top = it
+                    .next()
+                    .ok_or("--top requires a count")?
+                    .parse()
+                    .map_err(|e| format!("bad --top: {e}"))?;
+            }
+            "--json" => json = true,
+            other if !other.starts_with("--") && path.is_none() => path = Some(other.to_string()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    let path = path.ok_or("spans requires a trace path: ramsis-cli spans LOG.jsonl")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
+    let parsed = parse_jsonl_tolerant(&text)?;
+    if let Some(tail) = &parsed.torn_tail {
+        eprintln!(
+            "warning: trailing partial line ignored ({} bytes)",
+            tail.len()
+        );
+    }
+
+    let log = reconstruct_spans(&parsed.events);
+    let report = critical_path(&log, top);
+
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+
+    println!(
+        "trace: {path} ({} events, {} queries)",
+        parsed.events.len(),
+        report.queries
+    );
+    println!(
+        "outcomes: {} completed ({} violated), {} shed, {} dropped, {} admission-refused, {} in flight",
+        report.completed,
+        report.violations,
+        report.shed,
+        report.dropped,
+        report.admission_refused,
+        report.in_flight
+    );
+    if report.hedged + report.retried > 0 {
+        println!(
+            "resilience on the critical path: {} hedged, {} retried completions",
+            report.hedged, report.retried
+        );
+    }
+    if report.orphan_events + report.degraded_spans > 0 {
+        println!(
+            "trace quality: {} orphan events, {} degraded spans (truncated log?)",
+            report.orphan_events, report.degraded_spans
+        );
+    }
+    println!(
+        "conservation: segment sums {} measured response times{}",
+        if report.conservation_violations == 0 {
+            "match"
+        } else {
+            "DIVERGE from"
+        },
+        if report.conservation_violations == 0 {
+            String::new()
+        } else {
+            format!(" on {} spans", report.conservation_violations)
+        }
+    );
+
+    println!("\ncritical-path segments (completed queries):");
+    let rows = vec![
+        segment_row("response", &report.response),
+        segment_row("wait", &report.wait),
+        segment_row("service", &report.service),
+        segment_row("wasted", &report.wasted),
+        segment_row("backoff", &report.backoff),
+        segment_row("hedge-overlap", &report.hedge_overlap),
+    ];
+    println!(
+        "{}",
+        render_table(
+            &["segment", "total s", "share", "p50 ms", "p95 ms", "p99 ms", "max ms"],
+            &rows,
+        )
+    );
+
+    if !report.top_slowest.is_empty() {
+        println!("top {} slowest completions:", report.top_slowest.len());
+        let rows: Vec<Vec<String>> = report
+            .top_slowest
+            .iter()
+            .map(|s| {
+                vec![
+                    s.query.to_string(),
+                    ms(s.response_ns.unwrap_or(0)),
+                    ms(s.wait_ns),
+                    ms(s.service_ns),
+                    ms(s.wasted_ns),
+                    ms(s.backoff_ns),
+                    s.timeouts.to_string(),
+                    if s.hedged { "yes" } else { "" }.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "query", "resp ms", "wait ms", "serve ms", "waste ms", "backoff", "timeouts",
+                    "hedged"
+                ],
+                &rows,
+            )
+        );
+    }
+    Ok(())
+}

@@ -7,8 +7,13 @@
 //! misses, sheds, and audit activity — the miss-attribution view.
 //!
 //! ```text
-//! ramsis-cli telemetry trace.jsonl [--window MS] [--json]
+//! ramsis-cli telemetry trace.jsonl [--window MS] [--json] [--quiet]
 //! ```
+//!
+//! Exits 0 when the conservation invariant holds and 1 when it is
+//! violated, so scripts can gate on trace health; `--quiet` prints
+//! nothing but the violation summary (and nothing at all on a clean
+//! trace).
 
 use ramsis_bench::render_table;
 use ramsis_telemetry::{
@@ -40,10 +45,11 @@ struct TraceSummary {
     windows: Vec<WindowStats>,
 }
 
-pub fn run(args: &[String]) -> Result<(), String> {
+pub fn run(args: &[String]) -> Result<i32, String> {
     let mut path: Option<String> = None;
     let mut window_ms: f64 = 1_000.0;
     let mut json = false;
+    let mut quiet = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -58,6 +64,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
                 }
             }
             "--json" => json = true,
+            "--quiet" => quiet = true,
             "--log" => path = Some(it.next().ok_or("--log requires a value")?.clone()),
             other if !other.starts_with("--") && path.is_none() => path = Some(other.to_string()),
             other => return Err(format!("unknown flag {other:?}")),
@@ -82,6 +89,25 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let window_ns = (window_ms * 1e6).round() as u64;
     let windows = window_breakdown(&events, window_ns.max(1));
     let pctl = |p: f64| agg.response.percentile(p).map_or(0.0, |ns| ns as f64 / 1e9);
+    let exit_code = if cons.holds() { 0 } else { 1 };
+
+    if quiet {
+        // Violations only: a clean trace prints nothing, so CI logs
+        // stay silent unless something is actually wrong.
+        if !cons.holds() {
+            println!(
+                "conservation VIOLATED: {} arrivals vs {} completed + {} shed + {} dropped + {} admission-shed + {} in flight ({} anomalies)",
+                cons.arrivals,
+                cons.completions,
+                cons.sheds,
+                cons.drops,
+                cons.admissions,
+                cons.in_flight,
+                cons.anomalies
+            );
+        }
+        return Ok(exit_code);
+    }
 
     if json {
         let summary = TraceSummary {
@@ -109,7 +135,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
             "{}",
             serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?
         );
-        return Ok(());
+        return Ok(exit_code);
     }
 
     println!("trace: {path} ({} events)", events.len());
@@ -201,5 +227,5 @@ pub fn run(args: &[String]) -> Result<(), String> {
     if swaps + solves + fallbacks > 0 {
         println!("adaptation: {swaps} regime swaps, {solves} lazy solves, {fallbacks} fallback decisions");
     }
-    Ok(())
+    Ok(exit_code)
 }

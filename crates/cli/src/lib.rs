@@ -11,6 +11,8 @@
 //! ramsis-cli trace   --kind twitter --out twitter_like.txt
 //! ramsis-cli inspect --policy policy_gen/RAMSIS_60_150/2000.json
 //! ramsis-cli telemetry trace.jsonl --window 1000
+//! ramsis-cli perf --scenario surge_faults --json
+//! ramsis-cli spans trace.jsonl --top 10
 //! ramsis-cli chaos --runs 100 --seed 7
 //! ```
 //!
@@ -27,18 +29,23 @@ pub fn run(args: &[String]) -> i32 {
         eprintln!("{USAGE}");
         return 2;
     };
+    // Commands uniformly return `Result<exit code, error>`; most only
+    // ever exit 0 on success, but `telemetry` exits 1 on a conservation
+    // violation so scripts can gate on trace health.
     let result = match command.as_str() {
-        "gen" => commands::gen::run(rest),
-        "ms-gen" => commands::ms_gen::run(rest),
-        "sim" => commands::sim::run(rest),
-        "plot" => commands::plot::run(rest),
-        "trace" => commands::trace::run(rest),
-        "inspect" => commands::inspect::run(rest),
-        "profiles" => commands::profiles::run(rest),
-        "robustness" => commands::robustness::run(rest),
-        "drift" => commands::drift::run(rest),
+        "gen" => commands::gen::run(rest).map(|()| 0),
+        "ms-gen" => commands::ms_gen::run(rest).map(|()| 0),
+        "sim" => commands::sim::run(rest).map(|()| 0),
+        "plot" => commands::plot::run(rest).map(|()| 0),
+        "trace" => commands::trace::run(rest).map(|()| 0),
+        "inspect" => commands::inspect::run(rest).map(|()| 0),
+        "profiles" => commands::profiles::run(rest).map(|()| 0),
+        "robustness" => commands::robustness::run(rest).map(|()| 0),
+        "drift" => commands::drift::run(rest).map(|()| 0),
         "telemetry" => commands::telemetry::run(rest),
-        "chaos" => commands::chaos::run(rest),
+        "perf" => commands::perf::run(rest).map(|()| 0),
+        "spans" => commands::spans::run(rest).map(|()| 0),
+        "chaos" => commands::chaos::run(rest).map(|()| 0),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return 0;
@@ -46,7 +53,7 @@ pub fn run(args: &[String]) -> i32 {
         other => Err(format!("unknown command {other:?}")),
     };
     match result {
-        Ok(()) => 0,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!("{USAGE}");
@@ -73,7 +80,15 @@ commands:
            fixed-fastest baseline
   telemetry inspect a JSONL event trace recorded with `sim --telemetry
            PATH`: conservation check, event-derived aggregates, and a
-           per-window miss-attribution breakdown (--window MS, --json)
+           per-window miss-attribution breakdown (--window MS, --json,
+           --quiet prints only violations; exits 1 when conservation
+           fails)
+  perf     run a pinned scenario with the self-profiler on and print
+           the phase flame-table, hot-path counters, and gauges
+           (--scenario NAME, --seed S, --json)
+  spans    reconstruct per-query spans from a JSONL event trace and
+           print the critical-path breakdown: segment shares,
+           percentiles, and the top-N slowest queries (--top N, --json)
   chaos    randomized resilience sweep: run N seeded random
            simulations twice each and check determinism, telemetry
            conservation, counter agreement, hedge consistency, and

@@ -144,6 +144,114 @@ fn profiles_export_import_round_trip() {
 }
 
 #[test]
+fn telemetry_exit_codes_and_quiet_flag() {
+    let dir = tempdir("telemetry_exit");
+
+    // A sound micro-trace: one arrival, one on-time completion.
+    let good = dir.join("good.jsonl");
+    std::fs::write(
+        &good,
+        concat!(
+            "{\"Arrival\":{\"at\":0,\"query\":0,\"deadline\":100000000}}\n",
+            "{\"Complete\":{\"at\":50,\"query\":0,\"worker\":0,\"model\":0,",
+            "\"response_ns\":50,\"violated\":false}}\n",
+        ),
+    )
+    .unwrap();
+    // An anomalous trace: a completion for a query that never arrived.
+    let bad = dir.join("bad.jsonl");
+    std::fs::write(
+        &bad,
+        concat!(
+            "{\"Complete\":{\"at\":50,\"query\":7,\"worker\":0,\"model\":0,",
+            "\"response_ns\":50,\"violated\":false}}\n",
+        ),
+    )
+    .unwrap();
+
+    let good = good.to_str().unwrap();
+    let bad = bad.to_str().unwrap();
+    assert_eq!(run(&["telemetry", good]), 0);
+    assert_eq!(run(&["telemetry", good, "--json"]), 0);
+    assert_eq!(run(&["telemetry", good, "--quiet"]), 0);
+    assert_eq!(run(&["telemetry", bad]), 1, "violated trace must exit 1");
+    assert_eq!(run(&["telemetry", bad, "--quiet"]), 1);
+    assert_eq!(run(&["telemetry", bad, "--json"]), 1);
+
+    // --quiet prints nothing on a clean trace, only the violation line
+    // on a broken one (checked out-of-process to capture stdout).
+    let exe = env!("CARGO_BIN_EXE_ramsis-cli");
+    let out = std::process::Command::new(exe)
+        .args(["telemetry", good, "--quiet"])
+        .output()
+        .expect("spawn ramsis-cli");
+    assert!(out.status.success());
+    assert!(
+        out.stdout.is_empty(),
+        "quiet mode must be silent on a clean trace, got {:?}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let out = std::process::Command::new(exe)
+        .args(["telemetry", bad, "--quiet"])
+        .output()
+        .expect("spawn ramsis-cli");
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("VIOLATED"),
+        "quiet violation output: {text:?}"
+    );
+    assert_eq!(text.lines().count(), 1, "quiet prints only the violation");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn perf_and_spans_commands() {
+    let dir = tempdir("perf_spans");
+    let out = dir.to_str().unwrap();
+
+    // Produce a real event trace with the simulator, then span it.
+    let trace = dir.join("trace.jsonl");
+    assert_eq!(
+        run(&[
+            "sim",
+            "--m",
+            "JF",
+            "--trace",
+            "constant",
+            "--load",
+            "150",
+            "--duration",
+            "2",
+            "--telemetry",
+            trace.to_str().unwrap(),
+            "--task",
+            "text",
+            "--SLO",
+            "100",
+            "--worker",
+            "4",
+            "--out",
+            out,
+        ]),
+        0
+    );
+    let trace = trace.to_str().unwrap();
+    assert_eq!(run(&["spans", trace]), 0);
+    assert_eq!(run(&["spans", trace, "--top", "3", "--json"]), 0);
+    assert_ne!(run(&["spans"]), 0); // missing trace path
+    assert_ne!(run(&["spans", "/nonexistent/trace.jsonl"]), 0);
+
+    // perf: pinned scenario names only.
+    assert_eq!(run(&["perf", "--scenario", "constant_load", "--smoke"]), 0);
+    assert_ne!(run(&["perf", "--scenario", "nope"]), 0);
+    assert_ne!(run(&["perf", "--bogus-flag"]), 0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_invocations_fail_cleanly() {
     assert_ne!(run(&[]), 0);
     assert_ne!(run(&["frobnicate"]), 0);

@@ -21,7 +21,10 @@ use std::collections::{BinaryHeap, VecDeque};
 
 use ramsis_profiles::WorkerProfile;
 use ramsis_stats::LogHistogram;
-use ramsis_telemetry::{Action, Event, NullSink, QueueId, ShedCause, TelemetrySink};
+use ramsis_telemetry::{
+    Action, Event, GaugeId, HotCounter, NullSink, Phase, Profiler, QueueId, ShedCause,
+    TelemetrySink,
+};
 use ramsis_workload::{sample_poisson_arrivals, LoadEstimator, Trace};
 
 use rand::SeedableRng;
@@ -489,14 +492,59 @@ impl<'a> Simulation<'a> {
         estimator: &mut dyn LoadEstimator,
         sink: &mut dyn TelemetrySink,
     ) -> Result<SimulationReport, SimError> {
+        self.run_faulted_traced_profiled(trace, plan, scheme, estimator, sink, &mut Profiler::off())
+    }
+
+    /// [`Self::run`] with the engine's self-profiler attached (no
+    /// faults, no telemetry). The profiler observes wall-clock phases
+    /// and hot-path counters only — the simulated run, its report, and
+    /// any event stream are bit-identical whether the profiler is on,
+    /// off, or absent (asserted in the integration suite).
+    pub fn run_profiled(
+        &self,
+        trace: &Trace,
+        scheme: &mut dyn ServingScheme,
+        estimator: &mut dyn LoadEstimator,
+        prof: &mut Profiler,
+    ) -> SimulationReport {
+        self.run_faulted_traced_profiled(
+            trace,
+            &FaultPlan::none(),
+            scheme,
+            estimator,
+            &mut NullSink,
+            prof,
+        )
+        .expect("empty fault plan always validates")
+    }
+
+    /// [`Self::run_faulted_traced`] with the self-profiler attached —
+    /// faults, telemetry, and profiling in one run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the plan fails
+    /// [`FaultPlan::validate`] for this cluster size.
+    pub fn run_faulted_traced_profiled(
+        &self,
+        trace: &Trace,
+        plan: &FaultPlan,
+        scheme: &mut dyn ServingScheme,
+        estimator: &mut dyn LoadEstimator,
+        sink: &mut dyn TelemetrySink,
+        prof: &mut Profiler,
+    ) -> Result<SimulationReport, SimError> {
         plan.validate(self.config.workers)?;
+        prof.run_begin();
+        prof.enter(Phase::Setup);
         let mut surged = trace.clone();
         for (from_s, to_s, factor) in plan.surges() {
             surged = surged.scaled_between(from_s, to_s, factor);
         }
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.arrival_seed);
         let arrivals = sample_poisson_arrivals(&surged, &mut rng);
-        self.run_arrivals_faulted_traced(&arrivals, plan, scheme, estimator, sink)
+        prof.exit(Phase::Setup);
+        self.run_arrivals_faulted_traced_profiled(&arrivals, plan, scheme, estimator, sink, prof)
     }
 
     /// Runs `scheme` over explicit arrival times (seconds, sorted).
@@ -557,7 +605,39 @@ impl<'a> Simulation<'a> {
         estimator: &mut dyn LoadEstimator,
         sink: &mut dyn TelemetrySink,
     ) -> Result<SimulationReport, SimError> {
+        self.run_arrivals_faulted_traced_profiled(
+            arrivals,
+            plan,
+            scheme,
+            estimator,
+            sink,
+            &mut Profiler::off(),
+        )
+    }
+
+    /// [`Self::run_arrivals_faulted_traced`] with the self-profiler
+    /// attached — the fully general entry point every other run method
+    /// funnels into. The profiler records wall-clock phase timings and
+    /// hot-path counters (heap traffic, dispatches, policy lookups,
+    /// retry/hedge bookkeeping) without touching the simulated clock:
+    /// profiled and unprofiled runs are bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the plan fails
+    /// [`FaultPlan::validate`] for this cluster size.
+    pub fn run_arrivals_faulted_traced_profiled(
+        &self,
+        arrivals: &[f64],
+        plan: &FaultPlan,
+        scheme: &mut dyn ServingScheme,
+        estimator: &mut dyn LoadEstimator,
+        sink: &mut dyn TelemetrySink,
+        prof: &mut Profiler,
+    ) -> Result<SimulationReport, SimError> {
         plan.validate(self.config.workers)?;
+        prof.run_begin();
+        prof.enter(Phase::Setup);
         let mut tracer = Tracer::new(sink);
         scheme.set_audit(tracer.on);
         let slo = nanos_from_secs(self.config.slo_s);
@@ -591,6 +671,7 @@ impl<'a> Simulation<'a> {
             heap.push(Reverse((t, seq, EventKind::Fault(i as u32))));
             seq += 1;
         }
+        prof.incr_by(HotCounter::HeapPushes, actions.len() as u64);
         if !arrivals.is_empty() {
             heap.push(Reverse((
                 nanos_from_secs(arrivals[0]),
@@ -598,139 +679,441 @@ impl<'a> Simulation<'a> {
                 EventKind::Arrival(0),
             )));
             seq += 1;
+            prof.incr(HotCounter::HeapPushes);
         }
+        prof.exit(Phase::Setup);
 
         let mut horizon: Nanos = 0;
 
         while let Some(Reverse((now, _, kind))) = heap.pop() {
+            prof.incr(HotCounter::HeapPops);
+            prof.gauge(GaugeId::HeapDepth, heap.len() as u64 + 1);
             horizon = horizon.max(now);
-            match kind {
-                EventKind::Arrival(i) => {
-                    let idx = i as usize;
-                    let t = nanos_from_secs(arrivals[idx]);
-                    let q = Query::new(i, t, slo);
-                    tracer.emit(|| Event::Arrival {
-                        at: now,
-                        query: i,
-                        deadline: q.deadline,
-                    });
-                    estimator.record_arrival(secs_from_nanos(t));
-                    scheme.on_arrival(secs_from_nanos(t));
-                    tracer.drain_scheme(scheme);
-                    // Schedule the next arrival.
-                    if idx + 1 < arrivals.len() {
+            let phase = match kind {
+                EventKind::Arrival(_) => Phase::Arrival,
+                EventKind::WorkerDone(..) => Phase::Completion,
+                EventKind::Timeout(..) => Phase::Timeout,
+                EventKind::HedgeDue(..) => Phase::Hedge,
+                EventKind::Retry(_) => Phase::Retry,
+                EventKind::Fault(_) => Phase::Fault,
+            };
+            prof.enter(phase);
+            // Labeled so handlers can bail (stale epochs, no-op
+            // faults) without skipping the phase-timer exit below.
+            'event: {
+                match kind {
+                    EventKind::Arrival(i) => {
+                        let idx = i as usize;
+                        let t = nanos_from_secs(arrivals[idx]);
+                        let q = Query::new(i, t, slo);
+                        tracer.emit(|| Event::Arrival {
+                            at: now,
+                            query: i,
+                            deadline: q.deadline,
+                        });
+                        estimator.record_arrival(secs_from_nanos(t));
+                        scheme.on_arrival(secs_from_nanos(t));
+                        tracer.drain_scheme(scheme);
+                        // Schedule the next arrival.
+                        if idx + 1 < arrivals.len() {
+                            heap.push(Reverse((
+                                nanos_from_secs(arrivals[idx + 1]),
+                                seq,
+                                EventKind::Arrival(i + 1),
+                            )));
+                            seq += 1;
+                            prof.incr(HotCounter::HeapPushes);
+                        }
+                        prof.enter(Phase::Route);
+                        self.route_query(
+                            q,
+                            now,
+                            routing,
+                            plan.crash_policy,
+                            scheme,
+                            estimator,
+                            &mut worker_queues,
+                            &mut central_queue,
+                            &mut limbo,
+                            &mut rr_next,
+                            &mut cluster,
+                            &mut resil,
+                            &mut sampler,
+                            &mut metrics,
+                            &mut heap,
+                            &mut seq,
+                            &mut tracer,
+                            prof,
+                        );
+                        prof.exit(Phase::Route);
+                    }
+                    EventKind::WorkerDone(w, epoch) => {
+                        if epoch != cluster.epochs[w] {
+                            // The dispatch already ended (crash, timeout, or
+                            // hedge cancel) after this completion was
+                            // scheduled; already handled.
+                            prof.incr(HotCounter::StaleEvents);
+                            break 'event;
+                        }
+                        let fl = cluster.in_flight[w]
+                            .take()
+                            .expect("completion implies in-flight work");
+                        cluster.epochs[w] += 1;
+                        // First-wins: cancel the losing side of a hedged
+                        // pair before accounting the completion.
+                        let cancelled_twin = fl.twin.inspect(|&v| {
+                            let loser = cluster.in_flight[v]
+                                .take()
+                                .expect("hedge twin implies in-flight work");
+                            cluster.epochs[v] += 1;
+                            cluster.busy[v] = false;
+                            prof.incr(HotCounter::HedgesCancelled);
+                            metrics.record_hedge_cancelled(loser.started, now);
+                            if fl.is_hedge {
+                                metrics.record_hedge_win();
+                            }
+                            tracer.emit(|| Event::HedgeCancelled {
+                                at: now,
+                                worker: v as u32,
+                                winner: w as u32,
+                            });
+                        });
+                        metrics.note_regime(scheme.regime());
+                        if let Some(d) = estimator.divergence(secs_from_nanos(now)) {
+                            metrics.record_divergence(d);
+                        }
+                        metrics.record_batch(
+                            self.profile_of(w),
+                            fl.model,
+                            &fl.queries,
+                            fl.started,
+                            now,
+                        );
+                        if tracer.on {
+                            for q in &fl.queries {
+                                tracer.emit(|| Event::Complete {
+                                    at: now,
+                                    query: q.id,
+                                    worker: w as u32,
+                                    model: fl.model as u32,
+                                    response_ns: now.saturating_sub(q.arrival),
+                                    violated: now > q.deadline,
+                                });
+                            }
+                        }
+                        cluster.busy[w] = false;
+                        let queue = match routing {
+                            Routing::Central => &mut central_queue,
+                            _ => &mut worker_queues[w],
+                        };
+                        self.dispatch(
+                            w,
+                            now,
+                            scheme,
+                            estimator,
+                            queue,
+                            &mut cluster,
+                            &mut resil,
+                            &mut sampler,
+                            &mut metrics,
+                            &mut heap,
+                            &mut seq,
+                            &mut tracer,
+                            prof,
+                        );
+                        // The freed loser picks up queued work too.
+                        if let Some(v) = cancelled_twin {
+                            if cluster.alive[v] && !cluster.busy[v] {
+                                let queue = match routing {
+                                    Routing::Central => &mut central_queue,
+                                    _ => &mut worker_queues[v],
+                                };
+                                if !queue.is_empty() {
+                                    self.dispatch(
+                                        v,
+                                        now,
+                                        scheme,
+                                        estimator,
+                                        queue,
+                                        &mut cluster,
+                                        &mut resil,
+                                        &mut sampler,
+                                        &mut metrics,
+                                        &mut heap,
+                                        &mut seq,
+                                        &mut tracer,
+                                        prof,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    EventKind::Timeout(w, epoch) => {
+                        if epoch != cluster.epochs[w] {
+                            prof.incr(HotCounter::StaleEvents);
+                            break 'event; // dispatch already ended
+                        }
+                        let fl = cluster.in_flight[w]
+                            .take()
+                            .expect("timeout implies in-flight work");
+                        cluster.epochs[w] += 1;
+                        cluster.busy[w] = false;
+                        if let Some(v) = fl.twin {
+                            // One side of a hedged pair timing out is just a
+                            // cancellation; the twin keeps the queries.
+                            if let Some(tw) = cluster.in_flight[v].as_mut() {
+                                tw.twin = None;
+                            }
+                            prof.incr(HotCounter::HedgesCancelled);
+                            metrics.record_hedge_cancelled(fl.started, now);
+                            tracer.emit(|| Event::HedgeCancelled {
+                                at: now,
+                                worker: w as u32,
+                                winner: v as u32,
+                            });
+                        } else {
+                            prof.incr(HotCounter::TimeoutsFired);
+                            metrics.record_timeout(&fl.queries, fl.started, now);
+                            let now_s = secs_from_nanos(now);
+                            let rpol = resil.policy.retry;
+                            for mut q in fl.queries {
+                                q.attempt += 1;
+                                let attempt = q.attempt;
+                                tracer.emit(|| Event::Timeout {
+                                    at: now,
+                                    query: q.id,
+                                    worker: w as u32,
+                                    attempt,
+                                });
+                                if attempt > rpol.max_retries {
+                                    prof.incr(HotCounter::RetriesAbandoned);
+                                    tracer.emit(|| Event::Shed {
+                                        at: now,
+                                        query: q.id,
+                                        cause: ShedCause::RetryExhausted,
+                                    });
+                                    metrics.record_retry_dropped(&[q], 0);
+                                } else if resil.budget.try_take(now_s) {
+                                    prof.incr(HotCounter::RetriesScheduled);
+                                    metrics.record_retry();
+                                    let delay_ns =
+                                        nanos_from_secs(backoff_delay_s(&rpol, attempt, q.id));
+                                    tracer.emit(|| Event::Retry {
+                                        at: now,
+                                        query: q.id,
+                                        attempt,
+                                        delay_ns,
+                                    });
+                                    let idx = resil.retry_buf.len() as u32;
+                                    resil.retry_buf.push(q);
+                                    heap.push(Reverse((
+                                        now + delay_ns,
+                                        seq,
+                                        EventKind::Retry(idx),
+                                    )));
+                                    seq += 1;
+                                    prof.incr(HotCounter::HeapPushes);
+                                } else {
+                                    prof.incr(HotCounter::RetriesAbandoned);
+                                    tracer.emit(|| Event::Shed {
+                                        at: now,
+                                        query: q.id,
+                                        cause: ShedCause::RetryExhausted,
+                                    });
+                                    metrics.record_retry_dropped(&[q], 1);
+                                }
+                            }
+                        }
+                        // The freed worker picks up queued work.
+                        let queue = match routing {
+                            Routing::Central => &mut central_queue,
+                            _ => &mut worker_queues[w],
+                        };
+                        self.dispatch(
+                            w,
+                            now,
+                            scheme,
+                            estimator,
+                            queue,
+                            &mut cluster,
+                            &mut resil,
+                            &mut sampler,
+                            &mut metrics,
+                            &mut heap,
+                            &mut seq,
+                            &mut tracer,
+                            prof,
+                        );
+                    }
+                    EventKind::HedgeDue(w, epoch) => {
+                        if epoch != cluster.epochs[w] {
+                            prof.incr(HotCounter::StaleEvents);
+                            break 'event; // dispatch already ended
+                        }
+                        let (model, queries) = match cluster.in_flight[w].as_ref() {
+                            Some(fl) if fl.twin.is_none() && !fl.is_hedge => {
+                                (fl.model, fl.queries.clone())
+                            }
+                            _ => break 'event,
+                        };
+                        // An idle live worker that can run this model; the
+                        // hedge is silently skipped when none exists (better
+                        // to keep waiting than to queue a duplicate).
+                        let target = (0..n_workers).find(|&v| {
+                            v != w
+                                && cluster.alive[v]
+                                && !cluster.busy[v]
+                                && model < self.profile_of(v).n_models()
+                        });
+                        let Some(v) = target else { break 'event };
+                        let batch = queries.len() as u32;
+                        let service =
+                            sampler.sample(self.profile_of(v), model, batch) * cluster.slow[v];
+                        let service_ns = nanos_from_secs(service);
+                        resil.service_hist.record(service_ns);
+                        cluster.busy[v] = true;
+                        cluster.in_flight[v] = Some(InFlight {
+                            model,
+                            queries,
+                            started: now,
+                            twin: Some(w),
+                            is_hedge: true,
+                        });
+                        if let Some(fl) = cluster.in_flight[w].as_mut() {
+                            fl.twin = Some(v);
+                        }
+                        // The hedge side gets a plain completion: no nested
+                        // timeout or hedge-of-a-hedge.
                         heap.push(Reverse((
-                            nanos_from_secs(arrivals[idx + 1]),
+                            now + service_ns,
                             seq,
-                            EventKind::Arrival(i + 1),
+                            EventKind::WorkerDone(v, cluster.epochs[v]),
                         )));
                         seq += 1;
-                    }
-                    self.route_query(
-                        q,
-                        now,
-                        routing,
-                        plan.crash_policy,
-                        scheme,
-                        estimator,
-                        &mut worker_queues,
-                        &mut central_queue,
-                        &mut limbo,
-                        &mut rr_next,
-                        &mut cluster,
-                        &mut resil,
-                        &mut sampler,
-                        &mut metrics,
-                        &mut heap,
-                        &mut seq,
-                        &mut tracer,
-                    );
-                }
-                EventKind::WorkerDone(w, epoch) => {
-                    if epoch != cluster.epochs[w] {
-                        // The dispatch already ended (crash, timeout, or
-                        // hedge cancel) after this completion was
-                        // scheduled; already handled.
-                        continue;
-                    }
-                    let fl = cluster.in_flight[w]
-                        .take()
-                        .expect("completion implies in-flight work");
-                    cluster.epochs[w] += 1;
-                    // First-wins: cancel the losing side of a hedged
-                    // pair before accounting the completion.
-                    let cancelled_twin = fl.twin.inspect(|&v| {
-                        let loser = cluster.in_flight[v]
-                            .take()
-                            .expect("hedge twin implies in-flight work");
-                        cluster.epochs[v] += 1;
-                        cluster.busy[v] = false;
-                        metrics.record_hedge_cancelled(loser.started, now);
-                        if fl.is_hedge {
-                            metrics.record_hedge_win();
-                        }
-                        tracer.emit(|| Event::HedgeCancelled {
+                        prof.incr(HotCounter::HeapPushes);
+                        prof.incr(HotCounter::HedgesIssued);
+                        metrics.record_hedge_issued();
+                        tracer.emit(|| Event::HedgeIssued {
                             at: now,
-                            worker: v as u32,
-                            winner: w as u32,
+                            primary: w as u32,
+                            hedge: v as u32,
+                            model: model as u32,
+                            batch,
                         });
-                    });
-                    metrics.note_regime(scheme.regime());
-                    if let Some(d) = estimator.divergence(secs_from_nanos(now)) {
-                        metrics.record_divergence(d);
                     }
-                    metrics.record_batch(
-                        self.profile_of(w),
-                        fl.model,
-                        &fl.queries,
-                        fl.started,
-                        now,
-                    );
-                    if tracer.on {
-                        for q in &fl.queries {
-                            tracer.emit(|| Event::Complete {
-                                at: now,
-                                query: q.id,
-                                worker: w as u32,
-                                model: fl.model as u32,
-                                response_ns: now.saturating_sub(q.arrival),
-                                violated: now > q.deadline,
-                            });
-                        }
+                    EventKind::Retry(idx) => {
+                        let q = resil.retry_buf[idx as usize];
+                        prof.enter(Phase::Route);
+                        self.route_query(
+                            q,
+                            now,
+                            routing,
+                            plan.crash_policy,
+                            scheme,
+                            estimator,
+                            &mut worker_queues,
+                            &mut central_queue,
+                            &mut limbo,
+                            &mut rr_next,
+                            &mut cluster,
+                            &mut resil,
+                            &mut sampler,
+                            &mut metrics,
+                            &mut heap,
+                            &mut seq,
+                            &mut tracer,
+                            prof,
+                        );
+                        prof.exit(Phase::Route);
                     }
-                    cluster.busy[w] = false;
-                    let queue = match routing {
-                        Routing::Central => &mut central_queue,
-                        _ => &mut worker_queues[w],
-                    };
-                    self.dispatch(
-                        w,
-                        now,
-                        scheme,
-                        estimator,
-                        queue,
-                        &mut cluster,
-                        &mut resil,
-                        &mut sampler,
-                        &mut metrics,
-                        &mut heap,
-                        &mut seq,
-                        &mut tracer,
-                    );
-                    // The freed loser picks up queued work too.
-                    if let Some(v) = cancelled_twin {
-                        if cluster.alive[v] && !cluster.busy[v] {
-                            let queue = match routing {
-                                Routing::Central => &mut central_queue,
-                                _ => &mut worker_queues[v],
-                            };
-                            if !queue.is_empty() {
-                                self.dispatch(
-                                    v,
+                    EventKind::Fault(idx) => {
+                        match actions[idx as usize].1 {
+                            FaultAction::Crash(w) => {
+                                if !cluster.alive[w] {
+                                    break 'event; // double crash: no-op
+                                }
+                                cluster.alive[w] = false;
+                                cluster.epochs[w] += 1;
+                                cluster.down_since[w] = Some(now);
+                                cluster.live -= 1;
+                                let mut displaced: Vec<Query> = Vec::new();
+                                if let Some(fl) = cluster.in_flight[w].take() {
+                                    cluster.busy[w] = false;
+                                    if let Some(v) = fl.twin {
+                                        // The crashed side of a hedged pair
+                                        // is a cancellation, not a loss: the
+                                        // twin keeps the queries.
+                                        if let Some(tw) = cluster.in_flight[v].as_mut() {
+                                            tw.twin = None;
+                                        }
+                                        prof.incr(HotCounter::HedgesCancelled);
+                                        metrics.record_hedge_cancelled(fl.started, now);
+                                        tracer.emit(|| Event::HedgeCancelled {
+                                            at: now,
+                                            worker: w as u32,
+                                            winner: v as u32,
+                                        });
+                                    } else {
+                                        displaced.extend(fl.queries);
+                                    }
+                                }
+                                displaced.extend(worker_queues[w].drain(..));
+                                scheme.on_membership_change(cluster.live);
+                                match plan.crash_policy {
+                                    CrashPolicy::Drop => {
+                                        if tracer.on {
+                                            for q in &displaced {
+                                                tracer.emit(|| Event::Drop {
+                                                    at: now,
+                                                    query: q.id,
+                                                });
+                                            }
+                                        }
+                                        metrics.record_crash_dropped(&displaced);
+                                    }
+                                    CrashPolicy::RequeueToSurvivors => {
+                                        if tracer.on {
+                                            for q in &displaced {
+                                                tracer.emit(|| Event::CrashRequeue {
+                                                    at: now,
+                                                    query: q.id,
+                                                    from: w as u32,
+                                                });
+                                            }
+                                        }
+                                        metrics.record_crash_requeued(displaced.len() as u64);
+                                        match routing {
+                                            Routing::Central => {
+                                                // Back to the head of the
+                                                // central queue: they carry
+                                                // the earliest deadlines.
+                                                for mut q in displaced.into_iter().rev() {
+                                                    q.enqueued_at = now;
+                                                    central_queue.push_front(q);
+                                                }
+                                            }
+                                            _ if cluster.live == 0 => limbo.extend(displaced),
+                                            _ => {
+                                                for mut q in displaced {
+                                                    q.enqueued_at = now;
+                                                    let t = Self::next_live_rr(
+                                                        &cluster.alive,
+                                                        &mut rr_next,
+                                                    )
+                                                    .expect("live > 0 checked");
+                                                    worker_queues[t].push_back(q);
+                                                }
+                                            }
+                                        }
+                                    }
+                                }
+                                self.kick_idle_workers(
                                     now,
+                                    routing,
                                     scheme,
                                     estimator,
-                                    queue,
+                                    &mut worker_queues,
+                                    &mut central_queue,
                                     &mut cluster,
                                     &mut resil,
                                     &mut sampler,
@@ -738,307 +1121,53 @@ impl<'a> Simulation<'a> {
                                     &mut heap,
                                     &mut seq,
                                     &mut tracer,
+                                    prof,
                                 );
                             }
-                        }
-                    }
-                }
-                EventKind::Timeout(w, epoch) => {
-                    if epoch != cluster.epochs[w] {
-                        continue; // dispatch already ended
-                    }
-                    let fl = cluster.in_flight[w]
-                        .take()
-                        .expect("timeout implies in-flight work");
-                    cluster.epochs[w] += 1;
-                    cluster.busy[w] = false;
-                    if let Some(v) = fl.twin {
-                        // One side of a hedged pair timing out is just a
-                        // cancellation; the twin keeps the queries.
-                        if let Some(tw) = cluster.in_flight[v].as_mut() {
-                            tw.twin = None;
-                        }
-                        metrics.record_hedge_cancelled(fl.started, now);
-                        tracer.emit(|| Event::HedgeCancelled {
-                            at: now,
-                            worker: w as u32,
-                            winner: v as u32,
-                        });
-                    } else {
-                        metrics.record_timeout(&fl.queries, fl.started, now);
-                        let now_s = secs_from_nanos(now);
-                        let rpol = resil.policy.retry;
-                        for mut q in fl.queries {
-                            q.attempt += 1;
-                            let attempt = q.attempt;
-                            tracer.emit(|| Event::Timeout {
-                                at: now,
-                                query: q.id,
-                                worker: w as u32,
-                                attempt,
-                            });
-                            if attempt > rpol.max_retries {
-                                tracer.emit(|| Event::Shed {
-                                    at: now,
-                                    query: q.id,
-                                    cause: ShedCause::RetryExhausted,
-                                });
-                                metrics.record_retry_dropped(&[q], 0);
-                            } else if resil.budget.try_take(now_s) {
-                                metrics.record_retry();
-                                let delay_ns =
-                                    nanos_from_secs(backoff_delay_s(&rpol, attempt, q.id));
-                                tracer.emit(|| Event::Retry {
-                                    at: now,
-                                    query: q.id,
-                                    attempt,
-                                    delay_ns,
-                                });
-                                let idx = resil.retry_buf.len() as u32;
-                                resil.retry_buf.push(q);
-                                heap.push(Reverse((now + delay_ns, seq, EventKind::Retry(idx))));
-                                seq += 1;
-                            } else {
-                                tracer.emit(|| Event::Shed {
-                                    at: now,
-                                    query: q.id,
-                                    cause: ShedCause::RetryExhausted,
-                                });
-                                metrics.record_retry_dropped(&[q], 1);
-                            }
-                        }
-                    }
-                    // The freed worker picks up queued work.
-                    let queue = match routing {
-                        Routing::Central => &mut central_queue,
-                        _ => &mut worker_queues[w],
-                    };
-                    self.dispatch(
-                        w,
-                        now,
-                        scheme,
-                        estimator,
-                        queue,
-                        &mut cluster,
-                        &mut resil,
-                        &mut sampler,
-                        &mut metrics,
-                        &mut heap,
-                        &mut seq,
-                        &mut tracer,
-                    );
-                }
-                EventKind::HedgeDue(w, epoch) => {
-                    if epoch != cluster.epochs[w] {
-                        continue; // dispatch already ended
-                    }
-                    let (model, queries) = match cluster.in_flight[w].as_ref() {
-                        Some(fl) if fl.twin.is_none() && !fl.is_hedge => {
-                            (fl.model, fl.queries.clone())
-                        }
-                        _ => continue,
-                    };
-                    // An idle live worker that can run this model; the
-                    // hedge is silently skipped when none exists (better
-                    // to keep waiting than to queue a duplicate).
-                    let target = (0..n_workers).find(|&v| {
-                        v != w
-                            && cluster.alive[v]
-                            && !cluster.busy[v]
-                            && model < self.profile_of(v).n_models()
-                    });
-                    let Some(v) = target else { continue };
-                    let batch = queries.len() as u32;
-                    let service =
-                        sampler.sample(self.profile_of(v), model, batch) * cluster.slow[v];
-                    let service_ns = nanos_from_secs(service);
-                    resil.service_hist.record(service_ns);
-                    cluster.busy[v] = true;
-                    cluster.in_flight[v] = Some(InFlight {
-                        model,
-                        queries,
-                        started: now,
-                        twin: Some(w),
-                        is_hedge: true,
-                    });
-                    if let Some(fl) = cluster.in_flight[w].as_mut() {
-                        fl.twin = Some(v);
-                    }
-                    // The hedge side gets a plain completion: no nested
-                    // timeout or hedge-of-a-hedge.
-                    heap.push(Reverse((
-                        now + service_ns,
-                        seq,
-                        EventKind::WorkerDone(v, cluster.epochs[v]),
-                    )));
-                    seq += 1;
-                    metrics.record_hedge_issued();
-                    tracer.emit(|| Event::HedgeIssued {
-                        at: now,
-                        primary: w as u32,
-                        hedge: v as u32,
-                        model: model as u32,
-                        batch,
-                    });
-                }
-                EventKind::Retry(idx) => {
-                    let q = resil.retry_buf[idx as usize];
-                    self.route_query(
-                        q,
-                        now,
-                        routing,
-                        plan.crash_policy,
-                        scheme,
-                        estimator,
-                        &mut worker_queues,
-                        &mut central_queue,
-                        &mut limbo,
-                        &mut rr_next,
-                        &mut cluster,
-                        &mut resil,
-                        &mut sampler,
-                        &mut metrics,
-                        &mut heap,
-                        &mut seq,
-                        &mut tracer,
-                    );
-                }
-                EventKind::Fault(idx) => {
-                    match actions[idx as usize].1 {
-                        FaultAction::Crash(w) => {
-                            if !cluster.alive[w] {
-                                continue; // double crash: no-op
-                            }
-                            cluster.alive[w] = false;
-                            cluster.epochs[w] += 1;
-                            cluster.down_since[w] = Some(now);
-                            cluster.live -= 1;
-                            let mut displaced: Vec<Query> = Vec::new();
-                            if let Some(fl) = cluster.in_flight[w].take() {
-                                cluster.busy[w] = false;
-                                if let Some(v) = fl.twin {
-                                    // The crashed side of a hedged pair
-                                    // is a cancellation, not a loss: the
-                                    // twin keeps the queries.
-                                    if let Some(tw) = cluster.in_flight[v].as_mut() {
-                                        tw.twin = None;
-                                    }
-                                    metrics.record_hedge_cancelled(fl.started, now);
-                                    tracer.emit(|| Event::HedgeCancelled {
-                                        at: now,
-                                        worker: w as u32,
-                                        winner: v as u32,
-                                    });
-                                } else {
-                                    displaced.extend(fl.queries);
+                            FaultAction::Recover(w) => {
+                                if cluster.alive[w] {
+                                    break 'event; // recovery without crash: no-op
                                 }
-                            }
-                            displaced.extend(worker_queues[w].drain(..));
-                            scheme.on_membership_change(cluster.live);
-                            match plan.crash_policy {
-                                CrashPolicy::Drop => {
-                                    if tracer.on {
-                                        for q in &displaced {
-                                            tracer.emit(|| Event::Drop {
-                                                at: now,
-                                                query: q.id,
-                                            });
-                                        }
-                                    }
-                                    metrics.record_crash_dropped(&displaced);
+                                cluster.alive[w] = true;
+                                cluster.live += 1;
+                                if let Some(start) = cluster.down_since[w].take() {
+                                    metrics.record_downtime_s(secs_from_nanos(
+                                        now.saturating_sub(start),
+                                    ));
                                 }
-                                CrashPolicy::RequeueToSurvivors => {
-                                    if tracer.on {
-                                        for q in &displaced {
-                                            tracer.emit(|| Event::CrashRequeue {
-                                                at: now,
-                                                query: q.id,
-                                                from: w as u32,
-                                            });
-                                        }
-                                    }
-                                    metrics.record_crash_requeued(displaced.len() as u64);
-                                    match routing {
-                                        Routing::Central => {
-                                            // Back to the head of the
-                                            // central queue: they carry
-                                            // the earliest deadlines.
-                                            for mut q in displaced.into_iter().rev() {
-                                                q.enqueued_at = now;
-                                                central_queue.push_front(q);
-                                            }
-                                        }
-                                        _ if cluster.live == 0 => limbo.extend(displaced),
-                                        _ => {
-                                            for mut q in displaced {
-                                                q.enqueued_at = now;
-                                                let t = Self::next_live_rr(
-                                                    &cluster.alive,
-                                                    &mut rr_next,
-                                                )
-                                                .expect("live > 0 checked");
-                                                worker_queues[t].push_back(q);
-                                            }
-                                        }
+                                scheme.on_membership_change(cluster.live);
+                                // Stranded queries join the recovered
+                                // worker's queue in arrival order.
+                                if !limbo.is_empty() && routing != Routing::Central {
+                                    for mut q in limbo.drain(..) {
+                                        q.enqueued_at = now;
+                                        worker_queues[w].push_back(q);
                                     }
                                 }
+                                self.kick_idle_workers(
+                                    now,
+                                    routing,
+                                    scheme,
+                                    estimator,
+                                    &mut worker_queues,
+                                    &mut central_queue,
+                                    &mut cluster,
+                                    &mut resil,
+                                    &mut sampler,
+                                    &mut metrics,
+                                    &mut heap,
+                                    &mut seq,
+                                    &mut tracer,
+                                    prof,
+                                );
                             }
-                            self.kick_idle_workers(
-                                now,
-                                routing,
-                                scheme,
-                                estimator,
-                                &mut worker_queues,
-                                &mut central_queue,
-                                &mut cluster,
-                                &mut resil,
-                                &mut sampler,
-                                &mut metrics,
-                                &mut heap,
-                                &mut seq,
-                                &mut tracer,
-                            );
+                            FaultAction::SlowStart(w, factor) => cluster.slow[w] = factor,
+                            FaultAction::SlowEnd(w) => cluster.slow[w] = 1.0,
                         }
-                        FaultAction::Recover(w) => {
-                            if cluster.alive[w] {
-                                continue; // recovery without crash: no-op
-                            }
-                            cluster.alive[w] = true;
-                            cluster.live += 1;
-                            if let Some(start) = cluster.down_since[w].take() {
-                                metrics
-                                    .record_downtime_s(secs_from_nanos(now.saturating_sub(start)));
-                            }
-                            scheme.on_membership_change(cluster.live);
-                            // Stranded queries join the recovered
-                            // worker's queue in arrival order.
-                            if !limbo.is_empty() && routing != Routing::Central {
-                                for mut q in limbo.drain(..) {
-                                    q.enqueued_at = now;
-                                    worker_queues[w].push_back(q);
-                                }
-                            }
-                            self.kick_idle_workers(
-                                now,
-                                routing,
-                                scheme,
-                                estimator,
-                                &mut worker_queues,
-                                &mut central_queue,
-                                &mut cluster,
-                                &mut resil,
-                                &mut sampler,
-                                &mut metrics,
-                                &mut heap,
-                                &mut seq,
-                                &mut tracer,
-                            );
-                        }
-                        FaultAction::SlowStart(w, factor) => cluster.slow[w] = factor,
-                        FaultAction::SlowEnd(w) => cluster.slow[w] = 1.0,
                     }
                 }
             }
+            prof.exit(phase);
         }
 
         // Workers still dead at the end of the run accrue downtime up
@@ -1051,6 +1180,7 @@ impl<'a> Simulation<'a> {
 
         tracer.sink.flush();
 
+        prof.enter(Phase::Report);
         let regime_breakdown = metrics.regime_breakdown();
         let mut report = metrics.report(
             scheme.name().to_owned(),
@@ -1062,6 +1192,8 @@ impl<'a> Simulation<'a> {
             stats.per_regime = regime_breakdown;
             report.adaptive = Some(stats);
         }
+        prof.exit(Phase::Report);
+        prof.run_end();
         Ok(report)
     }
 
@@ -1104,6 +1236,7 @@ impl<'a> Simulation<'a> {
         heap: &mut EventHeap,
         seq: &mut u64,
         tracer: &mut Tracer<'_>,
+        prof: &mut Profiler,
     ) {
         q.enqueued_at = now;
         let n_workers = cluster.alive.len();
@@ -1144,6 +1277,7 @@ impl<'a> Simulation<'a> {
                             heap,
                             seq,
                             tracer,
+                            prof,
                         );
                     }
                 }
@@ -1188,6 +1322,7 @@ impl<'a> Simulation<'a> {
                                 heap,
                                 seq,
                                 tracer,
+                                prof,
                             );
                         }
                     }
@@ -1228,6 +1363,7 @@ impl<'a> Simulation<'a> {
                         heap,
                         seq,
                         tracer,
+                        prof,
                     );
                 }
             }
@@ -1283,6 +1419,7 @@ impl<'a> Simulation<'a> {
         heap: &mut EventHeap,
         seq: &mut u64,
         tracer: &mut Tracer<'_>,
+        prof: &mut Profiler,
     ) {
         // Indexed: the queue borrow alternates between `worker_queues[w]`
         // and the central queue depending on routing.
@@ -1300,7 +1437,7 @@ impl<'a> Simulation<'a> {
             }
             self.dispatch(
                 w, now, scheme, estimator, queue, cluster, resil, sampler, metrics, heap, seq,
-                tracer,
+                tracer, prof,
             );
         }
     }
@@ -1324,11 +1461,15 @@ impl<'a> Simulation<'a> {
         heap: &mut EventHeap,
         seq: &mut u64,
         tracer: &mut Tracer<'_>,
+        prof: &mut Profiler,
     ) {
         debug_assert!(!cluster.busy[w], "dispatch on a busy worker");
         debug_assert!(cluster.alive[w], "dispatch on a dead worker");
+        prof.enter(Phase::Dispatch);
         let profile = self.profile_of(w);
         while !queue.is_empty() {
+            prof.incr(HotCounter::PolicyLookups);
+            prof.gauge(GaugeId::QueueDepth, queue.len() as u64);
             let earliest = queue.front().expect("queue checked non-empty");
             let ctx = SelectionContext {
                 now_s: secs_from_nanos(now),
@@ -1338,7 +1479,9 @@ impl<'a> Simulation<'a> {
                 worker: w,
                 live_workers: cluster.live,
             };
+            prof.enter(Phase::PolicySelect);
             let selection = scheme.select(&ctx);
+            prof.exit(Phase::PolicySelect);
             tracer.drain_scheme(scheme);
             tracer.emit(|| Event::PolicyDecision {
                 at: now,
@@ -1355,7 +1498,7 @@ impl<'a> Simulation<'a> {
                 },
             });
             match selection {
-                Selection::Idle => return,
+                Selection::Idle => break,
                 Selection::Drop { count } => {
                     assert!(
                         count >= 1 && count as usize <= queue.len(),
@@ -1393,6 +1536,7 @@ impl<'a> Simulation<'a> {
                         batch,
                         depth: queue.len() as u32,
                     });
+                    prof.incr(HotCounter::Dispatches);
                     let batch_queries: Vec<Query> = queue.drain(..batch as usize).collect();
                     let service = sampler.sample(profile, model, batch) * cluster.slow[w];
                     let service_ns = nanos_from_secs(service);
@@ -1426,6 +1570,7 @@ impl<'a> Simulation<'a> {
                         )));
                         *seq += 1;
                     }
+                    prof.incr(HotCounter::HeapPushes);
                     let hpol = resil.policy.hedge;
                     if hpol.enabled {
                         resil.service_hist.record(service_ns);
@@ -1440,6 +1585,7 @@ impl<'a> Simulation<'a> {
                                         EventKind::HedgeDue(w, epoch),
                                     )));
                                     *seq += 1;
+                                    prof.incr(HotCounter::HeapPushes);
                                 }
                             }
                         }
@@ -1451,10 +1597,11 @@ impl<'a> Simulation<'a> {
                         twin: None,
                         is_hedge: false,
                     });
-                    return;
+                    break;
                 }
             }
         }
+        prof.exit(Phase::Dispatch);
     }
 }
 

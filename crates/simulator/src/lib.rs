@@ -41,6 +41,12 @@ pub mod scheme;
 /// handle one error family across the stack).
 pub use ramsis_core::CoreError as SimError;
 
+/// Profiling support (DESIGN.md §10): callers pass a [`Profiler`] to the
+/// `*_profiled` engine entry points and snapshot a [`ProfileReport`]
+/// afterwards. Re-exported so downstream crates need not depend on
+/// `ramsis-telemetry` directly just to profile a run.
+pub use ramsis_telemetry::{ProfileReport, Profiler};
+
 pub use adaptive::AdaptiveRamsis;
 pub use chaos::{ChaosConfig, ChaosFailure, ChaosReport, ChaosRunSummary, FastestFixed};
 pub use engine::{Simulation, SimulationConfig};

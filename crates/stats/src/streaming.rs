@@ -469,6 +469,60 @@ mod tests {
     }
 
     #[test]
+    fn p0_and_p100_are_exact_tracked_extremes() {
+        // The extreme quantiles must bypass bucket midpoints entirely:
+        // whatever was recorded, p0 is the exact min and p100 the exact
+        // max, even when both land mid-bucket.
+        let mut h = LogHistogram::new();
+        for v in [1_000_003u64, 999_999_937, 17, 4_294_967_311] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), Some(17));
+        assert_eq!(h.percentile(100.0), Some(4_294_967_311));
+        assert_eq!(h.percentile(0.0), h.min());
+        assert_eq!(h.percentile(100.0), h.max());
+    }
+
+    #[test]
+    fn single_sample_answers_every_quantile_with_itself() {
+        let mut h = LogHistogram::new();
+        h.record(123_456_789);
+        for p in [0.0, 0.1, 25.0, 50.0, 75.0, 99.9, 100.0] {
+            assert_eq!(h.percentile(p), Some(123_456_789), "p={p}");
+        }
+        assert!((h.mean() - 123_456_789.0).abs() < 1e-6);
+    }
+
+    proptest::proptest! {
+        /// Quantiles are monotone in q: for any observation set and any
+        /// ordered pair of probabilities, percentile(p_lo) <=
+        /// percentile(p_hi), and both stay within [min, max].
+        #[test]
+        fn percentiles_monotone_in_q(
+            values in proptest::collection::vec(0u64..u64::MAX, 1..200),
+            ps in proptest::collection::vec(0.0f64..100.0, 2..8),
+        ) {
+            // The generator's range is half-open; pin both endpoints so
+            // the exact-extreme paths are exercised in every case.
+            let mut ps = ps;
+            ps.push(0.0);
+            ps.push(100.0);
+            let mut h = LogHistogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            ps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut last = h.min().unwrap();
+            for &p in &ps {
+                let q = h.percentile(p).unwrap();
+                proptest::prop_assert!(q >= last, "p={p}: {q} < {last}");
+                proptest::prop_assert!(q >= h.min().unwrap() && q <= h.max().unwrap());
+                last = q;
+            }
+        }
+    }
+
+    #[test]
     fn registry_named_metrics_and_merge() {
         let mut r = MetricsRegistry::new();
         r.counter("sheds").add(3);

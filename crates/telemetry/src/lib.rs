@@ -16,7 +16,13 @@
 //! - trace analysis: [`conservation`] accounting (every arrival ends in
 //!   exactly one terminal state), event-derived [`aggregates`] that
 //!   must match the engine's own counters, and a per-window
-//!   [`window_breakdown`] for miss attribution.
+//!   [`window_breakdown`] for miss attribution;
+//! - performance observability (DESIGN.md §10): a self-[`profile`]
+//!   layer — phase timers, hot-path counters, flame-table reports —
+//!   threaded through the engine's hot loop, and [`spans`]
+//!   reconstruction folding an event stream into per-query critical
+//!   paths whose segments sum *exactly* to each measured response
+//!   time.
 //!
 //! The crate sits below the simulator in the dependency graph; the
 //! engine emits into `&mut dyn TelemetrySink` and checks
@@ -27,12 +33,22 @@
 
 pub mod analyze;
 pub mod event;
+pub mod profile;
 pub mod sink;
+pub mod spans;
 
 pub use analyze::{aggregates, conservation, window_breakdown};
 pub use analyze::{Conservation, EventAggregates, WindowStats};
 pub use event::{Action, Event, Nanos, QueueId, ShedCause};
+pub use profile::{
+    CounterStat, GaugeId, GaugeStat, HotCounter, Phase, PhaseStat, ProfileReport, Profiler,
+    SolverProfile,
+};
 pub use sink::{
     parse_jsonl, parse_jsonl_tolerant, JsonlSink, NullSink, ParsedLog, RingSink, TelemetrySink,
     VecSink,
+};
+pub use spans::{
+    critical_path, reconstruct_spans, CriticalPathReport, QuerySpan, SegmentStats, SpanLog,
+    SpanOutcome,
 };

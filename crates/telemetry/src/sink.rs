@@ -375,6 +375,22 @@ mod tests {
     }
 
     #[test]
+    fn tolerant_parse_of_only_a_torn_record_is_empty_with_warning() {
+        // A run that crashed during its very first write leaves a file
+        // holding nothing but a fragment. That is still a torn tail —
+        // not mid-log corruption — so the parse succeeds with zero
+        // events and the fragment surfaced for the caller to warn on.
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(&ev(0));
+        let full = String::from_utf8(sink.finish().unwrap()).unwrap();
+        let torn = &full[..full.len() / 2];
+        assert!(parse_jsonl(torn).is_err());
+        let parsed = parse_jsonl_tolerant(torn).unwrap();
+        assert!(parsed.events.is_empty(), "no whole record survived");
+        assert_eq!(parsed.torn_tail.as_deref(), Some(torn.trim_end()));
+    }
+
+    #[test]
     fn tolerant_parse_still_rejects_mid_file_corruption() {
         let good = serde_json::to_string(&ev(1)).unwrap();
         let text = format!("{good}\nnot json at all\n{good}\n");

@@ -1,0 +1,742 @@
+//! Per-query span reconstruction and critical-path analysis.
+//!
+//! Folds a recorded [`Event`] stream back into one span per query —
+//! enqueue → admission → dispatch → `[retry | hedge]*` →
+//! completion/shed — and attributes every nanosecond of each query's
+//! life to exactly one critical-path segment:
+//!
+//! - **wait**: ready-to-serve but queued (arrival or retry re-entry up
+//!   to the dispatch that eventually acts);
+//! - **service**: the dispatch that terminated the query (for a hedge
+//!   win, the hedge side's run);
+//! - **wasted**: service on dispatches that timed out and were
+//!   abandoned;
+//! - **backoff**: retry delays between a timeout and re-routing;
+//! - **hedge overlap**: time the winning hedge's primary had already
+//!   been running when the duplicate was issued.
+//!
+//! The attribution telescopes: for every completed query,
+//! `wait + service + wasted + backoff + hedge_overlap` equals the
+//! engine's measured `response_ns` *exactly* (integer nanoseconds, no
+//! rounding) — the conservation property the integration suite pins.
+//!
+//! Reconstruction never needs query ids on [`Event::Dispatch`] (the
+//! stream doesn't carry them): since a worker serves one dispatch at a
+//! time and the stream is in simulation order, the dispatch a
+//! completion or timeout refers to is always the worker's most recent
+//! one. Crash-displaced time cannot be split the same way (the stream
+//! does not say which displaced queries were in flight), so it is
+//! classified as wait — the telescoping sum stays exact.
+
+use std::collections::BTreeMap;
+
+use ramsis_stats::LogHistogram;
+use serde::{Deserialize, Serialize};
+
+use crate::event::{Event, Nanos, ShedCause};
+
+/// How a query's span ended.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SpanOutcome {
+    /// Served to completion.
+    Completed {
+        /// Worker that finished it.
+        worker: u32,
+        /// Model that served it.
+        model: u32,
+        /// Whether the completion missed the deadline.
+        violated: bool,
+    },
+    /// Shed without service.
+    Shed {
+        /// Why it was shed.
+        cause: ShedCause,
+    },
+    /// Lost to a crash (`CrashPolicy::Drop`).
+    Dropped,
+    /// Refused at enqueue by admission control.
+    AdmissionRefused,
+    /// No terminal event in the log (truncated trace or mid-run
+    /// snapshot).
+    InFlight,
+}
+
+/// One query's reconstructed lifecycle with critical-path attribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuerySpan {
+    /// Query id (arrival index).
+    pub query: u64,
+    /// Arrival time.
+    pub arrival: Nanos,
+    /// Absolute deadline stamped at arrival.
+    pub deadline: Nanos,
+    /// Terminal state.
+    pub outcome: SpanOutcome,
+    /// Time of the terminal event (`None` for [`SpanOutcome::InFlight`]).
+    pub terminal_at: Option<Nanos>,
+    /// The engine's measured response time (completions only).
+    pub response_ns: Option<Nanos>,
+    /// Queued-and-ready time.
+    pub wait_ns: Nanos,
+    /// Service time of the terminating dispatch.
+    pub service_ns: Nanos,
+    /// Service time lost to timed-out dispatches.
+    pub wasted_ns: Nanos,
+    /// Retry backoff delay.
+    pub backoff_ns: Nanos,
+    /// Primary run time already elapsed when the winning hedge was
+    /// issued.
+    pub hedge_overlap_ns: Nanos,
+    /// Dispatch attempts that timed out.
+    pub timeouts: u32,
+    /// Whether a hedge was in play on the terminating dispatch.
+    pub hedged: bool,
+}
+
+impl QuerySpan {
+    /// Sum of all attributed segments.
+    pub fn segment_sum(&self) -> Nanos {
+        self.wait_ns + self.service_ns + self.wasted_ns + self.backoff_ns + self.hedge_overlap_ns
+    }
+
+    /// For completed spans, whether the segments sum to the measured
+    /// response time exactly; `None` otherwise.
+    pub fn conserved(&self) -> Option<bool> {
+        self.response_ns.map(|r| self.segment_sum() == r)
+    }
+}
+
+/// The reconstructed spans of one trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanLog {
+    /// One span per query with an observed arrival, in id order.
+    pub spans: Vec<QuerySpan>,
+    /// Lifecycle events referencing queries with no arrival in the log
+    /// (truncated-head traces).
+    pub orphan_events: u64,
+    /// Spans where a dispatch record was missing at attribution time
+    /// (truncated traces); their remainder was attributed coarsely but
+    /// the telescoping sum is still exact.
+    pub degraded_spans: u64,
+}
+
+/// The most recent dispatch seen on a worker.
+#[derive(Debug, Clone, Copy)]
+struct DispatchRec {
+    start: Nanos,
+    /// The primary's dispatch start when this record is the duplicate
+    /// side of a hedged pair.
+    hedge_of_start: Option<Nanos>,
+    /// True once a hedge was issued off this (primary) dispatch.
+    had_hedge: bool,
+}
+
+#[derive(Debug, Clone)]
+struct SpanBuilder {
+    span: QuerySpan,
+    /// When the query last became ready to serve (arrival, or retry
+    /// re-entry time).
+    ready: Nanos,
+    degraded: bool,
+}
+
+/// Folds an event stream into per-query spans. Events must be in
+/// emission (simulation) order — the order every sink preserves.
+pub fn reconstruct_spans(events: &[Event]) -> SpanLog {
+    let mut builders: BTreeMap<u64, SpanBuilder> = BTreeMap::new();
+    let mut dispatches: BTreeMap<u32, DispatchRec> = BTreeMap::new();
+    let mut orphan_events: u64 = 0;
+
+    for ev in events {
+        match *ev {
+            Event::Arrival {
+                at,
+                query,
+                deadline,
+            } => {
+                builders.insert(
+                    query,
+                    SpanBuilder {
+                        span: QuerySpan {
+                            query,
+                            arrival: at,
+                            deadline,
+                            outcome: SpanOutcome::InFlight,
+                            terminal_at: None,
+                            response_ns: None,
+                            wait_ns: 0,
+                            service_ns: 0,
+                            wasted_ns: 0,
+                            backoff_ns: 0,
+                            hedge_overlap_ns: 0,
+                            timeouts: 0,
+                            hedged: false,
+                        },
+                        ready: at,
+                        degraded: false,
+                    },
+                );
+            }
+            Event::Dispatch { at, worker, .. } => {
+                dispatches.insert(
+                    worker,
+                    DispatchRec {
+                        start: at,
+                        hedge_of_start: None,
+                        had_hedge: false,
+                    },
+                );
+            }
+            Event::HedgeIssued {
+                at, primary, hedge, ..
+            } => {
+                let primary_start = dispatches.get_mut(&primary).map(|rec| {
+                    rec.had_hedge = true;
+                    rec.start
+                });
+                dispatches.insert(
+                    hedge,
+                    DispatchRec {
+                        start: at,
+                        hedge_of_start: primary_start,
+                        had_hedge: true,
+                    },
+                );
+            }
+            Event::HedgeCancelled { worker, .. } => {
+                dispatches.remove(&worker);
+            }
+            Event::Complete {
+                at,
+                query,
+                worker,
+                model,
+                response_ns,
+                violated,
+            } => {
+                let Some(b) = builders.get_mut(&query) else {
+                    orphan_events += 1;
+                    continue;
+                };
+                match dispatches.get(&worker) {
+                    Some(rec) => {
+                        // For a hedge win the wait ended at the
+                        // *primary's* dispatch; the stretch from there
+                        // to the hedge issue is overlap, the rest is
+                        // the winner's service.
+                        let anchor = rec.hedge_of_start.unwrap_or(rec.start);
+                        b.span.wait_ns += anchor.saturating_sub(b.ready);
+                        b.span.hedge_overlap_ns += rec.start.saturating_sub(anchor);
+                        b.span.service_ns += at.saturating_sub(rec.start);
+                        b.span.hedged |= rec.had_hedge;
+                    }
+                    None => {
+                        // Truncated trace: the dispatch record predates
+                        // the log. The whole remainder is service so
+                        // the telescoping sum stays exact.
+                        b.span.service_ns += at.saturating_sub(b.ready);
+                        b.degraded = true;
+                    }
+                }
+                b.span.outcome = SpanOutcome::Completed {
+                    worker,
+                    model,
+                    violated,
+                };
+                b.span.terminal_at = Some(at);
+                b.span.response_ns = Some(response_ns);
+            }
+            Event::Timeout {
+                at, query, worker, ..
+            } => {
+                let Some(b) = builders.get_mut(&query) else {
+                    orphan_events += 1;
+                    continue;
+                };
+                match dispatches.get(&worker) {
+                    Some(rec) => {
+                        b.span.wait_ns += rec.start.saturating_sub(b.ready);
+                        b.span.wasted_ns += at.saturating_sub(rec.start);
+                    }
+                    None => {
+                        b.span.wasted_ns += at.saturating_sub(b.ready);
+                        b.degraded = true;
+                    }
+                }
+                b.span.timeouts += 1;
+                b.ready = at;
+            }
+            Event::Retry {
+                at,
+                query,
+                delay_ns,
+                ..
+            } => {
+                let Some(b) = builders.get_mut(&query) else {
+                    orphan_events += 1;
+                    continue;
+                };
+                b.span.backoff_ns += delay_ns;
+                b.ready = at + delay_ns;
+            }
+            Event::Shed { at, query, cause } => {
+                let Some(b) = builders.get_mut(&query) else {
+                    orphan_events += 1;
+                    continue;
+                };
+                b.span.wait_ns += at.saturating_sub(b.ready);
+                b.span.outcome = SpanOutcome::Shed { cause };
+                b.span.terminal_at = Some(at);
+            }
+            Event::Drop { at, query } => {
+                let Some(b) = builders.get_mut(&query) else {
+                    orphan_events += 1;
+                    continue;
+                };
+                b.span.wait_ns += at.saturating_sub(b.ready);
+                b.span.outcome = SpanOutcome::Dropped;
+                b.span.terminal_at = Some(at);
+            }
+            Event::Admission { at, query, .. } => {
+                let Some(b) = builders.get_mut(&query) else {
+                    orphan_events += 1;
+                    continue;
+                };
+                b.span.wait_ns += at.saturating_sub(b.ready);
+                b.span.outcome = SpanOutcome::AdmissionRefused;
+                b.span.terminal_at = Some(at);
+            }
+            // Queue placement and crash displacement do not move the
+            // ready anchor: queued time keeps accruing as wait.
+            Event::Enqueue { .. } | Event::CrashRequeue { .. } => {}
+            // Audit events carry no per-query time.
+            Event::PolicyDecision { .. }
+            | Event::RegimeSwap { .. }
+            | Event::LazySolve { .. }
+            | Event::FallbackEngaged { .. } => {}
+        }
+    }
+
+    let degraded_spans = builders.values().filter(|b| b.degraded).count() as u64;
+    SpanLog {
+        spans: builders.into_values().map(|b| b.span).collect(),
+        orphan_events,
+        degraded_spans,
+    }
+}
+
+/// Percentile summary of one critical-path segment across completed
+/// queries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SegmentStats {
+    /// Sum across completed queries, seconds.
+    pub total_s: f64,
+    /// Share of total response time (0 when no response time).
+    pub share: f64,
+    /// Median, nanoseconds.
+    pub p50_ns: u64,
+    /// 95th percentile, nanoseconds.
+    pub p95_ns: u64,
+    /// 99th percentile, nanoseconds.
+    pub p99_ns: u64,
+    /// Largest observed value, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl SegmentStats {
+    fn from_values<I: Iterator<Item = Nanos>>(values: I, response_total: f64) -> Self {
+        let mut hist = LogHistogram::new();
+        let mut total: u128 = 0;
+        for v in values {
+            hist.record(v);
+            total += u128::from(v);
+        }
+        let total_s = total as f64 / 1e9;
+        let pctl = |p: f64| hist.percentile(p).unwrap_or(0);
+        Self {
+            total_s,
+            share: if response_total > 0.0 {
+                total_s / response_total
+            } else {
+                0.0
+            },
+            p50_ns: pctl(50.0),
+            p95_ns: pctl(95.0),
+            p99_ns: pctl(99.0),
+            max_ns: hist.max().unwrap_or(0),
+        }
+    }
+}
+
+/// The critical-path view of one trace: outcome counts, per-segment
+/// response-time attribution, and the top-k slowest queries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CriticalPathReport {
+    /// Queries with an observed arrival.
+    pub queries: u64,
+    /// Completed queries (the conservation universe).
+    pub completed: u64,
+    /// Completions that missed their deadline.
+    pub violations: u64,
+    /// Queries shed by policy or retry exhaustion.
+    pub shed: u64,
+    /// Queries lost to crashes.
+    pub dropped: u64,
+    /// Queries refused by admission control.
+    pub admission_refused: u64,
+    /// Queries with no terminal event in the log.
+    pub in_flight: u64,
+    /// Completed queries whose dispatch saw a hedge.
+    pub hedged: u64,
+    /// Completed queries that survived at least one timeout.
+    pub retried: u64,
+    /// Lifecycle events referencing unknown queries (truncated head).
+    pub orphan_events: u64,
+    /// Spans attributed coarsely because a dispatch record was missing.
+    pub degraded_spans: u64,
+    /// Completed spans whose segment sum differs from the measured
+    /// response time (0 on any well-formed trace).
+    pub conservation_violations: u64,
+    /// End-to-end response time across completed queries.
+    pub response: SegmentStats,
+    /// Queued-and-ready time.
+    pub wait: SegmentStats,
+    /// Terminating-dispatch service time.
+    pub service: SegmentStats,
+    /// Timed-out (abandoned) service time.
+    pub wasted: SegmentStats,
+    /// Retry backoff time.
+    pub backoff: SegmentStats,
+    /// Hedge-overlap time.
+    pub hedge_overlap: SegmentStats,
+    /// The slowest completed queries, slowest first.
+    pub top_slowest: Vec<QuerySpan>,
+}
+
+/// Aggregates a [`SpanLog`] into the critical-path view, keeping the
+/// `top_k` slowest completed queries.
+pub fn critical_path(log: &SpanLog, top_k: usize) -> CriticalPathReport {
+    let completed: Vec<&QuerySpan> = log
+        .spans
+        .iter()
+        .filter(|s| matches!(s.outcome, SpanOutcome::Completed { .. }))
+        .collect();
+    let response_total: f64 = completed
+        .iter()
+        .map(|s| s.response_ns.unwrap_or(0) as f64 / 1e9)
+        .sum();
+    let seg = |f: fn(&QuerySpan) -> Nanos| {
+        SegmentStats::from_values(completed.iter().map(|s| f(s)), response_total)
+    };
+
+    let mut slowest: Vec<QuerySpan> = completed.iter().map(|s| (*s).clone()).collect();
+    slowest.sort_by(|a, b| {
+        b.response_ns
+            .cmp(&a.response_ns)
+            .then(a.query.cmp(&b.query))
+    });
+    slowest.truncate(top_k);
+
+    CriticalPathReport {
+        queries: log.spans.len() as u64,
+        completed: completed.len() as u64,
+        violations: completed
+            .iter()
+            .filter(|s| matches!(s.outcome, SpanOutcome::Completed { violated: true, .. }))
+            .count() as u64,
+        shed: log
+            .spans
+            .iter()
+            .filter(|s| matches!(s.outcome, SpanOutcome::Shed { .. }))
+            .count() as u64,
+        dropped: log
+            .spans
+            .iter()
+            .filter(|s| s.outcome == SpanOutcome::Dropped)
+            .count() as u64,
+        admission_refused: log
+            .spans
+            .iter()
+            .filter(|s| s.outcome == SpanOutcome::AdmissionRefused)
+            .count() as u64,
+        in_flight: log
+            .spans
+            .iter()
+            .filter(|s| s.outcome == SpanOutcome::InFlight)
+            .count() as u64,
+        hedged: completed.iter().filter(|s| s.hedged).count() as u64,
+        retried: completed.iter().filter(|s| s.timeouts > 0).count() as u64,
+        orphan_events: log.orphan_events,
+        degraded_spans: log.degraded_spans,
+        conservation_violations: completed
+            .iter()
+            .filter(|s| s.conserved() == Some(false))
+            .count() as u64,
+        response: SegmentStats::from_values(
+            completed.iter().map(|s| s.response_ns.unwrap_or(0)),
+            response_total,
+        ),
+        wait: seg(|s| s.wait_ns),
+        service: seg(|s| s.service_ns),
+        wasted: seg(|s| s.wasted_ns),
+        backoff: seg(|s| s.backoff_ns),
+        hedge_overlap: seg(|s| s.hedge_overlap_ns),
+        top_slowest: slowest,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::QueueId;
+
+    fn arrival(at: Nanos, query: u64) -> Event {
+        Event::Arrival {
+            at,
+            query,
+            deadline: at + 150_000_000,
+        }
+    }
+
+    fn enqueue(at: Nanos, query: u64, worker: u32) -> Event {
+        Event::Enqueue {
+            at,
+            query,
+            queue: QueueId::Worker(worker),
+            depth: 1,
+        }
+    }
+
+    fn dispatch(at: Nanos, worker: u32) -> Event {
+        Event::Dispatch {
+            at,
+            worker,
+            model: 0,
+            batch: 1,
+            depth: 1,
+        }
+    }
+
+    fn complete(at: Nanos, query: u64, worker: u32, arrival: Nanos) -> Event {
+        Event::Complete {
+            at,
+            query,
+            worker,
+            model: 0,
+            response_ns: at - arrival,
+            violated: false,
+        }
+    }
+
+    fn span_of(log: &SpanLog, query: u64) -> &QuerySpan {
+        log.spans.iter().find(|s| s.query == query).unwrap()
+    }
+
+    #[test]
+    fn plain_completion_splits_wait_and_service() {
+        let events = vec![
+            arrival(100, 0),
+            enqueue(100, 0, 0),
+            dispatch(250, 0),
+            complete(1_000, 0, 0, 100),
+        ];
+        let log = reconstruct_spans(&events);
+        let s = span_of(&log, 0);
+        assert_eq!(s.wait_ns, 150);
+        assert_eq!(s.service_ns, 750);
+        assert_eq!(s.segment_sum(), 900);
+        assert_eq!(s.response_ns, Some(900));
+        assert_eq!(s.conserved(), Some(true));
+        assert_eq!(log.degraded_spans, 0);
+        assert_eq!(log.orphan_events, 0);
+    }
+
+    #[test]
+    fn timeout_retry_path_telescopes_exactly() {
+        // arrival 0 → dispatch 10 → timeout 110 → retry +40 backoff →
+        // re-dispatch 180 → complete 300.
+        let events = vec![
+            arrival(0, 7),
+            enqueue(0, 7, 1),
+            dispatch(10, 1),
+            Event::Timeout {
+                at: 110,
+                query: 7,
+                worker: 1,
+                attempt: 1,
+            },
+            Event::Retry {
+                at: 110,
+                query: 7,
+                attempt: 1,
+                delay_ns: 40,
+            },
+            enqueue(150, 7, 2),
+            dispatch(180, 2),
+            complete(300, 7, 2, 0),
+        ];
+        let log = reconstruct_spans(&events);
+        let s = span_of(&log, 7);
+        assert_eq!(s.wait_ns, 10 + 30); // arrival→dispatch + re-entry→re-dispatch
+        assert_eq!(s.wasted_ns, 100); // dispatch→timeout
+        assert_eq!(s.backoff_ns, 40);
+        assert_eq!(s.service_ns, 120); // re-dispatch→complete
+        assert_eq!(s.timeouts, 1);
+        assert_eq!(s.segment_sum(), 300);
+        assert_eq!(s.conserved(), Some(true));
+    }
+
+    #[test]
+    fn hedge_win_attributes_overlap() {
+        // Primary dispatch at 50, hedge issued at 200, hedge wins at
+        // 320 (primary cancelled first in stream order).
+        let events = vec![
+            arrival(0, 3),
+            enqueue(0, 3, 0),
+            dispatch(50, 0),
+            Event::HedgeIssued {
+                at: 200,
+                primary: 0,
+                hedge: 1,
+                model: 0,
+                batch: 1,
+            },
+            Event::HedgeCancelled {
+                at: 320,
+                worker: 0,
+                winner: 1,
+            },
+            complete(320, 3, 1, 0),
+        ];
+        let log = reconstruct_spans(&events);
+        let s = span_of(&log, 3);
+        assert_eq!(s.wait_ns, 50);
+        assert_eq!(s.hedge_overlap_ns, 150); // primary start → hedge issue
+        assert_eq!(s.service_ns, 120); // hedge issue → completion
+        assert!(s.hedged);
+        assert_eq!(s.conserved(), Some(true));
+    }
+
+    #[test]
+    fn primary_win_of_hedged_pair_is_plain_service() {
+        let events = vec![
+            arrival(0, 4),
+            enqueue(0, 4, 0),
+            dispatch(10, 0),
+            Event::HedgeIssued {
+                at: 100,
+                primary: 0,
+                hedge: 1,
+                model: 0,
+                batch: 1,
+            },
+            Event::HedgeCancelled {
+                at: 250,
+                worker: 1,
+                winner: 0,
+            },
+            complete(250, 4, 0, 0),
+        ];
+        let log = reconstruct_spans(&events);
+        let s = span_of(&log, 4);
+        assert_eq!(s.wait_ns, 10);
+        assert_eq!(s.service_ns, 240);
+        assert_eq!(s.hedge_overlap_ns, 0);
+        assert!(s.hedged, "a hedge was in play even though primary won");
+        assert_eq!(s.conserved(), Some(true));
+    }
+
+    #[test]
+    fn terminal_sheds_drops_and_admission() {
+        let events = vec![
+            arrival(0, 0),
+            Event::Shed {
+                at: 500,
+                query: 0,
+                cause: ShedCause::Hopeless,
+            },
+            arrival(10, 1),
+            Event::Drop { at: 600, query: 1 },
+            arrival(20, 2),
+            Event::Admission {
+                at: 20,
+                query: 2,
+                queue: QueueId::Central,
+                depth: 9,
+                sojourn_ns: 100,
+            },
+            arrival(30, 3), // never terminated
+        ];
+        let log = reconstruct_spans(&events);
+        assert_eq!(
+            span_of(&log, 0).outcome,
+            SpanOutcome::Shed {
+                cause: ShedCause::Hopeless
+            }
+        );
+        assert_eq!(span_of(&log, 0).wait_ns, 500);
+        assert_eq!(span_of(&log, 1).outcome, SpanOutcome::Dropped);
+        assert_eq!(span_of(&log, 2).outcome, SpanOutcome::AdmissionRefused);
+        assert_eq!(span_of(&log, 2).wait_ns, 0);
+        assert_eq!(span_of(&log, 3).outcome, SpanOutcome::InFlight);
+        let report = critical_path(&log, 5);
+        assert_eq!(report.queries, 4);
+        assert_eq!(report.shed, 1);
+        assert_eq!(report.dropped, 1);
+        assert_eq!(report.admission_refused, 1);
+        assert_eq!(report.in_flight, 1);
+        assert_eq!(report.completed, 0);
+        assert!(report.top_slowest.is_empty());
+    }
+
+    #[test]
+    fn orphans_and_missing_dispatch_records_degrade_gracefully() {
+        // A truncated-head log: completion for a query with no arrival,
+        // plus a completion whose dispatch predates the log.
+        let events = vec![
+            complete(100, 99, 0, 0), // orphan: no arrival
+            arrival(0, 1),
+            complete(400, 1, 2, 0), // no Dispatch for worker 2 in log
+        ];
+        let log = reconstruct_spans(&events);
+        assert_eq!(log.orphan_events, 1);
+        assert_eq!(log.degraded_spans, 1);
+        let s = span_of(&log, 1);
+        // The remainder lands in service; the sum is still exact.
+        assert_eq!(s.service_ns, 400);
+        assert_eq!(s.conserved(), Some(true));
+    }
+
+    #[test]
+    fn critical_path_report_aggregates_and_ranks() {
+        let mut events = Vec::new();
+        for q in 0..4u64 {
+            let t0 = q * 1_000;
+            events.push(arrival(t0, q));
+            events.push(enqueue(t0, q, 0));
+            events.push(dispatch(t0 + 100, 0));
+            // Response grows with id: 100 wait + (q+1)*1000 service.
+            events.push(complete(t0 + 100 + (q + 1) * 1_000, q, 0, t0));
+        }
+        let log = reconstruct_spans(&events);
+        let report = critical_path(&log, 2);
+        assert_eq!(report.completed, 4);
+        assert_eq!(report.conservation_violations, 0);
+        assert_eq!(report.top_slowest.len(), 2);
+        assert_eq!(report.top_slowest[0].query, 3);
+        assert_eq!(report.top_slowest[1].query, 2);
+        // Shares split between wait and service and sum to ~1.
+        let total_share = report.wait.share
+            + report.service.share
+            + report.wasted.share
+            + report.backoff.share
+            + report.hedge_overlap.share;
+        assert!((total_share - 1.0).abs() < 1e-9, "{total_share}");
+        assert!(report.service.share > report.wait.share);
+        assert_eq!(report.response.max_ns, 4_100);
+        // The report round-trips through serde.
+        let json = serde_json::to_string(&report).unwrap();
+        let back: CriticalPathReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

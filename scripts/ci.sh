@@ -25,5 +25,16 @@ stage "cargo test" cargo test --workspace -q
 # (determinism, conservation, counter agreement, hedge + admission
 # bounds). The full 100-run sweep lives in the simulator's test suite.
 stage "chaos sweep (smoke)" cargo run -q -p ramsis-cli -- chaos --runs 25
+# Perf-regression smoke: the pinned scenario matrix + solver stage under
+# the self-profiler. The run itself asserts profiling-off bit-identity;
+# --validate re-checks the written document's schema.
+perf_smoke() {
+    local out
+    out="$(mktemp -d)"
+    trap 'rm -rf "${out}"' RETURN
+    cargo run --release -q -p ramsis-bench --bin perf_baseline -- --smoke --out "${out}"
+    cargo run --release -q -p ramsis-bench --bin perf_baseline -- --validate "${out}/BENCH_perf.json"
+}
+stage "perf-smoke" perf_smoke
 
 echo "ci.sh: all green"

@@ -1,0 +1,134 @@
+//! Profiling contract through the facade: an attached-but-disabled
+//! profiler leaves the report and the event stream byte-identical to
+//! the unprofiled engine, an enabled profiler observes without
+//! perturbing the run, and the span reconstructor's critical path
+//! conserves every completed query's measured response time exactly.
+
+use ramsis::prelude::*;
+use ramsis::sim::{FastestFixed, FaultPlan, ResiliencePolicy, Routing};
+use ramsis::telemetry::{critical_path, reconstruct_spans, JsonlSink, Profiler};
+
+fn profile() -> &'static WorkerProfile {
+    use std::sync::OnceLock;
+    static P: OnceLock<WorkerProfile> = OnceLock::new();
+    P.get_or_init(|| {
+        WorkerProfile::build(
+            &ModelCatalog::torchvision_image(),
+            Duration::from_millis(150),
+            ProfilerConfig::default(),
+        )
+    })
+}
+
+/// A resilience-heavy fixture: straggler slowdown plus a crash window
+/// under timeouts, retries, and hedging — every span segment kind
+/// (wait, service, wasted, backoff, hedge overlap) gets exercised.
+fn resilience_fixture() -> (SimulationConfig, FaultPlan, Trace) {
+    let mut policy = ResiliencePolicy::default();
+    policy.timeout.enabled = true;
+    policy.retry.max_retries = 3;
+    policy.hedge.enabled = true;
+    policy.hedge.min_samples = 16;
+    policy.hedge.quantile = 85.0;
+    policy.hedge.min_delay_s = 0.001;
+    let plan = FaultPlan::none()
+        .slowdown(0, 2.0, 16.0, 10.0)
+        .crash(1, 6.0)
+        .recover(1, 12.0);
+    let config = SimulationConfig::new(4, 0.15)
+        .seeded(4242)
+        .stochastic()
+        .with_resilience(policy);
+    (config, plan, Trace::constant(80.0, 18.0))
+}
+
+/// One traced run; `prof: None` uses the unprofiled entry point, so the
+/// comparison spans two genuinely different code paths.
+fn traced_run(prof: Option<&mut Profiler>) -> (SimulationReport, Vec<u8>) {
+    let (config, plan, trace) = resilience_fixture();
+    let sim = Simulation::new(profile(), config).expect("valid simulation config");
+    let mut scheme = FastestFixed::new(profile().fastest_model(), Routing::PerWorkerRoundRobin);
+    let mut monitor = LoadMonitor::new();
+    let mut sink = JsonlSink::new(Vec::new());
+    let report = match prof {
+        None => sim
+            .run_faulted_traced(&trace, &plan, &mut scheme, &mut monitor, &mut sink)
+            .expect("plan validates"),
+        Some(p) => sim
+            .run_faulted_traced_profiled(&trace, &plan, &mut scheme, &mut monitor, &mut sink, p)
+            .expect("plan validates"),
+    };
+    (report, sink.finish().expect("in-memory sink flushes"))
+}
+
+#[test]
+fn profiler_never_perturbs_the_run() {
+    let (base_report, base_bytes) = traced_run(None);
+    assert!(base_report.resilience.timeouts > 0, "fixture times out");
+    assert!(base_report.resilience.hedges_issued > 0, "fixture hedges");
+
+    // Disabled profiler: byte-identical event stream, equal report.
+    let mut off = Profiler::off();
+    let (off_report, off_bytes) = traced_run(Some(&mut off));
+    assert_eq!(base_report, off_report, "off-profiler report diverged");
+    assert_eq!(base_bytes, off_bytes, "off-profiler event stream diverged");
+    assert!(!off.report().enabled);
+
+    // Enabled profiler: observes the run without changing it.
+    let mut on = Profiler::on();
+    let (on_report, on_bytes) = traced_run(Some(&mut on));
+    assert_eq!(base_report, on_report, "on-profiler report diverged");
+    assert_eq!(base_bytes, on_bytes, "on-profiler event stream diverged");
+    let pr = on.report();
+    assert!(pr.enabled && pr.events_processed > 0 && pr.wall_ns > 0);
+    assert!(!pr.phases.is_empty(), "phase timings were collected");
+    assert!(pr.counter("dispatches") > 0);
+    assert_eq!(pr.counter("heap_pushes"), pr.counter("heap_pops"));
+    assert!(pr.counter("timeouts_fired") > 0);
+    assert!(pr.counter("hedges_issued") > 0);
+}
+
+#[test]
+fn critical_path_conserves_measured_response_times() {
+    let (report, bytes) = traced_run(None);
+    let text = String::from_utf8(bytes).unwrap();
+    let parsed = ramsis::telemetry::parse_jsonl(&text).expect("clean log parses strictly");
+
+    let log = reconstruct_spans(&parsed);
+    let cp = critical_path(&log, 5);
+    assert_eq!(cp.completed, report.served, "span count matches report");
+    assert_eq!(cp.orphan_events, 0, "full trace has no orphans");
+    assert_eq!(cp.conservation_violations, 0, "segment sums must conserve");
+
+    // The per-span identity, checked exactly — wait + service + wasted
+    // + backoff + hedge overlap telescopes to the engine's measured
+    // response time, with zero rounding slack.
+    let mut checked = 0u64;
+    for span in &log.spans {
+        if let Some(response_ns) = span.response_ns {
+            assert_eq!(
+                span.segment_sum(),
+                response_ns,
+                "query {} leaks time: segments {:?} vs response {}",
+                span.query,
+                (
+                    span.wait_ns,
+                    span.service_ns,
+                    span.wasted_ns,
+                    span.backoff_ns,
+                    span.hedge_overlap_ns
+                ),
+                response_ns
+            );
+            assert_eq!(span.conserved(), Some(true));
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, report.served, "every completion was checked");
+    assert!(
+        cp.retried > 0 && cp.hedged > 0,
+        "fixture must put resilience on the critical path (retried {}, hedged {})",
+        cp.retried,
+        cp.hedged
+    );
+}

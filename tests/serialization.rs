@@ -103,6 +103,40 @@ fn report_round_trips() {
 }
 
 #[test]
+fn timeline_accuracy_none_round_trips_as_null() {
+    // `TimelineBucket.accuracy` distinguishes "no satisfied completion
+    // in the window" (None → JSON null) from a genuine 0% model. Both
+    // states must survive a SimulationReport round trip.
+    let profile = profile();
+    let policy = quick_policy(&profile);
+    let trace = Trace::constant(100.0, 3.0);
+    let sim = Simulation::new(&profile, SimulationConfig::new(4, 0.15).with_timeline(1.0))
+        .expect("valid simulation config");
+    let mut scheme = RamsisScheme::new(PolicySet::from_policies(vec![policy]).unwrap());
+    let mut monitor = OracleMonitor::new(trace.clone());
+    let mut report = sim.run(&trace, &mut scheme, &mut monitor);
+    assert!(!report.timeline.is_empty(), "timeline was collected");
+
+    // Force the mixed case: an empty window next to populated ones.
+    report.timeline[0].accuracy = None;
+    report.timeline[0].served = 0;
+    report.timeline[0].violations = 0;
+
+    let json = serde_json::to_string(&report).unwrap();
+    assert!(
+        json.contains("\"accuracy\":null"),
+        "None must serialize as JSON null, got: {json}"
+    );
+    let back: ramsis::sim::SimulationReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.timeline[0].accuracy, None, "null deserializes to None");
+    assert!(
+        back.timeline.iter().skip(1).any(|b| b.accuracy.is_some()),
+        "populated windows keep their Some(accuracy)"
+    );
+    assert_eq!(report, back);
+}
+
+#[test]
 fn adaptive_report_round_trips() {
     // A report with the adaptive runtime's accounting populated — swap
     // events, per-regime counts, divergence — survives JSON intact.
