@@ -1,0 +1,296 @@
+//! The `elastic_frontier` experiment: autoscaled capacity vs fixed
+//! pools on a diurnal trace.
+//!
+//! The Fig. 5-style diurnal shape ([`Trace::twitter_like`]) is rescaled
+//! to a configurable trough-to-peak swing (10x quick, wider in full
+//! mode) and served by the degradable model-selection scheme
+//! ([`DegradingRamsis`]) under two capacity disciplines:
+//!
+//! - **Fixed pools**: one run per static worker count; cost is simply
+//!   `workers x horizon` worker-seconds.
+//! - **Elastic**: one run with the fault-aware autoscaler enabled over
+//!   `[1, max_pool]`; cost is the integral of the live pool over time
+//!   ([`ramsis_sim::AutoscaleStats::worker_seconds`]), and the brownout
+//!   ladder absorbs the scaling lag by degrading to cheaper models
+//!   while replacement capacity warms.
+//!
+//! The headline claim — asserted by the binary — is the frontier
+//! property: the elastic run spends *fewer worker-seconds* than the
+//! cheapest fixed pool that matches or beats its miss-or-loss rate.
+//! Night-time capacity is the waste a fixed pool cannot avoid: sized
+//! for the peak it idles through the trough, sized for the trough it
+//! melts at the peak.
+
+use serde::{Deserialize, Serialize};
+
+use ramsis_core::{DegradablePolicySet, Discretization, FallbackPolicy, PolicyConfig};
+use ramsis_profiles::WorkerProfile;
+use ramsis_sim::{
+    AutoscalePolicy, DegradingRamsis, Simulation, SimulationConfig, SimulationReport,
+};
+use ramsis_workload::{LoadMonitor, Trace, TraceKind};
+
+use std::time::Duration;
+
+/// Parameters of one elastic-frontier comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElasticFrontierConfig {
+    /// Response-latency SLO, seconds.
+    pub slo_s: f64,
+    /// Seed for the diurnal trace shape and the simulation.
+    pub seed: u64,
+    /// Load at the trace trough, QPS.
+    pub trough_qps: f64,
+    /// Peak-to-trough load ratio (the "10-100x" swing).
+    pub swing: f64,
+    /// Total trace length, seconds (the diurnal day is compressed into
+    /// this window).
+    pub duration_s: f64,
+    /// Upper pool bound for the elastic run and the policy sets.
+    pub max_pool: usize,
+    /// The static pool sizes to compare against.
+    pub fixed_pools: Vec<usize>,
+    /// Autoscaler capacity target, QPS per live worker.
+    pub target_qps_per_worker: f64,
+    /// Worker warm-up latency, seconds (the lag the brownout covers).
+    pub warmup_s: f64,
+    /// Policy-solver discretization (coarse for quick runs).
+    pub discretization: Discretization,
+}
+
+impl Default for ElasticFrontierConfig {
+    fn default() -> Self {
+        Self {
+            slo_s: 0.15,
+            seed: 42,
+            trough_qps: 40.0,
+            swing: 10.0,
+            duration_s: 40.0,
+            max_pool: 8,
+            fixed_pools: vec![2, 4, 6, 8],
+            target_qps_per_worker: 55.0,
+            warmup_s: 0.5,
+            discretization: Discretization::fixed_length(8),
+        }
+    }
+}
+
+impl ElasticFrontierConfig {
+    /// The paper-scale variant: a longer day and a wider swing.
+    pub fn full() -> Self {
+        Self {
+            swing: 20.0,
+            trough_qps: 30.0,
+            duration_s: 120.0,
+            max_pool: 12,
+            fixed_pools: vec![2, 4, 6, 8, 10, 12],
+            ..Self::default()
+        }
+    }
+
+    /// The diurnal trace: the Fig. 5 shape, affinely rescaled so the
+    /// trough sits at `trough_qps` and the peak at `trough_qps x swing`,
+    /// compressed into `duration_s`.
+    pub fn diurnal_trace(&self) -> Trace {
+        let base = Trace::twitter_like(self.seed);
+        let (lo, hi) = (base.min_qps(), base.max_qps());
+        let samples: Vec<f64> = base
+            .segments()
+            .iter()
+            .map(|&(_, q)| {
+                let t = (q - lo) / (hi - lo);
+                self.trough_qps * (1.0 + t * (self.swing - 1.0))
+            })
+            .collect();
+        Trace::from_interval_qps(
+            &samples,
+            self.duration_s / samples.len() as f64,
+            TraceKind::Custom,
+        )
+    }
+
+    /// The elastic policy of the autoscaled run.
+    pub fn autoscale_policy(&self) -> AutoscalePolicy {
+        let mut p = AutoscalePolicy::elastic(1, self.max_pool, self.target_qps_per_worker);
+        p.warmup_s = self.warmup_s;
+        p
+    }
+}
+
+/// One capacity discipline's cost and quality on the shared trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ElasticFrontierOutcome {
+    /// Variant name (`"fixed-4"` / `"elastic"`).
+    pub method: String,
+    /// Capacity spent: live-pool integral over the horizon.
+    pub worker_seconds: f64,
+    /// Violations over completions.
+    pub violation_rate: f64,
+    /// Violations + drops over arrivals (the quality bar — shedding is
+    /// not a way to win).
+    pub miss_or_loss_rate: f64,
+    /// Mean accuracy over satisfied queries.
+    pub accuracy: f64,
+    /// Scale-out decisions (0 for fixed pools).
+    pub scale_ups: u64,
+    /// Scale-in decisions (0 for fixed pools).
+    pub scale_downs: u64,
+    /// Brownout ladder engagements (0 for fixed pools).
+    pub brownout_enters: u64,
+    /// The full simulation report.
+    pub report: SimulationReport,
+}
+
+fn scheme(profile: &WorkerProfile, cfg: &ElasticFrontierConfig) -> DegradingRamsis {
+    let peak = cfg.trough_qps * cfg.swing;
+    let loads = [peak * 0.25, peak * 0.5, peak];
+    let policy_config = PolicyConfig::builder(Duration::from_secs_f64(cfg.slo_s))
+        .workers(cfg.max_pool)
+        .discretization(cfg.discretization)
+        .build();
+    let sets = DegradablePolicySet::generate_poisson(profile, &loads, &policy_config, 1)
+        .expect("elastic-frontier policy sets generate");
+    let fallback = FallbackPolicy::fastest(profile).expect("profile has a fastest model");
+    DegradingRamsis::new(sets, fallback)
+}
+
+fn outcome(
+    method: String,
+    worker_seconds: f64,
+    report: SimulationReport,
+) -> ElasticFrontierOutcome {
+    let a = report.autoscale.as_ref();
+    ElasticFrontierOutcome {
+        method,
+        worker_seconds,
+        violation_rate: report.violation_rate,
+        miss_or_loss_rate: report.miss_or_loss_rate(),
+        accuracy: report.accuracy_per_satisfied_query,
+        scale_ups: a.map_or(0, |s| s.scale_ups),
+        scale_downs: a.map_or(0, |s| s.scale_downs),
+        brownout_enters: a.map_or(0, |s| s.brownout_enters),
+        report,
+    }
+}
+
+/// Runs every fixed pool and the elastic variant on the shared diurnal
+/// trace. Fixed pools come first (ascending), the elastic run last.
+pub fn run_elastic_frontier(
+    profile: &WorkerProfile,
+    cfg: &ElasticFrontierConfig,
+) -> Vec<ElasticFrontierOutcome> {
+    let trace = cfg.diurnal_trace();
+    let mut outcomes = Vec::with_capacity(cfg.fixed_pools.len() + 1);
+    for &w in &cfg.fixed_pools {
+        let sim = Simulation::new(
+            profile,
+            SimulationConfig::new(w, cfg.slo_s).seeded(cfg.seed),
+        )
+        .expect("valid fixed-pool config");
+        let mut s = scheme(profile, cfg);
+        let mut monitor = LoadMonitor::new();
+        let report = sim.run(&trace, &mut s, &mut monitor);
+        let ws = w as f64 * report.horizon_s;
+        outcomes.push(outcome(format!("fixed-{w}"), ws, report));
+    }
+
+    // The elastic run starts at the smallest fixed pool (or 2): the
+    // autoscaler has to earn the peak capacity itself.
+    let initial = cfg.fixed_pools.first().copied().unwrap_or(2);
+    let sim = Simulation::new(
+        profile,
+        SimulationConfig::new(initial, cfg.slo_s)
+            .seeded(cfg.seed)
+            .with_autoscale(cfg.autoscale_policy()),
+    )
+    .expect("valid elastic config");
+    let mut s = scheme(profile, cfg);
+    let mut monitor = LoadMonitor::new();
+    let report = sim.run(&trace, &mut s, &mut monitor);
+    let ws = report
+        .autoscale
+        .as_ref()
+        .expect("elastic run reports autoscale stats")
+        .worker_seconds;
+    outcomes.push(outcome("elastic".to_string(), ws, report));
+    outcomes
+}
+
+/// The frontier claim: `(elastic worker-seconds, cheapest qualifying
+/// fixed worker-seconds)`, where a fixed pool qualifies when its
+/// miss-or-loss rate is at most the elastic run's. When no fixed pool
+/// matches the elastic quality, the comparison is against the cheapest
+/// fixed pool that was tried at all (the elastic run dominates the
+/// whole fixed family on quality, so beating any of them on cost
+/// settles the claim).
+///
+/// # Panics
+///
+/// Panics when `outcomes` lacks an `"elastic"` entry or fixed pools.
+pub fn frontier_claim(outcomes: &[ElasticFrontierOutcome]) -> (f64, f64) {
+    let elastic = outcomes
+        .iter()
+        .find(|o| o.method == "elastic")
+        .expect("an elastic outcome");
+    let fixed: Vec<&ElasticFrontierOutcome> =
+        outcomes.iter().filter(|o| o.method != "elastic").collect();
+    assert!(!fixed.is_empty(), "need at least one fixed pool");
+    let qualifying = fixed
+        .iter()
+        .filter(|o| o.miss_or_loss_rate <= elastic.miss_or_loss_rate + 1e-9)
+        .map(|o| o.worker_seconds)
+        .fold(f64::INFINITY, f64::min);
+    let bar = if qualifying.is_finite() {
+        qualifying
+    } else {
+        fixed
+            .iter()
+            .map(|o| o.worker_seconds)
+            .fold(f64::INFINITY, f64::min)
+    };
+    (elastic.worker_seconds, bar)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::build_profile;
+    use ramsis_profiles::Task;
+
+    fn quick() -> ElasticFrontierConfig {
+        ElasticFrontierConfig {
+            duration_s: 20.0,
+            fixed_pools: vec![2, 8],
+            ..ElasticFrontierConfig::default()
+        }
+    }
+
+    #[test]
+    fn elastic_beats_the_cheapest_qualifying_fixed_pool() {
+        let cfg = quick();
+        let profile = build_profile(Task::ImageClassification, cfg.slo_s);
+        let outcomes = run_elastic_frontier(&profile, &cfg);
+        assert_eq!(outcomes.len(), cfg.fixed_pools.len() + 1);
+
+        let elastic = outcomes.last().unwrap();
+        assert_eq!(elastic.method, "elastic");
+        // The autoscaler genuinely moved the pool across the day.
+        assert!(elastic.scale_ups > 0, "no scale-ups on a 10x swing");
+        assert!(elastic.scale_downs > 0, "no scale-ins after the peak");
+
+        let (elastic_ws, fixed_ws) = frontier_claim(&outcomes);
+        assert!(
+            elastic_ws < fixed_ws,
+            "elastic {elastic_ws:.1} worker-seconds must beat the qualifying fixed {fixed_ws:.1}"
+        );
+    }
+
+    #[test]
+    fn diurnal_trace_spans_the_requested_swing() {
+        let cfg = quick();
+        let t = cfg.diurnal_trace();
+        assert!((t.duration() - cfg.duration_s).abs() < 1e-6);
+        assert!((t.min_qps() - cfg.trough_qps).abs() < 1e-6);
+        assert!((t.max_qps() - cfg.trough_qps * cfg.swing).abs() < 1e-6);
+    }
+}

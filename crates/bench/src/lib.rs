@@ -28,6 +28,7 @@
 
 pub mod args;
 pub mod drift;
+pub mod elastic;
 pub mod harness;
 pub mod output;
 pub mod perf;
@@ -37,6 +38,9 @@ pub mod robustness;
 
 pub use args::ExperimentArgs;
 pub use drift::{run_drift, DriftConfig, DriftOutcome};
+pub use elastic::{
+    frontier_claim, run_elastic_frontier, ElasticFrontierConfig, ElasticFrontierOutcome,
+};
 pub use harness::{
     build_profile, ms_scheme, ramsis_policy_set, run_scheme, MonitorKind, RunOutcome,
 };

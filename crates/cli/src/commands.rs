@@ -1,5 +1,6 @@
 //! Subcommand implementations.
 
+pub mod autoscale;
 pub mod chaos;
 pub mod drift;
 pub mod gen;

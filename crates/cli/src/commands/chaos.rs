@@ -97,6 +97,11 @@ pub fn run(args: &[String]) -> Result<(), String> {
                     r.retries.to_string(),
                     r.hedges.to_string(),
                     r.admission_shed.to_string(),
+                    if r.autoscaled {
+                        format!("{}/{}/{}", r.scale_ups, r.scale_downs, r.brownout_enters)
+                    } else {
+                        "-".to_string()
+                    },
                 ]
             })
             .collect();
@@ -105,7 +110,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
             render_table(
                 &[
                     "run", "seed", "w", "qps", "route", "mech", "arrive", "served", "drop", "t/o",
-                    "retry", "hedge", "adm",
+                    "retry", "hedge", "adm", "up/dn/bo",
                 ],
                 &table
             )

@@ -59,6 +59,12 @@ pub fn run(args: &[String]) -> Result<(), String> {
             tail.len()
         );
     }
+    if parsed.unknown_events > 0 {
+        eprintln!(
+            "warning: {} unknown event record(s) skipped (trace from a newer writer?)",
+            parsed.unknown_events
+        );
+    }
 
     let log = reconstruct_spans(&parsed.events);
     let report = critical_path(&log, top);
@@ -89,6 +95,13 @@ pub fn run(args: &[String]) -> Result<(), String> {
         println!(
             "resilience on the critical path: {} hedged, {} retried completions",
             report.hedged, report.retried
+        );
+    }
+    if report.violations_during_scale_lag + report.violations_during_brownout > 0 {
+        println!(
+            "elasticity attribution: {} violation(s) during scaling lag (a worker warming), \
+             {} during brownout",
+            report.violations_during_scale_lag, report.violations_during_brownout
         );
     }
     if report.orphan_events + report.degraded_spans > 0 {

@@ -26,6 +26,7 @@ use serde::Serialize;
 struct TraceSummary {
     events: u64,
     torn_tail: bool,
+    unknown_events: u64,
     conservation: Conservation,
     arrivals: u64,
     served: u64,
@@ -82,6 +83,15 @@ pub fn run(args: &[String]) -> Result<i32, String> {
             &tail[..tail.len().min(48)]
         );
     }
+    if parsed.unknown_events > 0 {
+        // Forward compatibility: a trace written by a newer engine may
+        // carry event kinds this binary does not know; analysis runs on
+        // the events it does.
+        eprintln!(
+            "warning: {} unknown event record(s) skipped (trace from a newer writer?)",
+            parsed.unknown_events
+        );
+    }
     let events = parsed.events;
 
     let cons = conservation(&events);
@@ -113,6 +123,7 @@ pub fn run(args: &[String]) -> Result<i32, String> {
         let summary = TraceSummary {
             events: events.len() as u64,
             torn_tail: parsed.torn_tail.is_some(),
+            unknown_events: parsed.unknown_events,
             conservation: cons,
             arrivals: agg.arrivals,
             served: agg.served,

@@ -14,6 +14,7 @@
 //! ramsis-cli perf --scenario surge_faults --json
 //! ramsis-cli spans trace.jsonl --top 10
 //! ramsis-cli chaos --runs 100 --seed 7
+//! ramsis-cli autoscale --trough 40 --swing 10 --max 8
 //! ```
 //!
 //! Policies are written under `policy_gen/METHOD_WORKERS_SLO/LOAD.json`
@@ -46,6 +47,7 @@ pub fn run(args: &[String]) -> i32 {
         "perf" => commands::perf::run(rest).map(|()| 0),
         "spans" => commands::spans::run(rest).map(|()| 0),
         "chaos" => commands::chaos::run(rest).map(|()| 0),
+        "autoscale" => commands::autoscale::run(rest).map(|()| 0),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return 0;
@@ -91,8 +93,14 @@ commands:
            percentiles, and the top-N slowest queries (--top N, --json)
   chaos    randomized resilience sweep: run N seeded random
            simulations twice each and check determinism, telemetry
-           conservation, counter agreement, hedge consistency, and
-           admission bounds (--runs N, --seed S, --json)
+           conservation, counter agreement, hedge consistency,
+           admission bounds, scale-event accounting, and
+           autoscaler-off bit-identity (--runs N, --seed S, --json)
+  autoscale drive the fault-aware autoscaler over a diurnal trace and
+           print the pool/brownout summary plus the scaling timeline
+           (--trough QPS, --swing X, --min/--max N, --target QPS,
+           --warmup S, --frontier for the fixed-vs-elastic
+           cost comparison, --json)
 
 common flags (artifact §A.5):
   --task image|text     inference task              [default: image]

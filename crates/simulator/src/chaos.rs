@@ -35,6 +35,7 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::autoscale::AutoscalePolicy;
 use crate::engine::{Simulation, SimulationConfig};
 use crate::faults::{CrashPolicy, FaultPlan};
 use crate::metrics::SimulationReport;
@@ -213,6 +214,7 @@ impl ChaosConfig {
             _ => Routing::PerWorkerShortestQueue,
         };
         let policy = random_resilience(&mut rng);
+        let autoscale = random_autoscale(&mut rng, workers, self.max_workers as usize);
         let plan = random_plan(&mut rng, workers, duration_s);
         let trace = Trace::constant(load_qps, duration_s);
 
@@ -222,14 +224,18 @@ impl ChaosConfig {
         if stochastic {
             config = config.stochastic();
         }
+        if let Some(a) = autoscale {
+            config = config.with_autoscale(a);
+        }
         let sim = Simulation::new(profile, config)?;
-        let run_once = || -> Result<(SimulationReport, Vec<Event>), SimError> {
+        let run_with = |sim: &Simulation| -> Result<(SimulationReport, Vec<Event>), SimError> {
             let mut scheme = FastestFixed::new(profile.fastest_model(), routing);
             let mut monitor = LoadMonitor::new();
             let mut sink = VecSink::new();
             let r = sim.run_faulted_traced(&trace, &plan, &mut scheme, &mut monitor, &mut sink)?;
             Ok((r, sink.into_events()))
         };
+        let run_once = || run_with(&sim);
         let (mut r1, e1) = run_once()?;
         let (mut r2, e2) = run_once()?;
         if self.sabotage {
@@ -248,7 +254,32 @@ impl ChaosConfig {
                 detail,
             });
         };
-        check_invariants(&r1, &r2, &e1, &e2, &policy, &mut fail);
+        check_invariants(&r1, &r2, &e1, &e2, &policy, autoscale.as_ref(), &mut fail);
+
+        // Autoscaler-off bit-identity: attaching a *disabled* autoscale
+        // policy must leave the run byte-identical to the plain engine —
+        // no extra events, no extra report fields. Checked on the runs
+        // that did not draw an elastic policy (the plain run doubles as
+        // the reference).
+        if autoscale.is_none() {
+            let off = Simulation::new(profile, config.with_autoscale(AutoscalePolicy::default()))?;
+            let (r_off, e_off) = run_with(&off)?;
+            let j_plain = serde_json::to_string(&r1).expect("reports serialize");
+            let j_off = serde_json::to_string(&r_off).expect("reports serialize");
+            if j_plain != j_off {
+                fail("autoscale-off-identity", format!("{j_plain} != {j_off}"));
+            }
+            if e1 != e_off {
+                fail(
+                    "autoscale-off-identity",
+                    format!(
+                        "event streams diverge ({} plain vs {} disabled-autoscale events)",
+                        e1.len(),
+                        e_off.len()
+                    ),
+                );
+            }
+        }
 
         let summary = ChaosRunSummary {
             run,
@@ -258,7 +289,7 @@ impl ChaosConfig {
             load_qps,
             routing: format!("{routing:?}"),
             stochastic,
-            mechanisms: mechanisms_label(&policy),
+            mechanisms: mechanisms_label(&policy, autoscale.is_some()),
             arrivals: r2.total_arrivals,
             served: r2.served,
             dropped: r2.dropped,
@@ -266,6 +297,10 @@ impl ChaosConfig {
             retries: r2.resilience.retries,
             hedges: r2.resilience.hedges_issued,
             admission_shed: r2.resilience.admission_shed,
+            autoscaled: autoscale.is_some(),
+            scale_ups: r2.autoscale.as_ref().map_or(0, |a| a.scale_ups),
+            scale_downs: r2.autoscale.as_ref().map_or(0, |a| a.scale_downs),
+            brownout_enters: r2.autoscale.as_ref().map_or(0, |a| a.brownout_enters),
         };
         Ok((summary, failures))
     }
@@ -302,6 +337,38 @@ fn random_resilience(rng: &mut ChaCha8Rng) -> ResiliencePolicy {
     p
 }
 
+/// A randomized elastic-capacity policy (about half the runs): pool
+/// bounds bracketing the initial size so the engine accepts the combo,
+/// every controller knob drawn inside its valid range, and brownout on
+/// for most elastic runs.
+fn random_autoscale(
+    rng: &mut ChaCha8Rng,
+    workers: usize,
+    max_workers: usize,
+) -> Option<AutoscalePolicy> {
+    if rng.gen::<f64>() < 0.5 {
+        return None;
+    }
+    let mut p = AutoscalePolicy::elastic(
+        rng.gen_range(0..workers) + 1,
+        rng.gen_range(workers..max_workers.max(workers) + 3),
+        rng.gen_range(15.0..120.0),
+    );
+    p.warmup_s = rng.gen_range(0.0..0.4);
+    p.eval_interval_s = rng.gen_range(0.05..0.3);
+    p.up_confirm = rng.gen_range(1..4);
+    p.down_confirm = rng.gen_range(2..8);
+    p.cooldown_s = rng.gen_range(0.0..0.5);
+    p.max_step = rng.gen_range(1..4);
+    p.brownout.enabled = rng.gen::<f64>() < 0.7;
+    if p.brownout.enabled {
+        p.brownout.enter_ratio = rng.gen_range(1.05..1.8);
+        p.brownout.exit_ratio = rng.gen_range(0.5..0.95);
+        p.brownout.confirm = rng.gen_range(1..6);
+    }
+    Some(p)
+}
+
 /// A randomized fault plan: up to two crash(/recovery) episodes, up to
 /// two slowdown windows, and possibly a surge, all inside the run.
 fn random_plan(rng: &mut ChaCha8Rng, workers: usize, duration_s: f64) -> FaultPlan {
@@ -334,8 +401,9 @@ fn random_plan(rng: &mut ChaCha8Rng, workers: usize, duration_s: f64) -> FaultPl
 }
 
 /// Short label of the enabled mechanisms, e.g. `"TRA"` (timeout,
-/// retry, admission) or `"-"` for a noop policy.
-fn mechanisms_label(p: &ResiliencePolicy) -> String {
+/// retry, admission), `"S"` marking an elastic (autoscaled) run, or
+/// `"-"` for a noop policy.
+fn mechanisms_label(p: &ResiliencePolicy, autoscaled: bool) -> String {
     let mut s = String::new();
     if p.timeout.enabled {
         s.push('T');
@@ -348,6 +416,9 @@ fn mechanisms_label(p: &ResiliencePolicy) -> String {
     }
     if p.admission.enabled {
         s.push('A');
+    }
+    if autoscaled {
+        s.push('S');
     }
     if s.is_empty() {
         s.push('-');
@@ -362,6 +433,7 @@ fn check_invariants(
     e1: &[Event],
     e2: &[Event],
     policy: &ResiliencePolicy,
+    autoscale: Option<&AutoscalePolicy>,
     fail: &mut impl FnMut(&str, String),
 ) {
     // Determinism: same seed, byte-identical serialized report and
@@ -462,6 +534,84 @@ fn check_invariants(
         }
     }
 
+    // Elastic-capacity invariants: the event stream, the report's
+    // autoscale block, and the policy bounds must agree.
+    if let Some(a) = autoscale {
+        let Some(stats) = r1.autoscale.as_ref() else {
+            fail(
+                "autoscale-stats",
+                "elastic run produced a report without an autoscale block".to_string(),
+            );
+            return;
+        };
+        let count = |pred: fn(&Event) -> bool| e1.iter().filter(|e| pred(e)).count() as u64;
+        let scale_downs = count(|e| matches!(e, Event::ScaleDown { .. }));
+        let drains = count(|e| matches!(e, Event::DrainComplete { .. }));
+        // Drained-handoff: every scale-in eventually finishes draining
+        // (within the horizon — the engine drains at the horizon too).
+        if scale_downs != drains {
+            fail(
+                "drain-handoff",
+                format!("{scale_downs} ScaleDown events but {drains} DrainComplete"),
+            );
+        }
+        let pairs = [
+            (
+                "scale_ups",
+                count(|e| matches!(e, Event::ScaleUp { .. })),
+                stats.scale_ups,
+            ),
+            ("scale_downs", scale_downs, stats.scale_downs),
+            ("drains_completed", drains, stats.drains_completed),
+            (
+                "warmups_completed",
+                count(|e| matches!(e, Event::WorkerWarm { .. })),
+                stats.warmups_completed,
+            ),
+            (
+                "brownout_enters",
+                count(|e| matches!(e, Event::BrownoutEnter { .. })),
+                stats.brownout_enters,
+            ),
+            (
+                "brownout_exits",
+                count(|e| matches!(e, Event::BrownoutExit { .. })),
+                stats.brownout_exits,
+            ),
+        ];
+        for (name, from_events, from_report) in pairs {
+            if from_events != from_report {
+                fail(
+                    "autoscale-counter-agreement",
+                    format!("{name}: events say {from_events}, report says {from_report}"),
+                );
+            }
+        }
+        if stats.max_live_workers > a.max_workers {
+            fail(
+                "autoscale-bounds",
+                format!(
+                    "live pool peaked at {} past max_workers {}",
+                    stats.max_live_workers, a.max_workers
+                ),
+            );
+        }
+        if stats.brownout_exits > stats.brownout_enters {
+            fail(
+                "brownout-pairing",
+                format!(
+                    "{} exits > {} enters",
+                    stats.brownout_exits, stats.brownout_enters
+                ),
+            );
+        }
+    } else if r1.autoscale.is_some() {
+        fail(
+            "autoscale-stats",
+            "non-elastic run produced an autoscale block".to_string(),
+        );
+    }
+
     // Terminal counts never exceed arrivals.
     if r1.served + r1.dropped > r1.total_arrivals {
         fail(
@@ -507,6 +657,14 @@ pub struct ChaosRunSummary {
     pub hedges: u64,
     /// Queries refused by admission control.
     pub admission_shed: u64,
+    /// Whether the run drew an elastic (autoscaled) capacity policy.
+    pub autoscaled: bool,
+    /// Scale-out decisions taken (0 for fixed pools).
+    pub scale_ups: u64,
+    /// Scale-in decisions taken (0 for fixed pools).
+    pub scale_downs: u64,
+    /// Brownout ladder engagements (0 for fixed pools).
+    pub brownout_enters: u64,
 }
 
 /// One violated invariant, with everything needed to reproduce it.
@@ -611,13 +769,21 @@ mod tests {
         report.expect_pass();
         // The randomization covered the space: every mechanism letter
         // appears somewhere, and at least one run combined several.
-        for letter in ["T", "R", "H", "A"] {
+        for letter in ["T", "R", "H", "A", "S"] {
             assert!(
                 report.runs.iter().any(|r| r.mechanisms.contains(letter)),
                 "no run enabled mechanism {letter}"
             );
         }
         assert!(report.runs.iter().any(|r| r.mechanisms.len() >= 3));
+        // The elastic dimension genuinely moved the pool somewhere, and
+        // fixed-pool runs carried no autoscale artifacts.
+        assert!(report.runs.iter().any(|r| r.autoscaled && r.scale_ups > 0));
+        assert!(report
+            .runs
+            .iter()
+            .filter(|r| !r.autoscaled)
+            .all(|r| r.scale_ups == 0 && r.scale_downs == 0 && r.brownout_enters == 0));
     }
 
     #[test]

@@ -30,6 +30,10 @@ use ramsis_workload::{sample_poisson_arrivals, LoadEstimator, Trace};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+use crate::autoscale::{
+    AutoscalePolicy, AutoscaleStats, Autoscaler, BrownoutLadder, BrownoutTransition,
+    HysteresisController, ScaleSignal, WorkerState,
+};
 use crate::faults::{CrashPolicy, FaultEvent, FaultPlan};
 use crate::latency::{LatencyMode, LatencySampler};
 use crate::metrics::{MetricsCollector, SimulationReport};
@@ -60,6 +64,10 @@ pub struct SimulationConfig {
     /// admission control). The default disables every mechanism and
     /// reproduces pre-resilience behavior bit-for-bit.
     pub resilience: ResiliencePolicy,
+    /// Elastic-capacity knobs (autoscaler, worker lifecycle, brownout
+    /// ladder). The default disables the subsystem and reproduces the
+    /// fixed-pool engine bit-for-bit.
+    pub autoscale: AutoscalePolicy,
 }
 
 impl SimulationConfig {
@@ -74,6 +82,7 @@ impl SimulationConfig {
             latency_seed: 2,
             timeline_window_s: None,
             resilience: ResiliencePolicy::default(),
+            autoscale: AutoscalePolicy::default(),
         }
     }
 
@@ -86,6 +95,12 @@ impl SimulationConfig {
     /// Installs a request-level resilience policy.
     pub fn with_resilience(mut self, resilience: ResiliencePolicy) -> Self {
         self.resilience = resilience;
+        self
+    }
+
+    /// Installs an elastic-capacity (autoscaler) policy.
+    pub fn with_autoscale(mut self, autoscale: AutoscalePolicy) -> Self {
+        self.autoscale = autoscale;
         self
     }
 
@@ -129,6 +144,13 @@ impl SimulationConfig {
             }
         }
         self.resilience.validate()?;
+        self.autoscale.validate()?;
+        if self.autoscale.enabled && self.workers > self.autoscale.max_workers {
+            return Err(SimError::InvalidConfig(format!(
+                "autoscale: initial pool {} exceeds max_workers {}",
+                self.workers, self.autoscale.max_workers
+            )));
+        }
         Ok(())
     }
 }
@@ -156,6 +178,15 @@ enum EventKind {
     /// A backed-off query re-enters routing; index into the engine's
     /// retry buffer.
     Retry(u32),
+    /// Autoscaler controller tick: evaluate the pool size and the
+    /// brownout ladder. Only ever scheduled when
+    /// [`AutoscalePolicy::enabled`]; reschedules itself while arrivals
+    /// remain.
+    ScaleTick,
+    /// A warming worker's warm-up latency elapsed (same epoch discipline
+    /// as `WorkerDone`: a crash or a cancelling scale-in bumps the epoch
+    /// and strands the event).
+    WarmupDone(usize, u64),
 }
 
 /// The event heap: `(time, sequence, kind)` min-ordered. Sequence
@@ -278,6 +309,11 @@ struct Cluster {
     down_since: Vec<Option<Nanos>>,
     /// Live worker count (invariant: `alive.iter().filter(|a| **a).count()`).
     live: usize,
+    /// Autoscale lifecycle per worker slot. Without autoscaling every
+    /// slot stays `Live` forever and `alive` alone tells the story;
+    /// with it, `alive[w]` is exactly `lifecycle[w] == Live`, except for
+    /// crashed workers (lifecycle `Down` with `down_since` set).
+    lifecycle: Vec<WorkerState>,
 }
 
 impl Cluster {
@@ -290,7 +326,36 @@ impl Cluster {
             in_flight: vec![None; workers],
             down_since: vec![None; workers],
             live: workers,
+            lifecycle: vec![WorkerState::Live; workers],
         }
+    }
+
+    /// A cluster with `capacity` slots of which the first `initial` are
+    /// Live; the rest are Down, waiting on a scale-up.
+    fn elastic(capacity: usize, initial: usize) -> Self {
+        let mut c = Self::new(capacity);
+        for w in initial..capacity {
+            c.alive[w] = false;
+            c.lifecycle[w] = WorkerState::Down;
+        }
+        c.live = initial.min(capacity);
+        c
+    }
+
+    /// Workers currently warming up.
+    fn warming(&self) -> usize {
+        self.lifecycle
+            .iter()
+            .filter(|s| **s == WorkerState::Warming)
+            .count()
+    }
+
+    /// Workers currently draining out.
+    fn draining(&self) -> usize {
+        self.lifecycle
+            .iter()
+            .filter(|s| **s == WorkerState::Draining)
+            .count()
     }
 }
 
@@ -332,6 +397,131 @@ impl ResilienceRuntime {
         }
         let p = self.service_hist.percentile(h.quantile)?;
         Some(p.max(nanos_from_secs(h.min_delay_s)))
+    }
+}
+
+/// The autoscaler's per-run state: the controller, the ladder, and the
+/// accounting behind [`AutoscaleStats`]. `None` when the subsystem is
+/// disabled — the engine then schedules no ticks and takes exactly its
+/// fixed-pool paths.
+struct AutoscaleRuntime {
+    controller: HysteresisController,
+    ladder: BrownoutLadder,
+    stats: AutoscaleStats,
+    /// Controller tick period in simulated nanoseconds.
+    tick_ns: Nanos,
+    /// Last arrival time; ticks stop rescheduling past it so the run
+    /// terminates.
+    tick_end: Nanos,
+    /// Live-count integral bookkeeping: time and value at the last
+    /// change.
+    last_live_change: Nanos,
+    live_at_change: usize,
+    /// When rung 0 was last left (open brownout episode).
+    brownout_since: Option<Nanos>,
+}
+
+impl AutoscaleRuntime {
+    fn new(policy: AutoscalePolicy, initial_live: usize, n_models: usize, tick_end: Nanos) -> Self {
+        let profile_rungs = n_models.saturating_sub(1) as u32;
+        Self {
+            controller: HysteresisController::new(policy),
+            ladder: BrownoutLadder::new(policy.brownout, profile_rungs),
+            stats: AutoscaleStats {
+                min_live_workers: initial_live,
+                max_live_workers: initial_live,
+                ..AutoscaleStats::default()
+            },
+            tick_ns: nanos_from_secs(policy.eval_interval_s).max(1),
+            tick_end,
+            last_live_change: 0,
+            live_at_change: initial_live,
+            brownout_since: None,
+        }
+    }
+
+    /// Folds a live-count change at `now` into the worker-seconds
+    /// integral and the min/max tracking.
+    fn account_live(&mut self, now: Nanos, new_live: usize) {
+        self.stats.worker_seconds +=
+            self.live_at_change as f64 * secs_from_nanos(now.saturating_sub(self.last_live_change));
+        self.last_live_change = now;
+        self.live_at_change = new_live;
+        self.stats.min_live_workers = self.stats.min_live_workers.min(new_live);
+        self.stats.max_live_workers = self.stats.max_live_workers.max(new_live);
+    }
+
+    /// Closes the books at the end of the run.
+    fn finalize(mut self, horizon: Nanos) -> AutoscaleStats {
+        self.account_live(horizon, self.live_at_change);
+        if let Some(start) = self.brownout_since.take() {
+            self.stats.brownout_time_s += secs_from_nanos(horizon.saturating_sub(start));
+        }
+        let horizon_s = secs_from_nanos(horizon);
+        self.stats.mean_live_workers = if horizon_s > 0.0 {
+            self.stats.worker_seconds / horizon_s
+        } else {
+            self.live_at_change as f64
+        };
+        self.stats
+    }
+}
+
+/// Brownout state consulted on the dispatch hot path, kept apart from
+/// [`AutoscaleRuntime`] so `dispatch` borrows only what it needs.
+struct BrownoutState {
+    /// Active rung; 0 remaps nothing.
+    rung: u32,
+    /// Model indices fastest → slowest by deterministic batch-1 latency.
+    order: Vec<usize>,
+    /// `pos[m]` is model `m`'s rank in `order`.
+    pos: Vec<usize>,
+    /// `Serve` selections remapped so far.
+    degraded: u64,
+}
+
+impl BrownoutState {
+    fn new(profile: &WorkerProfile) -> Self {
+        let n = profile.n_models();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            profile
+                .latency_extrapolated(a, 1)
+                .partial_cmp(&profile.latency_extrapolated(b, 1))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut pos = vec![0usize; n];
+        for (rank, &m) in order.iter().enumerate() {
+            pos[m] = rank;
+        }
+        Self {
+            rung: 0,
+            order,
+            pos,
+            degraded: 0,
+        }
+    }
+
+    /// Applies the active rung to a scheme's model choice: rung `r`
+    /// bans the `r` slowest models, and a banned choice degrades to the
+    /// slowest (most accurate) still-allowed model.
+    fn remap(&mut self, model: usize) -> usize {
+        if self.rung == 0 || self.order.is_empty() {
+            return model;
+        }
+        let slowest_allowed = self
+            .order
+            .len()
+            .saturating_sub(1)
+            .saturating_sub(self.rung as usize)
+            .min(self.order.len() - 1);
+        if self.pos[model] > slowest_allowed {
+            self.degraded += 1;
+            self.order[slowest_allowed]
+        } else {
+            model
+        }
     }
 }
 
@@ -405,6 +595,13 @@ impl<'a> Simulation<'a> {
         config: SimulationConfig,
     ) -> Result<Self, SimError> {
         config.validate()?;
+        if config.autoscale.enabled {
+            return Err(SimError::InvalidConfig(
+                "autoscaling requires a homogeneous cluster: scale-up slots \
+                 beyond the initial pool have no profile of their own"
+                    .to_string(),
+            ));
+        }
         if profiles.len() != config.workers {
             return Err(SimError::InvalidConfig(format!(
                 "one profile per worker ({} vs {})",
@@ -641,7 +838,14 @@ impl<'a> Simulation<'a> {
         let mut tracer = Tracer::new(sink);
         scheme.set_audit(tracer.on);
         let slo = nanos_from_secs(self.config.slo_s);
-        let n_workers = self.config.workers;
+        let autoscale = self.config.autoscale;
+        // With autoscaling every per-worker structure is sized to the
+        // pool ceiling; slots beyond the initial pool start Down.
+        let n_workers = if autoscale.enabled {
+            autoscale.max_workers.max(self.config.workers)
+        } else {
+            self.config.workers
+        };
         let routing = scheme.routing();
 
         let mut sampler = LatencySampler::new(self.config.latency, self.config.latency_seed);
@@ -656,7 +860,7 @@ impl<'a> Simulation<'a> {
         // Per-worker queues (per-worker routing) or one central queue.
         let mut worker_queues: Vec<VecDeque<Query>> = vec![VecDeque::new(); n_workers];
         let mut central_queue: VecDeque<Query> = VecDeque::new();
-        let mut cluster = Cluster::new(n_workers);
+        let mut cluster = Cluster::elastic(n_workers, self.config.workers);
         // Queries with no live worker to go to (per-worker routing under
         // a full outage); drained to the first worker that recovers.
         let mut limbo: VecDeque<Query> = VecDeque::new();
@@ -681,6 +885,25 @@ impl<'a> Simulation<'a> {
             seq += 1;
             prof.incr(HotCounter::HeapPushes);
         }
+        // The autoscaler's state and its first controller tick. Nothing
+        // here runs when the policy is disabled, so the event stream and
+        // the report stay byte-identical to the fixed-pool engine.
+        let mut scale: Option<AutoscaleRuntime> = None;
+        let mut brown: Option<BrownoutState> = None;
+        if autoscale.enabled && !arrivals.is_empty() {
+            let tick_end = nanos_from_secs(arrivals[arrivals.len() - 1]);
+            let rt = AutoscaleRuntime::new(
+                autoscale,
+                cluster.live,
+                self.profiles[0].n_models(),
+                tick_end,
+            );
+            heap.push(Reverse((rt.tick_ns, seq, EventKind::ScaleTick)));
+            seq += 1;
+            prof.incr(HotCounter::HeapPushes);
+            scale = Some(rt);
+            brown = Some(BrownoutState::new(self.profiles[0]));
+        }
         prof.exit(Phase::Setup);
 
         let mut horizon: Nanos = 0;
@@ -695,7 +918,10 @@ impl<'a> Simulation<'a> {
                 EventKind::Timeout(..) => Phase::Timeout,
                 EventKind::HedgeDue(..) => Phase::Hedge,
                 EventKind::Retry(_) => Phase::Retry,
-                EventKind::Fault(_) => Phase::Fault,
+                // Membership machinery shares the fault phase bucket.
+                EventKind::Fault(_) | EventKind::ScaleTick | EventKind::WarmupDone(..) => {
+                    Phase::Fault
+                }
             };
             prof.enter(phase);
             // Labeled so handlers can bail (stale epochs, no-op
@@ -744,6 +970,7 @@ impl<'a> Simulation<'a> {
                             &mut seq,
                             &mut tracer,
                             prof,
+                            &mut brown,
                         );
                         prof.exit(Phase::Route);
                     }
@@ -802,28 +1029,52 @@ impl<'a> Simulation<'a> {
                             }
                         }
                         cluster.busy[w] = false;
-                        let queue = match routing {
-                            Routing::Central => &mut central_queue,
-                            _ => &mut worker_queues[w],
-                        };
-                        self.dispatch(
-                            w,
-                            now,
-                            scheme,
-                            estimator,
-                            queue,
-                            &mut cluster,
-                            &mut resil,
-                            &mut sampler,
-                            &mut metrics,
-                            &mut heap,
-                            &mut seq,
-                            &mut tracer,
-                            prof,
-                        );
-                        // The freed loser picks up queued work too.
+                        if cluster.lifecycle[w] == WorkerState::Draining {
+                            // The drain's last in-flight batch just
+                            // finished; the worker leaves the pool.
+                            cluster.lifecycle[w] = WorkerState::Down;
+                            if let Some(rt) = scale.as_mut() {
+                                rt.stats.drains_completed += 1;
+                            }
+                            tracer.emit(|| Event::DrainComplete {
+                                at: now,
+                                worker: w as u32,
+                            });
+                        } else {
+                            let queue = match routing {
+                                Routing::Central => &mut central_queue,
+                                _ => &mut worker_queues[w],
+                            };
+                            self.dispatch(
+                                w,
+                                now,
+                                scheme,
+                                estimator,
+                                queue,
+                                &mut cluster,
+                                &mut resil,
+                                &mut sampler,
+                                &mut metrics,
+                                &mut heap,
+                                &mut seq,
+                                &mut tracer,
+                                prof,
+                                &mut brown,
+                            );
+                        }
+                        // The freed loser picks up queued work too — or
+                        // finishes its drain if it was on the way out.
                         if let Some(v) = cancelled_twin {
-                            if cluster.alive[v] && !cluster.busy[v] {
+                            if cluster.lifecycle[v] == WorkerState::Draining {
+                                cluster.lifecycle[v] = WorkerState::Down;
+                                if let Some(rt) = scale.as_mut() {
+                                    rt.stats.drains_completed += 1;
+                                }
+                                tracer.emit(|| Event::DrainComplete {
+                                    at: now,
+                                    worker: v as u32,
+                                });
+                            } else if cluster.alive[v] && !cluster.busy[v] {
                                 let queue = match routing {
                                     Routing::Central => &mut central_queue,
                                     _ => &mut worker_queues[v],
@@ -843,6 +1094,7 @@ impl<'a> Simulation<'a> {
                                         &mut seq,
                                         &mut tracer,
                                         prof,
+                                        &mut brown,
                                     );
                                 }
                             }
@@ -924,26 +1176,39 @@ impl<'a> Simulation<'a> {
                                 }
                             }
                         }
-                        // The freed worker picks up queued work.
-                        let queue = match routing {
-                            Routing::Central => &mut central_queue,
-                            _ => &mut worker_queues[w],
-                        };
-                        self.dispatch(
-                            w,
-                            now,
-                            scheme,
-                            estimator,
-                            queue,
-                            &mut cluster,
-                            &mut resil,
-                            &mut sampler,
-                            &mut metrics,
-                            &mut heap,
-                            &mut seq,
-                            &mut tracer,
-                            prof,
-                        );
+                        // The freed worker picks up queued work — or
+                        // finishes its drain if it was on the way out.
+                        if cluster.lifecycle[w] == WorkerState::Draining {
+                            cluster.lifecycle[w] = WorkerState::Down;
+                            if let Some(rt) = scale.as_mut() {
+                                rt.stats.drains_completed += 1;
+                            }
+                            tracer.emit(|| Event::DrainComplete {
+                                at: now,
+                                worker: w as u32,
+                            });
+                        } else {
+                            let queue = match routing {
+                                Routing::Central => &mut central_queue,
+                                _ => &mut worker_queues[w],
+                            };
+                            self.dispatch(
+                                w,
+                                now,
+                                scheme,
+                                estimator,
+                                queue,
+                                &mut cluster,
+                                &mut resil,
+                                &mut sampler,
+                                &mut metrics,
+                                &mut heap,
+                                &mut seq,
+                                &mut tracer,
+                                prof,
+                                &mut brown,
+                            );
+                        }
                     }
                     EventKind::HedgeDue(w, epoch) => {
                         if epoch != cluster.epochs[w] {
@@ -1023,6 +1288,7 @@ impl<'a> Simulation<'a> {
                             &mut seq,
                             &mut tracer,
                             prof,
+                            &mut brown,
                         );
                         prof.exit(Phase::Route);
                     }
@@ -1036,6 +1302,10 @@ impl<'a> Simulation<'a> {
                                 cluster.epochs[w] += 1;
                                 cluster.down_since[w] = Some(now);
                                 cluster.live -= 1;
+                                cluster.lifecycle[w] = WorkerState::Down;
+                                if let Some(rt) = scale.as_mut() {
+                                    rt.account_live(now, cluster.live);
+                                }
                                 let mut displaced: Vec<Query> = Vec::new();
                                 if let Some(fl) = cluster.in_flight[w].take() {
                                     cluster.busy[w] = false;
@@ -1122,14 +1392,25 @@ impl<'a> Simulation<'a> {
                                     &mut seq,
                                     &mut tracer,
                                     prof,
+                                    &mut brown,
                                 );
                             }
                             FaultAction::Recover(w) => {
-                                if cluster.alive[w] {
+                                // Recovery only undoes a crash: it must
+                                // not revive a warming, draining, or
+                                // scaled-down slot (those have no crash
+                                // timestamp).
+                                if cluster.alive[w]
+                                    || (scale.is_some() && cluster.down_since[w].is_none())
+                                {
                                     break 'event; // recovery without crash: no-op
                                 }
                                 cluster.alive[w] = true;
                                 cluster.live += 1;
+                                cluster.lifecycle[w] = WorkerState::Live;
+                                if let Some(rt) = scale.as_mut() {
+                                    rt.account_live(now, cluster.live);
+                                }
                                 if let Some(start) = cluster.down_since[w].take() {
                                     metrics.record_downtime_s(secs_from_nanos(
                                         now.saturating_sub(start),
@@ -1159,11 +1440,261 @@ impl<'a> Simulation<'a> {
                                     &mut seq,
                                     &mut tracer,
                                     prof,
+                                    &mut brown,
                                 );
                             }
                             FaultAction::SlowStart(w, factor) => cluster.slow[w] = factor,
                             FaultAction::SlowEnd(w) => cluster.slow[w] = 1.0,
                         }
+                    }
+                    EventKind::ScaleTick => {
+                        let Some(rt) = scale.as_mut() else {
+                            break 'event;
+                        };
+                        rt.stats.ticks += 1;
+                        // Ticks reschedule themselves while arrivals
+                        // remain, then stop so the run terminates.
+                        let next = now + rt.tick_ns;
+                        if next <= rt.tick_end {
+                            heap.push(Reverse((next, seq, EventKind::ScaleTick)));
+                            seq += 1;
+                            prof.incr(HotCounter::HeapPushes);
+                        }
+                        let now_s = secs_from_nanos(now);
+                        let load = estimator.estimate(now_s);
+                        let sig = ScaleSignal {
+                            now_s,
+                            load_qps: load,
+                            trend_qps_per_s: estimator.trend_qps_per_s(now_s).unwrap_or(0.0),
+                            live: cluster.live,
+                            warming: cluster.warming(),
+                            draining: cluster.draining(),
+                            queued: central_queue.len()
+                                + worker_queues.iter().map(VecDeque::len).sum::<usize>(),
+                        };
+                        let desired = rt.controller.desired_workers(&sig);
+                        let current = sig.live + sig.warming;
+                        let mut handed_off_work = false;
+                        if desired > current {
+                            let warmup_ns = nanos_from_secs(rt.controller.policy().warmup_s);
+                            let mut need = desired - current;
+                            for w in 0..n_workers {
+                                if need == 0 {
+                                    break;
+                                }
+                                // Crash-downed slots belong to the fault
+                                // plan (they come back via Recover), so
+                                // scale-up skips them.
+                                if cluster.lifecycle[w] != WorkerState::Down
+                                    || cluster.down_since[w].is_some()
+                                {
+                                    continue;
+                                }
+                                cluster.lifecycle[w] = WorkerState::Warming;
+                                rt.stats.scale_ups += 1;
+                                let live = cluster.live;
+                                tracer.emit(|| Event::ScaleUp {
+                                    at: now,
+                                    worker: w as u32,
+                                    live: live as u32,
+                                });
+                                heap.push(Reverse((
+                                    now + warmup_ns,
+                                    seq,
+                                    EventKind::WarmupDone(w, cluster.epochs[w]),
+                                )));
+                                seq += 1;
+                                prof.incr(HotCounter::HeapPushes);
+                                need -= 1;
+                            }
+                        } else if desired < current {
+                            let mut need = current - desired;
+                            // Cancelling a warm-up frees capacity that
+                            // never went Live; do those first.
+                            for w in (0..n_workers).rev() {
+                                if need == 0 {
+                                    break;
+                                }
+                                if cluster.lifecycle[w] != WorkerState::Warming {
+                                    continue;
+                                }
+                                cluster.lifecycle[w] = WorkerState::Down;
+                                cluster.epochs[w] += 1; // strands the WarmupDone
+                                rt.stats.scale_downs += 1;
+                                let live = cluster.live;
+                                tracer.emit(|| Event::ScaleDown {
+                                    at: now,
+                                    worker: w as u32,
+                                    live: live as u32,
+                                    handoffs: 0,
+                                });
+                                need -= 1;
+                            }
+                            // Then drain Live workers: queued work hands
+                            // off to survivors now, the in-flight batch
+                            // runs to completion.
+                            for w in (0..n_workers).rev() {
+                                if need == 0 {
+                                    break;
+                                }
+                                if cluster.lifecycle[w] != WorkerState::Live {
+                                    continue;
+                                }
+                                cluster.lifecycle[w] = WorkerState::Draining;
+                                cluster.alive[w] = false;
+                                cluster.live -= 1;
+                                rt.account_live(now, cluster.live);
+                                rt.stats.scale_downs += 1;
+                                let handed: Vec<Query> = worker_queues[w].drain(..).collect();
+                                rt.stats.drain_handoffs += handed.len() as u64;
+                                let live = cluster.live;
+                                let handoffs = handed.len() as u32;
+                                tracer.emit(|| Event::ScaleDown {
+                                    at: now,
+                                    worker: w as u32,
+                                    live: live as u32,
+                                    handoffs,
+                                });
+                                if !handed.is_empty() {
+                                    if cluster.live == 0 {
+                                        // Only warming capacity remains;
+                                        // stranded queries drain to the
+                                        // first worker that goes Live.
+                                        limbo.extend(handed);
+                                    } else {
+                                        for mut q in handed {
+                                            q.enqueued_at = now;
+                                            let t =
+                                                Self::next_live_rr(&cluster.alive, &mut rr_next)
+                                                    .expect("live > 0 checked");
+                                            worker_queues[t].push_back(q);
+                                        }
+                                    }
+                                    handed_off_work = true;
+                                }
+                                scheme.on_membership_change(cluster.live);
+                                if !cluster.busy[w] {
+                                    // Nothing in flight: the drain
+                                    // completes on the spot.
+                                    cluster.lifecycle[w] = WorkerState::Down;
+                                    rt.stats.drains_completed += 1;
+                                    tracer.emit(|| Event::DrainComplete {
+                                        at: now,
+                                        worker: w as u32,
+                                    });
+                                }
+                                need -= 1;
+                            }
+                        }
+                        // Feed the brownout ladder: the load estimate
+                        // against the live pool's capacity target.
+                        let capacity_qps =
+                            cluster.live as f64 * rt.controller.policy().target_qps_per_worker;
+                        if let Some(transition) = rt.ladder.observe(load, capacity_qps) {
+                            match transition {
+                                BrownoutTransition::Enter { rung } => {
+                                    rt.stats.brownout_enters += 1;
+                                    rt.stats.max_brownout_rung =
+                                        rt.stats.max_brownout_rung.max(rung);
+                                    if rung == 1 {
+                                        rt.brownout_since = Some(now);
+                                    }
+                                    tracer.emit(|| Event::BrownoutEnter {
+                                        at: now,
+                                        rung,
+                                        load_qps: load,
+                                        capacity_qps,
+                                    });
+                                }
+                                BrownoutTransition::Exit { rung } => {
+                                    rt.stats.brownout_exits += 1;
+                                    if rung == 1 {
+                                        if let Some(start) = rt.brownout_since.take() {
+                                            rt.stats.brownout_time_s +=
+                                                secs_from_nanos(now.saturating_sub(start));
+                                        }
+                                    }
+                                    tracer.emit(|| Event::BrownoutExit {
+                                        at: now,
+                                        rung,
+                                        load_qps: load,
+                                        capacity_qps,
+                                    });
+                                }
+                            }
+                        }
+                        let rung = rt.ladder.rung();
+                        if let Some(b) = brown.as_mut() {
+                            b.rung = rung;
+                        }
+                        if handed_off_work {
+                            self.kick_idle_workers(
+                                now,
+                                routing,
+                                scheme,
+                                estimator,
+                                &mut worker_queues,
+                                &mut central_queue,
+                                &mut cluster,
+                                &mut resil,
+                                &mut sampler,
+                                &mut metrics,
+                                &mut heap,
+                                &mut seq,
+                                &mut tracer,
+                                prof,
+                                &mut brown,
+                            );
+                        }
+                    }
+                    EventKind::WarmupDone(w, epoch) => {
+                        if epoch != cluster.epochs[w]
+                            || cluster.lifecycle[w] != WorkerState::Warming
+                        {
+                            // Cancelled by a scale-in or a crash.
+                            prof.incr(HotCounter::StaleEvents);
+                            break 'event;
+                        }
+                        cluster.lifecycle[w] = WorkerState::Live;
+                        cluster.alive[w] = true;
+                        cluster.live += 1;
+                        if let Some(rt) = scale.as_mut() {
+                            rt.stats.warmups_completed += 1;
+                            rt.account_live(now, cluster.live);
+                        }
+                        let live = cluster.live;
+                        tracer.emit(|| Event::WorkerWarm {
+                            at: now,
+                            worker: w as u32,
+                            live: live as u32,
+                        });
+                        scheme.on_membership_change(cluster.live);
+                        // Stranded queries (a scale-in or crash during a
+                        // full outage) drain to the first worker to go
+                        // Live, mirroring crash recovery.
+                        if !limbo.is_empty() && routing != Routing::Central {
+                            for mut q in limbo.drain(..) {
+                                q.enqueued_at = now;
+                                worker_queues[w].push_back(q);
+                            }
+                        }
+                        self.kick_idle_workers(
+                            now,
+                            routing,
+                            scheme,
+                            estimator,
+                            &mut worker_queues,
+                            &mut central_queue,
+                            &mut cluster,
+                            &mut resil,
+                            &mut sampler,
+                            &mut metrics,
+                            &mut heap,
+                            &mut seq,
+                            &mut tracer,
+                            prof,
+                            &mut brown,
+                        );
                     }
                 }
             }
@@ -1182,15 +1713,24 @@ impl<'a> Simulation<'a> {
 
         prof.enter(Phase::Report);
         let regime_breakdown = metrics.regime_breakdown();
+        // Utilization stays relative to the *configured* pool: with
+        // autoscaling the true cost denominator is the live-worker
+        // integral reported in `autoscale.worker_seconds`.
         let mut report = metrics.report(
             scheme.name().to_owned(),
             arrivals.len() as u64,
             horizon,
-            n_workers,
+            self.config.workers,
         );
         if let Some(mut stats) = scheme.adaptive_stats() {
             stats.per_regime = regime_breakdown;
             report.adaptive = Some(stats);
+        }
+        if let Some(mut rt) = scale.take() {
+            if let Some(b) = brown.as_ref() {
+                rt.stats.degraded_selections = b.degraded;
+            }
+            report.autoscale = Some(rt.finalize(horizon));
         }
         prof.exit(Phase::Report);
         prof.run_end();
@@ -1237,6 +1777,7 @@ impl<'a> Simulation<'a> {
         seq: &mut u64,
         tracer: &mut Tracer<'_>,
         prof: &mut Profiler,
+        brown: &mut Option<BrownoutState>,
     ) {
         q.enqueued_at = now;
         let n_workers = cluster.alive.len();
@@ -1278,6 +1819,7 @@ impl<'a> Simulation<'a> {
                             seq,
                             tracer,
                             prof,
+                            brown,
                         );
                     }
                 }
@@ -1323,6 +1865,7 @@ impl<'a> Simulation<'a> {
                                 seq,
                                 tracer,
                                 prof,
+                                brown,
                             );
                         }
                     }
@@ -1364,6 +1907,7 @@ impl<'a> Simulation<'a> {
                         seq,
                         tracer,
                         prof,
+                        brown,
                     );
                 }
             }
@@ -1420,6 +1964,7 @@ impl<'a> Simulation<'a> {
         seq: &mut u64,
         tracer: &mut Tracer<'_>,
         prof: &mut Profiler,
+        brown: &mut Option<BrownoutState>,
     ) {
         // Indexed: the queue borrow alternates between `worker_queues[w]`
         // and the central queue depending on routing.
@@ -1437,7 +1982,7 @@ impl<'a> Simulation<'a> {
             }
             self.dispatch(
                 w, now, scheme, estimator, queue, cluster, resil, sampler, metrics, heap, seq,
-                tracer, prof,
+                tracer, prof, brown,
             );
         }
     }
@@ -1462,6 +2007,7 @@ impl<'a> Simulation<'a> {
         seq: &mut u64,
         tracer: &mut Tracer<'_>,
         prof: &mut Profiler,
+        brown: &mut Option<BrownoutState>,
     ) {
         debug_assert!(!cluster.busy[w], "dispatch on a busy worker");
         debug_assert!(cluster.alive[w], "dispatch on a dead worker");
@@ -1520,6 +2066,15 @@ impl<'a> Simulation<'a> {
                     // Shedding takes no time; ask again for the rest.
                 }
                 Selection::Serve { model, batch } => {
+                    // Brownout: a model banned by the active rung
+                    // degrades to the slowest still-allowed one before
+                    // the dispatch commits. The PolicyDecision event
+                    // above keeps the scheme's raw choice; the Dispatch
+                    // event below carries the degraded model.
+                    let model = match brown.as_mut() {
+                        Some(b) => b.remap(model),
+                        None => model,
+                    };
                     assert!(
                         batch >= 1 && batch as usize <= queue.len(),
                         "scheme chose batch {batch} from a queue of {}",
@@ -2247,5 +2802,307 @@ mod tests {
         let sim = Simulation::new(profile(), SimulationConfig::new(1, 0.15)).unwrap();
         let mut monitor = LoadMonitor::new();
         let _ = sim.run_arrivals(&[0.0], &mut Bad, &mut monitor);
+    }
+
+    // ---- elastic capacity -------------------------------------------
+
+    /// Runs `config` traced with a greedy round-robin scheme and
+    /// returns the report plus the full event stream.
+    fn run_elastic(trace: &Trace, config: SimulationConfig) -> (SimulationReport, Vec<Event>) {
+        let sim = Simulation::new(profile(), config).unwrap();
+        let mut scheme = GreedyFastestRr {
+            model: profile().fastest_model(),
+        };
+        let mut monitor = LoadMonitor::new();
+        let mut sink = ramsis_telemetry::VecSink::new();
+        let report = sim.run_traced(trace, &mut scheme, &mut monitor, &mut sink);
+        (report, sink.into_events())
+    }
+
+    #[test]
+    fn disabled_autoscale_is_byte_identical_to_plain_run() {
+        // The elasticity acceptance bar: a config that merely *carries*
+        // the (disabled) autoscale knobs must reproduce the fixed-pool
+        // engine exactly — same report, same serialized JSON, same
+        // event stream.
+        let trace = Trace::constant(150.0, 4.0);
+        let (plain, plain_events) = run_elastic(&trace, SimulationConfig::new(3, 0.15).seeded(2));
+        let (off, off_events) = run_elastic(
+            &trace,
+            SimulationConfig::new(3, 0.15)
+                .seeded(2)
+                .with_autoscale(AutoscalePolicy::default()),
+        );
+        assert_eq!(plain, off);
+        assert_eq!(plain_events, off_events);
+        assert!(off.autoscale.is_none());
+        let json = serde_json::to_string(&off).unwrap();
+        assert_eq!(json, serde_json::to_string(&plain).unwrap());
+        assert!(
+            !json.contains("autoscale"),
+            "disabled runs must omit the field entirely"
+        );
+    }
+
+    #[test]
+    fn autoscale_grows_the_pool_to_serve_a_surge() {
+        // 150 QPS against one initial worker (~50 QPS capacity at the
+        // fastest model): the controller must warm extra workers and
+        // end up serving everything a fixed single-worker pool cannot.
+        let trace = Trace::constant(150.0, 8.0);
+        let mut policy = AutoscalePolicy::elastic(1, 6, 40.0);
+        policy.warmup_s = 0.5;
+        let (fixed, _) = run_elastic(&trace, SimulationConfig::new(1, 0.15).seeded(3));
+        let (elastic, events) = run_elastic(
+            &trace,
+            SimulationConfig::new(1, 0.15)
+                .seeded(3)
+                .with_autoscale(policy),
+        );
+        let stats = elastic.autoscale.expect("enabled run reports stats");
+        assert!(stats.scale_ups > 0, "{stats:?}");
+        assert!(stats.warmups_completed > 0, "{stats:?}");
+        assert!(stats.max_live_workers >= 3, "{stats:?}");
+        assert_eq!(elastic.served, elastic.total_arrivals);
+        assert!(
+            elastic.violation_rate < fixed.violation_rate,
+            "elastic {} vs fixed {}",
+            elastic.violation_rate,
+            fixed.violation_rate
+        );
+        assert!(events.iter().any(|e| matches!(e, Event::ScaleUp { .. })));
+        assert!(events.iter().any(|e| matches!(e, Event::WorkerWarm { .. })));
+    }
+
+    #[test]
+    fn scale_in_drains_without_losing_work() {
+        // Load collapses from 200 to 20 QPS halfway: the controller
+        // drains surplus workers, every drained queue is handed off,
+        // and conservation still holds query-for-query.
+        let trace = Trace::from_interval_qps(&[200.0, 20.0], 5.0, TraceKind::Custom);
+        let policy = AutoscalePolicy::elastic(1, 6, 50.0);
+        let (report, events) = run_elastic(
+            &trace,
+            SimulationConfig::new(5, 0.15)
+                .seeded(4)
+                .with_autoscale(policy),
+        );
+        let stats = report.autoscale.expect("enabled run reports stats");
+        assert!(stats.scale_downs > 0, "{stats:?}");
+        assert!(stats.drains_completed > 0, "{stats:?}");
+        assert!(stats.min_live_workers < 5, "{stats:?}");
+        assert_eq!(report.served, report.total_arrivals);
+        let c = ramsis_telemetry::conservation(&events);
+        assert!(c.holds(), "{c:?}");
+        assert_eq!(c.anomalies, 0);
+        // Every ScaleDown is eventually matched by a DrainComplete.
+        let downs = events
+            .iter()
+            .filter(|e| matches!(e, Event::ScaleDown { .. }))
+            .count();
+        let drains = events
+            .iter()
+            .filter(|e| matches!(e, Event::DrainComplete { .. }))
+            .count();
+        assert_eq!(downs, drains, "every drain must finish");
+        // Elasticity pays: strictly fewer worker-seconds than the
+        // fixed five-worker pool over the same horizon.
+        assert!(
+            stats.worker_seconds < 5.0 * report.horizon_s,
+            "{} vs {}",
+            stats.worker_seconds,
+            5.0 * report.horizon_s
+        );
+    }
+
+    #[test]
+    fn brownout_engages_under_sustained_overload_and_exits_after() {
+        // The pool is pinned at two workers (min == max) while load
+        // runs far past capacity, then collapses: the ladder must
+        // engage, degrade selections toward faster models, and exit
+        // once the overload clears.
+        let trace = Trace::from_interval_qps(&[400.0, 15.0], 6.0, TraceKind::Custom);
+        let policy = AutoscalePolicy::elastic(2, 2, 50.0);
+        let slow = *profile().pareto_models().last().unwrap();
+        let sim = Simulation::new(
+            profile(),
+            SimulationConfig::new(2, 0.15)
+                .seeded(5)
+                .with_autoscale(policy),
+        )
+        .unwrap();
+        let mut scheme = GreedyFastestRr { model: slow };
+        let mut monitor = LoadMonitor::new();
+        let mut sink = ramsis_telemetry::VecSink::new();
+        let report = sim.run_traced(&trace, &mut scheme, &mut monitor, &mut sink);
+        let stats = report.autoscale.expect("enabled run reports stats");
+        assert!(stats.brownout_enters > 0, "{stats:?}");
+        assert!(stats.brownout_exits > 0, "{stats:?}");
+        assert!(stats.brownout_time_s > 0.0, "{stats:?}");
+        assert!(stats.max_brownout_rung >= 1, "{stats:?}");
+        assert!(stats.degraded_selections > 0, "{stats:?}");
+        let events = sink.into_events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::BrownoutEnter { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::BrownoutExit { .. })));
+        // Degradation actually bit: some queries were served by a model
+        // other than the slow one the scheme kept asking for.
+        let slow_name = &profile().models[slow].name;
+        let degraded_served: u64 = report
+            .per_model
+            .iter()
+            .filter(|(name, _)| name != slow_name)
+            .map(|&(_, count)| count)
+            .sum();
+        assert!(degraded_served > 0, "{:?}", report.per_model);
+    }
+
+    #[test]
+    fn autoscaled_runs_are_deterministic_under_faults() {
+        // The full stack at once — elasticity, brownout, crash faults,
+        // stochastic latency — must still be byte-reproducible.
+        let trace = Trace::from_interval_qps(&[250.0, 40.0, 250.0], 3.0, TraceKind::Custom);
+        let mut policy = AutoscalePolicy::elastic(1, 6, 50.0);
+        policy.warmup_s = 0.5;
+        let plan = FaultPlan::none().crash(0, 2.0).recover(0, 4.0);
+        let config = SimulationConfig::new(2, 0.15)
+            .stochastic()
+            .seeded(19)
+            .with_autoscale(policy);
+        let sim = Simulation::new(profile(), config).unwrap();
+        let run = || {
+            let mut scheme = GreedyFastestRr {
+                model: profile().fastest_model(),
+            };
+            let mut monitor = LoadMonitor::new();
+            let mut sink = ramsis_telemetry::VecSink::new();
+            let report = sim
+                .run_faulted_traced(&trace, &plan, &mut scheme, &mut monitor, &mut sink)
+                .unwrap();
+            (report, sink.into_events())
+        };
+        let (r1, e1) = run();
+        let (r2, e2) = run();
+        assert_eq!(r1, r2);
+        assert_eq!(e1, e2);
+        assert_eq!(
+            serde_json::to_string(&r1).unwrap(),
+            serde_json::to_string(&r2).unwrap()
+        );
+    }
+
+    #[test]
+    fn autoscale_rejects_invalid_shapes() {
+        // Initial pool larger than the ceiling.
+        let config =
+            SimulationConfig::new(8, 0.15).with_autoscale(AutoscalePolicy::elastic(1, 4, 50.0));
+        assert!(config.validate().is_err());
+        // Heterogeneous clusters cannot autoscale (membership changes
+        // would re-index per-worker profiles).
+        let profiles = vec![profile(), profile()];
+        assert!(Simulation::heterogeneous(
+            profiles,
+            SimulationConfig::new(2, 0.15).with_autoscale(AutoscalePolicy::elastic(1, 4, 50.0)),
+        )
+        .is_err());
+    }
+
+    /// A DegradingRamsis over `workers` with per-worker-count sets down
+    /// to one worker — the pool-extreme test harness of satellite 3.
+    fn degrading_scheme(workers: usize, loads: &[f64]) -> crate::scheme::DegradingRamsis {
+        let config = PolicyConfig::builder(Duration::from_millis(150))
+            .workers(workers)
+            .discretization(Discretization::fixed_length(8))
+            .build();
+        let sets = ramsis_core::DegradablePolicySet::generate_poisson(profile(), loads, &config, 1)
+            .unwrap();
+        let fallback = ramsis_core::FallbackPolicy::fastest(profile()).unwrap();
+        crate::scheme::DegradingRamsis::new(sets, fallback)
+    }
+
+    #[test]
+    fn degradable_scheme_survives_scale_in_to_one_worker() {
+        // Light load against four initial workers with a floor of one:
+        // the pool must shrink all the way down and the pre-solved
+        // one-worker policy must keep serving everything.
+        let trace = Trace::constant(25.0, 12.0);
+        let policy = AutoscalePolicy::elastic(1, 4, 60.0);
+        let sim = Simulation::new(
+            profile(),
+            SimulationConfig::new(4, 0.15)
+                .seeded(6)
+                .with_autoscale(policy),
+        )
+        .unwrap();
+        let mut scheme = degrading_scheme(4, &[25.0, 100.0]);
+        let mut monitor = LoadMonitor::new();
+        let report = sim.run(&trace, &mut scheme, &mut monitor);
+        let stats = report.autoscale.expect("enabled run reports stats");
+        assert_eq!(stats.min_live_workers, 1, "{stats:?}");
+        assert!(stats.drains_completed >= 3, "{stats:?}");
+        assert_eq!(report.served, report.total_arrivals);
+        assert_eq!(report.dropped, 0);
+    }
+
+    #[test]
+    fn crash_of_last_live_worker_while_warming_recovers() {
+        // One live worker, a surge forces a scale-up, and the lone live
+        // worker crashes while the new one is still warming: arrivals
+        // must limbo (not vanish) and be served once warm-up completes.
+        let trace = Trace::constant(120.0, 6.0);
+        let mut policy = AutoscalePolicy::elastic(1, 4, 50.0);
+        policy.warmup_s = 1.0;
+        let plan = FaultPlan::none().crash(0, 1.0).recover(0, 4.0);
+        let sim = Simulation::new(
+            profile(),
+            SimulationConfig::new(1, 0.15)
+                .seeded(7)
+                .with_autoscale(policy),
+        )
+        .unwrap();
+        let mut scheme = degrading_scheme(4, &[60.0, 120.0]);
+        let mut monitor = LoadMonitor::new();
+        let mut sink = ramsis_telemetry::VecSink::new();
+        let report = sim
+            .run_faulted_traced(&trace, &plan, &mut scheme, &mut monitor, &mut sink)
+            .unwrap();
+        let stats = report.autoscale.expect("enabled run reports stats");
+        assert!(stats.warmups_completed >= 1, "{stats:?}");
+        assert_eq!(report.served, report.total_arrivals);
+        assert_eq!(report.dropped, 0);
+        let c = ramsis_telemetry::conservation(&sink.into_events());
+        assert!(c.holds(), "{c:?}");
+    }
+
+    #[test]
+    fn membership_changes_mid_drain_conserve_every_query() {
+        // Load whipsaws so drains overlap fresh scale-ups (membership
+        // changes arriving while workers are still draining). No query
+        // may be lost or double-served through the churn.
+        let trace = Trace::from_interval_qps(&[300.0, 10.0, 300.0, 10.0], 3.0, TraceKind::Custom);
+        let mut policy = AutoscalePolicy::elastic(1, 6, 50.0);
+        policy.warmup_s = 0.5;
+        policy.down_confirm = 3;
+        let sim = Simulation::new(
+            profile(),
+            SimulationConfig::new(2, 0.15)
+                .seeded(8)
+                .with_autoscale(policy),
+        )
+        .unwrap();
+        let mut scheme = degrading_scheme(6, &[50.0, 150.0, 300.0]);
+        let mut monitor = LoadMonitor::new();
+        let mut sink = ramsis_telemetry::VecSink::new();
+        let report = sim.run_traced(&trace, &mut scheme, &mut monitor, &mut sink);
+        let stats = report.autoscale.expect("enabled run reports stats");
+        assert!(stats.scale_ups > 0 && stats.scale_downs > 0, "{stats:?}");
+        let events = sink.into_events();
+        let c = ramsis_telemetry::conservation(&events);
+        assert!(c.holds(), "{c:?}");
+        assert_eq!(c.anomalies, 0);
+        assert_eq!(report.served + report.dropped, report.total_arrivals);
     }
 }

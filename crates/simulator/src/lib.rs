@@ -27,6 +27,7 @@
 //! drop queries when facing latency SLO violations").
 
 pub mod adaptive;
+pub mod autoscale;
 pub mod chaos;
 pub mod engine;
 pub mod faults;
@@ -48,6 +49,10 @@ pub use ramsis_core::CoreError as SimError;
 pub use ramsis_telemetry::{ProfileReport, Profiler};
 
 pub use adaptive::AdaptiveRamsis;
+pub use autoscale::{
+    AutoscalePolicy, AutoscaleStats, Autoscaler, BrownoutPolicy, HysteresisController, ScaleSignal,
+    WorkerState,
+};
 pub use chaos::{ChaosConfig, ChaosFailure, ChaosReport, ChaosRunSummary, FastestFixed};
 pub use engine::{Simulation, SimulationConfig};
 pub use faults::{CrashPolicy, FaultEvent, FaultPlan};

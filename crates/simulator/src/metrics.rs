@@ -389,6 +389,7 @@ impl MetricsCollector {
                 violations_outside_fault: self.violations - self.violations_in_fault,
             },
             resilience: self.resilience,
+            autoscale: None,
         }
     }
 }
@@ -547,7 +548,12 @@ impl FaultStats {
 }
 
 /// The outcome of one simulated run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialization is hand-written (not derived) for one reason: the
+/// `autoscale` field must be *omitted* — not `null` — when autoscaling
+/// is disabled, so a fixed-pool run's report stays byte-identical to
+/// the pre-elasticity engine.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimulationReport {
     /// Name of the MS&S scheme that produced the run.
     pub scheme: String,
@@ -602,6 +608,92 @@ pub struct SimulationReport {
     /// Request-level resilience accounting (all zeros with the default
     /// disabled [`crate::ResiliencePolicy`]).
     pub resilience: ResilienceStats,
+    /// Elastic-capacity accounting (`None` when autoscaling is
+    /// disabled, keeping the report byte-identical to a fixed pool).
+    pub autoscale: Option<crate::autoscale::AutoscaleStats>,
+}
+
+impl Serialize for SimulationReport {
+    fn to_value(&self) -> serde::Value {
+        let mut fields: Vec<(String, serde::Value)> = vec![
+            ("scheme".into(), self.scheme.to_value()),
+            ("total_arrivals".into(), self.total_arrivals.to_value()),
+            ("served".into(), self.served.to_value()),
+            ("dropped".into(), self.dropped.to_value()),
+            ("violations".into(), self.violations.to_value()),
+            ("violation_rate".into(), self.violation_rate.to_value()),
+            (
+                "accuracy_per_satisfied_query".into(),
+                self.accuracy_per_satisfied_query.to_value(),
+            ),
+            ("mean_response_s".into(), self.mean_response_s.to_value()),
+            ("p50_response_s".into(), self.p50_response_s.to_value()),
+            ("p95_response_s".into(), self.p95_response_s.to_value()),
+            ("p99_response_s".into(), self.p99_response_s.to_value()),
+            (
+                "mean_queue_wait_s".into(),
+                self.mean_queue_wait_s.to_value(),
+            ),
+            ("mean_batch".into(), self.mean_batch.to_value()),
+            ("max_batch".into(), self.max_batch.to_value()),
+            ("per_model".into(), self.per_model.to_value()),
+            ("timeline".into(), self.timeline.to_value()),
+            ("mean_utilization".into(), self.mean_utilization.to_value()),
+            ("horizon_s".into(), self.horizon_s.to_value()),
+            ("divergence".into(), self.divergence.to_value()),
+            ("adaptive".into(), self.adaptive.to_value()),
+            ("faults".into(), self.faults.to_value()),
+            ("resilience".into(), self.resilience.to_value()),
+        ];
+        if self.autoscale.is_some() {
+            fields.push(("autoscale".into(), self.autoscale.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for SimulationReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        if !matches!(v, serde::Value::Object(_)) {
+            return Err(serde::DeError::expected("struct SimulationReport", v));
+        }
+        fn req<'a>(v: &'a serde::Value, name: &str) -> Result<&'a serde::Value, serde::DeError> {
+            v.field(name)
+                .ok_or_else(|| serde::DeError::missing_field("SimulationReport", name))
+        }
+        Ok(Self {
+            scheme: Deserialize::from_value(req(v, "scheme")?)?,
+            total_arrivals: Deserialize::from_value(req(v, "total_arrivals")?)?,
+            served: Deserialize::from_value(req(v, "served")?)?,
+            dropped: Deserialize::from_value(req(v, "dropped")?)?,
+            violations: Deserialize::from_value(req(v, "violations")?)?,
+            violation_rate: Deserialize::from_value(req(v, "violation_rate")?)?,
+            accuracy_per_satisfied_query: Deserialize::from_value(req(
+                v,
+                "accuracy_per_satisfied_query",
+            )?)?,
+            mean_response_s: Deserialize::from_value(req(v, "mean_response_s")?)?,
+            p50_response_s: Deserialize::from_value(req(v, "p50_response_s")?)?,
+            p95_response_s: Deserialize::from_value(req(v, "p95_response_s")?)?,
+            p99_response_s: Deserialize::from_value(req(v, "p99_response_s")?)?,
+            mean_queue_wait_s: Deserialize::from_value(req(v, "mean_queue_wait_s")?)?,
+            mean_batch: Deserialize::from_value(req(v, "mean_batch")?)?,
+            max_batch: Deserialize::from_value(req(v, "max_batch")?)?,
+            per_model: Deserialize::from_value(req(v, "per_model")?)?,
+            timeline: Deserialize::from_value(req(v, "timeline")?)?,
+            mean_utilization: Deserialize::from_value(req(v, "mean_utilization")?)?,
+            horizon_s: Deserialize::from_value(req(v, "horizon_s")?)?,
+            divergence: Deserialize::from_value(req(v, "divergence")?)?,
+            adaptive: Deserialize::from_value(req(v, "adaptive")?)?,
+            faults: Deserialize::from_value(req(v, "faults")?)?,
+            resilience: Deserialize::from_value(req(v, "resilience")?)?,
+            // Absent on every pre-elasticity report: default to None.
+            autoscale: match v.field("autoscale") {
+                Some(val) => Deserialize::from_value(val)?,
+                None => None,
+            },
+        })
+    }
 }
 
 impl SimulationReport {

@@ -240,6 +240,17 @@ impl ResiliencePolicy {
                     ));
                 }
                 pos("retry budget burst", self.retry.budget_burst)?;
+                // A burst below one token can never grant a retry
+                // ([`RetryBudget::try_take`] needs a whole token), so
+                // retries would be configured on yet silently never
+                // fire — a zero-capacity budget is a config bug.
+                if self.retry.budget_burst < 1.0 {
+                    return bad(format!(
+                        "resilience: retry budget burst {} can never hold a whole \
+                         token; use at least 1 (or set max_retries to 0)",
+                        self.retry.budget_burst
+                    ));
+                }
             }
         }
         if self.hedge.enabled {
@@ -249,6 +260,17 @@ impl ResiliencePolicy {
             {
                 return bad(format!(
                     "resilience: hedge quantile must be in (0, 100), got {}",
+                    self.hedge.quantile
+                ));
+            }
+            // Quantiles are percent (90.0 = p90). A value below 1 is
+            // almost certainly a fraction (0.9) slipping through, which
+            // would hedge virtually every dispatch; reject it loudly
+            // instead of silently doubling the load.
+            if self.hedge.quantile < 1.0 {
+                return bad(format!(
+                    "resilience: hedge quantile is a percent (e.g. 90.0), got {} — \
+                     fractions in (0, 1) are rejected to catch unit confusion",
                     self.hedge.quantile
                 ));
             }
@@ -462,6 +484,39 @@ mod tests {
         // off switch cannot fail a run that never reads them.
         let mut p = ResiliencePolicy::default();
         p.hedge.quantile = f64::NAN;
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_catches_fraction_quantile_and_starved_retry_budget() {
+        // 0.95 "meaning" p95 is unit confusion — quantiles are percent.
+        // It used to slip through the (0, 100) range check and hedge
+        // nearly every dispatch.
+        let mut p = ResiliencePolicy::all_on();
+        p.hedge.quantile = 0.95;
+        let err = p.validate().unwrap_err();
+        assert!(err.to_string().contains("percent"), "{err}");
+
+        // A retry budget whose burst can never hold one whole token is
+        // retries-in-name-only: enabled, yet structurally unable to
+        // ever grant one.
+        let mut p = ResiliencePolicy::all_on();
+        p.retry.max_retries = 3;
+        p.retry.budget_burst = 0.5;
+        let err = p.validate().unwrap_err();
+        assert!(err.to_string().contains("token"), "{err}");
+
+        // With retries off the same burst is dormant and acceptable.
+        let mut p = ResiliencePolicy::all_on();
+        p.retry.max_retries = 0;
+        p.retry.budget_burst = 0.5;
+        assert!(p.validate().is_ok());
+
+        // Boundary values stay legal: exactly one token, exactly p1.
+        let mut p = ResiliencePolicy::all_on();
+        p.retry.max_retries = 1;
+        p.retry.budget_burst = 1.0;
+        p.hedge.quantile = 1.0;
         assert!(p.validate().is_ok());
     }
 

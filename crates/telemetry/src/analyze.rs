@@ -234,6 +234,10 @@ pub struct WindowStats {
     pub hedges: u64,
     /// Queries refused at enqueue by admission control.
     pub admission_sheds: u64,
+    /// Autoscale membership events (scale-ups + scale-downs committed).
+    pub scale_actions: u64,
+    /// Brownout ladder transitions (enters + exits).
+    pub brownout_moves: u64,
 }
 
 impl WindowStats {
@@ -349,7 +353,16 @@ pub fn window_breakdown(events: &[Event], window_ns: Nanos) -> Vec<WindowStats> 
                 }
             }
             Event::Admission { at, .. } => bucket(&mut windows, at, window_ns).admission_sheds += 1,
-            Event::Enqueue { .. } | Event::CrashRequeue { .. } => {}
+            Event::ScaleUp { at, .. } | Event::ScaleDown { at, .. } => {
+                bucket(&mut windows, at, window_ns).scale_actions += 1;
+            }
+            Event::BrownoutEnter { at, .. } | Event::BrownoutExit { at, .. } => {
+                bucket(&mut windows, at, window_ns).brownout_moves += 1;
+            }
+            Event::Enqueue { .. }
+            | Event::CrashRequeue { .. }
+            | Event::WorkerWarm { .. }
+            | Event::DrainComplete { .. } => {}
         }
     }
     // Apportion each completed service span across the windows it

@@ -249,6 +249,72 @@ pub enum Event {
         /// oldest queued query had been waiting).
         sojourn_ns: Nanos,
     },
+    /// The autoscaler sent a worker warming (audit). The worker serves
+    /// only after its warm-up latency ([`Event::WorkerWarm`]).
+    ScaleUp {
+        /// Decision time.
+        at: Nanos,
+        /// Worker slot being warmed.
+        worker: u32,
+        /// Live worker count at the decision (the new worker not
+        /// included yet).
+        live: u32,
+    },
+    /// The autoscaler sent a worker draining (audit): its queued work
+    /// was handed off to survivors and its in-flight batch runs to
+    /// completion ([`Event::DrainComplete`]).
+    ScaleDown {
+        /// Decision time.
+        at: Nanos,
+        /// Worker being drained (or a cancelled warm-up).
+        worker: u32,
+        /// Live worker count after the removal.
+        live: u32,
+        /// Queued queries handed off to survivors (0 for a cancelled
+        /// warm-up).
+        handoffs: u32,
+    },
+    /// A warming worker finished its warm-up and went Live (audit).
+    WorkerWarm {
+        /// The time the worker joined the pool.
+        at: Nanos,
+        /// Worker that went Live.
+        worker: u32,
+        /// Live worker count including the new worker.
+        live: u32,
+    },
+    /// A draining worker finished (or had none) its in-flight batch and
+    /// left the pool (audit).
+    DrainComplete {
+        /// The time the worker went Down.
+        at: Nanos,
+        /// Worker that left the pool.
+        worker: u32,
+    },
+    /// The brownout ladder escalated under sustained overload (audit):
+    /// model selection is now degraded by `rung` rungs toward the
+    /// fastest model.
+    BrownoutEnter {
+        /// Escalation time.
+        at: Nanos,
+        /// The rung now active (1-based).
+        rung: u32,
+        /// Load estimate that triggered the move.
+        load_qps: f64,
+        /// Live pool capacity the load was compared against.
+        capacity_qps: f64,
+    },
+    /// The brownout ladder de-escalated one rung (audit).
+    BrownoutExit {
+        /// De-escalation time.
+        at: Nanos,
+        /// The rung just left.
+        rung: u32,
+        /// Load estimate at the move.
+        load_qps: f64,
+        /// Live pool capacity the load was compared against.
+        capacity_qps: f64,
+    },
 }
 
 impl Event {
@@ -270,7 +336,13 @@ impl Event {
             | Event::Retry { at, .. }
             | Event::HedgeIssued { at, .. }
             | Event::HedgeCancelled { at, .. }
-            | Event::Admission { at, .. } => at,
+            | Event::Admission { at, .. }
+            | Event::ScaleUp { at, .. }
+            | Event::ScaleDown { at, .. }
+            | Event::WorkerWarm { at, .. }
+            | Event::DrainComplete { at, .. }
+            | Event::BrownoutEnter { at, .. }
+            | Event::BrownoutExit { at, .. } => at,
         }
     }
 
@@ -285,6 +357,12 @@ impl Event {
                 | Event::FallbackEngaged { .. }
                 | Event::HedgeIssued { .. }
                 | Event::HedgeCancelled { .. }
+                | Event::ScaleUp { .. }
+                | Event::ScaleDown { .. }
+                | Event::WorkerWarm { .. }
+                | Event::DrainComplete { .. }
+                | Event::BrownoutEnter { .. }
+                | Event::BrownoutExit { .. }
         )
     }
 }
@@ -399,6 +477,35 @@ mod tests {
                 query: 9,
                 cause: ShedCause::RetryExhausted,
             },
+            Event::ScaleUp {
+                at: 22,
+                worker: 4,
+                live: 2,
+            },
+            Event::ScaleDown {
+                at: 23,
+                worker: 4,
+                live: 1,
+                handoffs: 3,
+            },
+            Event::WorkerWarm {
+                at: 24,
+                worker: 4,
+                live: 3,
+            },
+            Event::DrainComplete { at: 25, worker: 4 },
+            Event::BrownoutEnter {
+                at: 26,
+                rung: 1,
+                load_qps: 420.0,
+                capacity_qps: 300.0,
+            },
+            Event::BrownoutExit {
+                at: 27,
+                rung: 1,
+                load_qps: 180.0,
+                capacity_qps: 300.0,
+            },
         ];
         for e in &events {
             let json = serde_json::to_string(e).unwrap();
@@ -447,5 +554,21 @@ mod tests {
             batch: 1,
         };
         assert!(!h.is_lifecycle());
+        // Autoscale events are audit: they narrate membership and
+        // degradation, not a query's own state machine.
+        let s = Event::ScaleUp {
+            at: 11,
+            worker: 2,
+            live: 3,
+        };
+        assert_eq!(s.at(), 11);
+        assert!(!s.is_lifecycle());
+        let b = Event::BrownoutEnter {
+            at: 12,
+            rung: 2,
+            load_qps: 500.0,
+            capacity_qps: 300.0,
+        };
+        assert!(!b.is_lifecycle());
     }
 }

@@ -230,18 +230,26 @@ pub struct ParsedLog {
     /// The unparseable final line of a truncated log, verbatim
     /// (`None` for a clean log).
     pub torn_tail: Option<String>,
+    /// Lines holding well-formed JSON that is not a known event kind —
+    /// a log written by a newer engine with event variants this build
+    /// does not know. They are skipped, not fatal, so old tooling can
+    /// still analyze new logs; callers should warn when non-zero.
+    pub unknown_events: u64,
 }
 
 /// Parses a JSONL event log, tolerating a truncated final record — the
-/// signature of a run that crashed or was killed mid-write. Every whole
-/// record is returned and the torn fragment is reported in
-/// [`ParsedLog::torn_tail`] so callers can surface it.
+/// signature of a run that crashed or was killed mid-write — and
+/// unknown event kinds — the signature of a log from a newer engine.
+/// Every whole known record is returned; the torn fragment is reported
+/// in [`ParsedLog::torn_tail`] and skipped foreign records are counted
+/// in [`ParsedLog::unknown_events`] so callers can surface both.
 ///
 /// # Errors
 ///
 /// Returns a message naming the offending line when a *non-final* line
-/// fails to parse: corruption in the middle of a log is real damage,
-/// not a torn write, and is never silently skipped.
+/// is not even valid JSON: corruption in the middle of a log is real
+/// damage, not a torn write or a forward-compat gap, and is never
+/// silently skipped.
 pub fn parse_jsonl_tolerant(text: &str) -> Result<ParsedLog, String> {
     let lines: Vec<(usize, &str)> = text
         .lines()
@@ -250,15 +258,23 @@ pub fn parse_jsonl_tolerant(text: &str) -> Result<ParsedLog, String> {
         .collect();
     let mut events = Vec::with_capacity(lines.len());
     let mut torn_tail = None;
+    let mut unknown_events = 0;
     let last = lines.len().saturating_sub(1);
     for (k, (i, l)) in lines.iter().enumerate() {
         match serde_json::from_str(l) {
             Ok(e) => events.push(e),
+            // Valid JSON that is not an Event we know: a future event
+            // kind, anywhere in the log. Skip and count.
+            Err(_) if serde_json::from_str::<serde::Value>(l).is_ok() => unknown_events += 1,
             Err(_) if k == last => torn_tail = Some((*l).to_string()),
             Err(e) => return Err(format!("line {}: {e}", i + 1)),
         }
     }
-    Ok(ParsedLog { events, torn_tail })
+    Ok(ParsedLog {
+        events,
+        torn_tail,
+        unknown_events,
+    })
 }
 
 #[cfg(test)]
@@ -396,5 +412,35 @@ mod tests {
         let text = format!("{good}\nnot json at all\n{good}\n");
         let err = parse_jsonl_tolerant(&text).unwrap_err();
         assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn tolerant_parse_skips_unknown_event_kinds_with_count() {
+        // Forward compatibility: a log written by a newer engine may
+        // hold event kinds this build has never heard of. They are
+        // well-formed JSON, so they are counted and skipped — anywhere
+        // in the log, not just at the tail — instead of failing the
+        // whole parse.
+        let good = serde_json::to_string(&ev(1)).unwrap();
+        let text = format!(
+            "{good}\n\
+             {{\"TeleportDone\":{{\"at\":9,\"worker\":3}}}}\n\
+             {good}\n\
+             {{\"AnotherFutureKind\":null}}\n"
+        );
+        let parsed = parse_jsonl_tolerant(&text).unwrap();
+        assert_eq!(parsed.events, vec![ev(1), ev(1)]);
+        assert_eq!(parsed.unknown_events, 2);
+        assert_eq!(parsed.torn_tail, None);
+        // The strict parser still refuses foreign records outright.
+        assert!(parse_jsonl(&text).is_err());
+        // Unknown kinds and a torn tail can coexist: the torn final
+        // fragment is not valid JSON, so it is reported as torn while
+        // the foreign record is counted.
+        let both = format!("{good}\n{{\"FutureKind\":1}}\n{{\"Shed\":{{\"at");
+        let parsed = parse_jsonl_tolerant(&both).unwrap();
+        assert_eq!(parsed.events, vec![ev(1)]);
+        assert_eq!(parsed.unknown_events, 1);
+        assert!(parsed.torn_tail.is_some());
     }
 }

@@ -118,6 +118,21 @@ pub struct SpanLog {
     /// (truncated traces); their remainder was attributed coarsely but
     /// the telescoping sum is still exact.
     pub degraded_spans: u64,
+    /// Scaling-lag windows: `(scale_up, worker_warm)` intervals during
+    /// which capacity had been requested but was not yet live. A window
+    /// still open at end of log extends to `Nanos::MAX`.
+    pub warming_windows: Vec<(Nanos, Nanos)>,
+    /// Brownout windows: `(enter, exit)` intervals during which the
+    /// scheme was degrading model choices. A window still open at end
+    /// of log extends to `Nanos::MAX`.
+    pub brownout_windows: Vec<(Nanos, Nanos)>,
+}
+
+/// Whether `at` falls inside any `(start, end)` window (half-open on
+/// the right so a completion at the exact warm-up instant is not
+/// blamed on scaling lag).
+fn in_windows(windows: &[(Nanos, Nanos)], at: Nanos) -> bool {
+    windows.iter().any(|&(start, end)| start <= at && at < end)
 }
 
 /// The most recent dispatch seen on a worker.
@@ -146,6 +161,11 @@ pub fn reconstruct_spans(events: &[Event]) -> SpanLog {
     let mut builders: BTreeMap<u64, SpanBuilder> = BTreeMap::new();
     let mut dispatches: BTreeMap<u32, DispatchRec> = BTreeMap::new();
     let mut orphan_events: u64 = 0;
+    let mut warming_since: BTreeMap<u32, Nanos> = BTreeMap::new();
+    let mut warming_windows: Vec<(Nanos, Nanos)> = Vec::new();
+    let mut brownout_windows: Vec<(Nanos, Nanos)> = Vec::new();
+    let mut brownout_open: Option<Nanos> = None;
+    let mut brownout_depth: u32 = 0;
 
     for ev in events {
         match *ev {
@@ -309,12 +329,47 @@ pub fn reconstruct_spans(events: &[Event]) -> SpanLog {
             // Queue placement and crash displacement do not move the
             // ready anchor: queued time keeps accruing as wait.
             Event::Enqueue { .. } | Event::CrashRequeue { .. } => {}
+            // Scaling-lag bookkeeping: a worker is "lagging" between
+            // the scale-up decision and the moment it turns live.
+            Event::ScaleUp { at, worker, .. } => {
+                warming_since.insert(worker, at);
+            }
+            Event::WorkerWarm { at, worker, .. } => {
+                if let Some(start) = warming_since.remove(&worker) {
+                    warming_windows.push((start, at));
+                }
+            }
+            Event::BrownoutEnter { at, .. } => {
+                if brownout_depth == 0 {
+                    brownout_open = Some(at);
+                }
+                brownout_depth += 1;
+            }
+            Event::BrownoutExit { at, .. } => {
+                brownout_depth = brownout_depth.saturating_sub(1);
+                if brownout_depth == 0 {
+                    if let Some(start) = brownout_open.take() {
+                        brownout_windows.push((start, at));
+                    }
+                }
+            }
             // Audit events carry no per-query time.
             Event::PolicyDecision { .. }
             | Event::RegimeSwap { .. }
             | Event::LazySolve { .. }
-            | Event::FallbackEngaged { .. } => {}
+            | Event::FallbackEngaged { .. }
+            | Event::ScaleDown { .. }
+            | Event::DrainComplete { .. } => {}
         }
+    }
+
+    // A scale-up or brownout still open when the log ends keeps lagging
+    // until the end of time — later completions stay attributable.
+    for (_, start) in warming_since {
+        warming_windows.push((start, Nanos::MAX));
+    }
+    if let Some(start) = brownout_open {
+        brownout_windows.push((start, Nanos::MAX));
     }
 
     let degraded_spans = builders.values().filter(|b| b.degraded).count() as u64;
@@ -322,6 +377,8 @@ pub fn reconstruct_spans(events: &[Event]) -> SpanLog {
         spans: builders.into_values().map(|b| b.span).collect(),
         orphan_events,
         degraded_spans,
+        warming_windows,
+        brownout_windows,
     }
 }
 
@@ -397,6 +454,13 @@ pub struct CriticalPathReport {
     /// Completed spans whose segment sum differs from the measured
     /// response time (0 on any well-formed trace).
     pub conservation_violations: u64,
+    /// Deadline violations whose completion landed inside a scaling-lag
+    /// window (capacity requested but not yet warm) — the share of
+    /// misses attributable to slow scale-up.
+    pub violations_during_scale_lag: u64,
+    /// Deadline violations whose completion landed inside a brownout
+    /// window (the scheme was already degrading model choices).
+    pub violations_during_brownout: u64,
     /// End-to-end response time across completed queries.
     pub response: SegmentStats,
     /// Queued-and-ready time.
@@ -471,6 +535,22 @@ pub fn critical_path(log: &SpanLog, top_k: usize) -> CriticalPathReport {
         conservation_violations: completed
             .iter()
             .filter(|s| s.conserved() == Some(false))
+            .count() as u64,
+        violations_during_scale_lag: completed
+            .iter()
+            .filter(|s| {
+                matches!(s.outcome, SpanOutcome::Completed { violated: true, .. })
+                    && s.terminal_at
+                        .is_some_and(|at| in_windows(&log.warming_windows, at))
+            })
+            .count() as u64,
+        violations_during_brownout: completed
+            .iter()
+            .filter(|s| {
+                matches!(s.outcome, SpanOutcome::Completed { violated: true, .. })
+                    && s.terminal_at
+                        .is_some_and(|at| in_windows(&log.brownout_windows, at))
+            })
             .count() as u64,
         response: SegmentStats::from_values(
             completed.iter().map(|s| s.response_ns.unwrap_or(0)),
@@ -705,6 +785,109 @@ mod tests {
         // The remainder lands in service; the sum is still exact.
         assert_eq!(s.service_ns, 400);
         assert_eq!(s.conserved(), Some(true));
+    }
+
+    fn complete_violated(at: Nanos, query: u64, worker: u32, arrival: Nanos) -> Event {
+        Event::Complete {
+            at,
+            query,
+            worker,
+            model: 0,
+            response_ns: at - arrival,
+            violated: true,
+        }
+    }
+
+    #[test]
+    fn scaling_lag_windows_attribute_violations() {
+        // Worker 1 is requested at t=100 and turns live at t=500: any
+        // violated completion inside [100, 500) is blamed on scaling
+        // lag. Query 0 violates at 300 (inside), query 1 violates at
+        // 900 (outside), query 2 completes on time at 400 (inside but
+        // not violated).
+        let events = vec![
+            arrival(0, 0),
+            arrival(0, 1),
+            arrival(0, 2),
+            Event::ScaleUp {
+                at: 100,
+                worker: 1,
+                live: 1,
+            },
+            dispatch(150, 0),
+            complete_violated(300, 0, 0, 0),
+            dispatch(350, 0),
+            complete(400, 2, 0, 0),
+            Event::WorkerWarm {
+                at: 500,
+                worker: 1,
+                live: 2,
+            },
+            dispatch(700, 1),
+            complete_violated(900, 1, 1, 0),
+        ];
+        let log = reconstruct_spans(&events);
+        assert_eq!(log.warming_windows, vec![(100, 500)]);
+        assert!(log.brownout_windows.is_empty());
+        let report = critical_path(&log, 5);
+        assert_eq!(report.violations, 2);
+        assert_eq!(report.violations_during_scale_lag, 1);
+        assert_eq!(report.violations_during_brownout, 0);
+    }
+
+    #[test]
+    fn brownout_windows_pair_and_stay_open_at_truncation() {
+        // Enter at 100 escalates at 200, de-escalates at 300, fully
+        // exits at 400 — one merged window. A second enter at 600 never
+        // exits: the window extends to the end of time, as does a
+        // scale-up that never warms.
+        let events = vec![
+            arrival(0, 0),
+            Event::BrownoutEnter {
+                at: 100,
+                rung: 1,
+                load_qps: 20.0,
+                capacity_qps: 10.0,
+            },
+            Event::BrownoutEnter {
+                at: 200,
+                rung: 2,
+                load_qps: 25.0,
+                capacity_qps: 10.0,
+            },
+            Event::BrownoutExit {
+                at: 300,
+                rung: 2,
+                load_qps: 12.0,
+                capacity_qps: 10.0,
+            },
+            Event::BrownoutExit {
+                at: 400,
+                rung: 1,
+                load_qps: 5.0,
+                capacity_qps: 10.0,
+            },
+            Event::BrownoutEnter {
+                at: 600,
+                rung: 1,
+                load_qps: 30.0,
+                capacity_qps: 10.0,
+            },
+            Event::ScaleUp {
+                at: 650,
+                worker: 3,
+                live: 1,
+            },
+            dispatch(700, 0),
+            complete_violated(800, 0, 0, 0),
+        ];
+        let log = reconstruct_spans(&events);
+        assert_eq!(log.brownout_windows, vec![(100, 400), (600, Nanos::MAX)]);
+        assert_eq!(log.warming_windows, vec![(650, Nanos::MAX)]);
+        let report = critical_path(&log, 5);
+        // The violated completion at 800 sits inside both open windows.
+        assert_eq!(report.violations_during_brownout, 1);
+        assert_eq!(report.violations_during_scale_lag, 1);
     }
 
     #[test]

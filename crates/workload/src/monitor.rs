@@ -27,6 +27,15 @@ pub trait LoadEstimator {
         let _ = now;
         None
     }
+
+    /// The load trend (QPS per second) at `now`, for estimators that can
+    /// measure one — the autoscaler uses it to anticipate warm-up lag.
+    /// `None` while there is no meaningful trend (default, and during
+    /// warm-up).
+    fn trend_qps_per_s(&mut self, now: f64) -> Option<f64> {
+        let _ = now;
+        None
+    }
 }
 
 /// The 500 ms moving-average monitor of §6.
@@ -41,6 +50,11 @@ pub trait LoadEstimator {
 pub struct LoadMonitor {
     window: MovingAverage,
     window_s: f64,
+    /// A second, longer window recorded in parallel; comparing its rate
+    /// against the primary window's yields the load trend. Never
+    /// consulted by [`LoadEstimator::estimate`], so adding it changed no
+    /// estimate.
+    trend_window: MovingAverage,
 }
 
 impl LoadMonitor {
@@ -51,6 +65,9 @@ impl LoadMonitor {
     /// during warm-up, so the first few arrivals cannot produce a
     /// near-division-by-zero estimate.
     pub const MIN_WARMUP_FRACTION: f64 = 0.05;
+
+    /// The trend window is this many times the estimation window.
+    pub const TREND_WINDOW_FACTOR: f64 = 4.0;
 
     /// Creates a monitor with the paper's 500 ms window.
     pub fn new() -> Self {
@@ -66,6 +83,7 @@ impl LoadMonitor {
         Self {
             window: MovingAverage::new(window_s),
             window_s,
+            trend_window: MovingAverage::new(window_s * Self::TREND_WINDOW_FACTOR),
         }
     }
 
@@ -86,6 +104,7 @@ impl Default for LoadMonitor {
 impl LoadEstimator for LoadMonitor {
     fn record_arrival(&mut self, now: f64) {
         self.window.record(now);
+        self.trend_window.record(now);
     }
 
     fn estimate(&mut self, now: f64) -> f64 {
@@ -96,6 +115,21 @@ impl LoadEstimator for LoadMonitor {
         // Warm-up: the window spans [0, now), not a full window_s.
         let effective = now.max(self.window_s * Self::MIN_WARMUP_FRACTION);
         raw * self.window_s / effective
+    }
+
+    /// Finite difference between the short and long moving averages:
+    /// their rates are centered `(trend_window - window) / 2` seconds
+    /// apart, so the difference over that gap is the slope. `None`
+    /// before a full trend window has elapsed.
+    fn trend_qps_per_s(&mut self, now: f64) -> Option<f64> {
+        let long_s = self.window_s * Self::TREND_WINDOW_FACTOR;
+        if now < long_s {
+            return None;
+        }
+        let short = self.window.rate(now);
+        let long = self.trend_window.rate(now);
+        let gap_s = (long_s - self.window_s) / 2.0;
+        Some((short - long) / gap_s)
     }
 }
 
@@ -120,6 +154,14 @@ impl LoadEstimator for OracleMonitor {
 
     fn estimate(&mut self, now: f64) -> f64 {
         self.trace.qps_at(now)
+    }
+
+    /// Perfect knowledge: the forward difference of the planned trace.
+    fn trend_qps_per_s(&mut self, now: f64) -> Option<f64> {
+        const HORIZON_S: f64 = 0.25;
+        let here = self.trace.qps_at(now);
+        let ahead = self.trace.qps_at(now + HORIZON_S);
+        Some((ahead - here) / HORIZON_S)
     }
 }
 
@@ -184,6 +226,10 @@ impl LoadEstimator for DivergenceMonitor {
     fn divergence(&mut self, now: f64) -> Option<f64> {
         Some(DivergenceMonitor::divergence(self, now))
     }
+
+    fn trend_qps_per_s(&mut self, now: f64) -> Option<f64> {
+        self.observed.trend_qps_per_s(now)
+    }
 }
 
 #[cfg(test)]
@@ -239,6 +285,89 @@ mod tests {
         // Arrivals are ignored.
         mon.record_arrival(5.0);
         assert_eq!(mon.estimate(5.0), 100.0);
+    }
+
+    #[test]
+    fn trend_is_none_until_warm_and_tracks_a_ramp() {
+        // A linear ramp from 500 to 4,500 QPS over 8 s has a true slope
+        // of 500 QPS/s; the finite-difference trend should land in that
+        // neighborhood once both windows are populated.
+        let steps: Vec<f64> = (0..16).map(|i| 500.0 + 250.0 * i as f64).collect();
+        let trace = Trace::from_interval_qps(&steps, 0.5, TraceKind::Custom);
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let arrivals = sample_poisson_arrivals(&trace, &mut rng);
+        let mut mon = LoadMonitor::new();
+        // Before one full trend window there is no slope to report.
+        assert_eq!(mon.trend_qps_per_s(0.0), None);
+        let mut slope = None;
+        for &t in &arrivals {
+            mon.record_arrival(t);
+            if t < LoadMonitor::DEFAULT_WINDOW_S * LoadMonitor::TREND_WINDOW_FACTOR {
+                assert_eq!(mon.trend_qps_per_s(t), None, "not warm at t={t}");
+            }
+            if (7.4..7.5).contains(&t) {
+                slope = mon.trend_qps_per_s(t);
+            }
+        }
+        let slope = slope.expect("warm by 7.5 s");
+        assert!(
+            (100.0..1_500.0).contains(&slope),
+            "ramp slope should be strongly positive, got {slope}"
+        );
+    }
+
+    #[test]
+    fn trend_is_flat_on_steady_load_and_negative_on_decay() {
+        let mut rng = ChaCha8Rng::seed_from_u64(32);
+        let steady = sample_poisson_arrivals(&Trace::constant(2_000.0, 6.0), &mut rng);
+        let mut mon = LoadMonitor::new();
+        for &t in &steady {
+            mon.record_arrival(t);
+        }
+        let flat = mon.trend_qps_per_s(6.0).expect("warm");
+        // Poisson noise only: far smaller than the ramp's 500 QPS/s.
+        assert!(flat.abs() < 400.0, "steady trend {flat}");
+
+        let falling = Trace::from_interval_qps(&[4_000.0, 2_000.0, 500.0], 2.0, TraceKind::Custom);
+        let mut rng = ChaCha8Rng::seed_from_u64(33);
+        let arrivals = sample_poisson_arrivals(&falling, &mut rng);
+        let mut mon = LoadMonitor::new();
+        let mut down = None;
+        for &t in &arrivals {
+            mon.record_arrival(t);
+            if (5.3..5.5).contains(&t) {
+                down = mon.trend_qps_per_s(t);
+            }
+        }
+        let down = down.expect("warm");
+        assert!(down < -200.0, "decaying trend {down}");
+    }
+
+    #[test]
+    fn oracle_and_divergence_trends_delegate() {
+        // The oracle differentiates the plan itself: a step up at t=10
+        // is visible just before the boundary, zero elsewhere.
+        let trace = Trace::from_interval_qps(&[100.0, 900.0], 10.0, TraceKind::Custom);
+        let mut oracle = OracleMonitor::new(trace.clone());
+        assert_eq!(oracle.trend_qps_per_s(5.0), Some(0.0));
+        let at_step = oracle.trend_qps_per_s(9.9).expect("oracle always knows");
+        assert!(at_step > 1_000.0, "step slope {at_step}");
+        // DivergenceMonitor reports its observed monitor's trend.
+        let mut div = DivergenceMonitor::new(trace);
+        assert_eq!(div.trend_qps_per_s(0.1), None);
+    }
+
+    #[test]
+    fn trend_default_impl_is_none() {
+        // The trait default keeps every external estimator valid.
+        struct Fixed;
+        impl LoadEstimator for Fixed {
+            fn record_arrival(&mut self, _now: f64) {}
+            fn estimate(&mut self, _now: f64) -> f64 {
+                42.0
+            }
+        }
+        assert_eq!(Fixed.trend_qps_per_s(3.0), None);
     }
 
     #[test]

@@ -23,17 +23,30 @@ stage "cargo doc (warnings are errors)" \
 stage "cargo test" cargo test --workspace -q
 # Randomized resilience smoke: 25 seeded chaos runs, invariants checked
 # (determinism, conservation, counter agreement, hedge + admission
-# bounds). The full 100-run sweep lives in the simulator's test suite.
+# bounds, scale-event accounting, autoscaler-off bit-identity). The
+# full 100-run sweep lives in the simulator's test suite.
 stage "chaos sweep (smoke)" cargo run -q -p ramsis-cli -- chaos --runs 25
+# Elastic-capacity smoke: a short diurnal day through the autoscaler
+# (scale-out, warm-up, drain, scale-in all exercised), then a chaos
+# subset biased toward elastic runs. The frontier comparison itself
+# lives in the elastic_frontier bench and the bench test suite.
+autoscale_smoke() {
+    cargo run --release -q -p ramsis-cli -- autoscale --duration 15 --events 0
+    cargo run -q -p ramsis-cli -- chaos --runs 10 --seed 88 --max-workers 6
+}
+stage "autoscale-smoke" autoscale_smoke
 # Perf-regression smoke: the pinned scenario matrix + solver stage under
 # the self-profiler. The run itself asserts profiling-off bit-identity;
 # --validate re-checks the written document's schema.
 perf_smoke() {
+    # No RETURN trap here: one set inside a function stays installed
+    # globally and re-fires on the *caller's* return, where the local
+    # is gone and `set -u` aborts the whole gate.
     local out
     out="$(mktemp -d)"
-    trap 'rm -rf "${out}"' RETURN
     cargo run --release -q -p ramsis-bench --bin perf_baseline -- --smoke --out "${out}"
     cargo run --release -q -p ramsis-bench --bin perf_baseline -- --validate "${out}/BENCH_perf.json"
+    rm -rf "${out}"
 }
 stage "perf-smoke" perf_smoke
 
