@@ -60,6 +60,15 @@ impl ServingScheme for FixedModel {
             batch: (ctx.queued as u32).min(self.batch_cap),
         }
     }
+    /// Stateless: selection is a pure function of configuration and
+    /// context, so checkpointed runs capture nothing.
+    fn checkpoint_state(&self) -> Option<serde::Value> {
+        Some(serde::Value::Null)
+    }
+
+    fn restore_state(&mut self, _state: &serde::Value) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 #[cfg(test)]

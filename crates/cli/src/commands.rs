@@ -9,6 +9,7 @@ pub mod ms_gen;
 pub mod perf;
 pub mod plot;
 pub mod profiles;
+pub mod replay;
 pub mod robustness;
 pub mod sim;
 pub mod spans;

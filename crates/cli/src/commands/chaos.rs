@@ -10,8 +10,13 @@
 //!
 //! ```text
 //! ramsis-cli chaos [--runs N] [--seed S] [--max-workers N]
-//!                  [--max-load QPS] [--SLO MS] [--json] [--out PATH]
+//!                  [--max-load QPS] [--SLO MS] [--kill-resume]
+//!                  [--json] [--out PATH]
 //! ```
+//!
+//! `--kill-resume` adds the durability dimension: each scenario also
+//! runs with checkpointing on, is killed at a random checkpoint, and
+//! must resume byte-identically (report and telemetry suffix).
 //!
 //! Exit is non-zero when any invariant fails; CI runs the 25-run smoke
 //! mode (see scripts/ci.sh).
@@ -64,6 +69,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
                     .map_err(|e| format!("bad --SLO: {e}"))?;
                 cfg.slo_s = ms / 1e3;
             }
+            "--kill-resume" => cfg.kill_resume = true,
             "--json" => json = true,
             "--out" => out = Some(value("--out")?),
             other => return Err(format!("unknown flag {other:?}")),
@@ -102,6 +108,11 @@ pub fn run(args: &[String]) -> Result<(), String> {
                     } else {
                         "-".to_string()
                     },
+                    match r.resumed_from {
+                        Some(at) => format!("{}@{at}", r.checkpoints),
+                        None if r.checkpoints > 0 => r.checkpoints.to_string(),
+                        None => "-".to_string(),
+                    },
                 ]
             })
             .collect();
@@ -110,7 +121,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
             render_table(
                 &[
                     "run", "seed", "w", "qps", "route", "mech", "arrive", "served", "drop", "t/o",
-                    "retry", "hedge", "adm", "up/dn/bo",
+                    "retry", "hedge", "adm", "up/dn/bo", "ckpt",
                 ],
                 &table
             )

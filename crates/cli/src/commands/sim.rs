@@ -10,10 +10,15 @@
 //! `policy_gen/MS_WORKERS_SLO/table.json` (run `ramsis-cli ms-gen`).
 //! Jellyfish+ needs no offline artifacts.
 
+use std::path::Path;
+
 use ramsis_baselines::{JellyfishPlus, ModelSwitching, ResponseLatencyTable};
 use ramsis_core::{PolicySet, WorkerPolicy};
-use ramsis_sim::{LatencyMode, RamsisScheme, ServingScheme, Simulation, SimulationConfig};
-use ramsis_telemetry::JsonlSink;
+use ramsis_sim::{
+    CheckpointPolicy, EngineSnapshot, FaultPlan, FileRecorder, LatencyMode, RamsisScheme,
+    ServingScheme, Simulation, SimulationConfig, SimulationReport,
+};
+use ramsis_telemetry::{JsonlSink, NullSink, TelemetrySink};
 use ramsis_workload::{DivergenceMonitor, LoadEstimator, OracleMonitor, Trace};
 
 use crate::cli_args::CommonArgs;
@@ -22,7 +27,15 @@ use crate::commands::{build_profile, policy_dir, result_path, write_json_file};
 pub fn run(args: &[String]) -> Result<(), String> {
     let args = CommonArgs::parse(
         args,
-        &["--seed", "--duration", "--stochastic", "--telemetry"],
+        &[
+            "--seed",
+            "--duration",
+            "--stochastic",
+            "--telemetry",
+            "--checkpoint",
+            "--checkpoint-every",
+            "--resume",
+        ],
     )?;
     let method = args.method.as_deref().unwrap_or("RAMSIS");
     let profile = build_profile(&args);
@@ -102,6 +115,20 @@ pub fn run(args: &[String]) -> Result<(), String> {
         Box::new(DivergenceMonitor::new(trace.clone()))
     };
 
+    // Durable-run flags: `--checkpoint PATH` writes crash-consistent
+    // snapshots every `--checkpoint-every N` events; `--resume true`
+    // restarts from the snapshot at PATH (continuing the telemetry log
+    // in place, torn tail healed) instead of starting over.
+    let ckpt_path = args.extra("--checkpoint");
+    let ckpt_every: u64 = args
+        .extra("--checkpoint-every")
+        .unwrap_or("100000")
+        .parse()
+        .map_err(|e| format!("bad --checkpoint-every: {e}"))?;
+    let resuming = args
+        .extra("--resume")
+        .is_some_and(|v| v == "true" || v == "1");
+
     let mut config = SimulationConfig::new(args.workers, args.slo_s()).seeded(seed);
     if args
         .extra("--stochastic")
@@ -109,12 +136,69 @@ pub fn run(args: &[String]) -> Result<(), String> {
     {
         config.latency = LatencyMode::Stochastic;
     }
+    if ckpt_path.is_some() {
+        config = config.with_checkpoints(CheckpointPolicy::every_events(ckpt_every));
+    }
+    let snapshot = match (resuming, ckpt_path) {
+        (true, Some(p)) => Some(EngineSnapshot::read(Path::new(p)).map_err(|e| e.to_string())?),
+        (true, None) => return Err("--resume requires --checkpoint PATH".into()),
+        (false, _) => None,
+    };
+
     let sim = Simulation::new(&profile, config).expect("valid simulation config");
+    let plan = FaultPlan::none();
+    let run_with_sink = |sink: &mut dyn TelemetrySink,
+                         scheme: &mut dyn ServingScheme,
+                         estimator: &mut dyn LoadEstimator|
+     -> Result<SimulationReport, String> {
+        let Some(ckpt) = ckpt_path else {
+            return Ok(sim
+                .run_faulted_traced(&trace, &plan, scheme, estimator, sink)
+                .expect("empty fault plan always validates"));
+        };
+        let mut recorder = FileRecorder::new(ckpt);
+        let outcome = match &snapshot {
+            Some(snap) => {
+                sim.resume_durable(&trace, &plan, scheme, estimator, sink, snap, &mut recorder)
+            }
+            None => sim.run_durable(&trace, &plan, scheme, estimator, sink, &mut recorder),
+        }
+        .map_err(|e| e.to_string())?;
+        match outcome {
+            Some(report) => {
+                println!("checkpoints: {} written -> {ckpt}", recorder.written());
+                Ok(report)
+            }
+            None => Err(format!(
+                "checkpoint write to {ckpt} failed: {}",
+                recorder
+                    .take_error()
+                    .unwrap_or_else(|| "unknown I/O error".into())
+            )),
+        }
+    };
     let report = match args.extra("--telemetry") {
         Some(path) => {
-            let mut sink =
-                JsonlSink::create(path).map_err(|e| format!("open telemetry log {path}: {e}"))?;
-            let report = sim.run_traced(&trace, scheme.as_mut(), estimator.as_mut(), &mut sink);
+            let mut sink = match &snapshot {
+                // A resumed run continues the log in place: truncate to
+                // the checkpoint's whole-record prefix (healing any tail
+                // torn by the kill), then append.
+                Some(snap) => JsonlSink::resume_at(path, snap.meta.events_emitted)
+                    .map_err(|e| format!("reopen telemetry log {path}: {e}"))?,
+                None => JsonlSink::create(path)
+                    .map_err(|e| format!("open telemetry log {path}: {e}"))?,
+            };
+            let report = run_with_sink(&mut sink, scheme.as_mut(), estimator.as_mut())?;
+            if sink.write_failed() {
+                // A lost event is a lie in the log: fail the run loudly
+                // rather than report success over a truncated trace.
+                return Err(format!(
+                    "telemetry log {path} failed after {} events: {}",
+                    sink.lines(),
+                    sink.take_error()
+                        .map_or_else(|| "unknown I/O error".into(), |e| e.to_string())
+                ));
+            }
             let lines = sink.lines();
             sink.finish()
                 .map_err(|e| format!("write telemetry log {path}: {e}"))?;
@@ -123,7 +207,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
             );
             report
         }
-        None => sim.run(&trace, scheme.as_mut(), estimator.as_mut()),
+        None => run_with_sink(&mut NullSink, scheme.as_mut(), estimator.as_mut())?,
     };
 
     println!(

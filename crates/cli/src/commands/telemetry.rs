@@ -26,6 +26,9 @@ use serde::Serialize;
 struct TraceSummary {
     events: u64,
     torn_tail: bool,
+    /// Byte offset where the torn tail starts (`null` for a clean
+    /// log): `truncate(log, offset)` heals the tear.
+    torn_tail_offset: Option<usize>,
     unknown_events: u64,
     conservation: Conservation,
     arrivals: u64,
@@ -76,10 +79,12 @@ pub fn run(args: &[String]) -> Result<i32, String> {
     let parsed = parse_jsonl_tolerant(&text)?;
     if let Some(tail) = &parsed.torn_tail {
         // A truncated final line usually means the writer was killed
-        // mid-record; the complete prefix is still analyzable.
+        // mid-record; the complete prefix is still analyzable. The byte
+        // offset lets tooling heal the file: `truncate(log, offset)`.
         eprintln!(
-            "warning: trailing partial line ignored ({} bytes): {:?}…",
+            "warning: trailing partial line ignored ({} bytes at byte offset {}): {:?}…",
             tail.len(),
+            parsed.torn_tail_offset.unwrap_or(0),
             &tail[..tail.len().min(48)]
         );
     }
@@ -123,6 +128,7 @@ pub fn run(args: &[String]) -> Result<i32, String> {
         let summary = TraceSummary {
             events: events.len() as u64,
             torn_tail: parsed.torn_tail.is_some(),
+            torn_tail_offset: parsed.torn_tail_offset,
             unknown_events: parsed.unknown_events,
             conservation: cons,
             arrivals: agg.arrivals,

@@ -11,6 +11,7 @@
 //! ramsis-cli trace   --kind twitter --out twitter_like.txt
 //! ramsis-cli inspect --policy policy_gen/RAMSIS_60_150/2000.json
 //! ramsis-cli telemetry trace.jsonl --window 1000
+//! ramsis-cli replay trace.jsonl --snapshot ckpt.json
 //! ramsis-cli perf --scenario surge_faults --json
 //! ramsis-cli spans trace.jsonl --top 10
 //! ramsis-cli chaos --runs 100 --seed 7
@@ -44,6 +45,7 @@ pub fn run(args: &[String]) -> i32 {
         "robustness" => commands::robustness::run(rest).map(|()| 0),
         "drift" => commands::drift::run(rest).map(|()| 0),
         "telemetry" => commands::telemetry::run(rest),
+        "replay" => commands::replay::run(rest),
         "perf" => commands::perf::run(rest).map(|()| 0),
         "spans" => commands::spans::run(rest).map(|()| 0),
         "chaos" => commands::chaos::run(rest).map(|()| 0),
@@ -85,6 +87,10 @@ commands:
            per-window miss-attribution breakdown (--window MS, --json,
            --quiet prints only violations; exits 1 when conservation
            fails)
+  replay   validate a checkpoint against its telemetry log: snapshot
+           canonical-bytes check, log coverage, prefix conservation,
+           and counter/clock agreement between the two (LOG.jsonl
+           --snapshot CKPT.json, --json; exits 1 on divergence)
   perf     run a pinned scenario with the self-profiler on and print
            the phase flame-table, hot-path counters, and gauges
            (--scenario NAME, --seed S, --json)
@@ -95,7 +101,9 @@ commands:
            simulations twice each and check determinism, telemetry
            conservation, counter agreement, hedge consistency,
            admission bounds, scale-event accounting, and
-           autoscaler-off bit-identity (--runs N, --seed S, --json)
+           autoscaler-off bit-identity (--runs N, --seed S, --json;
+           --kill-resume adds the durability dimension: kill each run
+           at a random checkpoint and demand byte-identical resume)
   autoscale drive the fault-aware autoscaler over a diurnal trace and
            print the pool/brownout summary plus the scaling timeline
            (--trough QPS, --swing X, --min/--max N, --target QPS,

@@ -268,7 +268,7 @@ pub trait Autoscaler {
 /// The default [`Autoscaler`]: proportional sizing from the capacity
 /// target with trend anticipation, debounced by consecutive-tick
 /// confirmation in each direction and a cooldown between actions.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HysteresisController {
     policy: AutoscalePolicy,
     /// +1 while a scale-up is pending confirmation, -1 for scale-in,
@@ -378,7 +378,7 @@ pub enum BrownoutTransition {
 /// bans the `r` slowest (most accurate) models; the engine remaps any
 /// banned `Serve` selection to the slowest still-allowed model, so
 /// degradation sacrifices accuracy before any query is shed.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BrownoutLadder {
     policy: BrownoutPolicy,
     max_rung: u32,

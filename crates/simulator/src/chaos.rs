@@ -20,6 +20,13 @@
 //! - **Admission bounds**: with admission enabled, no enqueue ever
 //!   lands beyond the queue cap (the limbo queue is exempt — it exists
 //!   precisely because no admissible queue remains).
+//! - **Kill–resume identity** ([`ChaosConfig::kill_resume`]): the run
+//!   executes once more with checkpointing at a randomized cadence, is
+//!   killed at a randomly chosen checkpoint, and resumes from that
+//!   snapshot; the resumed report and telemetry suffix must be
+//!   byte-identical to the uninterrupted run, the snapshot must JSON
+//!   round-trip byte-identically, and checkpointing itself must not
+//!   perturb the run.
 //!
 //! Any violated invariant is reported as a [`ChaosFailure`] carrying
 //! the *run's own seed*, so a red sweep is reproducible with a single
@@ -36,6 +43,7 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::autoscale::AutoscalePolicy;
+use crate::checkpoint::{CheckpointPolicy, MemoryRecorder};
 use crate::engine::{Simulation, SimulationConfig};
 use crate::faults::{CrashPolicy, FaultPlan};
 use crate::metrics::SimulationReport;
@@ -73,6 +81,15 @@ impl ServingScheme for FastestFixed {
             batch: ctx.queued as u32,
         }
     }
+
+    /// Stateless: kill–resume chaos runs checkpoint freely.
+    fn checkpoint_state(&self) -> Option<serde::Value> {
+        Some(serde::Value::Null)
+    }
+
+    fn restore_state(&mut self, _state: &serde::Value) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 /// Parameters of a chaos sweep. Everything inside a run is derived from
@@ -93,6 +110,12 @@ pub struct ChaosConfig {
     /// Response-latency SLO shared by every run (the worker profile is
     /// built once for it).
     pub slo_s: f64,
+    /// Kill–resume dimension: run each scenario once more with
+    /// checkpointing at a randomized cadence, kill it at a randomly
+    /// chosen checkpoint, resume from that snapshot, and demand the
+    /// resumed report and telemetry suffix be byte-identical to the
+    /// uninterrupted run (plus snapshot JSON round-trip identity).
+    pub kill_resume: bool,
     /// Test-only hook: deliberately corrupt one engine counter before
     /// invariant checking, to prove a violated invariant surfaces the
     /// reproducing seed. Never set outside tests.
@@ -109,6 +132,7 @@ impl Default for ChaosConfig {
             max_duration_s: 2.0,
             max_load_qps: 150.0,
             slo_s: 0.15,
+            kill_resume: false,
             sabotage: false,
         }
     }
@@ -281,6 +305,115 @@ impl ChaosConfig {
             }
         }
 
+        // Kill–resume dimension: the same scenario survives a kill at a
+        // random checkpoint with nothing to show for it — report bytes,
+        // telemetry suffix, and the snapshot itself all identical.
+        let mut checkpoints = 0u64;
+        let mut resumed_from = None;
+        if self.kill_resume {
+            let every = rng.gen_range(8..96u64);
+            let durable = Simulation::new(
+                profile,
+                config.with_checkpoints(CheckpointPolicy::every_events(every)),
+            )?;
+            let mut scheme = FastestFixed::new(profile.fastest_model(), routing);
+            let mut monitor = LoadMonitor::new();
+            let mut sink = VecSink::new();
+            let mut rec = MemoryRecorder::new();
+            let full = durable
+                .run_durable(
+                    &trace,
+                    &plan,
+                    &mut scheme,
+                    &mut monitor,
+                    &mut sink,
+                    &mut rec,
+                )?
+                .expect("no stop requested");
+            let full_events = sink.into_events();
+            let full_json = serde_json::to_string(&full).expect("reports serialize");
+            // Checkpointing on must not perturb the run at all.
+            if full_json != serde_json::to_string(&r1).expect("reports serialize") {
+                fail(
+                    "kill-resume:perturbation",
+                    format!("checkpointing changed the report (cadence {every})"),
+                );
+            }
+            if full_events != e1 {
+                fail(
+                    "kill-resume:perturbation",
+                    format!(
+                        "checkpointing changed the event stream ({} vs {} events)",
+                        full_events.len(),
+                        e1.len()
+                    ),
+                );
+            }
+            checkpoints = rec.snapshots.len() as u64;
+            if !rec.snapshots.is_empty() {
+                let kill_at = rng.gen_range(0..rec.snapshots.len());
+                let snap = &rec.snapshots[kill_at];
+                resumed_from = Some(snap.meta.events_done);
+                // The snapshot survives serialization byte-identically.
+                let json = snap.to_json();
+                match crate::checkpoint::EngineSnapshot::from_json(&json) {
+                    Err(e) => fail("kill-resume:snapshot-roundtrip", e.to_string()),
+                    Ok(back) if back.to_json() != json => fail(
+                        "kill-resume:snapshot-roundtrip",
+                        format!(
+                            "snapshot at event {} re-serializes differently",
+                            snap.meta.events_done
+                        ),
+                    ),
+                    Ok(back) => {
+                        let mut scheme = FastestFixed::new(profile.fastest_model(), routing);
+                        let mut monitor = LoadMonitor::new();
+                        let mut sink = VecSink::new();
+                        match durable.resume(
+                            &trace,
+                            &plan,
+                            &mut scheme,
+                            &mut monitor,
+                            &mut sink,
+                            &back,
+                        ) {
+                            Err(e) => fail("kill-resume:resume", e.to_string()),
+                            Ok(resumed) => {
+                                let resumed_json =
+                                    serde_json::to_string(&resumed).expect("reports serialize");
+                                if resumed_json != full_json {
+                                    fail(
+                                        "kill-resume:report",
+                                        format!(
+                                            "resume from event {} diverges: {resumed_json} != {full_json}",
+                                            snap.meta.events_done
+                                        ),
+                                    );
+                                }
+                                let suffix = &full_events[snap.meta.events_emitted as usize..];
+                                let resumed_events = sink.into_events();
+                                if resumed_events != suffix {
+                                    let at = resumed_events
+                                        .iter()
+                                        .zip(suffix.iter())
+                                        .position(|(a, b)| a != b)
+                                        .unwrap_or(resumed_events.len().min(suffix.len()));
+                                    fail(
+                                        "kill-resume:events",
+                                        format!(
+                                            "resumed suffix diverges at index {at} ({} vs {} events)",
+                                            resumed_events.len(),
+                                            suffix.len()
+                                        ),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
         let summary = ChaosRunSummary {
             run,
             seed,
@@ -301,6 +434,8 @@ impl ChaosConfig {
             scale_ups: r2.autoscale.as_ref().map_or(0, |a| a.scale_ups),
             scale_downs: r2.autoscale.as_ref().map_or(0, |a| a.scale_downs),
             brownout_enters: r2.autoscale.as_ref().map_or(0, |a| a.brownout_enters),
+            checkpoints,
+            resumed_from,
         };
         Ok((summary, failures))
     }
@@ -665,6 +800,11 @@ pub struct ChaosRunSummary {
     pub scale_downs: u64,
     /// Brownout ladder engagements (0 for fixed pools).
     pub brownout_enters: u64,
+    /// Snapshots taken by the kill–resume dimension (0 when off).
+    pub checkpoints: u64,
+    /// Event count of the randomly chosen kill point the run resumed
+    /// from (`None` when the dimension is off or no snapshot landed).
+    pub resumed_from: Option<u64>,
 }
 
 /// One violated invariant, with everything needed to reproduce it.
@@ -784,6 +924,39 @@ mod tests {
             .iter()
             .filter(|r| !r.autoscaled)
             .all(|r| r.scale_ups == 0 && r.scale_downs == 0 && r.brownout_enters == 0));
+    }
+
+    #[test]
+    fn kill_resume_sweep_is_byte_identical() {
+        // The durability acceptance bar: ≥50 randomized scenarios, each
+        // killed at a random checkpoint and resumed, with byte-identity
+        // of the resumed report + telemetry suffix demanded everywhere
+        // (alongside the full standing invariant battery).
+        let config = ChaosConfig {
+            kill_resume: true,
+            ..tiny(29, 50)
+        };
+        let report = config.run_sweep().unwrap();
+        assert_eq!(report.runs.len(), 50);
+        report.expect_pass();
+        // The dimension genuinely exercised kills: snapshots landed and
+        // a healthy share of runs resumed from one.
+        assert!(report.runs.iter().map(|r| r.checkpoints).sum::<u64>() > 50);
+        let resumed = report
+            .runs
+            .iter()
+            .filter(|r| r.resumed_from.is_some())
+            .count();
+        assert!(resumed >= 20, "only {resumed}/50 runs resumed");
+        // Fixed and elastic pools both went through a kill.
+        assert!(report
+            .runs
+            .iter()
+            .any(|r| r.autoscaled && r.resumed_from.is_some()));
+        assert!(report
+            .runs
+            .iter()
+            .any(|r| !r.autoscaled && r.resumed_from.is_some()));
     }
 
     #[test]

@@ -34,6 +34,10 @@ use crate::autoscale::{
     AutoscalePolicy, AutoscaleStats, Autoscaler, BrownoutLadder, BrownoutTransition,
     HysteresisController, ScaleSignal, WorkerState,
 };
+use crate::checkpoint::{
+    arrivals_fingerprint, AutoscaleState, CheckpointPolicy, CheckpointRecorder, ClusterState,
+    EngineSnapshot, HeapEntry, InFlightState, ResilienceState, SnapshotMeta, SNAPSHOT_VERSION,
+};
 use crate::faults::{CrashPolicy, FaultEvent, FaultPlan};
 use crate::latency::{LatencyMode, LatencySampler};
 use crate::metrics::{MetricsCollector, SimulationReport};
@@ -68,6 +72,11 @@ pub struct SimulationConfig {
     /// ladder). The default disables the subsystem and reproduces the
     /// fixed-pool engine bit-for-bit.
     pub autoscale: AutoscalePolicy,
+    /// Checkpoint cadence for durable runs (DESIGN.md §12). The default
+    /// disables checkpointing and reproduces the pre-checkpoint engine
+    /// bit-for-bit; snapshots are only taken when a
+    /// [`CheckpointRecorder`] is attached via [`Simulation::run_durable`].
+    pub checkpoint: CheckpointPolicy,
 }
 
 impl SimulationConfig {
@@ -83,6 +92,7 @@ impl SimulationConfig {
             timeline_window_s: None,
             resilience: ResiliencePolicy::default(),
             autoscale: AutoscalePolicy::default(),
+            checkpoint: CheckpointPolicy::default(),
         }
     }
 
@@ -101,6 +111,12 @@ impl SimulationConfig {
     /// Installs an elastic-capacity (autoscaler) policy.
     pub fn with_autoscale(mut self, autoscale: AutoscalePolicy) -> Self {
         self.autoscale = autoscale;
+        self
+    }
+
+    /// Installs a checkpoint cadence for durable runs.
+    pub fn with_checkpoints(mut self, checkpoint: CheckpointPolicy) -> Self {
+        self.checkpoint = checkpoint;
         self
     }
 
@@ -145,6 +161,7 @@ impl SimulationConfig {
         }
         self.resilience.validate()?;
         self.autoscale.validate()?;
+        self.checkpoint.validate()?;
         if self.autoscale.enabled && self.workers > self.autoscale.max_workers {
             return Err(SimError::InvalidConfig(format!(
                 "autoscale: initial pool {} exceeds max_workers {}",
@@ -189,9 +206,64 @@ enum EventKind {
     WarmupDone(usize, u64),
 }
 
+impl EventKind {
+    /// Flattens the kind to `(tag, a, b)` for checkpoint heap entries
+    /// (the vendored serde derive has no tuple-variant support, and an
+    /// explicit encoding keeps the snapshot format stable anyway).
+    fn encode(self) -> (u8, u64, u64) {
+        match self {
+            EventKind::Arrival(i) => (0, i, 0),
+            EventKind::WorkerDone(w, e) => (1, w as u64, e),
+            EventKind::Fault(i) => (2, u64::from(i), 0),
+            EventKind::Timeout(w, e) => (3, w as u64, e),
+            EventKind::HedgeDue(w, e) => (4, w as u64, e),
+            EventKind::Retry(i) => (5, u64::from(i), 0),
+            EventKind::ScaleTick => (6, 0, 0),
+            EventKind::WarmupDone(w, e) => (7, w as u64, e),
+        }
+    }
+
+    /// Inverse of [`Self::encode`].
+    fn decode(tag: u8, a: u64, b: u64) -> Result<Self, SimError> {
+        Ok(match tag {
+            0 => EventKind::Arrival(a),
+            1 => EventKind::WorkerDone(a as usize, b),
+            2 => EventKind::Fault(a as u32),
+            3 => EventKind::Timeout(a as usize, b),
+            4 => EventKind::HedgeDue(a as usize, b),
+            5 => EventKind::Retry(a as u32),
+            6 => EventKind::ScaleTick,
+            7 => EventKind::WarmupDone(a as usize, b),
+            _ => {
+                return Err(SimError::InvalidConfig(format!(
+                    "snapshot heap entry has unknown event tag {tag}"
+                )))
+            }
+        })
+    }
+}
+
 /// The event heap: `(time, sequence, kind)` min-ordered. Sequence
 /// numbers are unique, so the `EventKind` ordering never decides.
 type EventHeap = BinaryHeap<Reverse<(Nanos, u64, EventKind)>>;
+
+/// Checkpoint/resume context threaded into the core run loop: an
+/// optional recorder receiving snapshots at the configured cadence, and
+/// an optional snapshot to resume from. Plain runs pass neither and the
+/// loop body reduces to one branch per event.
+struct DurableCtx<'d> {
+    recorder: Option<&'d mut dyn CheckpointRecorder>,
+    resume: Option<&'d EngineSnapshot>,
+}
+
+impl DurableCtx<'_> {
+    fn none() -> Self {
+        DurableCtx {
+            recorder: None,
+            resume: None,
+        }
+    }
+}
 
 /// A timed, engine-level fault action expanded from a [`FaultPlan`]
 /// (slowdowns split into start/end edges; surges are applied to the
@@ -243,6 +315,10 @@ struct Tracer<'s> {
     on: bool,
     /// Scratch for draining scheme-buffered audit events.
     buf: Vec<Event>,
+    /// Events recorded into the sink so far. Checkpoints carry this
+    /// count so a resume can truncate a JSONL log to the exact line the
+    /// snapshot saw (healing any torn tail past it).
+    emitted: u64,
 }
 
 impl<'s> Tracer<'s> {
@@ -252,6 +328,7 @@ impl<'s> Tracer<'s> {
             sink,
             on,
             buf: Vec::new(),
+            emitted: 0,
         }
     }
 
@@ -260,6 +337,7 @@ impl<'s> Tracer<'s> {
     fn emit(&mut self, f: impl FnOnce() -> Event) {
         if self.on {
             self.sink.record(&f());
+            self.emitted += 1;
         }
     }
 
@@ -272,6 +350,7 @@ impl<'s> Tracer<'s> {
         scheme.drain_audit(&mut self.buf);
         for e in self.buf.drain(..) {
             self.sink.record(&e);
+            self.emitted += 1;
         }
     }
 }
@@ -356,6 +435,58 @@ impl Cluster {
             .iter()
             .filter(|s| **s == WorkerState::Draining)
             .count()
+    }
+
+    /// Externalizes the cluster for a checkpoint.
+    fn snapshot(&self) -> ClusterState {
+        ClusterState {
+            busy: self.busy.clone(),
+            alive: self.alive.clone(),
+            slow: self.slow.clone(),
+            epochs: self.epochs.clone(),
+            in_flight: self
+                .in_flight
+                .iter()
+                .map(|o| {
+                    o.as_ref().map(|f| InFlightState {
+                        model: f.model,
+                        queries: f.queries.clone(),
+                        started: f.started,
+                        twin: f.twin,
+                        is_hedge: f.is_hedge,
+                    })
+                })
+                .collect(),
+            down_since: self.down_since.clone(),
+            live: self.live,
+            lifecycle: self.lifecycle.clone(),
+        }
+    }
+
+    /// Rebuilds the cluster from a checkpoint.
+    fn restore(snap: &ClusterState) -> Self {
+        Self {
+            busy: snap.busy.clone(),
+            alive: snap.alive.clone(),
+            slow: snap.slow.clone(),
+            epochs: snap.epochs.clone(),
+            in_flight: snap
+                .in_flight
+                .iter()
+                .map(|o| {
+                    o.as_ref().map(|f| InFlight {
+                        model: f.model,
+                        queries: f.queries.clone(),
+                        started: f.started,
+                        twin: f.twin,
+                        is_hedge: f.is_hedge,
+                    })
+                })
+                .collect(),
+            down_since: snap.down_since.clone(),
+            live: snap.live,
+            lifecycle: snap.lifecycle.clone(),
+        }
     }
 }
 
@@ -734,14 +865,166 @@ impl<'a> Simulation<'a> {
         plan.validate(self.config.workers)?;
         prof.run_begin();
         prof.enter(Phase::Setup);
+        let arrivals = self.sampled_arrivals(trace, plan);
+        prof.exit(Phase::Setup);
+        self.run_arrivals_faulted_traced_profiled(&arrivals, plan, scheme, estimator, sink, prof)
+    }
+
+    /// Samples the run's Poisson arrivals: surges from `plan` scale the
+    /// trace, then arrival times are drawn from the config's arrival
+    /// seed. Deterministic — a resumed run re-derives the identical
+    /// array.
+    fn sampled_arrivals(&self, trace: &Trace, plan: &FaultPlan) -> Vec<f64> {
         let mut surged = trace.clone();
         for (from_s, to_s, factor) in plan.surges() {
             surged = surged.scaled_between(from_s, to_s, factor);
         }
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.arrival_seed);
-        let arrivals = sample_poisson_arrivals(&surged, &mut rng);
-        prof.exit(Phase::Setup);
-        self.run_arrivals_faulted_traced_profiled(&arrivals, plan, scheme, estimator, sink, prof)
+        sample_poisson_arrivals(&surged, &mut rng)
+    }
+
+    /// [`Self::run_faulted_traced`] with checkpointing: at the cadence
+    /// the config's [`CheckpointPolicy`] sets, the engine snapshots its
+    /// complete state into `recorder`. Returns `Ok(None)` when the
+    /// recorder stops the run mid-flight (a simulated kill, or a failed
+    /// checkpoint write — see [`crate::checkpoint::FileRecorder`]);
+    /// otherwise the report is identical to the recorder-less run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the plan is invalid for
+    /// this cluster, the checkpoint policy is disabled, or the scheme /
+    /// estimator does not support checkpointing.
+    pub fn run_durable(
+        &self,
+        trace: &Trace,
+        plan: &FaultPlan,
+        scheme: &mut dyn ServingScheme,
+        estimator: &mut dyn LoadEstimator,
+        sink: &mut dyn TelemetrySink,
+        recorder: &mut dyn CheckpointRecorder,
+    ) -> Result<Option<SimulationReport>, SimError> {
+        self.run_durable_profiled(
+            trace,
+            plan,
+            scheme,
+            estimator,
+            sink,
+            recorder,
+            &mut Profiler::off(),
+        )
+    }
+
+    /// [`Self::run_durable`] with the self-profiler attached; snapshot
+    /// capture and the recorder's write are attributed to the
+    /// `checkpoint` phase (the `checkpoint_overhead` bench gates on
+    /// it).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::run_durable`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_durable_profiled(
+        &self,
+        trace: &Trace,
+        plan: &FaultPlan,
+        scheme: &mut dyn ServingScheme,
+        estimator: &mut dyn LoadEstimator,
+        sink: &mut dyn TelemetrySink,
+        recorder: &mut dyn CheckpointRecorder,
+        prof: &mut Profiler,
+    ) -> Result<Option<SimulationReport>, SimError> {
+        plan.validate(self.config.workers)?;
+        let arrivals = self.sampled_arrivals(trace, plan);
+        prof.run_begin();
+        let report = self.run_core(
+            &arrivals,
+            plan,
+            scheme,
+            estimator,
+            sink,
+            prof,
+            DurableCtx {
+                recorder: Some(recorder),
+                resume: None,
+            },
+        )?;
+        prof.run_end();
+        Ok(report)
+    }
+
+    /// Continues an interrupted run from `snapshot` to completion. The
+    /// trace, fault plan, config, and scheme must be the ones the
+    /// snapshot was taken under (validated via seeds, pool size, SLO,
+    /// scheme name, and an arrival fingerprint). The resumed run's
+    /// report — and every telemetry event it emits into `sink` — is
+    /// byte-identical to the uninterrupted run's suffix past the
+    /// snapshot point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the snapshot does not
+    /// match this run or the scheme / estimator refuses its state.
+    pub fn resume(
+        &self,
+        trace: &Trace,
+        plan: &FaultPlan,
+        scheme: &mut dyn ServingScheme,
+        estimator: &mut dyn LoadEstimator,
+        sink: &mut dyn TelemetrySink,
+        snapshot: &EngineSnapshot,
+    ) -> Result<SimulationReport, SimError> {
+        plan.validate(self.config.workers)?;
+        let arrivals = self.sampled_arrivals(trace, plan);
+        let report = self.run_core(
+            &arrivals,
+            plan,
+            scheme,
+            estimator,
+            sink,
+            &mut Profiler::off(),
+            DurableCtx {
+                recorder: None,
+                resume: Some(snapshot),
+            },
+        )?;
+        Ok(report.expect("run without recorder always completes"))
+    }
+
+    /// [`Self::resume`] with checkpointing still on: the continued run
+    /// keeps snapshotting into `recorder` at the configured cadence
+    /// (cadence points line up with the uninterrupted run's). Returns
+    /// `Ok(None)` when the recorder stops the run again.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] under the union of
+    /// [`Self::run_durable`]'s and [`Self::resume`]'s conditions.
+    #[allow(clippy::too_many_arguments)]
+    pub fn resume_durable(
+        &self,
+        trace: &Trace,
+        plan: &FaultPlan,
+        scheme: &mut dyn ServingScheme,
+        estimator: &mut dyn LoadEstimator,
+        sink: &mut dyn TelemetrySink,
+        snapshot: &EngineSnapshot,
+        recorder: &mut dyn CheckpointRecorder,
+    ) -> Result<Option<SimulationReport>, SimError> {
+        plan.validate(self.config.workers)?;
+        let arrivals = self.sampled_arrivals(trace, plan);
+        self.run_core(
+            &arrivals,
+            plan,
+            scheme,
+            estimator,
+            sink,
+            &mut Profiler::off(),
+            DurableCtx {
+                recorder: Some(recorder),
+                resume: Some(snapshot),
+            },
+        )
     }
 
     /// Runs `scheme` over explicit arrival times (seconds, sorted).
@@ -832,7 +1115,56 @@ impl<'a> Simulation<'a> {
         sink: &mut dyn TelemetrySink,
         prof: &mut Profiler,
     ) -> Result<SimulationReport, SimError> {
+        let report = self.run_core(
+            arrivals,
+            plan,
+            scheme,
+            estimator,
+            sink,
+            prof,
+            DurableCtx::none(),
+        )?;
+        Ok(report.expect("run without recorder always completes"))
+    }
+
+    /// The run loop every entry point funnels into. `durable` threads
+    /// the checkpoint/resume context; with neither a recorder nor a
+    /// resume snapshot the loop is bit-identical to the pre-checkpoint
+    /// engine. Returns `Ok(None)` only when an attached recorder stops
+    /// the run mid-flight.
+    #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+    fn run_core(
+        &self,
+        arrivals: &[f64],
+        plan: &FaultPlan,
+        scheme: &mut dyn ServingScheme,
+        estimator: &mut dyn LoadEstimator,
+        sink: &mut dyn TelemetrySink,
+        prof: &mut Profiler,
+        mut durable: DurableCtx<'_>,
+    ) -> Result<Option<SimulationReport>, SimError> {
         plan.validate(self.config.workers)?;
+        let ckpt = self.config.checkpoint;
+        if durable.recorder.is_some() && !ckpt.enabled {
+            return Err(SimError::InvalidConfig(
+                "checkpoint recorder attached but the checkpoint policy is disabled; \
+                 enable it via SimulationConfig::with_checkpoints"
+                    .to_string(),
+            ));
+        }
+        if durable.recorder.is_some() || durable.resume.is_some() {
+            if scheme.checkpoint_state().is_none() {
+                return Err(SimError::InvalidConfig(format!(
+                    "scheme `{}` does not support checkpointing",
+                    scheme.name()
+                )));
+            }
+            if estimator.checkpoint_state().is_none() {
+                return Err(SimError::InvalidConfig(
+                    "load estimator does not support checkpointing".to_string(),
+                ));
+            }
+        }
         prof.run_begin();
         prof.enter(Phase::Setup);
         let mut tracer = Tracer::new(sink);
@@ -907,6 +1239,106 @@ impl<'a> Simulation<'a> {
         prof.exit(Phase::Setup);
 
         let mut horizon: Nanos = 0;
+        // Checkpoint bookkeeping. `events_done` counts processed heap
+        // events; the sim-time cadence fires when `now` crosses each
+        // multiple of the period. All of it is dead weight (one counter
+        // increment, one branch) unless a recorder is attached.
+        let mut events_done: u64 = 0;
+        let ckpt_period_ns: Nanos = if ckpt.every_sim_s > 0.0 {
+            nanos_from_secs(ckpt.every_sim_s).max(1)
+        } else {
+            0
+        };
+        let mut next_ckpt_ns: Nanos = ckpt_period_ns;
+        // Event-count cadence as a precomputed target rather than a
+        // per-event modulo: one u64 compare on the hot path.
+        let mut next_ckpt_events: u64 = if ckpt.every_events > 0 {
+            ckpt.every_events
+        } else {
+            u64::MAX
+        };
+        let arrivals_hash = if durable.recorder.is_some() || durable.resume.is_some() {
+            arrivals_fingerprint(arrivals)
+        } else {
+            0
+        };
+
+        if let Some(snap) = durable.resume {
+            self.validate_snapshot(snap, scheme.name(), arrivals, arrivals_hash, n_workers)?;
+            // The snapshot's heap already holds everything still
+            // pending, including the setup-time pushes (fault actions,
+            // the in-progress arrival chain, the next scale tick) in
+            // their mid-run form — rebuild from it wholesale.
+            heap.clear();
+            for e in &snap.heap {
+                heap.push(Reverse((e.t, e.seq, EventKind::decode(e.tag, e.a, e.b)?)));
+            }
+            seq = snap.next_seq;
+            horizon = snap.horizon;
+            events_done = snap.meta.events_done;
+            tracer.emitted = snap.meta.events_emitted;
+            // The smallest cadence multiple past the snapshot's event
+            // count / time: exactly where the uninterrupted run's
+            // cadence stands. `checked_div` is `None` only for a zero
+            // divisor, i.e. that cadence dimension is off.
+            if let Some(periods) = events_done.checked_div(ckpt.every_events) {
+                next_ckpt_events = (periods + 1) * ckpt.every_events;
+            }
+            if let Some(periods) = snap.meta.sim_time_ns.checked_div(ckpt_period_ns) {
+                next_ckpt_ns = (periods + 1) * ckpt_period_ns;
+            }
+            worker_queues = snap.worker_queues.clone();
+            central_queue = snap.central_queue.clone();
+            limbo = snap.limbo.clone();
+            rr_next = snap.rr_next;
+            cluster = Cluster::restore(&snap.cluster);
+            resil.budget = snap.resilience.budget.clone();
+            resil.admission = snap.resilience.admission.clone();
+            resil.service_hist = snap.resilience.service_hist.clone();
+            resil.retry_buf = snap.resilience.retry_buf.clone();
+            sampler.restore_rng(snap.latency_rng.0, snap.latency_rng.1);
+            // Fault windows are re-derived from the plan rather than
+            // trusted to the snapshot: an unrecovered crash's window
+            // ends at +inf, which the JSON tree cannot carry (non-finite
+            // floats serialize as null).
+            metrics = snap
+                .metrics
+                .clone()
+                .with_fault_windows(plan.fault_windows());
+            match (scale.as_mut(), snap.autoscale.as_ref()) {
+                (Some(rt), Some(s)) => {
+                    rt.controller = s.controller.clone();
+                    rt.ladder = s.ladder.clone();
+                    rt.stats = s.stats.clone();
+                    rt.last_live_change = s.last_live_change;
+                    rt.live_at_change = s.live_at_change;
+                    rt.brownout_since = s.brownout_since;
+                    let b = brown
+                        .as_mut()
+                        .expect("brownout state exists with autoscale");
+                    b.rung = s.brown_rung;
+                    b.degraded = s.brown_degraded;
+                }
+                (None, None) => {}
+                (have, _) => {
+                    return Err(SimError::InvalidConfig(format!(
+                        "snapshot {} autoscale state but the config {} it",
+                        if have.is_some() { "lacks" } else { "carries" },
+                        if have.is_some() {
+                            "enables"
+                        } else {
+                            "disables"
+                        },
+                    )));
+                }
+            }
+            scheme
+                .restore_state(&snap.scheme_state)
+                .map_err(SimError::InvalidConfig)?;
+            estimator
+                .restore_state(&snap.estimator_state)
+                .map_err(SimError::InvalidConfig)?;
+        }
 
         while let Some(Reverse((now, _, kind))) = heap.pop() {
             prof.incr(HotCounter::HeapPops);
@@ -1699,6 +2131,50 @@ impl<'a> Simulation<'a> {
                 }
             }
             prof.exit(phase);
+            events_done += 1;
+            if let Some(rec) = durable.recorder.as_deref_mut() {
+                let due_events = events_done == next_ckpt_events;
+                let due_time = ckpt_period_ns > 0 && now >= next_ckpt_ns;
+                if due_events || due_time {
+                    if due_events {
+                        next_ckpt_events += ckpt.every_events;
+                    }
+                    while ckpt_period_ns > 0 && next_ckpt_ns <= now {
+                        next_ckpt_ns += ckpt_period_ns;
+                    }
+                    prof.enter(Phase::Checkpoint);
+                    let snap = self.build_snapshot(
+                        &*scheme,
+                        &*estimator,
+                        arrivals,
+                        arrivals_hash,
+                        events_done,
+                        now,
+                        tracer.emitted,
+                        &heap,
+                        seq,
+                        horizon,
+                        &worker_queues,
+                        &central_queue,
+                        &limbo,
+                        rr_next,
+                        &cluster,
+                        &resil,
+                        &sampler,
+                        &metrics,
+                        scale.as_ref(),
+                        brown.as_ref(),
+                    );
+                    let keep_going = rec.record(&snap);
+                    prof.exit(Phase::Checkpoint);
+                    if !keep_going {
+                        // Simulated kill (or a failed checkpoint
+                        // write): stop on the spot, mid-heap, exactly
+                        // as a crash would.
+                        return Ok(None);
+                    }
+                }
+            }
         }
 
         // Workers still dead at the end of the run accrue downtime up
@@ -1734,7 +2210,168 @@ impl<'a> Simulation<'a> {
         }
         prof.exit(Phase::Report);
         prof.run_end();
-        Ok(report)
+        Ok(Some(report))
+    }
+
+    /// Refuses to resume a snapshot that does not belong to this exact
+    /// run: same config identity (pool, SLO, seeds), same scheme, and
+    /// the same pre-sampled arrival array.
+    fn validate_snapshot(
+        &self,
+        snap: &EngineSnapshot,
+        scheme_name: &str,
+        arrivals: &[f64],
+        arrivals_hash: u64,
+        n_workers: usize,
+    ) -> Result<(), SimError> {
+        let m = &snap.meta;
+        let bad = |msg: String| Err(SimError::InvalidConfig(format!("cannot resume: {msg}")));
+        if m.version != SNAPSHOT_VERSION {
+            return bad(format!(
+                "snapshot version {} != supported {SNAPSHOT_VERSION}",
+                m.version
+            ));
+        }
+        if m.workers != self.config.workers {
+            return bad(format!(
+                "snapshot has {} workers, config has {}",
+                m.workers, self.config.workers
+            ));
+        }
+        if m.slo_s != self.config.slo_s {
+            return bad(format!(
+                "snapshot SLO {}s != config SLO {}s",
+                m.slo_s, self.config.slo_s
+            ));
+        }
+        if m.arrival_seed != self.config.arrival_seed || m.latency_seed != self.config.latency_seed
+        {
+            return bad(format!(
+                "snapshot seeds ({}, {}) != config seeds ({}, {})",
+                m.arrival_seed, m.latency_seed, self.config.arrival_seed, self.config.latency_seed
+            ));
+        }
+        if m.scheme != scheme_name {
+            return bad(format!(
+                "snapshot was taken under scheme `{}`, resuming with `{scheme_name}`",
+                m.scheme
+            ));
+        }
+        if m.arrivals_len != arrivals.len() || m.arrivals_hash != arrivals_hash {
+            return bad(format!(
+                "arrival stream mismatch ({} arrivals, hash {:#x}; snapshot says {}, {:#x}) — \
+                 different trace, seed, or surge plan",
+                arrivals.len(),
+                arrivals_hash,
+                m.arrivals_len,
+                m.arrivals_hash
+            ));
+        }
+        if snap.cluster.alive.len() != n_workers
+            || snap.worker_queues.len() != n_workers
+            || snap.resilience.admission.len() != n_workers + 1
+        {
+            return bad(format!(
+                "snapshot cluster is sized for {} workers, this run has {n_workers}",
+                snap.cluster.alive.len()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Captures the complete mid-run state as an [`EngineSnapshot`].
+    /// Pure observation: nothing the run later touches is mutated.
+    #[allow(clippy::too_many_arguments)]
+    fn build_snapshot(
+        &self,
+        scheme: &dyn ServingScheme,
+        estimator: &dyn LoadEstimator,
+        arrivals: &[f64],
+        arrivals_hash: u64,
+        events_done: u64,
+        now: Nanos,
+        events_emitted: u64,
+        heap: &EventHeap,
+        next_seq: u64,
+        horizon: Nanos,
+        worker_queues: &[VecDeque<Query>],
+        central_queue: &VecDeque<Query>,
+        limbo: &VecDeque<Query>,
+        rr_next: usize,
+        cluster: &Cluster,
+        resil: &ResilienceRuntime,
+        sampler: &LatencySampler,
+        metrics: &MetricsCollector,
+        scale: Option<&AutoscaleRuntime>,
+        brown: Option<&BrownoutState>,
+    ) -> EngineSnapshot {
+        // Heap iteration order is arbitrary; entries are sorted by
+        // `(t, seq)` so equal states serialize to equal bytes.
+        let mut entries: Vec<HeapEntry> = heap
+            .iter()
+            .map(|Reverse((t, s, k))| {
+                let (tag, a, b) = k.encode();
+                HeapEntry {
+                    t: *t,
+                    seq: *s,
+                    tag,
+                    a,
+                    b,
+                }
+            })
+            .collect();
+        entries.sort_unstable_by_key(|e| (e.t, e.seq));
+        let autoscale = scale.map(|rt| {
+            let b = brown.expect("brownout state exists with autoscale");
+            AutoscaleState {
+                controller: rt.controller.clone(),
+                ladder: rt.ladder.clone(),
+                stats: rt.stats.clone(),
+                last_live_change: rt.last_live_change,
+                live_at_change: rt.live_at_change,
+                brownout_since: rt.brownout_since,
+                brown_rung: b.rung,
+                brown_degraded: b.degraded,
+            }
+        });
+        EngineSnapshot {
+            meta: SnapshotMeta {
+                version: SNAPSHOT_VERSION,
+                workers: self.config.workers,
+                slo_s: self.config.slo_s,
+                arrival_seed: self.config.arrival_seed,
+                latency_seed: self.config.latency_seed,
+                scheme: scheme.name().to_owned(),
+                events_done,
+                sim_time_ns: now,
+                events_emitted,
+                arrivals_len: arrivals.len(),
+                arrivals_hash,
+            },
+            heap: entries,
+            next_seq,
+            horizon,
+            worker_queues: worker_queues.to_vec(),
+            central_queue: central_queue.clone(),
+            limbo: limbo.clone(),
+            rr_next,
+            cluster: cluster.snapshot(),
+            resilience: ResilienceState {
+                budget: resil.budget.clone(),
+                admission: resil.admission.clone(),
+                service_hist: resil.service_hist.clone(),
+                retry_buf: resil.retry_buf.clone(),
+            },
+            metrics: metrics.clone(),
+            latency_rng: sampler.rng_state(),
+            autoscale,
+            scheme_state: scheme
+                .checkpoint_state()
+                .expect("scheme support validated at run start"),
+            estimator_state: estimator
+                .checkpoint_state()
+                .expect("estimator support validated at run start"),
+        }
     }
 
     /// The next live worker in round-robin order, advancing the cursor;
@@ -2208,6 +2845,12 @@ mod tests {
                 batch: ctx.queued as u32,
             }
         }
+        fn checkpoint_state(&self) -> Option<serde::Value> {
+            Some(serde::Value::Null)
+        }
+        fn restore_state(&mut self, _state: &serde::Value) -> Result<(), String> {
+            Ok(())
+        }
     }
 
     /// Like [`GreedyFastest`] but with per-worker round-robin routing.
@@ -2227,6 +2870,12 @@ mod tests {
                 model: self.model,
                 batch: ctx.queued as u32,
             }
+        }
+        fn checkpoint_state(&self) -> Option<serde::Value> {
+            Some(serde::Value::Null)
+        }
+        fn restore_state(&mut self, _state: &serde::Value) -> Result<(), String> {
+            Ok(())
         }
     }
 
@@ -3104,5 +3753,359 @@ mod tests {
         assert!(c.holds(), "{c:?}");
         assert_eq!(c.anomalies, 0);
         assert_eq!(report.served + report.dropped, report.total_arrivals);
+    }
+
+    use crate::checkpoint::{CheckpointPolicy, EngineSnapshot, MemoryRecorder};
+
+    /// A faulted, resilience-on, per-worker-routed run: the busiest
+    /// checkpoint surface (fault windows, timeouts, retries, hedges,
+    /// limbo) short of autoscaling.
+    fn durable_fixture() -> (Trace, FaultPlan, SimulationConfig) {
+        let trace = Trace::constant(200.0, 6.0);
+        let plan = FaultPlan::none()
+            .crash(0, 1.0)
+            .recover(0, 3.5)
+            .slowdown(1, 2.0, 5.0, 3.0)
+            .surge(2.5, 4.5, 1.5);
+        let config = SimulationConfig::new(4, 0.15)
+            .seeded(21)
+            .with_resilience(ResiliencePolicy::all_on())
+            .with_checkpoints(CheckpointPolicy::every_events(400));
+        (trace, plan, config)
+    }
+
+    #[test]
+    fn checkpointing_does_not_perturb_the_run() {
+        let (trace, plan, config) = durable_fixture();
+        let sim = Simulation::new(profile(), config).unwrap();
+        let scheme = || GreedyFastestRr {
+            model: profile().fastest_model(),
+        };
+        let plain = sim
+            .run_faulted(&trace, &plan, &mut scheme(), &mut LoadMonitor::new())
+            .unwrap();
+        let mut rec = MemoryRecorder::new();
+        let durable = sim
+            .run_durable(
+                &trace,
+                &plan,
+                &mut scheme(),
+                &mut LoadMonitor::new(),
+                &mut NullSink,
+                &mut rec,
+            )
+            .unwrap()
+            .expect("no stop requested");
+        assert!(rec.snapshots.len() >= 3, "took {}", rec.snapshots.len());
+        assert_eq!(plain, durable);
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&durable).unwrap()
+        );
+    }
+
+    #[test]
+    fn resume_from_every_checkpoint_is_byte_identical() {
+        let (trace, plan, config) = durable_fixture();
+        let sim = Simulation::new(profile(), config).unwrap();
+        let scheme = || GreedyFastestRr {
+            model: profile().fastest_model(),
+        };
+        let mut rec = MemoryRecorder::new();
+        let mut full_sink = ramsis_telemetry::VecSink::new();
+        let full_report = sim
+            .run_durable(
+                &trace,
+                &plan,
+                &mut scheme(),
+                &mut LoadMonitor::new(),
+                &mut full_sink,
+                &mut rec,
+            )
+            .unwrap()
+            .expect("no stop requested");
+        let full_events = full_sink.into_events();
+        let full_json = serde_json::to_string(&full_report).unwrap();
+        assert!(!rec.snapshots.is_empty());
+        for snap in &rec.snapshots {
+            // The snapshot itself round-trips to identical bytes.
+            let json = snap.to_json();
+            let back = EngineSnapshot::from_json(&json).unwrap();
+            assert_eq!(json, back.to_json());
+            // Resuming continues to a byte-identical report and
+            // telemetry suffix.
+            let mut sink = ramsis_telemetry::VecSink::new();
+            let resumed = sim
+                .resume(
+                    &trace,
+                    &plan,
+                    &mut scheme(),
+                    &mut LoadMonitor::new(),
+                    &mut sink,
+                    &back,
+                )
+                .unwrap();
+            assert_eq!(serde_json::to_string(&resumed).unwrap(), full_json);
+            let suffix = &full_events[snap.meta.events_emitted as usize..];
+            let resumed_events = sink.into_events();
+            assert_eq!(resumed_events.len(), suffix.len());
+            assert_eq!(resumed_events.as_slice(), suffix);
+        }
+    }
+
+    #[test]
+    fn kill_then_resume_from_latest_checkpoint_completes() {
+        let (trace, plan, config) = durable_fixture();
+        let sim = Simulation::new(profile(), config).unwrap();
+        let scheme = || GreedyFastestRr {
+            model: profile().fastest_model(),
+        };
+        let full = sim
+            .run_faulted(&trace, &plan, &mut scheme(), &mut LoadMonitor::new())
+            .unwrap();
+        // Kill right after the second checkpoint, then resume from it
+        // with checkpointing still on (the multi-kill chain shape).
+        let mut rec = MemoryRecorder::stop_after(2);
+        let killed = sim
+            .run_durable(
+                &trace,
+                &plan,
+                &mut scheme(),
+                &mut LoadMonitor::new(),
+                &mut NullSink,
+                &mut rec,
+            )
+            .unwrap();
+        assert!(killed.is_none(), "recorder stop must abort the run");
+        assert_eq!(rec.snapshots.len(), 2);
+        let latest = rec.snapshots.last().unwrap().clone();
+        let mut rec2 = MemoryRecorder::new();
+        let resumed = sim
+            .resume_durable(
+                &trace,
+                &plan,
+                &mut scheme(),
+                &mut LoadMonitor::new(),
+                &mut NullSink,
+                &latest,
+                &mut rec2,
+            )
+            .unwrap()
+            .expect("no stop requested on the resumed leg");
+        assert_eq!(resumed, full);
+        // The resumed leg keeps checkpointing past the kill point.
+        assert!(!rec2.snapshots.is_empty());
+        assert!(rec2
+            .snapshots
+            .iter()
+            .all(|s| s.meta.events_done > latest.meta.events_done));
+    }
+
+    #[test]
+    fn resume_with_autoscale_and_stateful_scheme_is_identical() {
+        // Elastic pool + brownout ladder + DegradingRamsis (a scheme
+        // with real checkpoint state): the full restore surface.
+        let trace = Trace::from_interval_qps(&[300.0, 10.0, 300.0, 10.0], 3.0, TraceKind::Custom);
+        let mut policy = AutoscalePolicy::elastic(1, 6, 50.0);
+        policy.warmup_s = 0.5;
+        policy.down_confirm = 3;
+        let sim = Simulation::new(
+            profile(),
+            SimulationConfig::new(2, 0.15)
+                .seeded(8)
+                .with_autoscale(policy)
+                .with_checkpoints(CheckpointPolicy::every_events(2_000)),
+        )
+        .unwrap();
+        let mut rec = MemoryRecorder::new();
+        let mut full_sink = ramsis_telemetry::VecSink::new();
+        let full_report = sim
+            .run_durable(
+                &trace,
+                &FaultPlan::none(),
+                &mut degrading_scheme(6, &[50.0, 150.0, 300.0]),
+                &mut LoadMonitor::new(),
+                &mut full_sink,
+                &mut rec,
+            )
+            .unwrap()
+            .expect("no stop requested");
+        let full_events = full_sink.into_events();
+        assert!(!rec.snapshots.is_empty());
+        for snap in &rec.snapshots {
+            assert!(snap.autoscale.is_some(), "autoscale state must travel");
+            let mut sink = ramsis_telemetry::VecSink::new();
+            let resumed = sim
+                .resume(
+                    &trace,
+                    &FaultPlan::none(),
+                    &mut degrading_scheme(6, &[50.0, 150.0, 300.0]),
+                    &mut LoadMonitor::new(),
+                    &mut sink,
+                    snap,
+                )
+                .unwrap();
+            assert_eq!(resumed, full_report);
+            assert_eq!(
+                sink.into_events().as_slice(),
+                &full_events[snap.meta.events_emitted as usize..]
+            );
+        }
+    }
+
+    #[test]
+    fn checkpointing_by_sim_time_fires_on_schedule() {
+        let trace = Trace::constant(150.0, 4.0);
+        let sim = Simulation::new(
+            profile(),
+            SimulationConfig::new(2, 0.15)
+                .seeded(3)
+                .with_checkpoints(CheckpointPolicy::every_sim_s(1.0)),
+        )
+        .unwrap();
+        let mut rec = MemoryRecorder::new();
+        let report = sim
+            .run_durable(
+                &trace,
+                &FaultPlan::none(),
+                &mut GreedyFastest {
+                    model: profile().fastest_model(),
+                },
+                &mut LoadMonitor::new(),
+                &mut NullSink,
+                &mut rec,
+            )
+            .unwrap()
+            .expect("no stop requested");
+        assert!(report.served > 0);
+        // ~4 simulated seconds at a 1 s cadence: one snapshot per
+        // crossed boundary, each strictly past its multiple.
+        assert!(
+            (3..=5).contains(&rec.snapshots.len()),
+            "took {}",
+            rec.snapshots.len()
+        );
+        for (i, s) in rec.snapshots.iter().enumerate() {
+            assert!(s.meta.sim_time_ns >= (i as u64 + 1) * 1_000_000_000);
+        }
+    }
+
+    #[test]
+    fn resume_refuses_a_mismatched_run() {
+        let (trace, plan, config) = durable_fixture();
+        let sim = Simulation::new(profile(), config).unwrap();
+        let scheme = || GreedyFastestRr {
+            model: profile().fastest_model(),
+        };
+        let mut rec = MemoryRecorder::stop_after(1);
+        sim.run_durable(
+            &trace,
+            &plan,
+            &mut scheme(),
+            &mut LoadMonitor::new(),
+            &mut NullSink,
+            &mut rec,
+        )
+        .unwrap();
+        let snap = rec.snapshots.pop().unwrap();
+
+        // Wrong seeds: different arrival stream.
+        let other = Simulation::new(profile(), config.seeded(99)).unwrap();
+        let err = other
+            .resume(
+                &trace,
+                &plan,
+                &mut scheme(),
+                &mut LoadMonitor::new(),
+                &mut NullSink,
+                &snap,
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("cannot resume"), "{err}");
+
+        // Wrong scheme.
+        let err = sim
+            .resume(
+                &trace,
+                &plan,
+                &mut GreedyFastest {
+                    model: profile().fastest_model(),
+                },
+                &mut LoadMonitor::new(),
+                &mut NullSink,
+                &snap,
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("scheme"), "{err}");
+
+        // Wrong trace: arrival fingerprint mismatch.
+        let err = sim
+            .resume(
+                &Trace::constant(210.0, 6.0),
+                &plan,
+                &mut scheme(),
+                &mut LoadMonitor::new(),
+                &mut NullSink,
+                &snap,
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("arrival stream"), "{err}");
+    }
+
+    #[test]
+    fn durable_run_requires_enabled_policy() {
+        let trace = Trace::constant(100.0, 1.0);
+        let sim = Simulation::new(profile(), SimulationConfig::new(2, 0.15)).unwrap();
+        let err = sim
+            .run_durable(
+                &trace,
+                &FaultPlan::none(),
+                &mut GreedyFastest {
+                    model: profile().fastest_model(),
+                },
+                &mut LoadMonitor::new(),
+                &mut NullSink,
+                &mut MemoryRecorder::new(),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("disabled"), "{err}");
+    }
+
+    #[test]
+    fn durable_run_refuses_a_checkpoint_blind_scheme() {
+        // OnDemandRamsis declines checkpoint_state; a durable run must
+        // refuse it up front rather than snapshot a lie.
+        struct Blind;
+        impl ServingScheme for Blind {
+            fn name(&self) -> &str {
+                "blind"
+            }
+            fn routing(&self) -> Routing {
+                Routing::Central
+            }
+            fn select(&mut self, ctx: &SelectionContext) -> Selection {
+                Selection::Serve {
+                    model: 0,
+                    batch: ctx.queued as u32,
+                }
+            }
+        }
+        let trace = Trace::constant(100.0, 1.0);
+        let sim = Simulation::new(
+            profile(),
+            SimulationConfig::new(2, 0.15).with_checkpoints(CheckpointPolicy::every_events(100)),
+        )
+        .unwrap();
+        let err = sim
+            .run_durable(
+                &trace,
+                &FaultPlan::none(),
+                &mut Blind,
+                &mut LoadMonitor::new(),
+                &mut NullSink,
+                &mut MemoryRecorder::new(),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("checkpoint"), "{err}");
     }
 }

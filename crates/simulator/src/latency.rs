@@ -40,6 +40,18 @@ impl LatencySampler {
         }
     }
 
+    /// RNG stream position `(counter, index)` for checkpointing. Only
+    /// meaningful together with the seed the sampler was created with.
+    pub fn rng_state(&self) -> (u64, usize) {
+        self.rng.state()
+    }
+
+    /// Restores a stream position captured by [`Self::rng_state`] on a
+    /// sampler freshly created with the same mode and seed.
+    pub fn restore_rng(&mut self, counter: u64, index: usize) {
+        self.rng.restore(counter, index);
+    }
+
     /// The realized service time (seconds) of running `batch` queries on
     /// `model`.
     ///

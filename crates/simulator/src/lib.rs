@@ -29,6 +29,7 @@
 pub mod adaptive;
 pub mod autoscale;
 pub mod chaos;
+pub mod checkpoint;
 pub mod engine;
 pub mod faults;
 pub mod latency;
@@ -54,6 +55,9 @@ pub use autoscale::{
     WorkerState,
 };
 pub use chaos::{ChaosConfig, ChaosFailure, ChaosReport, ChaosRunSummary, FastestFixed};
+pub use checkpoint::{
+    CheckpointPolicy, CheckpointRecorder, EngineSnapshot, FileRecorder, MemoryRecorder,
+};
 pub use engine::{Simulation, SimulationConfig};
 pub use faults::{CrashPolicy, FaultEvent, FaultPlan};
 pub use latency::LatencyMode;

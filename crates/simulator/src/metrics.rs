@@ -31,7 +31,11 @@ pub struct TimelineBucket {
 }
 
 /// Accumulates per-query outcomes during a run.
-#[derive(Debug, Clone)]
+///
+/// Serializable so a checkpoint can freeze the collector mid-run and a
+/// resumed run continues the exact same aggregates (`busy_nanos` rides
+/// through JSON as a decimal string — 128 bits exceed the number model).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricsCollector {
     served: u64,
     violations: u64,
@@ -273,6 +277,23 @@ impl MetricsCollector {
     /// Records queries shed without service at time `now`.
     pub fn record_dropped(&mut self, queries: &[Query]) {
         self.dropped += queries.len() as u64;
+    }
+
+    /// Completions recorded so far. Mid-run introspection for the
+    /// checkpoint replay validator, which cross-checks a snapshot's
+    /// counters against the telemetry-log prefix it claims to cover.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Deadline violations recorded so far (see [`Self::served`]).
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Queries dropped so far (see [`Self::served`]).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// Records one load-monitor divergence sample (relative error of

@@ -325,7 +325,7 @@ pub fn backoff_delay_s(policy: &RetryPolicy, attempt: u32, query: u64) -> f64 {
 /// A token bucket limiting retry volume: `burst` tokens capacity,
 /// refilled at `rate` per second of *simulated* time. Deterministic —
 /// its state is a pure function of the take-attempt times.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RetryBudget {
     tokens: f64,
     burst: f64,
@@ -378,7 +378,7 @@ pub enum AdmissionVerdict {
 /// Per-queue CoDel-style admission state. One instance per worker queue
 /// (plus one for the central queue); the engine consults it on every
 /// enqueue.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct CoDelAdmission {
     /// When the queue head's sojourn first exceeded target, if it has
     /// stayed above since.

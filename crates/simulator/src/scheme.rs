@@ -132,6 +132,32 @@ pub trait ServingScheme {
     fn shed_cause(&self) -> ShedCause {
         ShedCause::Policy
     }
+
+    /// Serializable scheme state for checkpoint/resume. `None` (the
+    /// default) declares the scheme unsupported: a run with
+    /// checkpointing enabled refuses to start rather than silently
+    /// writing unresumable snapshots. Schemes whose decisions are a
+    /// pure function of configuration and context return
+    /// `Some(Value::Null)`; stateful schemes serialize their mutable
+    /// run state.
+    fn checkpoint_state(&self) -> Option<serde::Value> {
+        None
+    }
+
+    /// Restores state captured by [`Self::checkpoint_state`] onto a
+    /// freshly constructed scheme with the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatch between the state
+    /// tree and this scheme.
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), String> {
+        let _ = state;
+        Err(format!(
+            "scheme `{}` does not support checkpoint restore",
+            self.name()
+        ))
+    }
 }
 
 /// The RAMSIS online phase (§3.2): round-robin (or SQF) routing plus
@@ -189,6 +215,15 @@ impl ServingScheme for RamsisScheme {
                 batch: batch.min(ctx.queued as u32),
             },
         }
+    }
+
+    /// Pure function of the policy set and context: nothing to capture.
+    fn checkpoint_state(&self) -> Option<serde::Value> {
+        Some(serde::Value::Null)
+    }
+
+    fn restore_state(&mut self, _state: &serde::Value) -> Result<(), String> {
+        Ok(())
     }
 }
 
@@ -319,6 +354,15 @@ impl ServingScheme for PerWorkerRamsis {
             },
         }
     }
+
+    /// Per-worker sets are configuration; decisions carry no state.
+    fn checkpoint_state(&self) -> Option<serde::Value> {
+        Some(serde::Value::Null)
+    }
+
+    fn restore_state(&mut self, _state: &serde::Value) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 /// RAMSIS with graceful degradation under worker crashes: a
@@ -426,6 +470,33 @@ impl ServingScheme for DegradingRamsis {
                 batch: batch.min(ctx.queued as u32),
             },
         }
+    }
+
+    /// Mutable run state: the targeted live count and the fallback
+    /// counter. The audit buffer is always drained before a checkpoint
+    /// can fire (the engine drains after every scheme callback), and
+    /// the audit flag is re-armed by `set_audit` at resume start.
+    fn checkpoint_state(&self) -> Option<serde::Value> {
+        Some(serde::Value::Object(vec![
+            ("live".to_string(), serde::Value::U64(self.live as u64)),
+            (
+                "fallback_decisions".to_string(),
+                serde::Value::U64(self.fallback_decisions),
+            ),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), String> {
+        use serde::Deserialize;
+        let field = |name: &str| {
+            state
+                .field(name)
+                .ok_or_else(|| format!("DegradingRamsis state: missing `{name}`"))
+        };
+        self.live = usize::from_value(field("live")?).map_err(|e| e.to_string())?;
+        self.fallback_decisions =
+            u64::from_value(field("fallback_decisions")?).map_err(|e| e.to_string())?;
+        Ok(())
     }
 }
 

@@ -6,17 +6,47 @@
 //! load as a moving average over a 500 ms window. This module provides
 //! those primitives.
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::collections::VecDeque;
 
 /// Streaming mean/variance accumulator (Welford's algorithm).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
 pub struct OnlineStats {
     count: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+// Hand-written deserialization: an empty accumulator holds the ±∞
+// sentinels in `min`/`max`, which JSON cannot carry (non-finite floats
+// serialize as null and read back as NaN). `count == 0` implies exactly
+// those sentinels, so they are reconstructed rather than read — every
+// reachable accumulator round-trips bit-exactly.
+impl Deserialize for OnlineStats {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let field = |name: &str| {
+            v.field(name)
+                .ok_or_else(|| DeError::missing_field("OnlineStats", name))
+        };
+        let count = u64::from_value(field("count")?)?;
+        let (min, max) = if count == 0 {
+            (f64::INFINITY, f64::NEG_INFINITY)
+        } else {
+            (
+                f64::from_value(field("min")?)?,
+                f64::from_value(field("max")?)?,
+            )
+        };
+        Ok(Self {
+            count,
+            mean: f64::from_value(field("mean")?)?,
+            m2: f64::from_value(field("m2")?)?,
+            min,
+            max,
+        })
+    }
 }
 
 impl OnlineStats {
@@ -253,7 +283,7 @@ impl Histogram {
 /// Tracks query load as the number of arrivals over a sliding window
 /// (500 ms in the paper, following [38, 57]), expressed in events per
 /// second. Timestamps must be fed in non-decreasing order.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MovingAverage {
     window: f64,
     events: VecDeque<f64>,

@@ -65,11 +65,13 @@ pub enum Phase {
     Report,
     /// An offline MDP solve (policy generation / lazy solve).
     Solve,
+    /// A mid-run checkpoint: state capture plus the recorder's write.
+    Checkpoint,
 }
 
 impl Phase {
     /// Number of phases (array sizing).
-    pub const COUNT: usize = 12;
+    pub const COUNT: usize = 13;
 
     /// All phases, in declaration order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -85,6 +87,7 @@ impl Phase {
         Phase::PolicySelect,
         Phase::Report,
         Phase::Solve,
+        Phase::Checkpoint,
     ];
 
     /// Stable snake-case name (JSON key and flame-table label).
@@ -102,6 +105,7 @@ impl Phase {
             Phase::PolicySelect => "policy_select",
             Phase::Report => "report",
             Phase::Solve => "solve",
+            Phase::Checkpoint => "checkpoint",
         }
     }
 

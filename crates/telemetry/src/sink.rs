@@ -7,8 +7,8 @@
 //! `telemetry_overhead` bench pins this contract).
 
 use std::collections::VecDeque;
-use std::fs::File;
-use std::io::{self, BufWriter, Write};
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 use crate::event::Event;
@@ -142,6 +142,7 @@ pub struct JsonlSink<W: Write> {
     out: W,
     lines: u64,
     error: Option<io::Error>,
+    failed: bool,
 }
 
 impl JsonlSink<BufWriter<File>> {
@@ -153,6 +154,48 @@ impl JsonlSink<BufWriter<File>> {
     pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
         Ok(Self::new(BufWriter::new(File::create(path)?)))
     }
+
+    /// Reopens an existing log for a resumed run: truncates `path` to
+    /// the byte offset just past its first `lines` whole records —
+    /// healing any torn tail a mid-write kill left behind — and appends
+    /// from there. The returned sink reports [`JsonlSink::lines`] as
+    /// `lines`, so line accounting continues as if the run were never
+    /// interrupted.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file cannot be opened, or holds fewer than `lines`
+    /// whole newline-terminated records — resuming from a checkpoint
+    /// the log never reached would fabricate a gap, not heal a tear.
+    pub fn resume_at<P: AsRef<Path>>(path: P, lines: u64) -> io::Result<Self> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf)?;
+        let mut offset = 0usize;
+        let mut whole = 0u64;
+        while whole < lines {
+            match buf[offset..].iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    offset += i + 1;
+                    whole += 1;
+                }
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "log holds {whole} whole records, checkpoint expects {lines}: \
+                             refusing to resume past the end of the log"
+                        ),
+                    ))
+                }
+            }
+        }
+        file.set_len(offset as u64)?;
+        file.seek(SeekFrom::Start(offset as u64))?;
+        let mut sink = Self::new(BufWriter::new(file));
+        sink.lines = lines;
+        Ok(sink)
+    }
 }
 
 impl<W: Write> JsonlSink<W> {
@@ -162,12 +205,28 @@ impl<W: Write> JsonlSink<W> {
             out,
             lines: 0,
             error: None,
+            failed: false,
         }
     }
 
     /// Lines successfully written so far.
     pub fn lines(&self) -> u64 {
         self.lines
+    }
+
+    /// True once any write or flush has failed; further records are
+    /// dropped. Callers that keep the sink alive (rather than calling
+    /// [`JsonlSink::finish`]) use this to fail loudly instead of
+    /// reporting a silently truncated log as success.
+    pub fn write_failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Takes the latched I/O error, if any. The sink stays failed —
+    /// [`JsonlSink::write_failed`] remains `true` and subsequent
+    /// records are still dropped; only ownership of the error moves.
+    pub fn take_error(&mut self) -> Option<io::Error> {
+        self.error.take()
     }
 
     /// Flushes and returns the writer, or the first latched I/O error.
@@ -186,21 +245,23 @@ impl<W: Write> JsonlSink<W> {
 
 impl<W: Write> TelemetrySink for JsonlSink<W> {
     fn record(&mut self, event: &Event) {
-        if self.error.is_some() {
+        if self.failed {
             return;
         }
         let line = serde_json::to_string(event).expect("events always serialize");
         if let Err(e) = writeln!(self.out, "{line}") {
             self.error = Some(e);
+            self.failed = true;
             return;
         }
         self.lines += 1;
     }
 
     fn flush(&mut self) {
-        if self.error.is_none() {
+        if !self.failed {
             if let Err(e) = self.out.flush() {
                 self.error = Some(e);
+                self.failed = true;
             }
         }
     }
@@ -230,6 +291,10 @@ pub struct ParsedLog {
     /// The unparseable final line of a truncated log, verbatim
     /// (`None` for a clean log).
     pub torn_tail: Option<String>,
+    /// Byte offset of the torn tail's first byte within the parsed
+    /// text (`None` for a clean log). Truncating the file to this
+    /// offset heals the tear: everything before it is whole records.
+    pub torn_tail_offset: Option<usize>,
     /// Lines holding well-formed JSON that is not a known event kind —
     /// a log written by a newer engine with event variants this build
     /// does not know. They are skipped, not fatal, so old tooling can
@@ -251,28 +316,41 @@ pub struct ParsedLog {
 /// damage, not a torn write or a forward-compat gap, and is never
 /// silently skipped.
 pub fn parse_jsonl_tolerant(text: &str) -> Result<ParsedLog, String> {
-    let lines: Vec<(usize, &str)> = text
-        .lines()
-        .enumerate()
-        .filter(|(_, l)| !l.trim().is_empty())
-        .collect();
+    // (line number, byte offset of line start, line content) for every
+    // non-blank line; offsets are tracked by hand because `str::lines`
+    // discards them and the torn-tail offset is part of the contract.
+    let mut lines: Vec<(usize, usize, &str)> = Vec::new();
+    let mut offset = 0usize;
+    for (i, raw) in text.split_inclusive('\n').enumerate() {
+        let line = raw.strip_suffix('\n').unwrap_or(raw);
+        let line = line.strip_suffix('\r').unwrap_or(line);
+        if !line.trim().is_empty() {
+            lines.push((i, offset, line));
+        }
+        offset += raw.len();
+    }
     let mut events = Vec::with_capacity(lines.len());
     let mut torn_tail = None;
+    let mut torn_tail_offset = None;
     let mut unknown_events = 0;
     let last = lines.len().saturating_sub(1);
-    for (k, (i, l)) in lines.iter().enumerate() {
+    for (k, (i, at, l)) in lines.iter().enumerate() {
         match serde_json::from_str(l) {
             Ok(e) => events.push(e),
             // Valid JSON that is not an Event we know: a future event
             // kind, anywhere in the log. Skip and count.
             Err(_) if serde_json::from_str::<serde::Value>(l).is_ok() => unknown_events += 1,
-            Err(_) if k == last => torn_tail = Some((*l).to_string()),
+            Err(_) if k == last => {
+                torn_tail = Some((*l).to_string());
+                torn_tail_offset = Some(*at);
+            }
             Err(e) => return Err(format!("line {}: {e}", i + 1)),
         }
     }
     Ok(ParsedLog {
         events,
         torn_tail,
+        torn_tail_offset,
         unknown_events,
     })
 }
@@ -442,5 +520,101 @@ mod tests {
         assert_eq!(parsed.events, vec![ev(1)]);
         assert_eq!(parsed.unknown_events, 1);
         assert!(parsed.torn_tail.is_some());
+    }
+
+    #[test]
+    fn tolerant_parse_reports_the_torn_tail_byte_offset() {
+        let mut sink = JsonlSink::new(Vec::new());
+        for t in 0..3 {
+            sink.record(&ev(t));
+        }
+        let full = String::from_utf8(sink.finish().unwrap()).unwrap();
+        let cut = full.len() - 9;
+        let torn = &full[..cut];
+        let parsed = parse_jsonl_tolerant(torn).unwrap();
+        let at = parsed.torn_tail_offset.expect("offset reported");
+        // The offset points at the start of the torn record: truncating
+        // there leaves exactly the whole-record prefix.
+        assert_eq!(&torn[..at], {
+            let two_lines: usize = full.lines().take(2).map(|l| l.len() + 1).sum();
+            &full[..two_lines]
+        });
+        assert_eq!(&torn[at..], parsed.torn_tail.as_deref().unwrap());
+        // Clean logs report no offset.
+        assert_eq!(parse_jsonl_tolerant(&full).unwrap().torn_tail_offset, None);
+    }
+
+    /// A writer that fails once `ok_lines` whole lines have gone
+    /// through (a record may arrive as several `write` calls).
+    struct FlakyWriter {
+        ok_lines: usize,
+        seen: usize,
+    }
+
+    impl Write for FlakyWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.seen >= self.ok_lines {
+                return Err(io::Error::other("disk full"));
+            }
+            self.seen += buf.iter().filter(|&&b| b == b'\n').count();
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_latches_and_surfaces_write_failures() {
+        let mut sink = JsonlSink::new(FlakyWriter {
+            ok_lines: 2,
+            seen: 0,
+        });
+        assert!(!sink.write_failed());
+        for t in 0..5 {
+            sink.record(&ev(t));
+        }
+        assert!(sink.write_failed());
+        assert_eq!(sink.lines(), 2, "only the successful writes count");
+        let err = sink.take_error().expect("first error surfaced");
+        assert_eq!(err.to_string(), "disk full");
+        // Taking the error does not un-fail the sink.
+        assert!(sink.write_failed());
+        assert!(sink.take_error().is_none(), "error moves out once");
+        sink.record(&ev(9));
+        assert_eq!(sink.lines(), 2, "failed sinks drop further records");
+    }
+
+    #[test]
+    fn resume_at_heals_the_torn_tail_and_continues_the_log() {
+        let dir = std::env::temp_dir().join(format!("ramsis-sink-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("resume.jsonl");
+
+        // A "killed" run: three whole records plus a torn fragment.
+        let mut sink = JsonlSink::create(&path).unwrap();
+        for t in 0..3 {
+            sink.record(&ev(t));
+        }
+        drop(sink.finish().unwrap());
+        let clean = std::fs::read_to_string(&path).unwrap();
+        let mut torn = clean.clone();
+        torn.push_str("{\"Shed\":{\"at");
+        std::fs::write(&path, &torn).unwrap();
+
+        // Resume from a checkpoint taken after 2 events: the third
+        // record AND the fragment are both past the checkpoint, so
+        // truncation discards them before appending.
+        let mut resumed = JsonlSink::resume_at(&path, 2).unwrap();
+        assert_eq!(resumed.lines(), 2);
+        resumed.record(&ev(2));
+        drop(resumed.finish().unwrap());
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), clean);
+
+        // A checkpoint past the log's whole records is refused.
+        std::fs::write(&path, &torn).unwrap();
+        let err = JsonlSink::resume_at(&path, 4).unwrap_err();
+        assert!(err.to_string().contains("3 whole records"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

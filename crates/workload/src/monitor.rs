@@ -36,6 +36,27 @@ pub trait LoadEstimator {
         let _ = now;
         None
     }
+
+    /// Serializable internal state for checkpoint/resume. `None`
+    /// (the default) declares the estimator unsupported: a simulation
+    /// run with checkpointing enabled refuses to start rather than
+    /// silently producing unresumable snapshots. Stateless estimators
+    /// return `Some(Value::Null)`.
+    fn checkpoint_state(&self) -> Option<serde::Value> {
+        None
+    }
+
+    /// Restores state captured by [`Self::checkpoint_state`] onto a
+    /// freshly constructed estimator.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatch between the state
+    /// tree and this estimator.
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), String> {
+        let _ = state;
+        Err("estimator does not support checkpoint restore".to_string())
+    }
 }
 
 /// The 500 ms moving-average monitor of §6.
@@ -131,6 +152,29 @@ impl LoadEstimator for LoadMonitor {
         let gap_s = (long_s - self.window_s) / 2.0;
         Some((short - long) / gap_s)
     }
+
+    /// Both moving-average windows (the window lengths live in the
+    /// constructor arguments, but the event queues are run state).
+    fn checkpoint_state(&self) -> Option<serde::Value> {
+        use serde::Serialize;
+        Some(serde::Value::Object(vec![
+            ("window".to_string(), self.window.to_value()),
+            ("trend_window".to_string(), self.trend_window.to_value()),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), String> {
+        use serde::Deserialize;
+        let field = |name: &str| {
+            state
+                .field(name)
+                .ok_or_else(|| format!("LoadMonitor state: missing `{name}`"))
+        };
+        self.window = MovingAverage::from_value(field("window")?).map_err(|e| e.to_string())?;
+        self.trend_window =
+            MovingAverage::from_value(field("trend_window")?).map_err(|e| e.to_string())?;
+        Ok(())
+    }
 }
 
 /// A perfect-knowledge monitor that reads the true load off the trace —
@@ -162,6 +206,15 @@ impl LoadEstimator for OracleMonitor {
         let here = self.trace.qps_at(now);
         let ahead = self.trace.qps_at(now + HORIZON_S);
         Some((ahead - here) / HORIZON_S)
+    }
+
+    /// Stateless: the trace is configuration, not run state.
+    fn checkpoint_state(&self) -> Option<serde::Value> {
+        Some(serde::Value::Null)
+    }
+
+    fn restore_state(&mut self, _state: &serde::Value) -> Result<(), String> {
+        Ok(())
     }
 }
 
@@ -229,6 +282,16 @@ impl LoadEstimator for DivergenceMonitor {
 
     fn trend_qps_per_s(&mut self, now: f64) -> Option<f64> {
         self.observed.trend_qps_per_s(now)
+    }
+
+    /// Only the observed monitor carries run state; the planned trace is
+    /// configuration.
+    fn checkpoint_state(&self) -> Option<serde::Value> {
+        self.observed.checkpoint_state()
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), String> {
+        self.observed.restore_state(state)
     }
 }
 
@@ -451,6 +514,44 @@ mod tests {
         assert_eq!(LoadEstimator::divergence(&mut oracle, 1.0), None);
         let mut div = DivergenceMonitor::new(Trace::constant(10.0, 5.0));
         assert!(LoadEstimator::divergence(&mut div, 1.0).is_some());
+    }
+
+    #[test]
+    fn checkpoint_state_round_trips_mid_stream() {
+        let trace = Trace::constant(500.0, 4.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(41);
+        let arrivals = sample_poisson_arrivals(&trace, &mut rng);
+        let mut mon = LoadMonitor::new();
+        let cut = arrivals.len() / 2;
+        for &t in &arrivals[..cut] {
+            mon.record_arrival(t);
+        }
+        let state = mon.checkpoint_state().expect("LoadMonitor supports it");
+        let mut restored = LoadMonitor::new();
+        restored.restore_state(&state).unwrap();
+        // The restored monitor continues identically.
+        for &t in &arrivals[cut..] {
+            mon.record_arrival(t);
+            restored.record_arrival(t);
+        }
+        assert_eq!(mon.estimate(4.0), restored.estimate(4.0));
+        assert_eq!(mon.trend_qps_per_s(4.0), restored.trend_qps_per_s(4.0));
+        // Oracle is stateless; divergence delegates to the observed side.
+        let mut oracle = OracleMonitor::new(Trace::constant(1.0, 1.0));
+        assert_eq!(oracle.checkpoint_state(), Some(serde::Value::Null));
+        oracle.restore_state(&serde::Value::Null).unwrap();
+        let div = DivergenceMonitor::new(Trace::constant(1.0, 1.0));
+        assert!(div.checkpoint_state().is_some());
+        // The trait default declares estimators unsupported.
+        struct Fixed;
+        impl LoadEstimator for Fixed {
+            fn record_arrival(&mut self, _now: f64) {}
+            fn estimate(&mut self, _now: f64) -> f64 {
+                0.0
+            }
+        }
+        assert_eq!(Fixed.checkpoint_state(), None);
+        assert!(Fixed.restore_state(&serde::Value::Null).is_err());
     }
 
     #[test]

@@ -49,5 +49,18 @@ perf_smoke() {
     rm -rf "${out}"
 }
 stage "perf-smoke" perf_smoke
+# Durability smoke: 25 randomized chaos runs with the kill–resume
+# dimension on (each scenario also runs durably, is killed at a random
+# checkpoint, and must resume to a byte-identical report and telemetry
+# suffix), then the checkpoint-overhead gate in smoke mode (report
+# byte-identity across recorder tiers + the capture-cost ceiling).
+durability_smoke() {
+    local out
+    out="$(mktemp -d)"
+    cargo run -q -p ramsis-cli -- chaos --runs 25 --seed 11 --kill-resume
+    cargo run --release -q -p ramsis-bench --bin checkpoint_overhead -- --smoke --out "${out}"
+    rm -rf "${out}"
+}
+stage "durability-smoke" durability_smoke
 
 echo "ci.sh: all green"

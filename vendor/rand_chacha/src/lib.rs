@@ -88,6 +88,28 @@ impl<const ROUNDS: usize> ChaChaCore<ROUNDS> {
         self.index += 1;
         w
     }
+
+    /// Stream position as `(counter, index)`. The key is not included:
+    /// restoring requires re-seeding with the original seed first.
+    fn state(&self) -> (u64, usize) {
+        (self.counter, self.index)
+    }
+
+    fn restore_state(&mut self, counter: u64, index: usize) {
+        assert!(index <= 16, "ChaCha word index out of range: {index}");
+        if index >= 16 {
+            // Block exhausted (or fresh core): no cached words to rebuild.
+            self.counter = counter;
+            self.index = 16;
+        } else {
+            // Mid-block: regenerate the block the snapshot was reading.
+            // `refill` consumes the counter it starts from, so step back
+            // one, rebuild, then drop the already-consumed words.
+            self.counter = counter.wrapping_sub(1);
+            self.refill();
+            self.index = index;
+        }
+    }
 }
 
 macro_rules! chacha_rng {
@@ -117,6 +139,22 @@ macro_rules! chacha_rng {
                 Self {
                     core: ChaChaCore::new(seed),
                 }
+            }
+        }
+
+        impl $name {
+            /// Stream position as `(block counter, word index)`. Together
+            /// with the original seed this pins the exact next output
+            /// word, so a checkpointed RNG can be restored bit-for-bit.
+            pub fn state(&self) -> (u64, usize) {
+                self.core.state()
+            }
+
+            /// Restore a position previously returned by [`Self::state`].
+            /// The receiver must have been seeded with the same seed as
+            /// the snapshotted RNG; only the stream position is restored.
+            pub fn restore(&mut self, counter: u64, index: usize) {
+                self.core.restore_state(counter, index);
             }
         }
     };
@@ -154,6 +192,39 @@ mod tests {
         let n = 10_000;
         let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
         assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn state_restore_continues_stream() {
+        // Capture the position at various points (fresh, mid-block,
+        // block-boundary) and check a re-seeded RNG restored to that
+        // position emits the identical remaining stream.
+        for advance in [0usize, 1, 7, 15, 16, 17, 33, 64] {
+            let mut orig = ChaCha8Rng::seed_from_u64(99);
+            for _ in 0..advance {
+                orig.next_u32();
+            }
+            let (counter, index) = orig.state();
+            let mut restored = ChaCha8Rng::seed_from_u64(99);
+            restored.restore(counter, index);
+            for step in 0..100 {
+                assert_eq!(
+                    orig.next_u64(),
+                    restored.next_u64(),
+                    "divergence after advance={advance} step={step}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn restore_is_idempotent_on_fresh_rng() {
+        let a = ChaCha8Rng::seed_from_u64(5);
+        let (c, i) = a.state();
+        assert_eq!((c, i), (0, 16));
+        let mut b = ChaCha8Rng::seed_from_u64(5);
+        b.restore(c, i);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -212,6 +212,37 @@ macro_rules! impl_float {
 }
 impl_float!(f32, f64);
 
+// 128-bit integers exceed the JSON number model (`u64`/`i64`/`f64`),
+// so they round-trip through their decimal string representation,
+// which is exact at any width. Small values parsed back from plain
+// JSON numbers are also accepted.
+macro_rules! impl_int128 {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Str(self.to_string())
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Str(s) => s.parse().map_err(|_| {
+                        DeError(format!("invalid {} literal `{s}`", stringify!($t)))
+                    }),
+                    Value::U64(n) => <$t>::try_from(*n).map_err(|_| {
+                        DeError(format!("integer {n} out of range for {}", stringify!($t)))
+                    }),
+                    Value::I64(n) => <$t>::try_from(*n).map_err(|_| {
+                        DeError(format!("integer {n} out of range for {}", stringify!($t)))
+                    }),
+                    other => Err(DeError::expected("128-bit integer string", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_int128!(u128, i128);
+
 impl Serialize for String {
     fn to_value(&self) -> Value {
         Value::Str(self.clone())
@@ -301,6 +332,22 @@ impl<T: Serialize> Serialize for [T] {
 impl<T: Serialize, const N: usize> Serialize for [T; N] {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.elements()
+            .ok_or_else(|| DeError::expected("array", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
     }
 }
 
@@ -475,5 +522,22 @@ mod tests {
     #[test]
     fn float_accepts_integral_value() {
         assert_eq!(f64::from_value(&Value::U64(2)), Ok(2.0));
+    }
+
+    #[test]
+    fn u128_round_trips_through_strings() {
+        let big: u128 = u128::MAX - 7;
+        assert_eq!(big.to_value(), Value::Str(big.to_string()));
+        assert_eq!(u128::from_value(&big.to_value()), Ok(big));
+        // Plain JSON numbers are accepted for small values.
+        assert_eq!(u128::from_value(&Value::U64(9)), Ok(9));
+        assert!(u128::from_value(&Value::I64(-1)).is_err());
+    }
+
+    #[test]
+    fn vecdeque_round_trip() {
+        let dq: std::collections::VecDeque<f64> = [1.0, 2.5, -3.0].into_iter().collect();
+        let back: std::collections::VecDeque<f64> = Deserialize::from_value(&dq.to_value()).unwrap();
+        assert_eq!(back, dq);
     }
 }
