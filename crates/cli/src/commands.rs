@@ -15,6 +15,7 @@ pub mod sim;
 pub mod spans;
 pub mod telemetry;
 pub mod trace;
+pub mod why;
 
 use std::path::{Path, PathBuf};
 

@@ -18,7 +18,9 @@ use ramsis_sim::{
     CheckpointPolicy, EngineSnapshot, FaultPlan, FileRecorder, LatencyMode, RamsisScheme,
     ServingScheme, Simulation, SimulationConfig, SimulationReport,
 };
-use ramsis_telemetry::{JsonlSink, NullSink, TelemetrySink};
+use ramsis_telemetry::{
+    DecisionSink, JsonlDecisionSink, JsonlSink, NullDecisionSink, NullSink, TelemetrySink,
+};
 use ramsis_workload::{DivergenceMonitor, LoadEstimator, OracleMonitor, Trace};
 
 use crate::cli_args::CommonArgs;
@@ -32,6 +34,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
             "--duration",
             "--stochastic",
             "--telemetry",
+            "--decisions",
             "--checkpoint",
             "--checkpoint-every",
             "--resume",
@@ -145,16 +148,37 @@ pub fn run(args: &[String]) -> Result<(), String> {
         (false, _) => None,
     };
 
+    // Decision provenance: `--decisions PATH` records every routing /
+    // model-selection decision as a JSONL stream of DecisionRecords
+    // (explain with `ramsis-cli why`). Off by default — and when off
+    // the run is byte-identical to a plain one.
+    let decisions_path = args.extra("--decisions");
+    if decisions_path.is_some() && ckpt_path.is_some() {
+        return Err(
+            "--decisions cannot be combined with --checkpoint (decision provenance \
+             for durable runs is not supported yet)"
+                .into(),
+        );
+    }
+    let mut decision_sink = match decisions_path {
+        Some(p) => {
+            Some(JsonlDecisionSink::create(p).map_err(|e| format!("open decision log {p}: {e}"))?)
+        }
+        None => None,
+    };
+    let mut null_decisions = NullDecisionSink;
+
     let sim = Simulation::new(&profile, config).expect("valid simulation config");
     let plan = FaultPlan::none();
     let run_with_sink = |sink: &mut dyn TelemetrySink,
                          scheme: &mut dyn ServingScheme,
-                         estimator: &mut dyn LoadEstimator|
+                         estimator: &mut dyn LoadEstimator,
+                         decisions: &mut dyn DecisionSink|
      -> Result<SimulationReport, String> {
         let Some(ckpt) = ckpt_path else {
-            return Ok(sim
-                .run_faulted_traced(&trace, &plan, scheme, estimator, sink)
-                .expect("empty fault plan always validates"));
+            return sim
+                .run_faulted_traced_decisions(&trace, &plan, scheme, estimator, sink, decisions)
+                .map_err(|e| e.to_string());
         };
         let mut recorder = FileRecorder::new(ckpt);
         let outcome = match &snapshot {
@@ -188,7 +212,11 @@ pub fn run(args: &[String]) -> Result<(), String> {
                 None => JsonlSink::create(path)
                     .map_err(|e| format!("open telemetry log {path}: {e}"))?,
             };
-            let report = run_with_sink(&mut sink, scheme.as_mut(), estimator.as_mut())?;
+            let decisions: &mut dyn DecisionSink = match decision_sink.as_mut() {
+                Some(s) => s,
+                None => &mut null_decisions,
+            };
+            let report = run_with_sink(&mut sink, scheme.as_mut(), estimator.as_mut(), decisions)?;
             if sink.write_failed() {
                 // A lost event is a lie in the log: fail the run loudly
                 // rather than report success over a truncated trace.
@@ -207,8 +235,37 @@ pub fn run(args: &[String]) -> Result<(), String> {
             );
             report
         }
-        None => run_with_sink(&mut NullSink, scheme.as_mut(), estimator.as_mut())?,
+        None => {
+            let decisions: &mut dyn DecisionSink = match decision_sink.as_mut() {
+                Some(s) => s,
+                None => &mut null_decisions,
+            };
+            run_with_sink(
+                &mut NullSink,
+                scheme.as_mut(),
+                estimator.as_mut(),
+                decisions,
+            )?
+        }
     };
+
+    if let Some(mut sink) = decision_sink {
+        let path = decisions_path.expect("sink implies path");
+        if sink.write_failed() {
+            return Err(format!(
+                "decision log {path} failed after {} records: {}",
+                sink.lines(),
+                sink.take_error()
+                    .map_or_else(|| "unknown I/O error".into(), |e| e.to_string())
+            ));
+        }
+        let lines = sink.lines();
+        sink.finish()
+            .map_err(|e| format!("write decision log {path}: {e}"))?;
+        println!(
+            "decisions: {lines} records -> {path} (explain with `ramsis-cli why {path} --telemetry TRACE`)"
+        );
+    }
 
     println!(
         "{method}: {} queries, accuracy per satisfied query {:.2}%, violation rate {:.4}%",

@@ -13,10 +13,31 @@
 //! any discrepancy is reported as a conservation violation.
 
 use ramsis_bench::render_table;
-use ramsis_telemetry::{critical_path, parse_jsonl_tolerant, reconstruct_spans, SegmentStats};
+use ramsis_telemetry::{
+    critical_path, parse_jsonl_tolerant, reconstruct_spans, QuerySpan, SegmentStats, SpanOutcome,
+};
 
 fn ms(ns: u64) -> String {
     format!("{:.1}", ns as f64 / 1e6)
+}
+
+/// Compact outcome cell for the slowest-queries table: sheds and
+/// timeouts carry their cause so slow *failures* are attributable, not
+/// just slow successes.
+fn outcome_cell(s: &QuerySpan) -> String {
+    match &s.outcome {
+        SpanOutcome::Completed { violated, .. } => {
+            if *violated {
+                "violated".to_string()
+            } else {
+                "ok".to_string()
+            }
+        }
+        SpanOutcome::Shed { cause } => format!("shed:{cause:?}"),
+        SpanOutcome::Dropped => "crash-dropped".to_string(),
+        SpanOutcome::AdmissionRefused => "admission".to_string(),
+        SpanOutcome::InFlight => "in-flight".to_string(),
+    }
 }
 
 fn segment_row(name: &str, s: &SegmentStats) -> Vec<String> {
@@ -142,14 +163,20 @@ pub fn run(args: &[String]) -> Result<(), String> {
     );
 
     if !report.top_slowest.is_empty() {
-        println!("top {} slowest completions:", report.top_slowest.len());
+        println!(
+            "top {} slowest queries (by lifetime; sheds and timeouts included):",
+            report.top_slowest.len()
+        );
         let rows: Vec<Vec<String>> = report
             .top_slowest
             .iter()
             .map(|s| {
+                let lifetime = s.terminal_at.map(|t| t.saturating_sub(s.arrival));
                 vec![
                     s.query.to_string(),
-                    ms(s.response_ns.unwrap_or(0)),
+                    outcome_cell(s),
+                    ms(lifetime.unwrap_or(0)),
+                    s.response_ns.map(ms).unwrap_or_default(),
                     ms(s.wait_ns),
                     ms(s.service_ns),
                     ms(s.wasted_ns),
@@ -163,8 +190,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
             "{}",
             render_table(
                 &[
-                    "query", "resp ms", "wait ms", "serve ms", "waste ms", "backoff", "timeouts",
-                    "hedged"
+                    "query", "outcome", "life ms", "resp ms", "wait ms", "serve ms", "waste ms",
+                    "backoff", "timeouts", "hedged"
                 ],
                 &rows,
             )

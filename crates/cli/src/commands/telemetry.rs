@@ -25,6 +25,9 @@ use serde::Serialize;
 #[derive(Serialize)]
 struct TraceSummary {
     events: u64,
+    /// JSONL schema version from the stream header (`null` for
+    /// headerless v0 logs).
+    schema_version: Option<u32>,
     torn_tail: bool,
     /// Byte offset where the torn tail starts (`null` for a clean
     /// log): `truncate(log, offset)` heals the tear.
@@ -127,6 +130,7 @@ pub fn run(args: &[String]) -> Result<i32, String> {
     if json {
         let summary = TraceSummary {
             events: events.len() as u64,
+            schema_version: parsed.schema_version,
             torn_tail: parsed.torn_tail.is_some(),
             torn_tail_offset: parsed.torn_tail_offset,
             unknown_events: parsed.unknown_events,
@@ -155,7 +159,13 @@ pub fn run(args: &[String]) -> Result<i32, String> {
         return Ok(exit_code);
     }
 
-    println!("trace: {path} ({} events)", events.len());
+    println!(
+        "trace: {path} ({} events, schema {})",
+        events.len(),
+        parsed
+            .schema_version
+            .map_or_else(|| "v0 headerless".to_string(), |v| format!("v{v}"))
+    );
     println!(
         "conservation: {} arrivals = {} completed + {} shed + {} dropped + {} admission-shed + {} in flight ({})",
         cons.arrivals,

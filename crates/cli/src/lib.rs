@@ -16,6 +16,7 @@
 //! ramsis-cli spans trace.jsonl --top 10
 //! ramsis-cli chaos --runs 100 --seed 7
 //! ramsis-cli autoscale --trough 40 --swing 10 --max 8
+//! ramsis-cli why decisions.jsonl --telemetry trace.jsonl --top 5
 //! ```
 //!
 //! Policies are written under `policy_gen/METHOD_WORKERS_SLO/LOAD.json`
@@ -50,6 +51,7 @@ pub fn run(args: &[String]) -> i32 {
         "spans" => commands::spans::run(rest).map(|()| 0),
         "chaos" => commands::chaos::run(rest).map(|()| 0),
         "autoscale" => commands::autoscale::run(rest).map(|()| 0),
+        "why" => commands::why::run(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return 0;
@@ -109,6 +111,15 @@ commands:
            (--trough QPS, --swing X, --min/--max N, --target QPS,
            --warmup S, --frontier for the fixed-vs-elastic
            cost comparison, --json)
+  why      explain SLO violations from recorded provenance: joins a
+           decision log (`sim --decisions PATH`) with its telemetry
+           trace, span critical paths, burn-rate alerts, and
+           scale/brownout windows into ranked root-cause explanations
+           (DECISIONS.jsonl --telemetry TRACE.jsonl, --top N,
+           --budget FRAC, --json); --counterfactual instead re-runs a
+           scenario and quantifies exact per-decision regret by
+           forced-alternative replay (--max-decisions N,
+           --alternatives N)
 
 common flags (artifact §A.5):
   --task image|text     inference task              [default: image]

@@ -35,7 +35,10 @@
 use std::time::Duration;
 
 use ramsis_profiles::{ModelCatalog, ProfilerConfig, WorkerProfile};
-use ramsis_telemetry::{aggregates, conservation, Event, QueueId, VecSink};
+use ramsis_telemetry::{
+    aggregates, burn_analysis, conservation, BurnConfig, ChosenAction, Event, QueueId,
+    VecDecisionSink, VecSink,
+};
 use ramsis_workload::{LoadMonitor, Trace};
 
 use rand::{Rng, SeedableRng};
@@ -44,7 +47,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::autoscale::AutoscalePolicy;
 use crate::checkpoint::{CheckpointPolicy, MemoryRecorder};
-use crate::engine::{Simulation, SimulationConfig};
+use crate::engine::{ForcedDecision, Simulation, SimulationConfig};
 use crate::faults::{CrashPolicy, FaultPlan};
 use crate::metrics::SimulationReport;
 use crate::resilience::{splitmix64, ResiliencePolicy};
@@ -305,6 +308,94 @@ impl ChaosConfig {
             }
         }
 
+        // Decision provenance (ISSUE 8): recording the decision stream
+        // must not perturb the run, and forcing a randomly chosen
+        // selection-site record's own raw action in a counterfactual
+        // replay must reproduce report and telemetry byte for byte —
+        // the exact-regret baseline the `why --counterfactual` path
+        // relies on.
+        let decisions;
+        {
+            let mut scheme = FastestFixed::new(profile.fastest_model(), routing);
+            let mut monitor = LoadMonitor::new();
+            let mut sink = VecSink::new();
+            let mut recorder = VecDecisionSink::new();
+            let rd = sim.run_faulted_traced_decisions(
+                &trace,
+                &plan,
+                &mut scheme,
+                &mut monitor,
+                &mut sink,
+                &mut recorder,
+            )?;
+            let ed = sink.into_events();
+            let j_rd = serde_json::to_string(&rd).expect("reports serialize");
+            if j_rd != serde_json::to_string(&r1).expect("reports serialize") {
+                fail(
+                    "decisions:recording-identity",
+                    "decision recording changed the report".to_string(),
+                );
+            }
+            if ed != e1 {
+                fail(
+                    "decisions:recording-identity",
+                    format!(
+                        "decision recording changed the event stream ({} vs {} events)",
+                        ed.len(),
+                        e1.len()
+                    ),
+                );
+            }
+            decisions = recorder.records().len() as u64;
+            let sites: Vec<_> = recorder
+                .records()
+                .iter()
+                .filter(|r| r.state.is_some())
+                .collect();
+            if !sites.is_empty() {
+                let rec = sites[rng.gen_range(0..sites.len())];
+                let action = match rec.chosen {
+                    ChosenAction::Serve { model, batch } => Selection::Serve {
+                        model: model as usize,
+                        batch,
+                    },
+                    ChosenAction::Shed { count } => Selection::Drop { count },
+                    _ => Selection::Idle,
+                };
+                let mut scheme = FastestFixed::new(profile.fastest_model(), routing);
+                let mut monitor = LoadMonitor::new();
+                let mut sink = VecSink::new();
+                match sim.replay_counterfactual(
+                    &trace,
+                    &plan,
+                    &mut scheme,
+                    &mut monitor,
+                    &mut sink,
+                    ForcedDecision { k: rec.k, action },
+                ) {
+                    Err(e) => fail("decisions:counterfactual-baseline", e.to_string()),
+                    Ok(cf) => {
+                        if serde_json::to_string(&cf).expect("reports serialize") != j_rd {
+                            fail(
+                                "decisions:counterfactual-baseline",
+                                format!(
+                                    "replaying the chosen action at k={} diverged from the \
+                                     factual report",
+                                    rec.k
+                                ),
+                            );
+                        }
+                        if sink.into_events() != ed {
+                            fail(
+                                "decisions:counterfactual-baseline",
+                                format!("replay at k={} diverged in the event stream", rec.k),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
         // Kill–resume dimension: the same scenario survives a kill at a
         // random checkpoint with nothing to show for it — report bytes,
         // telemetry suffix, and the snapshot itself all identical.
@@ -436,6 +527,7 @@ impl ChaosConfig {
             brownout_enters: r2.autoscale.as_ref().map_or(0, |a| a.brownout_enters),
             checkpoints,
             resumed_from,
+            decisions,
         };
         Ok((summary, failures))
     }
@@ -632,6 +724,20 @@ fn check_invariants(
         }
     }
 
+    // Burn-rate agreement: the streaming SLO monitor's completion
+    // universe is exactly the engine's — completions and violations
+    // reconstructed from the event stream equal the report counters.
+    let burn = burn_analysis(e1, BurnConfig::for_budget(0.1));
+    if burn.completions != r1.served || burn.violations != r1.violations {
+        fail(
+            "burn-agreement",
+            format!(
+                "burn monitor saw {}/{} completions/violations, report says {}/{}",
+                burn.completions, burn.violations, r1.served, r1.violations
+            ),
+        );
+    }
+
     // Hedge-cancel consistency: first-wins accounting.
     let res = &r1.resilience;
     if res.hedges_cancelled > res.hedges_issued {
@@ -805,6 +911,8 @@ pub struct ChaosRunSummary {
     /// Event count of the randomly chosen kill point the run resumed
     /// from (`None` when the dimension is off or no snapshot landed).
     pub resumed_from: Option<u64>,
+    /// Decision records emitted by the provenance-recording execution.
+    pub decisions: u64,
 }
 
 /// One violated invariant, with everything needed to reproduce it.

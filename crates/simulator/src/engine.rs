@@ -22,8 +22,8 @@ use std::collections::{BinaryHeap, VecDeque};
 use ramsis_profiles::WorkerProfile;
 use ramsis_stats::LogHistogram;
 use ramsis_telemetry::{
-    Action, Event, GaugeId, HotCounter, NullSink, Phase, Profiler, QueueId, ShedCause,
-    TelemetrySink,
+    Action, CandidateAction, ChosenAction, DecisionRecord, DecisionSink, DecisionState, Event,
+    GaugeId, HotCounter, NullSink, Phase, Profiler, QueueId, ReasonCode, ShedCause, TelemetrySink,
 };
 use ramsis_workload::{sample_poisson_arrivals, LoadEstimator, Trace};
 
@@ -263,6 +263,140 @@ impl DurableCtx<'_> {
             resume: None,
         }
     }
+}
+
+/// The alternative a counterfactual replay injects: at decision
+/// `k` — the index every run counts across all decision sites whether
+/// or not recording is on — the scheme's selection is replaced by
+/// `action`. Everything before `k` replays the original run exactly;
+/// everything after diverges only through that one change, so the
+/// report delta is the *exact* per-decision regret.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForcedDecision {
+    /// Decision index to intercept. Only selection-site decisions can
+    /// be forced; hedge, retry, and retry-exhaustion records consume
+    /// indices but are mechanisms, not choices.
+    pub k: u64,
+    /// The selection applied instead of the scheme's. A `Serve` batch
+    /// or `Drop` count outside `1..=queue` is clamped at the site.
+    pub action: Selection,
+}
+
+/// Decision-provenance context threaded into the core run loop: an
+/// optional sink receiving one record per decision, an optional forced
+/// alternative for counterfactual replay, and the decision-index
+/// offset when branching from a checkpoint. Plain runs pass none of
+/// these and every decision site reduces to one u64 increment.
+struct DecisionCtx<'a> {
+    sink: Option<&'a mut dyn DecisionSink>,
+    forced: Option<ForcedDecision>,
+    /// Decisions the snapshotted prefix already made (resume only).
+    k_offset: u64,
+}
+
+impl DecisionCtx<'_> {
+    fn none() -> Self {
+        DecisionCtx {
+            sink: None,
+            forced: None,
+            k_offset: 0,
+        }
+    }
+}
+
+/// The run loop's handle on decision provenance (mirror of [`Tracer`]).
+/// The index `k` advances at every decision site unconditionally — one
+/// u64 add per site, so disabled runs stay bit-identical — while
+/// records are only built when an enabled sink is attached.
+struct DecisionTracer<'a> {
+    sink: Option<&'a mut dyn DecisionSink>,
+    on: bool,
+    /// Next decision index.
+    k: u64,
+    /// Heap events fully processed before the current one, stamped
+    /// into records so they join against checkpoint `events_done`.
+    event: u64,
+    forced: Option<ForcedDecision>,
+    forced_applied: bool,
+}
+
+impl<'a> DecisionTracer<'a> {
+    fn new(ctx: DecisionCtx<'a>) -> Self {
+        let on = ctx.sink.as_ref().is_some_and(|s| s.enabled());
+        Self {
+            sink: ctx.sink,
+            on,
+            k: ctx.k_offset,
+            event: 0,
+            forced: ctx.forced,
+            forced_applied: false,
+        }
+    }
+
+    /// Claims the next decision index. Called at every site whether or
+    /// not recording is on, so a replay's indices always line up with
+    /// the recorded run's.
+    #[inline]
+    fn next(&mut self) -> u64 {
+        let k = self.k;
+        self.k += 1;
+        k
+    }
+
+    /// Records the decision `f` builds (handing it the stamped event
+    /// count). Callers construct the record only under `self.on`.
+    #[inline]
+    fn emit(&mut self, f: impl FnOnce(u64) -> DecisionRecord) {
+        if self.on {
+            if let Some(sink) = self.sink.as_deref_mut() {
+                sink.record(&f(self.event));
+            }
+        }
+    }
+
+    /// The forced alternative targeted at decision `k`, if any.
+    #[inline]
+    fn force(&mut self, k: u64) -> Option<Selection> {
+        match self.forced {
+            Some(f) if f.k == k => {
+                self.forced_applied = true;
+                Some(f.action)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// MDP state coordinates at a selection site, as stamped into a
+/// [`DecisionRecord`]. Slack mirrors the telemetry convention: signed
+/// nanoseconds, negative once the queue head is past its deadline.
+fn decision_state(ctx: &SelectionContext) -> DecisionState {
+    DecisionState {
+        load_qps: ctx.load_qps,
+        queued: ctx.queued as u32,
+        slack_ns: (ctx.earliest_slack_s * 1e9).round() as i64,
+        live_workers: ctx.live_workers as u32,
+    }
+}
+
+/// Per-model candidate scores at a selection site: expected head-of-line
+/// slack after serving `cand_batch` on each model, and the model's
+/// accuracy as its value. Only built when decision recording is on.
+fn decision_candidates(
+    profile: &WorkerProfile,
+    ctx: &SelectionContext,
+    cand_batch: u32,
+) -> Vec<CandidateAction> {
+    let slack_ns = (ctx.earliest_slack_s * 1e9).round() as i64;
+    (0..profile.n_models())
+        .map(|m| CandidateAction {
+            model: m as u32,
+            batch: cand_batch,
+            expected_slack_ns: slack_ns
+                - (profile.latency_extrapolated(m, cand_batch) * 1e9).round() as i64,
+            value: profile.accuracy(m),
+        })
+        .collect()
 }
 
 /// A timed, engine-level fault action expanded from a [`FaultPlan`]
@@ -948,6 +1082,7 @@ impl<'a> Simulation<'a> {
                 recorder: Some(recorder),
                 resume: None,
             },
+            DecisionCtx::none(),
         )?;
         prof.run_end();
         Ok(report)
@@ -987,6 +1122,7 @@ impl<'a> Simulation<'a> {
                 recorder: None,
                 resume: Some(snapshot),
             },
+            DecisionCtx::none(),
         )?;
         Ok(report.expect("run without recorder always completes"))
     }
@@ -1024,6 +1160,7 @@ impl<'a> Simulation<'a> {
                 recorder: Some(recorder),
                 resume: Some(snapshot),
             },
+            DecisionCtx::none(),
         )
     }
 
@@ -1123,8 +1260,198 @@ impl<'a> Simulation<'a> {
             sink,
             prof,
             DurableCtx::none(),
+            DecisionCtx::none(),
         )?;
         Ok(report.expect("run without recorder always completes"))
+    }
+
+    /// [`Self::run_faulted_traced`] with decision provenance attached:
+    /// every selection, shed, retry, and hedge decision is emitted into
+    /// `decisions` as a [`DecisionRecord`]. With a disabled sink the
+    /// run is bit-identical to [`Self::run_faulted_traced`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the plan fails
+    /// [`FaultPlan::validate`] for this cluster size.
+    pub fn run_faulted_traced_decisions(
+        &self,
+        trace: &Trace,
+        plan: &FaultPlan,
+        scheme: &mut dyn ServingScheme,
+        estimator: &mut dyn LoadEstimator,
+        sink: &mut dyn TelemetrySink,
+        decisions: &mut dyn DecisionSink,
+    ) -> Result<SimulationReport, SimError> {
+        self.run_faulted_traced_decisions_profiled(
+            trace,
+            plan,
+            scheme,
+            estimator,
+            sink,
+            decisions,
+            &mut Profiler::off(),
+        )
+    }
+
+    /// [`Self::run_faulted_traced_decisions`] with the self-profiler
+    /// attached; record construction is attributed to the `decision`
+    /// phase (the `decision_overhead` bench gates on it).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::run_faulted_traced_decisions`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_faulted_traced_decisions_profiled(
+        &self,
+        trace: &Trace,
+        plan: &FaultPlan,
+        scheme: &mut dyn ServingScheme,
+        estimator: &mut dyn LoadEstimator,
+        sink: &mut dyn TelemetrySink,
+        decisions: &mut dyn DecisionSink,
+        prof: &mut Profiler,
+    ) -> Result<SimulationReport, SimError> {
+        plan.validate(self.config.workers)?;
+        let arrivals = self.sampled_arrivals(trace, plan);
+        prof.run_begin();
+        let report = self.run_core(
+            &arrivals,
+            plan,
+            scheme,
+            estimator,
+            sink,
+            prof,
+            DurableCtx::none(),
+            DecisionCtx {
+                sink: Some(decisions),
+                forced: None,
+                k_offset: 0,
+            },
+        )?;
+        prof.run_end();
+        Ok(report.expect("run without recorder always completes"))
+    }
+
+    /// Re-runs a seeded scenario with a single forced alternative: at
+    /// decision index `forced.k` (the `k` stamped into the factual
+    /// run's [`DecisionRecord`]s) the scheme's pick is replaced by
+    /// `forced.action`; everything else replays deterministically.
+    /// Forcing the factual run's own raw `chosen` action reproduces its
+    /// report byte-identically — the exact-regret baseline.
+    ///
+    /// Only selection-site decisions (reason `PolicyLookup`,
+    /// `Fallback`, `DegradedRung`, or `Shed` at a dispatch site) can be
+    /// forced; retry/hedge/timeout decisions advance `k` but are not
+    /// branch points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the plan fails
+    /// validation, the forced model is out of range, or decision
+    /// `forced.k` is never reached (or is not a selection site).
+    pub fn replay_counterfactual(
+        &self,
+        trace: &Trace,
+        plan: &FaultPlan,
+        scheme: &mut dyn ServingScheme,
+        estimator: &mut dyn LoadEstimator,
+        sink: &mut dyn TelemetrySink,
+        forced: ForcedDecision,
+    ) -> Result<SimulationReport, SimError> {
+        self.validate_forced(&forced)?;
+        plan.validate(self.config.workers)?;
+        let arrivals = self.sampled_arrivals(trace, plan);
+        let report = self.run_core(
+            &arrivals,
+            plan,
+            scheme,
+            estimator,
+            sink,
+            &mut Profiler::off(),
+            DurableCtx::none(),
+            DecisionCtx {
+                sink: None,
+                forced: Some(forced),
+                k_offset: 0,
+            },
+        )?;
+        Ok(report.expect("run without recorder always completes"))
+    }
+
+    /// [`Self::replay_counterfactual`] branching from a checkpoint
+    /// instead of replaying from time zero: the run resumes at
+    /// `snapshot` and forces `forced.action` at decision `forced.k`.
+    /// `k_offset` is the number of decisions the factual run had made
+    /// by the snapshot point — count the factual records with
+    /// `record.event < snapshot.meta.events_done` — so record indices
+    /// keep lining up with the full run's.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the snapshot does not
+    /// match this run, `forced.k < k_offset` (the branch point is
+    /// before the snapshot), or the forced decision is invalid / never
+    /// reached.
+    #[allow(clippy::too_many_arguments)]
+    pub fn replay_counterfactual_from(
+        &self,
+        trace: &Trace,
+        plan: &FaultPlan,
+        scheme: &mut dyn ServingScheme,
+        estimator: &mut dyn LoadEstimator,
+        sink: &mut dyn TelemetrySink,
+        snapshot: &EngineSnapshot,
+        k_offset: u64,
+        forced: ForcedDecision,
+    ) -> Result<SimulationReport, SimError> {
+        self.validate_forced(&forced)?;
+        if forced.k < k_offset {
+            return Err(SimError::InvalidConfig(format!(
+                "counterfactual: forced decision k={} precedes the snapshot (k_offset={}); \
+                 branch from an earlier checkpoint",
+                forced.k, k_offset
+            )));
+        }
+        plan.validate(self.config.workers)?;
+        let arrivals = self.sampled_arrivals(trace, plan);
+        let report = self.run_core(
+            &arrivals,
+            plan,
+            scheme,
+            estimator,
+            sink,
+            &mut Profiler::off(),
+            DurableCtx {
+                recorder: None,
+                resume: Some(snapshot),
+            },
+            DecisionCtx {
+                sink: None,
+                forced: Some(forced),
+                k_offset,
+            },
+        )?;
+        Ok(report.expect("run without recorder always completes"))
+    }
+
+    /// Rejects forced actions no worker in the pool could execute.
+    fn validate_forced(&self, forced: &ForcedDecision) -> Result<(), SimError> {
+        if let Selection::Serve { model, .. } = forced.action {
+            let n_models = self
+                .profiles
+                .iter()
+                .map(|p| p.n_models())
+                .min()
+                .unwrap_or(0);
+            if model >= n_models {
+                return Err(SimError::InvalidConfig(format!(
+                    "counterfactual: forced model {model} is out of range \
+                     (every worker serves {n_models} models)"
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// The run loop every entry point funnels into. `durable` threads
@@ -1142,6 +1469,7 @@ impl<'a> Simulation<'a> {
         sink: &mut dyn TelemetrySink,
         prof: &mut Profiler,
         mut durable: DurableCtx<'_>,
+        decisions: DecisionCtx<'_>,
     ) -> Result<Option<SimulationReport>, SimError> {
         plan.validate(self.config.workers)?;
         let ckpt = self.config.checkpoint;
@@ -1168,6 +1496,7 @@ impl<'a> Simulation<'a> {
         prof.run_begin();
         prof.enter(Phase::Setup);
         let mut tracer = Tracer::new(sink);
+        let mut dec = DecisionTracer::new(decisions);
         scheme.set_audit(tracer.on);
         let slo = nanos_from_secs(self.config.slo_s);
         let autoscale = self.config.autoscale;
@@ -1344,6 +1673,7 @@ impl<'a> Simulation<'a> {
             prof.incr(HotCounter::HeapPops);
             prof.gauge(GaugeId::HeapDepth, heap.len() as u64 + 1);
             horizon = horizon.max(now);
+            dec.event = events_done;
             let phase = match kind {
                 EventKind::Arrival(_) => Phase::Arrival,
                 EventKind::WorkerDone(..) => Phase::Completion,
@@ -1403,6 +1733,7 @@ impl<'a> Simulation<'a> {
                             &mut tracer,
                             prof,
                             &mut brown,
+                            &mut dec,
                         );
                         prof.exit(Phase::Route);
                     }
@@ -1492,6 +1823,7 @@ impl<'a> Simulation<'a> {
                                 &mut tracer,
                                 prof,
                                 &mut brown,
+                                &mut dec,
                             );
                         }
                         // The freed loser picks up queued work too — or
@@ -1527,6 +1859,7 @@ impl<'a> Simulation<'a> {
                                         &mut tracer,
                                         prof,
                                         &mut brown,
+                                        &mut dec,
                                     );
                                 }
                             }
@@ -1576,6 +1909,25 @@ impl<'a> Simulation<'a> {
                                         query: q.id,
                                         cause: ShedCause::RetryExhausted,
                                     });
+                                    let dk = dec.next();
+                                    if dec.on {
+                                        prof.enter(Phase::Decision);
+                                        let regime = scheme.regime().map(str::to_owned);
+                                        dec.emit(|event| DecisionRecord {
+                                            k: dk,
+                                            at: now,
+                                            event,
+                                            query: Some(q.id),
+                                            worker: w as u32,
+                                            state: None,
+                                            regime,
+                                            candidates: Vec::new(),
+                                            chosen: ChosenAction::Shed { count: 1 },
+                                            effective: None,
+                                            reason: ReasonCode::Shed,
+                                        });
+                                        prof.exit(Phase::Decision);
+                                    }
                                     metrics.record_retry_dropped(&[q], 0);
                                 } else if resil.budget.try_take(now_s) {
                                     prof.incr(HotCounter::RetriesScheduled);
@@ -1588,6 +1940,25 @@ impl<'a> Simulation<'a> {
                                         attempt,
                                         delay_ns,
                                     });
+                                    let dk = dec.next();
+                                    if dec.on {
+                                        prof.enter(Phase::Decision);
+                                        let regime = scheme.regime().map(str::to_owned);
+                                        dec.emit(|event| DecisionRecord {
+                                            k: dk,
+                                            at: now,
+                                            event,
+                                            query: Some(q.id),
+                                            worker: w as u32,
+                                            state: None,
+                                            regime,
+                                            candidates: Vec::new(),
+                                            chosen: ChosenAction::Retry { attempt, delay_ns },
+                                            effective: None,
+                                            reason: ReasonCode::Retry,
+                                        });
+                                        prof.exit(Phase::Decision);
+                                    }
                                     let idx = resil.retry_buf.len() as u32;
                                     resil.retry_buf.push(q);
                                     heap.push(Reverse((
@@ -1604,6 +1975,25 @@ impl<'a> Simulation<'a> {
                                         query: q.id,
                                         cause: ShedCause::RetryExhausted,
                                     });
+                                    let dk = dec.next();
+                                    if dec.on {
+                                        prof.enter(Phase::Decision);
+                                        let regime = scheme.regime().map(str::to_owned);
+                                        dec.emit(|event| DecisionRecord {
+                                            k: dk,
+                                            at: now,
+                                            event,
+                                            query: Some(q.id),
+                                            worker: w as u32,
+                                            state: None,
+                                            regime,
+                                            candidates: Vec::new(),
+                                            chosen: ChosenAction::Shed { count: 1 },
+                                            effective: None,
+                                            reason: ReasonCode::Shed,
+                                        });
+                                        prof.exit(Phase::Decision);
+                                    }
                                     metrics.record_retry_dropped(&[q], 1);
                                 }
                             }
@@ -1639,6 +2029,7 @@ impl<'a> Simulation<'a> {
                                 &mut tracer,
                                 prof,
                                 &mut brown,
+                                &mut dec,
                             );
                         }
                     }
@@ -1664,6 +2055,7 @@ impl<'a> Simulation<'a> {
                         });
                         let Some(v) = target else { break 'event };
                         let batch = queries.len() as u32;
+                        let first_query = queries.first().map(|q| q.id);
                         let service =
                             sampler.sample(self.profile_of(v), model, batch) * cluster.slow[v];
                         let service_ns = nanos_from_secs(service);
@@ -1697,6 +2089,29 @@ impl<'a> Simulation<'a> {
                             model: model as u32,
                             batch,
                         });
+                        let dk = dec.next();
+                        if dec.on {
+                            prof.enter(Phase::Decision);
+                            let regime = scheme.regime().map(str::to_owned);
+                            dec.emit(|event| DecisionRecord {
+                                k: dk,
+                                at: now,
+                                event,
+                                query: first_query,
+                                worker: w as u32,
+                                state: None,
+                                regime,
+                                candidates: Vec::new(),
+                                chosen: ChosenAction::Hedge {
+                                    model: model as u32,
+                                    batch,
+                                    target: v as u32,
+                                },
+                                effective: None,
+                                reason: ReasonCode::Hedge,
+                            });
+                            prof.exit(Phase::Decision);
+                        }
                     }
                     EventKind::Retry(idx) => {
                         let q = resil.retry_buf[idx as usize];
@@ -1721,6 +2136,7 @@ impl<'a> Simulation<'a> {
                             &mut tracer,
                             prof,
                             &mut brown,
+                            &mut dec,
                         );
                         prof.exit(Phase::Route);
                     }
@@ -1825,6 +2241,7 @@ impl<'a> Simulation<'a> {
                                     &mut tracer,
                                     prof,
                                     &mut brown,
+                                    &mut dec,
                                 );
                             }
                             FaultAction::Recover(w) => {
@@ -1873,6 +2290,7 @@ impl<'a> Simulation<'a> {
                                     &mut tracer,
                                     prof,
                                     &mut brown,
+                                    &mut dec,
                                 );
                             }
                             FaultAction::SlowStart(w, factor) => cluster.slow[w] = factor,
@@ -2076,6 +2494,7 @@ impl<'a> Simulation<'a> {
                                 &mut tracer,
                                 prof,
                                 &mut brown,
+                                &mut dec,
                             );
                         }
                     }
@@ -2126,6 +2545,7 @@ impl<'a> Simulation<'a> {
                             &mut tracer,
                             prof,
                             &mut brown,
+                            &mut dec,
                         );
                     }
                 }
@@ -2174,6 +2594,18 @@ impl<'a> Simulation<'a> {
                         return Ok(None);
                     }
                 }
+            }
+        }
+
+        // A counterfactual replay that never reached its branch point
+        // would silently reproduce the factual run; fail loudly instead.
+        if let Some(f) = dec.forced {
+            if !dec.forced_applied {
+                return Err(SimError::InvalidConfig(format!(
+                    "counterfactual: forced decision k={} was never applied \
+                     (run made {} decisions; only selection-site decisions can be forced)",
+                    f.k, dec.k
+                )));
             }
         }
 
@@ -2415,6 +2847,7 @@ impl<'a> Simulation<'a> {
         tracer: &mut Tracer<'_>,
         prof: &mut Profiler,
         brown: &mut Option<BrownoutState>,
+        dec: &mut DecisionTracer<'_>,
     ) {
         q.enqueued_at = now;
         let n_workers = cluster.alive.len();
@@ -2457,6 +2890,7 @@ impl<'a> Simulation<'a> {
                             tracer,
                             prof,
                             brown,
+                            dec,
                         );
                     }
                 }
@@ -2503,6 +2937,7 @@ impl<'a> Simulation<'a> {
                                 tracer,
                                 prof,
                                 brown,
+                                dec,
                             );
                         }
                     }
@@ -2545,6 +2980,7 @@ impl<'a> Simulation<'a> {
                         tracer,
                         prof,
                         brown,
+                        dec,
                     );
                 }
             }
@@ -2602,6 +3038,7 @@ impl<'a> Simulation<'a> {
         tracer: &mut Tracer<'_>,
         prof: &mut Profiler,
         brown: &mut Option<BrownoutState>,
+        dec: &mut DecisionTracer<'_>,
     ) {
         // Indexed: the queue borrow alternates between `worker_queues[w]`
         // and the central queue depending on routing.
@@ -2619,7 +3056,7 @@ impl<'a> Simulation<'a> {
             }
             self.dispatch(
                 w, now, scheme, estimator, queue, cluster, resil, sampler, metrics, heap, seq,
-                tracer, prof, brown,
+                tracer, prof, brown, dec,
             );
         }
     }
@@ -2645,6 +3082,7 @@ impl<'a> Simulation<'a> {
         tracer: &mut Tracer<'_>,
         prof: &mut Profiler,
         brown: &mut Option<BrownoutState>,
+        dec: &mut DecisionTracer<'_>,
     ) {
         debug_assert!(!cluster.busy[w], "dispatch on a busy worker");
         debug_assert!(cluster.alive[w], "dispatch on a dead worker");
@@ -2666,6 +3104,24 @@ impl<'a> Simulation<'a> {
             let selection = scheme.select(&ctx);
             prof.exit(Phase::PolicySelect);
             tracer.drain_scheme(scheme);
+            let front_query = earliest.id;
+            // Counterfactual branch point: the scheme is always asked
+            // (so its internal state evolves identically), but a forced
+            // alternative replaces its raw pick at exactly one decision
+            // index. Batch / shed counts are clamped to the visible
+            // queue so a replay under different queue depth stays valid.
+            let dk = dec.next();
+            let selection = match dec.force(dk) {
+                Some(Selection::Serve { model, batch }) => Selection::Serve {
+                    model,
+                    batch: batch.clamp(1, queue.len() as u32),
+                },
+                Some(Selection::Drop { count }) => Selection::Drop {
+                    count: count.clamp(1, queue.len() as u32),
+                },
+                Some(Selection::Idle) => Selection::Idle,
+                None => selection,
+            };
             tracer.emit(|| Event::PolicyDecision {
                 at: now,
                 worker: w as u32,
@@ -2681,13 +3137,66 @@ impl<'a> Simulation<'a> {
                 },
             });
             match selection {
-                Selection::Idle => break,
+                Selection::Idle => {
+                    if dec.on {
+                        prof.enter(Phase::Decision);
+                        let reason = if scheme.last_select_was_fallback() {
+                            ReasonCode::Fallback
+                        } else {
+                            ReasonCode::PolicyLookup
+                        };
+                        let regime = scheme.regime().map(str::to_owned);
+                        let candidates = decision_candidates(
+                            profile,
+                            &ctx,
+                            (queue.len() as u32).min(profile.max_batch()),
+                        );
+                        dec.emit(|event| DecisionRecord {
+                            k: dk,
+                            at: now,
+                            event,
+                            query: Some(front_query),
+                            worker: w as u32,
+                            state: Some(decision_state(&ctx)),
+                            regime,
+                            candidates,
+                            chosen: ChosenAction::Idle,
+                            effective: None,
+                            reason,
+                        });
+                        prof.exit(Phase::Decision);
+                    }
+                    break;
+                }
                 Selection::Drop { count } => {
                     assert!(
                         count >= 1 && count as usize <= queue.len(),
                         "scheme shed {count} from a queue of {}",
                         queue.len()
                     );
+                    if dec.on {
+                        prof.enter(Phase::Decision);
+                        let regime = scheme.regime().map(str::to_owned);
+                        let candidates = decision_candidates(
+                            profile,
+                            &ctx,
+                            (queue.len() as u32).min(profile.max_batch()),
+                        );
+                        dec.emit(|event| DecisionRecord {
+                            k: dk,
+                            at: now,
+                            event,
+                            query: Some(front_query),
+                            worker: w as u32,
+                            state: Some(decision_state(&ctx)),
+                            regime,
+                            candidates,
+                            chosen: ChosenAction::Shed { count },
+                            effective: None,
+                            reason: ReasonCode::Shed,
+                        });
+                        prof.exit(Phase::Decision);
+                    }
                     let shed: Vec<Query> = queue.drain(..count as usize).collect();
                     if tracer.on {
                         let cause = scheme.shed_cause();
@@ -2708,10 +3217,44 @@ impl<'a> Simulation<'a> {
                     // the dispatch commits. The PolicyDecision event
                     // above keeps the scheme's raw choice; the Dispatch
                     // event below carries the degraded model.
+                    let raw_model = model;
                     let model = match brown.as_mut() {
                         Some(b) => b.remap(model),
                         None => model,
                     };
+                    if dec.on {
+                        prof.enter(Phase::Decision);
+                        let reason = if model != raw_model {
+                            ReasonCode::DegradedRung
+                        } else if scheme.last_select_was_fallback() {
+                            ReasonCode::Fallback
+                        } else {
+                            ReasonCode::PolicyLookup
+                        };
+                        let regime = scheme.regime().map(str::to_owned);
+                        let candidates = decision_candidates(profile, &ctx, batch);
+                        let effective = (model != raw_model).then_some(ChosenAction::Serve {
+                            model: model as u32,
+                            batch,
+                        });
+                        dec.emit(|event| DecisionRecord {
+                            k: dk,
+                            at: now,
+                            event,
+                            query: Some(front_query),
+                            worker: w as u32,
+                            state: Some(decision_state(&ctx)),
+                            regime,
+                            candidates,
+                            chosen: ChosenAction::Serve {
+                                model: raw_model as u32,
+                                batch,
+                            },
+                            effective,
+                            reason,
+                        });
+                        prof.exit(Phase::Decision);
+                    }
                     assert!(
                         batch >= 1 && batch as usize <= queue.len(),
                         "scheme chose batch {batch} from a queue of {}",

@@ -30,6 +30,7 @@ pub mod adaptive;
 pub mod autoscale;
 pub mod chaos;
 pub mod checkpoint;
+pub mod counterfactual;
 pub mod engine;
 pub mod faults;
 pub mod latency;
@@ -58,7 +59,8 @@ pub use chaos::{ChaosConfig, ChaosFailure, ChaosReport, ChaosRunSummary, Fastest
 pub use checkpoint::{
     CheckpointPolicy, CheckpointRecorder, EngineSnapshot, FileRecorder, MemoryRecorder,
 };
-pub use engine::{Simulation, SimulationConfig};
+pub use counterfactual::{regret_study, RegretBucket, RegretEntry, RegretStudy, RegretStudyConfig};
+pub use engine::{ForcedDecision, Simulation, SimulationConfig};
 pub use faults::{CrashPolicy, FaultEvent, FaultPlan};
 pub use latency::LatencyMode;
 pub use metrics::{

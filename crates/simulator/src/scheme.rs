@@ -133,6 +133,14 @@ pub trait ServingScheme {
         ShedCause::Policy
     }
 
+    /// Whether the most recent [`Self::select`] was answered by a
+    /// fallback path instead of a policy lookup — decision provenance
+    /// stamps such records `ReasonCode::Fallback`. Default `false`
+    /// (most schemes have no fallback tier).
+    fn last_select_was_fallback(&self) -> bool {
+        false
+    }
+
     /// Serializable scheme state for checkpoint/resume. `None` (the
     /// default) declares the scheme unsupported: a run with
     /// checkpointing enabled refuses to start rather than silently
@@ -384,6 +392,10 @@ pub struct DegradingRamsis {
     routing: Routing,
     live: usize,
     fallback_decisions: u64,
+    /// Whether the most recent `select` was served by the fallback —
+    /// transient provenance state, deliberately not checkpointed (it
+    /// is rewritten before anyone reads it after a resume).
+    last_fallback: bool,
     audit: bool,
     audit_buf: Vec<Event>,
 }
@@ -400,6 +412,7 @@ impl DegradingRamsis {
             routing: Routing::PerWorkerRoundRobin,
             live,
             fallback_decisions: 0,
+            last_fallback: false,
             audit: false,
             audit_buf: Vec::new(),
         }
@@ -447,6 +460,7 @@ impl ServingScheme for DegradingRamsis {
             .filter(|set| set.covers(ctx.load_qps));
         let Some(set) = set else {
             self.fallback_decisions += 1;
+            self.last_fallback = true;
             if self.audit {
                 self.audit_buf.push(Event::FallbackEngaged {
                     at: nanos_from_secs(ctx.now_s),
@@ -459,6 +473,7 @@ impl ServingScheme for DegradingRamsis {
                 batch: batch.min(ctx.queued as u32),
             };
         };
+        self.last_fallback = false;
         let policy = set.select(ctx.load_qps);
         match policy.decide(ctx.queued, ctx.earliest_slack_s) {
             Decision::Wait => Selection::Idle,
@@ -470,6 +485,10 @@ impl ServingScheme for DegradingRamsis {
                 batch: batch.min(ctx.queued as u32),
             },
         }
+    }
+
+    fn last_select_was_fallback(&self) -> bool {
+        self.last_fallback
     }
 
     /// Mutable run state: the targeted live count and the fallback

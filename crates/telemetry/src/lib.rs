@@ -22,7 +22,12 @@
 //!   threaded through the engine's hot loop, and [`spans`]
 //!   reconstruction folding an event stream into per-query critical
 //!   paths whose segments sum *exactly* to each measured response
-//!   time.
+//!   time;
+//! - decision provenance (DESIGN.md §13): the [`decisions`] module
+//!   records every routing/model-selection decision — candidate set,
+//!   chosen action, reason code — on its own JSONL stream, and the
+//!   [`burn`] module raises hysteretic multi-window SLO burn-rate
+//!   alerts over the completion stream.
 //!
 //! The crate sits below the simulator in the dependency graph; the
 //! engine emits into `&mut dyn TelemetrySink` and checks
@@ -32,6 +37,8 @@
 //! [`SimulationReport`]: https://docs.rs/ramsis-sim
 
 pub mod analyze;
+pub mod burn;
+pub mod decisions;
 pub mod event;
 pub mod profile;
 pub mod sink;
@@ -39,14 +46,20 @@ pub mod spans;
 
 pub use analyze::{aggregates, conservation, window_breakdown};
 pub use analyze::{Conservation, EventAggregates, WindowStats};
+pub use burn::{burn_analysis, BurnAlert, BurnAlertKind, BurnConfig, BurnMonitor, BurnSummary};
+pub use decisions::{
+    parse_decisions_tolerant, CandidateAction, ChosenAction, DecisionRecord, DecisionSink,
+    DecisionState, JsonlDecisionSink, NullDecisionSink, ParsedDecisions, ReasonCode,
+    VecDecisionSink, DECISION_STREAM,
+};
 pub use event::{Action, Event, Nanos, QueueId, ShedCause};
 pub use profile::{
     CounterStat, GaugeId, GaugeStat, HotCounter, Phase, PhaseStat, ProfileReport, Profiler,
     SolverProfile,
 };
 pub use sink::{
-    parse_jsonl, parse_jsonl_tolerant, JsonlSink, NullSink, ParsedLog, RingSink, TelemetrySink,
-    VecSink,
+    parse_jsonl, parse_jsonl_tolerant, JsonlSink, NullSink, ParsedLog, RingSink, StreamHeader,
+    TelemetrySink, VecSink, JSONL_SCHEMA_VERSION, TELEMETRY_STREAM,
 };
 pub use spans::{
     critical_path, reconstruct_spans, CriticalPathReport, QuerySpan, SegmentStats, SpanLog,

@@ -67,11 +67,14 @@ pub enum Phase {
     Solve,
     /// A mid-run checkpoint: state capture plus the recorder's write.
     Checkpoint,
+    /// Decision-provenance recording: building a `DecisionRecord`
+    /// (candidate enumeration included) and handing it to the sink.
+    Decision,
 }
 
 impl Phase {
     /// Number of phases (array sizing).
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 14;
 
     /// All phases, in declaration order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -88,6 +91,7 @@ impl Phase {
         Phase::Report,
         Phase::Solve,
         Phase::Checkpoint,
+        Phase::Decision,
     ];
 
     /// Stable snake-case name (JSON key and flame-table label).
@@ -106,6 +110,7 @@ impl Phase {
             Phase::Report => "report",
             Phase::Solve => "solve",
             Phase::Checkpoint => "checkpoint",
+            Phase::Decision => "decision",
         }
     }
 

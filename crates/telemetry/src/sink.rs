@@ -11,7 +11,44 @@ use std::fs::{File, OpenOptions};
 use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
+use serde::{Deserialize, Serialize};
+
 use crate::event::Event;
+
+/// Version of the JSONL stream schema written by this build's file
+/// sinks (telemetry and decisions). Bumped when a record's shape
+/// changes incompatibly; headerless logs are treated as version 0.
+pub const JSONL_SCHEMA_VERSION: u32 = 1;
+
+/// The stream tag telemetry logs carry in their schema header.
+pub const TELEMETRY_STREAM: &str = "telemetry";
+
+/// The metadata record a JSONL file stream starts with, e.g.
+/// `{"Schema":{"stream":"telemetry","version":1}}`. It shares the
+/// line-oriented format but is not an [`Event`]: parsers surface it as
+/// [`ParsedLog::schema_version`] instead of counting it as a record,
+/// and v0 logs (written before headers existed) parse fine without
+/// one.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StreamHeader {
+    /// The stream's identity and schema version.
+    Schema {
+        /// Which stream this is (`"telemetry"` or `"decisions"`).
+        stream: String,
+        /// Schema version of the records that follow.
+        version: u32,
+    },
+}
+
+impl StreamHeader {
+    /// The header a telemetry log starts with.
+    pub fn telemetry() -> Self {
+        StreamHeader::Schema {
+            stream: TELEMETRY_STREAM.to_string(),
+            version: JSONL_SCHEMA_VERSION,
+        }
+    }
+}
 
 /// A consumer of trace events.
 pub trait TelemetrySink {
@@ -146,13 +183,21 @@ pub struct JsonlSink<W: Write> {
 }
 
 impl JsonlSink<BufWriter<File>> {
-    /// Opens (truncating) `path` for buffered JSONL output.
+    /// Opens (truncating) `path` for buffered JSONL output and writes
+    /// the schema header as the first line (not counted in
+    /// [`JsonlSink::lines`]).
     ///
     /// # Errors
     ///
     /// Propagates the underlying file-creation error.
     pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
-        Ok(Self::new(BufWriter::new(File::create(path)?)))
+        let mut sink = Self::new(BufWriter::new(File::create(path)?));
+        let header = serde_json::to_string(&StreamHeader::telemetry()).expect("header serializes");
+        if let Err(e) = writeln!(sink.out, "{header}") {
+            sink.error = Some(e);
+            sink.failed = true;
+        }
+        Ok(sink)
     }
 
     /// Reopens an existing log for a resumed run: truncates `path` to
@@ -172,6 +217,14 @@ impl JsonlSink<BufWriter<File>> {
         let mut buf = Vec::new();
         file.read_to_end(&mut buf)?;
         let mut offset = 0usize;
+        // A v1 log leads with a schema header; it is metadata, not one
+        // of the `lines` records, so skip it before counting (v0 logs
+        // have none and start counting at byte 0).
+        if let Some(i) = buf.iter().position(|&b| b == b'\n') {
+            if serde_json::from_str::<StreamHeader>(&String::from_utf8_lossy(&buf[..i])).is_ok() {
+                offset = i + 1;
+            }
+        }
         let mut whole = 0u64;
         while whole < lines {
             match buf[offset..].iter().position(|&b| b == b'\n') {
@@ -278,6 +331,8 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, String> {
     text.lines()
         .enumerate()
         .filter(|(_, l)| !l.trim().is_empty())
+        // Schema headers are stream metadata, not events.
+        .filter(|(_, l)| serde_json::from_str::<StreamHeader>(l).is_err())
         .map(|(i, l)| serde_json::from_str(l).map_err(|e| format!("line {}: {e}", i + 1)))
         .collect()
 }
@@ -300,6 +355,10 @@ pub struct ParsedLog {
     /// does not know. They are skipped, not fatal, so old tooling can
     /// still analyze new logs; callers should warn when non-zero.
     pub unknown_events: u64,
+    /// The schema header's version when the log carries one; `None`
+    /// for headerless logs written before headers existed (treated as
+    /// version 0 by tooling).
+    pub schema_version: Option<u32>,
 }
 
 /// Parses a JSONL event log, tolerating a truncated final record — the
@@ -333,8 +392,19 @@ pub fn parse_jsonl_tolerant(text: &str) -> Result<ParsedLog, String> {
     let mut torn_tail = None;
     let mut torn_tail_offset = None;
     let mut unknown_events = 0;
+    let mut schema_version = None;
     let last = lines.len().saturating_sub(1);
     for (k, (i, at, l)) in lines.iter().enumerate() {
+        // The schema header is stream metadata: surface the first
+        // telemetry one's version, count any other as foreign.
+        if let Ok(StreamHeader::Schema { stream, version }) = serde_json::from_str(l) {
+            if schema_version.is_none() && stream == TELEMETRY_STREAM {
+                schema_version = Some(version);
+            } else {
+                unknown_events += 1;
+            }
+            continue;
+        }
         match serde_json::from_str(l) {
             Ok(e) => events.push(e),
             // Valid JSON that is not an Event we know: a future event
@@ -352,6 +422,7 @@ pub fn parse_jsonl_tolerant(text: &str) -> Result<ParsedLog, String> {
         torn_tail,
         torn_tail_offset,
         unknown_events,
+        schema_version,
     })
 }
 
@@ -583,6 +654,54 @@ mod tests {
         assert!(sink.take_error().is_none(), "error moves out once");
         sink.record(&ev(9));
         assert_eq!(sink.lines(), 2, "failed sinks drop further records");
+    }
+
+    #[test]
+    fn schema_headers_are_surfaced_not_counted() {
+        let good = serde_json::to_string(&ev(1)).unwrap();
+        let header = serde_json::to_string(&StreamHeader::telemetry()).unwrap();
+        let text = format!("{header}\n{good}\n{good}\n");
+        // The tolerant parser surfaces the version; the strict parser
+        // skips the header as metadata.
+        let parsed = parse_jsonl_tolerant(&text).unwrap();
+        assert_eq!(parsed.schema_version, Some(JSONL_SCHEMA_VERSION));
+        assert_eq!(parsed.events, vec![ev(1), ev(1)]);
+        assert_eq!(parsed.unknown_events, 0);
+        assert_eq!(parse_jsonl(&text).unwrap(), vec![ev(1), ev(1)]);
+        // Headerless v0 logs parse with no version.
+        let v0 = format!("{good}\n");
+        assert_eq!(parse_jsonl_tolerant(&v0).unwrap().schema_version, None);
+        // A foreign stream's header is a future record, not ours.
+        let foreign = "{\"Schema\":{\"stream\":\"decisions\",\"version\":1}}";
+        let text = format!("{foreign}\n{good}\n");
+        let parsed = parse_jsonl_tolerant(&text).unwrap();
+        assert_eq!(parsed.schema_version, None);
+        assert_eq!(parsed.unknown_events, 1);
+    }
+
+    #[test]
+    fn create_writes_the_header_and_resume_skips_it() {
+        let dir = std::env::temp_dir().join(format!("ramsis-sink-hdr-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let mut sink = JsonlSink::create(&path).unwrap();
+        sink.record(&ev(0));
+        sink.record(&ev(1));
+        assert_eq!(sink.lines(), 2, "header is not a record");
+        drop(sink.finish().unwrap());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("{\"Schema\":"), "{text}");
+        let parsed = parse_jsonl_tolerant(&text).unwrap();
+        assert_eq!(parsed.schema_version, Some(JSONL_SCHEMA_VERSION));
+        assert_eq!(parsed.events, vec![ev(0), ev(1)]);
+        // Resuming after 1 record keeps the header and the first
+        // record, discarding the second.
+        let mut resumed = JsonlSink::resume_at(&path, 1).unwrap();
+        assert_eq!(resumed.lines(), 1);
+        resumed.record(&ev(1));
+        drop(resumed.finish().unwrap());
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), text);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

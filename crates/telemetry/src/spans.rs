@@ -473,12 +473,26 @@ pub struct CriticalPathReport {
     pub backoff: SegmentStats,
     /// Hedge-overlap time.
     pub hedge_overlap: SegmentStats,
-    /// The slowest completed queries, slowest first.
+    /// The slowest *terminal* queries (completed, shed, dropped, or
+    /// admission-refused), slowest first, ranked by lifetime
+    /// `terminal_at - arrival` — for completed spans this equals the
+    /// measured response time, so shed and timed-out-to-death queries
+    /// surface next to slow completions instead of hiding the true
+    /// worst-case tail. Inspect [`QuerySpan::outcome`] (and
+    /// [`QuerySpan::timeouts`]) for the shed-cause/timeout attribution.
     pub top_slowest: Vec<QuerySpan>,
 }
 
+/// A terminal span's lifetime: time from arrival to its terminal
+/// event. `None` for in-flight spans (which never rank).
+fn lifetime_ns(s: &QuerySpan) -> Option<Nanos> {
+    s.terminal_at.map(|t| t.saturating_sub(s.arrival))
+}
+
 /// Aggregates a [`SpanLog`] into the critical-path view, keeping the
-/// `top_k` slowest completed queries.
+/// `top_k` slowest terminal queries (segment percentiles still cover
+/// completed queries only — shed spans have no response time to
+/// attribute).
 pub fn critical_path(log: &SpanLog, top_k: usize) -> CriticalPathReport {
     let completed: Vec<&QuerySpan> = log
         .spans
@@ -493,10 +507,15 @@ pub fn critical_path(log: &SpanLog, top_k: usize) -> CriticalPathReport {
         SegmentStats::from_values(completed.iter().map(|s| f(s)), response_total)
     };
 
-    let mut slowest: Vec<QuerySpan> = completed.iter().map(|s| (*s).clone()).collect();
+    let mut slowest: Vec<QuerySpan> = log
+        .spans
+        .iter()
+        .filter(|s| s.terminal_at.is_some())
+        .cloned()
+        .collect();
     slowest.sort_by(|a, b| {
-        b.response_ns
-            .cmp(&a.response_ns)
+        lifetime_ns(b)
+            .cmp(&lifetime_ns(a))
             .then(a.query.cmp(&b.query))
     });
     slowest.truncate(top_k);
@@ -766,7 +785,19 @@ mod tests {
         assert_eq!(report.admission_refused, 1);
         assert_eq!(report.in_flight, 1);
         assert_eq!(report.completed, 0);
-        assert!(report.top_slowest.is_empty());
+        // Terminal non-completions rank in top-slowest by lifetime:
+        // the drop (600) over the shed (500) over the instant
+        // admission refusal (0); the in-flight query never ranks.
+        assert_eq!(report.top_slowest.len(), 3);
+        assert_eq!(report.top_slowest[0].query, 1);
+        assert_eq!(report.top_slowest[1].query, 0);
+        assert!(matches!(
+            report.top_slowest[1].outcome,
+            SpanOutcome::Shed {
+                cause: ShedCause::Hopeless
+            }
+        ));
+        assert_eq!(report.top_slowest[2].query, 2);
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Property tests for SLO burn-rate alerting (ISSUE 8 satellite):
+//! over randomized completion streams and monitor configurations,
+//! alert Enter/Exit events must strictly alternate (every Exit pairs
+//! with a preceding Enter), consecutive transitions must never flap
+//! inside the confirmation window, and the burn rate reconstructed
+//! from the event stream must equal the direct counters exactly.
+
+use proptest::prelude::*;
+
+use ramsis_telemetry::{aggregates, burn_analysis, BurnAlertKind, BurnConfig, BurnMonitor, Event};
+
+/// Assembles a valid monitor configuration from raw samples: the slow
+/// window is a multiple of the fast one and the exit threshold range
+/// sits strictly below the enter range, so `validate` always passes.
+fn config_of(budget: f64, fast: u64, mult: u64, enter: f64, exit: f64, confirm: u64) -> BurnConfig {
+    BurnConfig {
+        budget,
+        fast_window_ns: fast,
+        slow_window_ns: fast * mult,
+        enter_burn: enter,
+        exit_burn: exit,
+        confirm_ns: confirm,
+    }
+}
+
+/// Expands bursty phases — `(gap, count, violated)` triples — into a
+/// time-ordered completion stream that crosses the alert thresholds in
+/// both directions.
+fn stream_of(phases: &[(u64, u64, bool)]) -> Vec<(u64, bool)> {
+    let mut at = 0u64;
+    let mut out = Vec::new();
+    for &(gap, count, violated) in phases {
+        for _ in 0..count {
+            at += gap;
+            out.push((at, violated));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Enter/Exit strictly alternate starting with Enter (so every
+    /// Exit pairs with the Enter before it), and consecutive
+    /// transitions are always at least the confirmation interval
+    /// apart — the no-flap guarantee of the Schmitt trigger.
+    #[test]
+    fn alerts_pair_and_never_flap(
+        budget in 0.01f64..0.5,
+        fast in 100u64..2_000,
+        mult in 1u64..8,
+        enter in 1.5f64..6.0,
+        exit in 0.1f64..1.4,
+        confirm in 10u64..500,
+        phases in proptest::collection::vec((1u64..300, 1u64..40, proptest::bool::ANY), 1..12),
+    ) {
+        let cfg = config_of(budget, fast, mult, enter, exit, confirm);
+        prop_assert!(cfg.validate().is_ok(), "{:?}", cfg);
+        let mut monitor = BurnMonitor::new(cfg);
+        let mut transitions = Vec::new();
+        for &(at, violated) in &stream_of(&phases) {
+            if let Some(alert) = monitor.observe(at, violated) {
+                transitions.push(alert);
+            }
+        }
+        let summary = monitor.summary();
+        prop_assert_eq!(summary.alerts.as_slice(), transitions.as_slice());
+
+        for (i, alert) in transitions.iter().enumerate() {
+            let expected = if i % 2 == 0 {
+                BurnAlertKind::Enter
+            } else {
+                BurnAlertKind::Exit
+            };
+            prop_assert_eq!(alert.kind, expected, "transition {} of {:?}", i, transitions);
+        }
+        for pair in transitions.windows(2) {
+            prop_assert!(
+                pair[1].at - pair[0].at >= cfg.confirm_ns,
+                "flap: {:?} -> {:?} inside confirm window {}",
+                pair[0],
+                pair[1],
+                cfg.confirm_ns
+            );
+        }
+        // Alert state at end of stream is consistent with the
+        // transition count.
+        prop_assert_eq!(monitor.active(), transitions.len() % 2 == 1);
+    }
+
+    /// Burn computed from a recorded event stream equals the direct
+    /// counters exactly: the analysis must see the same served /
+    /// violated universe as the engine-side aggregates, and the
+    /// overall burn must be their exact quotient over the budget.
+    #[test]
+    fn stream_burn_equals_counters_exactly(
+        budget in 0.01f64..0.5,
+        fast in 100u64..2_000,
+        mult in 1u64..8,
+        enter in 1.5f64..6.0,
+        exit in 0.1f64..1.4,
+        confirm in 10u64..500,
+        phases in proptest::collection::vec((1u64..300, 1u64..40, proptest::bool::ANY), 1..12),
+    ) {
+        let cfg = config_of(budget, fast, mult, enter, exit, confirm);
+        let events: Vec<Event> = stream_of(&phases)
+            .iter()
+            .enumerate()
+            .map(|(q, &(at, violated))| Event::Complete {
+                at,
+                query: q as u64,
+                worker: 0,
+                model: 0,
+                response_ns: 50,
+                violated,
+            })
+            .collect();
+        let summary = burn_analysis(&events, cfg);
+        let agg = aggregates(&events);
+        prop_assert_eq!(summary.completions, agg.served);
+        prop_assert_eq!(summary.violations, agg.violations);
+        if agg.served > 0 {
+            let expected = (agg.violations as f64 / agg.served as f64) / cfg.budget;
+            prop_assert_eq!(summary.overall_burn, expected);
+        }
+        prop_assert!(summary.peak_fast_burn >= 0.0);
+    }
+}

@@ -62,5 +62,37 @@ durability_smoke() {
     rm -rf "${out}"
 }
 stage "durability-smoke" durability_smoke
+# Decision-provenance smoke: record a run's decision log, explain its
+# violations (text + JSON), quantify exact regret by counterfactual
+# replay (baseline replays asserted byte-identical inside the run),
+# demand a loud failure on a missing log, then the decision-overhead
+# gate in smoke mode (report byte-identity + off-by-default and
+# per-record cost ceilings).
+why_smoke() {
+    local out
+    out="$(mktemp -d)"
+    cargo run --release -q -p ramsis-cli -- gen --task image --SLO 150 --worker 2 --d 10 \
+        --load 40 --out "${out}"
+    cargo run --release -q -p ramsis-cli -- gen --task image --SLO 150 --worker 2 --d 10 \
+        --load 80 --out "${out}"
+    cargo run --release -q -p ramsis-cli -- sim --m RAMSIS --trace constant --load 80 \
+        --duration 8 --task image --SLO 150 --worker 2 --out "${out}" \
+        --telemetry "${out}/t.jsonl" --decisions "${out}/d.jsonl"
+    cargo run --release -q -p ramsis-cli -- why "${out}/d.jsonl" \
+        --telemetry "${out}/t.jsonl" --top 5
+    cargo run --release -q -p ramsis-cli -- why "${out}/d.jsonl" \
+        --telemetry "${out}/t.jsonl" --json > /dev/null
+    cargo run --release -q -p ramsis-cli -- why --counterfactual --m RAMSIS --trace constant \
+        --load 80 --duration 8 --task image --SLO 150 --worker 2 --out "${out}" \
+        --max-decisions 3 --alternatives 2
+    if cargo run --release -q -p ramsis-cli -- why "${out}/missing.jsonl" \
+        --telemetry "${out}/t.jsonl" 2>/dev/null; then
+        echo "why accepted a missing decision log" >&2
+        return 1
+    fi
+    cargo run --release -q -p ramsis-bench --bin decision_overhead -- --smoke --out "${out}"
+    rm -rf "${out}"
+}
+stage "why-smoke" why_smoke
 
 echo "ci.sh: all green"
