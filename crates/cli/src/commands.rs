@@ -4,6 +4,7 @@ pub mod autoscale;
 pub mod chaos;
 pub mod drift;
 pub mod gen;
+pub mod health;
 pub mod inspect;
 pub mod ms_gen;
 pub mod perf;

@@ -4,19 +4,24 @@
 //! size, load, fault plan, and resilience policy all vary per run),
 //! executes each twice, and checks the invariants described in
 //! [`ramsis_sim::chaos`]: determinism, telemetry conservation,
-//! report/event counter agreement, hedge-cancel consistency, and
-//! admission queue bounds. Any violation is reported with the run's
-//! derived seed so it can be reproduced in isolation.
+//! report/event counter agreement, hedge-cancel consistency, admission
+//! queue bounds, and — when a run draws the failure detector — the
+//! detection-bound, reinstatement, and breaker-transition invariants.
+//! Any violation is reported with the run's derived seed so it can be
+//! reproduced in isolation.
 //!
 //! ```text
 //! ramsis-cli chaos [--runs N] [--seed S] [--max-workers N]
 //!                  [--max-load QPS] [--SLO MS] [--kill-resume]
-//!                  [--json] [--out PATH]
+//!                  [--health] [--json] [--out PATH]
 //! ```
 //!
 //! `--kill-resume` adds the durability dimension: each scenario also
 //! runs with checkpointing on, is killed at a random checkpoint, and
 //! must resume byte-identically (report and telemetry suffix).
+//! `--health` forces the failure-detector dimension on every run
+//! (normally drawn at random) so each scenario exercises suspicion,
+//! circuit breakers, and the detection-bound invariants.
 //!
 //! Exit is non-zero when any invariant fails; CI runs the 25-run smoke
 //! mode (see scripts/ci.sh).
@@ -70,6 +75,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
                 cfg.slo_s = ms / 1e3;
             }
             "--kill-resume" => cfg.kill_resume = true,
+            "--health" => cfg.health = true,
             "--json" => json = true,
             "--out" => out = Some(value("--out")?),
             other => return Err(format!("unknown flag {other:?}")),
@@ -108,6 +114,11 @@ pub fn run(args: &[String]) -> Result<(), String> {
                     } else {
                         "-".to_string()
                     },
+                    if r.detected {
+                        format!("{}/{}/{}", r.suspects, r.reinstates, r.breaker_opens)
+                    } else {
+                        "-".to_string()
+                    },
                     match r.resumed_from {
                         Some(at) => format!("{}@{at}", r.checkpoints),
                         None if r.checkpoints > 0 => r.checkpoints.to_string(),
@@ -120,8 +131,22 @@ pub fn run(args: &[String]) -> Result<(), String> {
             "{}",
             render_table(
                 &[
-                    "run", "seed", "w", "qps", "route", "mech", "arrive", "served", "drop", "t/o",
-                    "retry", "hedge", "adm", "up/dn/bo", "ckpt",
+                    "run",
+                    "seed",
+                    "w",
+                    "qps",
+                    "route",
+                    "mech",
+                    "arrive",
+                    "served",
+                    "drop",
+                    "t/o",
+                    "retry",
+                    "hedge",
+                    "adm",
+                    "up/dn/bo",
+                    "sus/re/bo",
+                    "ckpt",
                 ],
                 &table
             )

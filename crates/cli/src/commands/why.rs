@@ -11,9 +11,10 @@
 //! recorded streams: for every violated completion it finds the
 //! dominant critical-path segment, the decision record that routed it
 //! (reason code, regime, candidate set), whether the miss fell inside a
-//! scaling-lag, brownout, or burn-rate-alert window, and whether any
-//! weighed candidate was expected to make the deadline. Explanations
-//! are ranked by lateness.
+//! scaling-lag, brownout, burn-rate-alert, detection-lag, or
+//! false-suspicion window (the latter two from the failure detector,
+//! DESIGN.md §14), and whether any weighed candidate was expected to
+//! make the deadline. Explanations are ranked by lateness.
 //!
 //! `--counterfactual` answers "was the decision *right*?" exactly: it
 //! re-runs the scenario with decision provenance, replays sampled
@@ -59,6 +60,12 @@ struct Explanation {
     during_warming: bool,
     during_brownout: bool,
     during_burn_alert: bool,
+    /// The miss fell between a worker's real failure and the detector
+    /// suspecting it — routing was still sending work to a dead worker.
+    during_detection_lag: bool,
+    /// The miss fell while a healthy worker was falsely suspected —
+    /// the cluster was serving one worker short for no real reason.
+    during_false_suspicion: bool,
     /// Reason code of the joined decision record, if one was found.
     reason: Option<String>,
     /// Regime label of the joined decision record.
@@ -212,6 +219,12 @@ fn compose_cause(e: &Explanation) -> String {
     if e.during_brownout {
         parts.push("brownout ladder active".to_string());
     }
+    if e.during_detection_lag {
+        parts.push("worker failure not yet detected (detection lag)".to_string());
+    }
+    if e.during_false_suspicion {
+        parts.push("healthy worker falsely suspected".to_string());
+    }
     match e.dominant_segment {
         "wait" => parts.push(format!(
             "queued {:.0}% of its lifetime",
@@ -342,6 +355,8 @@ fn run_log(args: &[String], json: bool) -> Result<i32, String> {
             during_warming: in_windows(&log.warming_windows, terminal),
             during_brownout: in_windows(&log.brownout_windows, terminal),
             during_burn_alert: in_windows(&alert_wins, terminal),
+            during_detection_lag: in_windows(&log.detection_lag_windows, terminal),
+            during_false_suspicion: in_windows(&log.false_suspicion_windows, terminal),
             reason: rec.map(|r| r.reason.name().to_string()),
             regime: rec.and_then(|r| r.regime.clone()),
             chosen: rec.map(|r| chosen_cell(&r.chosen)),

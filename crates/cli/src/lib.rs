@@ -51,6 +51,7 @@ pub fn run(args: &[String]) -> i32 {
         "spans" => commands::spans::run(rest).map(|()| 0),
         "chaos" => commands::chaos::run(rest).map(|()| 0),
         "autoscale" => commands::autoscale::run(rest).map(|()| 0),
+        "health" => commands::health::run(rest).map(|()| 0),
         "why" => commands::why::run(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -102,19 +103,30 @@ commands:
   chaos    randomized resilience sweep: run N seeded random
            simulations twice each and check determinism, telemetry
            conservation, counter agreement, hedge consistency,
-           admission bounds, scale-event accounting, and
-           autoscaler-off bit-identity (--runs N, --seed S, --json;
-           --kill-resume adds the durability dimension: kill each run
-           at a random checkpoint and demand byte-identical resume)
+           admission bounds, scale-event accounting,
+           failure-detection bounds, and autoscaler-off/health-off
+           bit-identity (--runs N, --seed S, --json; --kill-resume
+           adds the durability dimension: kill each run at a random
+           checkpoint and demand byte-identical resume; --health
+           forces the failure detector on every run)
   autoscale drive the fault-aware autoscaler over a diurnal trace and
            print the pool/brownout summary plus the scaling timeline
            (--trough QPS, --swing X, --min/--max N, --target QPS,
            --warmup S, --frontier for the fixed-vs-elastic
            cost comparison, --json)
+  health   run the failure detector (probes, phi-accrual suspicion,
+           circuit breakers; DESIGN.md §14) against a canonical
+           gray-failure scenario — crash + recovery, heartbeat
+           partition, batch-error window — and print the detection
+           summary (genuine/false suspicions, lag vs the provable
+           bound, breaker transitions) plus the health timeline
+           (--workers N, --load QPS, --duration S, --probe MS,
+           --events N, --json, --out PATH)
   why      explain SLO violations from recorded provenance: joins a
            decision log (`sim --decisions PATH`) with its telemetry
            trace, span critical paths, burn-rate alerts, and
-           scale/brownout windows into ranked root-cause explanations
+           scale/brownout/detection-lag/false-suspicion windows into
+           ranked root-cause explanations
            (DECISIONS.jsonl --telemetry TRACE.jsonl, --top N,
            --budget FRAC, --json); --counterfactual instead re-runs a
            scenario and quantifies exact per-decision regret by

@@ -26,7 +26,19 @@
 //!   snapshot; the resumed report and telemetry suffix must be
 //!   byte-identical to the uninterrupted run, the snapshot must JSON
 //!   round-trip byte-identically, and checkpointing itself must not
-//!   perturb the run.
+//!   perturb the run. Runs that drew a failure detector round-trip its
+//!   state (phi estimators, breakers, strike counters) through the same
+//!   snapshots.
+//! - **Failure-detector invariants** (DESIGN.md §14): per-worker
+//!   breaker transitions form a valid Closed→Open→HalfOpen DFA and pair
+//!   up with `Suspect`/`Reinstate` events; the report's health counters
+//!   equal the trace-derived ones; every genuine suspicion's detection
+//!   lag is within [`HealthPolicy::detection_bound_s`]; on fixed pools,
+//!   every explicit crash with enough probe runway is suspected within
+//!   the bound and every false suspicion is reinstated within
+//!   [`HealthPolicy::reinstate_bound_s`] of the last gray disturbance;
+//!   with the detector off (the default), the run is byte-identical to
+//!   the oracle engine and emits no health telemetry at all.
 //!
 //! Any violated invariant is reported as a [`ChaosFailure`] carrying
 //! the *run's own seed*, so a red sweep is reproducible with a single
@@ -48,7 +60,8 @@ use serde::{Deserialize, Serialize};
 use crate::autoscale::AutoscalePolicy;
 use crate::checkpoint::{CheckpointPolicy, MemoryRecorder};
 use crate::engine::{ForcedDecision, Simulation, SimulationConfig};
-use crate::faults::{CrashPolicy, FaultPlan};
+use crate::faults::{CrashPolicy, FaultEvent, FaultPlan};
+use crate::health::HealthPolicy;
 use crate::metrics::SimulationReport;
 use crate::resilience::{splitmix64, ResiliencePolicy};
 use crate::scheme::{Routing, Selection, SelectionContext, ServingScheme};
@@ -119,6 +132,11 @@ pub struct ChaosConfig {
     /// resumed report and telemetry suffix be byte-identical to the
     /// uninterrupted run (plus snapshot JSON round-trip identity).
     pub kill_resume: bool,
+    /// Failure-detector dimension: when `true`, every run draws an
+    /// enabled randomized [`HealthPolicy`] (by default about 40% of
+    /// runs do), so a sweep concentrates on suspicion, breakers, and
+    /// gray-failure physics.
+    pub health: bool,
     /// Test-only hook: deliberately corrupt one engine counter before
     /// invariant checking, to prove a violated invariant surfaces the
     /// reproducing seed. Never set outside tests.
@@ -136,6 +154,7 @@ impl Default for ChaosConfig {
             max_load_qps: 150.0,
             slo_s: 0.15,
             kill_resume: false,
+            health: false,
             sabotage: false,
         }
     }
@@ -242,6 +261,7 @@ impl ChaosConfig {
         };
         let policy = random_resilience(&mut rng);
         let autoscale = random_autoscale(&mut rng, workers, self.max_workers as usize);
+        let health = random_health(&mut rng, self.health);
         let plan = random_plan(&mut rng, workers, duration_s);
         let trace = Trace::constant(load_qps, duration_s);
 
@@ -253,6 +273,9 @@ impl ChaosConfig {
         }
         if let Some(a) = autoscale {
             config = config.with_autoscale(a);
+        }
+        if let Some(h) = health {
+            config = config.with_health(h);
         }
         let sim = Simulation::new(profile, config)?;
         let run_with = |sim: &Simulation| -> Result<(SimulationReport, Vec<Event>), SimError> {
@@ -281,7 +304,17 @@ impl ChaosConfig {
                 detail,
             });
         };
-        check_invariants(&r1, &r2, &e1, &e2, &policy, autoscale.as_ref(), &mut fail);
+        check_invariants(
+            &r1,
+            &r2,
+            &e1,
+            &e2,
+            &policy,
+            autoscale.as_ref(),
+            health.as_ref(),
+            &plan,
+            &mut fail,
+        );
 
         // Autoscaler-off bit-identity: attaching a *disabled* autoscale
         // policy must leave the run byte-identical to the plain engine —
@@ -301,6 +334,33 @@ impl ChaosConfig {
                     "autoscale-off-identity",
                     format!(
                         "event streams diverge ({} plain vs {} disabled-autoscale events)",
+                        e1.len(),
+                        e_off.len()
+                    ),
+                );
+            }
+        }
+
+        // Detector-off bit-identity: a *disabled* health policy — even
+        // with every knob set to non-default values — must leave the
+        // run byte-identical to the oracle engine. Checked on the runs
+        // that did not draw a detector (the plain run is the
+        // reference).
+        if health.is_none() {
+            let mut off_policy = HealthPolicy::probing(0.013);
+            off_policy.enabled = false;
+            let off = Simulation::new(profile, config.with_health(off_policy))?;
+            let (r_off, e_off) = run_with(&off)?;
+            let j_plain = serde_json::to_string(&r1).expect("reports serialize");
+            let j_off = serde_json::to_string(&r_off).expect("reports serialize");
+            if j_plain != j_off {
+                fail("health-off-identity", format!("{j_plain} != {j_off}"));
+            }
+            if e1 != e_off {
+                fail(
+                    "health-off-identity",
+                    format!(
+                        "event streams diverge ({} plain vs {} disabled-health events)",
                         e1.len(),
                         e_off.len()
                     ),
@@ -513,7 +573,7 @@ impl ChaosConfig {
             load_qps,
             routing: format!("{routing:?}"),
             stochastic,
-            mechanisms: mechanisms_label(&policy, autoscale.is_some()),
+            mechanisms: mechanisms_label(&policy, autoscale.is_some(), health.is_some()),
             arrivals: r2.total_arrivals,
             served: r2.served,
             dropped: r2.dropped,
@@ -528,6 +588,10 @@ impl ChaosConfig {
             checkpoints,
             resumed_from,
             decisions,
+            detected: health.is_some(),
+            suspects: r2.health.as_ref().map_or(0, |h| h.suspects),
+            reinstates: r2.health.as_ref().map_or(0, |h| h.reinstates),
+            breaker_opens: r2.health.as_ref().map_or(0, |h| h.breaker_opens),
         };
         Ok((summary, failures))
     }
@@ -596,8 +660,30 @@ fn random_autoscale(
     Some(p)
 }
 
-/// A randomized fault plan: up to two crash(/recovery) episodes, up to
-/// two slowdown windows, and possibly a surge, all inside the run.
+/// A randomized enabled failure-detector policy, every knob inside its
+/// valid range. `None` (detector off) for about 60% of runs unless the
+/// dimension is forced.
+fn random_health(rng: &mut ChaCha8Rng, force: bool) -> Option<HealthPolicy> {
+    if !force && rng.gen::<f64>() >= 0.4 {
+        return None;
+    }
+    let mut p = HealthPolicy::probing(rng.gen_range(0.01..0.05));
+    p.probe_timeout_s = p.probe_interval_s * rng.gen_range(0.25..1.0);
+    p.phi_threshold = rng.gen_range(0.5..2.0);
+    p.ewma_alpha = rng.gen_range(0.05..0.5);
+    p.outlier_factor = rng.gen_range(2.5..6.0);
+    p.outlier_strikes = rng.gen_range(2..5);
+    p.close_probes = rng.gen_range(1..4);
+    p.open_backoff_s = rng.gen_range(0.02..0.15);
+    Some(p)
+}
+
+/// A randomized fault plan, ordering-valid by construction
+/// ([`FaultPlan::validate`] rejects per-worker anomalies): each worker
+/// independently draws crash/recovery episodes *or* a flap window
+/// (never both — their physics would overlap), plus gray modes
+/// (batch-error windows, heartbeat partitions) that are orthogonal to
+/// membership; globally, slowdown windows and possibly a surge.
 fn random_plan(rng: &mut ChaCha8Rng, workers: usize, duration_s: f64) -> FaultPlan {
     let crash_policy = if rng.gen::<f64>() < 0.5 {
         CrashPolicy::RequeueToSurvivors
@@ -605,12 +691,41 @@ fn random_plan(rng: &mut ChaCha8Rng, workers: usize, duration_s: f64) -> FaultPl
         CrashPolicy::Drop
     };
     let mut plan = FaultPlan::none().with_crash_policy(crash_policy);
-    for _ in 0..rng.gen_range(0..3u32) {
-        let w = rng.gen_range(0..workers);
-        let at = rng.gen_range(0.0..duration_s * 0.7);
-        plan = plan.crash(w, at);
-        if rng.gen::<f64>() < 0.8 {
-            plan = plan.recover(w, at + rng.gen_range(0.05..duration_s * 0.3));
+    for w in 0..workers {
+        match rng.gen_range(0..10u32) {
+            0..=2 => {
+                // One or two crash episodes, strictly alternating.
+                let c1 = rng.gen_range(0.0..duration_s * 0.5);
+                plan = plan.crash(w, c1);
+                if rng.gen::<f64>() < 0.8 {
+                    let r1 = c1 + rng.gen_range(0.05..duration_s * 0.3);
+                    plan = plan.recover(w, r1);
+                    if rng.gen::<f64>() < 0.3 {
+                        let c2 = r1 + rng.gen_range(0.02..duration_s * 0.2);
+                        plan = plan.crash(w, c2);
+                        if rng.gen::<f64>() < 0.5 {
+                            plan = plan.recover(w, c2 + rng.gen_range(0.05..duration_s * 0.2));
+                        }
+                    }
+                }
+            }
+            3..=4 => {
+                // A flap window: repeated short crash/recover cycles.
+                let from = rng.gen_range(0.0..duration_s * 0.6);
+                let to = from + rng.gen_range(0.1..duration_s * 0.4);
+                plan = plan.flap(w, from, to, rng.gen_range(0.04..0.3));
+            }
+            _ => {}
+        }
+        if rng.gen::<f64>() < 0.25 {
+            let from = rng.gen_range(0.0..duration_s * 0.7);
+            let to = from + rng.gen_range(0.05..duration_s * 0.3);
+            plan = plan.error_rate(w, from, to, rng.gen_range(0.05..0.9));
+        }
+        if rng.gen::<f64>() < 0.25 {
+            let from = rng.gen_range(0.0..duration_s * 0.7);
+            let to = from + rng.gen_range(0.05..duration_s * 0.4);
+            plan = plan.partition(w, from, to);
         }
     }
     for _ in 0..rng.gen_range(0..3u32) {
@@ -628,9 +743,9 @@ fn random_plan(rng: &mut ChaCha8Rng, workers: usize, duration_s: f64) -> FaultPl
 }
 
 /// Short label of the enabled mechanisms, e.g. `"TRA"` (timeout,
-/// retry, admission), `"S"` marking an elastic (autoscaled) run, or
-/// `"-"` for a noop policy.
-fn mechanisms_label(p: &ResiliencePolicy, autoscaled: bool) -> String {
+/// retry, admission), `"S"` marking an elastic (autoscaled) run, `"D"`
+/// a failure-detector run, or `"-"` for a noop policy.
+fn mechanisms_label(p: &ResiliencePolicy, autoscaled: bool, detected: bool) -> String {
     let mut s = String::new();
     if p.timeout.enabled {
         s.push('T');
@@ -647,6 +762,9 @@ fn mechanisms_label(p: &ResiliencePolicy, autoscaled: bool) -> String {
     if autoscaled {
         s.push('S');
     }
+    if detected {
+        s.push('D');
+    }
     if s.is_empty() {
         s.push('-');
     }
@@ -654,6 +772,7 @@ fn mechanisms_label(p: &ResiliencePolicy, autoscaled: bool) -> String {
 }
 
 /// Runs the invariant battery over one run's two executions.
+#[allow(clippy::too_many_arguments)]
 fn check_invariants(
     r1: &SimulationReport,
     r2: &SimulationReport,
@@ -661,8 +780,11 @@ fn check_invariants(
     e2: &[Event],
     policy: &ResiliencePolicy,
     autoscale: Option<&AutoscalePolicy>,
+    health: Option<&HealthPolicy>,
+    plan: &FaultPlan,
     fail: &mut impl FnMut(&str, String),
 ) {
+    check_health_invariants(r1, e1, plan, health, autoscale.is_some(), fail);
     // Determinism: same seed, byte-identical serialized report and
     // identical event stream.
     let j1 = serde_json::to_string(r1).expect("reports serialize");
@@ -865,6 +987,322 @@ fn check_invariants(
     }
 }
 
+/// The failure-detector invariant battery (DESIGN.md §14), replayed
+/// purely from telemetry plus the fault plan's ground truth.
+#[allow(clippy::too_many_lines)]
+fn check_health_invariants(
+    r1: &SimulationReport,
+    e1: &[Event],
+    plan: &FaultPlan,
+    health: Option<&HealthPolicy>,
+    autoscaled: bool,
+    fail: &mut impl FnMut(&str, String),
+) {
+    let count = |pred: fn(&Event) -> bool| e1.iter().filter(|e| pred(e)).count() as u64;
+    let Some(hp) = health else {
+        // Detector off: no health block, no health telemetry at all.
+        if r1.health.is_some() {
+            fail(
+                "health-off",
+                "detector-off run produced a health block".to_string(),
+            );
+        }
+        let stray = count(|e| {
+            matches!(
+                e,
+                Event::ProbeSent { .. }
+                    | Event::ProbeFailed { .. }
+                    | Event::Suspect { .. }
+                    | Event::Reinstate { .. }
+                    | Event::BreakerOpen { .. }
+                    | Event::BreakerHalfOpen { .. }
+                    | Event::BreakerClose { .. }
+            )
+        });
+        if stray > 0 {
+            fail(
+                "health-off",
+                format!("detector-off run emitted {stray} health events"),
+            );
+        }
+        return;
+    };
+    let Some(stats) = r1.health.as_ref() else {
+        fail(
+            "health-stats",
+            "detector run produced a report without a health block".to_string(),
+        );
+        return;
+    };
+
+    // Counter agreement: trace-derived health aggregates match the
+    // report's health block field for field.
+    let pairs = [
+        (
+            "probes_sent",
+            count(|e| matches!(e, Event::ProbeSent { .. })),
+            stats.probes_sent,
+        ),
+        (
+            "probes_failed",
+            count(|e| matches!(e, Event::ProbeFailed { .. })),
+            stats.probes_failed,
+        ),
+        (
+            "suspects",
+            count(|e| matches!(e, Event::Suspect { .. })),
+            stats.suspects,
+        ),
+        (
+            "suspects_genuine",
+            count(|e| matches!(e, Event::Suspect { genuine: true, .. })),
+            stats.suspects_genuine,
+        ),
+        (
+            "reinstates",
+            count(|e| matches!(e, Event::Reinstate { .. })),
+            stats.reinstates,
+        ),
+        (
+            "breaker_opens",
+            count(|e| matches!(e, Event::BreakerOpen { .. })),
+            stats.breaker_opens,
+        ),
+        (
+            "breaker_half_opens",
+            count(|e| matches!(e, Event::BreakerHalfOpen { .. })),
+            stats.breaker_half_opens,
+        ),
+        (
+            "breaker_closes",
+            count(|e| matches!(e, Event::BreakerClose { .. })),
+            stats.breaker_closes,
+        ),
+    ];
+    for (name, from_events, from_report) in pairs {
+        if from_events != from_report {
+            fail(
+                "health-counter-agreement",
+                format!("{name}: events say {from_events}, report says {from_report}"),
+            );
+        }
+    }
+
+    // Breaker DFA: per worker, transitions must follow
+    // Closed →(open) Open →(half-open) HalfOpen →(close | re-open), and
+    // every Closed→Open pairs with a Suspect, every Close with a
+    // Reinstate.
+    #[derive(Clone, Copy, PartialEq, Debug)]
+    enum B {
+        Closed,
+        Open,
+        Half,
+    }
+    let mut state: std::collections::HashMap<u32, B> = std::collections::HashMap::new();
+    let mut closed_to_open = 0u64;
+    for e in e1 {
+        match e {
+            Event::BreakerOpen { worker, .. } => {
+                let s = state.entry(*worker).or_insert(B::Closed);
+                match *s {
+                    B::Closed => closed_to_open += 1,
+                    B::Half => {}
+                    B::Open => fail(
+                        "breaker-dfa",
+                        format!("worker {worker}: BreakerOpen while already Open"),
+                    ),
+                }
+                *s = B::Open;
+            }
+            Event::BreakerHalfOpen { worker, .. } => {
+                let s = state.entry(*worker).or_insert(B::Closed);
+                if *s != B::Open {
+                    fail(
+                        "breaker-dfa",
+                        format!("worker {worker}: BreakerHalfOpen from {s:?}"),
+                    );
+                }
+                *s = B::Half;
+            }
+            Event::BreakerClose { worker, .. } => {
+                let s = state.entry(*worker).or_insert(B::Closed);
+                if *s != B::Half {
+                    fail(
+                        "breaker-dfa",
+                        format!("worker {worker}: BreakerClose from {s:?}"),
+                    );
+                }
+                *s = B::Closed;
+            }
+            _ => {}
+        }
+    }
+    if closed_to_open != stats.suspects {
+        fail(
+            "breaker-pairing",
+            format!(
+                "{closed_to_open} Closed→Open transitions but {} suspects",
+                stats.suspects
+            ),
+        );
+    }
+    if stats.reinstates != stats.breaker_closes {
+        fail(
+            "breaker-pairing",
+            format!(
+                "{} reinstates != {} breaker closes",
+                stats.reinstates, stats.breaker_closes
+            ),
+        );
+    }
+
+    // Every genuine suspicion's measured detection lag is within the
+    // policy's provable bound.
+    let detection_bound_s = hp.detection_bound_s();
+    let suspects: Vec<(u32, u64, bool)> = e1
+        .iter()
+        .filter_map(|e| match e {
+            Event::Suspect {
+                at,
+                worker,
+                genuine,
+                lag_ns,
+            } => {
+                if *genuine && (*lag_ns as f64) / 1e9 > detection_bound_s + 1e-6 {
+                    fail(
+                        "detection-bound",
+                        format!(
+                            "worker {worker} suspected with lag {:.4}s past bound {:.4}s",
+                            (*lag_ns as f64) / 1e9,
+                            detection_bound_s
+                        ),
+                    );
+                }
+                Some((*worker, *at, *genuine))
+            }
+            _ => None,
+        })
+        .collect();
+    let reinstates: Vec<(u32, u64)> = e1
+        .iter()
+        .filter_map(|e| match e {
+            Event::Reinstate { at, worker, .. } => Some((*worker, *at)),
+            _ => None,
+        })
+        .collect();
+
+    // The liveness halves need probe runway and a pool the autoscaler
+    // is not reshaping underneath the detector.
+    let Some(last_tick_s) = e1.iter().rev().find_map(|e| match e {
+        Event::ProbeSent { at, .. } => Some(*at as f64 / 1e9),
+        _ => None,
+    }) else {
+        return;
+    };
+    if autoscaled {
+        return;
+    }
+
+    // Every explicit crash with enough probe runway before recovery is
+    // genuinely suspected within the detection bound — unless the
+    // worker was already under suspicion when it went down.
+    for e in &plan.events {
+        let FaultEvent::WorkerCrash { worker, at_s } = e else {
+            continue;
+        };
+        let w = *worker as u32;
+        let c = *at_s;
+        let recover_s = plan
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::WorkerRecover {
+                    worker: rw,
+                    at_s: r,
+                } if *rw == *worker && *r >= c => Some(*r),
+                _ => None,
+            })
+            .fold(f64::INFINITY, f64::min);
+        let deadline = c + detection_bound_s;
+        if deadline > recover_s.min(last_tick_s) {
+            continue; // not enough runway to demand detection
+        }
+        let opens_before = suspects
+            .iter()
+            .filter(|(sw, t, _)| *sw == w && (*t as f64) / 1e9 <= c)
+            .count();
+        let closes_before = reinstates
+            .iter()
+            .filter(|(rw, t)| *rw == w && (*t as f64) / 1e9 <= c)
+            .count();
+        if opens_before > closes_before {
+            continue; // already suspected when it crashed
+        }
+        let detected = suspects.iter().any(|(sw, t, genuine)| {
+            *sw == w && *genuine && {
+                let t_s = (*t as f64) / 1e9;
+                t_s >= c && t_s <= deadline + 1e-6
+            }
+        });
+        if !detected {
+            fail(
+                "detection-liveness",
+                format!("worker {w} crashed at {c:.3}s, no genuine Suspect by {deadline:.3}s"),
+            );
+        }
+    }
+
+    // Every false suspicion on a worker that never (re)crashes is
+    // reinstated within the reinstatement bound of the last gray
+    // disturbance touching it.
+    let reinstate_bound_s = hp.reinstate_bound_s();
+    for (w, t, genuine) in &suspects {
+        if *genuine {
+            continue;
+        }
+        let t_s = (*t as f64) / 1e9;
+        let crashes_later = plan.events.iter().any(|e| match e {
+            FaultEvent::WorkerCrash { worker, at_s } => *worker as u32 == *w && *at_s >= t_s,
+            FaultEvent::WorkerFlap { worker, to_s, .. } => *worker as u32 == *w && *to_s >= t_s,
+            _ => false,
+        });
+        if crashes_later {
+            continue;
+        }
+        let mut quiet_s = t_s;
+        for e in &plan.events {
+            match e {
+                FaultEvent::HeartbeatPartition { worker, to_s, .. }
+                | FaultEvent::WorkerErrorRate { worker, to_s, .. }
+                | FaultEvent::WorkerSlowdown { worker, to_s, .. }
+                    if *worker as u32 == *w =>
+                {
+                    quiet_s = quiet_s.max(*to_s);
+                }
+                _ => {}
+            }
+        }
+        let deadline = quiet_s + reinstate_bound_s;
+        if deadline > last_tick_s {
+            continue; // probes stop before the bound can be enforced
+        }
+        let reinstated = reinstates.iter().any(|(rw, rt)| {
+            *rw == *w && {
+                let rt_s = (*rt as f64) / 1e9;
+                rt_s >= t_s && rt_s <= deadline + 1e-6
+            }
+        });
+        if !reinstated {
+            fail(
+                "reinstate-liveness",
+                format!(
+                    "worker {w} falsely suspected at {t_s:.3}s, not reinstated by {deadline:.3}s"
+                ),
+            );
+        }
+    }
+}
+
 /// One randomized run's shape and headline counters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ChaosRunSummary {
@@ -913,6 +1351,14 @@ pub struct ChaosRunSummary {
     pub resumed_from: Option<u64>,
     /// Decision records emitted by the provenance-recording execution.
     pub decisions: u64,
+    /// Whether the run drew an enabled failure detector.
+    pub detected: bool,
+    /// Suspicions raised by the detector (0 when off).
+    pub suspects: u64,
+    /// Workers reinstated after suspicion (0 when off).
+    pub reinstates: u64,
+    /// Circuit-breaker open transitions (0 when off).
+    pub breaker_opens: u64,
 }
 
 /// One violated invariant, with everything needed to reproduce it.
@@ -1017,7 +1463,7 @@ mod tests {
         report.expect_pass();
         // The randomization covered the space: every mechanism letter
         // appears somewhere, and at least one run combined several.
-        for letter in ["T", "R", "H", "A", "S"] {
+        for letter in ["T", "R", "H", "A", "S", "D"] {
             assert!(
                 report.runs.iter().any(|r| r.mechanisms.contains(letter)),
                 "no run enabled mechanism {letter}"
@@ -1065,6 +1511,28 @@ mod tests {
             .runs
             .iter()
             .any(|r| !r.autoscaled && r.resumed_from.is_some()));
+    }
+
+    #[test]
+    fn forced_health_sweep_passes_all_invariants() {
+        // The robustness acceptance bar: ≥50 randomized scenarios with
+        // the failure detector forced on, gray-failure physics in the
+        // plan generator, and the full invariant battery (breaker DFA,
+        // detection/reinstatement bounds, counter agreement) holding.
+        let config = ChaosConfig {
+            health: true,
+            ..tiny(41, 50)
+        };
+        let report = config.run_sweep().unwrap();
+        assert_eq!(report.runs.len(), 50);
+        report.expect_pass();
+        // The dimension genuinely exercised the detector: every run
+        // drew one, suspicion fired somewhere, breakers cycled, and at
+        // least one false suspicion healed.
+        assert!(report.runs.iter().all(|r| r.detected));
+        assert!(report.runs.iter().map(|r| r.suspects).sum::<u64>() >= 10);
+        assert!(report.runs.iter().any(|r| r.breaker_opens > r.suspects));
+        assert!(report.runs.iter().any(|r| r.reinstates > 0));
     }
 
     #[test]

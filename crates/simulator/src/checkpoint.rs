@@ -26,13 +26,15 @@ use serde::{Deserialize, Serialize};
 use ramsis_stats::LogHistogram;
 
 use crate::autoscale::{AutoscaleStats, BrownoutLadder, HysteresisController, WorkerState};
+use crate::health::HealthState;
 use crate::metrics::MetricsCollector;
 use crate::query::{Nanos, Query};
 use crate::resilience::{splitmix64, CoDelAdmission, RetryBudget};
 use crate::SimError;
 
 /// Snapshot format version; bumped on any incompatible layout change.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// v2 added the optional failure-detector state.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// When (if ever) the engine takes checkpoints. Off by default: the
 /// zero-value policy reproduces the pre-checkpoint engine bit-for-bit
@@ -255,6 +257,9 @@ pub struct EngineSnapshot {
     pub latency_rng: (u64, usize),
     /// Autoscaler state; `None` when the subsystem is disabled.
     pub autoscale: Option<AutoscaleState>,
+    /// Failure-detector state (phi estimators, breakers, health
+    /// accounting); `None` when the subsystem is disabled.
+    pub health: Option<HealthState>,
     /// Scheme-private state ([`crate::ServingScheme::checkpoint_state`]);
     /// `Null` for stateless schemes.
     pub scheme_state: serde::Value,
@@ -576,6 +581,7 @@ mod tests {
             metrics: MetricsCollector::new(),
             latency_rng: (4, 9),
             autoscale: None,
+            health: None,
             scheme_state: serde::Value::Null,
             estimator_state: serde::Value::Null,
         }

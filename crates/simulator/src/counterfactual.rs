@@ -153,8 +153,10 @@ fn fault_windows(plan: &FaultPlan) -> Vec<(f64, f64)> {
                 wins.push((at_s, end));
             }
             FaultEvent::WorkerSlowdown { from_s, to_s, .. }
-            | FaultEvent::ArrivalSurge { from_s, to_s, .. } => wins.push((from_s, to_s)),
-            FaultEvent::WorkerRecover { .. } => {}
+            | FaultEvent::ArrivalSurge { from_s, to_s, .. }
+            | FaultEvent::WorkerFlap { from_s, to_s, .. }
+            | FaultEvent::WorkerErrorRate { from_s, to_s, .. } => wins.push((from_s, to_s)),
+            FaultEvent::WorkerRecover { .. } | FaultEvent::HeartbeatPartition { .. } => {}
         }
     }
     wins

@@ -39,11 +39,12 @@ use crate::checkpoint::{
     EngineSnapshot, HeapEntry, InFlightState, ResilienceState, SnapshotMeta, SNAPSHOT_VERSION,
 };
 use crate::faults::{CrashPolicy, FaultEvent, FaultPlan};
+use crate::health::{HealthMonitor, HealthPolicy, ProbeStep};
 use crate::latency::{LatencyMode, LatencySampler};
 use crate::metrics::{MetricsCollector, SimulationReport};
 use crate::query::{nanos_from_secs, secs_from_nanos, Nanos, Query};
 use crate::resilience::{
-    backoff_delay_s, AdmissionPolicy, CoDelAdmission, ResiliencePolicy, RetryBudget,
+    backoff_delay_s, splitmix64, AdmissionPolicy, CoDelAdmission, ResiliencePolicy, RetryBudget,
 };
 use crate::scheme::{Routing, Selection, SelectionContext, ServingScheme};
 use crate::SimError;
@@ -77,6 +78,11 @@ pub struct SimulationConfig {
     /// bit-for-bit; snapshots are only taken when a
     /// [`CheckpointRecorder`] is attached via [`Simulation::run_durable`].
     pub checkpoint: CheckpointPolicy,
+    /// Perceived-health knobs (DESIGN.md §14): heartbeat probes, the
+    /// phi-accrual failure detector, per-worker circuit breakers, and
+    /// EWMA outlier ejection. The default disables the subsystem and
+    /// reproduces the oracle-membership engine bit-for-bit.
+    pub health: HealthPolicy,
 }
 
 impl SimulationConfig {
@@ -93,6 +99,7 @@ impl SimulationConfig {
             resilience: ResiliencePolicy::default(),
             autoscale: AutoscalePolicy::default(),
             checkpoint: CheckpointPolicy::default(),
+            health: HealthPolicy::default(),
         }
     }
 
@@ -117,6 +124,13 @@ impl SimulationConfig {
     /// Installs a checkpoint cadence for durable runs.
     pub fn with_checkpoints(mut self, checkpoint: CheckpointPolicy) -> Self {
         self.checkpoint = checkpoint;
+        self
+    }
+
+    /// Installs a perceived-health policy (probes, failure detector,
+    /// circuit breakers).
+    pub fn with_health(mut self, health: HealthPolicy) -> Self {
+        self.health = health;
         self
     }
 
@@ -162,6 +176,7 @@ impl SimulationConfig {
         self.resilience.validate()?;
         self.autoscale.validate()?;
         self.checkpoint.validate()?;
+        self.health.validate()?;
         if self.autoscale.enabled && self.workers > self.autoscale.max_workers {
             return Err(SimError::InvalidConfig(format!(
                 "autoscale: initial pool {} exceeds max_workers {}",
@@ -204,6 +219,13 @@ enum EventKind {
     /// as `WorkerDone`: a crash or a cancelling scale-in bumps the epoch
     /// and strands the event).
     WarmupDone(usize, u64),
+    /// Health-probe tick: heartbeat every probed worker and feed the
+    /// failure detector. Only ever scheduled when
+    /// [`HealthPolicy::enabled`]; reschedules itself while arrivals
+    /// remain (mirrors `ScaleTick`).
+    ///
+    /// [`HealthPolicy::enabled`]: crate::health::HealthPolicy
+    HealthTick,
 }
 
 impl EventKind {
@@ -220,6 +242,7 @@ impl EventKind {
             EventKind::Retry(i) => (5, u64::from(i), 0),
             EventKind::ScaleTick => (6, 0, 0),
             EventKind::WarmupDone(w, e) => (7, w as u64, e),
+            EventKind::HealthTick => (8, 0, 0),
         }
     }
 
@@ -234,6 +257,7 @@ impl EventKind {
             5 => EventKind::Retry(a as u32),
             6 => EventKind::ScaleTick,
             7 => EventKind::WarmupDone(a as usize, b),
+            8 => EventKind::HealthTick,
             _ => {
                 return Err(SimError::InvalidConfig(format!(
                     "snapshot heap entry has unknown event tag {tag}"
@@ -433,6 +457,32 @@ fn expand_fault_actions(plan: &FaultPlan) -> Vec<(Nanos, FaultAction)> {
                 actions.push((nanos_from_secs(to_s), FaultAction::SlowEnd(worker)));
             }
             FaultEvent::ArrivalSurge { .. } => {}
+            FaultEvent::WorkerFlap {
+                worker,
+                from_s,
+                to_s,
+                period_s,
+            } => {
+                // 50% duty-cycle square wave of micro-outages: down at
+                // from + k·period, back up half a period later (clipped
+                // to the window end so the flap always leaves the
+                // worker live).
+                let mut k = 0u32;
+                loop {
+                    let down_s = from_s + f64::from(k) * period_s;
+                    if down_s >= to_s {
+                        break;
+                    }
+                    let up_s = (down_s + period_s / 2.0).min(to_s);
+                    actions.push((nanos_from_secs(down_s), FaultAction::Crash(worker)));
+                    actions.push((nanos_from_secs(up_s), FaultAction::Recover(worker)));
+                    k += 1;
+                }
+            }
+            // Error rates are drawn per completed batch in the
+            // WorkerDone handler; partitions only affect probe
+            // delivery. Neither produces a timed membership action.
+            FaultEvent::WorkerErrorRate { .. } | FaultEvent::HeartbeatPartition { .. } => {}
         }
     }
     // Stable sort: same-time actions keep their plan order, so runs are
@@ -622,6 +672,57 @@ impl Cluster {
             lifecycle: snap.lifecycle.clone(),
         }
     }
+}
+
+/// The perceived-membership runtime (DESIGN.md §14): the failure
+/// detector plus the router's suspicion-filtered view of the pool. Only
+/// constructed when [`HealthPolicy::enabled`]; with the policy off
+/// nothing here exists and the oracle engine stays bit-identical.
+struct HealthRuntime {
+    monitor: HealthMonitor,
+    /// Routable per the detector: not suspected, and either actually
+    /// live or crash-down (the router cannot see a crash until the
+    /// detector calls it). Commanded transitions (Warming, Draining,
+    /// scaled-down slots) stay visible — the control plane ordered
+    /// them, no detection needed.
+    view: Vec<bool>,
+    /// `view.iter().filter(|v| **v).count()`, kept in lockstep.
+    perceived_live: usize,
+    /// Probe cadence; ticks stop past `tick_end` (mirrors `ScaleTick`).
+    tick_ns: Nanos,
+    tick_end: Nanos,
+}
+
+impl HealthRuntime {
+    /// Recomputes the routing view from ground truth + suspicion.
+    fn rebuild_view(&mut self, cluster: &Cluster) {
+        self.perceived_live = 0;
+        for w in 0..self.view.len() {
+            self.view[w] =
+                !self.monitor.suspected(w) && (cluster.alive[w] || cluster.down_since[w].is_some());
+            if self.view[w] {
+                self.perceived_live += 1;
+            }
+        }
+    }
+}
+
+/// A borrowed routing view: the perceived membership when health is
+/// on; `None` falls back to the oracle view (`cluster.alive`).
+#[derive(Clone, Copy)]
+struct Perceived<'a> {
+    view: &'a [bool],
+    live: usize,
+}
+
+/// The `Perceived` borrow for the current health state, if any.
+macro_rules! perceived {
+    ($health:expr) => {
+        $health.as_ref().map(|h| Perceived {
+            view: &h.view,
+            live: h.perceived_live,
+        })
+    };
 }
 
 /// The resilience layer's per-run state. Constructed from the config's
@@ -1565,6 +1666,35 @@ impl<'a> Simulation<'a> {
             scale = Some(rt);
             brown = Some(BrownoutState::new(self.profiles[0]));
         }
+        // The failure detector and the perceived-membership view. As
+        // with autoscaling, nothing here runs when the policy is
+        // disabled, so the event stream and the report stay
+        // byte-identical to the oracle-membership engine.
+        let mut health: Option<HealthRuntime> = None;
+        if self.config.health.enabled && !arrivals.is_empty() {
+            let tick_ns = nanos_from_secs(self.config.health.probe_interval_s).max(1);
+            let mut hs = HealthRuntime {
+                monitor: HealthMonitor::new(self.config.health, n_workers, 0),
+                view: vec![false; n_workers],
+                perceived_live: 0,
+                tick_ns,
+                tick_end: nanos_from_secs(arrivals[arrivals.len() - 1]),
+            };
+            hs.rebuild_view(&cluster);
+            heap.push(Reverse((tick_ns, seq, EventKind::HealthTick)));
+            seq += 1;
+            prof.incr(HotCounter::HeapPushes);
+            health = Some(hs);
+        }
+        // Gray batch-error faults are plan physics, not detector
+        // behavior: they fire with health on or off. The draw is
+        // stateless — keyed on (seed, worker, dispatch time) — so a
+        // resumed run replays every outcome exactly.
+        let has_batch_errors = plan
+            .events
+            .iter()
+            .any(|e| matches!(e, FaultEvent::WorkerErrorRate { .. }));
+        let err_seed = splitmix64(self.config.arrival_seed ^ 0xE44A_575D_11CE_A57E);
         prof.exit(Phase::Setup);
 
         let mut horizon: Nanos = 0;
@@ -1661,6 +1791,24 @@ impl<'a> Simulation<'a> {
                     )));
                 }
             }
+            match (health.as_mut(), snap.health.as_ref()) {
+                (Some(hs), Some(s)) => {
+                    hs.monitor.restore(s)?;
+                    hs.rebuild_view(&cluster);
+                }
+                (None, None) => {}
+                (have, _) => {
+                    return Err(SimError::InvalidConfig(format!(
+                        "snapshot {} health state but the config {} it",
+                        if have.is_some() { "lacks" } else { "carries" },
+                        if have.is_some() {
+                            "enables"
+                        } else {
+                            "disables"
+                        },
+                    )));
+                }
+            }
             scheme
                 .restore_state(&snap.scheme_state)
                 .map_err(SimError::InvalidConfig)?;
@@ -1681,9 +1829,10 @@ impl<'a> Simulation<'a> {
                 EventKind::HedgeDue(..) => Phase::Hedge,
                 EventKind::Retry(_) => Phase::Retry,
                 // Membership machinery shares the fault phase bucket.
-                EventKind::Fault(_) | EventKind::ScaleTick | EventKind::WarmupDone(..) => {
-                    Phase::Fault
-                }
+                EventKind::Fault(_)
+                | EventKind::ScaleTick
+                | EventKind::WarmupDone(..)
+                | EventKind::HealthTick => Phase::Fault,
             };
             prof.enter(phase);
             // Labeled so handlers can bail (stale epochs, no-op
@@ -1734,6 +1883,7 @@ impl<'a> Simulation<'a> {
                             prof,
                             &mut brown,
                             &mut dec,
+                            perceived!(health),
                         );
                         prof.exit(Phase::Route);
                     }
@@ -1749,6 +1899,148 @@ impl<'a> Simulation<'a> {
                             .take()
                             .expect("completion implies in-flight work");
                         cluster.epochs[w] += 1;
+                        // Gray batch-error injection (plan physics, on
+                        // with or without the detector): the worker
+                        // replied, but with a retriable failure —
+                        // nothing completes, the batch goes back to a
+                        // queue head, and the attempt's time is lost as
+                        // extra wait. Hedged pairs are exempt: the twin
+                        // owns the outcome.
+                        if has_batch_errors && fl.twin.is_none() && !fl.is_hedge {
+                            let rate = plan.error_rate_at(w, secs_from_nanos(now));
+                            let draw = splitmix64(
+                                err_seed
+                                    ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                                    ^ fl.started,
+                            );
+                            if rate > 0.0 && ((draw >> 11) as f64 / (1u64 << 53) as f64) < rate {
+                                cluster.busy[w] = false;
+                                if tracer.on {
+                                    for q in &fl.queries {
+                                        tracer.emit(|| Event::CrashRequeue {
+                                            at: now,
+                                            query: q.id,
+                                            from: w as u32,
+                                        });
+                                    }
+                                }
+                                metrics.record_crash_requeued(fl.queries.len() as u64);
+                                // An error reply is an ack with bad
+                                // news: the detector hears it and
+                                // strikes toward ejection.
+                                if let Some(hs) = health.as_mut() {
+                                    if let Some(info) =
+                                        hs.monitor.observe_error(w, now, cluster.down_since[w])
+                                    {
+                                        tracer.emit(|| Event::Suspect {
+                                            at: now,
+                                            worker: w as u32,
+                                            genuine: info.genuine,
+                                            lag_ns: info.lag_ns,
+                                        });
+                                        tracer.emit(|| Event::BreakerOpen {
+                                            at: now,
+                                            worker: w as u32,
+                                        });
+                                        Self::apply_suspicion(
+                                            w,
+                                            now,
+                                            routing,
+                                            scheme,
+                                            hs,
+                                            &mut worker_queues,
+                                            &mut central_queue,
+                                            &mut limbo,
+                                            &mut rr_next,
+                                            &mut metrics,
+                                            &mut tracer,
+                                        );
+                                    }
+                                }
+                                let draining = cluster.lifecycle[w] == WorkerState::Draining;
+                                if draining {
+                                    // The drain's last batch errored;
+                                    // the worker still leaves the pool,
+                                    // its batch retries elsewhere.
+                                    cluster.lifecycle[w] = WorkerState::Down;
+                                    if let Some(rt) = scale.as_mut() {
+                                        rt.stats.drains_completed += 1;
+                                    }
+                                    tracer.emit(|| Event::DrainComplete {
+                                        at: now,
+                                        worker: w as u32,
+                                    });
+                                }
+                                let suspected_here =
+                                    health.as_ref().is_some_and(|h| h.monitor.suspected(w));
+                                if routing == Routing::Central {
+                                    // Back to the central head: the
+                                    // batch carries the earliest
+                                    // deadlines.
+                                    for mut q in fl.queries.into_iter().rev() {
+                                        q.enqueued_at = now;
+                                        central_queue.push_front(q);
+                                    }
+                                } else if !draining && !suspected_here {
+                                    for mut q in fl.queries.into_iter().rev() {
+                                        q.enqueued_at = now;
+                                        worker_queues[w].push_front(q);
+                                    }
+                                } else {
+                                    // The errored worker is leaving (or
+                                    // ejected): its batch retries on
+                                    // the effective survivors.
+                                    let displaced = fl.queries;
+                                    match health.as_ref() {
+                                        Some(h) if h.perceived_live == 0 => {
+                                            limbo.extend(displaced);
+                                        }
+                                        Some(h) => {
+                                            for mut q in displaced {
+                                                q.enqueued_at = now;
+                                                let t = Self::next_live_rr(&h.view, &mut rr_next)
+                                                    .expect("perceived live > 0 checked");
+                                                worker_queues[t].push_back(q);
+                                            }
+                                        }
+                                        None if cluster.live == 0 => {
+                                            limbo.extend(displaced);
+                                        }
+                                        None => {
+                                            for mut q in displaced {
+                                                q.enqueued_at = now;
+                                                let t = Self::next_live_rr(
+                                                    &cluster.alive,
+                                                    &mut rr_next,
+                                                )
+                                                .expect("live > 0 checked");
+                                                worker_queues[t].push_back(q);
+                                            }
+                                        }
+                                    }
+                                }
+                                self.kick_idle_workers(
+                                    now,
+                                    routing,
+                                    scheme,
+                                    estimator,
+                                    &mut worker_queues,
+                                    &mut central_queue,
+                                    &mut cluster,
+                                    &mut resil,
+                                    &mut sampler,
+                                    &mut metrics,
+                                    &mut heap,
+                                    &mut seq,
+                                    &mut tracer,
+                                    prof,
+                                    &mut brown,
+                                    &mut dec,
+                                    perceived!(health),
+                                );
+                                break 'event;
+                            }
+                        }
                         // First-wins: cancel the losing side of a hedged
                         // pair before accounting the completion.
                         let cancelled_twin = fl.twin.inspect(|&v| {
@@ -1792,6 +2084,68 @@ impl<'a> Simulation<'a> {
                             }
                         }
                         cluster.busy[w] = false;
+                        // Feed the detector: a completion is a liveness
+                        // ack and an outlier-ejection sample against
+                        // the profile's slow-factor-free expectation
+                        // (so a gray slowdown reads as an outlier).
+                        if let Some(hs) = health.as_mut() {
+                            if !fl.is_hedge && cancelled_twin.is_none() {
+                                let expected_ns = nanos_from_secs(
+                                    self.profile_of(w)
+                                        .latency_extrapolated(fl.model, fl.queries.len() as u32),
+                                );
+                                if let Some(info) = hs.monitor.observe_completion(
+                                    w,
+                                    now,
+                                    now.saturating_sub(fl.started),
+                                    expected_ns,
+                                    cluster.down_since[w],
+                                ) {
+                                    tracer.emit(|| Event::Suspect {
+                                        at: now,
+                                        worker: w as u32,
+                                        genuine: info.genuine,
+                                        lag_ns: info.lag_ns,
+                                    });
+                                    tracer.emit(|| Event::BreakerOpen {
+                                        at: now,
+                                        worker: w as u32,
+                                    });
+                                    Self::apply_suspicion(
+                                        w,
+                                        now,
+                                        routing,
+                                        scheme,
+                                        hs,
+                                        &mut worker_queues,
+                                        &mut central_queue,
+                                        &mut limbo,
+                                        &mut rr_next,
+                                        &mut metrics,
+                                        &mut tracer,
+                                    );
+                                    self.kick_idle_workers(
+                                        now,
+                                        routing,
+                                        scheme,
+                                        estimator,
+                                        &mut worker_queues,
+                                        &mut central_queue,
+                                        &mut cluster,
+                                        &mut resil,
+                                        &mut sampler,
+                                        &mut metrics,
+                                        &mut heap,
+                                        &mut seq,
+                                        &mut tracer,
+                                        prof,
+                                        &mut brown,
+                                        &mut dec,
+                                        perceived!(health),
+                                    );
+                                }
+                            }
+                        }
                         if cluster.lifecycle[w] == WorkerState::Draining {
                             // The drain's last in-flight batch just
                             // finished; the worker leaves the pool.
@@ -1803,7 +2157,7 @@ impl<'a> Simulation<'a> {
                                 at: now,
                                 worker: w as u32,
                             });
-                        } else {
+                        } else if health.as_ref().is_none_or(|h| !h.monitor.suspected(w)) {
                             let queue = match routing {
                                 Routing::Central => &mut central_queue,
                                 _ => &mut worker_queues[w],
@@ -1824,6 +2178,7 @@ impl<'a> Simulation<'a> {
                                 prof,
                                 &mut brown,
                                 &mut dec,
+                                health.as_ref().map(|h| h.perceived_live),
                             );
                         }
                         // The freed loser picks up queued work too — or
@@ -1838,7 +2193,10 @@ impl<'a> Simulation<'a> {
                                     at: now,
                                     worker: v as u32,
                                 });
-                            } else if cluster.alive[v] && !cluster.busy[v] {
+                            } else if cluster.alive[v]
+                                && !cluster.busy[v]
+                                && health.as_ref().is_none_or(|h| !h.monitor.suspected(v))
+                            {
                                 let queue = match routing {
                                     Routing::Central => &mut central_queue,
                                     _ => &mut worker_queues[v],
@@ -1860,6 +2218,7 @@ impl<'a> Simulation<'a> {
                                         prof,
                                         &mut brown,
                                         &mut dec,
+                                        health.as_ref().map(|h| h.perceived_live),
                                     );
                                 }
                             }
@@ -2009,7 +2368,7 @@ impl<'a> Simulation<'a> {
                                 at: now,
                                 worker: w as u32,
                             });
-                        } else {
+                        } else if health.as_ref().is_none_or(|h| !h.monitor.suspected(w)) {
                             let queue = match routing {
                                 Routing::Central => &mut central_queue,
                                 _ => &mut worker_queues[w],
@@ -2030,6 +2389,7 @@ impl<'a> Simulation<'a> {
                                 prof,
                                 &mut brown,
                                 &mut dec,
+                                health.as_ref().map(|h| h.perceived_live),
                             );
                         }
                     }
@@ -2051,6 +2411,7 @@ impl<'a> Simulation<'a> {
                             v != w
                                 && cluster.alive[v]
                                 && !cluster.busy[v]
+                                && health.as_ref().is_none_or(|h| !h.monitor.suspected(v))
                                 && model < self.profile_of(v).n_models()
                         });
                         let Some(v) = target else { break 'event };
@@ -2137,6 +2498,7 @@ impl<'a> Simulation<'a> {
                             prof,
                             &mut brown,
                             &mut dec,
+                            perceived!(health),
                         );
                         prof.exit(Phase::Route);
                     }
@@ -2174,6 +2536,45 @@ impl<'a> Simulation<'a> {
                                     } else {
                                         displaced.extend(fl.queries);
                                     }
+                                }
+                                if health.is_some() {
+                                    // Perceived health: the router
+                                    // learns nothing here — the worker
+                                    // stays in view until the detector
+                                    // suspects it, and its work waits
+                                    // where it is (that wait IS the
+                                    // detection lag). Under `Drop` the
+                                    // machine's on-board work is
+                                    // physically lost, exactly as with
+                                    // oracle membership.
+                                    match plan.crash_policy {
+                                        CrashPolicy::Drop => {
+                                            displaced.extend(worker_queues[w].drain(..));
+                                            if tracer.on {
+                                                for q in &displaced {
+                                                    tracer.emit(|| Event::Drop {
+                                                        at: now,
+                                                        query: q.id,
+                                                    });
+                                                }
+                                            }
+                                            metrics.record_crash_dropped(&displaced);
+                                        }
+                                        CrashPolicy::RequeueToSurvivors => {
+                                            // The interrupted batch is
+                                            // retriable: it waits at
+                                            // the dead worker's queue
+                                            // head (a stuck buffer
+                                            // under central routing)
+                                            // until suspicion or
+                                            // recovery releases it.
+                                            for mut q in displaced.into_iter().rev() {
+                                                q.enqueued_at = now;
+                                                worker_queues[w].push_front(q);
+                                            }
+                                        }
+                                    }
+                                    break 'event;
                                 }
                                 displaced.extend(worker_queues[w].drain(..));
                                 scheme.on_membership_change(cluster.live);
@@ -2242,6 +2643,7 @@ impl<'a> Simulation<'a> {
                                     prof,
                                     &mut brown,
                                     &mut dec,
+                                    None,
                                 );
                             }
                             FaultAction::Recover(w) => {
@@ -2264,6 +2666,52 @@ impl<'a> Simulation<'a> {
                                     metrics.record_downtime_s(secs_from_nanos(
                                         now.saturating_sub(start),
                                     ));
+                                }
+                                if let Some(hs) = health.as_mut() {
+                                    // A recover before suspicion is as
+                                    // invisible as the crash was: no
+                                    // membership change, crash-stuck
+                                    // central work flows back, and the
+                                    // worker serves again. A suspected
+                                    // worker stays ejected until its
+                                    // probes close the breaker.
+                                    hs.rebuild_view(&cluster);
+                                    if !hs.monitor.suspected(w) {
+                                        if routing == Routing::Central
+                                            && !worker_queues[w].is_empty()
+                                        {
+                                            for mut q in worker_queues[w].drain(..).rev() {
+                                                q.enqueued_at = now;
+                                                central_queue.push_front(q);
+                                            }
+                                        }
+                                        if !limbo.is_empty() && routing != Routing::Central {
+                                            for mut q in limbo.drain(..) {
+                                                q.enqueued_at = now;
+                                                worker_queues[w].push_back(q);
+                                            }
+                                        }
+                                        self.kick_idle_workers(
+                                            now,
+                                            routing,
+                                            scheme,
+                                            estimator,
+                                            &mut worker_queues,
+                                            &mut central_queue,
+                                            &mut cluster,
+                                            &mut resil,
+                                            &mut sampler,
+                                            &mut metrics,
+                                            &mut heap,
+                                            &mut seq,
+                                            &mut tracer,
+                                            prof,
+                                            &mut brown,
+                                            &mut dec,
+                                            perceived!(health),
+                                        );
+                                    }
+                                    break 'event;
                                 }
                                 scheme.on_membership_change(cluster.live);
                                 // Stranded queries join the recovered
@@ -2291,6 +2739,7 @@ impl<'a> Simulation<'a> {
                                     prof,
                                     &mut brown,
                                     &mut dec,
+                                    None,
                                 );
                             }
                             FaultAction::SlowStart(w, factor) => cluster.slow[w] = factor,
@@ -2316,7 +2765,11 @@ impl<'a> Simulation<'a> {
                             now_s,
                             load_qps: load,
                             trend_qps_per_s: estimator.trend_qps_per_s(now_s).unwrap_or(0.0),
-                            live: cluster.live,
+                            // With the detector on, the autoscaler sees
+                            // the perceived pool: suspected workers are
+                            // missing capacity, undetected crashes
+                            // still look live.
+                            live: health.as_ref().map_or(cluster.live, |h| h.perceived_live),
                             warming: cluster.warming(),
                             draining: cluster.draining(),
                             queued: central_queue.len()
@@ -2393,6 +2846,15 @@ impl<'a> Simulation<'a> {
                                 cluster.lifecycle[w] = WorkerState::Draining;
                                 cluster.alive[w] = false;
                                 cluster.live -= 1;
+                                // A commanded drain is visible to the
+                                // router immediately — no detection
+                                // needed for planned exits.
+                                if let Some(hs) = health.as_mut() {
+                                    if hs.view[w] {
+                                        hs.view[w] = false;
+                                        hs.perceived_live -= 1;
+                                    }
+                                }
                                 rt.account_live(now, cluster.live);
                                 rt.stats.scale_downs += 1;
                                 let handed: Vec<Query> = worker_queues[w].drain(..).collect();
@@ -2406,23 +2868,42 @@ impl<'a> Simulation<'a> {
                                     handoffs,
                                 });
                                 if !handed.is_empty() {
-                                    if cluster.live == 0 {
-                                        // Only warming capacity remains;
-                                        // stranded queries drain to the
-                                        // first worker that goes Live.
-                                        limbo.extend(handed);
-                                    } else {
-                                        for mut q in handed {
-                                            q.enqueued_at = now;
-                                            let t =
-                                                Self::next_live_rr(&cluster.alive, &mut rr_next)
-                                                    .expect("live > 0 checked");
-                                            worker_queues[t].push_back(q);
+                                    match health.as_ref() {
+                                        Some(hs) if hs.perceived_live == 0 => {
+                                            limbo.extend(handed);
+                                        }
+                                        Some(hs) => {
+                                            let view = hs.view.clone();
+                                            for mut q in handed {
+                                                q.enqueued_at = now;
+                                                let t = Self::next_live_rr(&view, &mut rr_next)
+                                                    .expect("perceived_live > 0 checked");
+                                                worker_queues[t].push_back(q);
+                                            }
+                                        }
+                                        None if cluster.live == 0 => {
+                                            // Only warming capacity remains;
+                                            // stranded queries drain to the
+                                            // first worker that goes Live.
+                                            limbo.extend(handed);
+                                        }
+                                        None => {
+                                            for mut q in handed {
+                                                q.enqueued_at = now;
+                                                let t = Self::next_live_rr(
+                                                    &cluster.alive,
+                                                    &mut rr_next,
+                                                )
+                                                .expect("live > 0 checked");
+                                                worker_queues[t].push_back(q);
+                                            }
                                         }
                                     }
                                     handed_off_work = true;
                                 }
-                                scheme.on_membership_change(cluster.live);
+                                scheme.on_membership_change(
+                                    health.as_ref().map_or(cluster.live, |h| h.perceived_live),
+                                );
                                 if !cluster.busy[w] {
                                     // Nothing in flight: the drain
                                     // completes on the spot.
@@ -2439,7 +2920,8 @@ impl<'a> Simulation<'a> {
                         // Feed the brownout ladder: the load estimate
                         // against the live pool's capacity target.
                         let capacity_qps =
-                            cluster.live as f64 * rt.controller.policy().target_qps_per_worker;
+                            health.as_ref().map_or(cluster.live, |h| h.perceived_live) as f64
+                                * rt.controller.policy().target_qps_per_worker;
                         if let Some(transition) = rt.ladder.observe(load, capacity_qps) {
                             match transition {
                                 BrownoutTransition::Enter { rung } => {
@@ -2495,6 +2977,7 @@ impl<'a> Simulation<'a> {
                                 prof,
                                 &mut brown,
                                 &mut dec,
+                                perceived!(health),
                             );
                         }
                     }
@@ -2519,11 +3002,19 @@ impl<'a> Simulation<'a> {
                             worker: w as u32,
                             live: live as u32,
                         });
-                        scheme.on_membership_change(cluster.live);
+                        if let Some(hs) = health.as_mut() {
+                            hs.rebuild_view(&cluster);
+                        }
+                        scheme.on_membership_change(
+                            health.as_ref().map_or(cluster.live, |h| h.perceived_live),
+                        );
                         // Stranded queries (a scale-in or crash during a
                         // full outage) drain to the first worker to go
                         // Live, mirroring crash recovery.
-                        if !limbo.is_empty() && routing != Routing::Central {
+                        if !limbo.is_empty()
+                            && routing != Routing::Central
+                            && health.as_ref().is_none_or(|h| h.view[w])
+                        {
                             for mut q in limbo.drain(..) {
                                 q.enqueued_at = now;
                                 worker_queues[w].push_back(q);
@@ -2546,7 +3037,145 @@ impl<'a> Simulation<'a> {
                             prof,
                             &mut brown,
                             &mut dec,
+                            perceived!(health),
                         );
+                    }
+                    EventKind::HealthTick => {
+                        let Some(hs) = health.as_mut() else {
+                            break 'event;
+                        };
+                        let next = now + hs.tick_ns;
+                        if next <= hs.tick_end {
+                            heap.push(Reverse((next, seq, EventKind::HealthTick)));
+                            seq += 1;
+                            prof.incr(HotCounter::HeapPushes);
+                        }
+                        let now_s = secs_from_nanos(now);
+                        let mut moved = false;
+                        for w in 0..n_workers {
+                            // Probe the perceived fleet plus anyone the
+                            // monitor still tracks: live workers,
+                            // crashed-but-undetected workers (the whole
+                            // point), and suspected workers awaiting a
+                            // half-open trial. Commanded-down slots are
+                            // not probed — the control plane knows.
+                            let probed = cluster.alive[w]
+                                || cluster.down_since[w].is_some()
+                                || hs.monitor.suspected(w);
+                            if !probed {
+                                continue;
+                            }
+                            // A probe is answered iff the worker is
+                            // physically up and its heartbeat path is
+                            // not partitioned. Gray failures live here:
+                            // a partitioned-but-serving worker looks
+                            // dead to probes while completing batches.
+                            let responsive = cluster.alive[w] && !plan.partitioned(w, now_s);
+                            tracer.emit(|| Event::ProbeSent {
+                                at: now,
+                                worker: w as u32,
+                            });
+                            let outcome =
+                                hs.monitor.probe(w, now, responsive, cluster.down_since[w]);
+                            if outcome.half_opened {
+                                tracer.emit(|| Event::BreakerHalfOpen {
+                                    at: now,
+                                    worker: w as u32,
+                                });
+                            }
+                            match outcome.step {
+                                ProbeStep::Ok | ProbeStep::TrialProgress => {}
+                                ProbeStep::Failed => {
+                                    tracer.emit(|| Event::ProbeFailed {
+                                        at: now,
+                                        worker: w as u32,
+                                    });
+                                }
+                                ProbeStep::ReOpened => {
+                                    tracer.emit(|| Event::ProbeFailed {
+                                        at: now,
+                                        worker: w as u32,
+                                    });
+                                    tracer.emit(|| Event::BreakerOpen {
+                                        at: now,
+                                        worker: w as u32,
+                                    });
+                                }
+                                ProbeStep::Suspected(info) => {
+                                    tracer.emit(|| Event::ProbeFailed {
+                                        at: now,
+                                        worker: w as u32,
+                                    });
+                                    tracer.emit(|| Event::Suspect {
+                                        at: now,
+                                        worker: w as u32,
+                                        genuine: info.genuine,
+                                        lag_ns: info.lag_ns,
+                                    });
+                                    tracer.emit(|| Event::BreakerOpen {
+                                        at: now,
+                                        worker: w as u32,
+                                    });
+                                    Self::apply_suspicion(
+                                        w,
+                                        now,
+                                        routing,
+                                        scheme,
+                                        hs,
+                                        &mut worker_queues,
+                                        &mut central_queue,
+                                        &mut limbo,
+                                        &mut rr_next,
+                                        &mut metrics,
+                                        &mut tracer,
+                                    );
+                                    moved = true;
+                                }
+                                ProbeStep::Reinstated { suspected_ns } => {
+                                    tracer.emit(|| Event::BreakerClose {
+                                        at: now,
+                                        worker: w as u32,
+                                    });
+                                    tracer.emit(|| Event::Reinstate {
+                                        at: now,
+                                        worker: w as u32,
+                                        suspected_ns,
+                                    });
+                                    Self::apply_reinstate(
+                                        w,
+                                        now,
+                                        routing,
+                                        scheme,
+                                        hs,
+                                        &mut worker_queues,
+                                        &mut limbo,
+                                        &cluster,
+                                    );
+                                    moved = true;
+                                }
+                            }
+                        }
+                        if moved {
+                            self.kick_idle_workers(
+                                now,
+                                routing,
+                                scheme,
+                                estimator,
+                                &mut worker_queues,
+                                &mut central_queue,
+                                &mut cluster,
+                                &mut resil,
+                                &mut sampler,
+                                &mut metrics,
+                                &mut heap,
+                                &mut seq,
+                                &mut tracer,
+                                prof,
+                                &mut brown,
+                                &mut dec,
+                                perceived!(health),
+                            );
+                        }
                     }
                 }
             }
@@ -2584,6 +3213,7 @@ impl<'a> Simulation<'a> {
                         &metrics,
                         scale.as_ref(),
                         brown.as_ref(),
+                        health.as_ref(),
                     );
                     let keep_going = rec.record(&snap);
                     prof.exit(Phase::Checkpoint);
@@ -2639,6 +3269,9 @@ impl<'a> Simulation<'a> {
                 rt.stats.degraded_selections = b.degraded;
             }
             report.autoscale = Some(rt.finalize(horizon));
+        }
+        if let Some(mut hs) = health.take() {
+            report.health = Some(hs.monitor.finalize(horizon));
         }
         prof.exit(Phase::Report);
         prof.run_end();
@@ -2736,6 +3369,7 @@ impl<'a> Simulation<'a> {
         metrics: &MetricsCollector,
         scale: Option<&AutoscaleRuntime>,
         brown: Option<&BrownoutState>,
+        health: Option<&HealthRuntime>,
     ) -> EngineSnapshot {
         // Heap iteration order is arbitrary; entries are sorted by
         // `(t, seq)` so equal states serialize to equal bytes.
@@ -2797,6 +3431,7 @@ impl<'a> Simulation<'a> {
             metrics: metrics.clone(),
             latency_rng: sampler.rng_state(),
             autoscale,
+            health: health.map(|h| h.monitor.snapshot()),
             scheme_state: scheme
                 .checkpoint_state()
                 .expect("scheme support validated at run start"),
@@ -2848,12 +3483,23 @@ impl<'a> Simulation<'a> {
         prof: &mut Profiler,
         brown: &mut Option<BrownoutState>,
         dec: &mut DecisionTracer<'_>,
+        per: Option<Perceived<'_>>,
     ) {
         q.enqueued_at = now;
         let n_workers = cluster.alive.len();
         let apol = resil.policy.admission;
+        // With the detector on, routing selects from the *perceived*
+        // membership: an undetected crash still receives work (it piles
+        // up until suspicion displaces it), a suspected-but-healthy
+        // worker is skipped. Physical service start below still gates on
+        // ground-truth `alive` — the simulator never runs a batch on a
+        // dead machine.
+        let sel: &[bool] = match per {
+            Some(p) => p.view,
+            None => &cluster.alive,
+        };
         match routing {
-            Routing::PerWorkerRoundRobin => match Self::next_live_rr(&cluster.alive, rr_next) {
+            Routing::PerWorkerRoundRobin => match Self::next_live_rr(sel, rr_next) {
                 Some(w) => {
                     if !try_admit(
                         &q,
@@ -2874,7 +3520,7 @@ impl<'a> Simulation<'a> {
                         queue: QueueId::Worker(w as u32),
                         depth: worker_queues[w].len() as u32,
                     });
-                    if !cluster.busy[w] {
+                    if cluster.alive[w] && !cluster.busy[w] {
                         self.dispatch(
                             w,
                             now,
@@ -2891,6 +3537,7 @@ impl<'a> Simulation<'a> {
                             prof,
                             brown,
                             dec,
+                            per.map(|p| p.live),
                         );
                     }
                 }
@@ -2898,7 +3545,7 @@ impl<'a> Simulation<'a> {
             },
             Routing::PerWorkerShortestQueue => {
                 let target = (0..n_workers)
-                    .filter(|&w| cluster.alive[w])
+                    .filter(|&w| sel[w])
                     .min_by_key(|&w| (worker_queues[w].len(), w));
                 match target {
                     Some(w) => {
@@ -2921,7 +3568,7 @@ impl<'a> Simulation<'a> {
                             queue: QueueId::Worker(w as u32),
                             depth: worker_queues[w].len() as u32,
                         });
-                        if !cluster.busy[w] {
+                        if cluster.alive[w] && !cluster.busy[w] {
                             self.dispatch(
                                 w,
                                 now,
@@ -2938,6 +3585,7 @@ impl<'a> Simulation<'a> {
                                 prof,
                                 brown,
                                 dec,
+                                per.map(|p| p.live),
                             );
                         }
                     }
@@ -2964,7 +3612,9 @@ impl<'a> Simulation<'a> {
                     queue: QueueId::Central,
                     depth: central_queue.len() as u32,
                 });
-                if let Some(w) = (0..n_workers).find(|&w| cluster.alive[w] && !cluster.busy[w]) {
+                if let Some(w) =
+                    (0..n_workers).find(|&w| cluster.alive[w] && !cluster.busy[w] && sel[w])
+                {
                     self.dispatch(
                         w,
                         now,
@@ -2981,6 +3631,7 @@ impl<'a> Simulation<'a> {
                         prof,
                         brown,
                         dec,
+                        per.map(|p| p.live),
                     );
                 }
             }
@@ -3018,6 +3669,91 @@ impl<'a> Simulation<'a> {
         }
     }
 
+    /// Ejects a freshly suspected worker from the perceived view and
+    /// displaces its queued work to perceived survivors, mirroring the
+    /// oracle crash-requeue path. An in-flight batch (false suspicion)
+    /// still runs to completion — suspicion is a routing decision, not
+    /// a physical fact.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_suspicion(
+        w: usize,
+        now: Nanos,
+        routing: Routing,
+        scheme: &mut dyn ServingScheme,
+        health: &mut HealthRuntime,
+        worker_queues: &mut [VecDeque<Query>],
+        central_queue: &mut VecDeque<Query>,
+        limbo: &mut VecDeque<Query>,
+        rr_next: &mut usize,
+        metrics: &mut MetricsCollector,
+        tracer: &mut Tracer<'_>,
+    ) {
+        if health.view[w] {
+            health.view[w] = false;
+            health.perceived_live -= 1;
+        }
+        let displaced: Vec<Query> = worker_queues[w].drain(..).collect();
+        if !displaced.is_empty() {
+            if tracer.on {
+                for q in &displaced {
+                    tracer.emit(|| Event::CrashRequeue {
+                        at: now,
+                        query: q.id,
+                        from: w as u32,
+                    });
+                }
+            }
+            metrics.record_crash_requeued(displaced.len() as u64);
+            health.monitor.stats.requeued_on_suspect += displaced.len() as u64;
+            match routing {
+                Routing::Central => {
+                    // Back to the head of the central queue: the stuck
+                    // batch carries the earliest deadlines.
+                    for mut q in displaced.into_iter().rev() {
+                        q.enqueued_at = now;
+                        central_queue.push_front(q);
+                    }
+                }
+                _ if health.perceived_live == 0 => limbo.extend(displaced),
+                _ => {
+                    for mut q in displaced {
+                        q.enqueued_at = now;
+                        let t = Self::next_live_rr(&health.view, rr_next)
+                            .expect("perceived_live > 0 checked");
+                        worker_queues[t].push_back(q);
+                    }
+                }
+            }
+        }
+        scheme.on_membership_change(health.perceived_live);
+    }
+
+    /// Returns a worker whose breaker just closed to the perceived view
+    /// and drains any limbo work to it (per-worker routing only). The
+    /// close was probe-gated, so the worker is physically alive here.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_reinstate(
+        w: usize,
+        now: Nanos,
+        routing: Routing,
+        scheme: &mut dyn ServingScheme,
+        health: &mut HealthRuntime,
+        worker_queues: &mut [VecDeque<Query>],
+        limbo: &mut VecDeque<Query>,
+        cluster: &Cluster,
+    ) {
+        health.view[w] =
+            !health.monitor.suspected(w) && (cluster.alive[w] || cluster.down_since[w].is_some());
+        health.perceived_live = health.view.iter().filter(|&&v| v).count();
+        if !limbo.is_empty() && routing != Routing::Central && health.view[w] {
+            for mut q in limbo.drain(..) {
+                q.enqueued_at = now;
+                worker_queues[w].push_back(q);
+            }
+        }
+        scheme.on_membership_change(health.perceived_live);
+    }
+
     /// After a membership change, gives every idle live worker with
     /// visible work a chance to start serving.
     #[allow(clippy::too_many_arguments)]
@@ -3039,12 +3775,13 @@ impl<'a> Simulation<'a> {
         prof: &mut Profiler,
         brown: &mut Option<BrownoutState>,
         dec: &mut DecisionTracer<'_>,
+        per: Option<Perceived<'_>>,
     ) {
         // Indexed: the queue borrow alternates between `worker_queues[w]`
         // and the central queue depending on routing.
         #[allow(clippy::needless_range_loop)]
         for w in 0..cluster.alive.len() {
-            if !cluster.alive[w] || cluster.busy[w] {
+            if !cluster.alive[w] || cluster.busy[w] || per.is_some_and(|p| !p.view[w]) {
                 continue;
             }
             let queue = match routing {
@@ -3055,8 +3792,22 @@ impl<'a> Simulation<'a> {
                 continue;
             }
             self.dispatch(
-                w, now, scheme, estimator, queue, cluster, resil, sampler, metrics, heap, seq,
-                tracer, prof, brown, dec,
+                w,
+                now,
+                scheme,
+                estimator,
+                queue,
+                cluster,
+                resil,
+                sampler,
+                metrics,
+                heap,
+                seq,
+                tracer,
+                prof,
+                brown,
+                dec,
+                per.map(|p| p.live),
             );
         }
     }
@@ -3083,6 +3834,7 @@ impl<'a> Simulation<'a> {
         prof: &mut Profiler,
         brown: &mut Option<BrownoutState>,
         dec: &mut DecisionTracer<'_>,
+        perceived_live: Option<usize>,
     ) {
         debug_assert!(!cluster.busy[w], "dispatch on a busy worker");
         debug_assert!(cluster.alive[w], "dispatch on a dead worker");
@@ -3098,7 +3850,7 @@ impl<'a> Simulation<'a> {
                 queued: queue.len(),
                 earliest_slack_s: earliest.slack_at(now),
                 worker: w,
-                live_workers: cluster.live,
+                live_workers: perceived_live.unwrap_or(cluster.live),
             };
             prof.enter(Phase::PolicySelect);
             let selection = scheme.select(&ctx);

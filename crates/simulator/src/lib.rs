@@ -33,6 +33,7 @@ pub mod checkpoint;
 pub mod counterfactual;
 pub mod engine;
 pub mod faults;
+pub mod health;
 pub mod latency;
 pub mod metrics;
 pub mod multi_slo;
@@ -62,10 +63,11 @@ pub use checkpoint::{
 pub use counterfactual::{regret_study, RegretBucket, RegretEntry, RegretStudy, RegretStudyConfig};
 pub use engine::{ForcedDecision, Simulation, SimulationConfig};
 pub use faults::{CrashPolicy, FaultEvent, FaultPlan};
+pub use health::{BreakerState, HealthMonitor, HealthPolicy, HealthState, WorkerHealth};
 pub use latency::LatencyMode;
 pub use metrics::{
-    AdaptiveStats, DivergenceStats, FaultStats, RegimeBreakdown, RegimeSwapEvent, ResilienceStats,
-    SimulationReport, TimelineBucket,
+    AdaptiveStats, DivergenceStats, FaultStats, HealthStats, RegimeBreakdown, RegimeSwapEvent,
+    ResilienceStats, SimulationReport, TimelineBucket,
 };
 pub use multi_slo::{run_multi_slo, SloClass};
 pub use query::Query;

@@ -411,6 +411,7 @@ impl MetricsCollector {
             },
             resilience: self.resilience,
             autoscale: None,
+            health: None,
         }
     }
 }
@@ -568,6 +569,55 @@ impl FaultStats {
     }
 }
 
+/// Perceived-health accounting, reported as
+/// [`SimulationReport::health`] when the failure detector is enabled
+/// (DESIGN.md §14). Suspicions are scored against ground truth —
+/// genuine vs. false, and how far detection lagged the actual failure —
+/// so detection quality is measurable even though nothing here ever
+/// informs the detector.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct HealthStats {
+    /// Probes sent (one per candidate worker per probe tick).
+    pub probes_sent: u64,
+    /// Probes that went unanswered.
+    pub probes_failed: u64,
+    /// Workers ejected from perceived membership.
+    pub suspects: u64,
+    /// Of those, ejections of a worker that really was down.
+    pub suspects_genuine: u64,
+    /// Of those, false positives (partitions, outlier ejections).
+    pub suspects_false: u64,
+    /// Suspected workers reinstated after probe-gated breaker close.
+    pub reinstates: u64,
+    /// Breaker Closed→Open trips plus HalfOpen→Open re-trips.
+    pub breaker_opens: u64,
+    /// Breaker Open→HalfOpen moves (trial admissions).
+    pub breaker_half_opens: u64,
+    /// Breaker HalfOpen→Closed moves (paired with reinstatements).
+    pub breaker_closes: u64,
+    /// Batches that failed with a retriable error (`WorkerErrorRate`).
+    pub batch_errors: u64,
+    /// Completions flagged as service-time outliers.
+    pub outlier_strikes: u64,
+    /// Queries displaced off a newly suspected worker's queue.
+    pub requeued_on_suspect: u64,
+    /// Sum of detection lags over genuine suspicions, seconds.
+    pub detection_lag_total_s: f64,
+    /// Mean detection lag over genuine suspicions, seconds (0 when
+    /// none).
+    pub mean_detection_lag_s: f64,
+    /// Worst detection lag, seconds.
+    pub max_detection_lag_s: f64,
+    /// Integral of suspected workers over the horizon,
+    /// worker-seconds.
+    pub suspected_time_s: f64,
+    /// Of that, worker-seconds a *healthy* worker spent wrongly
+    /// ejected — the cost of over-eager suspicion.
+    pub false_suspected_time_s: f64,
+    /// Workers still suspected when the run ended.
+    pub suspected_at_end: u64,
+}
+
 /// The outcome of one simulated run.
 ///
 /// Serialization is hand-written (not derived) for one reason: the
@@ -632,6 +682,10 @@ pub struct SimulationReport {
     /// Elastic-capacity accounting (`None` when autoscaling is
     /// disabled, keeping the report byte-identical to a fixed pool).
     pub autoscale: Option<crate::autoscale::AutoscaleStats>,
+    /// Perceived-health accounting (`None` when the failure detector is
+    /// disabled, keeping the report byte-identical to the oracle
+    /// engine).
+    pub health: Option<HealthStats>,
 }
 
 impl Serialize for SimulationReport {
@@ -668,6 +722,9 @@ impl Serialize for SimulationReport {
         ];
         if self.autoscale.is_some() {
             fields.push(("autoscale".into(), self.autoscale.to_value()));
+        }
+        if self.health.is_some() {
+            fields.push(("health".into(), self.health.to_value()));
         }
         serde::Value::Object(fields)
     }
@@ -710,6 +767,11 @@ impl Deserialize for SimulationReport {
             resilience: Deserialize::from_value(req(v, "resilience")?)?,
             // Absent on every pre-elasticity report: default to None.
             autoscale: match v.field("autoscale") {
+                Some(val) => Deserialize::from_value(val)?,
+                None => None,
+            },
+            // Absent on every oracle-membership report: default to None.
+            health: match v.field("health") {
                 Some(val) => Deserialize::from_value(val)?,
                 None => None,
             },

@@ -238,6 +238,10 @@ pub struct WindowStats {
     pub scale_actions: u64,
     /// Brownout ladder transitions (enters + exits).
     pub brownout_moves: u64,
+    /// Perceived-membership moves (suspicions + reinstatements).
+    pub health_moves: u64,
+    /// Health probes that went unanswered.
+    pub probe_failures: u64,
 }
 
 impl WindowStats {
@@ -359,10 +363,20 @@ pub fn window_breakdown(events: &[Event], window_ns: Nanos) -> Vec<WindowStats> 
             Event::BrownoutEnter { at, .. } | Event::BrownoutExit { at, .. } => {
                 bucket(&mut windows, at, window_ns).brownout_moves += 1;
             }
+            Event::Suspect { at, .. } | Event::Reinstate { at, .. } => {
+                bucket(&mut windows, at, window_ns).health_moves += 1;
+            }
+            Event::ProbeFailed { at, .. } => {
+                bucket(&mut windows, at, window_ns).probe_failures += 1;
+            }
             Event::Enqueue { .. }
             | Event::CrashRequeue { .. }
             | Event::WorkerWarm { .. }
-            | Event::DrainComplete { .. } => {}
+            | Event::DrainComplete { .. }
+            | Event::ProbeSent { .. }
+            | Event::BreakerOpen { .. }
+            | Event::BreakerHalfOpen { .. }
+            | Event::BreakerClose { .. } => {}
         }
     }
     // Apportion each completed service span across the windows it

@@ -315,6 +315,71 @@ pub enum Event {
         /// Live pool capacity the load was compared against.
         capacity_qps: f64,
     },
+    /// The health subsystem probed a worker (audit).
+    ProbeSent {
+        /// Probe time.
+        at: Nanos,
+        /// Worker probed.
+        worker: u32,
+    },
+    /// A probe went unanswered within its timeout (audit).
+    ProbeFailed {
+        /// The probe's firing time.
+        at: Nanos,
+        /// Worker that failed to answer.
+        worker: u32,
+    },
+    /// The failure detector ejected a worker from perceived membership
+    /// (audit). Scored against ground truth: `genuine` says whether the
+    /// worker really was down, and for genuine suspicions `lag_ns` is
+    /// the detection latency since the actual failure instant.
+    Suspect {
+        /// Suspicion time.
+        at: Nanos,
+        /// Worker ejected.
+        worker: u32,
+        /// True when the worker really was down (crash / flap outage);
+        /// false for a false positive (partition, outlier ejection).
+        genuine: bool,
+        /// Detection lag behind the actual failure (`0` when the
+        /// suspicion is false — there is no failure instant to lag).
+        lag_ns: Nanos,
+    },
+    /// A suspected worker passed its half-open probes and rejoined
+    /// perceived membership (audit).
+    Reinstate {
+        /// Reinstatement time.
+        at: Nanos,
+        /// Worker reinstated.
+        worker: u32,
+        /// How long the worker spent suspected.
+        suspected_ns: Nanos,
+    },
+    /// A worker's circuit breaker tripped Closed → Open (or re-opened
+    /// from HalfOpen on a failed probe) (audit).
+    BreakerOpen {
+        /// Transition time.
+        at: Nanos,
+        /// Worker whose breaker opened.
+        worker: u32,
+    },
+    /// A worker's circuit breaker moved Open → HalfOpen after its
+    /// backoff, admitting trial probes (audit).
+    BreakerHalfOpen {
+        /// Transition time.
+        at: Nanos,
+        /// Worker whose breaker half-opened.
+        worker: u32,
+    },
+    /// A worker's circuit breaker closed after enough consecutive
+    /// half-open probe successes (audit; paired with
+    /// [`Event::Reinstate`]).
+    BreakerClose {
+        /// Transition time.
+        at: Nanos,
+        /// Worker whose breaker closed.
+        worker: u32,
+    },
 }
 
 impl Event {
@@ -342,7 +407,14 @@ impl Event {
             | Event::WorkerWarm { at, .. }
             | Event::DrainComplete { at, .. }
             | Event::BrownoutEnter { at, .. }
-            | Event::BrownoutExit { at, .. } => at,
+            | Event::BrownoutExit { at, .. }
+            | Event::ProbeSent { at, .. }
+            | Event::ProbeFailed { at, .. }
+            | Event::Suspect { at, .. }
+            | Event::Reinstate { at, .. }
+            | Event::BreakerOpen { at, .. }
+            | Event::BreakerHalfOpen { at, .. }
+            | Event::BreakerClose { at, .. } => at,
         }
     }
 
@@ -363,6 +435,13 @@ impl Event {
                 | Event::DrainComplete { .. }
                 | Event::BrownoutEnter { .. }
                 | Event::BrownoutExit { .. }
+                | Event::ProbeSent { .. }
+                | Event::ProbeFailed { .. }
+                | Event::Suspect { .. }
+                | Event::Reinstate { .. }
+                | Event::BreakerOpen { .. }
+                | Event::BreakerHalfOpen { .. }
+                | Event::BreakerClose { .. }
         )
     }
 }
@@ -506,6 +585,28 @@ mod tests {
                 load_qps: 180.0,
                 capacity_qps: 300.0,
             },
+            Event::ProbeSent { at: 28, worker: 1 },
+            Event::ProbeFailed { at: 29, worker: 1 },
+            Event::Suspect {
+                at: 30,
+                worker: 1,
+                genuine: true,
+                lag_ns: 40_000_000,
+            },
+            Event::Suspect {
+                at: 31,
+                worker: 2,
+                genuine: false,
+                lag_ns: 0,
+            },
+            Event::BreakerOpen { at: 31, worker: 2 },
+            Event::BreakerHalfOpen { at: 32, worker: 2 },
+            Event::BreakerClose { at: 33, worker: 2 },
+            Event::Reinstate {
+                at: 33,
+                worker: 2,
+                suspected_ns: 2_000_000,
+            },
         ];
         for e in &events {
             let json = serde_json::to_string(e).unwrap();
@@ -570,5 +671,23 @@ mod tests {
             capacity_qps: 300.0,
         };
         assert!(!b.is_lifecycle());
+        // Health events are audit too: they narrate perceived
+        // membership, never a query's own state machine.
+        let sus = Event::Suspect {
+            at: 13,
+            worker: 0,
+            genuine: true,
+            lag_ns: 1_000_000,
+        };
+        assert_eq!(sus.at(), 13);
+        assert!(!sus.is_lifecycle());
+        let p = Event::ProbeFailed { at: 14, worker: 0 };
+        assert!(!p.is_lifecycle());
+        let r = Event::Reinstate {
+            at: 15,
+            worker: 0,
+            suspected_ns: 2_000_000,
+        };
+        assert!(!r.is_lifecycle());
     }
 }

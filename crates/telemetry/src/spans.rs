@@ -126,6 +126,17 @@ pub struct SpanLog {
     /// scheme was degrading model choices. A window still open at end
     /// of log extends to `Nanos::MAX`.
     pub brownout_windows: Vec<(Nanos, Nanos)>,
+    /// Detection-lag windows: `(actual_failure, suspicion)` intervals
+    /// during which a worker was really down but the failure detector
+    /// had not ejected it yet (reconstructed from genuine
+    /// [`Event::Suspect`] records and their stamped lag). Empty when
+    /// the health subsystem is off — the oracle engine pays no lag.
+    pub detection_lag_windows: Vec<(Nanos, Nanos)>,
+    /// False-suspicion windows: `(suspect, reinstate)` intervals during
+    /// which a healthy worker was wrongly ejected from perceived
+    /// membership. A window still open at end of log extends to
+    /// `Nanos::MAX`.
+    pub false_suspicion_windows: Vec<(Nanos, Nanos)>,
 }
 
 /// Whether `at` falls inside any `(start, end)` window (half-open on
@@ -166,6 +177,9 @@ pub fn reconstruct_spans(events: &[Event]) -> SpanLog {
     let mut brownout_windows: Vec<(Nanos, Nanos)> = Vec::new();
     let mut brownout_open: Option<Nanos> = None;
     let mut brownout_depth: u32 = 0;
+    let mut detection_lag_windows: Vec<(Nanos, Nanos)> = Vec::new();
+    let mut false_suspect_since: BTreeMap<u32, Nanos> = BTreeMap::new();
+    let mut false_suspicion_windows: Vec<(Nanos, Nanos)> = Vec::new();
 
     for ev in events {
         match *ev {
@@ -353,13 +367,41 @@ pub fn reconstruct_spans(events: &[Event]) -> SpanLog {
                     }
                 }
             }
+            // Detection-lag bookkeeping: a genuine suspicion carries
+            // the lag since the actual failure instant, so the blind
+            // window is recoverable directly; a false suspicion opens a
+            // wrong-ejection window that its reinstatement closes.
+            Event::Suspect {
+                at,
+                worker,
+                genuine,
+                lag_ns,
+            } => {
+                if genuine {
+                    if lag_ns > 0 {
+                        detection_lag_windows.push((at.saturating_sub(lag_ns), at));
+                    }
+                } else {
+                    false_suspect_since.entry(worker).or_insert(at);
+                }
+            }
+            Event::Reinstate { at, worker, .. } => {
+                if let Some(start) = false_suspect_since.remove(&worker) {
+                    false_suspicion_windows.push((start, at));
+                }
+            }
             // Audit events carry no per-query time.
             Event::PolicyDecision { .. }
             | Event::RegimeSwap { .. }
             | Event::LazySolve { .. }
             | Event::FallbackEngaged { .. }
             | Event::ScaleDown { .. }
-            | Event::DrainComplete { .. } => {}
+            | Event::DrainComplete { .. }
+            | Event::ProbeSent { .. }
+            | Event::ProbeFailed { .. }
+            | Event::BreakerOpen { .. }
+            | Event::BreakerHalfOpen { .. }
+            | Event::BreakerClose { .. } => {}
         }
     }
 
@@ -371,6 +413,9 @@ pub fn reconstruct_spans(events: &[Event]) -> SpanLog {
     if let Some(start) = brownout_open {
         brownout_windows.push((start, Nanos::MAX));
     }
+    for (_, start) in false_suspect_since {
+        false_suspicion_windows.push((start, Nanos::MAX));
+    }
 
     let degraded_spans = builders.values().filter(|b| b.degraded).count() as u64;
     SpanLog {
@@ -379,6 +424,8 @@ pub fn reconstruct_spans(events: &[Event]) -> SpanLog {
         degraded_spans,
         warming_windows,
         brownout_windows,
+        detection_lag_windows,
+        false_suspicion_windows,
     }
 }
 
@@ -461,6 +508,15 @@ pub struct CriticalPathReport {
     /// Deadline violations whose completion landed inside a brownout
     /// window (the scheme was already degrading model choices).
     pub violations_during_brownout: u64,
+    /// Deadline violations whose completion landed inside a
+    /// detection-lag window (a worker was really down but the failure
+    /// detector had not suspected it yet) — the share of misses
+    /// attributable to suspicion running behind ground truth.
+    pub violations_during_detection_lag: u64,
+    /// Deadline violations whose completion landed inside a
+    /// false-suspicion window (a healthy worker was wrongly ejected, so
+    /// the pool ran short) — the cost of over-eager suspicion.
+    pub violations_during_false_suspicion: u64,
     /// End-to-end response time across completed queries.
     pub response: SegmentStats,
     /// Queued-and-ready time.
@@ -569,6 +625,22 @@ pub fn critical_path(log: &SpanLog, top_k: usize) -> CriticalPathReport {
                 matches!(s.outcome, SpanOutcome::Completed { violated: true, .. })
                     && s.terminal_at
                         .is_some_and(|at| in_windows(&log.brownout_windows, at))
+            })
+            .count() as u64,
+        violations_during_detection_lag: completed
+            .iter()
+            .filter(|s| {
+                matches!(s.outcome, SpanOutcome::Completed { violated: true, .. })
+                    && s.terminal_at
+                        .is_some_and(|at| in_windows(&log.detection_lag_windows, at))
+            })
+            .count() as u64,
+        violations_during_false_suspicion: completed
+            .iter()
+            .filter(|s| {
+                matches!(s.outcome, SpanOutcome::Completed { violated: true, .. })
+                    && s.terminal_at
+                        .is_some_and(|at| in_windows(&log.false_suspicion_windows, at))
             })
             .count() as u64,
         response: SegmentStats::from_values(
@@ -864,6 +936,65 @@ mod tests {
         assert_eq!(report.violations, 2);
         assert_eq!(report.violations_during_scale_lag, 1);
         assert_eq!(report.violations_during_brownout, 0);
+    }
+
+    #[test]
+    fn detection_lag_and_false_suspicion_windows_attribute_violations() {
+        // Worker 1 actually died at t=100 but was only suspected at
+        // t=400 (lag 300): violated completions inside [100, 400) are
+        // blamed on detection lag. Worker 2 was falsely suspected at
+        // t=600 and reinstated at t=900: violations inside [600, 900)
+        // are blamed on false suspicion. Query 0 violates at 300
+        // (detection lag), query 1 at 700 (false suspicion), query 2 at
+        // 950 (neither).
+        let events = vec![
+            arrival(0, 0),
+            arrival(0, 1),
+            arrival(0, 2),
+            dispatch(150, 0),
+            complete_violated(300, 0, 0, 0),
+            Event::Suspect {
+                at: 400,
+                worker: 1,
+                genuine: true,
+                lag_ns: 300,
+            },
+            Event::Suspect {
+                at: 600,
+                worker: 2,
+                genuine: false,
+                lag_ns: 0,
+            },
+            dispatch(650, 0),
+            complete_violated(700, 1, 0, 0),
+            Event::Reinstate {
+                at: 900,
+                worker: 2,
+                suspected_ns: 300,
+            },
+            dispatch(920, 0),
+            complete_violated(950, 2, 0, 0),
+        ];
+        let log = reconstruct_spans(&events);
+        assert_eq!(log.detection_lag_windows, vec![(100, 400)]);
+        assert_eq!(log.false_suspicion_windows, vec![(600, 900)]);
+        let report = critical_path(&log, 5);
+        assert_eq!(report.violations, 3);
+        assert_eq!(report.violations_during_detection_lag, 1);
+        assert_eq!(report.violations_during_false_suspicion, 1);
+        // A false suspicion never reinstated stays open to the end of
+        // time; a genuine one adds no false-suspicion window.
+        let truncated = reconstruct_spans(&[
+            arrival(0, 0),
+            Event::Suspect {
+                at: 50,
+                worker: 3,
+                genuine: false,
+                lag_ns: 0,
+            },
+        ]);
+        assert_eq!(truncated.false_suspicion_windows, vec![(50, Nanos::MAX)]);
+        assert!(truncated.detection_lag_windows.is_empty());
     }
 
     #[test]

@@ -94,5 +94,20 @@ why_smoke() {
     rm -rf "${out}"
 }
 stage "why-smoke" why_smoke
+# Failure-detection smoke: 25 randomized chaos runs with the detector
+# forced on every scenario (detection-bound, reinstatement, breaker,
+# and health-off bit-identity invariants all checked), the canonical
+# gray-failure timeline, then the detection-frontier bench in smoke
+# mode (lag-within-bound + probe-cost monotonicity assertions,
+# results to BENCH_health.json).
+health_smoke() {
+    local out
+    out="$(mktemp -d)"
+    cargo run -q -p ramsis-cli -- chaos --runs 25 --seed 17 --health
+    cargo run --release -q -p ramsis-cli -- health --duration 10 --events 0
+    cargo run --release -q -p ramsis-bench --bin detection_frontier -- --smoke --out "${out}"
+    rm -rf "${out}"
+}
+stage "health-smoke" health_smoke
 
 echo "ci.sh: all green"
