@@ -35,6 +35,7 @@ pub mod perf;
 pub mod report;
 pub mod resilience;
 pub mod robustness;
+pub mod telemetry_scale;
 
 pub use args::ExperimentArgs;
 pub use drift::{run_drift, DriftConfig, DriftOutcome};
@@ -51,3 +52,7 @@ pub use perf::{
 };
 pub use resilience::{run_resilience_surge, ResilienceSurgeConfig, ResilienceSurgeOutcome};
 pub use robustness::{run_robustness, RobustnessConfig, RobustnessOutcome};
+pub use telemetry_scale::{
+    run_telemetry_scale, BenchTelemetry, TelemetryScaleConfig, BIN_SPEEDUP_GATE, SAMPLED_NS_GATE,
+    SAMPLED_OVERHEAD_GATE,
+};

@@ -19,7 +19,8 @@ use ramsis_sim::{
     ServingScheme, Simulation, SimulationConfig, SimulationReport,
 };
 use ramsis_telemetry::{
-    DecisionSink, JsonlDecisionSink, JsonlSink, NullDecisionSink, NullSink, TelemetrySink,
+    BinSink, DecisionSink, JsonlDecisionSink, JsonlSink, NullDecisionSink, NullSink, SamplePolicy,
+    SamplingSink, TelemetrySink,
 };
 use ramsis_workload::{DivergenceMonitor, LoadEstimator, OracleMonitor, Trace};
 
@@ -34,6 +35,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
             "--duration",
             "--stochastic",
             "--telemetry",
+            "--telemetry-sample",
             "--decisions",
             "--checkpoint",
             "--checkpoint-every",
@@ -201,39 +203,141 @@ pub fn run(args: &[String]) -> Result<(), String> {
             )),
         }
     };
+    // Telemetry encoding and sampling: `.bin` paths get the compact
+    // binary codec; `--telemetry-sample RATE` wraps either sink in
+    // deterministic query-coherent sampling keyed by the sim seed.
+    // Neither composes with `--checkpoint`, whose resume contract
+    // (truncate the log to `events_emitted` whole records) assumes an
+    // unsampled JSONL stream.
+    let sample_rate = args
+        .extra("--telemetry-sample")
+        .map(|v| {
+            let rate: f64 = v
+                .parse()
+                .map_err(|e| format!("bad --telemetry-sample: {e}"))?;
+            SamplePolicy::new(rate, seed).map(|_| rate)
+        })
+        .transpose()?;
+    if sample_rate.is_some() && args.extra("--telemetry").is_none() {
+        return Err("--telemetry-sample requires --telemetry PATH".into());
+    }
+    let binary_trace = args
+        .extra("--telemetry")
+        .is_some_and(|p| p.ends_with(".bin"));
+    if (sample_rate.is_some() || binary_trace) && ckpt_path.is_some() {
+        return Err(
+            "--checkpoint requires a plain JSONL telemetry log (no --telemetry-sample, \
+             no .bin path): the resume contract truncates to an event-count prefix"
+                .into(),
+        );
+    }
+
     let report = match args.extra("--telemetry") {
         Some(path) => {
-            let mut sink = match &snapshot {
-                // A resumed run continues the log in place: truncate to
-                // the checkpoint's whole-record prefix (healing any tail
-                // torn by the kill), then append.
-                Some(snap) => JsonlSink::resume_at(path, snap.meta.events_emitted)
-                    .map_err(|e| format!("reopen telemetry log {path}: {e}"))?,
-                None => JsonlSink::create(path)
-                    .map_err(|e| format!("open telemetry log {path}: {e}"))?,
-            };
             let decisions: &mut dyn DecisionSink = match decision_sink.as_mut() {
                 Some(s) => s,
                 None => &mut null_decisions,
             };
-            let report = run_with_sink(&mut sink, scheme.as_mut(), estimator.as_mut(), decisions)?;
-            if sink.write_failed() {
-                // A lost event is a lie in the log: fail the run loudly
-                // rather than report success over a truncated trace.
-                return Err(format!(
-                    "telemetry log {path} failed after {} events: {}",
-                    sink.lines(),
-                    sink.take_error()
-                        .map_or_else(|| "unknown I/O error".into(), |e| e.to_string())
-                ));
+            let announce = |events: u64, sampled_out: Option<u64>| {
+                let enc = if binary_trace { "binary" } else { "jsonl" };
+                match sampled_out {
+                    Some(out) => println!(
+                        "telemetry: {events} events -> {path} ({enc}, sampled at rate {}; \
+                         {out} events withheld; inspect with `ramsis-cli telemetry {path}`)",
+                        sample_rate.unwrap_or(1.0)
+                    ),
+                    None => println!(
+                        "telemetry: {events} events -> {path} ({enc}; inspect with \
+                         `ramsis-cli telemetry {path}`)"
+                    ),
+                }
+            };
+            // A lost event is a lie in the log: every arm fails the run
+            // loudly rather than report success over a truncated trace.
+            let io_err = |written: u64, e: Option<std::io::Error>| {
+                format!(
+                    "telemetry log {path} failed after {written} events: {}",
+                    e.map_or_else(|| "unknown I/O error".into(), |e| e.to_string())
+                )
+            };
+            match (binary_trace, sample_rate) {
+                (false, None) => {
+                    let mut sink = match &snapshot {
+                        // A resumed run continues the log in place:
+                        // truncate to the checkpoint's whole-record
+                        // prefix (healing any tail torn by the kill),
+                        // then append.
+                        Some(snap) => JsonlSink::resume_at(path, snap.meta.events_emitted)
+                            .map_err(|e| format!("reopen telemetry log {path}: {e}"))?,
+                        None => JsonlSink::create(path)
+                            .map_err(|e| format!("open telemetry log {path}: {e}"))?,
+                    };
+                    let report =
+                        run_with_sink(&mut sink, scheme.as_mut(), estimator.as_mut(), decisions)?;
+                    if sink.write_failed() {
+                        return Err(io_err(sink.lines(), sink.take_error()));
+                    }
+                    let lines = sink.lines();
+                    sink.finish()
+                        .map_err(|e| format!("write telemetry log {path}: {e}"))?;
+                    announce(lines, None);
+                    report
+                }
+                (true, None) => {
+                    let mut sink = BinSink::create(path)
+                        .map_err(|e| format!("open telemetry log {path}: {e}"))?;
+                    let report =
+                        run_with_sink(&mut sink, scheme.as_mut(), estimator.as_mut(), decisions)?;
+                    if sink.write_failed() {
+                        return Err(io_err(sink.records(), sink.take_error()));
+                    }
+                    let records = sink.records();
+                    sink.finish()
+                        .map_err(|e| format!("write telemetry log {path}: {e}"))?;
+                    announce(records, None);
+                    report
+                }
+                (false, Some(rate)) => {
+                    let inner = JsonlSink::create_sampled(path, rate, seed)
+                        .map_err(|e| format!("open telemetry log {path}: {e}"))?;
+                    let policy = SamplePolicy::new(rate, seed)?;
+                    let mut sink = SamplingSink::new(inner, policy);
+                    let report =
+                        run_with_sink(&mut sink, scheme.as_mut(), estimator.as_mut(), decisions)?;
+                    let sampled_out = sink.sampled_out_events();
+                    let inner = sink.finish();
+                    if inner.write_failed() {
+                        let mut inner = inner;
+                        return Err(io_err(inner.lines(), inner.take_error()));
+                    }
+                    let lines = inner.lines();
+                    inner
+                        .finish()
+                        .map_err(|e| format!("write telemetry log {path}: {e}"))?;
+                    announce(lines, Some(sampled_out));
+                    report
+                }
+                (true, Some(rate)) => {
+                    let inner = BinSink::create_sampled(path, rate, seed)
+                        .map_err(|e| format!("open telemetry log {path}: {e}"))?;
+                    let policy = SamplePolicy::new(rate, seed)?;
+                    let mut sink = SamplingSink::new(inner, policy);
+                    let report =
+                        run_with_sink(&mut sink, scheme.as_mut(), estimator.as_mut(), decisions)?;
+                    let sampled_out = sink.sampled_out_events();
+                    let inner = sink.finish();
+                    if inner.write_failed() {
+                        let mut inner = inner;
+                        return Err(io_err(inner.records(), inner.take_error()));
+                    }
+                    let records = inner.records();
+                    inner
+                        .finish()
+                        .map_err(|e| format!("write telemetry log {path}: {e}"))?;
+                    announce(records, Some(sampled_out));
+                    report
+                }
             }
-            let lines = sink.lines();
-            sink.finish()
-                .map_err(|e| format!("write telemetry log {path}: {e}"))?;
-            println!(
-                "telemetry: {lines} events -> {path} (inspect with `ramsis-cli telemetry {path}`)"
-            );
-            report
         }
         None => {
             let decisions: &mut dyn DecisionSink = match decision_sink.as_mut() {

@@ -1,5 +1,6 @@
-//! `ramsis-cli spans` — reconstruct per-query spans from a JSONL event
-//! trace and print the critical-path breakdown.
+//! `ramsis-cli spans` — reconstruct per-query spans from an event
+//! trace (JSONL or binary, auto-detected) and print the critical-path
+//! breakdown.
 //!
 //! ```text
 //! ramsis-cli spans trace.jsonl [--top N] [--json]
@@ -12,9 +13,11 @@
 //! segment sums equal the engine's measured response times exactly;
 //! any discrepancy is reported as a conservation violation.
 
+use crate::commands::telemetry::{load_trace, warn_unknown};
 use ramsis_bench::render_table;
 use ramsis_telemetry::{
-    critical_path, parse_jsonl_tolerant, reconstruct_spans, QuerySpan, SegmentStats, SpanOutcome,
+    critical_path, reconstruct_spans, reconstruct_spans_sampled, QuerySpan, SegmentStats,
+    SpanOutcome,
 };
 
 fn ms(ns: u64) -> String {
@@ -72,22 +75,19 @@ pub fn run(args: &[String]) -> Result<(), String> {
         }
     }
     let path = path.ok_or("spans requires a trace path: ramsis-cli spans LOG.jsonl")?;
-    let text = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
-    let parsed = parse_jsonl_tolerant(&text)?;
+    let parsed = load_trace(&path)?;
     if let Some(tail) = &parsed.torn_tail {
         eprintln!(
-            "warning: trailing partial line ignored ({} bytes)",
+            "warning: trailing partial record ignored ({} bytes)",
             tail.len()
         );
     }
-    if parsed.unknown_events > 0 {
-        eprintln!(
-            "warning: {} unknown event record(s) skipped (trace from a newer writer?)",
-            parsed.unknown_events
-        );
-    }
+    warn_unknown(&parsed);
 
-    let log = reconstruct_spans(&parsed.events);
+    let log = match parsed.sample_rate {
+        Some(rate) => reconstruct_spans_sampled(&parsed.events, rate),
+        None => reconstruct_spans(&parsed.events),
+    };
     let report = critical_path(&log, top);
 
     if json {
@@ -103,6 +103,15 @@ pub fn run(args: &[String]) -> Result<(), String> {
         parsed.events.len(),
         report.queries
     );
+    if let Some(rate) = log.sample_rate {
+        // Kept spans are exact (query-coherent sampling never splits a
+        // query), so the only sampling artifact is whole boring
+        // queries absent from the log.
+        println!(
+            "sampling: rate {rate} — kept spans exact; ≈{:.0} boring queries sampled out",
+            log.est_sampled_out
+        );
+    }
     println!(
         "outcomes: {} completed ({} violated), {} shed, {} dropped, {} admission-refused, {} in flight",
         report.completed,

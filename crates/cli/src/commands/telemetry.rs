@@ -1,13 +1,17 @@
-//! `ramsis-cli telemetry` — inspect a recorded JSONL event trace.
+//! `ramsis-cli telemetry` — inspect or convert a recorded event trace.
 //!
-//! Reads a log written by `ramsis-cli sim --telemetry PATH` (or any
-//! [`ramsis_telemetry::JsonlSink`]), verifies the per-query
-//! conservation invariant, reconstructs run aggregates from lifecycle
-//! events, and prints a per-window breakdown of arrivals, dispatches,
-//! misses, sheds, and audit activity — the miss-attribution view.
+//! Reads a log written by `ramsis-cli sim --telemetry PATH` in either
+//! encoding (JSONL from a [`ramsis_telemetry::JsonlSink`], or `RMTB`
+//! binary from a [`ramsis_telemetry::BinSink`] — auto-detected by
+//! magic), verifies the per-query conservation invariant, reconstructs
+//! run aggregates from lifecycle events, and prints a per-window
+//! breakdown of arrivals, dispatches, misses, sheds, and audit
+//! activity — the miss-attribution view. Sampled streams additionally
+//! print which counters are exact and which are weighted estimates.
 //!
 //! ```text
 //! ramsis-cli telemetry trace.jsonl [--window MS] [--json] [--quiet]
+//! ramsis-cli telemetry convert IN OUT   # JSONL ⇄ binary, lossless
 //! ```
 //!
 //! Exits 0 when the conservation invariant holds and 1 when it is
@@ -17,9 +21,37 @@
 
 use ramsis_bench::render_table;
 use ramsis_telemetry::{
-    aggregates, conservation, parse_jsonl_tolerant, window_breakdown, Conservation, WindowStats,
+    aggregates, conservation, is_binary_stream, parse_tolerant, sampled_aggregates,
+    window_breakdown, write_bin, write_jsonl, Conservation, ParsedLog, WindowStats,
 };
 use serde::Serialize;
+
+/// Reads and parses a trace in either encoding, shared by every
+/// command that takes a trace path (`telemetry`, `spans`, `convert`).
+pub(crate) fn load_trace(path: &str) -> Result<ParsedLog, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+    parse_tolerant(&bytes).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Prints the forward-compatibility warning for skipped unknown
+/// records: a few capped previews, then a suppression count — a trace
+/// from a much newer writer warns in O(1) output, not O(records).
+pub(crate) fn warn_unknown(parsed: &ParsedLog) {
+    if parsed.unknown_events == 0 {
+        return;
+    }
+    eprintln!(
+        "warning: {} unknown event record(s) skipped (trace from a newer writer?)",
+        parsed.unknown_events
+    );
+    for s in &parsed.unknown_samples {
+        eprintln!("  {s}");
+    }
+    let suppressed = (parsed.unknown_events as usize).saturating_sub(parsed.unknown_samples.len());
+    if suppressed > 0 {
+        eprintln!("  … +{suppressed} more suppressed");
+    }
+}
 
 /// The `--json` document: everything the text report prints, as data.
 #[derive(Serialize)]
@@ -33,6 +65,22 @@ struct TraceSummary {
     /// log): `truncate(log, offset)` heals the tear.
     torn_tail_offset: Option<usize>,
     unknown_events: u64,
+    /// Sampling rate from the stream header (`null` for an unsampled
+    /// trace). When set, rare-event counters below are exact by the
+    /// tail-keep rules while volume counters are weighted estimates.
+    sample_rate: Option<f64>,
+    sample_seed: Option<u64>,
+    /// Queries kept with probability 1 (promoted or in flight) —
+    /// their counters are exact even under sampling.
+    interesting_queries: Option<u64>,
+    /// Hash-kept boring queries — the weighted population behind the
+    /// estimates.
+    boring_queries: Option<u64>,
+    est_arrivals: Option<f64>,
+    est_served: Option<f64>,
+    est_mean_response_s: Option<f64>,
+    /// One standard error on the estimated boring-query count.
+    est_std_error: Option<f64>,
     conservation: Conservation,
     arrivals: u64,
     served: u64,
@@ -53,6 +101,9 @@ struct TraceSummary {
 }
 
 pub fn run(args: &[String]) -> Result<i32, String> {
+    if args.first().map(String::as_str) == Some("convert") {
+        return convert(&args[1..]);
+    }
     let mut path: Option<String> = None;
     let mut window_ms: f64 = 1_000.0;
     let mut json = false;
@@ -78,32 +129,29 @@ pub fn run(args: &[String]) -> Result<i32, String> {
         }
     }
     let path = path.ok_or("telemetry requires a trace path: ramsis-cli telemetry LOG.jsonl")?;
-    let text = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
-    let parsed = parse_jsonl_tolerant(&text)?;
+    let parsed = load_trace(&path)?;
     if let Some(tail) = &parsed.torn_tail {
         // A truncated final line usually means the writer was killed
         // mid-record; the complete prefix is still analyzable. The byte
         // offset lets tooling heal the file: `truncate(log, offset)`.
         eprintln!(
-            "warning: trailing partial line ignored ({} bytes at byte offset {}): {:?}…",
+            "warning: trailing partial record ignored ({} bytes at byte offset {}): {:?}…",
             tail.len(),
             parsed.torn_tail_offset.unwrap_or(0),
             &tail[..tail.len().min(48)]
         );
     }
-    if parsed.unknown_events > 0 {
-        // Forward compatibility: a trace written by a newer engine may
-        // carry event kinds this binary does not know; analysis runs on
-        // the events it does.
-        eprintln!(
-            "warning: {} unknown event record(s) skipped (trace from a newer writer?)",
-            parsed.unknown_events
-        );
-    }
+    // Forward compatibility: a trace written by a newer engine may
+    // carry event kinds this binary does not know; analysis runs on
+    // the events it does.
+    warn_unknown(&parsed);
+    let sample_rate = parsed.sample_rate;
+    let sample_seed = parsed.sample_seed;
     let events = parsed.events;
 
     let cons = conservation(&events);
     let agg = aggregates(&events);
+    let samp = sample_rate.map(|r| sampled_aggregates(&events, r));
     let window_ns = (window_ms * 1e6).round() as u64;
     let windows = window_breakdown(&events, window_ns.max(1));
     let pctl = |p: f64| agg.response.percentile(p).map_or(0.0, |ns| ns as f64 / 1e9);
@@ -134,6 +182,14 @@ pub fn run(args: &[String]) -> Result<i32, String> {
             torn_tail: parsed.torn_tail.is_some(),
             torn_tail_offset: parsed.torn_tail_offset,
             unknown_events: parsed.unknown_events,
+            sample_rate,
+            sample_seed,
+            interesting_queries: samp.as_ref().map(|s| s.interesting_queries),
+            boring_queries: samp.as_ref().map(|s| s.boring_queries),
+            est_arrivals: samp.as_ref().map(|s| s.est_arrivals),
+            est_served: samp.as_ref().map(|s| s.est_served),
+            est_mean_response_s: samp.as_ref().map(|s| s.est_mean_response_s()),
+            est_std_error: samp.as_ref().map(|s| s.est_std_error),
             conservation: cons,
             arrivals: agg.arrivals,
             served: agg.served,
@@ -166,6 +222,29 @@ pub fn run(args: &[String]) -> Result<i32, String> {
             .schema_version
             .map_or_else(|| "v0 headerless".to_string(), |v| format!("v{v}"))
     );
+    if let Some(s) = &samp {
+        if s.is_exact() {
+            println!(
+                "sampling: rate 1.0 (seed {:#x}) — stream is complete, all counters exact",
+                sample_seed.unwrap_or(0)
+            );
+        } else {
+            println!(
+                "sampling: rate {} (seed {:#x}) — rare-event counters exact \
+                 ({} interesting queries kept whole); volume estimated from {} hash-kept \
+                 boring queries: ≈{:.0} arrivals, ≈{:.0} served (±{:.1} queries, 1σ), \
+                 mean response ≈{:.1} ms",
+                s.sample_rate,
+                sample_seed.unwrap_or(0),
+                s.interesting_queries,
+                s.boring_queries,
+                s.est_arrivals,
+                s.est_served,
+                s.est_std_error,
+                s.est_mean_response_s() * 1e3
+            );
+        }
+    }
     println!(
         "conservation: {} arrivals = {} completed + {} shed + {} dropped + {} admission-shed + {} in flight ({})",
         cons.arrivals,
@@ -255,4 +334,73 @@ pub fn run(args: &[String]) -> Result<i32, String> {
         println!("adaptation: {swaps} regime swaps, {solves} lazy solves, {fallbacks} fallback decisions");
     }
     Ok(exit_code)
+}
+
+/// `ramsis-cli telemetry convert IN OUT` — lossless JSONL ⇄ binary.
+///
+/// The input encoding is detected by magic; the output encoding comes
+/// from OUT's extension (`.bin` → binary, `.jsonl` → JSONL, anything
+/// else → the opposite of the input). Sampling metadata survives the
+/// round trip; converting a converted file back reproduces the
+/// original sink's bytes exactly.
+fn convert(args: &[String]) -> Result<i32, String> {
+    let mut paths: Vec<&String> = Vec::new();
+    let mut quiet = false;
+    for arg in args {
+        match arg.as_str() {
+            "--quiet" => quiet = true,
+            other if !other.starts_with("--") => paths.push(arg),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    let [input, output] = paths.as_slice() else {
+        return Err(
+            "convert requires exactly two paths: ramsis-cli telemetry convert IN OUT".into(),
+        );
+    };
+    let bytes = std::fs::read(input.as_str()).map_err(|e| format!("read {input}: {e}"))?;
+    let from_binary = is_binary_stream(&bytes);
+    let parsed = parse_tolerant(&bytes).map_err(|e| format!("{input}: {e}"))?;
+    if let Some(tail) = &parsed.torn_tail {
+        eprintln!(
+            "warning: trailing partial record dropped ({} bytes); output holds the clean prefix",
+            tail.len()
+        );
+    }
+    // Unknown records carry payloads this binary cannot decode, so a
+    // conversion necessarily drops them — warn loudly, it is the one
+    // lossy case.
+    warn_unknown(&parsed);
+    let to_binary = if output.ends_with(".bin") {
+        true
+    } else if output.ends_with(".jsonl") || output.ends_with(".json") {
+        false
+    } else {
+        !from_binary
+    };
+    let sampling = match (parsed.sample_rate, parsed.sample_seed) {
+        (Some(rate), Some(seed)) => Some((rate, seed)),
+        _ => None,
+    };
+    let out_bytes = if to_binary {
+        write_bin(&parsed.events, sampling)
+    } else {
+        write_jsonl(&parsed.events, sampling).into_bytes()
+    };
+    std::fs::write(output.as_str(), &out_bytes).map_err(|e| format!("write {output}: {e}"))?;
+    if !quiet {
+        let enc = |b: bool| if b { "binary" } else { "jsonl" };
+        println!(
+            "converted {input} ({}, {} bytes) -> {output} ({}, {} bytes): {} events{}",
+            enc(from_binary),
+            bytes.len(),
+            enc(to_binary),
+            out_bytes.len(),
+            parsed.events.len(),
+            parsed
+                .sample_rate
+                .map_or_else(String::new, |r| format!(", sampled at rate {r}"))
+        );
+    }
+    Ok(0)
 }

@@ -85,11 +85,14 @@ commands:
   drift    run the canonical drifting stream (rate ramp + dispersion
            shift) against adaptive RAMSIS, stale RAMSIS, and the
            fixed-fastest baseline
-  telemetry inspect a JSONL event trace recorded with `sim --telemetry
-           PATH`: conservation check, event-derived aggregates, and a
-           per-window miss-attribution breakdown (--window MS, --json,
-           --quiet prints only violations; exits 1 when conservation
-           fails)
+  telemetry inspect an event trace recorded with `sim --telemetry
+           PATH` — JSONL or compact binary (`.bin`), auto-detected:
+           conservation check, event-derived aggregates, sampling
+           provenance (exact vs estimated counters), and a per-window
+           miss-attribution breakdown (--window MS, --json, --quiet
+           prints only violations; exits 1 when conservation fails);
+           `telemetry convert IN OUT` losslessly converts JSONL ⇄
+           binary
   replay   validate a checkpoint against its telemetry log: snapshot
            canonical-bytes check, log coverage, prefix conservation,
            and counter/clock agreement between the two (LOG.jsonl
@@ -97,9 +100,10 @@ commands:
   perf     run a pinned scenario with the self-profiler on and print
            the phase flame-table, hot-path counters, and gauges
            (--scenario NAME, --seed S, --json)
-  spans    reconstruct per-query spans from a JSONL event trace and
-           print the critical-path breakdown: segment shares,
-           percentiles, and the top-N slowest queries (--top N, --json)
+  spans    reconstruct per-query spans from an event trace (JSONL or
+           binary) and print the critical-path breakdown: segment
+           shares, percentiles, and the top-N slowest queries
+           (--top N, --json)
   chaos    randomized resilience sweep: run N seeded random
            simulations twice each and check determinism, telemetry
            conservation, counter agreement, hedge consistency,
@@ -139,6 +143,8 @@ common flags (artifact §A.5):
   --worker N            number of workers           [default: 60 image / 20 text]
   --load QPS            query load (gen/sim constant trace)
   --m RAMSIS|JF|MS      method to simulate          [sim only]
+  --telemetry PATH      record the event stream (.bin = binary codec)  [sim only]
+  --telemetry-sample R  deterministic query-coherent sampling at rate R [sim only]
   --trace real|constant workload kind               [sim/plot]
   --d N                 FLD discretization steps    [default: 25; 100 = paper]
   --out DIR             output root                 [default: .]";

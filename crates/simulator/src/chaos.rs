@@ -48,8 +48,8 @@ use std::time::Duration;
 
 use ramsis_profiles::{ModelCatalog, ProfilerConfig, WorkerProfile};
 use ramsis_telemetry::{
-    aggregates, burn_analysis, conservation, BurnConfig, ChosenAction, Event, QueueId,
-    VecDecisionSink, VecSink,
+    aggregates, burn_analysis, conservation, query_weights, BurnConfig, ChosenAction, Event,
+    QueueId, SamplePolicy, SamplingSink, VecDecisionSink, VecSink,
 };
 use ramsis_workload::{LoadMonitor, Trace};
 
@@ -453,6 +453,113 @@ impl ChaosConfig {
                         }
                     }
                 }
+            }
+        }
+
+        // Telemetry-sampling dimension (ISSUE 10): re-run the scenario
+        // through a query-coherent sampling sink at a seeded random
+        // rate and hold it to the exactness contract — bit-identical
+        // report, exact-subsequence stream, every interesting query
+        // fully retained, per-query conservation intact, and rate 1.0
+        // indistinguishable from sampling off.
+        {
+            let rate = match rng.gen_range(0..4u32) {
+                0 => 1.0,
+                1 => 0.5,
+                2 => 0.1,
+                _ => 0.01,
+            };
+            let policy = SamplePolicy::new(rate, seed).expect("chaos rates are valid");
+            let mut scheme = FastestFixed::new(profile.fastest_model(), routing);
+            let mut monitor = LoadMonitor::new();
+            let mut sampling = SamplingSink::new(VecSink::new(), policy);
+            let rs =
+                sim.run_faulted_traced(&trace, &plan, &mut scheme, &mut monitor, &mut sampling)?;
+            let withheld = sampling.sampled_out_events();
+            let sampled = sampling.finish().into_events();
+            if serde_json::to_string(&rs).expect("reports serialize")
+                != serde_json::to_string(&r1).expect("reports serialize")
+            {
+                fail(
+                    "sampling:report-identity",
+                    format!("sampling at rate {rate} changed the report"),
+                );
+            }
+            // Exact subsequence: same events, same order, nothing
+            // reordered or invented; the withheld counter accounts for
+            // every removed event.
+            let mut rest = e1.as_slice();
+            let subsequence = sampled.iter().all(|s| {
+                rest.iter().position(|f| f == s).is_some_and(|i| {
+                    rest = &rest[i + 1..];
+                    true
+                })
+            });
+            if !subsequence {
+                fail(
+                    "sampling:subsequence",
+                    format!(
+                        "sampled stream (rate {rate}) is not a subsequence of the full stream \
+                         ({} sampled vs {} full events)",
+                        sampled.len(),
+                        e1.len()
+                    ),
+                );
+            } else if sampled.len() as u64 + withheld != e1.len() as u64 {
+                fail(
+                    "sampling:event-accounting",
+                    format!(
+                        "{} sampled + {withheld} withheld != {} full events",
+                        sampled.len(),
+                        e1.len()
+                    ),
+                );
+            }
+            if rate >= 1.0 && sampled != e1 {
+                fail(
+                    "sampling:off-identity",
+                    format!(
+                        "rate 1.0 must keep the full stream ({} vs {} events)",
+                        sampled.len(),
+                        e1.len()
+                    ),
+                );
+            }
+            // Per-query retention: interesting queries (violations,
+            // sheds, drops, timeouts, retries, hedges, crash requeues,
+            // admission rejections, in-flight) keep every event; boring
+            // queries are all-or-nothing by their hash.
+            let count_by_query = |events: &[Event]| {
+                let mut m: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+                for e in events {
+                    if let Some(q) = e.query() {
+                        *m.entry(q).or_insert(0) += 1;
+                    }
+                }
+                m
+            };
+            let full_counts = count_by_query(&e1);
+            let sampled_counts = count_by_query(&sampled);
+            for (&q, &w) in &query_weights(&e1, rate) {
+                let expect = if w == 1.0 || policy.keeps(q) {
+                    full_counts.get(&q).copied().unwrap_or(0)
+                } else {
+                    0
+                };
+                let got = sampled_counts.get(&q).copied().unwrap_or(0);
+                if got != expect {
+                    fail(
+                        "sampling:query-coherence",
+                        format!("query {q} (weight {w}) kept {got}/{expect} events at rate {rate}"),
+                    );
+                    break;
+                }
+            }
+            if !conservation(&sampled).holds() {
+                fail(
+                    "sampling:conservation",
+                    format!("conservation broken on the sampled stream at rate {rate}"),
+                );
             }
         }
 
@@ -1533,6 +1640,17 @@ mod tests {
         assert!(report.runs.iter().map(|r| r.suspects).sum::<u64>() >= 10);
         assert!(report.runs.iter().any(|r| r.breaker_opens > r.suspects));
         assert!(report.runs.iter().any(|r| r.reinstates > 0));
+    }
+
+    #[test]
+    fn sampling_invariants_hold_over_a_randomized_sweep() {
+        // ≥50 randomized scenarios, each re-run through the
+        // query-coherent sampling sink at a seeded rate drawn from
+        // {1.0, 0.5, 0.1, 0.01}: report identity, exact-subsequence,
+        // query coherence, and conservation all hold.
+        let report = tiny(0x5A_4D71, 50).run_sweep().unwrap();
+        assert_eq!(report.runs.len(), 50);
+        report.expect_pass();
     }
 
     #[test]

@@ -3192,6 +3192,10 @@ impl<'a> Simulation<'a> {
                         next_ckpt_ns += ckpt_period_ns;
                     }
                     prof.enter(Phase::Checkpoint);
+                    // A checkpoint attests that `events_emitted` trace
+                    // records are durable; with a buffered sink that is
+                    // only true after a flush.
+                    tracer.sink.flush();
                     let snap = self.build_snapshot(
                         &*scheme,
                         &*estimator,

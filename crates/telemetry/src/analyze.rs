@@ -13,6 +13,7 @@ use ramsis_stats::LogHistogram;
 use serde::{Deserialize, Serialize};
 
 use crate::event::{Action, Event, Nanos};
+use crate::sample::query_weights;
 
 /// Per-query conservation accounting over a trace: every arrival must
 /// end in exactly one terminal state (complete, shed, dropped) or still
@@ -188,6 +189,105 @@ pub fn aggregates(events: &[Event]) -> EventAggregates {
         }
     }
     a
+}
+
+/// Aggregates over a query-coherently sampled stream, split into what
+/// is exact and what is a Horvitz-Thompson estimate (DESIGN.md §15).
+///
+/// Query-coherent sampling only ever removes boring on-time
+/// completions, so everything rare — violations, sheds, drops,
+/// admission rejections, crash requeues, timeouts, retries, hedges —
+/// is present in full and reported *exactly*. The removed population
+/// is reconstructed by weighting each hash-kept boring query by
+/// `1/rate`; those estimates carry an explicit standard error so
+/// tooling can print `≈ N ± σ` instead of passing an estimate off as a
+/// count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampledAggregates {
+    /// Exact aggregates of the kept substream (what [`aggregates`]
+    /// returns on the sampled log). All its rare-event counters —
+    /// violations, dropped, timeouts, retries, hedges — equal the full
+    /// stream's, by the tail-keep rules.
+    pub kept: EventAggregates,
+    /// The stream's sampling rate (1.0 for an unsampled stream).
+    pub sample_rate: f64,
+    /// Kept queries present with probability 1: promoted by a
+    /// tail-keep rule, or still in flight at the end of the trace.
+    pub interesting_queries: u64,
+    /// Kept queries present with probability `sample_rate` (hash-kept,
+    /// boring on-time completions) — the weighted population.
+    pub boring_queries: u64,
+    /// Estimated full-stream arrivals:
+    /// `interesting + boring / sample_rate`.
+    pub est_arrivals: f64,
+    /// Estimated full-stream completions.
+    pub est_served: f64,
+    /// Estimated full-stream response-time sum, nanoseconds.
+    pub est_response_sum_ns: f64,
+    /// Standard error of the estimated counts:
+    /// `sqrt(boring · (1 − rate)) / rate`. Zero when the stream is
+    /// complete.
+    pub est_std_error: f64,
+}
+
+impl SampledAggregates {
+    /// True when the estimates are exact (rate 1.0: nothing removed).
+    pub fn is_exact(&self) -> bool {
+        self.sample_rate >= 1.0
+    }
+
+    /// Estimated mean response time in seconds (0 when nothing
+    /// completed).
+    pub fn est_mean_response_s(&self) -> f64 {
+        if self.est_served == 0.0 {
+            0.0
+        } else {
+            self.est_response_sum_ns / self.est_served / 1e9
+        }
+    }
+}
+
+/// Computes sampled-vs-exact aggregates for a stream recorded at
+/// `sample_rate` (pass 1.0 for a complete stream; every weight is then
+/// 1 and the estimates coincide with the exact counts).
+pub fn sampled_aggregates(events: &[Event], sample_rate: f64) -> SampledAggregates {
+    let weights = query_weights(events, sample_rate);
+    let mut s = SampledAggregates {
+        kept: aggregates(events),
+        sample_rate,
+        interesting_queries: 0,
+        boring_queries: 0,
+        est_arrivals: 0.0,
+        est_served: 0.0,
+        est_response_sum_ns: 0.0,
+        est_std_error: 0.0,
+    };
+    for &w in weights.values() {
+        if w == 1.0 {
+            s.interesting_queries += 1;
+        } else {
+            s.boring_queries += 1;
+        }
+    }
+    for e in events {
+        match *e {
+            Event::Arrival { query, .. } => {
+                s.est_arrivals += weights.get(&query).copied().unwrap_or(1.0);
+            }
+            Event::Complete {
+                query, response_ns, ..
+            } => {
+                let w = weights.get(&query).copied().unwrap_or(1.0);
+                s.est_served += w;
+                s.est_response_sum_ns += w * response_ns as f64;
+            }
+            _ => {}
+        }
+    }
+    if sample_rate < 1.0 {
+        s.est_std_error = (s.boring_queries as f64 * (1.0 - sample_rate)).sqrt() / sample_rate;
+    }
+    s
 }
 
 /// One fixed-length window of a trace's per-window breakdown.
@@ -684,5 +784,42 @@ mod tests {
     #[should_panic(expected = "window must be positive")]
     fn zero_window_rejected() {
         let _ = window_breakdown(&[], 0);
+    }
+
+    #[test]
+    fn sampled_aggregates_split_exact_from_estimated() {
+        // A sampled view: 2 violating queries (kept with probability
+        // 1) and 3 boring hash-kept ones at rate 0.25 (each standing
+        // for 4).
+        let mut events = Vec::new();
+        for q in 0..5u64 {
+            events.extend(lifecycle(q, q * 10, None));
+            events.push(Event::Complete {
+                at: q * 10 + 5,
+                query: q,
+                worker: 0,
+                model: 0,
+                response_ns: 5,
+                violated: q < 2,
+            });
+        }
+        let s = sampled_aggregates(&events, 0.25);
+        assert_eq!(s.kept.violations, 2, "violations are exact");
+        assert_eq!(s.interesting_queries, 2);
+        assert_eq!(s.boring_queries, 3);
+        assert!(!s.is_exact());
+        assert!((s.est_arrivals - (2.0 + 3.0 * 4.0)).abs() < 1e-9);
+        assert!((s.est_served - 14.0).abs() < 1e-9);
+        assert!((s.est_response_sum_ns - 14.0 * 5.0).abs() < 1e-9);
+        let expect_sigma = (3.0f64 * 0.75).sqrt() / 0.25;
+        assert!((s.est_std_error - expect_sigma).abs() < 1e-9);
+        assert!((s.est_mean_response_s() - 5e-9).abs() < 1e-18);
+        // Rate 1.0: everything exact, estimates coincide with counts.
+        let exact = sampled_aggregates(&events, 1.0);
+        assert!(exact.is_exact());
+        assert_eq!(exact.est_arrivals, exact.kept.arrivals as f64);
+        assert_eq!(exact.est_served, exact.kept.served as f64);
+        assert_eq!(exact.est_std_error, 0.0);
+        assert_eq!(exact.boring_queries, 0, "every weight is 1 at rate 1.0");
     }
 }

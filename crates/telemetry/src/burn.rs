@@ -136,34 +136,49 @@ pub struct BurnSummary {
     pub time_in_alert_ns: Nanos,
 }
 
-/// One sliding violation window over completions.
+/// One sliding violation window over (possibly weighted) completions.
+///
+/// Weights support burn analysis on query-coherently sampled streams:
+/// a kept boring completion stands for `1/rate` real ones, a violation
+/// (always kept) for exactly itself. On unsampled streams every weight
+/// is 1.0 and the weighted sums are exact integer arithmetic in `f64`,
+/// so the unweighted path's behavior is bit-identical to the
+/// pre-weighting implementation.
 #[derive(Debug, Clone, Default)]
 struct Window {
-    buf: VecDeque<(Nanos, bool)>,
-    violations: u64,
+    buf: VecDeque<(Nanos, bool, f64)>,
+    w_violations: f64,
+    w_total: f64,
 }
 
 impl Window {
     /// Admits a completion and evicts everything older than `span`
     /// (the window is the half-open interval `(at - span, at]`).
-    fn observe(&mut self, at: Nanos, violated: bool, span: Nanos) {
-        self.buf.push_back((at, violated));
-        self.violations += u64::from(violated);
-        while let Some(&(t, v)) = self.buf.front() {
+    fn observe(&mut self, at: Nanos, violated: bool, weight: f64, span: Nanos) {
+        self.buf.push_back((at, violated, weight));
+        self.w_total += weight;
+        if violated {
+            self.w_violations += weight;
+        }
+        while let Some(&(t, v, w)) = self.buf.front() {
             if t + span > at {
                 break;
             }
             self.buf.pop_front();
-            self.violations -= u64::from(v);
+            self.w_total -= w;
+            if v {
+                self.w_violations -= w;
+            }
         }
     }
 
-    /// Violation rate over the window's completions.
+    /// Weighted violation rate over the window's completions (clamped
+    /// at 0 against eviction round-off on weighted streams).
     fn rate(&self) -> f64 {
         if self.buf.is_empty() {
             0.0
         } else {
-            self.violations as f64 / self.buf.len() as f64
+            (self.w_violations / self.w_total).max(0.0)
         }
     }
 }
@@ -176,6 +191,8 @@ pub struct BurnMonitor {
     slow: Window,
     completions: u64,
     violations: u64,
+    w_completions: f64,
+    w_violations: f64,
     active: bool,
     above_since: Option<Nanos>,
     below_since: Option<Nanos>,
@@ -201,6 +218,8 @@ impl BurnMonitor {
             slow: Window::default(),
             completions: 0,
             violations: 0,
+            w_completions: 0.0,
+            w_violations: 0.0,
             active: false,
             above_since: None,
             below_since: None,
@@ -230,11 +249,31 @@ impl BurnMonitor {
     /// Feeds one completion (in non-decreasing time order) and returns
     /// the alert transition it confirmed, if any.
     pub fn observe(&mut self, at: Nanos, violated: bool) -> Option<BurnAlert> {
+        self.observe_weighted(at, violated, 1.0)
+    }
+
+    /// Like [`BurnMonitor::observe`], weighting the completion — the
+    /// entry point for sampled streams, where a kept boring completion
+    /// stands for `1/rate` real ones. With weight 1.0 this *is*
+    /// [`BurnMonitor::observe`]: the weighted sums stay exact integer
+    /// arithmetic and every threshold comparison sees identical values.
+    pub fn observe_weighted(
+        &mut self,
+        at: Nanos,
+        violated: bool,
+        weight: f64,
+    ) -> Option<BurnAlert> {
         self.completions += 1;
         self.violations += u64::from(violated);
+        self.w_completions += weight;
+        if violated {
+            self.w_violations += weight;
+        }
         self.last_at = at;
-        self.fast.observe(at, violated, self.cfg.fast_window_ns);
-        self.slow.observe(at, violated, self.cfg.slow_window_ns);
+        self.fast
+            .observe(at, violated, weight, self.cfg.fast_window_ns);
+        self.slow
+            .observe(at, violated, weight, self.cfg.slow_window_ns);
         let fast = self.fast_burn();
         let slow = self.slow_burn();
         self.peak_fast_burn = self.peak_fast_burn.max(fast);
@@ -320,6 +359,64 @@ pub fn burn_analysis(events: &[Event], cfg: BurnConfig) -> BurnSummary {
         }
     }
     monitor.summary()
+}
+
+/// Burn analysis of a sampled stream: the weighted estimates next to
+/// the exact kept-substream counts, with explicit provenance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SampledBurnSummary {
+    /// The monitor's summary over the kept completions. Its
+    /// `violations` count is *exact* (violating queries are always
+    /// kept); its `completions` count covers the kept substream only.
+    /// Alerts fire on the weighted burn rates.
+    pub kept: BurnSummary,
+    /// The stream's sampling rate (1.0: the summary is exact and
+    /// matches [`burn_analysis`]).
+    pub sample_rate: f64,
+    /// Estimated full-stream completions (Horvitz-Thompson weighted).
+    pub est_completions: f64,
+    /// Estimated whole-run burn over the estimated completions.
+    pub est_overall_burn: f64,
+}
+
+/// Runs the monitor over a *sampled* event stream, weighting each kept
+/// completion by its query's inverse keep probability (see
+/// [`crate::sample::query_weights`]), so window burn rates estimate
+/// the full stream's. Violations are always kept, so every alert the
+/// full stream's fast spikes would have raised has its violations
+/// present here; only the diluting on-time traffic is estimated. On an
+/// unsampled stream (`sample_rate` 1.0) this reduces exactly to
+/// [`burn_analysis`].
+pub fn sampled_burn_analysis(
+    events: &[Event],
+    cfg: BurnConfig,
+    sample_rate: f64,
+) -> SampledBurnSummary {
+    let weights = crate::sample::query_weights(events, sample_rate);
+    let mut monitor = BurnMonitor::new(cfg);
+    for ev in events {
+        if let Event::Complete {
+            at,
+            query,
+            violated,
+            ..
+        } = *ev
+        {
+            let w = weights.get(&query).copied().unwrap_or(1.0);
+            monitor.observe_weighted(at, violated, w);
+        }
+    }
+    let est_overall_burn = if monitor.w_completions == 0.0 {
+        0.0
+    } else {
+        (monitor.w_violations / monitor.w_completions) / cfg.budget
+    };
+    SampledBurnSummary {
+        kept: monitor.summary(),
+        sample_rate,
+        est_completions: monitor.w_completions,
+        est_overall_burn,
+    }
 }
 
 #[cfg(test)]
@@ -441,5 +538,57 @@ mod tests {
         let json = serde_json::to_string(&s).unwrap();
         let back: BurnSummary = serde_json::from_str(&json).unwrap();
         assert_eq!(back, s);
+    }
+
+    fn completion(q: u64, at: Nanos, violated: bool) -> Event {
+        Event::Complete {
+            at,
+            query: q,
+            worker: 0,
+            model: 0,
+            response_ns: 100,
+            violated,
+        }
+    }
+
+    #[test]
+    fn sampled_analysis_at_rate_one_is_exactly_the_plain_analysis() {
+        let events: Vec<Event> = (0..200u64)
+            .map(|q| completion(q, q * 37, q % 3 == 0))
+            .collect();
+        let exact = burn_analysis(&events, cfg());
+        let sampled = sampled_burn_analysis(&events, cfg(), 1.0);
+        assert_eq!(sampled.kept, exact, "rate 1.0 changes nothing");
+        assert_eq!(sampled.est_completions, exact.completions as f64);
+        assert_eq!(sampled.est_overall_burn, exact.overall_burn);
+    }
+
+    #[test]
+    fn weighted_estimates_reconstruct_diluted_traffic() {
+        // A full stream: 10 violations among 100 completions (burn
+        // 10/100/0.1 = 1.0). A 10%-sampled view keeps every violation
+        // and roughly a tenth of the boring bulk; the weighted overall
+        // burn must land near the full stream's, while the naive rate
+        // over kept events alone would be wildly inflated.
+        let full: Vec<Event> = (0..100u64)
+            .map(|q| completion(q, q * 1_000, q < 10))
+            .collect();
+        // Keep all 10 violations and exactly 9 boring completions.
+        let sampled: Vec<Event> = full
+            .iter()
+            .filter(|e| match e {
+                Event::Complete { query, .. } => *query < 10 || *query % 10 == 0,
+                _ => false,
+            })
+            .cloned()
+            .collect();
+        let s = sampled_burn_analysis(&sampled, cfg(), 0.1);
+        assert_eq!(s.kept.violations, 10, "violations are exact");
+        assert_eq!(s.kept.completions, 19);
+        assert!((s.est_completions - (10.0 + 9.0 * 10.0)).abs() < 1e-9);
+        let est_rate = 10.0 / s.est_completions;
+        assert!((s.est_overall_burn - est_rate / 0.1).abs() < 1e-9);
+        // The unweighted burn over the kept events would be ~5x.
+        assert!(s.est_overall_burn < 2.0);
     }
 }

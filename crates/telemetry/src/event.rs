@@ -418,6 +418,24 @@ impl Event {
         }
     }
 
+    /// The query id the event is about, for the variants that carry
+    /// one. Dispatches (and all audit events) return `None`: the stream
+    /// attributes them by worker, not by query.
+    pub fn query(&self) -> Option<u64> {
+        match *self {
+            Event::Arrival { query, .. }
+            | Event::Enqueue { query, .. }
+            | Event::Complete { query, .. }
+            | Event::Shed { query, .. }
+            | Event::Drop { query, .. }
+            | Event::CrashRequeue { query, .. }
+            | Event::Timeout { query, .. }
+            | Event::Retry { query, .. }
+            | Event::Admission { query, .. } => Some(query),
+            _ => None,
+        }
+    }
+
     /// True for lifecycle events (the ones conservation accounting
     /// runs over), false for audit events.
     pub fn is_lifecycle(&self) -> bool {

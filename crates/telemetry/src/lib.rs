@@ -38,15 +38,24 @@
 
 pub mod analyze;
 pub mod burn;
+pub mod codec;
 pub mod decisions;
 pub mod event;
 pub mod profile;
+pub mod sample;
 pub mod sink;
 pub mod spans;
 
-pub use analyze::{aggregates, conservation, window_breakdown};
-pub use analyze::{Conservation, EventAggregates, WindowStats};
-pub use burn::{burn_analysis, BurnAlert, BurnAlertKind, BurnConfig, BurnMonitor, BurnSummary};
+pub use analyze::{aggregates, conservation, sampled_aggregates, window_breakdown};
+pub use analyze::{Conservation, EventAggregates, SampledAggregates, WindowStats};
+pub use burn::{
+    burn_analysis, sampled_burn_analysis, BurnAlert, BurnAlertKind, BurnConfig, BurnMonitor,
+    BurnSummary, SampledBurnSummary,
+};
+pub use codec::{
+    is_binary_stream, parse_bin_tolerant, parse_tolerant, write_bin, write_jsonl, BinSink,
+    BIN_MAGIC, BIN_SCHEMA_VERSION,
+};
 pub use decisions::{
     parse_decisions_tolerant, CandidateAction, ChosenAction, DecisionRecord, DecisionSink,
     DecisionState, JsonlDecisionSink, NullDecisionSink, ParsedDecisions, ReasonCode,
@@ -57,11 +66,12 @@ pub use profile::{
     CounterStat, GaugeId, GaugeStat, HotCounter, Phase, PhaseStat, ProfileReport, Profiler,
     SolverProfile,
 };
+pub use sample::{query_weights, SamplePolicy, SamplingSink};
 pub use sink::{
     parse_jsonl, parse_jsonl_tolerant, JsonlSink, NullSink, ParsedLog, RingSink, StreamHeader,
-    TelemetrySink, VecSink, JSONL_SCHEMA_VERSION, TELEMETRY_STREAM,
+    TelemetrySink, VecSink, JSONL_SCHEMA_VERSION, TELEMETRY_STREAM, UNKNOWN_SAMPLE_CAP,
 };
 pub use spans::{
-    critical_path, reconstruct_spans, CriticalPathReport, QuerySpan, SegmentStats, SpanLog,
-    SpanOutcome,
+    critical_path, reconstruct_spans, reconstruct_spans_sampled, CriticalPathReport, QuerySpan,
+    SegmentStats, SpanLog, SpanOutcome,
 };

@@ -1,0 +1,728 @@
+//! Deterministic query-coherent sampling: keep a hash-selected
+//! fraction of queries — every event of a kept query, no event of a
+//! dropped one — plus *all* interesting queries and *all* audit
+//! events, so spans reconstruct fully and the rare tail never goes
+//! dark (DESIGN.md §15).
+//!
+//! Head-sampling decides per query id: `splitmix64(seed ^ query)`
+//! under a rate-derived threshold keeps the query. The decision
+//! depends only on (seed, rate, query id), so two runs of the same
+//! seeded scenario sample identically, and re-sampling a full log
+//! offline selects the same queries the live sink would have.
+//!
+//! Tail-keep rules promote a query regardless of its hash the moment
+//! it stops being boring: a shed, drop, crash requeue, timeout, retry,
+//! admission rejection, SLO-violating completion, or a completion on a
+//! hedged worker pair. Promotion must beat the hash decision, so a
+//! query's events are withheld in an order-preserving FIFO until its
+//! fate is known; the sampled stream is therefore an exact
+//! *subsequence* of the full stream — same events, same order — and
+//! every analysis that works on full logs works unchanged on sampled
+//! ones.
+//!
+//! Because kept queries keep all their events, per-query conservation
+//! holds *exactly* on the sampled substream, and in-flight queries
+//! (undecided at end of run) are always kept. The only thing sampling
+//! removes is boring, on-time completions — precisely the population
+//! whose counts a Horvitz-Thompson estimate (weight `1/rate`)
+//! reconstructs; see [`query_weights`].
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::event::Event;
+use crate::sink::TelemetrySink;
+
+/// Per-worker hedge flags as a dense bit table: worker ids are small
+/// and dense, so this keeps the per-event hot path free of ordered-set
+/// lookups.
+#[derive(Debug, Default)]
+struct HedgeFlags(Vec<bool>);
+
+impl HedgeFlags {
+    fn contains(&self, worker: u32) -> bool {
+        self.0.get(worker as usize).copied().unwrap_or(false)
+    }
+
+    fn insert(&mut self, worker: u32) {
+        let i = worker as usize;
+        if self.0.len() <= i {
+            self.0.resize(i + 1, false);
+        }
+        self.0[i] = true;
+    }
+
+    fn remove(&mut self, worker: u32) {
+        if let Some(f) = self.0.get_mut(worker as usize) {
+            *f = false;
+        }
+    }
+}
+
+const FATE_UNDECIDED: u8 = 0;
+const FATE_KEPT: u8 = 1;
+const FATE_DROPPED: u8 = 2;
+
+/// Ids the dense fate table covers directly (one byte per query).
+/// Engine query ids are sequential from zero, so in practice every
+/// lookup is one array index; anything above the cap (a synthetic or
+/// adversarial stream) falls back to ordered sets.
+const DENSE_FATE_CAP: u64 = 1 << 24;
+
+/// Per-query keep/drop decisions, O(1) for the dense engine id space.
+#[derive(Debug, Default)]
+struct QueryFates {
+    dense: Vec<u8>,
+    sparse_kept: BTreeSet<u64>,
+    sparse_dropped: BTreeSet<u64>,
+}
+
+impl QueryFates {
+    #[inline]
+    fn get(&self, q: u64) -> u8 {
+        if q < DENSE_FATE_CAP {
+            self.dense
+                .get(q as usize)
+                .copied()
+                .unwrap_or(FATE_UNDECIDED)
+        } else if self.sparse_kept.contains(&q) {
+            FATE_KEPT
+        } else if self.sparse_dropped.contains(&q) {
+            FATE_DROPPED
+        } else {
+            FATE_UNDECIDED
+        }
+    }
+
+    fn set(&mut self, q: u64, fate: u8) {
+        if q < DENSE_FATE_CAP {
+            let i = q as usize;
+            if self.dense.len() <= i {
+                self.dense.resize(i + 1, FATE_UNDECIDED);
+            }
+            self.dense[i] = fate;
+        } else if fate == FATE_KEPT {
+            self.sparse_dropped.remove(&q);
+            self.sparse_kept.insert(q);
+        } else {
+            self.sparse_kept.remove(&q);
+            self.sparse_dropped.insert(q);
+        }
+    }
+}
+
+/// splitmix64 — the same mix the engine's deterministic RNG seeds use;
+/// duplicated here so the telemetry crate stays below the simulator in
+/// the crate graph.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The head-sampling decision: which query ids the hash keeps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SamplePolicy {
+    rate: f64,
+    seed: u64,
+    /// `keeps(q)` ⇔ `splitmix64(seed ^ q) <= threshold`; precomputed
+    /// so the per-event hot path is one hash and one compare.
+    threshold: u64,
+}
+
+impl SamplePolicy {
+    /// Builds a policy keeping the fraction `rate` of boring queries,
+    /// hashed with `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects rates outside `(0, 1]` — rate 0 would silently discard
+    /// whole runs (use a disabled sink for that), and rates above 1
+    /// are meaningless.
+    pub fn new(rate: f64, seed: u64) -> Result<Self, String> {
+        if !rate.is_finite() || rate <= 0.0 || rate > 1.0 {
+            return Err(format!("sample rate must be in (0, 1], got {rate}"));
+        }
+        let threshold = if rate >= 1.0 {
+            u64::MAX
+        } else {
+            (rate * u64::MAX as f64) as u64
+        };
+        Ok(Self {
+            rate,
+            seed,
+            threshold,
+        })
+    }
+
+    /// The configured keep fraction.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The configured hash seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether the hash keeps query `q` (tail-keep promotion aside).
+    pub fn keeps(&self, q: u64) -> bool {
+        splitmix64(self.seed ^ q) <= self.threshold
+    }
+}
+
+/// True when this event promotes its query to always-keep, given
+/// whether its worker currently serves a hedged pair: the tail-keep
+/// rules of the module docs.
+fn promotes(event: &Event, hedged: &HedgeFlags) -> bool {
+    match *event {
+        Event::Shed { .. }
+        | Event::Drop { .. }
+        | Event::CrashRequeue { .. }
+        | Event::Timeout { .. }
+        | Event::Retry { .. }
+        | Event::Admission { .. } => true,
+        Event::Complete {
+            violated, worker, ..
+        } => violated || hedged.contains(worker),
+        _ => false,
+    }
+}
+
+/// True when this event ends its query's lifecycle without promoting
+/// it — the single boring terminal: an on-time completion on an
+/// unhedged worker. (All other terminals — shed, drop, admission
+/// rejection, violating or hedged completion — promote instead.)
+fn boring_terminal(event: &Event, hedged: &HedgeFlags) -> bool {
+    matches!(
+        *event,
+        Event::Complete {
+            violated: false,
+            worker,
+            ..
+        } if !hedged.contains(worker)
+    )
+}
+
+/// Advances the hedged-worker flag machine. A worker joins the set
+/// when a hedge pair is issued on it and leaves on its next dispatch,
+/// its completion, or its hedge's cancellation — so a completion seen
+/// while flagged belongs to a hedged query. Both the live sink and
+/// the offline [`query_weights`] classifier run this exact machine,
+/// which is what lets the offline pass re-derive the live keep
+/// decisions from stream content alone.
+fn track_hedges(event: &Event, hedged: &mut HedgeFlags) {
+    match *event {
+        Event::HedgeIssued { primary, hedge, .. } => {
+            hedged.insert(primary);
+            hedged.insert(hedge);
+        }
+        Event::HedgeCancelled { worker, .. } => {
+            hedged.remove(worker);
+        }
+        Event::Dispatch { worker, .. } | Event::Complete { worker, .. } => {
+            hedged.remove(worker);
+        }
+        _ => {}
+    }
+}
+
+/// A slot in the order-preserving FIFO: either already decided keep,
+/// or waiting on its query's fate.
+#[derive(Debug, Clone)]
+enum Slot {
+    Keep(Event),
+    Await(u64, Event),
+}
+
+/// A sink adapter applying query-coherent sampling before an inner
+/// sink, preserving stream order exactly.
+///
+/// Events whose fate is decided (audit events, events of kept or
+/// promoted queries) pass straight through when nothing undecided is
+/// ahead of them; otherwise they queue behind the undecided events so
+/// the sampled stream stays an exact subsequence of the full stream.
+/// An undecided query resolves at its terminal event — promotion (any
+/// interesting outcome) or drop (a boring on-time completion) — which
+/// is at most one SLO away, so the FIFO stays shallow.
+///
+/// [`SamplingSink::finish`] resolves every still-undecided query as
+/// kept (they are in-flight — interesting by definition), drains the
+/// FIFO, and returns the inner sink.
+#[derive(Debug)]
+pub struct SamplingSink<S: TelemetrySink> {
+    inner: S,
+    policy: SamplePolicy,
+    queue: VecDeque<Slot>,
+    /// Per-query keep/drop fates — one dense byte per engine query id,
+    /// so the hot path never walks an ordered set.
+    fates: QueryFates,
+    hedged: HedgeFlags,
+    sampled_out_queries: u64,
+    sampled_out_events: u64,
+}
+
+impl<S: TelemetrySink> SamplingSink<S> {
+    /// Wraps `inner` with the given sampling policy.
+    pub fn new(inner: S, policy: SamplePolicy) -> Self {
+        Self {
+            inner,
+            policy,
+            queue: VecDeque::new(),
+            fates: QueryFates::default(),
+            hedged: HedgeFlags::default(),
+            sampled_out_queries: 0,
+            sampled_out_events: 0,
+        }
+    }
+
+    /// The sampling policy in force.
+    pub fn policy(&self) -> &SamplePolicy {
+        &self.policy
+    }
+
+    /// Queries whose events were discarded (decided drop) so far.
+    pub fn sampled_out_queries(&self) -> u64 {
+        self.sampled_out_queries
+    }
+
+    /// Events discarded so far.
+    pub fn sampled_out_events(&self) -> u64 {
+        self.sampled_out_events
+    }
+
+    /// Read access to the inner sink.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Resolves all still-undecided queries as kept (they are
+    /// in-flight at end of run), drains the FIFO, flushes the inner
+    /// sink, and returns it.
+    pub fn finish(mut self) -> S {
+        while let Some(slot) = self.queue.pop_front() {
+            match slot {
+                Slot::Keep(e) => self.inner.record(&e),
+                Slot::Await(q, e) => {
+                    if self.fates.get(q) == FATE_DROPPED {
+                        self.sampled_out_events += 1;
+                    } else {
+                        // Undecided ⇒ in-flight ⇒ keep.
+                        self.inner.record(&e);
+                    }
+                }
+            }
+        }
+        self.inner.flush();
+        self.inner
+    }
+
+    /// Forwards every slot whose fate is known, stopping at the first
+    /// still-undecided query.
+    fn drain_decided(&mut self) {
+        while let Some(front) = self.queue.front() {
+            match front {
+                Slot::Keep(_) => {
+                    let Some(Slot::Keep(e)) = self.queue.pop_front() else {
+                        unreachable!()
+                    };
+                    self.inner.record(&e);
+                }
+                Slot::Await(q, _) => match self.fates.get(*q) {
+                    FATE_KEPT => {
+                        let Some(Slot::Await(_, e)) = self.queue.pop_front() else {
+                            unreachable!()
+                        };
+                        self.inner.record(&e);
+                    }
+                    FATE_DROPPED => {
+                        self.queue.pop_front();
+                        self.sampled_out_events += 1;
+                    }
+                    _ => break,
+                },
+            }
+        }
+    }
+}
+
+impl<S: TelemetrySink> TelemetrySink for SamplingSink<S> {
+    fn enabled(&self) -> bool {
+        self.inner.enabled()
+    }
+
+    fn record(&mut self, event: &Event) {
+        // Decide first (no clone on the pass-through path), then queue
+        // only what order preservation actually requires.
+        enum Decision {
+            Keep,
+            /// Newly decided keep: earlier withheld events of the same
+            /// query may now be releasable.
+            Promote,
+            Drop,
+            Await(u64),
+        }
+        let decision = match event.query() {
+            // Audit / fault / scale / health events (and dispatches)
+            // are always kept.
+            None => Decision::Keep,
+            Some(q) => match self.fates.get(q) {
+                FATE_KEPT => Decision::Keep,
+                FATE_DROPPED => Decision::Drop,
+                _ => {
+                    if self.policy.keeps(q) || promotes(event, &self.hedged) {
+                        self.fates.set(q, FATE_KEPT);
+                        Decision::Promote
+                    } else if boring_terminal(event, &self.hedged) {
+                        self.fates.set(q, FATE_DROPPED);
+                        self.sampled_out_queries += 1;
+                        Decision::Drop
+                    } else {
+                        Decision::Await(q)
+                    }
+                }
+            },
+        };
+        track_hedges(event, &mut self.hedged);
+        match decision {
+            Decision::Keep if self.queue.is_empty() => self.inner.record(event),
+            Decision::Keep => {
+                self.queue.push_back(Slot::Keep(event.clone()));
+            }
+            Decision::Promote if self.queue.is_empty() => self.inner.record(event),
+            Decision::Promote => {
+                self.queue.push_back(Slot::Keep(event.clone()));
+                self.drain_decided();
+            }
+            Decision::Drop => {
+                self.sampled_out_events += 1;
+                self.drain_decided();
+            }
+            Decision::Await(q) => {
+                self.queue.push_back(Slot::Await(q, event.clone()));
+            }
+        }
+    }
+
+    fn flush(&mut self) {
+        // Withheld events stay withheld — their fate is unknown — but
+        // everything already forwarded reaches stable storage (the
+        // engine flushes at checkpoint attests).
+        self.inner.flush();
+    }
+}
+
+/// Per-query Horvitz-Thompson weights for a (possibly sampled) event
+/// stream: the offline mirror of the live keep decisions.
+///
+/// A query observed in the stream was kept with probability 1 if any
+/// of its events promotes it (or it never reached a terminal event —
+/// in-flight queries are always kept), and with probability `rate`
+/// otherwise. Its weight is the inverse: `1.0` for exact queries,
+/// `1/rate` for hash-kept boring ones. Summing weights over kept
+/// queries estimates full-stream query counts; on an unsampled stream
+/// (`rate` 1.0) every weight is 1 and the estimates are exact.
+pub fn query_weights(events: &[Event], rate: f64) -> BTreeMap<u64, f64> {
+    let mut hedged = HedgeFlags::default();
+    // query -> (has a promoting event, has a terminal event)
+    let mut fate: BTreeMap<u64, (bool, bool)> = BTreeMap::new();
+    for event in events {
+        if let Some(q) = event.query() {
+            let entry = fate.entry(q).or_insert((false, false));
+            if promotes(event, &hedged) {
+                entry.0 = true;
+            }
+            if matches!(
+                event,
+                Event::Complete { .. }
+                    | Event::Shed { .. }
+                    | Event::Drop { .. }
+                    | Event::Admission { .. }
+            ) {
+                entry.1 = true;
+            }
+        }
+        track_hedges(event, &mut hedged);
+    }
+    fate.into_iter()
+        .map(|(q, (interesting, terminal))| {
+            let weight = if interesting || !terminal {
+                1.0
+            } else {
+                1.0 / rate
+            };
+            (q, weight)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ShedCause;
+    use crate::sink::VecSink;
+
+    fn arrival(q: u64, at: u64) -> Event {
+        Event::Arrival {
+            at,
+            query: q,
+            deadline: at + 100,
+        }
+    }
+
+    fn complete(q: u64, at: u64, worker: u32, violated: bool) -> Event {
+        Event::Complete {
+            at,
+            query: q,
+            worker,
+            model: 0,
+            response_ns: 10,
+            violated,
+        }
+    }
+
+    fn run_through(events: &[Event], rate: f64, seed: u64) -> (Vec<Event>, u64, u64) {
+        let policy = SamplePolicy::new(rate, seed).unwrap();
+        let mut sink = SamplingSink::new(VecSink::new(), policy);
+        for e in events {
+            sink.record(e);
+        }
+        let (q, n) = (sink.sampled_out_queries(), sink.sampled_out_events());
+        (sink.finish().into_events(), q, n)
+    }
+
+    #[test]
+    fn policy_rejects_degenerate_rates() {
+        assert!(SamplePolicy::new(0.0, 1).is_err());
+        assert!(SamplePolicy::new(-0.5, 1).is_err());
+        assert!(SamplePolicy::new(1.5, 1).is_err());
+        assert!(SamplePolicy::new(f64::NAN, 1).is_err());
+        assert!(SamplePolicy::new(1.0, 1).is_ok());
+        assert!(SamplePolicy::new(1e-6, 1).is_ok());
+    }
+
+    #[test]
+    fn rate_one_keeps_everything() {
+        let policy = SamplePolicy::new(1.0, 42).unwrap();
+        for q in 0..10_000 {
+            assert!(policy.keeps(q));
+        }
+    }
+
+    #[test]
+    fn keep_fraction_tracks_the_rate() {
+        for &rate in &[0.5, 0.1, 0.01] {
+            let policy = SamplePolicy::new(rate, 7).unwrap();
+            let kept = (0..100_000u64).filter(|&q| policy.keeps(q)).count();
+            let expect = rate * 100_000.0;
+            let sigma = (100_000.0 * rate * (1.0 - rate)).sqrt();
+            assert!(
+                ((kept as f64) - expect).abs() < 5.0 * sigma,
+                "rate {rate}: kept {kept}, expected ~{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_seed_sensitive() {
+        let a = SamplePolicy::new(0.1, 1).unwrap();
+        let b = SamplePolicy::new(0.1, 2).unwrap();
+        let decisions_a: Vec<bool> = (0..64).map(|q| a.keeps(q)).collect();
+        assert_eq!(decisions_a, (0..64).map(|q| a.keeps(q)).collect::<Vec<_>>());
+        assert_ne!(decisions_a, (0..64).map(|q| b.keeps(q)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn boring_completions_are_dropped_whole_query() {
+        // Find a query id the hash drops at 1% so the test is not at
+        // the mercy of the seed.
+        let policy = SamplePolicy::new(0.01, 9).unwrap();
+        let q = (0..1000).find(|&q| !policy.keeps(q)).unwrap();
+        let events = vec![
+            arrival(q, 1),
+            Event::Enqueue {
+                at: 2,
+                query: q,
+                queue: crate::event::QueueId::Central,
+                depth: 1,
+            },
+            Event::Dispatch {
+                at: 3,
+                worker: 0,
+                model: 0,
+                batch: 1,
+                depth: 0,
+            },
+            complete(q, 9, 0, false),
+        ];
+        let (kept, out_q, out_e) = run_through(&events, 0.01, 9);
+        // The dispatch (no query id) survives; the query's three
+        // events do not.
+        assert_eq!(kept, vec![events[2].clone()], "audit events always survive");
+        assert_eq!(out_q, 1);
+        assert_eq!(out_e, 3);
+    }
+
+    #[test]
+    fn violating_and_shed_queries_are_always_kept() {
+        let policy = SamplePolicy::new(0.01, 9).unwrap();
+        let dropped: Vec<u64> = (0..1000).filter(|&q| !policy.keeps(q)).take(3).collect();
+        let [a, b, c] = dropped[..] else { panic!() };
+        let events = vec![
+            arrival(a, 1),
+            arrival(b, 2),
+            arrival(c, 3),
+            complete(a, 5, 0, true), // violated: promoted
+            Event::Shed {
+                at: 6,
+                query: b,
+                cause: ShedCause::Hopeless,
+            }, // shed: promoted
+            complete(c, 7, 1, false), // boring: dropped
+        ];
+        let (kept, out_q, _) = run_through(&events, 0.01, 9);
+        assert_eq!(
+            kept,
+            vec![
+                events[0].clone(),
+                events[1].clone(),
+                events[3].clone(),
+                events[4].clone()
+            ]
+        );
+        assert_eq!(out_q, 1);
+    }
+
+    #[test]
+    fn promotion_preserves_stream_order_exactly() {
+        // Query A is undecided while query B (hash-kept) completes
+        // behind it; A is then promoted by a violation. The output
+        // must stay a subsequence of the input in the input's order.
+        let policy = SamplePolicy::new(0.5, 3).unwrap();
+        let a = (0..1000).find(|&q| !policy.keeps(q)).unwrap();
+        let b = (0..1000).find(|&q| policy.keeps(q)).unwrap();
+        let events = vec![
+            arrival(a, 1),
+            arrival(b, 2),
+            complete(b, 5, 1, false),
+            complete(a, 9, 0, true),
+        ];
+        let (kept, _, _) = run_through(&events, 0.5, 3);
+        assert_eq!(kept, events, "all kept, in original order");
+    }
+
+    #[test]
+    fn in_flight_queries_are_kept_at_finish() {
+        let policy = SamplePolicy::new(0.01, 9).unwrap();
+        let q = (0..1000).find(|&q| !policy.keeps(q)).unwrap();
+        let events = vec![arrival(q, 1)];
+        let (kept, out_q, _) = run_through(&events, 0.01, 9);
+        assert_eq!(kept, events, "no terminal event: kept as in-flight");
+        assert_eq!(out_q, 0);
+    }
+
+    #[test]
+    fn hedged_completions_promote_their_query() {
+        let policy = SamplePolicy::new(0.01, 9).unwrap();
+        let dropped: Vec<u64> = (0..1000).filter(|&q| !policy.keeps(q)).take(2).collect();
+        let [h, n] = dropped[..] else { panic!() };
+        let events = vec![
+            arrival(h, 1),
+            arrival(n, 2),
+            Event::HedgeIssued {
+                at: 3,
+                primary: 0,
+                hedge: 1,
+                model: 0,
+                batch: 1,
+            },
+            complete(h, 5, 0, false), // on a hedged worker: promoted
+            Event::HedgeCancelled {
+                at: 5,
+                worker: 1,
+                winner: 0,
+            },
+            complete(n, 9, 2, false), // unhedged worker: dropped
+        ];
+        let (kept, out_q, _) = run_through(&events, 0.01, 9);
+        assert_eq!(
+            kept,
+            vec![
+                events[0].clone(),
+                events[2].clone(),
+                events[3].clone(),
+                events[4].clone()
+            ]
+        );
+        assert_eq!(out_q, 1);
+        // The flag clears with the completion: the next query on
+        // worker 0 is boring again.
+        let later = [arrival(n, 10), complete(n, 12, 0, false)];
+        let all: Vec<Event> = events.iter().chain(later.iter()).cloned().collect();
+        let (kept2, out_q2, _) = run_through(&all, 0.01, 9);
+        assert_eq!(kept2, kept, "post-hedge completion is not promoted");
+        // The later lifecycle reuses n's id, and drop fates are
+        // per-query-id: still one sampled-out query, more events.
+        assert_eq!(out_q2, 1);
+    }
+
+    #[test]
+    fn retried_and_timed_out_queries_are_kept() {
+        let policy = SamplePolicy::new(0.01, 9).unwrap();
+        let q = (0..1000).find(|&q| !policy.keeps(q)).unwrap();
+        let events = vec![
+            arrival(q, 1),
+            Event::Timeout {
+                at: 5,
+                query: q,
+                worker: 0,
+                attempt: 1,
+            },
+            Event::Retry {
+                at: 5,
+                query: q,
+                attempt: 1,
+                delay_ns: 3,
+            },
+            complete(q, 20, 1, false),
+        ];
+        let (kept, out_q, _) = run_through(&events, 0.01, 9);
+        assert_eq!(kept, events, "timeout promoted the whole query");
+        assert_eq!(out_q, 0);
+    }
+
+    #[test]
+    fn weights_mirror_live_decisions() {
+        let policy = SamplePolicy::new(0.25, 11).unwrap();
+        let boring_kept = (0..1000).find(|&q| policy.keeps(q)).unwrap();
+        let violated = (0..1000).find(|&q| !policy.keeps(q)).unwrap();
+        let inflight = (violated + 1..1000).find(|&q| !policy.keeps(q)).unwrap();
+        let events = vec![
+            arrival(boring_kept, 1),
+            arrival(violated, 2),
+            arrival(inflight, 3),
+            complete(boring_kept, 5, 0, false),
+            complete(violated, 6, 1, true),
+        ];
+        let (kept, _, _) = run_through(&events, 0.25, 11);
+        assert_eq!(kept, events);
+        let w = query_weights(&kept, 0.25);
+        assert_eq!(w[&boring_kept], 4.0, "hash-kept boring: weight 1/rate");
+        assert_eq!(w[&violated], 1.0, "promoted: exact");
+        assert_eq!(w[&inflight], 1.0, "in-flight: exact");
+        // On the full stream at rate 1.0 every weight is 1.
+        assert!(query_weights(&events, 1.0).values().all(|&w| w == 1.0));
+    }
+
+    #[test]
+    fn flush_mid_run_does_not_release_undecided_events() {
+        let policy = SamplePolicy::new(0.01, 9).unwrap();
+        let q = (0..1000).find(|&q| !policy.keeps(q)).unwrap();
+        let mut sink = SamplingSink::new(VecSink::new(), policy);
+        sink.record(&arrival(q, 1));
+        sink.flush();
+        assert!(sink.inner().events().is_empty(), "fate unknown: withheld");
+        sink.record(&complete(q, 5, 0, true));
+        assert_eq!(sink.inner().events().len(), 2, "promotion releases both");
+    }
+}

@@ -23,13 +23,20 @@ pub const JSONL_SCHEMA_VERSION: u32 = 1;
 /// The stream tag telemetry logs carry in their schema header.
 pub const TELEMETRY_STREAM: &str = "telemetry";
 
+/// How many unknown-record previews a tolerant parser retains in
+/// [`ParsedLog::unknown_samples`]. Everything past the cap is counted
+/// in [`ParsedLog::unknown_events`] but not stored, so a
+/// version-skewed 100M-event log cannot flood tooling output — the CLI
+/// prints the retained few and a "+N more suppressed" summary.
+pub const UNKNOWN_SAMPLE_CAP: usize = 5;
+
 /// The metadata record a JSONL file stream starts with, e.g.
 /// `{"Schema":{"stream":"telemetry","version":1}}`. It shares the
 /// line-oriented format but is not an [`Event`]: parsers surface it as
 /// [`ParsedLog::schema_version`] instead of counting it as a record,
 /// and v0 logs (written before headers existed) parse fine without
 /// one.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum StreamHeader {
     /// The stream's identity and schema version.
     Schema {
@@ -37,6 +44,17 @@ pub enum StreamHeader {
         stream: String,
         /// Schema version of the records that follow.
         version: u32,
+    },
+    /// Sampling provenance: the stream was written through a
+    /// [`crate::SamplingSink`] at this rate with this hash seed.
+    /// Emitted right after the schema header; unsampled streams carry
+    /// none, so its absence means the log is complete.
+    Sampling {
+        /// Fraction of boring queries kept (interesting ones are
+        /// always kept regardless).
+        rate: f64,
+        /// Seed of the splitmix64 query-id hash deciding keeps.
+        seed: u64,
     },
 }
 
@@ -192,11 +210,20 @@ impl JsonlSink<BufWriter<File>> {
     /// Propagates the underlying file-creation error.
     pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
         let mut sink = Self::new(BufWriter::new(File::create(path)?));
-        let header = serde_json::to_string(&StreamHeader::telemetry()).expect("header serializes");
-        if let Err(e) = writeln!(sink.out, "{header}") {
-            sink.error = Some(e);
-            sink.failed = true;
-        }
+        sink.write_header(&StreamHeader::telemetry());
+        Ok(sink)
+    }
+
+    /// Like [`JsonlSink::create`], additionally stamping the stream
+    /// with the sampling rate and seed of the [`crate::SamplingSink`]
+    /// wrapping this sink, as a second header line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying file-creation error.
+    pub fn create_sampled<P: AsRef<Path>>(path: P, rate: f64, seed: u64) -> io::Result<Self> {
+        let mut sink = Self::create(path)?;
+        sink.write_header(&StreamHeader::Sampling { rate, seed });
         Ok(sink)
     }
 
@@ -217,13 +244,16 @@ impl JsonlSink<BufWriter<File>> {
         let mut buf = Vec::new();
         file.read_to_end(&mut buf)?;
         let mut offset = 0usize;
-        // A v1 log leads with a schema header; it is metadata, not one
-        // of the `lines` records, so skip it before counting (v0 logs
-        // have none and start counting at byte 0).
-        if let Some(i) = buf.iter().position(|&b| b == b'\n') {
-            if serde_json::from_str::<StreamHeader>(&String::from_utf8_lossy(&buf[..i])).is_ok() {
-                offset = i + 1;
+        // A v1 log leads with metadata headers (schema, and sampling
+        // provenance when present); they are not among the `lines`
+        // records, so skip them before counting (v0 logs have none and
+        // start counting at byte 0).
+        while let Some(i) = buf[offset..].iter().position(|&b| b == b'\n') {
+            let line = String::from_utf8_lossy(&buf[offset..offset + i]);
+            if serde_json::from_str::<StreamHeader>(&line).is_err() {
+                break;
             }
+            offset += i + 1;
         }
         let mut whole = 0u64;
         while whole < lines {
@@ -259,6 +289,19 @@ impl<W: Write> JsonlSink<W> {
             lines: 0,
             error: None,
             failed: false,
+        }
+    }
+
+    /// Writes a metadata header line (not counted in
+    /// [`JsonlSink::lines`]), latching any I/O error.
+    fn write_header(&mut self, header: &StreamHeader) {
+        if self.failed {
+            return;
+        }
+        let line = serde_json::to_string(header).expect("header serializes");
+        if let Err(e) = writeln!(self.out, "{line}") {
+            self.error = Some(e);
+            self.failed = true;
         }
     }
 
@@ -355,10 +398,20 @@ pub struct ParsedLog {
     /// does not know. They are skipped, not fatal, so old tooling can
     /// still analyze new logs; callers should warn when non-zero.
     pub unknown_events: u64,
+    /// Previews of the first few unknown records (at most
+    /// [`UNKNOWN_SAMPLE_CAP`]); the rest are only counted, so tooling
+    /// warns with "+N more suppressed" instead of flooding output.
+    pub unknown_samples: Vec<String>,
     /// The schema header's version when the log carries one; `None`
     /// for headerless logs written before headers existed (treated as
     /// version 0 by tooling).
     pub schema_version: Option<u32>,
+    /// The sampling rate from the stream's sampling header, when the
+    /// log was written through a [`crate::SamplingSink`]. `None` means
+    /// the stream is complete and analytics are exact.
+    pub sample_rate: Option<f64>,
+    /// The sampling hash seed accompanying [`ParsedLog::sample_rate`].
+    pub sample_seed: Option<u64>,
 }
 
 /// Parses a JSONL event log, tolerating a truncated final record — the
@@ -392,24 +445,49 @@ pub fn parse_jsonl_tolerant(text: &str) -> Result<ParsedLog, String> {
     let mut torn_tail = None;
     let mut torn_tail_offset = None;
     let mut unknown_events = 0;
+    let mut unknown_samples: Vec<String> = Vec::new();
     let mut schema_version = None;
+    let mut sample_rate = None;
+    let mut sample_seed = None;
     let last = lines.len().saturating_sub(1);
+    let note_unknown = |samples: &mut Vec<String>, count: &mut u64, l: &str| {
+        *count += 1;
+        if samples.len() < UNKNOWN_SAMPLE_CAP {
+            let preview: String = l.chars().take(80).collect();
+            samples.push(preview);
+        }
+    };
     for (k, (i, at, l)) in lines.iter().enumerate() {
-        // The schema header is stream metadata: surface the first
-        // telemetry one's version, count any other as foreign.
-        if let Ok(StreamHeader::Schema { stream, version }) = serde_json::from_str(l) {
-            if schema_version.is_none() && stream == TELEMETRY_STREAM {
-                schema_version = Some(version);
-            } else {
-                unknown_events += 1;
+        // Stream headers are metadata: surface the first telemetry
+        // schema's version and the first sampling provenance, count
+        // any other as foreign.
+        match serde_json::from_str::<StreamHeader>(l) {
+            Ok(StreamHeader::Schema { stream, version }) => {
+                if schema_version.is_none() && stream == TELEMETRY_STREAM {
+                    schema_version = Some(version);
+                } else {
+                    note_unknown(&mut unknown_samples, &mut unknown_events, l);
+                }
+                continue;
             }
-            continue;
+            Ok(StreamHeader::Sampling { rate, seed }) => {
+                if sample_rate.is_none() {
+                    sample_rate = Some(rate);
+                    sample_seed = Some(seed);
+                } else {
+                    note_unknown(&mut unknown_samples, &mut unknown_events, l);
+                }
+                continue;
+            }
+            Err(_) => {}
         }
         match serde_json::from_str(l) {
             Ok(e) => events.push(e),
             // Valid JSON that is not an Event we know: a future event
             // kind, anywhere in the log. Skip and count.
-            Err(_) if serde_json::from_str::<serde::Value>(l).is_ok() => unknown_events += 1,
+            Err(_) if serde_json::from_str::<serde::Value>(l).is_ok() => {
+                note_unknown(&mut unknown_samples, &mut unknown_events, l);
+            }
             Err(_) if k == last => {
                 torn_tail = Some((*l).to_string());
                 torn_tail_offset = Some(*at);
@@ -422,7 +500,10 @@ pub fn parse_jsonl_tolerant(text: &str) -> Result<ParsedLog, String> {
         torn_tail,
         torn_tail_offset,
         unknown_events,
+        unknown_samples,
         schema_version,
+        sample_rate,
+        sample_seed,
     })
 }
 
@@ -735,5 +816,46 @@ mod tests {
         let err = JsonlSink::resume_at(&path, 4).unwrap_err();
         assert!(err.to_string().contains("3 whole records"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sampling_header_round_trips_and_is_not_an_event() {
+        let dir = std::env::temp_dir().join(format!("ramsis-sink-smp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sampled.jsonl");
+        let mut sink = JsonlSink::create_sampled(&path, 0.01, 0xFEED).unwrap();
+        sink.record(&ev(0));
+        assert_eq!(sink.lines(), 1, "headers are not records");
+        drop(sink.finish().unwrap());
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed = parse_jsonl_tolerant(&text).unwrap();
+        assert_eq!(parsed.sample_rate, Some(0.01));
+        assert_eq!(parsed.sample_seed, Some(0xFEED));
+        assert_eq!(parsed.schema_version, Some(JSONL_SCHEMA_VERSION));
+        assert_eq!(parsed.events, vec![ev(0)]);
+        assert_eq!(parsed.unknown_events, 0);
+        // The strict parser skips both header lines as metadata.
+        assert_eq!(parse_jsonl(&text).unwrap(), vec![ev(0)]);
+        // Unsampled logs report no rate.
+        let plain = parse_jsonl_tolerant("").unwrap();
+        assert_eq!(plain.sample_rate, None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_previews_are_capped_with_the_rest_only_counted() {
+        let good = serde_json::to_string(&ev(1)).unwrap();
+        let mut text = format!("{good}\n");
+        for i in 0..(UNKNOWN_SAMPLE_CAP + 7) {
+            text.push_str(&format!("{{\"FutureKind{i}\":{i}}}\n"));
+        }
+        let parsed = parse_jsonl_tolerant(&text).unwrap();
+        assert_eq!(parsed.unknown_events, (UNKNOWN_SAMPLE_CAP + 7) as u64);
+        assert_eq!(parsed.unknown_samples.len(), UNKNOWN_SAMPLE_CAP);
+        assert!(parsed.unknown_samples[0].contains("FutureKind0"));
+        // Previews are truncated so one giant record cannot flood.
+        let long = format!("{{\"Huge\":\"{}\"}}\n", "x".repeat(4000));
+        let parsed = parse_jsonl_tolerant(&long).unwrap();
+        assert!(parsed.unknown_samples[0].chars().count() <= 80);
     }
 }

@@ -137,6 +137,15 @@ pub struct SpanLog {
     /// membership. A window still open at end of log extends to
     /// `Nanos::MAX`.
     pub false_suspicion_windows: Vec<(Nanos, Nanos)>,
+    /// The stream's sampling rate when it was recorded through a
+    /// [`crate::SamplingSink`] (`None`: complete stream, counts are
+    /// exact). Set by [`reconstruct_spans_sampled`].
+    pub sample_rate: Option<f64>,
+    /// Estimated queries removed by sampling — boring on-time
+    /// completions absent from this log: `boring · (1/rate − 1)`.
+    /// They are *sampled out*, not degraded: every span present
+    /// reconstructs fully, because a kept query keeps all its events.
+    pub est_sampled_out: f64,
 }
 
 /// Whether `at` falls inside any `(start, end)` window (half-open on
@@ -426,7 +435,33 @@ pub fn reconstruct_spans(events: &[Event]) -> SpanLog {
         brownout_windows,
         detection_lag_windows,
         false_suspicion_windows,
+        sample_rate: None,
+        est_sampled_out: 0.0,
     }
+}
+
+/// Folds a *sampled* event stream into per-query spans, annotating the
+/// log with its sampling provenance.
+///
+/// Reconstruction itself is identical to [`reconstruct_spans`]:
+/// query-coherent sampling keeps every event of a kept query, so each
+/// present span telescopes exactly, with zero orphans attributable to
+/// sampling. The queries sampling removed are counted as
+/// [`SpanLog::est_sampled_out`] — an estimate with explicit
+/// provenance, not a silent gap and not a degraded span.
+pub fn reconstruct_spans_sampled(events: &[Event], sample_rate: f64) -> SpanLog {
+    let mut log = reconstruct_spans(events);
+    let boring = crate::sample::query_weights(events, sample_rate)
+        .values()
+        .filter(|&&w| w != 1.0)
+        .count() as f64;
+    log.sample_rate = Some(sample_rate);
+    log.est_sampled_out = if sample_rate < 1.0 {
+        boring * (1.0 / sample_rate - 1.0)
+    } else {
+        0.0
+    };
+    log
 }
 
 /// Percentile summary of one critical-path segment across completed

@@ -1,0 +1,269 @@
+//! Property tests for the compact binary event codec (ISSUE 10
+//! satellite): over random event sequences — covering every field
+//! shape the model has (varint ints, signed slack, strings, floats,
+//! nested enums) — JSONL ⇄ binary ⇄ JSONL must be lossless and
+//! byte-identical, truncating a binary stream anywhere must heal to a
+//! whole-record prefix, and sampling metadata must survive both
+//! encodings.
+
+use proptest::prelude::*;
+
+use ramsis_telemetry::{
+    is_binary_stream, parse_bin_tolerant, parse_tolerant, write_bin, write_jsonl, Action, Event,
+    QueueId, ShedCause,
+};
+
+/// Builds one event from raw samples. `kind` picks the variant and the
+/// three integers (plus a flag) fill its fields, stretched across the
+/// encoder's whole field-type zoo: u64/u32 varints (including the
+/// full-width extremes), zig-zag i64, bool, String, f64, and the
+/// nested `QueueId` / `ShedCause` / `Action` enums.
+fn event_of(kind: u64, a: u64, b: u64, c: u64, flag: bool) -> Event {
+    let at = a;
+    let query = b;
+    let worker = (c & 0xffff_ffff) as u32;
+    let small = (c >> 32) as u32;
+    let queue = match c % 3 {
+        0 => QueueId::Central,
+        1 => QueueId::Worker(worker),
+        _ => QueueId::Limbo,
+    };
+    let cause = match c % 4 {
+        0 => ShedCause::Hopeless,
+        1 => ShedCause::QueueDepth,
+        2 => ShedCause::Policy,
+        _ => ShedCause::RetryExhausted,
+    };
+    let action = match c % 3 {
+        0 => Action::Serve {
+            model: small,
+            batch: worker,
+        },
+        1 => Action::Drop { count: small },
+        _ => Action::Idle,
+    };
+    // Finite non-negative floats: the engine only records magnitudes,
+    // so the canonical stream never carries a negative zero (which the
+    // JSONL side's shortest-round-trip formatting cannot preserve).
+    let qps = (b % 10_000_000) as f64 / 1000.0;
+    let label = |n: u64| format!("regime-{}", n % 100);
+    match kind % 16 {
+        0 => Event::Arrival {
+            at,
+            query,
+            deadline: c,
+        },
+        1 => Event::Enqueue {
+            at,
+            query,
+            queue,
+            depth: small,
+        },
+        2 => Event::Dispatch {
+            at,
+            worker,
+            model: small,
+            batch: small ^ 1,
+            depth: small >> 3,
+        },
+        3 => Event::Complete {
+            at,
+            query,
+            worker,
+            model: small,
+            response_ns: c,
+            violated: flag,
+        },
+        4 => Event::Shed { at, query, cause },
+        5 => Event::Drop { at, query },
+        6 => Event::CrashRequeue {
+            at,
+            query,
+            from: worker,
+        },
+        7 => Event::PolicyDecision {
+            at,
+            worker,
+            queued: small,
+            // Zig-zag coverage: both signs, both extremes.
+            slack_ns: i64::from_le_bytes(b.to_le_bytes()),
+            action,
+        },
+        8 => Event::RegimeSwap {
+            at,
+            from: label(b),
+            to: label(c),
+            detection_delay_ns: c,
+        },
+        9 => Event::Timeout {
+            at,
+            query,
+            worker,
+            attempt: small,
+        },
+        10 => Event::Retry {
+            at,
+            query,
+            attempt: small,
+            delay_ns: c,
+        },
+        11 => Event::HedgeIssued {
+            at,
+            primary: worker,
+            hedge: small,
+            model: small >> 7,
+            batch: worker & 0xff,
+        },
+        12 => Event::Admission {
+            at,
+            query,
+            queue,
+            depth: small,
+            sojourn_ns: c,
+        },
+        13 => Event::BrownoutEnter {
+            at,
+            rung: small % 8,
+            load_qps: qps,
+            capacity_qps: qps * 0.75,
+        },
+        14 => Event::Suspect {
+            at,
+            worker,
+            genuine: flag,
+            lag_ns: if flag { c } else { 0 },
+        },
+        _ => Event::ScaleUp {
+            at,
+            worker,
+            live: small,
+        },
+    }
+}
+
+/// Expands raw samples into an event stream.
+fn stream_of(samples: &[(u64, u64, u64, u64, bool)]) -> Vec<Event> {
+    samples
+        .iter()
+        .map(|&(kind, a, b, c, flag)| event_of(kind, a, b, c, flag))
+        .collect()
+}
+
+/// Sampling metadata from raw samples: `None` for one third of draws,
+/// otherwise a rate in (0, 1] with an arbitrary seed.
+fn sampling_of(sel: u64, seed: u64) -> Option<(f64, u64)> {
+    match sel % 3 {
+        0 => None,
+        1 => Some((1.0, seed)),
+        _ => Some(((sel % 1000 + 1) as f64 / 1000.0, seed)),
+    }
+}
+
+/// One raw sample: variant selector, three full-width integers (so
+/// varint encodings hit 1-byte through 10-byte lengths), and a flag.
+type RawSample = (
+    std::ops::Range<u64>,
+    Any<u64>,
+    Any<u64>,
+    Any<u64>,
+    Any<bool>,
+);
+
+/// The strategy behind every test.
+fn samples() -> proptest::collection::VecStrategy<RawSample> {
+    proptest::collection::vec(
+        (
+            0u64..16,
+            proptest::num::u64::ANY,
+            proptest::num::u64::ANY,
+            proptest::num::u64::ANY,
+            proptest::bool::ANY,
+        ),
+        0..60,
+    )
+}
+
+use proptest::Any;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Binary encode → tolerant decode is the identity on events and
+    /// sampling metadata, and the stream self-identifies by magic.
+    #[test]
+    fn binary_encoding_round_trips(
+        raw in samples(),
+        sel in 0u64..6,
+        seed in proptest::num::u64::ANY,
+    ) {
+        let events = stream_of(&raw);
+        let sampling = sampling_of(sel, seed);
+        let bin = write_bin(&events, sampling);
+        prop_assert!(is_binary_stream(&bin));
+        let parsed = parse_bin_tolerant(&bin).unwrap();
+        prop_assert_eq!(&parsed.events, &events);
+        prop_assert!(parsed.torn_tail.is_none());
+        prop_assert_eq!(parsed.unknown_events, 0);
+        prop_assert_eq!(parsed.sample_rate, sampling.map(|(r, _)| r));
+        prop_assert_eq!(parsed.sample_seed, sampling.map(|(_, s)| s));
+        // The auto-detecting entry point agrees exactly.
+        prop_assert_eq!(parse_tolerant(&bin).unwrap(), parsed);
+    }
+
+    /// JSONL ⇄ binary ⇄ JSONL is lossless: converting a stream to the
+    /// other encoding and back reproduces the original bytes exactly,
+    /// in both directions.
+    #[test]
+    fn jsonl_binary_jsonl_conversion_is_byte_identical(
+        raw in samples(),
+        sel in 0u64..6,
+        seed in proptest::num::u64::ANY,
+    ) {
+        let events = stream_of(&raw);
+        let sampling = sampling_of(sel, seed);
+        let jsonl = write_jsonl(&events, sampling);
+        let parsed = parse_tolerant(jsonl.as_bytes()).unwrap();
+        prop_assert_eq!(&parsed.events, &events);
+        let meta = parsed.sample_rate.zip(parsed.sample_seed);
+        prop_assert_eq!(meta, sampling);
+
+        let bin = write_bin(&parsed.events, meta);
+        let back = parse_tolerant(&bin).unwrap();
+        let jsonl2 = write_jsonl(&back.events, back.sample_rate.zip(back.sample_seed));
+        prop_assert_eq!(&jsonl2, &jsonl, "JSONL → binary → JSONL must be identity");
+
+        // And binary-first: the binary bytes regenerate exactly too.
+        let bin2 = write_bin(&back.events, back.sample_rate.zip(back.sample_seed));
+        prop_assert_eq!(bin2, bin, "binary → JSONL → binary must be identity");
+    }
+
+    /// Chopping a binary stream at any byte boundary past the header
+    /// heals to a whole-record prefix: no parse error, no partial
+    /// event, and the torn tail's reported offset truncates cleanly.
+    #[test]
+    fn truncated_binary_stream_heals_to_a_prefix(
+        raw in samples(),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let events = stream_of(&raw);
+        let bin = write_bin(&events, None);
+        let header_len = write_bin(&[], None).len();
+        let cut = header_len + ((bin.len() - header_len) as f64 * cut_frac) as usize;
+        let parsed = parse_bin_tolerant(&bin[..cut]).unwrap();
+        prop_assert!(parsed.events.len() <= events.len());
+        prop_assert_eq!(
+            &parsed.events[..],
+            &events[..parsed.events.len()],
+            "healed prefix must be exactly the leading whole records"
+        );
+        if let Some(offset) = parsed.torn_tail_offset {
+            prop_assert!(parsed.torn_tail.is_some());
+            let healed = parse_bin_tolerant(&bin[..offset]).unwrap();
+            prop_assert!(healed.torn_tail.is_none());
+            prop_assert_eq!(healed.events, parsed.events);
+        } else {
+            // Clean cut on a record boundary: nothing was torn.
+            prop_assert!(parsed.torn_tail.is_none());
+        }
+    }
+}

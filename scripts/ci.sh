@@ -109,5 +109,29 @@ health_smoke() {
     rm -rf "${out}"
 }
 stage "health-smoke" health_smoke
+# Telemetry-at-scale smoke: the sink scalability gates in smoke mode
+# (binary ≥ 3x JSONL events/sec, 1%-sampling overhead and per-event
+# ceilings, report + sampling-off identity), --validate re-checks the
+# written document, then an end-to-end encoding round-trip through the
+# CLI: record a binary sampled trace, convert binary → JSONL → binary,
+# and demand the final bytes equal the original recording.
+telemetry_smoke() {
+    local out
+    out="$(mktemp -d)"
+    cargo run --release -q -p ramsis-bench --bin telemetry_scale -- --smoke --out "${out}"
+    cargo run --release -q -p ramsis-bench --bin telemetry_scale -- \
+        --validate "${out}/BENCH_telemetry.json"
+    cargo run --release -q -p ramsis-cli -- sim --m JF --trace constant --load 100 \
+        --duration 8 --task image --SLO 150 --worker 2 --out "${out}" \
+        --telemetry "${out}/t.bin" --telemetry-sample 0.1
+    cargo run --release -q -p ramsis-cli -- telemetry "${out}/t.bin" --quiet
+    cargo run --release -q -p ramsis-cli -- telemetry convert "${out}/t.bin" \
+        "${out}/t.jsonl" --quiet
+    cargo run --release -q -p ramsis-cli -- telemetry convert "${out}/t.jsonl" \
+        "${out}/t2.bin" --quiet
+    cmp "${out}/t.bin" "${out}/t2.bin"
+    rm -rf "${out}"
+}
+stage "telemetry-smoke" telemetry_smoke
 
 echo "ci.sh: all green"

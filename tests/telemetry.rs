@@ -10,7 +10,9 @@ use ramsis::core::{MissPolicy, PolicySet};
 use ramsis::prelude::*;
 use ramsis::sim::{FastestFixed, FaultPlan, RamsisScheme, ResiliencePolicy, Routing};
 use ramsis::telemetry::{
-    aggregates, conservation, parse_jsonl, window_breakdown, Event, JsonlSink, VecSink,
+    aggregates, conservation, is_binary_stream, parse_bin_tolerant, parse_jsonl, reconstruct_spans,
+    reconstruct_spans_sampled, window_breakdown, write_bin, write_jsonl, Event, JsonlSink,
+    QuerySpan, SamplePolicy, SamplingSink, TelemetrySink, VecSink,
 };
 use ramsis::workload::OracleMonitor;
 
@@ -63,7 +65,6 @@ fn seeded_rerun_gives_byte_identical_jsonl() {
     let serialize = |events: &[Event]| {
         let mut sink = JsonlSink::new(Vec::new());
         for e in events {
-            use ramsis::telemetry::TelemetrySink;
             sink.record(e);
         }
         String::from_utf8(sink.finish().unwrap()).unwrap()
@@ -309,4 +310,171 @@ fn empty_run_report_and_trace_are_empty() {
         .count();
     assert_eq!(lifecycle, 0, "no queries, no lifecycle events");
     assert!(conservation(&events).holds());
+}
+
+// ---------------------------------------------------------------------
+// Binary codec + deterministic query-coherent sampling (ISSUE 10)
+// ---------------------------------------------------------------------
+
+/// The resilient scenario run live through a `SamplingSink` — the
+/// engine must not notice the wrapper at all. Returns the report, the
+/// surviving stream, and the count of events the sampler withheld.
+fn traced_resilient_sampled(seed: u64, rate: f64) -> (SimulationReport, Vec<Event>, u64) {
+    let trace = Trace::constant(70.0, 20.0);
+    let plan = FaultPlan::none().slowdown(0, 1.0, 18.0, 12.0);
+    let sim = Simulation::new(
+        profile(),
+        SimulationConfig::new(3, 0.15)
+            .seeded(seed)
+            .stochastic()
+            .with_resilience(ResiliencePolicy::all_on()),
+    )
+    .expect("valid simulation config");
+    let mut scheme = FastestFixed::new(profile().fastest_model(), Routing::PerWorkerRoundRobin);
+    let mut monitor = LoadMonitor::new();
+    let policy = SamplePolicy::new(rate, seed).expect("valid sampling rate");
+    let mut sink = SamplingSink::new(VecSink::new(), policy);
+    let report = sim
+        .run_faulted_traced(&trace, &plan, &mut scheme, &mut monitor, &mut sink)
+        .expect("plan validates");
+    let withheld = sink.sampled_out_events();
+    (report, sink.finish().into_events(), withheld)
+}
+
+#[test]
+fn report_is_byte_identical_at_every_sample_rate() {
+    // Exactness under sampling, part 1: the engine's report never
+    // depends on what the sink keeps. Tracing off, tracing full, and
+    // sampling at any rate all serialize to the same bytes.
+    let (full_report, full_events) = traced_resilient_run(57);
+    let baseline = serde_json::to_string(&full_report).unwrap();
+    for rate in [1.0, 0.1, 0.01] {
+        let (report, events, withheld) = traced_resilient_sampled(57, rate);
+        assert_eq!(
+            serde_json::to_string(&report).unwrap(),
+            baseline,
+            "report must be byte-identical at rate {rate}"
+        );
+        // Every event is either delivered or counted as withheld.
+        assert_eq!(
+            events.len() as u64 + withheld,
+            full_events.len() as u64,
+            "event accounting at rate {rate}"
+        );
+        if rate >= 1.0 {
+            assert_eq!(events, full_events, "rate 1.0 must pass everything through");
+            assert_eq!(withheld, 0);
+        }
+    }
+}
+
+#[test]
+fn sampled_stream_is_an_exact_subsequence_that_keeps_every_violation() {
+    let (_, full) = traced_resilient_run(57);
+    let violations = |evs: &[Event]| {
+        evs.iter()
+            .filter(|e| matches!(e, Event::Complete { violated: true, .. }))
+            .count()
+    };
+    assert!(violations(&full) > 0, "setup must violate");
+    for rate in [0.1, 0.01] {
+        let (_, sampled, withheld) = traced_resilient_sampled(57, rate);
+        assert!(withheld > 0, "rate {rate} must sample something out");
+        // Order-preserving subsequence: sampling never reorders,
+        // rewrites, or fabricates an event.
+        let mut rest = full.as_slice();
+        for e in &sampled {
+            let i = rest
+                .iter()
+                .position(|f| f == e)
+                .unwrap_or_else(|| panic!("rate {rate}: sampled event {e:?} not in full stream"));
+            rest = &rest[i + 1..];
+        }
+        // Query coherence keeps conservation intact: a query keeps all
+        // of its lifecycle events or none of them.
+        let c = conservation(&sampled);
+        assert!(c.holds(), "rate {rate}: conservation violated: {c:?}");
+        // The tail-keep rules retain every SLO violation exactly.
+        assert_eq!(
+            violations(&sampled),
+            violations(&full),
+            "rate {rate}: violating completions must always be kept"
+        );
+    }
+}
+
+#[test]
+fn sampled_spans_reconstruct_exactly_with_zero_orphans() {
+    // A kept query keeps all its events, so every span surviving
+    // sampling reconstructs identically to the full trace — sampled
+    // out, never degraded.
+    let (_, full) = traced_resilient_run(57);
+    let full_log = reconstruct_spans(&full);
+    let (_, sampled, _) = traced_resilient_sampled(57, 0.1);
+    let log = reconstruct_spans_sampled(&sampled, 0.1);
+    assert_eq!(log.sample_rate, Some(0.1));
+    assert_eq!(log.orphan_events, 0, "a kept query keeps all its events");
+    assert_eq!(log.degraded_spans, 0, "sampling must never degrade a span");
+    assert!(log.est_sampled_out > 0.0, "boring queries were removed");
+    assert!(
+        !log.spans.is_empty() && log.spans.len() < full_log.spans.len(),
+        "sampling at 10% must keep some spans and drop others: {} of {}",
+        log.spans.len(),
+        full_log.spans.len()
+    );
+    let by_id: HashMap<u64, &QuerySpan> = full_log.spans.iter().map(|s| (s.query, s)).collect();
+    for span in &log.spans {
+        assert_eq!(
+            Some(span),
+            by_id.get(&span.query).copied(),
+            "span of query {} must match the full trace exactly",
+            span.query
+        );
+    }
+}
+
+#[test]
+fn binary_codec_round_trips_a_real_traced_run() {
+    let (_, events) = traced_resilient_run(13);
+    let bin = write_bin(&events, None);
+    assert!(is_binary_stream(&bin));
+    let parsed = parse_bin_tolerant(&bin).unwrap();
+    assert_eq!(parsed.events, events);
+    assert!(parsed.torn_tail.is_none());
+    assert_eq!(parsed.unknown_events, 0);
+    // The compactness the codec exists for: well under the JSONL size.
+    let jsonl = write_jsonl(&events, None);
+    assert!(
+        bin.len() * 3 < jsonl.len(),
+        "binary must be under a third of the JSONL size: {} vs {}",
+        bin.len(),
+        jsonl.len()
+    );
+    // Sampling provenance survives the binary header.
+    let (_, sampled, _) = traced_resilient_sampled(13, 0.01);
+    let bin = write_bin(&sampled, Some((0.01, 13)));
+    let parsed = parse_bin_tolerant(&bin).unwrap();
+    assert_eq!(parsed.sample_rate, Some(0.01));
+    assert_eq!(parsed.sample_seed, Some(13));
+    assert_eq!(parsed.events, sampled);
+}
+
+#[test]
+fn file_backed_sink_flushes_to_the_canonical_bytes() {
+    // The checkpoint attest path flushes the sink's BufWriter; a
+    // finished file must hold exactly the canonical serialization —
+    // nothing trapped in the buffer, nothing extra.
+    let (_, events) = traced_jf_run(19);
+    let dir = std::env::temp_dir().join("ramsis_telemetry_flush");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.jsonl");
+    let mut sink = JsonlSink::create(&path).unwrap();
+    for e in &events {
+        sink.record(e);
+        sink.flush(); // mid-run checkpoint flushes must be harmless
+    }
+    sink.finish().unwrap();
+    let got = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(got, write_jsonl(&events, None));
+    std::fs::remove_file(&path).ok();
 }
